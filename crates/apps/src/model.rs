@@ -1,0 +1,679 @@
+//! The four application-model builders.
+//!
+//! Every model produces a `dvs_kernels::Workload`, so applications run
+//! through exactly the same harness as the synchronization kernels and carry
+//! equally strong semantic post-conditions (deterministic checksums for the
+//! barrier phases, exact lock-protected totals, sum conservation for the
+//! canneal swaps, token conservation for the pipelines).
+
+use dvs_kernels::sync::{
+    emit_prologue, emit_sw_backoff, emit_sw_backoff_reset, TatasLock, TreeBarrier, EPOCH, ITER,
+    ITERS, ONE, TID, ZERO,
+};
+use dvs_kernels::Workload;
+use dvs_mem::{Addr, LayoutBuilder, LINE_BYTES, WORD_BYTES};
+use dvs_stats::TimeComponent;
+use dvs_vm::isa::Reg;
+use dvs_vm::Asm;
+
+const SUM: Reg = Reg(16);
+const CNT: Reg = Reg(17);
+const LCG: Reg = Reg(20);
+const T3: Reg = Reg(3);
+const T4: Reg = Reg(4);
+const T5: Reg = Reg(5);
+const T6: Reg = Reg(6);
+const T7: Reg = Reg(7);
+const T8: Reg = Reg(8);
+const P10: Reg = Reg(10);
+const P11: Reg = Reg(11);
+
+/// One benchmark's model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AppSpec {
+    /// Benchmark name (Table 2).
+    pub name: &'static str,
+    /// Suite (SPLASH-2 or PARSEC).
+    pub suite: &'static str,
+    /// The paper's input set (Table 2), recorded for the table harness.
+    pub input: &'static str,
+    /// The paper's core count for this benchmark (64, or 16 for the
+    /// pipeline apps).
+    pub cores: usize,
+    /// The synchronization-pattern class and its parameters.
+    pub class: AppClass,
+}
+
+/// The four synchronization-pattern classes of §7.2.
+#[derive(Debug, Clone, Copy)]
+pub enum AppClass {
+    /// Tree-barrier phases over partitioned shared data.
+    BarrierOnly {
+        /// Number of compute phases.
+        phases: u64,
+        /// Words each thread owns and rewrites per phase.
+        partition_words: u64,
+        /// Words read from the neighbour's partition per phase.
+        neighbour_reads: u64,
+        /// Per-phase compute range, cycles.
+        compute: (u64, u64),
+        /// Also write a word-interleaved shared border array (line-level
+        /// false sharing; hurts MESI, not word-granular DeNovo).
+        false_sharing: bool,
+    },
+    /// Barrier phases plus TATAS-protected shared updates.
+    BarrierLock {
+        /// Number of phases.
+        phases: u64,
+        /// Number of locks (each protecting a slice of the region).
+        locks: u64,
+        /// Critical sections entered per phase per thread.
+        cs_per_phase: u64,
+        /// Accumulator increments per critical section.
+        cs_words: u64,
+        /// Size of the lock-protected shared region (self-invalidated on
+        /// every acquire — the conservative-invalidation knob).
+        region_words: u64,
+        /// Words of the protected slice re-read after each acquire.
+        reread_words: u64,
+        /// Per-phase compute range, cycles.
+        compute: (u64, u64),
+    },
+    /// Aggressive lock-free CAS/fetch-and-add loop over shared elements
+    /// (canneal); every swap conserves the array sum.
+    NonBlockingSwap {
+        /// Number of shared elements.
+        elements: u64,
+        /// Swaps per thread.
+        swaps: u64,
+        /// Between-swap compute range, cycles.
+        compute: (u64, u64),
+    },
+    /// Stage queues between thread groups (ferret, x264).
+    Pipeline {
+        /// Number of pipeline stages (must divide the thread count).
+        stages: u64,
+        /// Tokens produced per first-stage thread.
+        tokens: u64,
+        /// Per-token compute range, cycles.
+        stage_compute: (u64, u64),
+    },
+}
+
+/// Builds the workload for `spec` at `threads` cores (pass `spec.cores` for
+/// the paper's configuration; smaller powers for tests).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or (pipelines) not divisible by the stage
+/// count.
+pub fn build_app(spec: &AppSpec, threads: usize) -> Workload {
+    assert!(threads > 0, "need at least one thread");
+    match spec.class {
+        AppClass::BarrierOnly {
+            phases,
+            partition_words,
+            neighbour_reads,
+            compute,
+            false_sharing,
+        } => build_barrier_only(
+            threads,
+            phases,
+            partition_words,
+            neighbour_reads.min(partition_words),
+            compute,
+            false_sharing,
+        ),
+        AppClass::BarrierLock {
+            phases,
+            locks,
+            cs_per_phase,
+            cs_words,
+            region_words,
+            reread_words,
+            compute,
+        } => build_barrier_lock(
+            threads, phases, locks, cs_per_phase, cs_words, region_words, reread_words, compute,
+        ),
+        AppClass::NonBlockingSwap {
+            elements,
+            swaps,
+            compute,
+        } => build_swap(threads, elements, swaps, compute),
+        AppClass::Pipeline {
+            stages,
+            tokens,
+            stage_compute,
+        } => build_pipeline(threads, stages, tokens, stage_compute),
+    }
+}
+
+fn build_barrier_only(
+    threads: usize,
+    phases: u64,
+    partition_words: u64,
+    neighbour_reads: u64,
+    compute: (u64, u64),
+    false_sharing: bool,
+) -> Workload {
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let data = lb.region("data");
+    let results = lb.segment("results", threads as u64 * LINE_BYTES, data);
+    let parts = lb.segment(
+        "partitions",
+        threads as u64 * partition_words * WORD_BYTES,
+        data,
+    );
+    // Word-interleaved border: thread i's word shares lines with its
+    // neighbours' (the LU false-sharing pattern).
+    let border = lb.segment("border", threads as u64 * WORD_BYTES, data);
+    let barrier = TreeBarrier {
+        arrive: lb.segment("arrive", threads as u64 * LINE_BYTES, sync),
+        go: lb.segment("go", threads as u64 * LINE_BYTES, sync),
+        fan_in: 2,
+        fan_out: 2,
+        n: threads,
+        data_region: Some(data),
+    };
+
+    let programs = (0..threads)
+        .map(|tid| {
+            let ntid = (tid + 1) % threads;
+            let my_base = parts.raw() + tid as u64 * partition_words * WORD_BYTES;
+            let nb_base = parts.raw() + ntid as u64 * partition_words * WORD_BYTES;
+            let mut a = Asm::new("barrier-app");
+            emit_prologue(&mut a, phases);
+            let top = a.here();
+            // Write my partition: word j := phase*1000 + tid + 7*j.
+            a.movi(T4, 1000);
+            a.mul(T4, ITER, T4);
+            a.addi(T4, T4, tid as i64); // base value
+            a.movi(T5, 0); // j
+            a.movi(T6, partition_words);
+            let wloop = a.here();
+            let wdone = a.label();
+            a.bge(T5, T6, wdone);
+            a.shl(P10, T5, 3);
+            a.addi(P10, P10, my_base as i64);
+            a.movi(T7, 7);
+            a.mul(T7, T5, T7);
+            a.add(T7, T7, T4);
+            a.store(T7, P10, 0);
+            a.addi(T5, T5, 1);
+            a.jmp(wloop);
+            a.bind(wdone);
+            if false_sharing {
+                a.movi(P10, border.raw() + tid as u64 * WORD_BYTES);
+                a.store(T4, P10, 0);
+            }
+            a.fence();
+            barrier.emit(&mut a, tid);
+            // Read the neighbour's fresh partition and accumulate.
+            a.movi(T5, 0);
+            a.movi(T6, neighbour_reads);
+            let rloop = a.here();
+            let rdone = a.label();
+            a.bge(T5, T6, rdone);
+            a.shl(P10, T5, 3);
+            a.addi(P10, P10, nb_base as i64);
+            a.load(T7, P10, 0);
+            a.add(SUM, SUM, T7);
+            a.addi(T5, T5, 1);
+            a.jmp(rloop);
+            a.bind(rdone);
+            if false_sharing {
+                a.movi(P10, border.raw() + ntid as u64 * WORD_BYTES);
+                a.load(T7, P10, 0);
+                a.add(SUM, SUM, T7);
+            }
+            a.rand_delay(compute.0, compute.1, TimeComponent::Compute);
+            barrier.emit(&mut a, tid);
+            a.addi(ITER, ITER, 1);
+            a.blt(ITER, ITERS, top);
+            // Publish the checksum.
+            a.movi(P10, results.raw() + tid as u64 * LINE_BYTES);
+            a.store(SUM, P10, 0);
+            a.fence();
+            barrier.emit(&mut a, tid);
+            a.halt();
+            a.build()
+        })
+        .collect();
+
+    // The checksum each thread must have computed is fully deterministic.
+    let expected: Vec<u64> = (0..threads)
+        .map(|tid| {
+            let ntid = ((tid + 1) % threads) as u64;
+            let mut sum = 0u64;
+            for phase in 0..phases {
+                let base = phase * 1000 + ntid;
+                for j in 0..neighbour_reads {
+                    sum = sum.wrapping_add(base + 7 * j);
+                }
+                if false_sharing {
+                    sum = sum.wrapping_add(base);
+                }
+            }
+            sum
+        })
+        .collect();
+    Workload {
+        layout: lb.build(),
+        programs,
+        init: Vec::new(),
+        pools: Vec::new(),
+        check: Box::new(move |read| {
+            for (tid, &want) in expected.iter().enumerate() {
+                let got = read(Addr::new(results.raw() + tid as u64 * LINE_BYTES));
+                if got != want {
+                    return Err(format!(
+                        "thread {tid} checksum {got}, expected {want} (stale neighbour reads?)"
+                    ));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_barrier_lock(
+    threads: usize,
+    phases: u64,
+    locks: u64,
+    cs_per_phase: u64,
+    cs_words: u64,
+    region_words: u64,
+    reread_words: u64,
+    compute: (u64, u64),
+) -> Workload {
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let data = lb.region("data");
+    let region = lb.segment("region", region_words * WORD_BYTES, data);
+    let accs = lb.segment("accumulators", locks * LINE_BYTES, data);
+    let lock_objs: Vec<TatasLock> = (0..locks)
+        .map(|l| TatasLock {
+            lock: lb.sync_var(&format!("lock{l}"), sync, true),
+            data_region: Some(data),
+            sw_backoff: false,
+        })
+        .collect();
+    let barrier = TreeBarrier {
+        arrive: lb.segment("arrive", threads as u64 * LINE_BYTES, sync),
+        go: lb.segment("go", threads as u64 * LINE_BYTES, sync),
+        fan_in: 2,
+        fan_out: 2,
+        n: threads,
+        data_region: Some(data),
+    };
+    let slice = region_words / locks.max(1);
+
+    let programs = (0..threads)
+        .map(|tid| {
+            let mut a = Asm::new("barrier-lock-app");
+            emit_prologue(&mut a, phases);
+            let top = a.here();
+            for i in 0..cs_per_phase {
+                let l = ((tid as u64) + i * 7 + 1) % locks;
+                let lock = &lock_objs[l as usize];
+                lock.emit_acquire(&mut a);
+                // Re-read part of the protected slice (cost of the acquire's
+                // conservative self-invalidation on DeNovo).
+                let base = region.raw() + l * slice * WORD_BYTES;
+                for k in 0..reread_words.min(slice) {
+                    a.movi(P10, base + (k % slice) * WORD_BYTES);
+                    a.load(T7, P10, 0);
+                    a.add(SUM, SUM, T7);
+                }
+                // Update the slice and the accumulator.
+                a.movi(P10, base + ((tid as u64 + i) % slice) * WORD_BYTES);
+                a.load(T7, P10, 0);
+                a.addi(T7, T7, 1);
+                a.store(T7, P10, 0);
+                let acc = accs.raw() + l * LINE_BYTES;
+                for _ in 0..cs_words {
+                    a.movi(P11, acc);
+                    a.load(T8, P11, 0);
+                    a.addi(T8, T8, 1);
+                    a.store(T8, P11, 0);
+                }
+                lock.emit_release(&mut a);
+            }
+            a.rand_delay(compute.0, compute.1, TimeComponent::Compute);
+            barrier.emit(&mut a, tid);
+            a.addi(ITER, ITER, 1);
+            a.blt(ITER, ITERS, top);
+            a.halt();
+            a.build()
+        })
+        .collect();
+
+    let expected_total = threads as u64 * phases * cs_per_phase * cs_words;
+    Workload {
+        layout: lb.build(),
+        programs,
+        init: Vec::new(),
+        pools: Vec::new(),
+        check: Box::new(move |read| {
+            let total: u64 = (0..locks)
+                .map(|l| read(Addr::new(accs.raw() + l * LINE_BYTES)))
+                .sum();
+            if total != expected_total {
+                return Err(format!(
+                    "lock-protected total {total}, expected {expected_total}"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+fn build_swap(threads: usize, elements: u64, swaps: u64, compute: (u64, u64)) -> Workload {
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let _data = lb.region("data");
+    // Elements are CAS targets: synchronization data, unpadded (the real
+    // canneal's elements are spread through memory; line sharing stresses
+    // MESI, word-granular DeNovo is indifferent).
+    let elems = lb.segment("elements", elements * WORD_BYTES, sync);
+    let init: Vec<(Addr, u64)> = (0..elements)
+        .map(|i| (Addr::new(elems.raw() + i * WORD_BYTES), 1000 + i))
+        .collect();
+    let initial_sum: u64 = init.iter().map(|(_, v)| *v).sum();
+
+    let programs = (0..threads)
+        .map(|tid| {
+            let mut a = Asm::new("canneal-app");
+            emit_prologue(&mut a, swaps);
+            // Per-thread LCG for index selection.
+            a.movi(LCG, 0x9E37_79B9u64 + tid as u64 * 0x85EB_CA6B);
+            let top = a.here();
+            // i = lcg() % elements, j = lcg() % elements
+            let lcg_next = |a: &mut Asm, dst: Reg| {
+                a.movi(T4, 6364136223846793005);
+                a.mul(LCG, LCG, T4);
+                a.addi(LCG, LCG, 1442695040888963407u64 as i64);
+                a.shr(dst, LCG, 33);
+                a.movi(T4, elements);
+                a.rem(dst, dst, T4);
+            };
+            lcg_next(&mut a, T5); // i
+            lcg_next(&mut a, T6); // j
+            // addr_i, addr_j
+            a.shl(P10, T5, 3);
+            a.addi(P10, P10, elems.raw() as i64);
+            a.shl(P11, T6, 3);
+            a.addi(P11, P11, elems.raw() as i64);
+            // CAS-increment element i (retry loop with software backoff) ...
+            let retry = a.here();
+            let got = a.label();
+            a.loads(T7, P10, 0);
+            a.addi(T8, T7, 1);
+            a.cas(T3, P10, 0, T7, T8);
+            a.beq(T3, T7, got);
+            emit_sw_backoff(&mut a);
+            a.jmp(retry);
+            a.bind(got);
+            emit_sw_backoff_reset(&mut a);
+            // ... and balance by decrementing element j (atomic).
+            a.movi(T4, u64::MAX); // -1
+            a.fai(T3, P11, 0, T4);
+            a.addi(CNT, CNT, 1);
+            a.rand_delay(compute.0, compute.1, TimeComponent::Compute);
+            a.addi(ITER, ITER, 1);
+            a.blt(ITER, ITERS, top);
+            a.halt();
+            a.build()
+        })
+        .collect();
+
+    Workload {
+        layout: lb.build(),
+        programs,
+        init,
+        pools: Vec::new(),
+        check: Box::new(move |read| {
+            let total: u64 = (0..elements)
+                .map(|i| read(Addr::new(elems.raw() + i * WORD_BYTES)))
+                .fold(0u64, |a, b| a.wrapping_add(b));
+            if total != initial_sum {
+                return Err(format!(
+                    "element sum {total} drifted from initial {initial_sum}"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+fn build_pipeline(threads: usize, stages: u64, tokens: u64, compute: (u64, u64)) -> Workload {
+    assert!(
+        (threads as u64).is_multiple_of(stages),
+        "{threads} threads must divide into {stages} stages"
+    );
+    let per_stage = threads as u64 / stages;
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let data = lb.region("data");
+    let results = lb.segment("results", threads as u64 * LINE_BYTES, data);
+    // One single-lock linked queue between consecutive stages.
+    let nq = (stages - 1) as usize;
+    let mut queues = Vec::with_capacity(nq);
+    let mut init = Vec::new();
+    for q in 0..nq {
+        let lock = TatasLock {
+            lock: lb.sync_var(&format!("qlock{q}"), sync, true),
+            data_region: Some(data),
+            sw_backoff: false,
+        };
+        let head = lb.segment(&format!("qhead{q}"), 8, data);
+        let tail = lb.segment(&format!("qtail{q}"), 8, data);
+        let dummy = lb.segment(&format!("qdummy{q}"), 16, data);
+        init.push((head, dummy.raw()));
+        init.push((tail, dummy.raw()));
+        queues.push((lock, head, tail));
+    }
+    // Per-stage completion counters.
+    let done: Vec<Addr> = (0..stages)
+        .map(|g| lb.sync_var(&format!("done{g}"), sync, true))
+        .collect();
+    // Token nodes: stage-g threads re-enqueue into queue g, so every
+    // non-final stage needs a pool.
+    let pool_bytes = (tokens * per_stage.max(1) + 8) * LINE_BYTES;
+    let pools: Vec<(Addr, u64)> = (0..threads)
+        .map(|t| (lb.segment(&format!("pool{t}"), pool_bytes, data), pool_bytes))
+        .collect();
+
+    let emit_enqueue = |a: &mut Asm, lock: &TatasLock, tail: Addr, val: Reg| {
+        // node = alloc; node.value = val; node.next = 0
+        a.alloc(P11, 2);
+        a.store(val, P11, 0);
+        a.store(ZERO, P11, 8);
+        lock.emit_acquire(a);
+        a.movi(P10, tail.raw());
+        a.load(T7, P10, 0);
+        a.store(P11, T7, 8);
+        a.store(P11, P10, 0);
+        lock.emit_release(a);
+    };
+    // Dequeue into T8 (0 if empty).
+    let emit_try_dequeue = |a: &mut Asm, lock: &TatasLock, head: Addr| {
+        lock.emit_acquire(a);
+        a.movi(T8, 0);
+        a.movi(P10, head.raw());
+        a.load(T6, P10, 0);
+        a.load(T7, T6, 8);
+        let empty = a.label();
+        a.beq(T7, ZERO, empty);
+        a.load(T8, T7, 0);
+        a.store(T7, P10, 0);
+        a.bind(empty);
+        lock.emit_release(a);
+    };
+
+    let programs = (0..threads)
+        .map(|tid| {
+            let stage = tid as u64 / per_stage;
+            let first = stage == 0;
+            let last = stage == stages - 1;
+            let mut a = Asm::new("pipeline-app");
+            emit_prologue(&mut a, tokens);
+            if first {
+                let (lock, _, tail) = &queues[0];
+                let top = a.here();
+                // value = tid*tokens + iter + 1 (globally unique, nonzero)
+                a.movi(T4, tokens);
+                a.mul(T4, TID, T4);
+                a.add(T4, T4, ITER);
+                a.addi(T4, T4, 1);
+                a.rand_delay(compute.0, compute.1, TimeComponent::Compute);
+                emit_enqueue(&mut a, lock, *tail, T4);
+                a.add(SUM, SUM, T4);
+                a.addi(CNT, CNT, 1);
+                a.addi(ITER, ITER, 1);
+                a.blt(ITER, ITERS, top);
+            } else {
+                let upstream_done = done[(stage - 1) as usize];
+                let expected_up = per_stage;
+                let (in_lock, in_head, _) = &queues[(stage - 1) as usize];
+                let top = a.here();
+                let drained = a.label();
+                let got_token = a.label();
+                emit_try_dequeue(&mut a, in_lock, *in_head);
+                a.bne(T8, ZERO, got_token);
+                // Empty: if the upstream stage has finished, drain once more
+                // and exit; else poll again shortly.
+                a.movi(P10, upstream_done.raw());
+                a.loads(T5, P10, 0);
+                a.movi(T6, expected_up);
+                let poll = a.label();
+                a.blt(T5, T6, poll);
+                emit_try_dequeue(&mut a, in_lock, *in_head);
+                a.bne(T8, ZERO, got_token);
+                a.jmp(drained);
+                a.bind(poll);
+                a.delay(200, TimeComponent::Compute);
+                a.jmp(top);
+                a.bind(got_token);
+                a.rand_delay(compute.0, compute.1, TimeComponent::Compute);
+                if last {
+                    a.add(SUM, SUM, T8);
+                    a.addi(CNT, CNT, 1);
+                } else {
+                    let (out_lock, _, out_tail) = &queues[stage as usize];
+                    emit_enqueue(&mut a, out_lock, *out_tail, T8);
+                    a.add(SUM, SUM, T8);
+                    a.addi(CNT, CNT, 1);
+                }
+                a.jmp(top);
+                a.bind(drained);
+            }
+            // Publish results, then signal stage completion.
+            a.movi(P10, results.raw() + tid as u64 * LINE_BYTES);
+            a.store(SUM, P10, 0);
+            a.store(CNT, P10, 8);
+            a.fence();
+            a.movi(P10, done[stage as usize].raw());
+            a.fai(T4, P10, 0, ONE);
+            a.halt();
+            a.movi(EPOCH, 0); // (unused; keeps register conventions uniform)
+            a.build()
+        })
+        .collect();
+
+    let total_tokens = per_stage * tokens;
+    let expected_sum: u64 = (0..per_stage)
+        .flat_map(|p| (0..tokens).map(move |t| p * tokens + t + 1))
+        .sum();
+    let last_base = (threads as u64 - per_stage) as usize;
+    Workload {
+        layout: lb.build(),
+        programs,
+        init,
+        pools,
+        check: Box::new(move |read| {
+            let threads = last_base + per_stage as usize;
+            let consumed_cnt: u64 = (last_base..threads)
+                .map(|t| read(Addr::new(results.raw() + t as u64 * LINE_BYTES + 8)))
+                .sum();
+            let consumed_sum: u64 = (last_base..threads)
+                .map(|t| read(Addr::new(results.raw() + t as u64 * LINE_BYTES)))
+                .fold(0u64, |a, b| a.wrapping_add(b));
+            if consumed_cnt != total_tokens {
+                return Err(format!(
+                    "pipeline consumed {consumed_cnt} tokens, expected {total_tokens}"
+                ));
+            }
+            if consumed_sum != expected_sum {
+                return Err(format!(
+                    "pipeline token sum {consumed_sum}, expected {expected_sum}"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_vm::reference::RefMachine;
+
+    fn run_reference(w: &Workload) {
+        let mut m = RefMachine::new(w.programs.clone());
+        for &(addr, v) in &w.init {
+            m.memory_mut().write_word(addr.word(), v);
+        }
+        for (i, &(base, bytes)) in w.pools.iter().enumerate() {
+            m.set_thread_pool(i, base, bytes);
+        }
+        m.run(80_000_000).expect("reference run completes");
+        let read = |a: Addr| m.memory().read_word(a.word());
+        (w.check)(&read).expect("semantic check");
+    }
+
+    fn spec_by_name(name: &str) -> AppSpec {
+        crate::all_apps()
+            .into_iter()
+            .find(|a| a.name == name)
+            .expect("known app")
+    }
+
+    #[test]
+    fn barrier_only_checksums_on_reference() {
+        for name in ["FFT", "LU"] {
+            let w = build_app(&spec_by_name(name), 4);
+            run_reference(&w);
+        }
+    }
+
+    #[test]
+    fn barrier_lock_totals_on_reference() {
+        for name in ["water", "fluidanimate"] {
+            let w = build_app(&spec_by_name(name), 4);
+            run_reference(&w);
+        }
+    }
+
+    #[test]
+    fn canneal_conserves_sum_on_reference() {
+        let w = build_app(&spec_by_name("canneal"), 4);
+        run_reference(&w);
+    }
+
+    #[test]
+    fn pipelines_conserve_tokens_on_reference() {
+        for name in ["ferret", "x264"] {
+            let w = build_app(&spec_by_name(name), 4);
+            run_reference(&w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn pipeline_rejects_indivisible_threads() {
+        build_app(&spec_by_name("ferret"), 5);
+    }
+}

@@ -1,0 +1,17 @@
+//! §7.1.3 software modifications: reducing the Herlihy kernels' redundant
+//! equality checks. The paper found both protocols improve, DeNovo much
+//! more (each removed check is a read registration DeNovo no longer
+//! ping-pongs).
+use dvs_bench::figures::kernel_figure;
+use dvs_kernels::{KernelId, NonBlocking};
+
+fn main() {
+    let kernels = [
+        KernelId::NonBlocking(NonBlocking::HerlihyStack),
+        KernelId::NonBlocking(NonBlocking::HerlihyHeap),
+    ];
+    println!("################ original (full equality checks) ################");
+    kernel_figure("Ablation S3 (original)", &kernels, |p| p.reduced_checks = false);
+    println!("################ reduced equality checks ################");
+    kernel_figure("Ablation S3 (reduced)", &kernels, |p| p.reduced_checks = true);
+}

@@ -1,0 +1,16 @@
+//! §7.1.1 sensitivity: lock padding. Without padding, MESI suffers false
+//! sharing on lock lines, but DeNovo's advantage also shrinks (it issues
+//! separate word requests for locks and data in the same line).
+use dvs_bench::figures::kernel_figure;
+use dvs_kernels::{KernelId, LockKind, LockedStruct};
+
+fn main() {
+    let kernels: Vec<KernelId> = LockedStruct::ALL
+        .iter()
+        .map(|&s| KernelId::Locked(s, LockKind::Tatas))
+        .collect();
+    println!("################ padded locks (paper default) ################");
+    kernel_figure("Ablation S2 (padded)", &kernels, |p| p.padded_locks = true);
+    println!("################ unpadded locks ################");
+    kernel_figure("Ablation S2 (unpadded)", &kernels, |p| p.padded_locks = false);
+}

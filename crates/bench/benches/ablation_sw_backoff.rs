@@ -1,0 +1,17 @@
+//! §7.1.1 sensitivity: the impact of software exponential backoff on the
+//! TATAS-lock kernels. The paper found the DeNovo–MESI gap grows with
+//! software backoff (it spaces out DeNovo's read registrations but does not
+//! shorten MESI's invalidation latency).
+use dvs_bench::figures::kernel_figure;
+use dvs_kernels::{KernelId, LockKind, LockedStruct};
+
+fn main() {
+    let kernels: Vec<KernelId> = LockedStruct::ALL
+        .iter()
+        .map(|&s| KernelId::Locked(s, LockKind::Tatas))
+        .collect();
+    println!("################ without software backoff (paper default) ################");
+    kernel_figure("Ablation S1 (no sw backoff)", &kernels, |p| p.sw_backoff = false);
+    println!("################ with software backoff [128, 2048) ################");
+    kernel_figure("Ablation S1 (sw backoff)", &kernels, |p| p.sw_backoff = true);
+}

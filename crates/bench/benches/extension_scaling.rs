@@ -1,0 +1,53 @@
+//! Extension: core-count scaling curves (4 → 64 cores) for one kernel per
+//! synchronization class. The paper evaluates 16 and 64 cores; this sweep
+//! fills in the curve and shows where each protocol's costs start growing
+//! (MESI's invalidation fan-out and blocking-directory queues vs DeNovo's
+//! registration chains and backoff).
+use dvs_bench::figures::quick_mode;
+use dvs_bench::run_kernel;
+use dvs_core::config::{Protocol, SystemConfig};
+use dvs_kernels::{BarrierKind, KernelId, KernelParams, LockKind, LockedStruct, NonBlocking};
+
+fn main() {
+    let cores_list: &[usize] = if quick_mode() { &[4, 16] } else { &[4, 16, 36, 64] };
+    let kernels = [
+        KernelId::Locked(LockedStruct::Counter, LockKind::Tatas),
+        KernelId::Locked(LockedStruct::Counter, LockKind::Array),
+        KernelId::NonBlocking(NonBlocking::MsQueue),
+        KernelId::Barrier(BarrierKind::Central, false),
+    ];
+    for kernel in kernels {
+        println!("== Scaling: {} ==", kernel.name());
+        println!(
+            "{:>6} {:>10} {:>12} {:>12} {:>14} {:>14}",
+            "cores", "proto", "cycles", "per-op", "crossings", "sync-misses"
+        );
+        for &cores in cores_list {
+            for proto in Protocol::ALL {
+                let mut params = KernelParams::paper(kernel, cores.max(16));
+                params.threads = cores;
+                if quick_mode() {
+                    params.iters = params.iters.min(20);
+                }
+                let mut cfg = SystemConfig::small(cores, proto);
+                // Keep the paper's latency/backoff structure at paper sizes.
+                if cores == 16 || cores == 64 {
+                    cfg = SystemConfig::paper(cores, proto);
+                }
+                let stats = run_kernel(kernel, cfg, &params)
+                    .unwrap_or_else(|e| panic!("{} @{cores} {proto}: {e}", kernel.name()));
+                let ops = params.iters * cores as u64;
+                println!(
+                    "{:>6} {:>10} {:>12} {:>12} {:>14} {:>14}",
+                    cores,
+                    proto.label(),
+                    stats.cycles,
+                    stats.cycles / ops.max(1),
+                    stats.traffic.total(),
+                    stats.cache.sync_read_misses
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,8 @@
+//! Figure 2: example interleavings of the Michael–Scott enqueue on MESI,
+//! DeNovoSync0, and DeNovoSync, showing per-access hits/misses (and
+//! hardware-backoff stalls).
+use dvs_bench::figures::fig2_trace;
+
+fn main() {
+    fig2_trace();
+}

@@ -1,0 +1,12 @@
+//! Figure 3: Test-and-Test-and-Set lock based synchronization —
+//! execution time and network traffic on 16 and 64 cores.
+use dvs_bench::figures::kernel_figure;
+use dvs_kernels::{KernelId, LockKind, LockedStruct};
+
+fn main() {
+    let kernels: Vec<KernelId> = LockedStruct::ALL
+        .iter()
+        .map(|&s| KernelId::Locked(s, LockKind::Tatas))
+        .collect();
+    kernel_figure("Figure 3 (TATAS locks)", &kernels, |_| {});
+}

@@ -1,0 +1,11 @@
+//! Figure 4: array (queue) lock based synchronization.
+use dvs_bench::figures::kernel_figure;
+use dvs_kernels::{KernelId, LockKind, LockedStruct};
+
+fn main() {
+    let kernels: Vec<KernelId> = LockedStruct::ALL
+        .iter()
+        .map(|&s| KernelId::Locked(s, LockKind::Array))
+        .collect();
+    kernel_figure("Figure 4 (array locks)", &kernels, |_| {});
+}

@@ -1,0 +1,11 @@
+//! Figure 5: non-blocking algorithms.
+use dvs_bench::figures::kernel_figure;
+use dvs_kernels::{KernelId, NonBlocking};
+
+fn main() {
+    let kernels: Vec<KernelId> = NonBlocking::ALL
+        .iter()
+        .map(|&n| KernelId::NonBlocking(n))
+        .collect();
+    kernel_figure("Figure 5 (non-blocking)", &kernels, |_| {});
+}

@@ -1,0 +1,15 @@
+//! Figure 6: barrier synchronization (balanced and unbalanced).
+use dvs_bench::figures::kernel_figure;
+use dvs_kernels::{BarrierKind, KernelId};
+
+fn main() {
+    let kernels: Vec<KernelId> = [false, true]
+        .iter()
+        .flat_map(|&ub| {
+            [BarrierKind::Tree, BarrierKind::Nary, BarrierKind::Central]
+                .into_iter()
+                .map(move |k| KernelId::Barrier(k, ub))
+        })
+        .collect();
+    kernel_figure("Figure 6 (barriers)", &kernels, |_| {});
+}

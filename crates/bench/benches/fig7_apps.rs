@@ -1,0 +1,9 @@
+//! Figure 7: execution time and network traffic for MESI and DeNovoSync
+//! over the 13 application models (ferret and x264 at 16 cores, the rest
+//! at 64).
+use dvs_apps::all_apps;
+use dvs_bench::figures::app_figure;
+
+fn main() {
+    app_figure("Figure 7 (applications)", &all_apps());
+}

@@ -1,0 +1,9 @@
+//! Table 1: simulated system parameters (16 and 64 cores).
+use dvs_core::config::{Protocol, SystemConfig};
+
+fn main() {
+    for cores in [16, 64] {
+        print!("{}", SystemConfig::paper(cores, Protocol::DeNovoSync).table1().render());
+        println!();
+    }
+}

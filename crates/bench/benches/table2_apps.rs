@@ -1,0 +1,14 @@
+//! Table 2: benchmark inputs.
+use dvs_apps::all_apps;
+use dvs_stats::report::ParamTable;
+
+fn main() {
+    let mut t = ParamTable::new("Table 2: Benchmark inputs");
+    for a in all_apps() {
+        t.row(
+            &format!("{} ({})", a.name, a.suite),
+            format!("{} — {} cores", a.input, a.cores),
+        );
+    }
+    print!("{}", t.render());
+}

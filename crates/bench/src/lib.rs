@@ -1,0 +1,83 @@
+//! The experiment harness: glue between workloads and the simulator, plus
+//! the table/figure drivers under `benches/` (run with `cargo bench`).
+
+pub mod figures;
+
+use dvs_core::config::SystemConfig;
+use dvs_core::system::SimError;
+use dvs_core::System;
+use dvs_kernels::{KernelId, KernelParams, Workload};
+use dvs_stats::RunStats;
+
+/// A failed experiment run.
+#[derive(Debug)]
+pub enum RunError {
+    /// The simulator reported an error (deadlock, assertion, cycle limit).
+    Sim(SimError),
+    /// The workload's semantic post-condition failed.
+    Check(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::Check(e) => write!(f, "semantic check failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Instantiates `workload` on a system, runs it to completion, verifies its
+/// semantic post-condition, and returns the run statistics.
+///
+/// # Errors
+///
+/// [`RunError::Sim`] if the simulation fails; [`RunError::Check`] if the
+/// final memory image violates the workload's post-condition.
+pub fn run_workload(cfg: SystemConfig, workload: &Workload) -> Result<RunStats, RunError> {
+    let mut sys = System::new(cfg, workload.layout.clone(), workload.programs.clone());
+    for &(addr, value) in &workload.init {
+        sys.preload(addr, value);
+    }
+    for (i, &(base, bytes)) in workload.pools.iter().enumerate() {
+        sys.set_thread_pool(i, base, bytes);
+    }
+    let stats = sys.run().map_err(RunError::Sim)?;
+    sys.verify_coherence().map_err(RunError::Check)?;
+    let read = |a| sys.read_word(a);
+    (workload.check)(&read).map_err(RunError::Check)?;
+    Ok(stats)
+}
+
+/// Builds and runs one kernel.
+///
+/// # Errors
+///
+/// Propagates [`run_workload`] failures.
+pub fn run_kernel(
+    kernel: KernelId,
+    cfg: SystemConfig,
+    params: &KernelParams,
+) -> Result<RunStats, RunError> {
+    let workload = dvs_kernels::build(kernel, params);
+    run_workload(cfg, &workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_core::config::Protocol;
+    use dvs_kernels::{LockKind, LockedStruct};
+
+    #[test]
+    fn run_kernel_returns_stats_and_checks() {
+        let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
+        let params = KernelParams::smoke(4);
+        let stats = run_kernel(kernel, SystemConfig::small(4, Protocol::DeNovoSync), &params)
+            .expect("kernel runs");
+        assert!(stats.cycles > 0);
+        assert!(stats.traffic.total() > 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! System configurations (the paper's Table 1).
+
+use dvs_engine::Cycle;
+use dvs_mem::CacheGeometry;
+use dvs_noc::NocParams;
+use dvs_stats::report::ParamTable;
+
+/// How DeNovo decides what data to self-invalidate at an acquire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataInvalidation {
+    /// The paper's default: compiler-provided static regions — a `SelfInv`
+    /// instruction invalidates every Valid word of its region (§3).
+    #[default]
+    StaticRegions,
+    /// The paper's future-work integration of DeNovoND-style dynamic
+    /// signatures \[35\]: each release publishes the writer's
+    /// critical-section write set to the lock; an acquire invalidates only
+    /// the words accumulated in the lock's signature. Signatures accumulate
+    /// monotonically (a safe over-approximation of DeNovoND's scheme; see
+    /// the module docs of `dvs_core::system`).
+    Signatures,
+}
+
+/// Which coherence protocol the system runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Directory MESI with writer-initiated invalidations (baseline).
+    Mesi,
+    /// DeNovo with synchronization-read registration, no backoff (§4.1).
+    DeNovoSync0,
+    /// DeNovoSync0 plus the adaptive hardware backoff (§4.2).
+    DeNovoSync,
+}
+
+impl Protocol {
+    /// The paper's bar label ("M", "DS0", "DS").
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Mesi => "M",
+            Protocol::DeNovoSync0 => "DS0",
+            Protocol::DeNovoSync => "DS",
+        }
+    }
+
+    /// Whether this is one of the DeNovo variants.
+    pub fn is_denovo(self) -> bool {
+        !matches!(self, Protocol::Mesi)
+    }
+
+    /// All three protocols, in the paper's bar order.
+    pub const ALL: [Protocol; 3] = [Protocol::Mesi, Protocol::DeNovoSync0, Protocol::DeNovoSync];
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Hardware-backoff parameters (paper §4.2 and §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Backoff-counter width in bits (counter wraps on overflow).
+    pub counter_bits: u32,
+    /// Default increment value in cycles.
+    pub default_increment: u64,
+    /// The increment counter grows by `default_increment` every
+    /// `increment_period`-th incoming remote sync-read registration request
+    /// (the paper uses the core count).
+    pub increment_period: u64,
+}
+
+impl BackoffConfig {
+    /// The paper's 16-core parameters: 9-bit counter, 1-cycle increment.
+    pub fn cores16() -> Self {
+        BackoffConfig {
+            counter_bits: 9,
+            default_increment: 1,
+            increment_period: 16,
+        }
+    }
+
+    /// The paper's 64-core parameters: 12-bit counter, 64-cycle increment.
+    pub fn cores64() -> Self {
+        BackoffConfig {
+            counter_bits: 12,
+            default_increment: 64,
+            increment_period: 64,
+        }
+    }
+
+    /// Parameters scaled for an arbitrary core count (paper values at 16/64,
+    /// interpolated elsewhere; used by `SystemConfig::small` test systems).
+    pub fn for_cores(cores: usize) -> Self {
+        if cores >= 64 {
+            Self::cores64()
+        } else if cores >= 16 {
+            Self::cores16()
+        } else {
+            BackoffConfig {
+                counter_bits: 8,
+                default_increment: 1,
+                increment_period: cores.max(2) as u64,
+            }
+        }
+    }
+
+    /// Maximum counter value before wrap-around.
+    pub fn counter_max(&self) -> u64 {
+        (1u64 << self.counter_bits) - 1
+    }
+}
+
+/// Fixed access latencies of the memory hierarchy components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// L1 hit latency in cycles (Table 1: 1 cycle).
+    pub l1_hit: Cycle,
+    /// L2 bank access latency (tag + data array).
+    pub l2_access: Cycle,
+    /// A remote L1 servicing a forwarded request.
+    pub remote_l1: Cycle,
+    /// DRAM access at a memory controller.
+    pub dram: Cycle,
+    /// Gap before a spinning core re-examines a watched word after it
+    /// changes state (models the few loop instructions around the spin).
+    pub spin_recheck: Cycle,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            l1_hit: 1,
+            l2_access: 26,
+            remote_l1: 8,
+            dram: 150,
+            spin_recheck: 2,
+        }
+    }
+}
+
+/// A complete simulated-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Number of cores (= tiles = L2 banks).
+    pub cores: usize,
+    /// The coherence protocol.
+    pub protocol: Protocol,
+    /// Private L1 geometry (Table 1: 32 KB).
+    pub l1: CacheGeometry,
+    /// Network parameters.
+    pub noc: NocParams,
+    /// Component latencies.
+    pub latency: LatencyConfig,
+    /// Hardware backoff parameters (used by DeNovoSync only).
+    pub backoff: BackoffConfig,
+    /// Data self-invalidation mechanism (DeNovo variants only).
+    pub data_inv: DataInvalidation,
+    /// Seed for workload randomization.
+    pub seed: u64,
+    /// Safety valve: abort the simulation after this many cycles.
+    pub max_cycles: Cycle,
+}
+
+impl SystemConfig {
+    fn noc_params() -> NocParams {
+        NocParams {
+            hop_cycles: 2,
+            endpoint_cycles: 1,
+        }
+    }
+
+    /// The paper's 16-core system (Table 1): 4×4 mesh, 32 KB L1s, 4 MB L2 in
+    /// 16 banks.
+    pub fn cores16(protocol: Protocol) -> Self {
+        SystemConfig {
+            cores: 16,
+            protocol,
+            l1: CacheGeometry::new(32 * 1024, 4),
+            noc: Self::noc_params(),
+            latency: LatencyConfig::default(),
+            backoff: BackoffConfig::cores16(),
+            data_inv: DataInvalidation::StaticRegions,
+            seed: 0xDE40,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// The paper's 64-core system (Table 1): 8×8 mesh, 32 KB L1s, 8 MB L2 in
+    /// 64 banks.
+    pub fn cores64(protocol: Protocol) -> Self {
+        SystemConfig {
+            cores: 64,
+            protocol,
+            l1: CacheGeometry::new(32 * 1024, 4),
+            noc: Self::noc_params(),
+            latency: LatencyConfig::default(),
+            backoff: BackoffConfig::cores64(),
+            data_inv: DataInvalidation::StaticRegions,
+            seed: 0xDE40,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// A small square system for tests and examples (`cores` must be a
+    /// perfect square: 1, 4, 9, 16, ...).
+    pub fn small(cores: usize, protocol: Protocol) -> Self {
+        SystemConfig {
+            cores,
+            protocol,
+            l1: CacheGeometry::new(32 * 1024, 4),
+            noc: Self::noc_params(),
+            latency: LatencyConfig::default(),
+            backoff: BackoffConfig::for_cores(cores),
+            data_inv: DataInvalidation::StaticRegions,
+            seed: 0xDE40,
+            max_cycles: 500_000_000,
+        }
+    }
+
+    /// The paper's configuration for a given core count (16 or 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other core count; use [`SystemConfig::small`] for test
+    /// systems.
+    pub fn paper(cores: usize, protocol: Protocol) -> Self {
+        match cores {
+            16 => Self::cores16(protocol),
+            64 => Self::cores64(protocol),
+            other => panic!("the paper evaluates 16 and 64 cores, not {other}"),
+        }
+    }
+
+    /// L2 capacity per Table 1 (4 MB at 16 cores, 8 MB at 64; informational —
+    /// the simulated L2/registry keeps tags for every touched line, see
+    /// DESIGN.md).
+    pub fn l2_bytes(&self) -> u64 {
+        if self.cores >= 64 {
+            8 << 20
+        } else {
+            4 << 20
+        }
+    }
+
+    /// Renders this configuration as the paper's Table 1.
+    pub fn table1(&self) -> ParamTable {
+        let mut t = ParamTable::new("Table 1: Simulated system parameters");
+        t.row("# of cores", self.cores)
+            .row("Core frequency", "2 GHz (1 cycle = 0.5 ns)")
+            .row("Core model", "in-order, 1 CPI, blocking loads, non-blocking stores")
+            .row(
+                "L1 data cache (private)",
+                format!(
+                    "{}KB, {}-way, 64-byte lines",
+                    self.l1.size_bytes() / 1024,
+                    self.l1.assoc()
+                ),
+            )
+            .row(
+                "L2 (shared, NUCA)",
+                format!("{}MB, {} banks, 64-byte lines", self.l2_bytes() >> 20, self.cores),
+            )
+            .row("Memory", "4 on-chip controllers (mesh corners)")
+            .row("L1 hit latency", format!("{} cycle", self.latency.l1_hit))
+            .row("L2 bank access", format!("{} cycles + network", self.latency.l2_access))
+            .row("Remote L1 access", format!("{} cycles + network", self.latency.remote_l1))
+            .row("Memory latency", format!("{} cycles + network", self.latency.dram))
+            .row(
+                "Network",
+                format!(
+                    "2D mesh, 16-bit flits, {} cycles/hop",
+                    self.noc.hop_cycles
+                ),
+            );
+        if self.protocol == Protocol::DeNovoSync {
+            t.row(
+                "HW backoff",
+                format!(
+                    "{}-bit counter, {}-cycle default increment",
+                    self.backoff.counter_bits, self.backoff.default_increment
+                ),
+            );
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_noc::{flits_for, Mesh, Network};
+
+    #[test]
+    fn paper_presets_match_table1() {
+        let c16 = SystemConfig::cores16(Protocol::Mesi);
+        assert_eq!(c16.cores, 16);
+        assert_eq!(c16.l1.size_bytes(), 32 * 1024);
+        assert_eq!(c16.l2_bytes(), 4 << 20);
+        assert_eq!(c16.backoff.counter_bits, 9);
+        let c64 = SystemConfig::cores64(Protocol::DeNovoSync);
+        assert_eq!(c64.cores, 64);
+        assert_eq!(c64.l2_bytes(), 8 << 20);
+        assert_eq!(c64.backoff.counter_bits, 12);
+        assert_eq!(c64.backoff.default_increment, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "16 and 64")]
+    fn paper_rejects_other_core_counts() {
+        SystemConfig::paper(32, Protocol::Mesi);
+    }
+
+    #[test]
+    fn backoff_counter_max() {
+        assert_eq!(BackoffConfig::cores16().counter_max(), 511);
+        assert_eq!(BackoffConfig::cores64().counter_max(), 4095);
+    }
+
+    #[test]
+    fn table1_renders_key_rows() {
+        let t = SystemConfig::cores16(Protocol::DeNovoSync).table1().render();
+        assert!(t.contains("2 GHz"));
+        assert!(t.contains("32KB"));
+        assert!(t.contains("4MB"));
+        assert!(t.contains("HW backoff"));
+    }
+
+    /// Table 1 latency calibration: round-trip L2 access latencies must land
+    /// in the ranges the paper reports (28–68 cycles at 16 cores for a
+    /// control-sized response; memory 197–277).
+    #[test]
+    fn latency_ranges_roughly_match_table1() {
+        let cfg = SystemConfig::cores16(Protocol::Mesi);
+        let mesh = Mesh::square(16);
+        let net = Network::new(mesh, cfg.noc);
+        let word_resp = flits_for(8, 8);
+        let req = flits_for(8, 0);
+        let l2 = |hops: usize| {
+            net.ideal_latency(hops, req) + cfg.latency.l2_access + net.ideal_latency(hops, word_resp)
+        };
+        let min = l2(0);
+        let max = l2(6);
+        assert!(
+            (24..=34).contains(&min),
+            "same-tile L2 hit {min} should be near Table 1's 28"
+        );
+        assert!(
+            (55..=80).contains(&max),
+            "far-bank L2 hit {max} should be near Table 1's 68"
+        );
+        // Memory: far bank + controller trip + DRAM.
+        let mem = max + net.ideal_latency(3, req) + cfg.latency.dram + net.ideal_latency(3, word_resp);
+        assert!(
+            (195..=290).contains(&mem),
+            "memory latency {mem} should be within Table 1's 197–277"
+        );
+    }
+}

@@ -1,0 +1,470 @@
+//! The DeNovo registry: the L2 bank's word-granularity ownership tracker.
+//!
+//! Each word is either `Valid(data)` — the L2 holds the up-to-date value —
+//! or `Registered(core)` — a pointer to the L1 holding it. There are no
+//! sharer lists and, crucially, the registry is **non-blocking**: a
+//! registration request for a word registered elsewhere immediately
+//! re-points the registry at the new requestor and forwards the request to
+//! the previous registrant; it never buffers waiting for the transfer to
+//! finish. Racing registrations therefore serialize through the L1s' MSHRs
+//! (the paper's distributed queue, §4.1 "Handling races").
+
+use crate::msg::{BankId, CoreId, DnvMsg, Endpoint, LineData, Msg};
+use crate::proto::Action;
+use dvs_mem::{LineAddr, WordAddr, WORDS_PER_LINE};
+use std::collections::{HashMap, VecDeque};
+
+/// One word's registry state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegWord {
+    /// The L2 holds the current value.
+    Valid(u64),
+    /// The named core's L1 holds the current value.
+    Registered(CoreId),
+}
+
+#[derive(Debug, Clone)]
+struct RegLine {
+    words: [RegWord; WORDS_PER_LINE],
+    has_data: bool,
+    fetching: bool,
+    queue: VecDeque<DnvMsg>,
+}
+
+impl RegLine {
+    fn new() -> Self {
+        RegLine {
+            words: [RegWord::Valid(0); WORDS_PER_LINE],
+            has_data: false,
+            fetching: false,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// One L2 bank's slice of the registry.
+#[derive(Debug)]
+pub struct DnvRegistry {
+    bank: BankId,
+    mem: Endpoint,
+    lines: HashMap<LineAddr, RegLine>,
+}
+
+impl DnvRegistry {
+    /// Creates an empty bank. `mem` is the memory-controller endpoint this
+    /// bank fetches lines through.
+    pub fn new(bank: BankId, mem: Endpoint) -> Self {
+        DnvRegistry {
+            bank,
+            mem,
+            lines: HashMap::new(),
+        }
+    }
+
+    /// The registry state of a word, if its line has been touched.
+    pub fn word(&self, word: WordAddr) -> Option<RegWord> {
+        let line = self.lines.get(&word.line())?;
+        line.has_data
+            .then_some(line.words[word.index_in_line()])
+    }
+
+    /// Number of words currently registered to some L1 (diagnostics; the
+    /// registry's entire "sharer state" is this one pointer per word).
+    pub fn registered_words(&self) -> usize {
+        self.lines
+            .values()
+            .flat_map(|l| l.words.iter())
+            .filter(|w| matches!(w, RegWord::Registered(_)))
+            .count()
+    }
+
+    /// Iterates every word currently registered to some core (for invariant
+    /// checking).
+    pub fn registrations(&self) -> impl Iterator<Item = (WordAddr, CoreId)> + '_ {
+        self.lines.iter().flat_map(|(&line, e)| {
+            e.words.iter().enumerate().filter_map(move |(i, w)| match w {
+                RegWord::Registered(c) => Some((line.word(i), *c)),
+                RegWord::Valid(_) => None,
+            })
+        })
+    }
+
+    /// Whether any line is still waiting on a memory fetch (for quiescence
+    /// checks).
+    pub fn any_fetching(&self) -> bool {
+        self.lines.values().any(|l| l.fetching || !l.queue.is_empty())
+    }
+
+    /// Handles one incoming message.
+    pub fn on_msg(&mut self, msg: DnvMsg, actions: &mut Vec<Action>) {
+        let word = msg.word();
+        let line = word.line();
+        let entry = self.lines.entry(line).or_insert_with(RegLine::new);
+        if !entry.has_data {
+            entry.queue.push_back(msg);
+            if !entry.fetching {
+                entry.fetching = true;
+                actions.push(Action::Send {
+                    to: self.mem,
+                    msg: Msg::MemRead {
+                        line,
+                        bank: self.bank,
+                        class: msg.class(),
+                    },
+                });
+            }
+            return;
+        }
+        self.handle(msg, actions);
+    }
+
+    /// Memory returned a line this bank was fetching.
+    pub fn on_mem_data(&mut self, line: LineAddr, data: LineData, actions: &mut Vec<Action>) {
+        let entry = self.lines.get_mut(&line).expect("MemData for unknown line");
+        assert!(entry.fetching, "unexpected MemData");
+        for (i, w) in entry.words.iter_mut().enumerate() {
+            *w = RegWord::Valid(data[i]);
+        }
+        entry.has_data = true;
+        entry.fetching = false;
+        // The registry is non-blocking: drain everything that queued.
+        let queued: Vec<DnvMsg> = entry.queue.drain(..).collect();
+        for m in queued {
+            self.handle(m, actions);
+        }
+    }
+
+    fn handle(&mut self, msg: DnvMsg, actions: &mut Vec<Action>) {
+        let word = msg.word();
+        let line = word.line();
+        let idx = word.index_in_line();
+        let entry = self.lines.get_mut(&line).expect("line fetched");
+        match msg {
+            DnvMsg::ReadReq { req, .. } => match entry.words[idx] {
+                RegWord::Valid(value) => {
+                    // Piggy-back the line's other valid words (only valid
+                    // parts travel — DeNovo's traffic advantage).
+                    let mut mask = 0u8;
+                    let mut data = [0u64; WORDS_PER_LINE];
+                    for (i, w) in entry.words.iter().enumerate() {
+                        if i != idx {
+                            if let RegWord::Valid(v) = *w {
+                                mask |= 1 << i;
+                                data[i] = v;
+                            }
+                        }
+                    }
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(req),
+                        msg: Msg::Dnv(DnvMsg::ReadResp {
+                            word,
+                            value,
+                            fill: Some((mask, data)),
+                        }),
+                    });
+                }
+                RegWord::Registered(owner) => {
+                    assert_ne!(owner, req, "registrant data-reading its own word remotely");
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(owner),
+                        msg: Msg::Dnv(DnvMsg::ReadReq { word, req }),
+                    });
+                }
+            },
+            DnvMsg::RegReq { req, class, .. } => match entry.words[idx] {
+                RegWord::Valid(value) => {
+                    entry.words[idx] = RegWord::Registered(req);
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(req),
+                        msg: Msg::Dnv(DnvMsg::RegAck { word, value, class }),
+                    });
+                }
+                RegWord::Registered(prev) => {
+                    assert_ne!(prev, req, "re-registration by current registrant");
+                    entry.words[idx] = RegWord::Registered(req);
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(prev),
+                        msg: Msg::Dnv(DnvMsg::Xfer {
+                            word,
+                            new_owner: req,
+                            class,
+                        }),
+                    });
+                }
+            },
+            DnvMsg::WbReq { value, from, .. } => match entry.words[idx] {
+                RegWord::Registered(owner) if owner == from => {
+                    entry.words[idx] = RegWord::Valid(value);
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(from),
+                        msg: Msg::Dnv(DnvMsg::WbAck { word }),
+                    });
+                }
+                RegWord::Registered(_) => {
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(from),
+                        msg: Msg::Dnv(DnvMsg::WbNack { word }),
+                    });
+                }
+                RegWord::Valid(_) => panic!("writeback for a word the registry already holds"),
+            },
+            other => panic!("registry bank {} cannot handle {other:?}", self.bank),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::XferClass;
+
+    fn word(i: u64) -> WordAddr {
+        WordAddr::new(64 + i)
+    }
+
+    fn warmed() -> DnvRegistry {
+        let mut r = DnvRegistry::new(0, Endpoint::Mem(0));
+        let mut acts = Vec::new();
+        r.on_msg(
+            DnvMsg::ReadReq {
+                word: word(0),
+                req: 9,
+            },
+            &mut acts,
+        );
+        assert!(matches!(
+            acts[0],
+            Action::Send {
+                msg: Msg::MemRead { .. },
+                ..
+            }
+        ));
+        acts.clear();
+        let mut data = [0u64; 8];
+        data[0] = 100;
+        data[1] = 101;
+        r.on_mem_data(word(0).line(), data, &mut acts);
+        // The queued read is now served with a fill of the other words.
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(9),
+                msg: Msg::Dnv(DnvMsg::ReadResp { value: 100, fill: Some((0xFE, _)), .. })
+            }
+        )));
+        r
+    }
+
+    #[test]
+    fn cold_line_fetches_memory_once_and_drains_queue() {
+        let mut r = DnvRegistry::new(0, Endpoint::Mem(0));
+        let mut acts = Vec::new();
+        r.on_msg(
+            DnvMsg::ReadReq {
+                word: word(0),
+                req: 1,
+            },
+            &mut acts,
+        );
+        r.on_msg(
+            DnvMsg::RegReq {
+                word: word(1),
+                req: 2,
+                class: XferClass::SyncRead,
+            },
+            &mut acts,
+        );
+        // Only one memory fetch despite two queued requests.
+        let fetches = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: Msg::MemRead { .. }, .. }))
+            .count();
+        assert_eq!(fetches, 1);
+        acts.clear();
+        r.on_mem_data(word(0).line(), [7; 8], &mut acts);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(1),
+                msg: Msg::Dnv(DnvMsg::ReadResp { value: 7, .. })
+            }
+        )));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(2),
+                msg: Msg::Dnv(DnvMsg::RegAck { value: 7, .. })
+            }
+        )));
+        assert_eq!(r.word(word(1)), Some(RegWord::Registered(2)));
+    }
+
+    #[test]
+    fn registration_of_valid_word_acks_with_value() {
+        let mut r = warmed();
+        let mut acts = Vec::new();
+        r.on_msg(
+            DnvMsg::RegReq {
+                word: word(1),
+                req: 3,
+                class: XferClass::Write,
+            },
+            &mut acts,
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(3),
+                msg: Msg::Dnv(DnvMsg::RegAck { value: 101, class: XferClass::Write, .. })
+            }
+        )));
+        assert_eq!(r.word(word(1)), Some(RegWord::Registered(3)));
+    }
+
+    #[test]
+    fn registration_race_repoints_immediately_and_forwards() {
+        // The non-blocking registry: A registers, then B and C race; the
+        // registry re-points on each request without waiting.
+        let mut r = warmed();
+        let mut acts = Vec::new();
+        for core in [4usize, 5, 6] {
+            r.on_msg(
+                DnvMsg::RegReq {
+                    word: word(2),
+                    req: core,
+                    class: XferClass::SyncRead,
+                },
+                &mut acts,
+            );
+        }
+        assert_eq!(r.word(word(2)), Some(RegWord::Registered(6)));
+        // B's request forwarded to A, C's to B: a chain.
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(4),
+                msg: Msg::Dnv(DnvMsg::Xfer { new_owner: 5, .. })
+            }
+        )));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(5),
+                msg: Msg::Dnv(DnvMsg::Xfer { new_owner: 6, .. })
+            }
+        )));
+    }
+
+    #[test]
+    fn forwarded_data_read_goes_to_registrant() {
+        let mut r = warmed();
+        let mut acts = Vec::new();
+        r.on_msg(
+            DnvMsg::RegReq {
+                word: word(3),
+                req: 2,
+                class: XferClass::Write,
+            },
+            &mut acts,
+        );
+        acts.clear();
+        r.on_msg(
+            DnvMsg::ReadReq {
+                word: word(3),
+                req: 7,
+            },
+            &mut acts,
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(2),
+                msg: Msg::Dnv(DnvMsg::ReadReq { req: 7, .. })
+            }
+        )));
+        // Registry still points at 2: data reads take no ownership.
+        assert_eq!(r.word(word(3)), Some(RegWord::Registered(2)));
+    }
+
+    #[test]
+    fn writeback_ack_and_nack() {
+        let mut r = warmed();
+        let mut acts = Vec::new();
+        r.on_msg(
+            DnvMsg::RegReq {
+                word: word(4),
+                req: 2,
+                class: XferClass::Write,
+            },
+            &mut acts,
+        );
+        acts.clear();
+        // Owner writes back: accepted, value stored.
+        r.on_msg(
+            DnvMsg::WbReq {
+                word: word(4),
+                value: 77,
+                from: 2,
+            },
+            &mut acts,
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(2),
+                msg: Msg::Dnv(DnvMsg::WbAck { .. })
+            }
+        )));
+        assert_eq!(r.word(word(4)), Some(RegWord::Valid(77)));
+        // Now 3 registers; a stale writeback from 2 is nacked.
+        acts.clear();
+        r.on_msg(
+            DnvMsg::RegReq {
+                word: word(4),
+                req: 3,
+                class: XferClass::SyncWrite,
+            },
+            &mut acts,
+        );
+        r.on_msg(
+            DnvMsg::WbReq {
+                word: word(4),
+                value: 1,
+                from: 2,
+            },
+            &mut acts,
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(2),
+                msg: Msg::Dnv(DnvMsg::WbNack { .. })
+            }
+        )));
+        assert_eq!(r.word(word(4)), Some(RegWord::Registered(3)));
+    }
+
+    #[test]
+    fn registered_word_count_tracks_pointers() {
+        let mut r = warmed();
+        assert_eq!(r.registered_words(), 0);
+        let mut acts = Vec::new();
+        r.on_msg(
+            DnvMsg::RegReq {
+                word: word(1),
+                req: 1,
+                class: XferClass::Write,
+            },
+            &mut acts,
+        );
+        r.on_msg(
+            DnvMsg::RegReq {
+                word: word(2),
+                req: 1,
+                class: XferClass::Write,
+            },
+            &mut acts,
+        );
+        assert_eq!(r.registered_words(), 2);
+    }
+}

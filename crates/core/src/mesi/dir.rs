@@ -1,0 +1,650 @@
+//! The MESI directory, embedded in an L2 bank.
+//!
+//! Each line's directory entry tracks a full sharer bit-vector or an owner —
+//! exactly the storage DeNovo's registry eliminates — and the bank is a
+//! *blocking* directory: a line with an in-flight transaction queues later
+//! requests until the requestor's `Unblock` (and, for owner downgrades, the
+//! owner's data copy) arrives. The paper's §4.1 contrasts this with DeNovo's
+//! non-blocking registry.
+//!
+//! The L2 keeps a tag for every line touched during a run (no capacity
+//! evictions; see DESIGN.md §"deviations"): workload footprints are far
+//! below the 4–8 MB capacity of Table 1, so directory/L2 conflict evictions
+//! and their recalls would only add noise.
+
+use crate::msg::{BankId, CoreId, Endpoint, LineData, MesiMsg, Msg};
+use crate::proto::Action;
+use dvs_mem::LineAddr;
+use dvs_stats::TrafficClass;
+use std::collections::{HashMap, VecDeque};
+
+/// Directory state for one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirState {
+    /// No L1 holds the line.
+    Uncached,
+    /// Read-shared by the cores in the bitmask.
+    Shared(u64),
+    /// Exclusively owned (E or M at the L1).
+    Owned(CoreId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Busy {
+    /// A coherence transaction is in flight: waiting for the requestor's
+    /// `Unblock`, and possibly the former owner's data copy.
+    Txn {
+        need_unblock: bool,
+        need_owner_wb: bool,
+    },
+    /// The line is being fetched from memory.
+    MemFetch,
+}
+
+#[derive(Debug, Clone)]
+struct DirLine {
+    data: LineData,
+    has_data: bool,
+    state: DirState,
+    busy: Option<Busy>,
+    queue: VecDeque<MesiMsg>,
+}
+
+impl DirLine {
+    fn new() -> Self {
+        DirLine {
+            data: [0; dvs_mem::WORDS_PER_LINE],
+            has_data: false,
+            state: DirState::Uncached,
+            busy: None,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// One L2 bank with its slice of the directory.
+#[derive(Debug)]
+pub struct MesiDir {
+    bank: BankId,
+    mem: Endpoint,
+    lines: HashMap<LineAddr, DirLine>,
+}
+
+impl MesiDir {
+    /// Creates an empty bank. `mem` is the memory-controller endpoint this
+    /// bank fetches lines through.
+    pub fn new(bank: BankId, mem: Endpoint) -> Self {
+        MesiDir {
+            bank,
+            mem,
+            lines: HashMap::new(),
+        }
+    }
+
+    /// Number of lines with at least one sharer or an owner (diagnostics).
+    pub fn tracked_lines(&self) -> usize {
+        self.lines
+            .values()
+            .filter(|l| l.state != DirState::Uncached)
+            .count()
+    }
+
+    /// The line's current data as known to the L2 (stale while owned).
+    pub fn peek_line(&self, line: LineAddr) -> Option<&LineData> {
+        self.lines.get(&line).filter(|l| l.has_data).map(|l| &l.data)
+    }
+
+    /// Iterates every tracked line's sharer mask (empty for uncached/owned)
+    /// and owner (for invariant checking).
+    pub fn entries(&self) -> impl Iterator<Item = (LineAddr, u64, Option<CoreId>)> + '_ {
+        self.lines.iter().map(|(&line, e)| match e.state {
+            DirState::Uncached => (line, 0, None),
+            DirState::Shared(mask) => (line, mask, None),
+            DirState::Owned(o) => (line, 0, Some(o)),
+        })
+    }
+
+    /// Whether any line is mid-transaction (for quiescence checks).
+    pub fn any_busy(&self) -> bool {
+        self.lines.values().any(|l| l.busy.is_some() || !l.queue.is_empty())
+    }
+
+    /// The current owner, if the line is in an owned state.
+    pub fn owner(&self, line: LineAddr) -> Option<CoreId> {
+        match self.lines.get(&line)?.state {
+            DirState::Owned(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Handles one incoming message.
+    pub fn on_msg(&mut self, msg: MesiMsg, actions: &mut Vec<Action>) {
+        match msg {
+            MesiMsg::GetS { .. } | MesiMsg::GetM { .. } => self.request(msg, actions),
+            MesiMsg::PutS { line, req } => {
+                let entry = self.lines.entry(line).or_insert_with(DirLine::new);
+                if let DirState::Shared(ref mut mask) = entry.state {
+                    *mask &= !(1 << req);
+                    if *mask == 0 {
+                        entry.state = DirState::Uncached;
+                    }
+                }
+                actions.push(Action::Send {
+                    to: Endpoint::L1(req),
+                    msg: Msg::Mesi(MesiMsg::PutAck { line }),
+                });
+            }
+            MesiMsg::PutM { line, req, data } => {
+                let entry = self.lines.entry(line).or_insert_with(DirLine::new);
+                if entry.state == DirState::Owned(req) {
+                    entry.data = data;
+                    entry.has_data = true;
+                    entry.state = DirState::Uncached;
+                }
+                // Otherwise the PutM is stale (ownership already moved via a
+                // forward served from the evictor's MSHR): ack only.
+                actions.push(Action::Send {
+                    to: Endpoint::L1(req),
+                    msg: Msg::Mesi(MesiMsg::PutAck { line }),
+                });
+            }
+            MesiMsg::PutE { line, req } => {
+                let entry = self.lines.entry(line).or_insert_with(DirLine::new);
+                if entry.state == DirState::Owned(req) {
+                    // E is clean by construction: the L2 data is current.
+                    entry.state = DirState::Uncached;
+                }
+                actions.push(Action::Send {
+                    to: Endpoint::L1(req),
+                    msg: Msg::Mesi(MesiMsg::PutAck { line }),
+                });
+            }
+            MesiMsg::OwnerWb { line, data, .. } => {
+                let entry = self.lines.get_mut(&line).expect("OwnerWb for unknown line");
+                entry.data = data;
+                entry.has_data = true;
+                if let Some(Busy::Txn {
+                    ref mut need_owner_wb,
+                    ..
+                }) = entry.busy
+                {
+                    *need_owner_wb = false;
+                }
+                self.maybe_unblock(line, actions);
+            }
+            MesiMsg::Unblock { line, .. } => {
+                let entry = self.lines.get_mut(&line).expect("Unblock for unknown line");
+                if let Some(Busy::Txn {
+                    ref mut need_unblock,
+                    ..
+                }) = entry.busy
+                {
+                    *need_unblock = false;
+                }
+                self.maybe_unblock(line, actions);
+            }
+            other => panic!("directory bank {} cannot handle {other:?}", self.bank),
+        }
+    }
+
+    /// Memory returned a line this bank was fetching.
+    pub fn on_mem_data(&mut self, line: LineAddr, data: LineData, actions: &mut Vec<Action>) {
+        let entry = self.lines.get_mut(&line).expect("MemData for unknown line");
+        assert_eq!(entry.busy, Some(Busy::MemFetch), "unexpected MemData");
+        entry.data = data;
+        entry.has_data = true;
+        entry.busy = None;
+        self.drain(line, actions);
+    }
+
+    fn maybe_unblock(&mut self, line: LineAddr, actions: &mut Vec<Action>) {
+        let entry = self.lines.get_mut(&line).expect("line exists");
+        if let Some(Busy::Txn {
+            need_unblock: false,
+            need_owner_wb: false,
+        }) = entry.busy
+        {
+            entry.busy = None;
+            self.drain(line, actions);
+        }
+    }
+
+    fn drain(&mut self, line: LineAddr, actions: &mut Vec<Action>) {
+        loop {
+            let entry = self.lines.get_mut(&line).expect("line exists");
+            if entry.busy.is_some() {
+                return;
+            }
+            let Some(next) = entry.queue.pop_front() else {
+                return;
+            };
+            self.request(next, actions);
+        }
+    }
+
+    fn request(&mut self, msg: MesiMsg, actions: &mut Vec<Action>) {
+        let line = msg.line();
+        let entry = self.lines.entry(line).or_insert_with(DirLine::new);
+        if entry.busy.is_some() {
+            entry.queue.push_back(msg);
+            return;
+        }
+        if !entry.has_data && entry.state == DirState::Uncached {
+            // Cold line: fetch from memory first.
+            entry.busy = Some(Busy::MemFetch);
+            entry.queue.push_front(msg);
+            let class = match msg {
+                MesiMsg::GetS { .. } => TrafficClass::Load,
+                _ => TrafficClass::Store,
+            };
+            actions.push(Action::Send {
+                to: self.mem,
+                msg: Msg::MemRead {
+                    line,
+                    bank: self.bank,
+                    class,
+                },
+            });
+            return;
+        }
+        match msg {
+            MesiMsg::GetS { req, .. } => match entry.state {
+                DirState::Uncached => {
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(req),
+                        msg: Msg::Mesi(MesiMsg::Data {
+                            line,
+                            data: entry.data,
+                            acks: 0,
+                            exclusive: true,
+                            class: TrafficClass::Load,
+                        }),
+                    });
+                    entry.state = DirState::Owned(req);
+                    entry.busy = Some(Busy::Txn {
+                        need_unblock: true,
+                        need_owner_wb: false,
+                    });
+                }
+                DirState::Shared(mask) => {
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(req),
+                        msg: Msg::Mesi(MesiMsg::Data {
+                            line,
+                            data: entry.data,
+                            acks: 0,
+                            exclusive: false,
+                            class: TrafficClass::Load,
+                        }),
+                    });
+                    entry.state = DirState::Shared(mask | (1 << req));
+                    entry.busy = Some(Busy::Txn {
+                        need_unblock: true,
+                        need_owner_wb: false,
+                    });
+                }
+                DirState::Owned(owner) => {
+                    assert_ne!(owner, req, "owner re-requesting GetS");
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(owner),
+                        msg: Msg::Mesi(MesiMsg::FwdGetS { line, req }),
+                    });
+                    entry.state = DirState::Shared((1 << owner) | (1 << req));
+                    entry.busy = Some(Busy::Txn {
+                        need_unblock: true,
+                        need_owner_wb: true,
+                    });
+                }
+            },
+            MesiMsg::GetM { req, .. } => match entry.state {
+                DirState::Uncached => {
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(req),
+                        msg: Msg::Mesi(MesiMsg::Data {
+                            line,
+                            data: entry.data,
+                            acks: 0,
+                            exclusive: false,
+                            class: TrafficClass::Store,
+                        }),
+                    });
+                    entry.state = DirState::Owned(req);
+                    entry.busy = Some(Busy::Txn {
+                        need_unblock: true,
+                        need_owner_wb: false,
+                    });
+                }
+                DirState::Shared(mask) => {
+                    let others = mask & !(1 << req);
+                    let acks = others.count_ones();
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(req),
+                        msg: Msg::Mesi(MesiMsg::Data {
+                            line,
+                            data: entry.data,
+                            acks,
+                            exclusive: false,
+                            class: TrafficClass::Store,
+                        }),
+                    });
+                    for core in 0..64 {
+                        if others & (1 << core) != 0 {
+                            actions.push(Action::Send {
+                                to: Endpoint::L1(core),
+                                msg: Msg::Mesi(MesiMsg::Inv { line, req }),
+                            });
+                        }
+                    }
+                    entry.state = DirState::Owned(req);
+                    entry.busy = Some(Busy::Txn {
+                        need_unblock: true,
+                        need_owner_wb: false,
+                    });
+                }
+                DirState::Owned(owner) => {
+                    assert_ne!(owner, req, "owner re-requesting GetM");
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(owner),
+                        msg: Msg::Mesi(MesiMsg::FwdGetM { line, req }),
+                    });
+                    entry.state = DirState::Owned(req);
+                    entry.busy = Some(Busy::Txn {
+                        need_unblock: true,
+                        need_owner_wb: false,
+                    });
+                }
+            },
+            other => unreachable!("request() only takes GetS/GetM: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> MesiDir {
+        MesiDir::new(0, Endpoint::Mem(0))
+    }
+
+    fn line() -> LineAddr {
+        LineAddr::new(16)
+    }
+
+    fn warm(d: &mut MesiDir, l: LineAddr) {
+        // First touch triggers a memory fetch; complete it with known data.
+        let mut acts = Vec::new();
+        d.on_msg(MesiMsg::GetS { line: l, req: 0 }, &mut acts);
+        assert!(matches!(
+            acts[0],
+            Action::Send {
+                msg: Msg::MemRead { .. },
+                ..
+            }
+        ));
+        acts.clear();
+        let mut data = [0u64; 8];
+        data[0] = 11;
+        d.on_mem_data(l, data, &mut acts);
+        // GetS is now serviced exclusively.
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(0),
+                msg: Msg::Mesi(MesiMsg::Data {
+                    exclusive: true,
+                    acks: 0,
+                    ..
+                })
+            }
+        )));
+        acts.clear();
+        d.on_msg(
+            MesiMsg::Unblock {
+                line: l,
+                from: 0,
+                class: TrafficClass::Load,
+            },
+            &mut acts,
+        );
+    }
+
+    #[test]
+    fn cold_gets_fetches_memory_then_grants_exclusive() {
+        let mut d = dir();
+        warm(&mut d, line());
+        assert_eq!(d.owner(line()), Some(0));
+    }
+
+    #[test]
+    fn second_gets_forwards_to_owner_and_needs_both_completions() {
+        let mut d = dir();
+        warm(&mut d, line());
+        let mut acts = Vec::new();
+        d.on_msg(MesiMsg::GetS { line: line(), req: 1 }, &mut acts);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(0),
+                msg: Msg::Mesi(MesiMsg::FwdGetS { req: 1, .. })
+            }
+        )));
+        // A third GetS queues while busy.
+        acts.clear();
+        d.on_msg(MesiMsg::GetS { line: line(), req: 2 }, &mut acts);
+        assert!(acts.is_empty());
+        // Unblock alone is not enough: the owner's data is still due.
+        d.on_msg(
+            MesiMsg::Unblock {
+                line: line(),
+                from: 1,
+                class: TrafficClass::Load,
+            },
+            &mut acts,
+        );
+        assert!(acts.is_empty());
+        let mut data = [0u64; 8];
+        data[0] = 99;
+        d.on_msg(
+            MesiMsg::OwnerWb {
+                line: line(),
+                data,
+                from: 0,
+            },
+            &mut acts,
+        );
+        // Queue drains: core 2 gets fresh data.
+        let got = acts.iter().any(|a| {
+            matches!(a, Action::Send { to: Endpoint::L1(2), msg: Msg::Mesi(MesiMsg::Data { data, .. }) } if data[0] == 99)
+        });
+        assert!(got, "{acts:?}");
+    }
+
+    #[test]
+    fn getm_on_shared_invalidates_all_other_sharers() {
+        let mut d = dir();
+        let l = line();
+        warm(&mut d, l);
+        // Downgrade to shared by a second reader.
+        let mut acts = Vec::new();
+        d.on_msg(MesiMsg::GetS { line: l, req: 1 }, &mut acts);
+        acts.clear();
+        d.on_msg(
+            MesiMsg::OwnerWb {
+                line: l,
+                data: [0; 8],
+                from: 0,
+            },
+            &mut acts,
+        );
+        d.on_msg(
+            MesiMsg::Unblock {
+                line: l,
+                from: 1,
+                class: TrafficClass::Load,
+            },
+            &mut acts,
+        );
+        acts.clear();
+        // Core 2 wants M: cores 0 and 1 must be invalidated, 2 acks expected.
+        d.on_msg(MesiMsg::GetM { line: l, req: 2 }, &mut acts);
+        let invs: Vec<usize> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    to: Endpoint::L1(c),
+                    msg: Msg::Mesi(MesiMsg::Inv { .. }),
+                } => Some(*c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(invs, vec![0, 1]);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(2),
+                msg: Msg::Mesi(MesiMsg::Data { acks: 2, .. })
+            }
+        )));
+        assert_eq!(d.owner(l), Some(2));
+    }
+
+    #[test]
+    fn getm_on_owned_forwards() {
+        let mut d = dir();
+        let l = line();
+        warm(&mut d, l);
+        let mut acts = Vec::new();
+        d.on_msg(MesiMsg::GetM { line: l, req: 3 }, &mut acts);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(0),
+                msg: Msg::Mesi(MesiMsg::FwdGetM { req: 3, .. })
+            }
+        )));
+        assert_eq!(d.owner(l), Some(3));
+    }
+
+    #[test]
+    fn puts_removes_sharer_and_acks() {
+        let mut d = dir();
+        let l = line();
+        warm(&mut d, l);
+        let mut acts = Vec::new();
+        // Make shared {0,1}.
+        d.on_msg(MesiMsg::GetS { line: l, req: 1 }, &mut acts);
+        d.on_msg(
+            MesiMsg::OwnerWb {
+                line: l,
+                data: [0; 8],
+                from: 0,
+            },
+            &mut acts,
+        );
+        d.on_msg(
+            MesiMsg::Unblock {
+                line: l,
+                from: 1,
+                class: TrafficClass::Load,
+            },
+            &mut acts,
+        );
+        acts.clear();
+        d.on_msg(MesiMsg::PutS { line: l, req: 0 }, &mut acts);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(0),
+                msg: Msg::Mesi(MesiMsg::PutAck { .. })
+            }
+        )));
+        // Core 1 remains the only sharer; a GetM from 1 needs 0 acks.
+        acts.clear();
+        d.on_msg(MesiMsg::GetM { line: l, req: 1 }, &mut acts);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(1),
+                msg: Msg::Mesi(MesiMsg::Data { acks: 0, .. })
+            }
+        )));
+    }
+
+    #[test]
+    fn stale_putm_is_acked_but_data_rejected() {
+        let mut d = dir();
+        let l = line();
+        warm(&mut d, l);
+        // Ownership moves 0 → 3 via FwdGetM.
+        let mut acts = Vec::new();
+        d.on_msg(MesiMsg::GetM { line: l, req: 3 }, &mut acts);
+        acts.clear();
+        // Core 0's racing PutM arrives afterwards: stale.
+        d.on_msg(
+            MesiMsg::PutM {
+                line: l,
+                req: 0,
+                data: [5; 8],
+            },
+            &mut acts,
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(0),
+                msg: Msg::Mesi(MesiMsg::PutAck { .. })
+            }
+        )));
+        assert_eq!(d.owner(l), Some(3), "stale PutM must not clear ownership");
+    }
+
+    #[test]
+    fn queued_requests_drain_in_order() {
+        let mut d = dir();
+        let l = line();
+        warm(&mut d, l);
+        let mut acts = Vec::new();
+        // Owner is 0. Three queued requests while busy.
+        d.on_msg(MesiMsg::GetM { line: l, req: 1 }, &mut acts);
+        acts.clear();
+        d.on_msg(MesiMsg::GetM { line: l, req: 2 }, &mut acts);
+        d.on_msg(MesiMsg::GetS { line: l, req: 3 }, &mut acts);
+        assert!(acts.is_empty());
+        // Unblock from 1: queue head (GetM from 2) is serviced — forwarded
+        // to owner 1.
+        d.on_msg(
+            MesiMsg::Unblock {
+                line: l,
+                from: 1,
+                class: TrafficClass::Store,
+            },
+            &mut acts,
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(1),
+                msg: Msg::Mesi(MesiMsg::FwdGetM { req: 2, .. })
+            }
+        )));
+        assert_eq!(d.owner(l), Some(2));
+        // The GetS from 3 is still queued.
+        acts.clear();
+        d.on_msg(
+            MesiMsg::Unblock {
+                line: l,
+                from: 2,
+                class: TrafficClass::Store,
+            },
+            &mut acts,
+        );
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(2),
+                msg: Msg::Mesi(MesiMsg::FwdGetS { req: 3, .. })
+            }
+        )));
+    }
+}

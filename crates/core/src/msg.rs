@@ -1,0 +1,523 @@
+//! Protocol messages, their wire sizes, and traffic classes.
+//!
+//! Every message knows its size in bytes (an 8-byte header carrying the
+//! type, address, and routing information, plus any data payload) and its
+//! [`TrafficClass`] for the paper's traffic breakdown. DeNovo responses
+//! carry only valid words ("load responses do not contain invalid parts of
+//! the cache line"), which is one of DeNovo's structural traffic advantages.
+
+use dvs_mem::{LineAddr, WordAddr, WORDS_PER_LINE, WORD_BYTES};
+use dvs_noc::NodeId;
+use dvs_stats::TrafficClass;
+
+/// A core index (also its tile and L1 index).
+pub type CoreId = usize;
+/// An L2 bank index (one bank per tile).
+pub type BankId = usize;
+
+/// Bytes of header (message type + address + source) on every message.
+pub const HEADER_BYTES: u64 = 8;
+
+/// A full line of data words.
+pub type LineData = [u64; WORDS_PER_LINE];
+
+/// Where a message is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A private L1 cache (by core id).
+    L1(CoreId),
+    /// A shared L2 bank / directory / registry (by bank id).
+    Bank(BankId),
+    /// A memory controller (by mesh node).
+    Mem(NodeId),
+}
+
+/// The access class behind a DeNovo transfer; determines both how a previous
+/// registrant downgrades and the traffic class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XferClass {
+    /// Non-ownership data read.
+    DataRead,
+    /// Data-write registration.
+    Write,
+    /// Synchronization-read registration (single-reader rule, §4.1).
+    SyncRead,
+    /// Synchronization write or RMW registration.
+    SyncWrite,
+}
+
+impl XferClass {
+    /// The traffic class for messages of this transfer class.
+    pub fn traffic(self) -> TrafficClass {
+        match self {
+            XferClass::DataRead => TrafficClass::Load,
+            XferClass::Write => TrafficClass::Store,
+            XferClass::SyncRead | XferClass::SyncWrite => TrafficClass::Sync,
+        }
+    }
+
+    /// Whether this transfer takes ownership (registration).
+    pub fn registers(self) -> bool {
+        !matches!(self, XferClass::DataRead)
+    }
+}
+
+/// MESI protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MesiMsg {
+    /// Read request to the directory.
+    GetS {
+        /// Requested line.
+        line: LineAddr,
+        /// Requesting core.
+        req: CoreId,
+    },
+    /// Ownership request to the directory.
+    GetM {
+        /// Requested line.
+        line: LineAddr,
+        /// Requesting core.
+        req: CoreId,
+    },
+    /// Sharer eviction notice.
+    PutS {
+        /// Evicted line.
+        line: LineAddr,
+        /// Evicting core.
+        req: CoreId,
+    },
+    /// Owner eviction with dirty data.
+    PutM {
+        /// Evicted line.
+        line: LineAddr,
+        /// Evicting core.
+        req: CoreId,
+        /// The dirty line.
+        data: LineData,
+    },
+    /// Clean-exclusive eviction notice.
+    PutE {
+        /// Evicted line.
+        line: LineAddr,
+        /// Evicting core.
+        req: CoreId,
+    },
+    /// Data response (directory or owner → requestor).
+    Data {
+        /// The line.
+        line: LineAddr,
+        /// Line contents.
+        data: LineData,
+        /// Invalidation acks the requestor must still collect.
+        acks: u32,
+        /// Grant E instead of S (no other sharers).
+        exclusive: bool,
+        /// Traffic class of the owning transaction.
+        class: TrafficClass,
+    },
+    /// Directory forwards a GetS to the owner.
+    FwdGetS {
+        /// The line.
+        line: LineAddr,
+        /// Original requestor (receives the data directly).
+        req: CoreId,
+    },
+    /// Directory forwards a GetM to the owner.
+    FwdGetM {
+        /// The line.
+        line: LineAddr,
+        /// Original requestor (receives the data directly).
+        req: CoreId,
+    },
+    /// Writer-initiated invalidation; ack goes directly to `req`.
+    Inv {
+        /// The line.
+        line: LineAddr,
+        /// The new owner awaiting the ack.
+        req: CoreId,
+    },
+    /// Invalidation acknowledgment (sharer → new owner).
+    InvAck {
+        /// The line.
+        line: LineAddr,
+        /// The acknowledging core.
+        from: CoreId,
+    },
+    /// Directory acknowledges a Put*.
+    PutAck {
+        /// The line.
+        line: LineAddr,
+    },
+    /// Owner's downgrade data to the directory on FwdGetS.
+    OwnerWb {
+        /// The line.
+        line: LineAddr,
+        /// The dirty line.
+        data: LineData,
+        /// Former owner.
+        from: CoreId,
+    },
+    /// Requestor tells the blocking directory its transaction completed.
+    Unblock {
+        /// The line.
+        line: LineAddr,
+        /// The requestor.
+        from: CoreId,
+        /// Traffic class of the completed transaction.
+        class: TrafficClass,
+    },
+}
+
+impl MesiMsg {
+    /// Total wire size in bytes (header + payload).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            MesiMsg::PutM { .. } | MesiMsg::Data { .. } | MesiMsg::OwnerWb { .. } => {
+                HEADER_BYTES + WORDS_PER_LINE as u64 * WORD_BYTES
+            }
+            _ => HEADER_BYTES,
+        }
+    }
+
+    /// Traffic class for the paper's breakdown (LD / ST / WB / Inv).
+    pub fn class(&self) -> TrafficClass {
+        match self {
+            MesiMsg::GetS { .. } | MesiMsg::FwdGetS { .. } => TrafficClass::Load,
+            MesiMsg::GetM { .. } | MesiMsg::FwdGetM { .. } => TrafficClass::Store,
+            MesiMsg::PutS { .. }
+            | MesiMsg::PutM { .. }
+            | MesiMsg::PutE { .. }
+            | MesiMsg::PutAck { .. }
+            | MesiMsg::OwnerWb { .. } => TrafficClass::Writeback,
+            MesiMsg::Inv { .. } | MesiMsg::InvAck { .. } => TrafficClass::Invalidation,
+            MesiMsg::Data { class, .. } | MesiMsg::Unblock { class, .. } => *class,
+        }
+    }
+
+    /// The line this message concerns.
+    pub fn line(&self) -> LineAddr {
+        match *self {
+            MesiMsg::GetS { line, .. }
+            | MesiMsg::GetM { line, .. }
+            | MesiMsg::PutS { line, .. }
+            | MesiMsg::PutM { line, .. }
+            | MesiMsg::PutE { line, .. }
+            | MesiMsg::Data { line, .. }
+            | MesiMsg::FwdGetS { line, .. }
+            | MesiMsg::FwdGetM { line, .. }
+            | MesiMsg::Inv { line, .. }
+            | MesiMsg::InvAck { line, .. }
+            | MesiMsg::PutAck { line }
+            | MesiMsg::OwnerWb { line, .. }
+            | MesiMsg::Unblock { line, .. } => line,
+        }
+    }
+}
+
+/// DeNovo protocol messages (word granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DnvMsg {
+    /// Non-ownership data-read request to the registry.
+    ReadReq {
+        /// Requested word.
+        word: WordAddr,
+        /// Requesting core.
+        req: CoreId,
+    },
+    /// Registration request (data write, sync read, sync write/RMW).
+    RegReq {
+        /// Requested word.
+        word: WordAddr,
+        /// Requesting core.
+        req: CoreId,
+        /// Why ownership is wanted.
+        class: XferClass,
+    },
+    /// Data-read response (registry or current registrant → requestor).
+    /// `fill` carries the other valid words of the line when the registry
+    /// responds (word-mask + values; invalid words are not transferred).
+    ReadResp {
+        /// The word.
+        word: WordAddr,
+        /// Its value.
+        value: u64,
+        /// Valid-sibling-word fill: `(mask, line)`; bit i of `mask` says
+        /// `line[i]` is carried.
+        fill: Option<(u8, LineData)>,
+    },
+    /// Registration acknowledgment (registry or previous registrant → new
+    /// registrant) carrying the word's current value.
+    RegAck {
+        /// The word.
+        word: WordAddr,
+        /// Current value of the word.
+        value: u64,
+        /// Transfer class (for traffic accounting).
+        class: XferClass,
+    },
+    /// Registry tells the previous registrant to hand the word to
+    /// `new_owner` (the paper's forwarded registration).
+    Xfer {
+        /// The word.
+        word: WordAddr,
+        /// New registrant.
+        new_owner: CoreId,
+        /// Access class (sync reads downgrade to Valid under DeNovoSync).
+        class: XferClass,
+    },
+    /// Writeback handshake: request to return a registered word's value.
+    WbReq {
+        /// The word.
+        word: WordAddr,
+        /// Its value.
+        value: u64,
+        /// Evicting core.
+        from: CoreId,
+    },
+    /// Registry accepted the writeback (the core was the registrant).
+    WbAck {
+        /// The word.
+        word: WordAddr,
+    },
+    /// Registry rejected the writeback (ownership already moved; an `Xfer`
+    /// is in flight to the evicting core).
+    WbNack {
+        /// The word.
+        word: WordAddr,
+    },
+}
+
+impl DnvMsg {
+    /// Total wire size in bytes (header + payload; only valid words travel).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            DnvMsg::ReadReq { .. }
+            | DnvMsg::RegReq { .. }
+            | DnvMsg::Xfer { .. }
+            | DnvMsg::WbAck { .. }
+            | DnvMsg::WbNack { .. } => HEADER_BYTES,
+            DnvMsg::RegAck { .. } | DnvMsg::WbReq { .. } => HEADER_BYTES + WORD_BYTES,
+            DnvMsg::ReadResp { fill, .. } => {
+                let extra = fill.map_or(0, |(mask, _)| u64::from(mask.count_ones()));
+                HEADER_BYTES + WORD_BYTES * (1 + extra)
+            }
+        }
+    }
+
+    /// Traffic class for the paper's breakdown (LD / ST / WB / SYNCH).
+    pub fn class(&self) -> TrafficClass {
+        match self {
+            DnvMsg::ReadReq { .. } | DnvMsg::ReadResp { .. } => TrafficClass::Load,
+            DnvMsg::RegReq { class, .. } | DnvMsg::RegAck { class, .. } | DnvMsg::Xfer { class, .. } => {
+                class.traffic()
+            }
+            DnvMsg::WbReq { .. } | DnvMsg::WbAck { .. } | DnvMsg::WbNack { .. } => {
+                TrafficClass::Writeback
+            }
+        }
+    }
+
+    /// The word this message concerns.
+    pub fn word(&self) -> WordAddr {
+        match *self {
+            DnvMsg::ReadReq { word, .. }
+            | DnvMsg::RegReq { word, .. }
+            | DnvMsg::ReadResp { word, .. }
+            | DnvMsg::RegAck { word, .. }
+            | DnvMsg::Xfer { word, .. }
+            | DnvMsg::WbReq { word, .. }
+            | DnvMsg::WbAck { word }
+            | DnvMsg::WbNack { word } => word,
+        }
+    }
+}
+
+/// Any message on the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// A MESI protocol message.
+    Mesi(MesiMsg),
+    /// A DeNovo protocol message.
+    Dnv(DnvMsg),
+    /// L2 bank asks a memory controller for a line.
+    MemRead {
+        /// The line.
+        line: LineAddr,
+        /// Requesting bank.
+        bank: BankId,
+        /// Traffic class of the triggering transaction.
+        class: TrafficClass,
+    },
+    /// Memory controller returns a line to an L2 bank.
+    MemData {
+        /// The line.
+        line: LineAddr,
+        /// Line contents from DRAM.
+        data: LineData,
+        /// Traffic class of the triggering transaction.
+        class: TrafficClass,
+    },
+    /// L2 bank writes words back to memory (fire-and-forget).
+    MemWrite {
+        /// The line.
+        line: LineAddr,
+        /// Data to write.
+        data: LineData,
+        /// Which words are meaningful.
+        mask: u8,
+    },
+}
+
+impl Msg {
+    /// Total wire size in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Msg::Mesi(m) => m.wire_bytes(),
+            Msg::Dnv(m) => m.wire_bytes(),
+            Msg::MemRead { .. } => HEADER_BYTES,
+            Msg::MemData { .. } => HEADER_BYTES + WORDS_PER_LINE as u64 * WORD_BYTES,
+            Msg::MemWrite { mask, .. } => HEADER_BYTES + WORD_BYTES * u64::from(mask.count_ones()),
+        }
+    }
+
+    /// Size in 16-bit flits.
+    pub fn flits(&self) -> u64 {
+        self.wire_bytes().div_ceil(dvs_noc::FLIT_BYTES)
+    }
+
+    /// Traffic class.
+    pub fn class(&self) -> TrafficClass {
+        match self {
+            Msg::Mesi(m) => m.class(),
+            Msg::Dnv(m) => m.class(),
+            Msg::MemRead { class, .. } | Msg::MemData { class, .. } => *class,
+            Msg::MemWrite { .. } => TrafficClass::Writeback,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> LineAddr {
+        LineAddr::new(5)
+    }
+
+    fn word() -> WordAddr {
+        WordAddr::new(40)
+    }
+
+    #[test]
+    fn mesi_control_messages_are_four_flits() {
+        let msgs = [
+            MesiMsg::GetS { line: line(), req: 0 },
+            MesiMsg::GetM { line: line(), req: 0 },
+            MesiMsg::Inv { line: line(), req: 1 },
+            MesiMsg::InvAck { line: line(), from: 2 },
+            MesiMsg::PutAck { line: line() },
+        ];
+        for m in msgs {
+            assert_eq!(Msg::Mesi(m).flits(), 4, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn mesi_data_messages_carry_the_full_line() {
+        let m = Msg::Mesi(MesiMsg::Data {
+            line: line(),
+            data: [0; WORDS_PER_LINE],
+            acks: 0,
+            exclusive: false,
+            class: TrafficClass::Load,
+        });
+        assert_eq!(m.flits(), 36);
+    }
+
+    #[test]
+    fn denovo_responses_carry_only_valid_words() {
+        let bare = Msg::Dnv(DnvMsg::ReadResp {
+            word: word(),
+            value: 1,
+            fill: None,
+        });
+        assert_eq!(bare.flits(), 8);
+        let with_three = Msg::Dnv(DnvMsg::ReadResp {
+            word: word(),
+            value: 1,
+            fill: Some((0b0000_0111, [0; WORDS_PER_LINE])),
+        });
+        assert_eq!(with_three.flits(), 8 + 3 * 4);
+        // Even a full-line DeNovo fill matches the MESI line message.
+        let full = Msg::Dnv(DnvMsg::ReadResp {
+            word: word(),
+            value: 1,
+            fill: Some((0xFF, [0; WORDS_PER_LINE])),
+        });
+        assert_eq!(full.flits(), 4 + 4 + 32);
+    }
+
+    #[test]
+    fn traffic_classes_follow_the_paper() {
+        assert_eq!(
+            Msg::Mesi(MesiMsg::Inv { line: line(), req: 0 }).class(),
+            TrafficClass::Invalidation
+        );
+        assert_eq!(
+            Msg::Mesi(MesiMsg::GetM { line: line(), req: 0 }).class(),
+            TrafficClass::Store
+        );
+        assert_eq!(
+            Msg::Dnv(DnvMsg::RegReq {
+                word: word(),
+                req: 0,
+                class: XferClass::SyncRead
+            })
+            .class(),
+            TrafficClass::Sync
+        );
+        assert_eq!(
+            Msg::Dnv(DnvMsg::RegReq {
+                word: word(),
+                req: 0,
+                class: XferClass::Write
+            })
+            .class(),
+            TrafficClass::Store
+        );
+        assert_eq!(
+            Msg::Dnv(DnvMsg::WbReq {
+                word: word(),
+                value: 0,
+                from: 0
+            })
+            .class(),
+            TrafficClass::Writeback
+        );
+    }
+
+    #[test]
+    fn xfer_class_properties() {
+        assert!(XferClass::Write.registers());
+        assert!(XferClass::SyncRead.registers());
+        assert!(!XferClass::DataRead.registers());
+        assert_eq!(XferClass::SyncWrite.traffic(), TrafficClass::Sync);
+    }
+
+    #[test]
+    fn mem_write_size_scales_with_mask() {
+        let m = Msg::MemWrite {
+            line: line(),
+            data: [0; WORDS_PER_LINE],
+            mask: 0b0000_0011,
+        };
+        assert_eq!(m.wire_bytes(), 8 + 16);
+        assert_eq!(m.class(), TrafficClass::Writeback);
+    }
+
+    #[test]
+    fn accessors_return_the_address() {
+        assert_eq!(MesiMsg::PutAck { line: line() }.line(), line());
+        assert_eq!(DnvMsg::WbAck { word: word() }.word(), word());
+    }
+}

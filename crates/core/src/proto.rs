@@ -1,0 +1,95 @@
+//! The controller ↔ system interface.
+//!
+//! Protocol controllers (MESI L1/directory, DeNovo L1/registry) are written
+//! as message-in / actions-out state machines: they never touch the network
+//! or the scheduler directly. Each entry point returns a list of [`Action`]s
+//! the surrounding [`System`](crate::system::System) applies — this keeps the
+//! controllers independently unit-testable, exactly the property the paper
+//! exploits when it argues DeNovo's three-state protocol is easy to verify.
+
+use crate::msg::{Endpoint, Msg};
+use dvs_engine::Cycle;
+
+/// A side effect requested by a protocol controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send a message on the interconnect.
+    Send {
+        /// Destination endpoint.
+        to: Endpoint,
+        /// The message.
+        msg: Msg,
+    },
+    /// The core's blocking memory operation completed (loads and RMWs carry
+    /// the returned value).
+    CoreDone {
+        /// Value delivered to the destination register, if any.
+        value: Option<u64>,
+    },
+    /// `count` outstanding non-blocking data stores completed.
+    StoresDone {
+        /// Number of stores retired.
+        count: usize,
+    },
+    /// The word/line the core is spin-watching changed state; the spin must
+    /// re-examine memory.
+    SpinWake,
+    /// Re-deliver `msg` to this same controller after `delay` cycles,
+    /// without touching the network (used to retry installs blocked on a
+    /// structural hazard). Generates no traffic.
+    Local {
+        /// Delay before re-delivery.
+        delay: Cycle,
+        /// The message to re-process.
+        msg: Msg,
+    },
+}
+
+/// The immediate outcome of a core request presented to its L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueResult {
+    /// The access completed in the cache (1-cycle hit).
+    Hit {
+        /// Value returned to the core, if the access returns one.
+        value: Option<u64>,
+    },
+    /// The access missed; an MSHR was allocated and a
+    /// [`Action::CoreDone`] will follow. Blocking accesses stall the core.
+    Miss,
+    /// A non-blocking data store was accepted. If `completed`, it finished
+    /// locally; otherwise the store is outstanding until a
+    /// [`Action::StoresDone`].
+    StoreAccepted {
+        /// Whether the store already completed.
+        completed: bool,
+    },
+    /// DeNovoSync hardware backoff: delay this synchronization read for
+    /// `cycles`, then re-issue it (which will then miss).
+    Backoff {
+        /// Stall length.
+        cycles: Cycle,
+    },
+    /// A structural hazard (way full of pinned lines, writeback in
+    /// progress); retry the access after a short delay.
+    Blocked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_result_is_inspectable() {
+        assert_eq!(IssueResult::Hit { value: Some(3) }, IssueResult::Hit { value: Some(3) });
+        assert_ne!(IssueResult::Miss, IssueResult::Blocked);
+    }
+
+    #[test]
+    fn actions_compare() {
+        assert_eq!(
+            Action::StoresDone { count: 1 },
+            Action::StoresDone { count: 1 }
+        );
+        assert_ne!(Action::SpinWake, Action::CoreDone { value: None });
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-access tracing (used by the Figure-2 walkthrough and tests).
+
+use dvs_engine::Cycle;
+use dvs_mem::Addr;
+
+/// What happened at one traced point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A memory access was issued and hit in the L1.
+    Hit,
+    /// A memory access was issued and missed.
+    Miss,
+    /// A synchronization read was delayed by the hardware backoff.
+    Backoff {
+        /// Stall length in cycles.
+        cycles: Cycle,
+    },
+    /// A `Mark` instruction executed.
+    Mark(u32),
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Issuing core.
+    pub core: usize,
+    /// Simulated cycle.
+    pub cycle: Cycle,
+    /// Accessed address (zero for marks).
+    pub addr: Addr,
+    /// Whether the access was a synchronization access.
+    pub sync: bool,
+    /// Whether the access writes.
+    pub write: bool,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// An in-memory trace buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events for one core, in order.
+    pub fn for_core(&self, core: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.core == core)
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_and_filters() {
+        let mut t = Trace::new();
+        t.push(TraceEvent {
+            core: 0,
+            cycle: 5,
+            addr: Addr::new(0x40),
+            sync: true,
+            write: false,
+            kind: TraceKind::Miss,
+        });
+        t.push(TraceEvent {
+            core: 1,
+            cycle: 6,
+            addr: Addr::new(0x40),
+            sync: true,
+            write: true,
+            kind: TraceKind::Hit,
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.for_core(0).count(), 1);
+        assert_eq!(t.count(|e| e.kind == TraceKind::Hit), 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Discrete-event simulation kernel for the DeNovoSync reproduction.
+//!
+//! This crate is the lowest layer of the simulator stack. It knows nothing
+//! about caches, protocols, or networks; it provides exactly three things:
+//!
+//! * [`Cycle`] — the simulated time base (one cycle of the 2 GHz clock in the
+//!   paper's Table 1),
+//! * [`Scheduler`] — a deterministic event queue: events scheduled for the
+//!   same cycle are delivered in the order they were scheduled, so a run is a
+//!   pure function of its inputs and seed,
+//! * [`DetRng`] — a small, dependency-free, splittable pseudo-random number
+//!   generator used for workload randomization (dummy-compute lengths,
+//!   software backoff, application models).
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_engine::Scheduler;
+//!
+//! let mut sched = Scheduler::new();
+//! sched.schedule_in(5, "world");
+//! sched.schedule_in(1, "hello");
+//! assert_eq!(sched.pop(), Some((1, "hello")));
+//! assert_eq!(sched.pop(), Some((5, "world")));
+//! assert_eq!(sched.now(), 5);
+//! ```
+
+pub mod rng;
+
+pub use rng::DetRng;
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time, in core clock cycles.
+pub type Cycle = u64;
+
+/// A deterministic discrete-event scheduler.
+///
+/// Events are ordered by `(cycle, sequence)`: ties on the cycle are broken by
+/// scheduling order, which makes simulations exactly reproducible. The
+/// scheduler tracks the current simulated time ([`Scheduler::now`]), which
+/// advances monotonically as events are popped.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_engine::Scheduler;
+///
+/// let mut sched: Scheduler<u32> = Scheduler::new();
+/// sched.schedule_at(10, 1);
+/// sched.schedule_at(10, 2); // same cycle: FIFO order preserved
+/// assert_eq!(sched.pop(), Some((10, 1)));
+/// assert_eq!(sched.pop(), Some((10, 2)));
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Cycle,
+    seq: u64,
+    scheduled: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(Cycle, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at cycle 0.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// The current simulated cycle (the cycle of the most recently popped
+    /// event, or 0 if none has been popped yet).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Total number of events scheduled over the lifetime of this scheduler.
+    pub fn scheduled_events(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Schedules `event` at absolute cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (`at < self.now()`); simulated time only
+    /// moves forward.
+    pub fn schedule_at(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={} now={}",
+            at,
+            self.now
+        );
+        self.seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Entry {
+            key: Reverse((at, self.seq)),
+            event,
+        });
+    }
+
+    /// Schedules `event` `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycle, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Removes and returns the next event, advancing [`Scheduler::now`] to
+    /// its cycle. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        let Reverse((cycle, _)) = entry.key;
+        debug_assert!(cycle >= self.now);
+        self.now = cycle;
+        Some((cycle, entry.event))
+    }
+
+    /// The cycle of the next pending event, if any.
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(30, 'c');
+        s.schedule_at(10, 'a');
+        s.schedule_at(20, 'b');
+        assert_eq!(s.pop(), Some((10, 'a')));
+        assert_eq!(s.pop(), Some((20, 'b')));
+        assert_eq!(s.pop(), Some((30, 'c')));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut s = Scheduler::new();
+        for i in 0..100u32 {
+            s.schedule_at(7, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(s.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.now(), 0);
+        s.schedule_at(5, ());
+        s.pop();
+        assert_eq!(s.now(), 5);
+        s.schedule_in(3, ());
+        assert_eq!(s.peek_cycle(), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(10, ());
+        s.pop();
+        s.schedule_at(9, ());
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut s = Scheduler::new();
+        assert!(s.is_empty());
+        s.schedule_at(1, ());
+        s.schedule_at(2, ());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.scheduled_events(), 2);
+        s.pop();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.scheduled_events(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut s = Scheduler::new();
+        s.schedule_at(1, 1u32);
+        s.schedule_at(4, 4u32);
+        assert_eq!(s.pop(), Some((1, 1)));
+        s.schedule_at(2, 2u32);
+        s.schedule_at(3, 3u32);
+        assert_eq!(s.pop(), Some((2, 2)));
+        assert_eq!(s.pop(), Some((3, 3)));
+        assert_eq!(s.pop(), Some((4, 4)));
+    }
+}

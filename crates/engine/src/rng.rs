@@ -1,0 +1,197 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The simulator needs randomness only for workload shaping (dummy-compute
+//! lengths between kernel iterations, software exponential backoff, synthetic
+//! application models). Runs must be exactly reproducible, and per-thread
+//! streams must be independent, so we use a tiny splittable generator
+//! (SplitMix64, Steele et al. 2014) instead of pulling in an external crate.
+
+/// Deterministic SplitMix64 pseudo-random number generator.
+///
+/// Not cryptographically secure; statistical quality is more than sufficient
+/// for workload randomization. Use [`DetRng::split`] to derive independent
+/// per-thread streams from one seed.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_engine::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // reproducible
+///
+/// let mut t0 = a.split(0);
+/// let mut t1 = a.split(1);
+/// assert_ne!(t0.next_u64(), t1.next_u64()); // independent streams
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DetRng {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            state: mix64(seed ^ GOLDEN_GAMMA),
+        }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+
+    /// Derives an independent generator for stream `index` without disturbing
+    /// this generator's own stream.
+    pub fn split(&self, index: u64) -> DetRng {
+        DetRng::new(mix64(self.state ^ mix64(index.wrapping_add(1))))
+    }
+
+    /// Returns a value uniformly distributed in `[lo, hi)`.
+    ///
+    /// Uses the widening-multiply technique, which has negligible modulo bias
+    /// for the range sizes used here (all far below 2^32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        let x = self.next_u64();
+        lo + (((x as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Returns a `usize` uniformly distributed in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.range(0, n as u64) as usize
+    }
+
+    /// Returns `true` with probability `num / denom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom == 0`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        assert!(denom > 0, "zero denominator");
+        self.range(0, denom) < num
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn split_streams_are_stable_and_distinct() {
+        let root = DetRng::new(99);
+        let mut s0a = root.split(0);
+        let mut s0b = root.split(0);
+        let mut s1 = root.split(1);
+        assert_eq!(s0a.next_u64(), s0b.next_u64());
+        assert_ne!(s0a.next_u64(), s1.next_u64());
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut r = DetRng::new(3);
+        for _ in 0..10_000 {
+            let v = r.range(1400, 1800);
+            assert!((1400..1800).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_extremes() {
+        let mut r = DetRng::new(4);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            match r.range(0, 4) {
+                0 => seen_lo = true,
+                3 => seen_hi = true,
+                _ => {}
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = DetRng::new(5);
+        let mut buckets = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            buckets[r.below(8)] += 1;
+        }
+        for &b in &buckets {
+            // Expected 10_000 per bucket; allow 10% slack.
+            assert!((9_000..11_000).contains(&b), "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(6);
+        assert!(!r.chance(0, 10));
+        assert!(r.chance(10, 10));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::new(8);
+        let mut v: Vec<u32> = (0..64).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<u32>>());
+        assert_ne!(v, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        DetRng::new(0).range(5, 5);
+    }
+}

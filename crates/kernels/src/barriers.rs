@@ -1,0 +1,158 @@
+//! The barrier kernels: binary tree, n-ary tree (fan-in 4 / fan-out 2) and
+//! centralized sense-reversing barriers, in balanced and unbalanced variants
+//! (§5.3.1: "a barrier kernel executes two barrier instances around dummy
+//! computation"; the unbalanced variants use a much wider dummy-compute
+//! range, which the caller selects through `KernelParams::nonsynch`).
+//!
+//! Each iteration doubles as a correctness probe: every thread publishes its
+//! round number before arriving, and thread 0 verifies all slots after the
+//! barrier — a barrier that releases early fails the in-VM assertion.
+
+use crate::sync::{
+    emit_prologue, CentralBarrier, TreeBarrier, EPOCH, ITER, ITERS, TID,
+};
+use crate::{BarrierKind, KernelParams, Workload};
+use dvs_mem::{Addr, LayoutBuilder, LINE_BYTES};
+use dvs_stats::TimeComponent;
+use dvs_vm::isa::{Cond, Reg};
+use dvs_vm::Asm;
+
+const ROUND: Reg = Reg(12);
+const P10: Reg = Reg(10);
+const T13: Reg = Reg(13);
+
+enum AnyBarrier {
+    Tree(TreeBarrier),
+    Central(CentralBarrier),
+}
+
+impl AnyBarrier {
+    fn emit(&self, a: &mut Asm, tid: usize) {
+        match self {
+            AnyBarrier::Tree(t) => t.emit(a, tid),
+            AnyBarrier::Central(c) => c.emit(a),
+        }
+    }
+}
+
+/// Builds a barrier workload.
+pub fn build(kind: BarrierKind, p: &KernelParams) -> Workload {
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let data = lb.region("data");
+    let slots = lb.segment("slots", p.threads as u64 * LINE_BYTES, data);
+    let barrier = match kind {
+        BarrierKind::Tree | BarrierKind::Nary => {
+            let (fan_in, fan_out) = if kind == BarrierKind::Tree { (2, 2) } else { (4, 2) };
+            AnyBarrier::Tree(TreeBarrier {
+                arrive: lb.segment("arrive", p.threads as u64 * LINE_BYTES, sync),
+                go: lb.segment("go", p.threads as u64 * LINE_BYTES, sync),
+                fan_in,
+                fan_out,
+                n: p.threads,
+                data_region: Some(data),
+            })
+        }
+        BarrierKind::Central => AnyBarrier::Central(CentralBarrier {
+            count: lb.sync_var("count", sync, p.padded_locks),
+            sense: lb.sync_var("sense", sync, p.padded_locks),
+            n: p.threads,
+            data_region: Some(data),
+        }),
+    };
+
+    let programs = (0..p.threads)
+        .map(|tid| {
+            let mut a = Asm::new("barrier-kernel");
+            emit_prologue(&mut a, p.iters);
+            a.movi(EPOCH, 0);
+            let top = a.here();
+            // Publish my round (ITER + 1), then the first barrier instance.
+            a.addi(ROUND, ITER, 1);
+            a.movi(P10, slots.raw());
+            a.shl(T13, TID, 6);
+            a.add(P10, P10, T13);
+            a.store(ROUND, P10, 0);
+            barrier.emit(&mut a, tid);
+            if tid == 0 {
+                // Integrity probe: everyone must have published this round.
+                for t in 0..p.threads {
+                    a.movi(P10, slots.raw() + t as u64 * LINE_BYTES);
+                    a.load(T13, P10, 0);
+                    a.assert_cond(
+                        Cond::Eq,
+                        T13,
+                        ROUND,
+                        "barrier released before all threads arrived",
+                    );
+                }
+            }
+            // Dummy computation between the two barrier instances.
+            a.rand_delay(p.nonsynch.0, p.nonsynch.1, TimeComponent::NonSynch);
+            barrier.emit(&mut a, tid);
+            // Inter-iteration dummy computation.
+            a.rand_delay(p.nonsynch.0, p.nonsynch.1, TimeComponent::NonSynch);
+            a.addi(ITER, ITER, 1);
+            a.blt(ITER, ITERS, top);
+            a.halt();
+            a.build()
+        })
+        .collect();
+
+    let threads = p.threads;
+    let iters = p.iters;
+    Workload {
+        layout: lb.build(),
+        programs,
+        init: Vec::new(),
+        pools: Vec::new(),
+        check: Box::new(move |read| {
+            for t in 0..threads {
+                let got = read(Addr::new(slots.raw() + t as u64 * LINE_BYTES));
+                if got != iters {
+                    return Err(format!("thread {t} published round {got}, expected {iters}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockbased::tests::run_on_reference;
+    use crate::KernelId;
+
+    fn smoke(kind: BarrierKind, threads: usize) {
+        let p = KernelParams::smoke(threads);
+        let w = crate::build(KernelId::Barrier(kind, false), &p);
+        run_on_reference(&w, 10_000_000);
+    }
+
+    #[test]
+    fn tree_barrier_kernel_reference() {
+        smoke(BarrierKind::Tree, 4);
+    }
+
+    #[test]
+    fn tree_barrier_kernel_odd_threads() {
+        smoke(BarrierKind::Tree, 5);
+    }
+
+    #[test]
+    fn nary_barrier_kernel_reference() {
+        smoke(BarrierKind::Nary, 6);
+    }
+
+    #[test]
+    fn central_barrier_kernel_reference() {
+        smoke(BarrierKind::Central, 4);
+    }
+
+    #[test]
+    fn single_thread_barrier_degenerates() {
+        smoke(BarrierKind::Tree, 1);
+        smoke(BarrierKind::Central, 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! The paper's 24 synchronization kernels, written in the thread-VM DSL.
+//!
+//! §5.3.1 of the paper: lock-based concurrent data structures (adapted from
+//! Michael & Scott \[29\]) under Test-and-Test-and-Set and Anderson array
+//! locks, six non-blocking data structures, and three barrier shapes in
+//! balanced and unbalanced variants:
+//!
+//! | group | kernels |
+//! |---|---|
+//! | TATAS locks | single-lock queue, double-lock queue, stack, heap, counter, large-CS |
+//! | array locks | the same six |
+//! | non-blocking | Michael–Scott queue, PLJ queue, Treiber stack, Herlihy stack, Herlihy heap, FAI counter |
+//! | barriers | binary tree, n-ary tree (fan-in 4 / fan-out 2), centralized sense-reversing — each balanced and unbalanced |
+//!
+//! [`build`] turns a [`KernelId`] + [`KernelParams`] into a [`Workload`]:
+//! a memory layout (with the DeNovo regions the paper's static
+//! self-invalidations need), one program per thread, initial memory values,
+//! per-thread allocation pools, and a semantic post-condition check.
+//! Workloads run identically on the timed simulator (`dvs-core::System`) and
+//! on the untimed SC reference machine (`dvs-vm::reference::RefMachine`).
+
+pub mod barriers;
+pub mod lockbased;
+pub mod nonblocking;
+pub mod sync;
+
+use dvs_mem::{Addr, MemoryLayout};
+use dvs_vm::Program;
+
+/// Which lock implementation a lock-based kernel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    /// Test-and-Test-and-Set on a single variable.
+    Tatas,
+    /// Anderson array (queue) lock.
+    Array,
+}
+
+/// The barrier shapes of §5.3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BarrierKind {
+    /// Static binary tree (fan-in 2 / fan-out 2).
+    Tree,
+    /// Static tree with fan-in 4 and fan-out 2.
+    Nary,
+    /// Centralized sense-reversing barrier.
+    Central,
+}
+
+/// The lock-based data structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockedStruct {
+    /// Single-lock Michael–Scott-style linked queue.
+    SingleQueue,
+    /// Two-lock queue (separate head and tail locks).
+    DoubleQueue,
+    /// Linked stack.
+    Stack,
+    /// Array-based binary min-heap.
+    Heap,
+    /// Shared counter.
+    Counter,
+    /// Fixed-length large critical section over a shared array.
+    LargeCs,
+}
+
+impl LockedStruct {
+    /// All six, in the paper's figure order.
+    pub const ALL: [LockedStruct; 6] = [
+        LockedStruct::SingleQueue,
+        LockedStruct::DoubleQueue,
+        LockedStruct::Stack,
+        LockedStruct::Heap,
+        LockedStruct::Counter,
+        LockedStruct::LargeCs,
+    ];
+}
+
+/// The non-blocking kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NonBlocking {
+    /// Michael–Scott non-blocking queue (Figure 1 of the paper).
+    MsQueue,
+    /// Prakash–Lee–Johnson snapshot-based queue.
+    PljQueue,
+    /// Treiber stack.
+    TreiberStack,
+    /// Herlihy small-object-copying stack.
+    HerlihyStack,
+    /// Herlihy small-object-copying heap.
+    HerlihyHeap,
+    /// Fetch-and-increment counter.
+    FaiCounter,
+}
+
+impl NonBlocking {
+    /// All six, in the paper's figure order.
+    pub const ALL: [NonBlocking; 6] = [
+        NonBlocking::MsQueue,
+        NonBlocking::PljQueue,
+        NonBlocking::TreiberStack,
+        NonBlocking::HerlihyStack,
+        NonBlocking::HerlihyHeap,
+        NonBlocking::FaiCounter,
+    ];
+}
+
+/// One of the 24 kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelId {
+    /// A lock-based structure under the given lock.
+    Locked(LockedStruct, LockKind),
+    /// A non-blocking structure.
+    NonBlocking(NonBlocking),
+    /// A barrier kernel; `true` selects the unbalanced dummy-compute range.
+    Barrier(BarrierKind, bool),
+}
+
+impl KernelId {
+    /// The kernel's display name (matches the paper's figure labels).
+    pub fn name(self) -> String {
+        match self {
+            KernelId::Locked(s, k) => {
+                let s = match s {
+                    LockedStruct::SingleQueue => "single Q",
+                    LockedStruct::DoubleQueue => "double Q",
+                    LockedStruct::Stack => "stack",
+                    LockedStruct::Heap => "heap",
+                    LockedStruct::Counter => "counter",
+                    LockedStruct::LargeCs => "large CS",
+                };
+                match k {
+                    LockKind::Tatas => s.to_owned(),
+                    LockKind::Array => format!("{s} (array)"),
+                }
+            }
+            KernelId::NonBlocking(n) => match n {
+                NonBlocking::MsQueue => "M-S queue".to_owned(),
+                NonBlocking::PljQueue => "PLJ queue".to_owned(),
+                NonBlocking::TreiberStack => "Treiber stack".to_owned(),
+                NonBlocking::HerlihyStack => "Herlihy stack".to_owned(),
+                NonBlocking::HerlihyHeap => "Herlihy heap".to_owned(),
+                NonBlocking::FaiCounter => "FAI counter".to_owned(),
+            },
+            KernelId::Barrier(k, ub) => {
+                let base = match k {
+                    BarrierKind::Tree => "tree",
+                    BarrierKind::Nary => "n-ary",
+                    BarrierKind::Central => "central",
+                };
+                if ub {
+                    format!("{base} (UB)")
+                } else {
+                    base.to_owned()
+                }
+            }
+        }
+    }
+
+    /// All 24 kernels, grouped as in the paper's Figures 3–6.
+    pub fn all() -> Vec<KernelId> {
+        let mut v = Vec::with_capacity(24);
+        for s in LockedStruct::ALL {
+            v.push(KernelId::Locked(s, LockKind::Tatas));
+        }
+        for s in LockedStruct::ALL {
+            v.push(KernelId::Locked(s, LockKind::Array));
+        }
+        for n in NonBlocking::ALL {
+            v.push(KernelId::NonBlocking(n));
+        }
+        for k in [BarrierKind::Tree, BarrierKind::Nary, BarrierKind::Central] {
+            v.push(KernelId::Barrier(k, false));
+        }
+        for k in [BarrierKind::Tree, BarrierKind::Nary, BarrierKind::Central] {
+            v.push(KernelId::Barrier(k, true));
+        }
+        v
+    }
+}
+
+/// Workload-shaping parameters (§5.3.1 defaults via [`KernelParams::paper`]).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelParams {
+    /// Number of threads (= cores).
+    pub threads: usize,
+    /// Iterations per thread (paper: 100; 1000 for the FAI counter).
+    pub iters: u64,
+    /// Dummy-compute range between iterations, `[lo, hi)` cycles.
+    pub nonsynch: (u64, u64),
+    /// Software exponential backoff after failed attempts (paper: enabled
+    /// for the non-blocking kernels, capped at [128, 2048)).
+    pub sw_backoff: bool,
+    /// Pad each synchronization variable to a full line (paper default; the
+    /// padding ablation turns this off).
+    pub padded_locks: bool,
+    /// Herlihy-kernel modification of §7.1.3: drop redundant equality
+    /// checks.
+    pub reduced_checks: bool,
+}
+
+impl KernelParams {
+    /// The paper's parameters for `kernel` on a `cores`-core system.
+    pub fn paper(kernel: KernelId, cores: usize) -> Self {
+        let unbalanced = matches!(kernel, KernelId::Barrier(_, true));
+        let nonsynch = match (cores >= 64, unbalanced) {
+            (false, false) => (1400, 1800),
+            (false, true) => (400, 2800),
+            (true, false) => (6200, 6600),
+            (true, true) => (1600, 11_200),
+        };
+        KernelParams {
+            threads: cores,
+            iters: if kernel == KernelId::NonBlocking(NonBlocking::FaiCounter) {
+                1000
+            } else {
+                100
+            },
+            nonsynch,
+            sw_backoff: matches!(kernel, KernelId::NonBlocking(_)),
+            padded_locks: true,
+            reduced_checks: false,
+        }
+    }
+
+    /// Small parameters for fast functional tests.
+    pub fn smoke(threads: usize) -> Self {
+        KernelParams {
+            threads,
+            iters: 6,
+            nonsynch: (40, 80),
+            sw_backoff: true,
+            padded_locks: true,
+            reduced_checks: false,
+        }
+    }
+}
+
+/// A semantic post-condition over the final memory image. The argument reads
+/// the architecturally-current value of an address (through whatever cache
+/// holds it).
+pub type Check = Box<dyn Fn(&dyn Fn(Addr) -> u64) -> Result<(), String>>;
+
+/// A ready-to-run workload.
+pub struct Workload {
+    /// The memory layout (regions drive DeNovo self-invalidation).
+    pub layout: MemoryLayout,
+    /// One program per thread.
+    pub programs: Vec<Program>,
+    /// Initial memory values.
+    pub init: Vec<(Addr, u64)>,
+    /// Per-thread allocation pools `(base, bytes)` — inside the layout so
+    /// allocated nodes belong to self-invalidation regions.
+    pub pools: Vec<(Addr, u64)>,
+    /// Semantic post-condition.
+    pub check: Check,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("programs", &self.programs.len())
+            .field("init", &self.init.len())
+            .field("pools", &self.pools.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds the workload for one kernel.
+///
+/// # Panics
+///
+/// Panics if `params.threads` is zero.
+pub fn build(kernel: KernelId, params: &KernelParams) -> Workload {
+    assert!(params.threads > 0, "need at least one thread");
+    match kernel {
+        KernelId::Locked(s, k) => lockbased::build(s, k, params),
+        KernelId::NonBlocking(n) => nonblocking::build(n, params),
+        KernelId::Barrier(k, _) => barriers::build(k, params),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_24_kernels() {
+        let all = KernelId::all();
+        assert_eq!(all.len(), 24);
+        let mut names: Vec<String> = all.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 24, "kernel names must be unique");
+    }
+
+    #[test]
+    fn paper_params_match_section_5() {
+        let p = KernelParams::paper(KernelId::Locked(LockedStruct::Counter, LockKind::Tatas), 16);
+        assert_eq!(p.iters, 100);
+        assert_eq!(p.nonsynch, (1400, 1800));
+        assert!(!p.sw_backoff);
+        let p = KernelParams::paper(KernelId::NonBlocking(NonBlocking::FaiCounter), 64);
+        assert_eq!(p.iters, 1000);
+        assert_eq!(p.nonsynch, (6200, 6600));
+        assert!(p.sw_backoff);
+        let p = KernelParams::paper(KernelId::Barrier(BarrierKind::Central, true), 64);
+        assert_eq!(p.nonsynch, (1600, 11_200));
+    }
+}

@@ -1,0 +1,707 @@
+//! The lock-based kernels: single-lock queue, double-lock queue, stack,
+//! heap, counter, and large-CS, each under TATAS or Anderson array locks
+//! (12 of the 24 kernels).
+//!
+//! Every kernel follows §5.3.1's shape: per iteration, one insertion and one
+//! retrieval (or one increment / one critical section), followed by a random
+//! dummy computation; a binary tree barrier closes the kernel (its wait time
+//! is the "barrier" component of Figures 3–4). Each workload carries a
+//! semantic post-condition: value conservation for the containers (enqueued
+//! = dequeued + remaining), exact totals for the counter and large-CS
+//! kernels, and the heap property for the heap.
+
+use crate::sync::{
+    emit_end_barrier, emit_prologue, ArrayLock, TatasLock, TreeBarrier, EPOCH, ITER, ITERS, ONE,
+    TICKET_A, TICKET_B, TID, ZERO,
+};
+use crate::{KernelParams, LockKind, LockedStruct, Workload};
+use dvs_mem::layout::Region;
+use dvs_mem::{Addr, LayoutBuilder, LINE_BYTES, WORD_BYTES};
+use dvs_stats::TimeComponent;
+use dvs_vm::isa::Reg;
+use dvs_vm::Asm;
+
+// Kernel-persistent accumulators.
+const INS_SUM: Reg = Reg(16);
+const INS_CNT: Reg = Reg(17);
+const DEL_SUM: Reg = Reg(18);
+const DEL_CNT: Reg = Reg(19);
+
+// Iteration-scoped scratch (emitters use r0, r1, r15).
+const V: Reg = Reg(3);
+const T4: Reg = Reg(4);
+const T5: Reg = Reg(5);
+const T6: Reg = Reg(6);
+const T7: Reg = Reg(7);
+const T8: Reg = Reg(8);
+const P10: Reg = Reg(10);
+const P11: Reg = Reg(11);
+const P12: Reg = Reg(12);
+
+/// Words per large-CS critical section.
+pub const LARGE_CS_WORDS: u64 = 64;
+
+/// One lock instance usable by the kernel bodies.
+#[derive(Debug, Clone, Copy)]
+enum Lock {
+    Tatas(TatasLock),
+    Array(ArrayLock),
+}
+
+impl Lock {
+    fn acquire(&self, a: &mut Asm) {
+        match self {
+            Lock::Tatas(l) => l.emit_acquire(a),
+            Lock::Array(l) => l.emit_acquire(a),
+        }
+    }
+
+    fn release(&self, a: &mut Asm) {
+        match self {
+            Lock::Tatas(l) => l.emit_release(a),
+            Lock::Array(l) => l.emit_release(a),
+        }
+    }
+
+    fn init(&self) -> Vec<(Addr, u64)> {
+        match self {
+            Lock::Tatas(_) => Vec::new(),
+            Lock::Array(l) => l.init(),
+        }
+    }
+}
+
+struct Shared {
+    lb: LayoutBuilder,
+    sync: Region,
+    data: Region,
+    end_barrier: Option<TreeBarrier>,
+    results: Addr,
+    init: Vec<(Addr, u64)>,
+}
+
+impl Shared {
+    fn new(p: &KernelParams) -> Self {
+        let mut lb = LayoutBuilder::new();
+        let sync = lb.region("sync");
+        let data = lb.region("data");
+        let results = lb.segment("results", p.threads as u64 * LINE_BYTES, data);
+        let arrive = lb.segment("eb_arrive", p.threads as u64 * LINE_BYTES, sync);
+        let go = lb.segment("eb_go", p.threads as u64 * LINE_BYTES, sync);
+        Shared {
+            lb,
+            sync,
+            data,
+            end_barrier: Some(TreeBarrier {
+                arrive,
+                go,
+                fan_in: 2,
+                fan_out: 2,
+                n: p.threads,
+                data_region: None,
+            }),
+            results,
+            init: Vec::new(),
+        }
+    }
+
+    fn lock(&mut self, name: &str, kind: LockKind, p: &KernelParams, idx: Reg) -> Lock {
+        let lock = match kind {
+            LockKind::Tatas => Lock::Tatas(TatasLock {
+                lock: self.lb.sync_var(name, self.sync, p.padded_locks),
+                data_region: Some(self.data),
+                sw_backoff: p.sw_backoff,
+            }),
+            LockKind::Array => {
+                let stride = if p.padded_locks { LINE_BYTES } else { WORD_BYTES };
+                let nslots = (p.threads as u64 + 1).next_power_of_two();
+                Lock::Array(ArrayLock {
+                    slots: self.lb.segment(
+                        &format!("{name}_slots"),
+                        nslots * stride,
+                        self.sync,
+                    ),
+                    ticket: self.lb.sync_var(&format!("{name}_ticket"), self.sync, p.padded_locks),
+                    nslots,
+                    stride,
+                    data_region: Some(self.data),
+                    idx,
+                })
+            }
+        };
+        self.init.extend(lock.init());
+        lock
+    }
+
+    /// Builds per-thread allocation pools. `allocs` is `(count-per-iter,
+    /// words-per-alloc)` pairs; each allocation is line-padded by the VM.
+    fn pools(&mut self, p: &KernelParams, allocs: &[(u64, u64)]) -> Vec<(Addr, u64)> {
+        let per_iter: u64 = allocs
+            .iter()
+            .map(|&(n, words)| n * (words * WORD_BYTES).div_ceil(LINE_BYTES) * LINE_BYTES)
+            .sum();
+        let bytes = p.iters * per_iter + 4 * LINE_BYTES;
+        (0..p.threads)
+            .map(|t| (self.lb.segment(&format!("pool{t}"), bytes, self.data), bytes))
+            .collect()
+    }
+}
+
+/// Emits `dst_addr_reg = base + idx_reg * 8` into `into`.
+fn word_addr(a: &mut Asm, into: Reg, base: u64, idx: Reg) {
+    a.shl(into, idx, 3);
+    a.addi(into, into, base as i64);
+}
+
+/// value = (tid + 1) * 1_000_000 + iter — unique and nonzero.
+fn emit_unique_value(a: &mut Asm) {
+    a.addi(T4, TID, 1);
+    a.movi(T5, 1_000_000);
+    a.mul(V, T4, T5);
+    a.add(V, V, ITER);
+}
+
+fn emit_iteration_tail(a: &mut Asm, p: &KernelParams, top: dvs_vm::asm::Label) {
+    a.rand_delay(p.nonsynch.0, p.nonsynch.1, TimeComponent::NonSynch);
+    a.addi(ITER, ITER, 1);
+    a.blt(ITER, ITERS, top);
+}
+
+fn emit_epilogue(a: &mut Asm, tid: usize, results: Addr, barrier: &TreeBarrier) {
+    // results[tid] = [ins_sum, ins_cnt, del_sum, del_cnt]
+    a.movi(P10, results.raw() + tid as u64 * LINE_BYTES);
+    a.store(INS_SUM, P10, 0);
+    a.store(INS_CNT, P10, 8);
+    a.store(DEL_SUM, P10, 16);
+    a.store(DEL_CNT, P10, 24);
+    a.fence();
+    a.movi(EPOCH, 0);
+    emit_end_barrier(a, tid, barrier);
+    a.halt();
+}
+
+/// Sums one results column over all threads through the read closure.
+fn sum_results(read: &dyn Fn(Addr) -> u64, results: Addr, threads: usize, col: u64) -> u64 {
+    (0..threads)
+        .map(|t| read(Addr::new(results.raw() + t as u64 * LINE_BYTES + col * 8)))
+        .fold(0u64, |a, b| a.wrapping_add(b))
+}
+
+/// Builds a lock-based workload.
+pub fn build(s: LockedStruct, kind: LockKind, p: &KernelParams) -> Workload {
+    match s {
+        LockedStruct::Counter => build_counter(kind, p),
+        LockedStruct::SingleQueue => build_queue(kind, p, false),
+        LockedStruct::DoubleQueue => build_queue(kind, p, true),
+        LockedStruct::Stack => build_stack(kind, p),
+        LockedStruct::Heap => build_heap(kind, p),
+        LockedStruct::LargeCs => build_large_cs(kind, p),
+    }
+}
+
+fn build_counter(kind: LockKind, p: &KernelParams) -> Workload {
+    let mut sh = Shared::new(p);
+    let lock = sh.lock("lock", kind, p, TICKET_A);
+    let counter = sh.lb.segment("counter", 8, sh.data);
+    let barrier = sh.end_barrier.take().expect("barrier");
+    let results = sh.results;
+
+    let programs = (0..p.threads)
+        .map(|tid| {
+            let mut a = Asm::new("lock-counter");
+            emit_prologue(&mut a, p.iters);
+            let top = a.here();
+            lock.acquire(&mut a);
+            a.movi(P10, counter.raw());
+            a.load(T4, P10, 0);
+            a.addi(T4, T4, 1);
+            a.store(T4, P10, 0);
+            lock.release(&mut a);
+            a.addi(INS_CNT, INS_CNT, 1);
+            emit_iteration_tail(&mut a, p, top);
+            emit_epilogue(&mut a, tid, results, &barrier);
+            a.build()
+        })
+        .collect();
+
+    let expected = p.iters * p.threads as u64;
+    Workload {
+        layout: sh.lb.build(),
+        programs,
+        init: sh.init,
+        pools: Vec::new(),
+        check: Box::new(move |read| {
+            let got = read(counter);
+            if got == expected {
+                Ok(())
+            } else {
+                Err(format!("counter = {got}, expected {expected}"))
+            }
+        }),
+    }
+}
+
+fn build_large_cs(kind: LockKind, p: &KernelParams) -> Workload {
+    let mut sh = Shared::new(p);
+    let lock = sh.lock("lock", kind, p, TICKET_A);
+    let arr = sh.lb.segment("cs_array", LARGE_CS_WORDS * 8, sh.data);
+    let barrier = sh.end_barrier.take().expect("barrier");
+    let results = sh.results;
+
+    let programs = (0..p.threads)
+        .map(|tid| {
+            let mut a = Asm::new("lock-large-cs");
+            emit_prologue(&mut a, p.iters);
+            let top = a.here();
+            lock.acquire(&mut a);
+            // for j in 0..K { arr[j] += 1 }
+            a.movi(T7, 0);
+            a.movi(T8, LARGE_CS_WORDS);
+            let inner = a.here();
+            word_addr(&mut a, P10, arr.raw(), T7);
+            a.load(T4, P10, 0);
+            a.addi(T4, T4, 1);
+            a.store(T4, P10, 0);
+            a.addi(T7, T7, 1);
+            a.blt(T7, T8, inner);
+            lock.release(&mut a);
+            emit_iteration_tail(&mut a, p, top);
+            emit_epilogue(&mut a, tid, results, &barrier);
+            a.build()
+        })
+        .collect();
+
+    let expected = p.iters * p.threads as u64;
+    Workload {
+        layout: sh.lb.build(),
+        programs,
+        init: sh.init,
+        pools: Vec::new(),
+        check: Box::new(move |read| {
+            for j in 0..LARGE_CS_WORDS {
+                let got = read(Addr::new(arr.raw() + j * 8));
+                if got != expected {
+                    return Err(format!("cs_array[{j}] = {got}, expected {expected}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+fn build_queue(kind: LockKind, p: &KernelParams, two_locks: bool) -> Workload {
+    let mut sh = Shared::new(p);
+    let enq_lock = sh.lock("tail_lock", kind, p, TICKET_A);
+    let deq_lock = if two_locks {
+        sh.lock("head_lock", kind, p, TICKET_B)
+    } else {
+        enq_lock
+    };
+    let head = sh.lb.segment("head", 8, sh.data);
+    let tail = sh.lb.segment("tail", 8, sh.data);
+    let dummy = sh.lb.segment("dummy", 16, sh.data);
+    sh.init
+        .extend([(head, dummy.raw()), (tail, dummy.raw())]);
+    let pools = sh.pools(p, &[(1, 2)]);
+    let barrier = sh.end_barrier.take().expect("barrier");
+    let results = sh.results;
+
+    let programs = (0..p.threads)
+        .map(|tid| {
+            let mut a = Asm::new(if two_locks { "double-q" } else { "single-q" });
+            emit_prologue(&mut a, p.iters);
+            let top = a.here();
+            // --- enqueue ---
+            a.alloc(P12, 2); // node: [value, next]
+            emit_unique_value(&mut a);
+            a.store(V, P12, 0);
+            a.store(ZERO, P12, 8);
+            enq_lock.acquire(&mut a);
+            a.movi(P10, tail.raw());
+            a.load(T4, P10, 0); // old tail node
+            a.store(P12, T4, 8); // old_tail->next = node
+            a.store(P12, P10, 0); // tail = node
+            enq_lock.release(&mut a);
+            a.add(INS_SUM, INS_SUM, V);
+            a.addi(INS_CNT, INS_CNT, 1);
+            // --- dequeue ---
+            let empty = a.label();
+            deq_lock.acquire(&mut a);
+            a.movi(P10, head.raw());
+            a.load(T4, P10, 0); // dummy node
+            a.load(T5, T4, 8); // dummy->next
+            let after = a.label();
+            a.beq(T5, ZERO, empty);
+            a.load(T6, T5, 0); // value
+            a.store(T5, P10, 0); // head = next (becomes the new dummy)
+            a.add(DEL_SUM, DEL_SUM, T6);
+            a.addi(DEL_CNT, DEL_CNT, 1);
+            a.jmp(after);
+            a.bind(empty);
+            a.bind(after);
+            deq_lock.release(&mut a);
+            emit_iteration_tail(&mut a, p, top);
+            emit_epilogue(&mut a, tid, results, &barrier);
+            a.build()
+        })
+        .collect();
+
+    let threads = p.threads;
+    let max_nodes = p.iters as usize * threads + 2;
+    Workload {
+        layout: sh.lb.build(),
+        programs,
+        init: sh.init,
+        pools,
+        check: Box::new(move |read| {
+            let enq_sum = sum_results(read, results, threads, 0);
+            let enq_cnt = sum_results(read, results, threads, 1);
+            let deq_sum = sum_results(read, results, threads, 2);
+            let deq_cnt = sum_results(read, results, threads, 3);
+            // Walk the remaining chain from head's dummy.
+            let mut node = read(head);
+            let mut rem_sum = 0u64;
+            let mut rem_cnt = 0u64;
+            let mut steps = 0;
+            loop {
+                let next = read(Addr::new(node + 8));
+                if next == 0 {
+                    break;
+                }
+                rem_sum = rem_sum.wrapping_add(read(Addr::new(next)));
+                rem_cnt += 1;
+                node = next;
+                steps += 1;
+                if steps > max_nodes {
+                    return Err("queue chain longer than total allocations (cycle?)".into());
+                }
+            }
+            if enq_cnt != deq_cnt + rem_cnt {
+                return Err(format!(
+                    "queue count mismatch: enq {enq_cnt} != deq {deq_cnt} + remaining {rem_cnt}"
+                ));
+            }
+            if enq_sum != deq_sum.wrapping_add(rem_sum) {
+                return Err(format!(
+                    "queue value mismatch: enq {enq_sum} != deq {deq_sum} + remaining {rem_sum}"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+fn build_stack(kind: LockKind, p: &KernelParams) -> Workload {
+    let mut sh = Shared::new(p);
+    let lock = sh.lock("lock", kind, p, TICKET_A);
+    let top_ptr = sh.lb.segment("top", 8, sh.data);
+    let pools = sh.pools(p, &[(1, 2)]);
+    let barrier = sh.end_barrier.take().expect("barrier");
+    let results = sh.results;
+
+    let programs = (0..p.threads)
+        .map(|tid| {
+            let mut a = Asm::new("lock-stack");
+            emit_prologue(&mut a, p.iters);
+            let top = a.here();
+            // --- push ---
+            a.alloc(P12, 2);
+            emit_unique_value(&mut a);
+            a.store(V, P12, 0);
+            lock.acquire(&mut a);
+            a.movi(P10, top_ptr.raw());
+            a.load(T4, P10, 0);
+            a.store(T4, P12, 8); // node->next = old top
+            a.store(P12, P10, 0); // top = node
+            lock.release(&mut a);
+            a.add(INS_SUM, INS_SUM, V);
+            a.addi(INS_CNT, INS_CNT, 1);
+            // --- pop ---
+            let empty = a.label();
+            lock.acquire(&mut a);
+            a.movi(P10, top_ptr.raw());
+            a.load(T4, P10, 0);
+            a.beq(T4, ZERO, empty);
+            a.load(T5, T4, 8); // next
+            a.load(T6, T4, 0); // value
+            a.store(T5, P10, 0); // top = next
+            a.add(DEL_SUM, DEL_SUM, T6);
+            a.addi(DEL_CNT, DEL_CNT, 1);
+            a.bind(empty);
+            lock.release(&mut a);
+            emit_iteration_tail(&mut a, p, top);
+            emit_epilogue(&mut a, tid, results, &barrier);
+            a.build()
+        })
+        .collect();
+
+    let threads = p.threads;
+    let max_nodes = p.iters as usize * threads + 2;
+    Workload {
+        layout: sh.lb.build(),
+        programs,
+        init: sh.init,
+        pools,
+        check: Box::new(move |read| {
+            let ins_sum = sum_results(read, results, threads, 0);
+            let ins_cnt = sum_results(read, results, threads, 1);
+            let del_sum = sum_results(read, results, threads, 2);
+            let del_cnt = sum_results(read, results, threads, 3);
+            let mut node = read(top_ptr);
+            let mut rem_sum = 0u64;
+            let mut rem_cnt = 0u64;
+            let mut steps = 0;
+            while node != 0 {
+                rem_sum = rem_sum.wrapping_add(read(Addr::new(node)));
+                rem_cnt += 1;
+                node = read(Addr::new(node + 8));
+                steps += 1;
+                if steps > max_nodes {
+                    return Err("stack chain longer than total allocations (cycle?)".into());
+                }
+            }
+            if ins_cnt != del_cnt + rem_cnt || ins_sum != del_sum.wrapping_add(rem_sum) {
+                return Err(format!(
+                    "stack conservation violated: pushed ({ins_cnt}, {ins_sum}) popped ({del_cnt}, {del_sum}) remaining ({rem_cnt}, {rem_sum})"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+fn build_heap(kind: LockKind, p: &KernelParams) -> Workload {
+    let mut sh = Shared::new(p);
+    let lock = sh.lock("lock", kind, p, TICKET_A);
+    let cap = 2 * p.threads as u64 + 8;
+    let size_w = sh.lb.segment("heap_size", 8, sh.data);
+    // 1-indexed array; slot 0 unused.
+    let arr = sh.lb.segment("heap_arr", (cap + 1) * 8, sh.data);
+    let barrier = sh.end_barrier.take().expect("barrier");
+    let results = sh.results;
+
+    let programs = (0..p.threads)
+        .map(|tid| {
+            let mut a = Asm::new("lock-heap");
+            emit_prologue(&mut a, p.iters);
+            let top = a.here();
+            // v = ((iter*37 + tid*13) % 1000) + 1 — pseudo-random, nonzero.
+            a.movi(T4, 37);
+            a.mul(V, ITER, T4);
+            a.movi(T4, 13);
+            a.mul(T5, TID, T4);
+            a.add(V, V, T5);
+            a.movi(T4, 1000);
+            a.rem(V, V, T4);
+            a.addi(V, V, 1);
+            // --- insert ---
+            lock.acquire(&mut a);
+            a.movi(P10, size_w.raw());
+            a.load(T4, P10, 0);
+            a.addi(T4, T4, 1);
+            a.store(T4, P10, 0);
+            word_addr(&mut a, P11, arr.raw(), T4);
+            a.store(V, P11, 0);
+            // sift-up: i in T4
+            let sift_done = a.label();
+            let sift = a.here();
+            a.beq(T4, ONE, sift_done);
+            a.shr(T5, T4, 1); // parent
+            word_addr(&mut a, P11, arr.raw(), T4);
+            word_addr(&mut a, P12, arr.raw(), T5);
+            a.load(T6, P11, 0);
+            a.load(T7, P12, 0);
+            a.bge(T6, T7, sift_done); // parent <= child: done
+            a.store(T7, P11, 0);
+            a.store(T6, P12, 0);
+            a.mov(T4, T5);
+            a.jmp(sift);
+            a.bind(sift_done);
+            lock.release(&mut a);
+            a.add(INS_SUM, INS_SUM, V);
+            a.addi(INS_CNT, INS_CNT, 1);
+            // --- extract-min ---
+            let empty = a.label();
+            let done = a.label();
+            lock.acquire(&mut a);
+            a.movi(P10, size_w.raw());
+            a.load(T4, P10, 0); // size
+            a.beq(T4, ZERO, empty);
+            a.movi(P11, arr.raw() + 8);
+            a.load(T6, P11, 0); // min
+            word_addr(&mut a, P12, arr.raw(), T4);
+            a.load(T5, P12, 0); // last
+            a.store(T5, P11, 0);
+            a.addi(T4, T4, -1);
+            a.store(T4, P10, 0); // size--
+            a.add(DEL_SUM, DEL_SUM, T6);
+            a.addi(DEL_CNT, DEL_CNT, 1);
+            // sift-down: i in T5 (index), size in T4
+            a.movi(T5, 1);
+            let sd = a.here();
+            let sd_done = a.label();
+            // l = 2i; if l > size: done
+            a.shl(T6, T5, 1);
+            let no_right = a.label();
+            a.blt(T4, T6, sd_done); // size < l
+            // m = l; if r <= size and arr[r] < arr[l]: m = r
+            a.mov(T7, T6); // m = l
+            a.addi(T8, T6, 1); // r
+            a.blt(T4, T8, no_right);
+            word_addr(&mut a, P11, arr.raw(), T6);
+            word_addr(&mut a, P12, arr.raw(), T8);
+            a.load(Reg(13), P11, 0);
+            a.load(Reg(14), P12, 0);
+            a.bge(Reg(14), Reg(13), no_right);
+            a.mov(T7, T8);
+            a.bind(no_right);
+            // if arr[m] >= arr[i]: done else swap, i = m
+            word_addr(&mut a, P11, arr.raw(), T5);
+            word_addr(&mut a, P12, arr.raw(), T7);
+            a.load(Reg(13), P11, 0);
+            a.load(Reg(14), P12, 0);
+            a.bge(Reg(14), Reg(13), sd_done);
+            a.store(Reg(14), P11, 0);
+            a.store(Reg(13), P12, 0);
+            a.mov(T5, T7);
+            a.jmp(sd);
+            a.bind(sd_done);
+            a.jmp(done);
+            a.bind(empty);
+            a.bind(done);
+            lock.release(&mut a);
+            emit_iteration_tail(&mut a, p, top);
+            emit_epilogue(&mut a, tid, results, &barrier);
+            a.build()
+        })
+        .collect();
+
+    let threads = p.threads;
+    Workload {
+        layout: sh.lb.build(),
+        programs,
+        init: sh.init,
+        pools: Vec::new(),
+        check: Box::new(move |read| {
+            let ins_sum = sum_results(read, results, threads, 0);
+            let ins_cnt = sum_results(read, results, threads, 1);
+            let del_sum = sum_results(read, results, threads, 2);
+            let del_cnt = sum_results(read, results, threads, 3);
+            let size = read(size_w);
+            if size > cap {
+                return Err(format!("heap size {size} exceeds capacity {cap}"));
+            }
+            let at = |i: u64| read(Addr::new(arr.raw() + i * 8));
+            let mut rem_sum = 0u64;
+            for i in 1..=size {
+                rem_sum = rem_sum.wrapping_add(at(i));
+                let (l, r) = (2 * i, 2 * i + 1);
+                if l <= size && at(l) < at(i) {
+                    return Err(format!("heap property violated at {i}/{l}"));
+                }
+                if r <= size && at(r) < at(i) {
+                    return Err(format!("heap property violated at {i}/{r}"));
+                }
+            }
+            if ins_cnt != del_cnt + size || ins_sum != del_sum.wrapping_add(rem_sum) {
+                return Err(format!(
+                    "heap conservation violated: in ({ins_cnt}, {ins_sum}) out ({del_cnt}, {del_sum}) remaining ({size}, {rem_sum})"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::KernelId;
+    use dvs_vm::reference::RefMachine;
+
+    /// Runs a workload on the untimed SC reference machine and applies its
+    /// semantic check.
+    pub(crate) fn run_on_reference(w: &Workload, extra_budget: u64) {
+        let mut m = RefMachine::new(w.programs.clone());
+        for &(addr, v) in &w.init {
+            m.memory_mut().write_word(addr.word(), v);
+        }
+        for (i, &(base, bytes)) in w.pools.iter().enumerate() {
+            m.set_thread_pool(i, base, bytes);
+        }
+        m.run(10_000_000 + extra_budget).expect("reference run completes");
+        let read = |a: Addr| m.memory().read_word(a.word());
+        (w.check)(&read).expect("semantic check");
+    }
+
+    fn smoke(s: LockedStruct, kind: LockKind) {
+        let p = KernelParams::smoke(4);
+        let w = crate::build(KernelId::Locked(s, kind), &p);
+        assert_eq!(w.programs.len(), 4);
+        run_on_reference(&w, 0);
+    }
+
+    #[test]
+    fn counter_tatas_reference() {
+        smoke(LockedStruct::Counter, LockKind::Tatas);
+    }
+
+    #[test]
+    fn counter_array_reference() {
+        smoke(LockedStruct::Counter, LockKind::Array);
+    }
+
+    #[test]
+    fn single_queue_tatas_reference() {
+        smoke(LockedStruct::SingleQueue, LockKind::Tatas);
+    }
+
+    #[test]
+    fn double_queue_tatas_reference() {
+        smoke(LockedStruct::DoubleQueue, LockKind::Tatas);
+    }
+
+    #[test]
+    fn double_queue_array_reference() {
+        smoke(LockedStruct::DoubleQueue, LockKind::Array);
+    }
+
+    #[test]
+    fn stack_tatas_reference() {
+        smoke(LockedStruct::Stack, LockKind::Tatas);
+    }
+
+    #[test]
+    fn heap_tatas_reference() {
+        smoke(LockedStruct::Heap, LockKind::Tatas);
+    }
+
+    #[test]
+    fn heap_array_reference() {
+        smoke(LockedStruct::Heap, LockKind::Array);
+    }
+
+    #[test]
+    fn large_cs_tatas_reference() {
+        smoke(LockedStruct::LargeCs, LockKind::Tatas);
+    }
+
+    #[test]
+    fn large_cs_array_reference() {
+        smoke(LockedStruct::LargeCs, LockKind::Array);
+    }
+
+    #[test]
+    fn unpadded_locks_share_lines() {
+        let mut p = KernelParams::smoke(4);
+        p.padded_locks = false;
+        let w = crate::build(
+            KernelId::Locked(LockedStruct::DoubleQueue, LockKind::Tatas),
+            &p,
+        );
+        let tl = w.layout.segment("tail_lock").expect("tail lock");
+        let hl = w.layout.segment("head_lock").expect("head lock");
+        assert_eq!(tl.base.line(), hl.base.line(), "unpadded locks pack");
+        run_on_reference(&w, 0);
+    }
+}

@@ -1,0 +1,814 @@
+//! The non-blocking kernels: Michael–Scott queue, PLJ queue, Treiber stack,
+//! Herlihy stack, Herlihy heap, and FAI counter (§5.3.1, adapted from \[29\]).
+//!
+//! All synchronization variables (queue head/tail, stack top, object root,
+//! node `next` fields reached by CAS) are accessed with synchronization
+//! loads and CAS — the access mix that stresses DeNovoSync0's single-reader
+//! rule with "many repeated reads for equality checks" (§6.2). Each kernel
+//! applies software exponential backoff after a failed attempt (paper:
+//! delays in [128, 2048)).
+//!
+//! The Herlihy structures use Herlihy's small-object methodology: copy the
+//! object into a fresh private block, modify the copy, and CAS the shared
+//! root pointer. Their extra validation reads are the target of the §7.1.3
+//! "software modifications" ablation (`KernelParams::reduced_checks`).
+
+use crate::sync::{
+    emit_end_barrier, emit_prologue, emit_sw_backoff, emit_sw_backoff_reset, TreeBarrier, EPOCH,
+    ITER, ITERS, ONE, TID, ZERO,
+};
+use crate::{KernelParams, NonBlocking, Workload};
+use dvs_mem::{Addr, LayoutBuilder, LINE_BYTES, WORD_BYTES};
+use dvs_stats::TimeComponent;
+use dvs_vm::asm::Label;
+use dvs_vm::isa::Reg;
+use dvs_vm::Asm;
+
+const INS_SUM: Reg = Reg(16);
+const INS_CNT: Reg = Reg(17);
+const DEL_SUM: Reg = Reg(18);
+const DEL_CNT: Reg = Reg(19);
+
+const V: Reg = Reg(3);
+const T4: Reg = Reg(4);
+const T5: Reg = Reg(5);
+const T6: Reg = Reg(6);
+const T7: Reg = Reg(7);
+const T8: Reg = Reg(8);
+const T9: Reg = Reg(9);
+const P10: Reg = Reg(10);
+const P11: Reg = Reg(11);
+const P12: Reg = Reg(12);
+const T13: Reg = Reg(13);
+const T14: Reg = Reg(14);
+
+/// Herlihy small-object capacity (elements).
+pub const HERLIHY_CAP: u64 = 48;
+
+struct Shell {
+    lb: LayoutBuilder,
+    sync: dvs_mem::Region,
+    data: dvs_mem::Region,
+    results: Addr,
+    barrier: TreeBarrier,
+    init: Vec<(Addr, u64)>,
+}
+
+impl Shell {
+    fn new(p: &KernelParams) -> Self {
+        let mut lb = LayoutBuilder::new();
+        let sync = lb.region("sync");
+        let data = lb.region("data");
+        let results = lb.segment("results", p.threads as u64 * LINE_BYTES, data);
+        let arrive = lb.segment("eb_arrive", p.threads as u64 * LINE_BYTES, sync);
+        let go = lb.segment("eb_go", p.threads as u64 * LINE_BYTES, sync);
+        Shell {
+            lb,
+            sync,
+            data,
+            results,
+            barrier: TreeBarrier {
+                arrive,
+                go,
+                fan_in: 2,
+                fan_out: 2,
+                n: p.threads,
+                data_region: None,
+            },
+            init: Vec::new(),
+        }
+    }
+
+    /// Builds per-thread allocation pools. `allocs` is `(count-per-iter,
+    /// words-per-alloc)` pairs; each allocation is line-padded by the VM.
+    fn pools(&mut self, p: &KernelParams, allocs: &[(u64, u64)]) -> Vec<(Addr, u64)> {
+        let per_iter: u64 = allocs
+            .iter()
+            .map(|&(n, words)| n * (words * WORD_BYTES).div_ceil(LINE_BYTES) * LINE_BYTES)
+            .sum();
+        let bytes = p.iters * per_iter + 4 * LINE_BYTES;
+        (0..p.threads)
+            .map(|t| (self.lb.segment(&format!("pool{t}"), bytes, self.data), bytes))
+            .collect()
+    }
+}
+
+fn emit_unique_value(a: &mut Asm) {
+    a.addi(T4, TID, 1);
+    a.movi(T5, 1_000_000);
+    a.mul(V, T4, T5);
+    a.add(V, V, ITER);
+}
+
+fn emit_iteration_tail(a: &mut Asm, p: &KernelParams, top: Label) {
+    a.rand_delay(p.nonsynch.0, p.nonsynch.1, TimeComponent::NonSynch);
+    a.addi(ITER, ITER, 1);
+    a.blt(ITER, ITERS, top);
+}
+
+fn emit_epilogue(a: &mut Asm, tid: usize, results: Addr, barrier: &TreeBarrier) {
+    a.movi(P10, results.raw() + tid as u64 * LINE_BYTES);
+    a.store(INS_SUM, P10, 0);
+    a.store(INS_CNT, P10, 8);
+    a.store(DEL_SUM, P10, 16);
+    a.store(DEL_CNT, P10, 24);
+    a.fence();
+    a.movi(EPOCH, 0);
+    emit_end_barrier(a, tid, barrier);
+    a.halt();
+}
+
+fn maybe_backoff(a: &mut Asm, p: &KernelParams) {
+    if p.sw_backoff {
+        emit_sw_backoff(a);
+    }
+}
+
+fn maybe_reset(a: &mut Asm, p: &KernelParams) {
+    if p.sw_backoff {
+        emit_sw_backoff_reset(a);
+    }
+}
+
+fn sum_results(read: &dyn Fn(Addr) -> u64, results: Addr, threads: usize, col: u64) -> u64 {
+    (0..threads)
+        .map(|t| read(Addr::new(results.raw() + t as u64 * LINE_BYTES + col * 8)))
+        .fold(0u64, |a, b| a.wrapping_add(b))
+}
+
+/// Builds a non-blocking workload.
+pub fn build(n: NonBlocking, p: &KernelParams) -> Workload {
+    match n {
+        NonBlocking::FaiCounter => build_fai(p),
+        NonBlocking::MsQueue => build_ms_like_queue(p, false),
+        NonBlocking::PljQueue => build_ms_like_queue(p, true),
+        NonBlocking::TreiberStack => build_treiber(p),
+        NonBlocking::HerlihyStack => build_herlihy_stack(p),
+        NonBlocking::HerlihyHeap => build_herlihy_heap(p),
+    }
+}
+
+fn build_fai(p: &KernelParams) -> Workload {
+    let mut sh = Shell::new(p);
+    let counter = sh.lb.sync_var("counter", sh.sync, p.padded_locks);
+    let results = sh.results;
+    let barrier = sh.barrier;
+
+    let programs = (0..p.threads)
+        .map(|tid| {
+            let mut a = Asm::new("fai-counter");
+            emit_prologue(&mut a, p.iters);
+            let top = a.here();
+            a.movi(P10, counter.raw());
+            a.fai(T4, P10, 0, ONE);
+            a.addi(INS_CNT, INS_CNT, 1);
+            emit_iteration_tail(&mut a, p, top);
+            emit_epilogue(&mut a, tid, results, &barrier);
+            a.build()
+        })
+        .collect();
+
+    let expected = p.iters * p.threads as u64;
+    Workload {
+        layout: sh.lb.build(),
+        programs,
+        init: sh.init,
+        pools: Vec::new(),
+        check: Box::new(move |read| {
+            let got = read(counter);
+            if got == expected {
+                Ok(())
+            } else {
+                Err(format!("FAI counter = {got}, expected {expected}"))
+            }
+        }),
+    }
+}
+
+/// The Michael–Scott non-blocking queue (paper Figure 1); with
+/// `snapshot = true`, a PLJ-style variant that takes a consistent
+/// double-read snapshot before acting (more synchronization reads per
+/// attempt).
+fn build_ms_like_queue(p: &KernelParams, snapshot: bool) -> Workload {
+    let mut sh = Shell::new(p);
+    let head = sh.lb.sync_var("head", sh.sync, p.padded_locks);
+    let tail = sh.lb.sync_var("tail", sh.sync, p.padded_locks);
+    let dummy = sh.lb.segment("dummy", 16, sh.data);
+    sh.init.extend([(head, dummy.raw()), (tail, dummy.raw())]);
+    let pools = sh.pools(p, &[(1, 2)]);
+    let results = sh.results;
+    let barrier = sh.barrier;
+
+    let programs = (0..p.threads)
+        .map(|tid| {
+            let mut a = Asm::new(if snapshot { "plj-queue" } else { "ms-queue" });
+            emit_prologue(&mut a, p.iters);
+            let top = a.here();
+            // ---- enqueue (Figure 1a) ----
+            a.alloc(P12, 2);
+            emit_unique_value(&mut a);
+            a.store(V, P12, 0);
+            a.store(ZERO, P12, 8);
+            a.fence(); // publish: node fields visible before the linking CAS
+            let e_loop = a.here();
+            let e_retry = a.label();
+            let e_done = a.label();
+            a.movi(P10, tail.raw());
+            a.loads(T4, P10, 0); // (1) pt := tail
+            a.loads(T5, T4, 8); // (2) pn := pt->next
+            if snapshot {
+                // PLJ: re-read the pair and require a consistent snapshot.
+                a.loads(T6, P10, 0);
+                a.bne(T6, T4, e_retry);
+                a.loads(T6, T4, 8);
+                a.bne(T6, T5, e_retry);
+            }
+            a.loads(T6, P10, 0); // (3) if pt == tail
+            a.bne(T6, T4, e_retry);
+            let e_fix = a.label();
+            a.bne(T5, ZERO, e_fix); // (4) if pn == null
+            a.cas(T7, T4, 8, ZERO, P12); // (5) CAS(&pt->next, 0, node)
+            a.beq(T7, ZERO, e_done);
+            a.jmp(e_retry);
+            a.bind(e_fix);
+            a.cas(T7, P10, 0, T4, T5); // (6) CAS(&tail, pt, pn)
+            a.bind(e_retry);
+            maybe_backoff(&mut a, p);
+            a.jmp(e_loop);
+            a.bind(e_done);
+            maybe_reset(&mut a, p);
+            a.cas(T7, P10, 0, T4, P12); // (7) CAS(&tail, pt, node)
+            a.add(INS_SUM, INS_SUM, V);
+            a.addi(INS_CNT, INS_CNT, 1);
+            // ---- dequeue (Figure 1b) ----
+            let d_loop = a.here();
+            let d_retry = a.label();
+            let d_done = a.label();
+            let d_empty = a.label();
+            a.movi(P10, head.raw());
+            a.movi(P11, tail.raw());
+            a.loads(T4, P10, 0); // ph := head
+            a.loads(T5, P11, 0); // pt := tail
+            a.loads(T6, T4, 8); // pn := ph->next
+            if snapshot {
+                a.loads(T7, P10, 0);
+                a.bne(T7, T4, d_retry);
+                a.loads(T7, T4, 8);
+                a.bne(T7, T6, d_retry);
+            }
+            a.loads(T7, P10, 0); // if ph == head
+            a.bne(T7, T4, d_retry);
+            let d_nonempty = a.label();
+            a.bne(T4, T5, d_nonempty); // if ph == pt
+            a.beq(T6, ZERO, d_empty); // pn == null: empty
+            a.cas(T7, P11, 0, T5, T6); // CAS(&tail, pt, pn)
+            a.jmp(d_retry);
+            a.bind(d_nonempty);
+            a.load(T8, T6, 0); // rtn := pn->value (immutable once published)
+            a.cas(T7, P10, 0, T4, T6); // CAS(&head, ph, pn)
+            a.beq(T7, T4, d_done);
+            a.bind(d_retry);
+            maybe_backoff(&mut a, p);
+            a.jmp(d_loop);
+            a.bind(d_done);
+            maybe_reset(&mut a, p);
+            a.add(DEL_SUM, DEL_SUM, T8);
+            a.addi(DEL_CNT, DEL_CNT, 1);
+            a.bind(d_empty);
+            emit_iteration_tail(&mut a, p, top);
+            emit_epilogue(&mut a, tid, results, &barrier);
+            a.build()
+        })
+        .collect();
+
+    let threads = p.threads;
+    let max_nodes = p.iters as usize * threads + 2;
+    Workload {
+        layout: sh.lb.build(),
+        programs,
+        init: sh.init,
+        pools,
+        check: Box::new(move |read| {
+            let enq_sum = sum_results(read, results, threads, 0);
+            let enq_cnt = sum_results(read, results, threads, 1);
+            let deq_sum = sum_results(read, results, threads, 2);
+            let deq_cnt = sum_results(read, results, threads, 3);
+            let mut node = read(head);
+            let (mut rem_sum, mut rem_cnt, mut steps) = (0u64, 0u64, 0usize);
+            loop {
+                let next = read(Addr::new(node + 8));
+                if next == 0 {
+                    break;
+                }
+                rem_sum = rem_sum.wrapping_add(read(Addr::new(next)));
+                rem_cnt += 1;
+                node = next;
+                steps += 1;
+                if steps > max_nodes {
+                    return Err("queue chain longer than total allocations (cycle?)".into());
+                }
+            }
+            if enq_cnt != deq_cnt + rem_cnt || enq_sum != deq_sum.wrapping_add(rem_sum) {
+                return Err(format!(
+                    "queue conservation violated: enq ({enq_cnt}, {enq_sum}) deq ({deq_cnt}, {deq_sum}) remaining ({rem_cnt}, {rem_sum})"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+fn build_treiber(p: &KernelParams) -> Workload {
+    let mut sh = Shell::new(p);
+    let top_ptr = sh.lb.sync_var("top", sh.sync, p.padded_locks);
+    let pools = sh.pools(p, &[(1, 2)]);
+    let results = sh.results;
+    let barrier = sh.barrier;
+
+    let programs = (0..p.threads)
+        .map(|tid| {
+            let mut a = Asm::new("treiber-stack");
+            emit_prologue(&mut a, p.iters);
+            let top = a.here();
+            // ---- push ----
+            a.alloc(P12, 2);
+            emit_unique_value(&mut a);
+            a.store(V, P12, 0);
+            let pu_loop = a.here();
+            let pu_done = a.label();
+            a.movi(P10, top_ptr.raw());
+            a.loads(T4, P10, 0); // old top
+            a.store(T4, P12, 8); // node->next = old
+            a.fence();
+            a.cas(T5, P10, 0, T4, P12); // CAS(&top, old, node)
+            a.beq(T5, T4, pu_done);
+            maybe_backoff(&mut a, p);
+            a.jmp(pu_loop);
+            a.bind(pu_done);
+            maybe_reset(&mut a, p);
+            a.add(INS_SUM, INS_SUM, V);
+            a.addi(INS_CNT, INS_CNT, 1);
+            // ---- pop ----
+            let po_loop = a.here();
+            let po_done = a.label();
+            let po_empty = a.label();
+            a.movi(P10, top_ptr.raw());
+            a.loads(T4, P10, 0);
+            a.beq(T4, ZERO, po_empty);
+            a.load(T5, T4, 8); // next (immutable once published)
+            a.load(T6, T4, 0); // value
+            a.cas(T7, P10, 0, T4, T5);
+            a.beq(T7, T4, po_done);
+            maybe_backoff(&mut a, p);
+            a.jmp(po_loop);
+            a.bind(po_done);
+            maybe_reset(&mut a, p);
+            a.add(DEL_SUM, DEL_SUM, T6);
+            a.addi(DEL_CNT, DEL_CNT, 1);
+            a.bind(po_empty);
+            emit_iteration_tail(&mut a, p, top);
+            emit_epilogue(&mut a, tid, results, &barrier);
+            a.build()
+        })
+        .collect();
+
+    let threads = p.threads;
+    let max_nodes = p.iters as usize * threads + 2;
+    Workload {
+        layout: sh.lb.build(),
+        programs,
+        init: sh.init,
+        pools,
+        check: Box::new(move |read| {
+            let ins_sum = sum_results(read, results, threads, 0);
+            let ins_cnt = sum_results(read, results, threads, 1);
+            let del_sum = sum_results(read, results, threads, 2);
+            let del_cnt = sum_results(read, results, threads, 3);
+            let mut node = read(top_ptr);
+            let (mut rem_sum, mut rem_cnt, mut steps) = (0u64, 0u64, 0usize);
+            while node != 0 {
+                rem_sum = rem_sum.wrapping_add(read(Addr::new(node)));
+                rem_cnt += 1;
+                node = read(Addr::new(node + 8));
+                steps += 1;
+                if steps > max_nodes {
+                    return Err("stack chain longer than total allocations (cycle?)".into());
+                }
+            }
+            if ins_cnt != del_cnt + rem_cnt || ins_sum != del_sum.wrapping_add(rem_sum) {
+                return Err(format!(
+                    "Treiber conservation violated: pushed ({ins_cnt}, {ins_sum}) popped ({del_cnt}, {del_sum}) remaining ({rem_cnt}, {rem_sum})"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Emits `copy block[0..=count_reg words] from src_reg to dst_reg`, starting
+/// at word offset `from`. Clobbers T13, T14, T9.
+fn emit_block_copy(a: &mut Asm, src: Reg, dst: Reg, count: Reg, from: u64) {
+    a.movi(T9, from);
+    let loop_ = a.here();
+    let done = a.label();
+    a.bge(T9, count, done);
+    a.shl(T13, T9, 3);
+    a.add(T13, T13, src);
+    a.load(T14, T13, 0);
+    a.shl(T13, T9, 3);
+    a.add(T13, T13, dst);
+    a.store(T14, T13, 0);
+    a.addi(T9, T9, 1);
+    a.jmp(loop_);
+    a.bind(done);
+}
+
+/// Herlihy small-object stack: copy the published block, modify the copy,
+/// CAS the root.
+fn build_herlihy_stack(p: &KernelParams) -> Workload {
+    let mut sh = Shell::new(p);
+    let root = sh.lb.sync_var("root", sh.sync, p.padded_locks);
+    let init_block = sh.lb.segment("init_block", (HERLIHY_CAP + 1) * 8, sh.data);
+    sh.init.push((root, init_block.raw()));
+    let pools = sh.pools(p, &[(2, HERLIHY_CAP + 1)]);
+    let results = sh.results;
+    let barrier = sh.barrier;
+    let reduced = p.reduced_checks;
+
+    let programs = (0..p.threads)
+        .map(|tid| {
+            let mut a = Asm::new("herlihy-stack");
+            emit_prologue(&mut a, p.iters);
+            let top = a.here();
+            emit_unique_value(&mut a);
+            // ---- push: new block = old block + V on top ----
+            a.alloc(P12, (HERLIHY_CAP + 1) as u32);
+            let pu_loop = a.here();
+            let pu_done = a.label();
+            let pu_retry = a.label();
+            let pu_skip = a.label();
+            a.movi(P10, root.raw());
+            a.loads(T4, P10, 0); // r = root
+            if !reduced {
+                // Early filter: is the root still r? (the §7.1.3 check)
+                a.loads(T5, P10, 0);
+                a.bne(T5, T4, pu_retry);
+            }
+            a.load(T5, T4, 0); // size
+            a.movi(T6, HERLIHY_CAP);
+            a.bge(T5, T6, pu_skip); // full: skip this push
+            // copy [1..=size] then append.
+            a.addi(T6, T5, 1);
+            a.store(T6, P12, 0); // new size
+            emit_block_copy(&mut a, T4, P12, T6, 1);
+            a.shl(T13, T6, 3);
+            a.add(T13, T13, P12);
+            a.store(V, T13, 0); // elems[new size] = V
+            a.fence();
+            if !reduced {
+                a.loads(T7, P10, 0); // validate before the CAS
+                a.bne(T7, T4, pu_retry);
+            }
+            a.cas(T7, P10, 0, T4, P12);
+            a.beq(T7, T4, pu_done);
+            a.bind(pu_retry);
+            maybe_backoff(&mut a, p);
+            a.jmp(pu_loop);
+            a.bind(pu_done);
+            maybe_reset(&mut a, p);
+            a.add(INS_SUM, INS_SUM, V);
+            a.addi(INS_CNT, INS_CNT, 1);
+            a.bind(pu_skip);
+            // ---- pop: new block = old block minus its top ----
+            a.alloc(P11, (HERLIHY_CAP + 1) as u32);
+            let po_loop = a.here();
+            let po_done = a.label();
+            let po_retry = a.label();
+            let po_empty = a.label();
+            a.movi(P10, root.raw());
+            a.loads(T4, P10, 0);
+            if !reduced {
+                a.loads(T5, P10, 0);
+                a.bne(T5, T4, po_retry);
+            }
+            a.load(T5, T4, 0); // size
+            a.beq(T5, ZERO, po_empty);
+            // value = elems[size]
+            a.shl(T13, T5, 3);
+            a.add(T13, T13, T4);
+            a.load(T8, T13, 0);
+            a.addi(T6, T5, -1);
+            a.store(T6, P11, 0);
+            emit_block_copy(&mut a, T4, P11, T5, 1); // keep words 1..=size-1
+            // (word at index size in the copy is garbage; size field caps it)
+            a.fence();
+            if !reduced {
+                a.loads(T7, P10, 0);
+                a.bne(T7, T4, po_retry);
+            }
+            a.cas(T7, P10, 0, T4, P11);
+            a.beq(T7, T4, po_done);
+            a.bind(po_retry);
+            maybe_backoff(&mut a, p);
+            a.jmp(po_loop);
+            a.bind(po_done);
+            maybe_reset(&mut a, p);
+            a.add(DEL_SUM, DEL_SUM, T8);
+            a.addi(DEL_CNT, DEL_CNT, 1);
+            a.bind(po_empty);
+            emit_iteration_tail(&mut a, p, top);
+            emit_epilogue(&mut a, tid, results, &barrier);
+            a.build()
+        })
+        .collect();
+
+    let threads = p.threads;
+    Workload {
+        layout: sh.lb.build(),
+        programs,
+        init: sh.init,
+        pools,
+        check: Box::new(move |read| {
+            let ins_sum = sum_results(read, results, threads, 0);
+            let ins_cnt = sum_results(read, results, threads, 1);
+            let del_sum = sum_results(read, results, threads, 2);
+            let del_cnt = sum_results(read, results, threads, 3);
+            let block = read(root);
+            let size = read(Addr::new(block));
+            if size > HERLIHY_CAP {
+                return Err(format!("published stack size {size} exceeds capacity"));
+            }
+            let mut rem_sum = 0u64;
+            for i in 1..=size {
+                rem_sum = rem_sum.wrapping_add(read(Addr::new(block + i * 8)));
+            }
+            if ins_cnt != del_cnt + size || ins_sum != del_sum.wrapping_add(rem_sum) {
+                return Err(format!(
+                    "Herlihy stack conservation violated: in ({ins_cnt}, {ins_sum}) out ({del_cnt}, {del_sum}) remaining ({size}, {rem_sum})"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Herlihy small-object min-heap.
+fn build_herlihy_heap(p: &KernelParams) -> Workload {
+    let mut sh = Shell::new(p);
+    let root = sh.lb.sync_var("root", sh.sync, p.padded_locks);
+    let cap = 2 * p.threads as u64 + 8;
+    let init_block = sh.lb.segment("init_block", (cap + 1) * 8, sh.data);
+    sh.init.push((root, init_block.raw()));
+    let pools = sh.pools(p, &[(2, cap + 1)]);
+    let results = sh.results;
+    let barrier = sh.barrier;
+    let reduced = p.reduced_checks;
+
+    let programs = (0..p.threads)
+        .map(|tid| {
+            let mut a = Asm::new("herlihy-heap");
+            emit_prologue(&mut a, p.iters);
+            let top = a.here();
+            // v = ((iter*37 + tid*13) % 1000) + 1
+            a.movi(T4, 37);
+            a.mul(V, ITER, T4);
+            a.movi(T4, 13);
+            a.mul(T5, TID, T4);
+            a.add(V, V, T5);
+            a.movi(T4, 1000);
+            a.rem(V, V, T4);
+            a.addi(V, V, 1);
+            // ---- insert ----
+            a.alloc(P12, (cap + 1) as u32);
+            let in_loop = a.here();
+            let in_done = a.label();
+            let in_retry = a.label();
+            let in_skip = a.label();
+            a.movi(P10, root.raw());
+            a.loads(T4, P10, 0);
+            if !reduced {
+                a.loads(T5, P10, 0);
+                a.bne(T5, T4, in_retry);
+            }
+            a.load(T5, T4, 0); // size
+            a.movi(T6, cap);
+            a.bge(T5, T6, in_skip);
+            a.addi(T6, T5, 1);
+            a.store(T6, P12, 0);
+            emit_block_copy(&mut a, T4, P12, T6, 1);
+            // copy[new size] = v; sift up on the private copy.
+            a.shl(T13, T6, 3);
+            a.add(T13, T13, P12);
+            a.store(V, T13, 0);
+            // sift-up: i in T6
+            let su_done = a.label();
+            let su = a.here();
+            a.beq(T6, ONE, su_done);
+            a.shr(T7, T6, 1);
+            a.shl(T13, T6, 3);
+            a.add(T13, T13, P12);
+            a.shl(T14, T7, 3);
+            a.add(T14, T14, P12);
+            a.load(T8, T13, 0);
+            a.load(T9, T14, 0);
+            a.bge(T8, T9, su_done);
+            a.store(T9, T13, 0);
+            a.store(T8, T14, 0);
+            a.mov(T6, T7);
+            a.jmp(su);
+            a.bind(su_done);
+            a.fence();
+            if !reduced {
+                a.loads(T7, P10, 0);
+                a.bne(T7, T4, in_retry);
+            }
+            a.cas(T7, P10, 0, T4, P12);
+            a.beq(T7, T4, in_done);
+            a.bind(in_retry);
+            maybe_backoff(&mut a, p);
+            a.jmp(in_loop);
+            a.bind(in_done);
+            maybe_reset(&mut a, p);
+            a.add(INS_SUM, INS_SUM, V);
+            a.addi(INS_CNT, INS_CNT, 1);
+            a.bind(in_skip);
+            // ---- extract-min ----
+            a.alloc(P11, (cap + 1) as u32);
+            let ex_loop = a.here();
+            let ex_done = a.label();
+            let ex_retry = a.label();
+            let ex_empty = a.label();
+            a.movi(P10, root.raw());
+            a.loads(T4, P10, 0);
+            if !reduced {
+                a.loads(T5, P10, 0);
+                a.bne(T5, T4, ex_retry);
+            }
+            a.load(T5, T4, 0); // size
+            a.beq(T5, ZERO, ex_empty);
+            a.load(T8, T4, 8); // min = arr[1]
+            a.addi(T6, T5, -1);
+            a.store(T6, P11, 0); // new size
+            // Keep old arr[1..=size-1] (bound = OLD size), then move the old
+            // last element into the root slot.
+            emit_block_copy(&mut a, T4, P11, T5, 1);
+            // copy[1] = old arr[size]
+            a.shl(T13, T5, 3);
+            a.add(T13, T13, T4);
+            a.load(T7, T13, 0);
+            a.store(T7, P11, 8);
+            // sift-down on the copy: i=1 in T5, size in T6
+            a.movi(T5, 1);
+            let sd = a.here();
+            let sd_done = a.label();
+            let no_r = a.label();
+            a.shl(T7, T5, 1); // l
+            a.blt(T6, T7, sd_done); // size < l
+            a.mov(T9, T7); // m = l
+            a.addi(T7, T7, 1); // r
+            a.blt(T6, T7, no_r);
+            a.shl(T13, T9, 3);
+            a.add(T13, T13, P11);
+            a.shl(T14, T7, 3);
+            a.add(T14, T14, P11);
+            a.load(Reg(20), T13, 0);
+            a.load(Reg(21), T14, 0);
+            a.bge(Reg(21), Reg(20), no_r);
+            a.mov(T9, T7);
+            a.bind(no_r);
+            a.shl(T13, T5, 3);
+            a.add(T13, T13, P11);
+            a.shl(T14, T9, 3);
+            a.add(T14, T14, P11);
+            a.load(Reg(20), T13, 0);
+            a.load(Reg(21), T14, 0);
+            a.bge(Reg(21), Reg(20), sd_done);
+            a.store(Reg(21), T13, 0);
+            a.store(Reg(20), T14, 0);
+            a.mov(T5, T9);
+            a.jmp(sd);
+            a.bind(sd_done);
+            a.fence();
+            if !reduced {
+                a.loads(T7, P10, 0);
+                a.bne(T7, T4, ex_retry);
+            }
+            a.cas(T7, P10, 0, T4, P11);
+            a.beq(T7, T4, ex_done);
+            a.bind(ex_retry);
+            maybe_backoff(&mut a, p);
+            a.jmp(ex_loop);
+            a.bind(ex_done);
+            maybe_reset(&mut a, p);
+            a.add(DEL_SUM, DEL_SUM, T8);
+            a.addi(DEL_CNT, DEL_CNT, 1);
+            a.bind(ex_empty);
+            emit_iteration_tail(&mut a, p, top);
+            emit_epilogue(&mut a, tid, results, &barrier);
+            a.build()
+        })
+        .collect();
+
+    let threads = p.threads;
+    Workload {
+        layout: sh.lb.build(),
+        programs,
+        init: sh.init,
+        pools,
+        check: Box::new(move |read| {
+            let ins_sum = sum_results(read, results, threads, 0);
+            let ins_cnt = sum_results(read, results, threads, 1);
+            let del_sum = sum_results(read, results, threads, 2);
+            let del_cnt = sum_results(read, results, threads, 3);
+            let block = read(root);
+            let size = read(Addr::new(block));
+            if size > cap {
+                return Err(format!("published heap size {size} exceeds capacity"));
+            }
+            let at = |i: u64| read(Addr::new(block + i * 8));
+            let mut rem_sum = 0u64;
+            for i in 1..=size {
+                rem_sum = rem_sum.wrapping_add(at(i));
+                let (l, r) = (2 * i, 2 * i + 1);
+                if l <= size && at(l) < at(i) {
+                    return Err(format!("heap property violated at {i}/{l}"));
+                }
+                if r <= size && at(r) < at(i) {
+                    return Err(format!("heap property violated at {i}/{r}"));
+                }
+            }
+            if ins_cnt != del_cnt + size || ins_sum != del_sum.wrapping_add(rem_sum) {
+                return Err(format!(
+                    "Herlihy heap conservation violated: in ({ins_cnt}, {ins_sum}) out ({del_cnt}, {del_sum}) remaining ({size}, {rem_sum})"
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockbased::tests::run_on_reference;
+    use crate::KernelId;
+
+    fn smoke(n: NonBlocking) {
+        let p = KernelParams::smoke(4);
+        let w = crate::build(KernelId::NonBlocking(n), &p);
+        run_on_reference(&w, 10_000_000);
+    }
+
+    #[test]
+    fn fai_counter_reference() {
+        smoke(NonBlocking::FaiCounter);
+    }
+
+    #[test]
+    fn ms_queue_reference() {
+        smoke(NonBlocking::MsQueue);
+    }
+
+    #[test]
+    fn plj_queue_reference() {
+        smoke(NonBlocking::PljQueue);
+    }
+
+    #[test]
+    fn treiber_stack_reference() {
+        smoke(NonBlocking::TreiberStack);
+    }
+
+    #[test]
+    fn herlihy_stack_reference() {
+        smoke(NonBlocking::HerlihyStack);
+    }
+
+    #[test]
+    fn herlihy_heap_reference() {
+        smoke(NonBlocking::HerlihyHeap);
+    }
+
+    #[test]
+    fn herlihy_reduced_checks_reference() {
+        let mut p = KernelParams::smoke(4);
+        p.reduced_checks = true;
+        for n in [NonBlocking::HerlihyStack, NonBlocking::HerlihyHeap] {
+            let w = crate::build(KernelId::NonBlocking(n), &p);
+            run_on_reference(&w, 10_000_000);
+        }
+    }
+
+    #[test]
+    fn reduced_checks_shrinks_programs() {
+        let p_full = KernelParams::smoke(4);
+        let mut p_red = KernelParams::smoke(4);
+        p_red.reduced_checks = true;
+        let full = crate::build(KernelId::NonBlocking(NonBlocking::HerlihyStack), &p_full);
+        let red = crate::build(KernelId::NonBlocking(NonBlocking::HerlihyStack), &p_red);
+        assert!(
+            red.programs[0].len() < full.programs[0].len(),
+            "reduced-check variant must drop instructions"
+        );
+    }
+}

@@ -1,0 +1,533 @@
+//! Reusable synchronization-construct emitters.
+//!
+//! These mirror the synchronization routines the paper instruments ("we
+//! inserted region-based static self-invalidation instructions ... in the
+//! POSIX thread library synchronization routines"): every acquire-side
+//! construct ends with a `SelfInv` of the protected data region (a no-op on
+//! MESI), and every release-side construct starts with a `Fence` so
+//! non-blocking data writes are globally performed before the release is
+//! visible.
+//!
+//! # Register conventions
+//!
+//! | register | meaning |
+//! |---|---|
+//! | `r31` | thread id |
+//! | `r30` | thread count |
+//! | `r29` | iteration counter |
+//! | `r28` | iteration limit |
+//! | `r27` | constant 0 |
+//! | `r26` | constant 1 |
+//! | `r25`, `r24` | array-lock ticket indices (locks A and B) |
+//! | `r23` | barrier epoch |
+//! | `r22` | software-backoff current delay |
+//! | `r16..r21` | kernel accumulators |
+//! | `r0..r15` | scratch (clobbered by emitters) |
+
+use dvs_mem::layout::Region;
+use dvs_mem::{Addr, LINE_BYTES, WORD_BYTES};
+use dvs_stats::TimeComponent;
+use dvs_vm::isa::{Cond, PhaseChange, Reg};
+use dvs_vm::Asm;
+
+/// Thread id.
+pub const TID: Reg = Reg(31);
+/// Thread count.
+pub const NTHREADS: Reg = Reg(30);
+/// Iteration counter.
+pub const ITER: Reg = Reg(29);
+/// Iteration limit.
+pub const ITERS: Reg = Reg(28);
+/// Constant zero.
+pub const ZERO: Reg = Reg(27);
+/// Constant one.
+pub const ONE: Reg = Reg(26);
+/// Array-lock ticket index, lock A.
+pub const TICKET_A: Reg = Reg(25);
+/// Array-lock ticket index, lock B.
+pub const TICKET_B: Reg = Reg(24);
+/// Barrier epoch.
+pub const EPOCH: Reg = Reg(23);
+/// Software-backoff delay.
+pub const BACKOFF: Reg = Reg(22);
+
+/// Software exponential backoff floor (paper: delays in [128, 2048)).
+pub const SW_BACKOFF_MIN: u64 = 128;
+/// Software exponential backoff ceiling.
+pub const SW_BACKOFF_MAX: u64 = 2048;
+
+const A0: Reg = Reg(0);
+const A1: Reg = Reg(1);
+const ADDR: Reg = Reg(15);
+
+/// Emits the standard prologue: ids, constants, iteration setup, backoff
+/// floor.
+pub fn emit_prologue(a: &mut Asm, iters: u64) {
+    a.tid(TID)
+        .nthreads(NTHREADS)
+        .movi(ZERO, 0)
+        .movi(ONE, 1)
+        .movi(ITER, 0)
+        .movi(ITERS, iters)
+        .movi(BACKOFF, SW_BACKOFF_MIN);
+}
+
+/// Emits the software exponential backoff: stall for the current delay, then
+/// double it (capped). Call [`emit_sw_backoff_reset`] on success.
+pub fn emit_sw_backoff(a: &mut Asm) {
+    a.delay_reg(BACKOFF, TimeComponent::SwBackoff);
+    a.shl(BACKOFF, BACKOFF, 1);
+    let capped = a.label();
+    a.movi(A0, SW_BACKOFF_MAX);
+    a.blt(BACKOFF, A0, capped);
+    a.mov(BACKOFF, A0);
+    a.bind(capped);
+}
+
+/// Resets the software backoff to its floor.
+pub fn emit_sw_backoff_reset(a: &mut Asm) {
+    a.movi(BACKOFF, SW_BACKOFF_MIN);
+}
+
+/// A Test-and-Test-and-Set lock.
+#[derive(Debug, Clone, Copy)]
+pub struct TatasLock {
+    /// The lock word.
+    pub lock: Addr,
+    /// Region self-invalidated on acquire (the data the lock protects).
+    pub data_region: Option<Region>,
+    /// Insert software exponential backoff after a failed Test-and-Set.
+    pub sw_backoff: bool,
+}
+
+impl TatasLock {
+    /// Emits the acquire loop (clobbers r0, r15; r22 if backoff enabled).
+    pub fn emit_acquire(&self, a: &mut Asm) {
+        let retest = a.label();
+        let got = a.label();
+        a.bind(retest);
+        a.movi(ADDR, self.lock.raw());
+        // Test: spin (as a synchronization read) until the lock looks free.
+        a.spin_until(A0, ADDR, 0, Cond::Eq, ZERO);
+        // Test-and-Set: the linearization point on success.
+        a.tas(A0, ADDR, 0);
+        a.beq(A0, ZERO, got);
+        if self.sw_backoff {
+            emit_sw_backoff(a);
+        }
+        a.jmp(retest);
+        a.bind(got);
+        if self.sw_backoff {
+            emit_sw_backoff_reset(a);
+        }
+        if let Some(r) = self.data_region {
+            a.self_inv(r);
+        }
+    }
+
+    /// Emits the release (clobbers r15).
+    pub fn emit_release(&self, a: &mut Asm) {
+        a.fence();
+        a.movi(ADDR, self.lock.raw());
+        a.stores(ZERO, ADDR, 0);
+    }
+}
+
+/// An Anderson array (queue) lock: waiters spin on distinct, line-padded
+/// slots handed out by a fetch-and-increment ticket counter.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayLock {
+    /// Base of the slot array.
+    pub slots: Addr,
+    /// The ticket counter.
+    pub ticket: Addr,
+    /// Number of slots (≥ thread count).
+    pub nslots: u64,
+    /// Byte stride between slots (64 when padded, 8 when not).
+    pub stride: u64,
+    /// Region self-invalidated on acquire.
+    pub data_region: Option<Region>,
+    /// Register that keeps the acquired slot index until release.
+    pub idx: Reg,
+}
+
+impl ArrayLock {
+    /// The initial memory values: slot 0 starts "available".
+    pub fn init(&self) -> Vec<(Addr, u64)> {
+        vec![(self.slots, 1)]
+    }
+
+    fn shift(&self) -> u8 {
+        assert!(
+            self.stride == LINE_BYTES || self.stride == WORD_BYTES,
+            "slot stride must be a line or a word"
+        );
+        self.stride.trailing_zeros() as u8
+    }
+
+    /// Emits the acquire (clobbers r0, r1, r15; writes `self.idx`).
+    pub fn emit_acquire(&self, a: &mut Asm) {
+        a.movi(ADDR, self.ticket.raw());
+        a.fai(A0, ADDR, 0, ONE);
+        a.movi(A1, self.nslots);
+        a.rem(self.idx, A0, A1);
+        a.shl(A0, self.idx, self.shift());
+        a.movi(ADDR, self.slots.raw());
+        a.add(ADDR, ADDR, A0);
+        // The acquire linearization: my slot becomes 1.
+        a.spin_until(A0, ADDR, 0, Cond::Eq, ONE);
+        // Reset the slot for its next use (the extra write the paper notes
+        // MESI pays an ownership request for, while DeNovo hits — the slot
+        // is already registered by the acquiring read).
+        a.stores(ZERO, ADDR, 0);
+        if let Some(r) = self.data_region {
+            a.self_inv(r);
+        }
+    }
+
+    /// Emits the release: hand the lock to the next slot (clobbers r0, r1,
+    /// r15).
+    pub fn emit_release(&self, a: &mut Asm) {
+        a.fence();
+        a.addi(A0, self.idx, 1);
+        a.movi(A1, self.nslots);
+        a.rem(A0, A0, A1);
+        a.shl(A0, A0, self.shift());
+        a.movi(ADDR, self.slots.raw());
+        a.add(ADDR, ADDR, A0);
+        a.stores(ONE, ADDR, 0);
+    }
+}
+
+/// A static tree barrier with configurable arrival fan-in and departure
+/// fan-out, using epoch numbers instead of sense reversal (slot `i` holds
+/// the last epoch thread `i` arrived at / was released for).
+#[derive(Debug, Clone, Copy)]
+pub struct TreeBarrier {
+    /// Base of the per-thread arrival flags (line-padded).
+    pub arrive: Addr,
+    /// Base of the per-thread departure flags (line-padded).
+    pub go: Addr,
+    /// Arrival fan-in (children per node).
+    pub fan_in: usize,
+    /// Departure fan-out.
+    pub fan_out: usize,
+    /// Thread count.
+    pub n: usize,
+    /// Region self-invalidated on exit.
+    pub data_region: Option<Region>,
+}
+
+impl TreeBarrier {
+    fn children(base: usize, fan: usize, n: usize) -> impl Iterator<Item = usize> {
+        (1..=fan)
+            .map(move |k| base * fan + k)
+            .filter(move |&c| c < n)
+    }
+
+    /// Emits one barrier episode for thread `tid` (clobbers r0, r15; bumps
+    /// the `EPOCH` register).
+    pub fn emit(&self, a: &mut Asm, tid: usize) {
+        a.addi(EPOCH, EPOCH, 1);
+        a.fence();
+        // Arrival: gather children, then signal the parent.
+        for c in Self::children(tid, self.fan_in, self.n) {
+            a.movi(ADDR, self.arrive.raw() + c as u64 * LINE_BYTES);
+            a.spin_until(A0, ADDR, 0, Cond::Eq, EPOCH);
+        }
+        if tid != 0 {
+            a.movi(ADDR, self.arrive.raw() + tid as u64 * LINE_BYTES);
+            a.stores(EPOCH, ADDR, 0);
+            // Departure: wait for my release, then release my subtree.
+            a.movi(ADDR, self.go.raw() + tid as u64 * LINE_BYTES);
+            a.spin_until(A0, ADDR, 0, Cond::Eq, EPOCH);
+        }
+        for d in Self::children(tid, self.fan_out, self.n) {
+            a.movi(ADDR, self.go.raw() + d as u64 * LINE_BYTES);
+            a.stores(EPOCH, ADDR, 0);
+        }
+        if let Some(r) = self.data_region {
+            a.self_inv(r);
+        }
+    }
+}
+
+/// A centralized sense-reversing barrier (epoch-numbered sense).
+#[derive(Debug, Clone, Copy)]
+pub struct CentralBarrier {
+    /// The arrived-thread counter.
+    pub count: Addr,
+    /// The release word (holds the epoch of the last completed barrier).
+    pub sense: Addr,
+    /// Thread count.
+    pub n: usize,
+    /// Region self-invalidated on exit.
+    pub data_region: Option<Region>,
+}
+
+impl CentralBarrier {
+    /// Emits one barrier episode (clobbers r0, r1, r15; bumps `EPOCH`).
+    pub fn emit(&self, a: &mut Asm) {
+        a.addi(EPOCH, EPOCH, 1);
+        a.fence();
+        a.movi(ADDR, self.count.raw());
+        a.fai(A0, ADDR, 0, ONE);
+        a.movi(A1, self.n as u64 - 1);
+        let wait = a.label();
+        let done = a.label();
+        a.bne(A0, A1, wait);
+        // Last arriver: reset the counter, then release everyone.
+        a.stores(ZERO, ADDR, 0);
+        a.movi(ADDR, self.sense.raw());
+        a.stores(EPOCH, ADDR, 0);
+        a.jmp(done);
+        a.bind(wait);
+        a.movi(ADDR, self.sense.raw());
+        a.spin_until(A0, ADDR, 0, Cond::Eq, EPOCH);
+        a.bind(done);
+        if let Some(r) = self.data_region {
+            a.self_inv(r);
+        }
+    }
+}
+
+/// Emits the end-of-kernel barrier used by every non-barrier kernel (a
+/// binary tree barrier), attributing the wait to the barrier-stall
+/// component.
+pub fn emit_end_barrier(a: &mut Asm, tid: usize, barrier: &TreeBarrier) {
+    a.phase(PhaseChange::BarrierWait);
+    barrier.emit(a, tid);
+    a.phase(PhaseChange::Normal);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_mem::LayoutBuilder;
+    use dvs_vm::reference::RefMachine;
+
+    /// Mutual exclusion witness: inside the critical section each thread
+    /// writes its id to `owner`, delays, re-reads, and asserts it is
+    /// unchanged.
+    fn lock_mutex_program(
+        tid_check: bool,
+        lock: TatasLock,
+        owner: Addr,
+        counter: Addr,
+        iters: u64,
+    ) -> dvs_vm::Program {
+        let mut a = Asm::new("mutex");
+        emit_prologue(&mut a, iters);
+        let top = a.here();
+        lock.emit_acquire(&mut a);
+        // CS: owner = tid; counter++ (data ops).
+        a.movi(Reg(10), owner.raw());
+        a.store(TID, Reg(10), 0);
+        a.movi(Reg(11), counter.raw());
+        a.load(Reg(12), Reg(11), 0);
+        a.addi(Reg(12), Reg(12), 1);
+        a.store(Reg(12), Reg(11), 0);
+        a.load(Reg(13), Reg(10), 0);
+        if tid_check {
+            a.assert_cond(Cond::Eq, Reg(13), TID, "mutual exclusion violated");
+        }
+        lock.emit_release(&mut a);
+        a.addi(ITER, ITER, 1);
+        a.blt(ITER, ITERS, top);
+        a.halt();
+        a.build()
+    }
+
+    #[test]
+    fn tatas_lock_provides_mutual_exclusion_on_reference() {
+        let mut lb = LayoutBuilder::new();
+        let sync = lb.region("sync");
+        let data = lb.region("data");
+        let lock = TatasLock {
+            lock: lb.sync_var("lock", sync, true),
+            data_region: Some(data),
+            sw_backoff: false,
+        };
+        let owner = lb.segment("owner", 8, data);
+        let counter = lb.segment("counter", 8, data);
+        let programs = (0..4)
+            .map(|_| lock_mutex_program(true, lock, owner, counter, 10))
+            .collect();
+        let mut m = RefMachine::new(programs);
+        m.run(1_000_000).expect("mutual exclusion holds");
+        assert_eq!(m.memory().read_word(counter.word()), 40);
+    }
+
+    #[test]
+    fn array_lock_provides_mutual_exclusion_on_reference() {
+        let mut lb = LayoutBuilder::new();
+        let sync = lb.region("sync");
+        let data = lb.region("data");
+        let alock = ArrayLock {
+            slots: lb.segment("slots", 8 * LINE_BYTES, sync),
+            ticket: lb.sync_var("ticket", sync, true),
+            nslots: 8,
+            stride: LINE_BYTES,
+            data_region: Some(data),
+            idx: TICKET_A,
+        };
+        let owner = lb.segment("owner", 8, data);
+        let counter = lb.segment("counter", 8, data);
+        let make = || {
+            let mut a = Asm::new("array-mutex");
+            emit_prologue(&mut a, 10);
+            let top = a.here();
+            alock.emit_acquire(&mut a);
+            a.movi(Reg(10), owner.raw());
+            a.store(TID, Reg(10), 0);
+            a.movi(Reg(11), counter.raw());
+            a.load(Reg(12), Reg(11), 0);
+            a.addi(Reg(12), Reg(12), 1);
+            a.store(Reg(12), Reg(11), 0);
+            a.load(Reg(13), Reg(10), 0);
+            a.assert_cond(Cond::Eq, Reg(13), TID, "array-lock mutual exclusion violated");
+            alock.emit_release(&mut a);
+            a.addi(ITER, ITER, 1);
+            a.blt(ITER, ITERS, top);
+            a.halt();
+            a.build()
+        };
+        let programs = (0..4).map(|_| make()).collect();
+        let mut m = RefMachine::new(programs);
+        for (addr, v) in alock.init() {
+            m.memory_mut().write_word(addr.word(), v);
+        }
+        m.run(1_000_000).expect("mutual exclusion holds");
+        assert_eq!(m.memory().read_word(counter.word()), 40);
+    }
+
+    /// Barrier integrity: each thread increments a private slot each round;
+    /// after the barrier, thread 0 asserts every slot reached the round.
+    fn barrier_program(
+        n: usize,
+        tid: usize,
+        rounds: u64,
+        slots: Addr,
+        emit_barrier: &dyn Fn(&mut Asm, usize),
+    ) -> dvs_vm::Program {
+        let mut a = Asm::new("barrier-check");
+        emit_prologue(&mut a, rounds);
+        a.movi(EPOCH, 0);
+        let top = a.here();
+        // slot[tid] = iter + 1 (data store).
+        a.movi(Reg(10), slots.raw());
+        a.shl(Reg(11), TID, 6);
+        a.add(Reg(10), Reg(10), Reg(11));
+        a.addi(Reg(12), ITER, 1);
+        a.store(Reg(12), Reg(10), 0);
+        emit_barrier(&mut a, tid);
+        if tid == 0 {
+            // A fast thread may already have started the next round (there
+            // is only one barrier per round here), so the invariant is
+            // slot >= round: nobody may still be *behind*.
+            for t in 0..n {
+                a.movi(Reg(10), slots.raw() + t as u64 * 64);
+                a.load(Reg(13), Reg(10), 0);
+                a.assert_cond(
+                    Cond::Ge,
+                    Reg(13),
+                    Reg(12),
+                    "barrier released before all arrived",
+                );
+            }
+        }
+        a.addi(ITER, ITER, 1);
+        a.blt(ITER, ITERS, top);
+        a.halt();
+        a.build()
+    }
+
+    /// Builds the probe slots and runs the programs. The caller constructs
+    /// the barrier from the SAME layout builder so nothing aliases.
+    fn check_barrier(mut lb: LayoutBuilder, emit: impl Fn(&mut Asm, usize), n: usize) {
+        let data = lb.region("probe");
+        let slots = lb.segment("slots", n as u64 * 64, data);
+        let _layout = lb.build(); // validates disjointness
+        let programs = (0..n)
+            .map(|tid| barrier_program(n, tid, 5, slots, &emit))
+            .collect();
+        let mut m = RefMachine::new(programs);
+        m.run(10_000_000).expect("barrier integrity holds");
+    }
+
+    #[test]
+    fn tree_barrier_holds_threads() {
+        let mut lb = LayoutBuilder::new();
+        let sync = lb.region("sync");
+        let data = lb.region("data");
+        let n = 5;
+        let tb = TreeBarrier {
+            arrive: lb.segment("arrive", n as u64 * 64, sync),
+            go: lb.segment("go", n as u64 * 64, sync),
+            fan_in: 2,
+            fan_out: 2,
+            n,
+            data_region: Some(data),
+        };
+        check_barrier(lb, |a, tid| tb.emit(a, tid), n);
+    }
+
+    #[test]
+    fn nary_tree_barrier_holds_threads() {
+        let mut lb = LayoutBuilder::new();
+        let sync = lb.region("sync");
+        let data = lb.region("data");
+        let n = 9;
+        let tb = TreeBarrier {
+            arrive: lb.segment("arrive", n as u64 * 64, sync),
+            go: lb.segment("go", n as u64 * 64, sync),
+            fan_in: 4,
+            fan_out: 2,
+            n,
+            data_region: Some(data),
+        };
+        check_barrier(lb, |a, tid| tb.emit(a, tid), n);
+    }
+
+    #[test]
+    fn central_barrier_holds_threads() {
+        let mut lb = LayoutBuilder::new();
+        let sync = lb.region("sync");
+        let data = lb.region("data");
+        let cb = CentralBarrier {
+            count: lb.sync_var("count", sync, true),
+            sense: lb.sync_var("sense", sync, true),
+            n: 6,
+            data_region: Some(data),
+        };
+        check_barrier(lb, |a, _tid| cb.emit(a), 6);
+    }
+
+    #[test]
+    fn sw_backoff_doubles_and_caps() {
+        let mut a = Asm::new("backoff");
+        a.movi(BACKOFF, SW_BACKOFF_MIN);
+        for _ in 0..8 {
+            emit_sw_backoff(&mut a);
+        }
+        a.halt();
+        let mut m = RefMachine::new(vec![a.build()]);
+        m.run(10_000).unwrap();
+        assert_eq!(m.thread(0).reg(BACKOFF), SW_BACKOFF_MAX);
+    }
+
+    #[test]
+    fn tree_children_cover_all_nodes_once() {
+        for (fan, n) in [(2usize, 16usize), (4, 64), (2, 5), (3, 7)] {
+            let mut seen = vec![false; n];
+            seen[0] = true;
+            for parent in 0..n {
+                for c in TreeBarrier::children(parent, fan, n) {
+                    assert!(!seen[c], "child {c} claimed twice");
+                    seen[c] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "fan {fan} n {n} missed a node");
+        }
+    }
+}

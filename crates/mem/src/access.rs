@@ -1,0 +1,156 @@
+//! The memory-access vocabulary shared by the thread VM and the protocols.
+//!
+//! The paper's software assumption §3(2): programs distinguish data accesses
+//! from synchronization accesses and convey the distinction to hardware. In
+//! this reproduction the distinction is carried by [`AccessKind`], set by the
+//! VM instruction that issued the access.
+
+/// A read-modify-write operation, executed atomically at the point of
+/// ownership (MESI: the line in `M`; DeNovo: the word in `Registered`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// Compare-and-swap: if the current value equals `expected`, store `new`.
+    /// The operation always returns the *old* value.
+    Cas {
+        /// Value the word must hold for the swap to happen.
+        expected: u64,
+        /// Value stored on success.
+        new: u64,
+    },
+    /// Fetch-and-add `delta` (wrapping). Returns the old value.
+    Fai {
+        /// Amount added to the word.
+        delta: u64,
+    },
+    /// Unconditional atomic exchange. Returns the old value.
+    Swap {
+        /// Value stored.
+        new: u64,
+    },
+    /// Test-and-set: store 1. Returns the old value (0 means "acquired").
+    Tas,
+}
+
+impl RmwOp {
+    /// Applies the operation to `old`, returning the value the word holds
+    /// afterwards. (The operation's *result* is always `old`.)
+    pub fn apply(self, old: u64) -> u64 {
+        match self {
+            RmwOp::Cas { expected, new } => {
+                if old == expected {
+                    new
+                } else {
+                    old
+                }
+            }
+            RmwOp::Fai { delta } => old.wrapping_add(delta),
+            RmwOp::Swap { new } => new,
+            RmwOp::Tas => 1,
+        }
+    }
+
+    /// Whether applying to `old` changes the stored value.
+    pub fn writes(self, old: u64) -> bool {
+        self.apply(old) != old
+    }
+}
+
+/// The kind of a memory access, as issued by the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// An ordinary (data-race-free) load.
+    DataLoad,
+    /// An ordinary (data-race-free) store. Non-blocking in both protocols.
+    DataStore {
+        /// Value stored.
+        value: u64,
+    },
+    /// A synchronization load (`volatile`/`atomic` read).
+    SyncLoad,
+    /// A synchronization store (release write).
+    SyncStore {
+        /// Value stored.
+        value: u64,
+    },
+    /// An atomic read-modify-write; always a synchronization access.
+    SyncRmw(RmwOp),
+}
+
+impl AccessKind {
+    /// Whether this is a synchronization access (racy by definition).
+    pub fn is_sync(self) -> bool {
+        matches!(
+            self,
+            AccessKind::SyncLoad | AccessKind::SyncStore { .. } | AccessKind::SyncRmw(_)
+        )
+    }
+
+    /// Whether the access may write memory.
+    pub fn may_write(self) -> bool {
+        matches!(
+            self,
+            AccessKind::DataStore { .. } | AccessKind::SyncStore { .. } | AccessKind::SyncRmw(_)
+        )
+    }
+
+    /// Whether the access returns a value to the core.
+    pub fn returns_value(self) -> bool {
+        matches!(
+            self,
+            AccessKind::DataLoad | AccessKind::SyncLoad | AccessKind::SyncRmw(_)
+        )
+    }
+
+    /// Whether the core blocks until the access completes. Data stores are
+    /// non-blocking (the paper's MESI is modified for non-blocking writes,
+    /// and DeNovo writes are non-blocking by default); everything else blocks
+    /// (loads return values; sync accesses obey the program-order condition).
+    pub fn blocks_core(self) -> bool {
+        !matches!(self, AccessKind::DataStore { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_semantics() {
+        let op = RmwOp::Cas {
+            expected: 5,
+            new: 9,
+        };
+        assert_eq!(op.apply(5), 9);
+        assert_eq!(op.apply(6), 6);
+        assert!(op.writes(5));
+        assert!(!op.writes(6));
+    }
+
+    #[test]
+    fn fai_wraps() {
+        let op = RmwOp::Fai { delta: 2 };
+        assert_eq!(op.apply(u64::MAX), 1);
+        assert_eq!(op.apply(10), 12);
+    }
+
+    #[test]
+    fn swap_and_tas() {
+        assert_eq!(RmwOp::Swap { new: 3 }.apply(99), 3);
+        assert_eq!(RmwOp::Tas.apply(0), 1);
+        assert_eq!(RmwOp::Tas.apply(1), 1);
+        assert!(!RmwOp::Tas.writes(1));
+        assert!(RmwOp::Tas.writes(0));
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(!AccessKind::DataLoad.is_sync());
+        assert!(AccessKind::SyncLoad.is_sync());
+        assert!(AccessKind::SyncRmw(RmwOp::Tas).is_sync());
+        assert!(AccessKind::DataStore { value: 0 }.may_write());
+        assert!(!AccessKind::DataStore { value: 0 }.blocks_core());
+        assert!(AccessKind::SyncStore { value: 0 }.blocks_core());
+        assert!(AccessKind::SyncRmw(RmwOp::Tas).returns_value());
+        assert!(!AccessKind::SyncStore { value: 1 }.returns_value());
+    }
+}

@@ -1,0 +1,314 @@
+//! A generic set-associative tag array with true-LRU replacement.
+//!
+//! The protocol controllers store their per-line coherence metadata (MESI
+//! state + data, or DeNovo per-word states + data) as the array's payload
+//! type. Victim selection can be filtered: a line that is mid-transaction
+//! (MSHR pending, registered word with an in-flight writeback, ...) can be
+//! declared non-evictable by the caller.
+
+use crate::addr::LineAddr;
+use crate::geometry::CacheGeometry;
+
+/// A resident cache line: its address and the protocol-specific payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheLine<L> {
+    /// The line's address.
+    pub addr: LineAddr,
+    /// Protocol-specific per-line state (and data).
+    pub payload: L,
+    lru: u64,
+}
+
+/// Outcome of [`CacheArray::insert_filtered`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome<L> {
+    /// The line was inserted into a free (or same-address) way.
+    Inserted,
+    /// The line was inserted after evicting the returned victim.
+    Evicted(LineAddr, L),
+    /// No way could be freed (every candidate was vetoed); the payload is
+    /// handed back and the array is unchanged.
+    NoVictim(L),
+}
+
+/// A set-associative array of `L`-payload lines with true-LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_mem::{CacheArray, CacheGeometry, LineAddr};
+///
+/// let mut cache: CacheArray<u32> = CacheArray::new(CacheGeometry::new(128, 2));
+/// cache.insert_filtered(LineAddr::new(1), 11, |_, _| true);
+/// assert_eq!(cache.get(LineAddr::new(1)), Some(&11));
+/// assert_eq!(cache.get(LineAddr::new(2)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray<L> {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<CacheLine<L>>>,
+    clock: u64,
+}
+
+impl<L> CacheArray<L> {
+    /// Creates an empty array with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        CacheArray {
+            geometry,
+            sets: (0..geometry.sets()).map(|_| Vec::new()).collect(),
+            clock: 0,
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Immutable payload lookup. Does **not** update LRU state.
+    pub fn get(&self, addr: LineAddr) -> Option<&L> {
+        let set = &self.sets[self.geometry.set_index(addr)];
+        set.iter().find(|l| l.addr == addr).map(|l| &l.payload)
+    }
+
+    /// Mutable payload lookup; marks the line most-recently-used.
+    pub fn get_mut(&mut self, addr: LineAddr) -> Option<&mut L> {
+        let stamp = self.tick();
+        let set_idx = self.geometry.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        let line = set.iter_mut().find(|l| l.addr == addr)?;
+        line.lru = stamp;
+        Some(&mut line.payload)
+    }
+
+    /// Marks a line most-recently-used without touching its payload.
+    pub fn touch(&mut self, addr: LineAddr) {
+        let stamp = self.tick();
+        let set_idx = self.geometry.set_index(addr);
+        if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.addr == addr) {
+            line.lru = stamp;
+        }
+    }
+
+    /// Whether a line is resident.
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.get(addr).is_some()
+    }
+
+    /// Inserts `payload` for `addr`, evicting the least-recently-used line
+    /// for which `can_evict` returns `true` if the set is full.
+    ///
+    /// If `addr` is already resident its payload is **replaced** (and the
+    /// line becomes most-recently-used); the old payload is returned as an
+    /// eviction of the same address.
+    pub fn insert_filtered(
+        &mut self,
+        addr: LineAddr,
+        payload: L,
+        mut can_evict: impl FnMut(LineAddr, &L) -> bool,
+    ) -> InsertOutcome<L> {
+        let stamp = self.tick();
+        let assoc = self.geometry.assoc();
+        let set_idx = self.geometry.set_index(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.addr == addr) {
+            line.lru = stamp;
+            let old = std::mem::replace(&mut line.payload, payload);
+            return InsertOutcome::Evicted(addr, old);
+        }
+
+        if set.len() < assoc {
+            set.push(CacheLine {
+                addr,
+                payload,
+                lru: stamp,
+            });
+            return InsertOutcome::Inserted;
+        }
+
+        // Choose the LRU way among evictable candidates.
+        let victim = set
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| can_evict(l.addr, &l.payload))
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let old = std::mem::replace(
+                    &mut set[i],
+                    CacheLine {
+                        addr,
+                        payload,
+                        lru: stamp,
+                    },
+                );
+                InsertOutcome::Evicted(old.addr, old.payload)
+            }
+            None => InsertOutcome::NoVictim(payload),
+        }
+    }
+
+    /// Removes a line, returning its payload.
+    pub fn remove(&mut self, addr: LineAddr) -> Option<L> {
+        let set_idx = self.geometry.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|l| l.addr == addr)?;
+        Some(set.swap_remove(pos).payload)
+    }
+
+    /// Iterates all resident lines (no particular order).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &L)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|l| (l.addr, &l.payload)))
+    }
+
+    /// Iterates all resident lines mutably (no particular order; does not
+    /// update LRU state).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut L)> {
+        self.sets
+            .iter_mut()
+            .flat_map(|s| s.iter_mut().map(|l| (l.addr, &mut l.payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheArray<u32> {
+        // 2 ways, 2 sets.
+        CacheArray::new(CacheGeometry::new(4 * 64, 2))
+    }
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = small();
+        assert!(matches!(
+            c.insert_filtered(line(0), 10, |_, _| true),
+            InsertOutcome::Inserted
+        ));
+        assert_eq!(c.get(line(0)), Some(&10));
+        assert!(c.contains(line(0)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn same_address_replaces() {
+        let mut c = small();
+        c.insert_filtered(line(0), 1, |_, _| true);
+        match c.insert_filtered(line(0), 2, |_, _| true) {
+            InsertOutcome::Evicted(a, old) => {
+                assert_eq!(a, line(0));
+                assert_eq!(old, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.get(line(0)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_lru() {
+        let mut c = small();
+        // lines 0, 2, 4 all map to set 0 (2 sets).
+        c.insert_filtered(line(0), 0, |_, _| true);
+        c.insert_filtered(line(2), 2, |_, _| true);
+        c.get_mut(line(0)); // make line 0 MRU
+        match c.insert_filtered(line(4), 4, |_, _| true) {
+            InsertOutcome::Evicted(a, p) => {
+                assert_eq!(a, line(2));
+                assert_eq!(p, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(c.contains(line(0)));
+        assert!(c.contains(line(4)));
+    }
+
+    #[test]
+    fn touch_updates_lru() {
+        let mut c = small();
+        c.insert_filtered(line(0), 0, |_, _| true);
+        c.insert_filtered(line(2), 2, |_, _| true);
+        c.touch(line(0));
+        match c.insert_filtered(line(4), 4, |_, _| true) {
+            InsertOutcome::Evicted(a, _) => assert_eq!(a, line(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_filter_vetoes() {
+        let mut c = small();
+        c.insert_filtered(line(0), 0, |_, _| true);
+        c.insert_filtered(line(2), 2, |_, _| true);
+        // Veto everything: insertion must fail and give the payload back.
+        match c.insert_filtered(line(4), 4, |_, _| false) {
+            InsertOutcome::NoVictim(p) => assert_eq!(p, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!c.contains(line(4)));
+        // Veto only line 0: line 2 must be evicted even though 0 is older.
+        c.get_mut(line(2)); // 0 is LRU now
+        match c.insert_filtered(line(4), 4, |a, _| a != line(0)) {
+            InsertOutcome::Evicted(a, _) => assert_eq!(a, line(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_returns_payload() {
+        let mut c = small();
+        c.insert_filtered(line(1), 7, |_, _| true);
+        assert_eq!(c.remove(line(1)), Some(7));
+        assert_eq!(c.remove(line(1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut c = small();
+        c.insert_filtered(line(0), 0, |_, _| true);
+        c.insert_filtered(line(1), 1, |_, _| true);
+        c.insert_filtered(line(2), 2, |_, _| true);
+        let mut seen: Vec<u64> = c.iter().map(|(a, _)| a.raw()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = small();
+        // Set 0 full.
+        c.insert_filtered(line(0), 0, |_, _| true);
+        c.insert_filtered(line(2), 2, |_, _| true);
+        // Set 1 still has room: no eviction.
+        assert!(matches!(
+            c.insert_filtered(line(1), 1, |_, _| true),
+            InsertOutcome::Inserted
+        ));
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! Memory-system building blocks for the DeNovoSync reproduction.
+//!
+//! This crate holds everything about memory that is *not* protocol-specific:
+//!
+//! * [`addr`] — byte/word/line address types and the fixed geometry constants
+//!   (64-byte lines, 8-byte words — DeNovo's coherence granularity),
+//! * [`access`] — the access vocabulary shared by the VM and the protocols
+//!   (data vs. synchronization loads/stores, RMW operations),
+//! * [`geometry`] — set-associative cache geometry maths,
+//! * [`mod@array`] — a generic set-associative tag array with LRU replacement,
+//! * [`mshr`] — miss-status holding registers,
+//! * [`layout`] — named memory segments with DeNovo *regions* (the paper's
+//!   software-provided self-invalidation targets),
+//! * [`memory`] — the functional backing store (main memory image).
+//!
+//! The protocol controllers in `dvs-core` compose these into MESI and DeNovo
+//! cache hierarchies.
+
+pub mod access;
+pub mod addr;
+pub mod array;
+pub mod geometry;
+pub mod layout;
+pub mod memory;
+pub mod mshr;
+
+pub use access::{AccessKind, RmwOp};
+pub use addr::{Addr, LineAddr, WordAddr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
+pub use array::{CacheArray, CacheLine};
+pub use geometry::CacheGeometry;
+pub use layout::{LayoutBuilder, MemoryLayout, Region, Segment};
+pub use memory::MainMemory;
+pub use mshr::Mshr;

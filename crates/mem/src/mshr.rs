@@ -1,0 +1,172 @@
+//! Miss-status holding registers.
+//!
+//! An MSHR file tracks outstanding misses keyed by address (line address for
+//! MESI, word address for DeNovo). The paper does not evaluate MSHR-capacity
+//! pressure, so the file is unbounded by default, but it records a high-water
+//! mark so experiments can confirm realistic occupancies; a bound can be set
+//! to model a finite file.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A file of miss-status holding registers keyed by `K`.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_mem::Mshr;
+///
+/// let mut mshr: Mshr<u64, &str> = Mshr::unbounded();
+/// assert!(mshr.try_insert(100, "pending GetM").is_ok());
+/// assert_eq!(mshr.get(&100), Some(&"pending GetM"));
+/// assert_eq!(mshr.remove(&100), Some("pending GetM"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr<K, V> {
+    entries: HashMap<K, V>,
+    capacity: Option<usize>,
+    high_water: usize,
+}
+
+/// Error returned when inserting into a full or conflicting MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrError {
+    /// The file is at capacity.
+    Full,
+    /// An entry for this key already exists.
+    Occupied,
+}
+
+impl std::fmt::Display for MshrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MshrError::Full => f.write_str("mshr file full"),
+            MshrError::Occupied => f.write_str("mshr entry already exists for key"),
+        }
+    }
+}
+
+impl std::error::Error for MshrError {}
+
+impl<K: Eq + Hash, V> Mshr<K, V> {
+    /// Creates an unbounded file.
+    pub fn unbounded() -> Self {
+        Mshr {
+            entries: HashMap::new(),
+            capacity: None,
+            high_water: 0,
+        }
+    }
+
+    /// Creates a file bounded to `capacity` entries.
+    pub fn bounded(capacity: usize) -> Self {
+        Mshr {
+            entries: HashMap::new(),
+            capacity: Some(capacity),
+            high_water: 0,
+        }
+    }
+
+    /// Inserts a new entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MshrError::Occupied`] if the key is already tracked and
+    /// [`MshrError::Full`] if a bounded file is at capacity.
+    pub fn try_insert(&mut self, key: K, value: V) -> Result<(), MshrError> {
+        if self.entries.contains_key(&key) {
+            return Err(MshrError::Occupied);
+        }
+        if let Some(cap) = self.capacity {
+            if self.entries.len() >= cap {
+                return Err(MshrError::Full);
+            }
+        }
+        self.entries.insert(key, value);
+        self.high_water = self.high_water.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.entries.get(key)
+    }
+
+    /// Looks up an entry mutably.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.entries.get_mut(key)
+    }
+
+    /// Removes and returns an entry.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.entries.remove(key)
+    }
+
+    /// Whether an entry exists for `key`.
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Current number of outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum simultaneous occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Iterates outstanding entries (no particular order).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m: Mshr<u32, u32> = Mshr::unbounded();
+        m.try_insert(1, 10).unwrap();
+        assert_eq!(m.get(&1), Some(&10));
+        *m.get_mut(&1).unwrap() += 1;
+        assert_eq!(m.remove(&1), Some(11));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut m: Mshr<u32, ()> = Mshr::unbounded();
+        m.try_insert(1, ()).unwrap();
+        assert_eq!(m.try_insert(1, ()), Err(MshrError::Occupied));
+    }
+
+    #[test]
+    fn bounded_capacity_enforced() {
+        let mut m: Mshr<u32, ()> = Mshr::bounded(2);
+        m.try_insert(1, ()).unwrap();
+        m.try_insert(2, ()).unwrap();
+        assert_eq!(m.try_insert(3, ()), Err(MshrError::Full));
+        m.remove(&1);
+        assert!(m.try_insert(3, ()).is_ok());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut m: Mshr<u32, ()> = Mshr::unbounded();
+        m.try_insert(1, ()).unwrap();
+        m.try_insert(2, ()).unwrap();
+        m.remove(&1);
+        m.remove(&2);
+        assert_eq!(m.high_water(), 2);
+        assert_eq!(m.len(), 0);
+    }
+}

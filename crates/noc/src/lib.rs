@@ -1,0 +1,455 @@
+//! 2D-mesh interconnect model for the DeNovoSync reproduction.
+//!
+//! The paper's evaluation (Table 1) uses a 2D mesh with 16-bit flits,
+//! simulated with Garnet. This crate reproduces the properties the paper
+//! measures:
+//!
+//! * **Traffic** is counted in flit–link crossings ("a flit going over one
+//!   network link constitutes one unit of network traffic").
+//! * **Latency** follows dimension-ordered (XY) wormhole routing: the head
+//!   flit pays a per-hop router+link delay, the tail arrives one cycle per
+//!   flit later, and each link serializes at one flit per cycle, so
+//!   contending messages queue behind each other.
+//!
+//! What is simplified relative to Garnet (documented in DESIGN.md): virtual
+//! channels and credit flow control are not modelled; a message reserves each
+//! link of its route in order at send time. This preserves serialization and
+//! queuing-under-contention — the first-order effects for the protocol
+//! comparison — without per-flit events.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_noc::{Mesh, Network, NocParams};
+//!
+//! let mesh = Mesh::new(4, 4);
+//! let mut net = Network::new(mesh, NocParams::default());
+//! let d = net.send(0, 0, 15, 4); // 4-flit control message corner to corner
+//! assert!(d.arrive > 0);
+//! assert_eq!(d.crossings, 4 * 6); // 6 hops on a 4x4 mesh diagonal
+//! ```
+
+use dvs_engine::Cycle;
+
+/// Bits per flit (paper Table 1: 16-bit flits).
+pub const FLIT_BITS: u64 = 16;
+/// Bytes per flit.
+pub const FLIT_BYTES: u64 = FLIT_BITS / 8;
+
+/// Converts a message payload size in bytes to flits (rounding up), adding
+/// `header_bytes` of header/address overhead.
+pub fn flits_for(header_bytes: u64, payload_bytes: u64) -> u64 {
+    (header_bytes + payload_bytes).div_ceil(FLIT_BYTES)
+}
+
+/// A tile index on the mesh (`0..cols*rows`). Each tile hosts a core + L1 +
+/// L2 bank in the simulated system.
+pub type NodeId = usize;
+
+/// An (x, y) mesh coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column, `0..cols`.
+    pub x: usize,
+    /// Row, `0..rows`.
+    pub y: usize,
+}
+
+/// A directional link: `(tile, direction)` identifies the link *leaving*
+/// that tile in that direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    East,
+    West,
+    North,
+    South,
+}
+
+impl Dir {
+    fn index(self) -> usize {
+        match self {
+            Dir::East => 0,
+            Dir::West => 1,
+            Dir::North => 2,
+            Dir::South => 3,
+        }
+    }
+}
+
+/// A `cols × rows` mesh topology with XY dimension-ordered routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    cols: usize,
+    rows: usize,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
+        Mesh { cols, rows }
+    }
+
+    /// A square mesh for `tiles` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is not a perfect square.
+    pub fn square(tiles: usize) -> Self {
+        let side = (tiles as f64).sqrt() as usize;
+        assert_eq!(side * side, tiles, "{tiles} tiles is not a square mesh");
+        Mesh::new(side, side)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Number of directional link slots (including unused edge slots).
+    pub fn link_slots(&self) -> usize {
+        self.tiles() * 4
+    }
+
+    /// The coordinate of a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        assert!(node < self.tiles(), "node {node} out of range");
+        Coord {
+            x: node % self.cols,
+            y: node / self.cols,
+        }
+    }
+
+    /// The tile at a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    pub fn node(&self, c: Coord) -> NodeId {
+        assert!(c.x < self.cols && c.y < self.rows, "coord out of range");
+        c.y * self.cols + c.x
+    }
+
+    /// Manhattan hop count between two tiles under XY routing.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+    }
+
+    /// The four corner tiles (memory-controller placement: "4 on-chip
+    /// controllers", Table 1).
+    pub fn corners(&self) -> [NodeId; 4] {
+        [
+            self.node(Coord { x: 0, y: 0 }),
+            self.node(Coord {
+                x: self.cols - 1,
+                y: 0,
+            }),
+            self.node(Coord {
+                x: 0,
+                y: self.rows - 1,
+            }),
+            self.node(Coord {
+                x: self.cols - 1,
+                y: self.rows - 1,
+            }),
+        ]
+    }
+
+    /// The corner tile closest to `node` (its memory controller).
+    pub fn nearest_corner(&self, node: NodeId) -> NodeId {
+        *self
+            .corners()
+            .iter()
+            .min_by_key(|&&c| self.hops(node, c))
+            .expect("mesh has corners")
+    }
+
+    fn link(&self, from: NodeId, dir: Dir) -> LinkId {
+        LinkId(from * 4 + dir.index())
+    }
+
+    /// The XY route from `src` to `dst` as a list of directional links
+    /// (empty if `src == dst`).
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let mut links = Vec::with_capacity(self.hops(src, dst));
+        let mut cur = self.coord(src);
+        let goal = self.coord(dst);
+        while cur.x != goal.x {
+            let dir = if goal.x > cur.x { Dir::East } else { Dir::West };
+            links.push(self.link(self.node(cur), dir));
+            cur.x = if goal.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        }
+        while cur.y != goal.y {
+            let dir = if goal.y > cur.y { Dir::South } else { Dir::North };
+            links.push(self.link(self.node(cur), dir));
+            cur.y = if goal.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        }
+        links
+    }
+}
+
+/// Network timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocParams {
+    /// Cycles for the head flit to traverse one router + link.
+    pub hop_cycles: Cycle,
+    /// Fixed injection/ejection overhead at each endpoint.
+    pub endpoint_cycles: Cycle,
+}
+
+impl Default for NocParams {
+    fn default() -> Self {
+        // Three-stage router + one link cycle per hop; one cycle each to
+        // inject and eject. Calibrated so Table 1's latency ranges emerge
+        // (see dvs-core::config tests).
+        NocParams {
+            hop_cycles: 4,
+            endpoint_cycles: 2,
+        }
+    }
+}
+
+/// The result of injecting one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Cycle at which the full message has arrived at the destination.
+    pub arrive: Cycle,
+    /// Flit–link crossings generated (flits × hops).
+    pub crossings: u64,
+}
+
+/// A mesh network with per-link serialization and queuing.
+///
+/// The network is payload-agnostic: callers pass sizes in flits, get back a
+/// [`Delivery`], and schedule their own arrival event.
+#[derive(Debug, Clone)]
+pub struct Network {
+    mesh: Mesh,
+    params: NocParams,
+    next_free: Vec<Cycle>,
+    crossings: u64,
+    messages: u64,
+}
+
+impl Network {
+    /// Creates an idle network.
+    pub fn new(mesh: Mesh, params: NocParams) -> Self {
+        Network {
+            mesh,
+            params,
+            next_free: vec![0; mesh.link_slots()],
+            crossings: 0,
+            messages: 0,
+        }
+    }
+
+    /// The topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Injects a `flits`-flit message at cycle `now` from `src` to `dst`.
+    ///
+    /// Returns the delivery time and the flit-crossings generated. Crossings
+    /// are also accumulated in the network's own totals
+    /// ([`Network::total_crossings`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits` is zero or a node is out of range.
+    pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, flits: u64) -> Delivery {
+        assert!(flits > 0, "messages have at least one flit");
+        self.messages += 1;
+        if src == dst {
+            // Same tile: no link crossings; a small fixed turnaround.
+            return Delivery {
+                arrive: now + self.params.endpoint_cycles,
+                crossings: 0,
+            };
+        }
+        let route = self.mesh.route(src, dst);
+        let mut head = now + self.params.endpoint_cycles;
+        for link in &route {
+            let slot = &mut self.next_free[link.0];
+            let start = head.max(*slot);
+            // The link is busy for the whole message's serialization time.
+            *slot = start + flits;
+            head = start + self.params.hop_cycles;
+        }
+        let crossings = flits * route.len() as u64;
+        self.crossings += crossings;
+        // Tail flit trails the head by the serialization latency.
+        Delivery {
+            arrive: head + flits + self.params.endpoint_cycles,
+            crossings,
+        }
+    }
+
+    /// Total flit–link crossings since construction.
+    pub fn total_crossings(&self) -> u64 {
+        self.crossings
+    }
+
+    /// Total messages injected since construction.
+    pub fn total_messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Zero-contention latency for a `flits` message over `hops` hops (used
+    /// for calibration tests).
+    pub fn ideal_latency(&self, hops: usize, flits: u64) -> Cycle {
+        if hops == 0 {
+            self.params.endpoint_cycles
+        } else {
+            2 * self.params.endpoint_cycles + self.params.hop_cycles * hops as Cycle + flits
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_node_roundtrip() {
+        let m = Mesh::new(4, 4);
+        for n in 0..16 {
+            assert_eq!(m.node(m.coord(n)), n);
+        }
+        assert_eq!(m.coord(5), Coord { x: 1, y: 1 });
+    }
+
+    #[test]
+    fn square_constructor() {
+        assert_eq!(Mesh::square(64), Mesh::new(8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a square")]
+    fn non_square_rejected() {
+        Mesh::square(12);
+    }
+
+    #[test]
+    fn hops_is_manhattan_distance() {
+        let m = Mesh::new(4, 4);
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 3), 3);
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(m.hops(5, 10), 2);
+    }
+
+    #[test]
+    fn route_length_matches_hops_and_is_xy() {
+        let m = Mesh::new(8, 8);
+        for (src, dst) in [(0, 63), (7, 56), (9, 9), (12, 20)] {
+            let r = m.route(src, dst);
+            assert_eq!(r.len(), m.hops(src, dst), "route {src}->{dst}");
+        }
+        // XY: x first. From (0,0) to (1,1), first link must be East of node 0.
+        let r = m.route(0, 9);
+        assert_eq!(r[0], m.link(0, Dir::East));
+        assert_eq!(r[1], m.link(1, Dir::South));
+    }
+
+    #[test]
+    fn corners_and_nearest() {
+        let m = Mesh::new(4, 4);
+        assert_eq!(m.corners(), [0, 3, 12, 15]);
+        assert_eq!(m.nearest_corner(5), 0);
+        assert_eq!(m.nearest_corner(10), 15);
+    }
+
+    #[test]
+    fn same_tile_message_has_no_crossings() {
+        let mut net = Network::new(Mesh::new(4, 4), NocParams::default());
+        let d = net.send(100, 6, 6, 36);
+        assert_eq!(d.crossings, 0);
+        assert!(d.arrive >= 100);
+        assert_eq!(net.total_crossings(), 0);
+    }
+
+    #[test]
+    fn crossings_scale_with_flits_and_hops() {
+        let mut net = Network::new(Mesh::new(4, 4), NocParams::default());
+        let d = net.send(0, 0, 15, 36);
+        assert_eq!(d.crossings, 36 * 6);
+        let d2 = net.send(0, 0, 3, 4);
+        assert_eq!(d2.crossings, 4 * 3);
+        assert_eq!(net.total_crossings(), 36 * 6 + 4 * 3);
+        assert_eq!(net.total_messages(), 2);
+    }
+
+    #[test]
+    fn latency_grows_with_distance_and_size() {
+        let mut net = Network::new(Mesh::new(8, 8), NocParams::default());
+        let near = net.send(0, 0, 1, 4).arrive;
+        let far = net.send(0, 0, 63, 4).arrive;
+        let big = net.send(0, 0, 63, 36).arrive;
+        assert!(near < far, "distance increases latency");
+        assert!(far < big, "size increases latency");
+    }
+
+    #[test]
+    fn contention_queues_messages_on_shared_links() {
+        let params = NocParams::default();
+        let mut net = Network::new(Mesh::new(4, 1), params);
+        let first = net.send(0, 0, 3, 32);
+        let second = net.send(0, 0, 3, 32);
+        // Second message must queue behind the first's serialization on the
+        // shared links.
+        assert!(second.arrive >= first.arrive + 32 - params.hop_cycles);
+        // A message on disjoint links is unaffected.
+        let mut idle = Network::new(Mesh::new(4, 4), params);
+        let solo = idle.send(0, 12, 15, 32);
+        let mut busy = Network::new(Mesh::new(4, 4), params);
+        busy.send(0, 0, 3, 32);
+        let other_row = busy.send(0, 12, 15, 32);
+        assert_eq!(solo.arrive, other_row.arrive);
+    }
+
+    #[test]
+    fn ideal_latency_matches_uncontended_send() {
+        let mut net = Network::new(Mesh::new(8, 8), NocParams::default());
+        let hops = net.mesh().hops(0, 63);
+        let d = net.send(0, 0, 63, 4);
+        assert_eq!(d.arrive, net.ideal_latency(hops, 4));
+    }
+
+    #[test]
+    fn flits_for_rounds_up() {
+        assert_eq!(flits_for(8, 0), 4); // control: 8-byte header
+        assert_eq!(flits_for(8, 8), 8); // one word of payload
+        assert_eq!(flits_for(8, 64), 36); // full line
+        assert_eq!(flits_for(8, 1), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_flit_message_rejected() {
+        Network::new(Mesh::new(2, 2), NocParams::default()).send(0, 0, 1, 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Paper-style report rendering.
+//!
+//! The paper's evaluation figures are stacked bars normalized to MESI within
+//! each workload group. [`StackedTable`] reproduces that presentation as an
+//! ASCII table: each group (a kernel or application) gets one bar per
+//! protocol, each bar is split into stacked components, and all bars in a
+//! group are expressed as a percentage of the group's *first* bar (MESI).
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_stats::report::StackedTable;
+//!
+//! let mut t = StackedTable::new("Execution time", &["compute", "stall"]);
+//! t.bar("counter", "M", &[40.0, 60.0]);
+//! t.bar("counter", "DS", &[40.0, 30.0]);
+//! let text = t.render();
+//! assert!(text.contains("counter"));
+//! assert!(text.contains("70.0%")); // DS total normalized to M
+//! ```
+
+use std::fmt::Write as _;
+
+/// A stacked-bar table normalized to the first bar of each group.
+#[derive(Debug, Clone)]
+pub struct StackedTable {
+    title: String,
+    components: Vec<String>,
+    groups: Vec<Group>,
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    name: String,
+    bars: Vec<Bar>,
+}
+
+#[derive(Debug, Clone)]
+struct Bar {
+    name: String,
+    values: Vec<f64>,
+}
+
+impl StackedTable {
+    /// Creates a table titled `title` whose bars stack the named components.
+    pub fn new(title: &str, components: &[&str]) -> Self {
+        StackedTable {
+            title: title.to_owned(),
+            components: components.iter().map(|s| (*s).to_owned()).collect(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Appends a bar named `bar` (e.g. a protocol) to group `group` (e.g. a
+    /// kernel). `values` are absolute quantities, one per component, in the
+    /// order given to [`StackedTable::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of components.
+    pub fn bar(&mut self, group: &str, bar: &str, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.components.len(),
+            "bar has {} values but table has {} components",
+            values.len(),
+            self.components.len()
+        );
+        let g = match self.groups.iter_mut().find(|g| g.name == group) {
+            Some(g) => g,
+            None => {
+                self.groups.push(Group {
+                    name: group.to_owned(),
+                    bars: Vec::new(),
+                });
+                self.groups.last_mut().expect("just pushed")
+            }
+        };
+        g.bars.push(Bar {
+            name: bar.to_owned(),
+            values: values.to_vec(),
+        });
+    }
+
+    /// Normalized total (in percent of the group's first bar) for one bar, or
+    /// `None` if the group/bar does not exist.
+    pub fn normalized_total(&self, group: &str, bar: &str) -> Option<f64> {
+        let g = self.groups.iter().find(|g| g.name == group)?;
+        let base: f64 = g.bars.first()?.values.iter().sum();
+        let b = g.bars.iter().find(|b| b.name == bar)?;
+        let total: f64 = b.values.iter().sum();
+        Some(if base > 0.0 { total / base * 100.0 } else { 0.0 })
+    }
+
+    /// Renders the table as ASCII text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let group_w = self
+            .groups
+            .iter()
+            .map(|g| g.name.len())
+            .chain(["group".len()])
+            .max()
+            .unwrap_or(5);
+        let bar_w = self
+            .groups
+            .iter()
+            .flat_map(|g| g.bars.iter().map(|b| b.name.len()))
+            .chain(["bar".len()])
+            .max()
+            .unwrap_or(3);
+
+        let _ = write!(out, "{:group_w$}  {:bar_w$}  {:>8}", "group", "bar", "total");
+        for c in &self.components {
+            let _ = write!(out, "  {:>10}", c);
+        }
+        out.push('\n');
+
+        for g in &self.groups {
+            let base: f64 = g
+                .bars
+                .first()
+                .map(|b| b.values.iter().sum())
+                .unwrap_or(0.0);
+            for (i, b) in g.bars.iter().enumerate() {
+                let name = if i == 0 { g.name.as_str() } else { "" };
+                let total: f64 = b.values.iter().sum();
+                let pct = if base > 0.0 { total / base * 100.0 } else { 0.0 };
+                let _ = write!(out, "{:group_w$}  {:bar_w$}  {:>7.1}%", name, b.name, pct);
+                for v in &b.values {
+                    let vp = if base > 0.0 { v / base * 100.0 } else { 0.0 };
+                    let _ = write!(out, "  {:>9.1}%", vp);
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Geometric mean of the normalized totals of bar `bar` across all groups
+    /// (skipping groups that lack the bar). This is how the summary numbers
+    /// quoted in the paper's text ("22% lower on average") are computed.
+    pub fn geomean_total(&self, bar: &str) -> Option<f64> {
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        for g in &self.groups {
+            if let Some(pct) = self.normalized_total(&g.name, bar) {
+                if pct > 0.0 {
+                    log_sum += pct.ln();
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some((log_sum / n as f64).exp())
+        }
+    }
+
+    /// Names of the groups, in insertion order.
+    pub fn group_names(&self) -> Vec<&str> {
+        self.groups.iter().map(|g| g.name.as_str()).collect()
+    }
+}
+
+/// A plain key/value listing (used for the paper's parameter tables).
+#[derive(Debug, Clone, Default)]
+pub struct ParamTable {
+    title: String,
+    rows: Vec<(String, String)>,
+}
+
+impl ParamTable {
+    /// Creates an empty listing titled `title`.
+    pub fn new(title: &str) -> Self {
+        ParamTable {
+            title: title.to_owned(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        self.rows.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Renders the listing as ASCII text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let w = self.rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, v) in &self.rows {
+            let _ = writeln!(out, "{:w$}  {}", k, v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_is_relative_to_first_bar() {
+        let mut t = StackedTable::new("t", &["a", "b"]);
+        t.bar("k", "M", &[50.0, 50.0]);
+        t.bar("k", "DS", &[25.0, 25.0]);
+        assert_eq!(t.normalized_total("k", "M"), Some(100.0));
+        assert_eq!(t.normalized_total("k", "DS"), Some(50.0));
+    }
+
+    #[test]
+    fn missing_group_or_bar_is_none() {
+        let t = StackedTable::new("t", &["a"]);
+        assert_eq!(t.normalized_total("nope", "M"), None);
+    }
+
+    #[test]
+    fn render_contains_all_names() {
+        let mut t = StackedTable::new("Exec", &["c1"]);
+        t.bar("g1", "M", &[1.0]);
+        t.bar("g1", "DS0", &[2.0]);
+        t.bar("g2", "M", &[3.0]);
+        let s = t.render();
+        assert!(s.contains("Exec"));
+        assert!(s.contains("g1"));
+        assert!(s.contains("g2"));
+        assert!(s.contains("DS0"));
+        assert!(s.contains("200.0%"));
+    }
+
+    #[test]
+    fn geomean_of_equal_ratios() {
+        let mut t = StackedTable::new("t", &["a"]);
+        t.bar("g1", "M", &[100.0]);
+        t.bar("g1", "DS", &[80.0]);
+        t.bar("g2", "M", &[10.0]);
+        t.bar("g2", "DS", &[8.0]);
+        let g = t.geomean_total("DS").unwrap();
+        assert!((g - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_mixes_multiplicatively() {
+        let mut t = StackedTable::new("t", &["a"]);
+        t.bar("g1", "M", &[100.0]);
+        t.bar("g1", "DS", &[50.0]);
+        t.bar("g2", "M", &[100.0]);
+        t.bar("g2", "DS", &[200.0]);
+        let g = t.geomean_total("DS").unwrap();
+        assert!((g - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "components")]
+    fn wrong_arity_panics() {
+        let mut t = StackedTable::new("t", &["a", "b"]);
+        t.bar("g", "M", &[1.0]);
+    }
+
+    #[test]
+    fn param_table_renders_rows() {
+        let mut p = ParamTable::new("Table 1");
+        p.row("Core frequency", "2 GHz").row("L1", "32KB");
+        let s = p.render();
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("2 GHz"));
+        assert!(s.contains("32KB"));
+    }
+}

@@ -1,0 +1,438 @@
+//! A small label-resolving assembler for [`Program`]s.
+//!
+//! The 24 synchronization kernels and the application models are written
+//! against this builder. Labels are forward-referenceable: create with
+//! [`Asm::label`], bind with [`Asm::bind`] (or use [`Asm::here`] for a label
+//! bound at the current position), and [`Asm::build`] resolves everything.
+//!
+//! # Examples
+//!
+//! A test-and-set acquire loop:
+//!
+//! ```
+//! use dvs_vm::asm::Asm;
+//! use dvs_vm::isa::{Cond, Reg};
+//!
+//! let (old, lock) = (Reg(1), Reg(2));
+//! let mut a = Asm::new("tas-acquire");
+//! a.movi(lock, 0x1000);
+//! let retry = a.here();
+//! a.tas(old, lock, 0);
+//! let zero = Reg(0);
+//! a.movi(zero, 0);
+//! a.bne(old, zero, retry); // loop until we stored the first 1
+//! a.halt();
+//! let prog = a.build();
+//! assert_eq!(prog.name(), "tas-acquire");
+//! ```
+
+use crate::isa::{Cond, DelayLen, Instr, PhaseChange, Program, Reg};
+use dvs_mem::layout::Region;
+use dvs_stats::TimeComponent;
+
+/// A forward-referenceable jump target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Program builder. See the [module docs](self) for an example.
+#[derive(Debug)]
+pub struct Asm {
+    name: String,
+    instrs: Vec<Instr>,
+    labels: Vec<Option<usize>>,
+    patches: Vec<(usize, Label)>,
+}
+
+impl Asm {
+    /// Starts a program named `name`.
+    pub fn new(name: &str) -> Self {
+        Asm {
+            name: name.to_owned(),
+            instrs: Vec::new(),
+            labels: Vec::new(),
+            patches: Vec::new(),
+        }
+    }
+
+    /// Creates an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next instruction's position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.instrs.len());
+    }
+
+    /// Creates a label bound at the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Current instruction count (the pc the next pushed instruction gets).
+    pub fn pc(&self) -> usize {
+        self.instrs.len()
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    fn push_branch(&mut self, cond: Cond, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.patches.push((self.instrs.len(), target));
+        self.push(Instr::Branch(cond, a, b, usize::MAX))
+    }
+
+    /// Finishes assembly, resolving all label references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn build(mut self) -> Program {
+        for (pc, label) in &self.patches {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("{}: unbound label used at pc {pc}", self.name));
+            match &mut self.instrs[*pc] {
+                Instr::Branch(_, _, _, t) | Instr::Jmp(t) => *t = target,
+                other => unreachable!("patched non-branch {other:?}"),
+            }
+        }
+        Program::new(&self.name, self.instrs)
+    }
+
+    // --- ALU -------------------------------------------------------------
+
+    /// `dst = imm`
+    pub fn movi(&mut self, dst: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Movi(dst, imm))
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Instr::Mov(dst, src))
+    }
+
+    /// `dst = a + b`
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::Add(dst, a, b))
+    }
+
+    /// `dst = a + imm`
+    pub fn addi(&mut self, dst: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::Addi(dst, a, imm))
+    }
+
+    /// `dst = a - b`
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::Sub(dst, a, b))
+    }
+
+    /// `dst = a * b`
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::Mul(dst, a, b))
+    }
+
+    /// `dst = a / b`
+    pub fn div(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::Div(dst, a, b))
+    }
+
+    /// `dst = a % b`
+    pub fn rem(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::Rem(dst, a, b))
+    }
+
+    /// `dst = a & b`
+    pub fn and(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::And(dst, a, b))
+    }
+
+    /// `dst = a | b`
+    pub fn or(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::Or(dst, a, b))
+    }
+
+    /// `dst = a ^ b`
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::Xor(dst, a, b))
+    }
+
+    /// `dst = a << sh`
+    pub fn shl(&mut self, dst: Reg, a: Reg, sh: u8) -> &mut Self {
+        self.push(Instr::Shl(dst, a, sh))
+    }
+
+    /// `dst = a >> sh`
+    pub fn shr(&mut self, dst: Reg, a: Reg, sh: u8) -> &mut Self {
+        self.push(Instr::Shr(dst, a, sh))
+    }
+
+    /// `dst = cond(a, b) as u64`
+    pub fn set(&mut self, cond: Cond, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::Set(cond, dst, a, b))
+    }
+
+    // --- control flow ----------------------------------------------------
+
+    /// Branch to `target` if `a == b`.
+    pub fn beq(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.push_branch(Cond::Eq, a, b, target)
+    }
+
+    /// Branch to `target` if `a != b`.
+    pub fn bne(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.push_branch(Cond::Ne, a, b, target)
+    }
+
+    /// Branch to `target` if `a < b` (unsigned).
+    pub fn blt(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.push_branch(Cond::Lt, a, b, target)
+    }
+
+    /// Branch to `target` if `a >= b` (unsigned).
+    pub fn bge(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.push_branch(Cond::Ge, a, b, target)
+    }
+
+    /// Unconditional jump to `target`.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.patches.push((self.instrs.len(), target));
+        self.push(Instr::Jmp(usize::MAX))
+    }
+
+    // --- memory ----------------------------------------------------------
+
+    /// Data load: `dst = mem[base + off]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, off: i64) -> &mut Self {
+        self.push(Instr::Load {
+            dst,
+            base,
+            off,
+            sync: false,
+        })
+    }
+
+    /// Synchronization load.
+    pub fn loads(&mut self, dst: Reg, base: Reg, off: i64) -> &mut Self {
+        self.push(Instr::Load {
+            dst,
+            base,
+            off,
+            sync: true,
+        })
+    }
+
+    /// Data store: `mem[base + off] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, off: i64) -> &mut Self {
+        self.push(Instr::Store {
+            src,
+            base,
+            off,
+            sync: false,
+        })
+    }
+
+    /// Synchronization (release) store.
+    pub fn stores(&mut self, src: Reg, base: Reg, off: i64) -> &mut Self {
+        self.push(Instr::Store {
+            src,
+            base,
+            off,
+            sync: true,
+        })
+    }
+
+    /// Atomic compare-and-swap.
+    pub fn cas(&mut self, dst: Reg, base: Reg, off: i64, expected: Reg, new: Reg) -> &mut Self {
+        self.push(Instr::Cas {
+            dst,
+            base,
+            off,
+            expected,
+            new,
+        })
+    }
+
+    /// Atomic fetch-and-add.
+    pub fn fai(&mut self, dst: Reg, base: Reg, off: i64, delta: Reg) -> &mut Self {
+        self.push(Instr::Fai {
+            dst,
+            base,
+            off,
+            delta,
+        })
+    }
+
+    /// Atomic exchange.
+    pub fn swap(&mut self, dst: Reg, base: Reg, off: i64, new: Reg) -> &mut Self {
+        self.push(Instr::Swap {
+            dst,
+            base,
+            off,
+            new,
+        })
+    }
+
+    /// Atomic test-and-set.
+    pub fn tas(&mut self, dst: Reg, base: Reg, off: i64) -> &mut Self {
+        self.push(Instr::Tas { dst, base, off })
+    }
+
+    /// Spin (as a synchronization read) until `cond(mem[base+off], rhs)`.
+    pub fn spin_until(&mut self, dst: Reg, base: Reg, off: i64, cond: Cond, rhs: Reg) -> &mut Self {
+        self.push(Instr::SpinLoad {
+            dst,
+            base,
+            off,
+            cond,
+            rhs,
+            sync: true,
+        })
+    }
+
+    // --- ordering and misc -------------------------------------------------
+
+    /// Fence: drain outstanding stores.
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Instr::Fence)
+    }
+
+    /// DeNovo self-invalidation of `region`.
+    pub fn self_inv(&mut self, region: Region) -> &mut Self {
+        self.push(Instr::SelfInv(region))
+    }
+
+    /// Fixed-length delay attributed to `comp`.
+    pub fn delay(&mut self, cycles: u64, comp: TimeComponent) -> &mut Self {
+        self.push(Instr::Delay(DelayLen::Fixed(cycles), comp))
+    }
+
+    /// Register-length delay attributed to `comp`.
+    pub fn delay_reg(&mut self, cycles: Reg, comp: TimeComponent) -> &mut Self {
+        self.push(Instr::Delay(DelayLen::FromReg(cycles), comp))
+    }
+
+    /// Uniform random delay in `[lo, hi)` attributed to `comp`.
+    pub fn rand_delay(&mut self, lo: u64, hi: u64, comp: TimeComponent) -> &mut Self {
+        self.push(Instr::Delay(DelayLen::Uniform(lo, hi), comp))
+    }
+
+    /// Sets the execution-phase attribution override.
+    pub fn phase(&mut self, phase: PhaseChange) -> &mut Self {
+        self.push(Instr::Phase(phase))
+    }
+
+    /// `dst = thread id`
+    pub fn tid(&mut self, dst: Reg) -> &mut Self {
+        self.push(Instr::Tid(dst))
+    }
+
+    /// `dst = thread count`
+    pub fn nthreads(&mut self, dst: Reg) -> &mut Self {
+        self.push(Instr::NThreads(dst))
+    }
+
+    /// Bump-allocate `words` words from the thread-private pool.
+    pub fn alloc(&mut self, dst: Reg, words: u32) -> &mut Self {
+        self.push(Instr::Alloc { dst, words })
+    }
+
+    /// Emit trace marker `id`.
+    pub fn mark(&mut self, id: u32) -> &mut Self {
+        self.push(Instr::Mark(id))
+    }
+
+    /// Abort the thread with `msg` unless `cond(a, b)`.
+    pub fn assert_cond(&mut self, cond: Cond, a: Reg, b: Reg, msg: &'static str) -> &mut Self {
+        self.push(Instr::Assert(cond, a, b, msg))
+    }
+
+    /// Stop the thread.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// One idle cycle.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut a = Asm::new("fwd");
+        let end = a.label();
+        a.jmp(end);
+        a.nop();
+        a.bind(end);
+        a.halt();
+        let p = a.build();
+        assert_eq!(p.fetch(0), Some(&Instr::Jmp(2)));
+    }
+
+    #[test]
+    fn backward_labels_resolve() {
+        let mut a = Asm::new("bwd");
+        let top = a.here();
+        a.nop();
+        a.beq(Reg(1), Reg(1), top);
+        a.halt();
+        let p = a.build();
+        assert_eq!(p.fetch(1), Some(&Instr::Branch(Cond::Eq, Reg(1), Reg(1), 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics_at_build() {
+        let mut a = Asm::new("bad");
+        let l = a.label();
+        a.jmp(l);
+        a.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new("bad");
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn pc_tracks_instruction_count() {
+        let mut a = Asm::new("pc");
+        assert_eq!(a.pc(), 0);
+        a.nop().nop();
+        assert_eq!(a.pc(), 2);
+    }
+
+    #[test]
+    fn chained_building_produces_expected_sequence() {
+        let mut a = Asm::new("chain");
+        a.movi(Reg(1), 5).addi(Reg(1), Reg(1), -1).halt();
+        let p = a.build();
+        assert_eq!(
+            p.instrs(),
+            &[
+                Instr::Movi(Reg(1), 5),
+                Instr::Addi(Reg(1), Reg(1), -1),
+                Instr::Halt
+            ]
+        );
+    }
+}

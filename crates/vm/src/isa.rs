@@ -1,0 +1,362 @@
+//! The instruction set of the thread VM.
+//!
+//! Registers hold 64-bit unsigned values (pointers and integers). All memory
+//! operands are word-aligned effective addresses computed as
+//! `register + byte-offset`. Synchronization accesses are distinct
+//! instructions (the paper's software requirement that programs convey the
+//! data/synchronization distinction to hardware).
+
+use dvs_mem::layout::Region;
+use dvs_stats::TimeComponent;
+use std::fmt;
+
+/// A register name, `Reg(0)..Reg(31)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 32;
+
+impl Reg {
+    /// The register index, checked against [`NUM_REGS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is out of range.
+    pub fn index(self) -> usize {
+        assert!((self.0 as usize) < NUM_REGS, "register {self} out of range");
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A branch / spin condition over two unsigned 64-bit values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `lhs == rhs`
+    Eq,
+    /// `lhs != rhs`
+    Ne,
+    /// `lhs < rhs` (unsigned)
+    Lt,
+    /// `lhs >= rhs` (unsigned)
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition.
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            Cond::Eq => lhs == rhs,
+            Cond::Ne => lhs != rhs,
+            Cond::Lt => lhs < rhs,
+            Cond::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The negated condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+/// How long a [`Instr::Delay`] lasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DelayLen {
+    /// A fixed number of cycles.
+    Fixed(u64),
+    /// The current value of a register.
+    FromReg(Reg),
+    /// Uniformly random in `[lo, hi)`, drawn from the thread's private
+    /// deterministic stream (the paper's "randomly chosen in the range ...").
+    Uniform(u64, u64),
+}
+
+/// One VM instruction.
+///
+/// Every instruction retires in 1 cycle (the paper's core model); memory
+/// instructions additionally block per the protocol, and `Delay` adds its
+/// duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = imm`
+    Movi(Reg, u64),
+    /// `dst = src`
+    Mov(Reg, Reg),
+    /// `dst = a + b` (wrapping)
+    Add(Reg, Reg, Reg),
+    /// `dst = a + imm` (wrapping; `imm` may be negative)
+    Addi(Reg, Reg, i64),
+    /// `dst = a - b` (wrapping)
+    Sub(Reg, Reg, Reg),
+    /// `dst = a * b` (wrapping)
+    Mul(Reg, Reg, Reg),
+    /// `dst = a / b` (0 if `b == 0`)
+    Div(Reg, Reg, Reg),
+    /// `dst = a % b` (0 if `b == 0`)
+    Rem(Reg, Reg, Reg),
+    /// `dst = a & b`
+    And(Reg, Reg, Reg),
+    /// `dst = a | b`
+    Or(Reg, Reg, Reg),
+    /// `dst = a ^ b`
+    Xor(Reg, Reg, Reg),
+    /// `dst = a << sh` (masked shift)
+    Shl(Reg, Reg, u8),
+    /// `dst = a >> sh` (masked shift)
+    Shr(Reg, Reg, u8),
+    /// `dst = 1` if `cond(a, b)` else `0`
+    Set(Cond, Reg, Reg, Reg),
+    /// Branch to `target` if `cond(a, b)`.
+    Branch(Cond, Reg, Reg, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Load the word at `base + off`; `sync` marks a synchronization read.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+        /// Synchronization (volatile/atomic) access.
+        sync: bool,
+    },
+    /// Store `src` to the word at `base + off`; `sync` marks a release write.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+        /// Synchronization (volatile/atomic) access.
+        sync: bool,
+    },
+    /// Atomic compare-and-swap; `dst` receives the old value.
+    Cas {
+        /// Receives the old value.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+        /// Expected old value.
+        expected: Reg,
+        /// New value stored on match.
+        new: Reg,
+    },
+    /// Atomic fetch-and-add; `dst` receives the old value.
+    Fai {
+        /// Receives the old value.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+        /// Added amount.
+        delta: Reg,
+    },
+    /// Atomic exchange; `dst` receives the old value.
+    Swap {
+        /// Receives the old value.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+        /// New value.
+        new: Reg,
+    },
+    /// Atomic test-and-set (stores 1); `dst` receives the old value.
+    Tas {
+        /// Receives the old value.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Blocking spin: repeatedly load `base + off` until `cond(value, rhs)`
+    /// holds; `dst` receives the satisfying value. Models a spin-wait loop
+    /// (Test of TATAS, flag/sense waits) without simulating each iteration.
+    SpinLoad {
+        /// Receives the satisfying value.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+        /// Exit condition.
+        cond: Cond,
+        /// Right-hand side of the condition.
+        rhs: Reg,
+        /// Synchronization access (spin loads almost always are).
+        sync: bool,
+    },
+    /// Drain outstanding stores (MESI release/acquire ordering).
+    Fence,
+    /// DeNovo self-invalidation of every non-registered cached word of a
+    /// region (no-op on MESI).
+    SelfInv(Region),
+    /// Stall for a duration, attributing the cycles to a time component
+    /// (modelled computation, software backoff, ...).
+    Delay(DelayLen, TimeComponent),
+    /// Set the thread's execution-phase attribution override.
+    Phase(PhaseChange),
+    /// `dst = thread id`
+    Tid(Reg),
+    /// `dst = number of threads`
+    NThreads(Reg),
+    /// Bump-allocate `words` words from the thread-private pool; `dst`
+    /// receives the byte address.
+    Alloc {
+        /// Receives the allocated byte address.
+        dst: Reg,
+        /// Number of words to allocate.
+        words: u32,
+    },
+    /// Emit a trace marker (used by the Figure-2 walkthrough and tests).
+    Mark(u32),
+    /// Check `cond(a, b)`; a failure aborts the thread with `msg`.
+    Assert(Cond, Reg, Reg, &'static str),
+    /// Stop the thread.
+    Halt,
+    /// Do nothing for a cycle.
+    Nop,
+}
+
+/// Execution-phase attribution override (see `dvs-stats::TimeComponent`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseChange {
+    /// Normal kernel execution: retires count as compute, stalls as memory
+    /// stall.
+    Normal,
+    /// Inter-iteration dummy computation: everything counts as non-synch.
+    NonSynch,
+    /// Waiting in the end-of-kernel barrier: everything counts as barrier
+    /// stall.
+    BarrierWait,
+}
+
+/// An assembled program: a named, immutable instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Creates a program from raw instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch target is out of range or the program is empty.
+    pub fn new(name: &str, instrs: Vec<Instr>) -> Self {
+        assert!(!instrs.is_empty(), "empty program {name}");
+        for (pc, i) in instrs.iter().enumerate() {
+            let target = match i {
+                Instr::Branch(_, _, _, t) | Instr::Jmp(t) => Some(*t),
+                _ => None,
+            };
+            if let Some(t) = target {
+                assert!(
+                    t < instrs.len(),
+                    "{name}: pc {pc} branches to {t}, beyond program end {}",
+                    instrs.len()
+                );
+            }
+        }
+        Program {
+            name: name.to_owned(),
+            instrs,
+        }
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction at `pc`, if any.
+    pub fn fetch(&self, pc: usize) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions (never true: construction
+    /// rejects empty programs).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// All instructions.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_and_negate() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(3, 4));
+        assert!(Cond::Ge.eval(4, 4));
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge] {
+            for (a, b) in [(0u64, 0u64), (1, 2), (2, 1), (u64::MAX, 0)] {
+                assert_ne!(c.eval(a, b), c.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn reg_index_checked() {
+        assert_eq!(Reg(31).index(), 31);
+        assert_eq!(Reg(0).to_string(), "r0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        Reg(32).index();
+    }
+
+    #[test]
+    fn program_validates_branch_targets() {
+        let p = Program::new("ok", vec![Instr::Jmp(1), Instr::Halt]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.fetch(0), Some(&Instr::Jmp(1)));
+        assert_eq!(p.fetch(2), None);
+        assert_eq!(p.name(), "ok");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond program end")]
+    fn out_of_range_branch_rejected() {
+        Program::new("bad", vec![Instr::Jmp(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty program")]
+    fn empty_program_rejected() {
+        Program::new("empty", vec![]);
+    }
+}

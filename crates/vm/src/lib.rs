@@ -1,0 +1,53 @@
+//! The thread VM: the simulated cores' instruction set and interpreter.
+//!
+//! The paper drives its protocols with real programs running on a simple
+//! core model ("single-issue, in-order core model with blocking loads and 1
+//! CPI for all non-memory instructions"). This crate reproduces that core
+//! model as a small register VM:
+//!
+//! * [`isa`] — the instruction set: ALU ops, branches, data and
+//!   synchronization memory accesses, atomic RMWs (CAS / fetch-and-add /
+//!   swap / test-and-set), fences, DeNovo region self-invalidation, delay
+//!   (modelled computation and software backoff), and a blocking
+//!   *spin-load* used to model spin-wait loops without simulating every
+//!   spin iteration.
+//! * [`asm`] — a label-resolving assembler with one ergonomic method per
+//!   instruction; the 24 synchronization kernels are written against it.
+//! * [`thread`] — per-thread architectural state and the stepping
+//!   interpreter. Each step retires one instruction (1 cycle) and yields an
+//!   [`thread::Effect`] that the system simulator acts on.
+//! * [`mod@reference`] — an untimed, sequentially-consistent multi-threaded
+//!   reference executor used to validate kernel logic independently of the
+//!   timing simulator, and as the oracle in differential tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_vm::asm::Asm;
+//! use dvs_vm::isa::Reg;
+//! use dvs_vm::reference::RefMachine;
+//!
+//! // A tiny program: r1 = 6 * 7, stored to address 0x100.
+//! let mut a = Asm::new("six-by-seven");
+//! let (r1, r2) = (Reg(1), Reg(2));
+//! a.movi(r1, 6);
+//! a.movi(r2, 7);
+//! a.mul(r1, r1, r2);
+//! a.movi(r2, 0x100);
+//! a.store(r1, r2, 0);
+//! a.halt();
+//! let prog = a.build();
+//!
+//! let mut m = RefMachine::new(vec![prog]);
+//! m.run(1_000).unwrap();
+//! assert_eq!(m.memory().read_word(dvs_mem::Addr::new(0x100).word()), 42);
+//! ```
+
+pub mod asm;
+pub mod isa;
+pub mod reference;
+pub mod thread;
+
+pub use asm::Asm;
+pub use isa::{Cond, DelayLen, Instr, Program, Reg};
+pub use thread::{Effect, ExecPhase, MemRequest, SpinCond, Thread};

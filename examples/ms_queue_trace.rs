@@ -1,0 +1,16 @@
+//! The paper's Figure 2, live: trace the Michael–Scott queue's
+//! synchronization accesses under MESI, DeNovoSync0, and DeNovoSync.
+//!
+//! DeNovoSync0 turns the read-mostly equality checks into registration
+//! misses (R-R and W-R "false races"); DeNovoSync inserts hardware-backoff
+//! stalls instead of some of those misses. MESI spins on cached copies.
+//!
+//! ```text
+//! cargo run --release --example ms_queue_trace
+//! ```
+
+use dvs_bench::figures::fig2_trace;
+
+fn main() {
+    fig2_trace();
+}

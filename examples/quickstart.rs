@@ -1,0 +1,67 @@
+//! Quickstart: build a tiny workload with the assembler DSL, run it on all
+//! three protocols, and compare cycles and traffic.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use denovosync_suite::core::config::{Protocol, SystemConfig};
+use denovosync_suite::core::System;
+use dvs_mem::LayoutBuilder;
+use dvs_stats::TrafficClass;
+use dvs_vm::isa::Reg;
+use dvs_vm::Asm;
+
+fn main() {
+    // 1. Lay out memory: one line-padded synchronization counter.
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let counter = lb.sync_var("counter", sync, true);
+    let layout = lb.build();
+
+    // 2. Write the per-thread program: 50 atomic increments.
+    let program = || {
+        let mut a = Asm::new("quickstart");
+        let (addr, one, old) = (Reg(1), Reg(2), Reg(3));
+        a.movi(addr, counter.raw());
+        a.movi(one, 1);
+        for _ in 0..50 {
+            a.fai(old, addr, 0, one);
+        }
+        a.halt();
+        a.build()
+    };
+
+    // 3. Run the same program on MESI, DeNovoSync0, and DeNovoSync.
+    println!("16 cores, 800 atomic increments of one contended counter:\n");
+    println!(
+        "{:12} {:>12} {:>16} {:>10} {:>12}",
+        "protocol", "cycles", "flit-crossings", "inv-flits", "sync-flits"
+    );
+    for proto in Protocol::ALL {
+        let cfg = SystemConfig::paper(16, proto);
+        let mut sys = System::new(cfg, layout.clone(), (0..16).map(|_| program()).collect());
+        let stats = sys.run().expect("simulation completes");
+        assert_eq!(sys.read_word(counter), 16 * 50, "every increment must land");
+        println!(
+            "{:12} {:>12} {:>16} {:>10} {:>12}",
+            proto.label(),
+            stats.cycles,
+            stats.traffic.total(),
+            stats.traffic.get(TrafficClass::Invalidation),
+            stats.traffic.get(TrafficClass::Sync),
+        );
+    }
+    println!(
+        "\nTwo things to notice:\n\
+         * DeNovo has zero invalidation traffic — writer-initiated invalidations\n\
+           do not exist in the protocol; ownership moves point-to-point (SYNCH).\n\
+         * With back-to-back RMWs and no think time, MESI's *blocking* directory\n\
+           lets each core hog the line in M and burst its increments before the\n\
+           forwarded request arrives, while DeNovo's *non-blocking* registry\n\
+           re-points the word on every racing request, so ownership ping-pongs\n\
+           per increment. Spaced out realistically (the paper inserts thousands\n\
+           of cycles of work between increments — see the FAI-counter kernel in\n\
+           `cargo bench --bench fig5_nonblocking`), the protocols converge."
+    );
+}

@@ -1,0 +1,45 @@
+//! The dynamic-signature extension in action (the paper's §9 future work):
+//! compare static-region self-invalidation against DeNovoND-style
+//! signatures on a read-mostly workload.
+//!
+//! ```text
+//! cargo run --release --example signature_invalidation
+//! ```
+
+use denovosync_suite::apps::{all_apps, build_app};
+use denovosync_suite::core::config::{DataInvalidation, Protocol, SystemConfig};
+use dvs_bench::run_workload;
+
+fn main() {
+    println!(
+        "{:14} {:>12} {:>10} {:>14} {:>12}",
+        "app", "mode", "cycles", "data-rd-miss", "crossings"
+    );
+    for name in ["fluidanimate", "water", "barnes"] {
+        let spec = all_apps().into_iter().find(|a| a.name == name).expect("app");
+        let threads = 16;
+        let w = build_app(&spec, threads);
+        for mode in [DataInvalidation::StaticRegions, DataInvalidation::Signatures] {
+            let mut cfg = SystemConfig::paper(threads, Protocol::DeNovoSync);
+            cfg.data_inv = mode;
+            let stats = run_workload(cfg, &w).expect("run verifies");
+            println!(
+                "{:14} {:>12} {:>10} {:>14} {:>12}",
+                name,
+                if mode == DataInvalidation::StaticRegions { "static" } else { "signature" },
+                stats.cycles,
+                stats.cache.data_read_misses,
+                stats.traffic.total()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Static regions invalidate every Valid word of the protected region at\n\
+         each acquire; the signature mode invalidates only words other cores\n\
+         actually wrote since this core's last acquire, so read-mostly critical\n\
+         sections keep their cached data (fewer data-read misses, less refetch\n\
+         traffic). This is the paper's closing future-work item, built on\n\
+         DeNovoND's idea."
+    );
+}

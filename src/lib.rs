@@ -1,0 +1,9 @@
+//! Umbrella crate: re-exports the DeNovoSync reproduction workspace for examples and integration tests.
+pub use dvs_apps as apps;
+pub use dvs_core as core;
+pub use dvs_engine as engine;
+pub use dvs_kernels as kernels;
+pub use dvs_mem as mem;
+pub use dvs_noc as noc;
+pub use dvs_stats as stats;
+pub use dvs_vm as vm;

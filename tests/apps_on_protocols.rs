@@ -1,0 +1,44 @@
+//! Integration: every application model runs and passes its semantic check
+//! on MESI and DeNovoSync (the two protocols of Figure 7), at reduced scale.
+
+use denovosync_suite::apps::{all_apps, build_app};
+use denovosync_suite::core::config::{Protocol, SystemConfig};
+use dvs_bench::run_workload;
+
+#[test]
+fn all_thirteen_apps_on_mesi_and_denovosync() {
+    for spec in all_apps() {
+        let threads = 4;
+        let w = build_app(&spec, threads);
+        for proto in [Protocol::Mesi, Protocol::DeNovoSync] {
+            let cfg = SystemConfig::small(threads, proto);
+            let stats = run_workload(cfg, &w)
+                .unwrap_or_else(|e| panic!("{} on {proto:?}: {e}", spec.name));
+            assert!(stats.cycles > 0, "{}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn canneal_is_sync_heavy_on_denovo() {
+    use dvs_stats::TrafficClass;
+    let spec = all_apps().into_iter().find(|a| a.name == "canneal").unwrap();
+    let w = build_app(&spec, 4);
+    let stats = run_workload(SystemConfig::small(4, Protocol::DeNovoSync), &w).unwrap();
+    let sync = stats.traffic.get(TrafficClass::Sync);
+    let data = stats.traffic.get(TrafficClass::Load) + stats.traffic.get(TrafficClass::Store);
+    assert!(
+        sync > data,
+        "canneal should be synchronization-dominated: sync={sync} data={data}"
+    );
+}
+
+#[test]
+fn denovo_has_no_invalidation_traffic_in_apps() {
+    use dvs_stats::TrafficClass;
+    for spec in all_apps().into_iter().take(3) {
+        let w = build_app(&spec, 4);
+        let stats = run_workload(SystemConfig::small(4, Protocol::DeNovoSync0), &w).unwrap();
+        assert_eq!(stats.traffic.get(TrafficClass::Invalidation), 0, "{}", spec.name);
+    }
+}

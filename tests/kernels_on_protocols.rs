@@ -1,0 +1,109 @@
+//! Integration: every one of the 24 synchronization kernels must run to
+//! completion and satisfy its semantic post-condition on all three simulated
+//! protocols (MESI, DeNovoSync0, DeNovoSync).
+//!
+//! These runs use small workload parameters (a few iterations on 4 cores),
+//! but they exercise the full stack: VM programs → L1 controllers →
+//! mesh → L2 directory/registry → memory, with real data values carried
+//! through the protocols — a protocol bug that delivers a stale or lost
+//! value fails a kernel check or an in-VM assertion.
+
+use denovosync_suite::core::config::{Protocol, SystemConfig};
+use dvs_bench::run_kernel;
+use dvs_kernels::{BarrierKind, KernelId, KernelParams, LockKind, LockedStruct, NonBlocking};
+
+fn check_kernel_all_protocols(kernel: KernelId, threads: usize) {
+    let params = KernelParams::smoke(threads);
+    for proto in Protocol::ALL {
+        let cfg = SystemConfig::small(threads, proto);
+        let stats = run_kernel(kernel, cfg, &params)
+            .unwrap_or_else(|e| panic!("{} on {proto:?}: {e}", kernel.name()));
+        assert!(stats.cycles > 0, "{} on {proto:?}", kernel.name());
+    }
+}
+
+macro_rules! kernel_tests {
+    ($($name:ident => $kernel:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                check_kernel_all_protocols($kernel, 4);
+            }
+        )*
+    };
+}
+
+kernel_tests! {
+    tatas_single_queue => KernelId::Locked(LockedStruct::SingleQueue, LockKind::Tatas);
+    tatas_double_queue => KernelId::Locked(LockedStruct::DoubleQueue, LockKind::Tatas);
+    tatas_stack => KernelId::Locked(LockedStruct::Stack, LockKind::Tatas);
+    tatas_heap => KernelId::Locked(LockedStruct::Heap, LockKind::Tatas);
+    tatas_counter => KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
+    tatas_large_cs => KernelId::Locked(LockedStruct::LargeCs, LockKind::Tatas);
+    array_single_queue => KernelId::Locked(LockedStruct::SingleQueue, LockKind::Array);
+    array_double_queue => KernelId::Locked(LockedStruct::DoubleQueue, LockKind::Array);
+    array_stack => KernelId::Locked(LockedStruct::Stack, LockKind::Array);
+    array_heap => KernelId::Locked(LockedStruct::Heap, LockKind::Array);
+    array_counter => KernelId::Locked(LockedStruct::Counter, LockKind::Array);
+    array_large_cs => KernelId::Locked(LockedStruct::LargeCs, LockKind::Array);
+    nb_ms_queue => KernelId::NonBlocking(NonBlocking::MsQueue);
+    nb_plj_queue => KernelId::NonBlocking(NonBlocking::PljQueue);
+    nb_treiber_stack => KernelId::NonBlocking(NonBlocking::TreiberStack);
+    nb_herlihy_stack => KernelId::NonBlocking(NonBlocking::HerlihyStack);
+    nb_herlihy_heap => KernelId::NonBlocking(NonBlocking::HerlihyHeap);
+    nb_fai_counter => KernelId::NonBlocking(NonBlocking::FaiCounter);
+    barrier_tree => KernelId::Barrier(BarrierKind::Tree, false);
+    barrier_nary => KernelId::Barrier(BarrierKind::Nary, false);
+    barrier_central => KernelId::Barrier(BarrierKind::Central, false);
+    barrier_tree_unbalanced => KernelId::Barrier(BarrierKind::Tree, true);
+    barrier_nary_unbalanced => KernelId::Barrier(BarrierKind::Nary, true);
+    barrier_central_unbalanced => KernelId::Barrier(BarrierKind::Central, true);
+}
+
+/// The macro list above must cover every kernel exactly once.
+#[test]
+fn test_list_covers_all_24_kernels() {
+    assert_eq!(KernelId::all().len(), 24);
+}
+
+/// Larger-scale sanity run: the full TATAS counter kernel at 16 cores on
+/// every protocol, with the paper's iteration counts scaled down.
+#[test]
+fn tatas_counter_16_cores_all_protocols() {
+    let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
+    let mut params = KernelParams::paper(kernel, 16);
+    params.iters = 10;
+    for proto in Protocol::ALL {
+        let cfg = SystemConfig::paper(16, proto);
+        let stats = run_kernel(kernel, cfg, &params)
+            .unwrap_or_else(|e| panic!("counter @16 on {proto:?}: {e}"));
+        assert!(stats.cycles > 0);
+    }
+}
+
+/// Reduced-equality-check Herlihy variants stay correct on all protocols.
+#[test]
+fn herlihy_reduced_checks_all_protocols() {
+    for n in [NonBlocking::HerlihyStack, NonBlocking::HerlihyHeap] {
+        let mut params = KernelParams::smoke(4);
+        params.reduced_checks = true;
+        for proto in Protocol::ALL {
+            let cfg = SystemConfig::small(4, proto);
+            run_kernel(KernelId::NonBlocking(n), cfg, &params)
+                .unwrap_or_else(|e| panic!("{n:?} reduced on {proto:?}: {e}"));
+        }
+    }
+}
+
+/// Unpadded locks stay correct (the padding ablation's configuration).
+#[test]
+fn unpadded_locks_all_protocols() {
+    let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
+    let mut params = KernelParams::smoke(4);
+    params.padded_locks = false;
+    for proto in Protocol::ALL {
+        let cfg = SystemConfig::small(4, proto);
+        run_kernel(kernel, cfg, &params)
+            .unwrap_or_else(|e| panic!("unpadded counter on {proto:?}: {e}"));
+    }
+}

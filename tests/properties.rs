@@ -1,0 +1,436 @@
+//! Property-based tests over the whole stack.
+//!
+//! * random ALU programs agree with a direct Rust evaluation (VM semantics);
+//! * random data-race-free phase programs produce identical results on
+//!   MESI, DeNovoSync0, DeNovoSync, and the untimed SC reference machine
+//!   (the data-consistency guarantee self-invalidation must provide);
+//! * random racy synchronization-only programs preserve counter totals on
+//!   every protocol (write serialization + atomicity of the registration
+//!   path).
+
+use denovosync_suite::core::config::{Protocol, SystemConfig};
+use denovosync_suite::core::System;
+use dvs_kernels::sync::{emit_prologue, TreeBarrier, ITER, ITERS};
+use dvs_mem::{Addr, LayoutBuilder, MemoryLayout, LINE_BYTES};
+use dvs_vm::isa::{Cond, Reg};
+use dvs_vm::reference::RefMachine;
+use dvs_vm::{Asm, Program};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// 1. VM ALU semantics vs a direct evaluator.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum AluOp {
+    Movi(u8, u64),
+    Add(u8, u8, u8),
+    Sub(u8, u8, u8),
+    Mul(u8, u8, u8),
+    Div(u8, u8, u8),
+    Rem(u8, u8, u8),
+    And(u8, u8, u8),
+    Or(u8, u8, u8),
+    Xor(u8, u8, u8),
+    Shl(u8, u8, u8),
+    Shr(u8, u8, u8),
+    Addi(u8, u8, i32),
+}
+
+fn alu_op_strategy() -> impl Strategy<Value = AluOp> {
+    let r = 0u8..12;
+    prop_oneof![
+        (r.clone(), any::<u64>()).prop_map(|(d, v)| AluOp::Movi(d, v)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Add(d, a, b)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Sub(d, a, b)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Mul(d, a, b)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Div(d, a, b)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Rem(d, a, b)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::And(d, a, b)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Or(d, a, b)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Xor(d, a, b)),
+        (r.clone(), r.clone(), 0u8..64).prop_map(|(d, a, s)| AluOp::Shl(d, a, s)),
+        (r.clone(), r.clone(), 0u8..64).prop_map(|(d, a, s)| AluOp::Shr(d, a, s)),
+        (r.clone(), r, any::<i32>()).prop_map(|(d, a, i)| AluOp::Addi(d, a, i)),
+    ]
+}
+
+fn eval_alu(ops: &[AluOp]) -> [u64; 12] {
+    let mut r = [0u64; 12];
+    for &op in ops {
+        match op {
+            AluOp::Movi(d, v) => r[d as usize] = v,
+            AluOp::Add(d, a, b) => r[d as usize] = r[a as usize].wrapping_add(r[b as usize]),
+            AluOp::Sub(d, a, b) => r[d as usize] = r[a as usize].wrapping_sub(r[b as usize]),
+            AluOp::Mul(d, a, b) => r[d as usize] = r[a as usize].wrapping_mul(r[b as usize]),
+            AluOp::Div(d, a, b) => {
+                r[d as usize] = r[a as usize].checked_div(r[b as usize]).unwrap_or(0)
+            }
+            AluOp::Rem(d, a, b) => {
+                r[d as usize] = r[a as usize].checked_rem(r[b as usize]).unwrap_or(0)
+            }
+            AluOp::And(d, a, b) => r[d as usize] = r[a as usize] & r[b as usize],
+            AluOp::Or(d, a, b) => r[d as usize] = r[a as usize] | r[b as usize],
+            AluOp::Xor(d, a, b) => r[d as usize] = r[a as usize] ^ r[b as usize],
+            AluOp::Shl(d, a, s) => r[d as usize] = r[a as usize] << (s & 63),
+            AluOp::Shr(d, a, s) => r[d as usize] = r[a as usize] >> (s & 63),
+            AluOp::Addi(d, a, i) => {
+                r[d as usize] = r[a as usize].wrapping_add(i as i64 as u64)
+            }
+        }
+    }
+    r
+}
+
+fn assemble_alu(ops: &[AluOp]) -> Program {
+    let mut a = Asm::new("prop-alu");
+    for &op in ops {
+        match op {
+            AluOp::Movi(d, v) => a.movi(Reg(d), v),
+            AluOp::Add(d, x, y) => a.add(Reg(d), Reg(x), Reg(y)),
+            AluOp::Sub(d, x, y) => a.sub(Reg(d), Reg(x), Reg(y)),
+            AluOp::Mul(d, x, y) => a.mul(Reg(d), Reg(x), Reg(y)),
+            AluOp::Div(d, x, y) => a.div(Reg(d), Reg(x), Reg(y)),
+            AluOp::Rem(d, x, y) => a.rem(Reg(d), Reg(x), Reg(y)),
+            AluOp::And(d, x, y) => a.and(Reg(d), Reg(x), Reg(y)),
+            AluOp::Or(d, x, y) => a.or(Reg(d), Reg(x), Reg(y)),
+            AluOp::Xor(d, x, y) => a.xor(Reg(d), Reg(x), Reg(y)),
+            AluOp::Shl(d, x, s) => a.shl(Reg(d), Reg(x), s),
+            AluOp::Shr(d, x, s) => a.shr(Reg(d), Reg(x), s),
+            AluOp::Addi(d, x, i) => a.addi(Reg(d), Reg(x), i as i64),
+        };
+    }
+    a.halt();
+    a.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vm_alu_matches_direct_evaluation(ops in proptest::collection::vec(alu_op_strategy(), 1..60)) {
+        let mut m = RefMachine::new(vec![assemble_alu(&ops)]);
+        m.run(1_000).expect("alu program halts");
+        let expected = eval_alu(&ops);
+        for (i, &want) in expected.iter().enumerate() {
+            prop_assert_eq!(m.thread(0).reg(Reg(i as u8)), want, "r{}", i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Random DRF phase programs agree across protocols and with the SC
+//    reference.
+// ---------------------------------------------------------------------------
+
+const DRF_THREADS: usize = 4;
+
+#[derive(Debug, Clone)]
+struct DrfCase {
+    phases: u64,
+    slice_words: u64,
+    /// For each (phase, reader): which thread's slice and which word to read.
+    reads: Vec<(usize, u64)>,
+}
+
+fn drf_case() -> impl Strategy<Value = DrfCase> {
+    (1u64..4, 1u64..6).prop_flat_map(|(phases, slice_words)| {
+        proptest::collection::vec(
+            (0..DRF_THREADS, 0..slice_words),
+            (phases as usize) * DRF_THREADS,
+        )
+        .prop_map(move |reads| DrfCase {
+            phases,
+            slice_words,
+            reads,
+        })
+    })
+}
+
+/// Builds: each phase, thread t writes `phase*4096 + t*97 + j` to its own
+/// slice words, barrier, then reads an arbitrary slice word (data-race-free
+/// by construction) and folds it into a checksum published at the end.
+fn build_drf(case: &DrfCase) -> (MemoryLayout, Vec<Program>, Addr) {
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let data = lb.region("data");
+    let results = lb.segment("results", DRF_THREADS as u64 * LINE_BYTES, data);
+    let slices = lb.segment(
+        "slices",
+        DRF_THREADS as u64 * case.slice_words * 8,
+        data,
+    );
+    let barrier = TreeBarrier {
+        arrive: lb.segment("arrive", DRF_THREADS as u64 * LINE_BYTES, sync),
+        go: lb.segment("go", DRF_THREADS as u64 * LINE_BYTES, sync),
+        fan_in: 2,
+        fan_out: 2,
+        n: DRF_THREADS,
+        data_region: Some(data),
+    };
+    let programs = (0..DRF_THREADS)
+        .map(|tid| {
+            let mut a = Asm::new("prop-drf");
+            emit_prologue(&mut a, case.phases);
+            let my_base = slices.raw() + tid as u64 * case.slice_words * 8;
+            let top = a.here();
+            // value base = phase*4096 + tid*97
+            a.movi(Reg(4), 4096);
+            a.mul(Reg(4), ITER, Reg(4));
+            a.addi(Reg(4), Reg(4), (tid * 97) as i64);
+            for j in 0..case.slice_words {
+                a.addi(Reg(5), Reg(4), j as i64);
+                a.movi(Reg(10), my_base + j * 8);
+                a.store(Reg(5), Reg(10), 0);
+            }
+            a.fence();
+            barrier.emit(&mut a, tid);
+            // One read per (phase, tid) position, folded into r16. The read
+            // target is fixed at generation time, but the *phase* is the
+            // loop counter, so emit a read for each phase guarded by ITER.
+            let after = a.label();
+            for phase in 0..case.phases {
+                let (src, word) = case.reads[phase as usize * DRF_THREADS + tid];
+                let skip = a.label();
+                a.movi(Reg(6), phase);
+                a.bne(ITER, Reg(6), skip);
+                let addr = slices.raw() + src as u64 * case.slice_words * 8 + word * 8;
+                a.movi(Reg(10), addr);
+                a.load(Reg(7), Reg(10), 0);
+                a.add(Reg(16), Reg(16), Reg(7));
+                a.jmp(after);
+                a.bind(skip);
+            }
+            a.bind(after);
+            barrier.emit(&mut a, tid);
+            a.addi(ITER, ITER, 1);
+            a.blt(ITER, ITERS, top);
+            a.movi(Reg(10), results.raw() + tid as u64 * LINE_BYTES);
+            a.store(Reg(16), Reg(10), 0);
+            a.fence();
+            barrier.emit(&mut a, tid);
+            a.halt();
+            a.build()
+        })
+        .collect();
+    (lb.build(), programs, results)
+}
+
+fn expected_drf(case: &DrfCase) -> Vec<u64> {
+    (0..DRF_THREADS)
+        .map(|tid| {
+            (0..case.phases)
+                .map(|phase| {
+                    let (src, word) = case.reads[phase as usize * DRF_THREADS + tid];
+                    phase * 4096 + src as u64 * 97 + word
+                })
+                .sum()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn drf_programs_agree_on_every_protocol(case in drf_case()) {
+        let expected = expected_drf(&case);
+        // Untimed SC reference.
+        let (_, programs, results) = build_drf(&case);
+        let mut m = RefMachine::new(programs);
+        m.run(10_000_000).expect("reference");
+        for (tid, &want) in expected.iter().enumerate() {
+            let got = m.memory().read_word(Addr::new(results.raw() + tid as u64 * LINE_BYTES).word());
+            prop_assert_eq!(got, want, "reference tid {}", tid);
+        }
+        // Timed protocols.
+        for proto in Protocol::ALL {
+            let (layout, programs, results) = build_drf(&case);
+            let mut sys = System::new(SystemConfig::small(DRF_THREADS, proto), layout, programs);
+            sys.run().map_err(|e| TestCaseError::fail(format!("{proto:?}: {e}")))?;
+            for (tid, &want) in expected.iter().enumerate() {
+                let got = sys.read_word(Addr::new(results.raw() + tid as u64 * LINE_BYTES));
+                prop_assert_eq!(got, want, "{:?} tid {} (stale data visible?)", proto, tid);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Racy synchronization-only programs: totals survive on every protocol.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RacyCase {
+    /// Per (thread, step): which of 3 counters to hit and with which
+    /// operation (0 = FAI +1, 1 = FAI +2, 2 = CAS-increment loop).
+    ops: Vec<(u8, u8)>,
+    threads: usize,
+}
+
+fn racy_case() -> impl Strategy<Value = RacyCase> {
+    (2usize..=4, 1usize..12).prop_flat_map(|(threads, steps)| {
+        proptest::collection::vec((0u8..3, 0u8..3), threads * steps)
+            .prop_map(move |ops| RacyCase { ops, threads })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn racy_sync_totals_are_exact_on_every_protocol(case in racy_case()) {
+        let steps = case.ops.len() / case.threads;
+        // Expected per-counter totals.
+        let mut expected = [0u64; 3];
+        for &(c, op) in &case.ops {
+            expected[c as usize] += match op { 0 => 1, 1 => 2, _ => 1 };
+        }
+        let build = || {
+            let mut lb = LayoutBuilder::new();
+            let sync = lb.region("sync");
+            let counters: Vec<Addr> = (0..3)
+                .map(|i| lb.sync_var(&format!("c{i}"), sync, true))
+                .collect();
+            let programs: Vec<Program> = (0..case.threads)
+                .map(|tid| {
+                    let mut a = Asm::new("prop-racy");
+                    emit_prologue(&mut a, 1);
+                    for s in 0..steps {
+                        let (c, op) = case.ops[tid * steps + s];
+                        let addr = counters[c as usize];
+                        a.movi(Reg(10), addr.raw());
+                        match op {
+                            0 => {
+                                a.fai(Reg(4), Reg(10), 0, Reg(26));
+                            }
+                            1 => {
+                                a.movi(Reg(5), 2);
+                                a.fai(Reg(4), Reg(10), 0, Reg(5));
+                            }
+                            _ => {
+                                // CAS-increment retry loop.
+                                let retry = a.here();
+                                let done = a.label();
+                                a.loads(Reg(4), Reg(10), 0);
+                                a.addi(Reg(5), Reg(4), 1);
+                                a.cas(Reg(6), Reg(10), 0, Reg(4), Reg(5));
+                                a.beq(Reg(6), Reg(4), done);
+                                a.jmp(retry);
+                                a.bind(done);
+                            }
+                        }
+                    }
+                    a.halt();
+                    a.build()
+                })
+                .collect();
+            (lb.build(), programs, counters.clone())
+        };
+        for proto in Protocol::ALL {
+            let (layout, programs, counters) = build();
+            let n = match case.threads { 2 | 3 => 4, n => n }; // square mesh
+            let mut padded = programs;
+            while padded.len() < n {
+                let mut a = Asm::new("idle");
+                a.halt();
+                padded.push(a.build());
+            }
+            let mut sys = System::new(SystemConfig::small(n, proto), layout, padded);
+            sys.run().map_err(|e| TestCaseError::fail(format!("{proto:?}: {e}")))?;
+            for (i, &want) in expected.iter().enumerate() {
+                let got = sys.read_word(counters[i]);
+                prop_assert_eq!(got, want, "{:?} counter {} (lost update?)", proto, i);
+            }
+        }
+    }
+
+    #[test]
+    fn final_sync_value_is_some_threads_write(
+        writes in proptest::collection::vec(1u64..100, 2..6)
+    ) {
+        // Every thread sync-stores its value once; the final value must be
+        // one of them (write serialization: no blends, no losses).
+        for proto in Protocol::ALL {
+            let mut lb = LayoutBuilder::new();
+            let sync = lb.region("sync");
+            let var = lb.sync_var("var", sync, true);
+            let n = 4usize;
+            let programs: Vec<Program> = (0..n)
+                .map(|tid| {
+                    let mut a = Asm::new("prop-ws");
+                    if tid < writes.len() {
+                        a.movi(Reg(1), var.raw());
+                        a.movi(Reg(2), writes[tid]);
+                        a.stores(Reg(2), Reg(1), 0);
+                    }
+                    a.halt();
+                    a.build()
+                })
+                .collect();
+            let mut sys = System::new(SystemConfig::small(n, proto), lb.build(), programs);
+            sys.run().map_err(|e| TestCaseError::fail(format!("{proto:?}: {e}")))?;
+            let got = sys.read_word(var);
+            prop_assert!(writes.contains(&got), "{:?}: final {} not among writes {:?}", proto, got, writes);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Spin/watch robustness: a waiter always observes a flag write.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn flag_handoff_never_loses_the_wakeup(delay in 0u64..400) {
+        // One producer sets a flag after a random delay; three consumers
+        // spin. Lost-wakeup bugs in the watch mechanism deadlock this.
+        for proto in Protocol::ALL {
+            let mut lb = LayoutBuilder::new();
+            let sync = lb.region("sync");
+            let flag = lb.sync_var("flag", sync, true);
+            let programs: Vec<Program> = (0..4)
+                .map(|tid| {
+                    let mut a = Asm::new("prop-flag");
+                    a.movi(Reg(1), flag.raw());
+                    a.movi(Reg(2), 1);
+                    if tid == 0 {
+                        a.delay(delay + 1, dvs_stats::TimeComponent::Compute);
+                        a.stores(Reg(2), Reg(1), 0);
+                    } else {
+                        a.spin_until(Reg(3), Reg(1), 0, Cond::Eq, Reg(2));
+                        a.assert_cond(Cond::Eq, Reg(3), Reg(2), "spin returned wrong value");
+                    }
+                    a.halt();
+                    a.build()
+                })
+                .collect();
+            let mut sys = System::new(SystemConfig::small(4, proto), lb.build(), programs);
+            sys.run().map_err(|e| TestCaseError::fail(format!("{proto:?} delay {delay}: {e}")))?;
+            prop_assert_eq!(sys.read_word(flag), 1);
+        }
+    }
+
+    #[test]
+    fn tid_values_flow_through_registers(seed in any::<u64>()) {
+        // Register writes never bleed across threads.
+        let n = 4;
+        let programs: Vec<Program> = (0..n)
+            .map(|_| {
+                let mut a = Asm::new("prop-tid");
+                a.tid(Reg(1));
+                a.movi(Reg(2), seed % 1000);
+                a.add(Reg(3), Reg(1), Reg(2));
+                a.halt();
+                a.build()
+            })
+            .collect();
+        let mut m = RefMachine::new(programs);
+        m.run(1_000).expect("halts");
+        for t in 0..n {
+            prop_assert_eq!(m.thread(t).reg(Reg(3)), t as u64 + seed % 1000);
+        }
+    }
+}

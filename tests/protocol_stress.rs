@@ -1,0 +1,131 @@
+//! Stress tests: tiny L1 caches force constant evictions, driving the
+//! protocols through their rarest paths — MESI Put*/recall-free evictions
+//! racing forwards, and DeNovo's registered-word writeback handshake
+//! (WbReq/WbAck/WbNack with parked transfers) — under every kernel.
+//!
+//! A 1 KB 2-way L1 (16 lines) cannot hold even one kernel's working set, so
+//! every run here exercises paths the 32 KB configuration rarely touches.
+//! Semantic checks still must pass: an eviction bug that loses a registered
+//! word's value (or a directory that mis-acks a stale PutM) produces a
+//! wrong answer, not just wrong timing.
+
+use denovosync_suite::core::config::{Protocol, SystemConfig};
+use dvs_bench::run_kernel;
+use dvs_kernels::{BarrierKind, KernelId, KernelParams, LockKind, LockedStruct, NonBlocking};
+use dvs_mem::CacheGeometry;
+
+fn tiny_l1_config(threads: usize, proto: Protocol) -> SystemConfig {
+    let mut cfg = SystemConfig::small(threads, proto);
+    cfg.l1 = CacheGeometry::new(1024, 2); // 16 lines: constant evictions
+    cfg
+}
+
+fn stress(kernel: KernelId) {
+    let mut params = KernelParams::smoke(4);
+    params.iters = 8;
+    for proto in Protocol::ALL {
+        let stats = run_kernel(kernel, tiny_l1_config(4, proto), &params)
+            .unwrap_or_else(|e| panic!("{} tiny-L1 on {proto:?}: {e}", kernel.name()));
+        assert!(stats.cycles > 0);
+    }
+}
+
+#[test]
+fn tiny_l1_single_queue() {
+    stress(KernelId::Locked(LockedStruct::SingleQueue, LockKind::Tatas));
+}
+
+#[test]
+fn tiny_l1_double_queue_array() {
+    stress(KernelId::Locked(LockedStruct::DoubleQueue, LockKind::Array));
+}
+
+#[test]
+fn tiny_l1_stack() {
+    stress(KernelId::Locked(LockedStruct::Stack, LockKind::Tatas));
+}
+
+#[test]
+fn tiny_l1_heap() {
+    stress(KernelId::Locked(LockedStruct::Heap, LockKind::Tatas));
+}
+
+#[test]
+fn tiny_l1_heap_array() {
+    stress(KernelId::Locked(LockedStruct::Heap, LockKind::Array));
+}
+
+#[test]
+fn tiny_l1_large_cs() {
+    // 64-word critical section vs a 16-line cache: the self-invalidation
+    // and eviction paths fight over every set.
+    stress(KernelId::Locked(LockedStruct::LargeCs, LockKind::Tatas));
+}
+
+#[test]
+fn tiny_l1_ms_queue() {
+    stress(KernelId::NonBlocking(NonBlocking::MsQueue));
+}
+
+#[test]
+fn tiny_l1_plj_queue() {
+    stress(KernelId::NonBlocking(NonBlocking::PljQueue));
+}
+
+#[test]
+fn tiny_l1_treiber_stack() {
+    stress(KernelId::NonBlocking(NonBlocking::TreiberStack));
+}
+
+#[test]
+fn tiny_l1_herlihy_stack() {
+    // Block copies of ~50 words through a 16-line cache: every copy evicts
+    // registered words mid-construction.
+    stress(KernelId::NonBlocking(NonBlocking::HerlihyStack));
+}
+
+#[test]
+fn tiny_l1_herlihy_heap() {
+    stress(KernelId::NonBlocking(NonBlocking::HerlihyHeap));
+}
+
+#[test]
+fn tiny_l1_barriers() {
+    stress(KernelId::Barrier(BarrierKind::Tree, false));
+    stress(KernelId::Barrier(BarrierKind::Central, true));
+}
+
+/// Nine-thread run on a 3×3 mesh with a tiny cache: odd topology + deep
+/// registration chains (more racing registrants than L1 ways).
+#[test]
+fn tiny_l1_nine_threads_fai_and_queue() {
+    for kernel in [
+        KernelId::NonBlocking(NonBlocking::FaiCounter),
+        KernelId::NonBlocking(NonBlocking::MsQueue),
+    ] {
+        let mut params = KernelParams::smoke(9);
+        params.iters = 5;
+        for proto in Protocol::ALL {
+            run_kernel(kernel, tiny_l1_config(9, proto), &params)
+                .unwrap_or_else(|e| panic!("{} 9-thread on {proto:?}: {e}", kernel.name()));
+        }
+    }
+}
+
+/// Degenerate configurations must still work: one thread (no contention at
+/// all) and a direct-mapped cache (assoc 1 — every conflict evicts).
+#[test]
+fn degenerate_configurations() {
+    let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
+    for proto in Protocol::ALL {
+        let params = KernelParams::smoke(1);
+        run_kernel(kernel, tiny_l1_config(1, proto), &params)
+            .unwrap_or_else(|e| panic!("1-thread on {proto:?}: {e}"));
+
+        let mut cfg = SystemConfig::small(4, proto);
+        cfg.l1 = CacheGeometry::new(512, 1); // direct-mapped, 8 lines
+        let params = KernelParams::smoke(4);
+        run_kernel(kernel, cfg, &params)
+            .unwrap_or_else(|e| panic!("direct-mapped on {proto:?}: {e}"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The DeNovoND-style dynamic-signature extension (the paper's future-work
+//! item): correctness on the lock-based kernels, and the precision claim —
+//! invalidating only the lock's accumulated write set must produce fewer
+//! data-read misses than conservatively self-invalidating the whole static
+//! region (§7.1.2's heap discussion, §7.2's fluidanimate discussion).
+
+use denovosync_suite::apps::{all_apps, build_app};
+use denovosync_suite::core::config::{DataInvalidation, Protocol, SystemConfig};
+use dvs_bench::{run_kernel, run_workload};
+use dvs_kernels::{KernelId, KernelParams, LockKind, LockedStruct};
+
+fn cfg(proto: Protocol, mode: DataInvalidation) -> SystemConfig {
+    let mut c = SystemConfig::small(4, proto);
+    c.data_inv = mode;
+    c
+}
+
+/// Every lock-based kernel stays semantically correct when acquires
+/// invalidate by signature instead of by region — on both DeNovo variants.
+#[test]
+fn lock_kernels_correct_under_signatures() {
+    for s in LockedStruct::ALL {
+        for kind in [LockKind::Tatas, LockKind::Array] {
+            let kernel = KernelId::Locked(s, kind);
+            let params = KernelParams::smoke(4);
+            for proto in [Protocol::DeNovoSync0, Protocol::DeNovoSync] {
+                run_kernel(kernel, cfg(proto, DataInvalidation::Signatures), &params)
+                    .unwrap_or_else(|e| {
+                        panic!("{} under signatures on {proto:?}: {e}", kernel.name())
+                    });
+            }
+        }
+    }
+}
+
+/// Barrier kernels (epoch-flag releases publish the phase's writes) also
+/// stay correct — including the thread-0 integrity probe, which reads data
+/// written by every other thread.
+#[test]
+fn barrier_kernels_correct_under_signatures() {
+    use dvs_kernels::BarrierKind;
+    for kind in [BarrierKind::Tree, BarrierKind::Nary, BarrierKind::Central] {
+        let kernel = KernelId::Barrier(kind, false);
+        let mut params = KernelParams::smoke(4);
+        params.iters = 8;
+        run_kernel(
+            kernel,
+            cfg(Protocol::DeNovoSync, DataInvalidation::Signatures),
+            &params,
+        )
+        .unwrap_or_else(|e| panic!("{} under signatures: {e}", kernel.name()));
+    }
+}
+
+/// Signatures never invalidate more than static regions do: even on the
+/// heap kernel — whose critical sections write almost everything they read,
+/// so the written-set and the region nearly coincide — data-read misses
+/// must not regress.
+#[test]
+fn signatures_never_regress_heap_data_misses() {
+    let kernel = KernelId::Locked(LockedStruct::Heap, LockKind::Array);
+    let mut params = KernelParams::smoke(4);
+    params.iters = 20;
+    let static_run = run_kernel(
+        kernel,
+        cfg(Protocol::DeNovoSync, DataInvalidation::StaticRegions),
+        &params,
+    )
+    .expect("static run");
+    let sig_run = run_kernel(
+        kernel,
+        cfg(Protocol::DeNovoSync, DataInvalidation::Signatures),
+        &params,
+    )
+    .expect("signature run");
+    assert!(
+        sig_run.cache.data_read_misses <= static_run.cache.data_read_misses,
+        "signatures must not over-invalidate: {} vs {} static",
+        sig_run.cache.data_read_misses,
+        static_run.cache.data_read_misses
+    );
+}
+
+/// The strict precision win, isolated: a critical section that reads a
+/// 32-word shared table but writes a single word. Static regions blow the
+/// whole table away at every acquire; the signature invalidates only the
+/// previously-written words.
+#[test]
+fn signatures_cut_misses_on_read_mostly_critical_sections() {
+    use dvs_kernels::sync::{emit_prologue, TatasLock, ITER, ITERS, TID};
+    use dvs_kernels::Workload;
+    use dvs_mem::{Addr, LayoutBuilder};
+    use dvs_vm::isa::Reg;
+    use dvs_vm::Asm;
+
+    const TABLE_WORDS: u64 = 32;
+    let build = || -> Workload {
+        let mut lb = LayoutBuilder::new();
+        let sync = lb.region("sync");
+        let data = lb.region("data");
+        let lock = TatasLock {
+            lock: lb.sync_var("lock", sync, true),
+            data_region: Some(data),
+            sw_backoff: false,
+        };
+        let table = lb.segment("table", TABLE_WORDS * 8, data);
+        let programs = (0..4)
+            .map(|_| {
+                let mut a = Asm::new("read-mostly-cs");
+                emit_prologue(&mut a, 12);
+                let top = a.here();
+                lock.emit_acquire(&mut a);
+                // Read the whole table.
+                for j in 0..TABLE_WORDS {
+                    a.movi(Reg(10), table.raw() + j * 8);
+                    a.load(Reg(4), Reg(10), 0);
+                    a.add(Reg(16), Reg(16), Reg(4));
+                }
+                // Write one word: table[tid].
+                a.shl(Reg(10), TID, 3);
+                a.addi(Reg(10), Reg(10), table.raw() as i64);
+                a.load(Reg(4), Reg(10), 0);
+                a.addi(Reg(4), Reg(4), 1);
+                a.store(Reg(4), Reg(10), 0);
+                lock.emit_release(&mut a);
+                a.addi(ITER, ITER, 1);
+                a.blt(ITER, ITERS, top);
+                a.halt();
+                a.build()
+            })
+            .collect();
+        Workload {
+            layout: lb.build(),
+            programs,
+            init: Vec::new(),
+            pools: Vec::new(),
+            check: Box::new(move |read| {
+                let total: u64 = (0..4).map(|t| read(Addr::new(table.raw() + t * 8))).sum();
+                if total == 4 * 12 {
+                    Ok(())
+                } else {
+                    Err(format!("table increments {total}, expected 48"))
+                }
+            }),
+        }
+    };
+    let static_run = run_workload(
+        cfg(Protocol::DeNovoSync, DataInvalidation::StaticRegions),
+        &build(),
+    )
+    .expect("static run");
+    let sig_run = run_workload(cfg(Protocol::DeNovoSync, DataInvalidation::Signatures), &build())
+        .expect("signature run");
+    assert!(
+        sig_run.cache.data_read_misses < static_run.cache.data_read_misses / 2,
+        "read-mostly CS: signature misses {} should be well under static {}",
+        sig_run.cache.data_read_misses,
+        static_run.cache.data_read_misses
+    );
+}
+
+/// fluidanimate — the application the paper singles out as losing to MESI
+/// because of whole-region invalidation at every fine-grained lock acquire
+/// — must get faster with signatures.
+#[test]
+fn signatures_help_fluidanimate() {
+    let spec = all_apps()
+        .into_iter()
+        .find(|a| a.name == "fluidanimate")
+        .expect("fluidanimate exists");
+    let w = build_app(&spec, 4);
+    let static_run = run_workload(
+        cfg(Protocol::DeNovoSync, DataInvalidation::StaticRegions),
+        &w,
+    )
+    .expect("static run");
+    let sig_run = run_workload(cfg(Protocol::DeNovoSync, DataInvalidation::Signatures), &w)
+        .expect("signature run");
+    assert!(
+        sig_run.cache.data_read_misses < static_run.cache.data_read_misses,
+        "signature misses {} should undercut static {}",
+        sig_run.cache.data_read_misses,
+        static_run.cache.data_read_misses
+    );
+    assert!(
+        sig_run.cycles <= static_run.cycles,
+        "signature cycles {} should not exceed static {}",
+        sig_run.cycles,
+        static_run.cycles
+    );
+}
+
+/// MESI ignores the knob entirely: identical results in both modes.
+#[test]
+fn mesi_is_unaffected_by_invalidation_mode() {
+    let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
+    let params = KernelParams::smoke(4);
+    let a = run_kernel(kernel, cfg(Protocol::Mesi, DataInvalidation::StaticRegions), &params)
+        .unwrap();
+    let b = run_kernel(kernel, cfg(Protocol::Mesi, DataInvalidation::Signatures), &params)
+        .unwrap();
+    assert_eq!(a, b);
+}
