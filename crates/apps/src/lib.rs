@@ -218,8 +218,16 @@ mod tests {
     fn thirteen_apps_match_table2() {
         let apps = all_apps();
         assert_eq!(apps.len(), 13);
-        let on16: Vec<&str> = apps.iter().filter(|a| a.cores == 16).map(|a| a.name).collect();
-        assert_eq!(on16, vec!["ferret", "x264"], "paper: ferret and x264 at 16 cores");
+        let on16: Vec<&str> = apps
+            .iter()
+            .filter(|a| a.cores == 16)
+            .map(|a| a.name)
+            .collect();
+        assert_eq!(
+            on16,
+            vec!["ferret", "x264"],
+            "paper: ferret and x264 at 16 cores"
+        );
         assert!(apps.iter().filter(|a| a.cores == 64).count() == 11);
         let mut names: Vec<&str> = apps.iter().map(|a| a.name).collect();
         names.sort_unstable();

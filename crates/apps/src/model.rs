@@ -133,7 +133,14 @@ pub fn build_app(spec: &AppSpec, threads: usize) -> Workload {
             reread_words,
             compute,
         } => build_barrier_lock(
-            threads, phases, locks, cs_per_phase, cs_words, region_words, reread_words, compute,
+            threads,
+            phases,
+            locks,
+            cs_per_phase,
+            cs_words,
+            region_words,
+            reread_words,
+            compute,
         ),
         AppClass::NonBlockingSwap {
             elements,
@@ -401,7 +408,7 @@ fn build_swap(threads: usize, elements: u64, swaps: u64, compute: (u64, u64)) ->
             };
             lcg_next(&mut a, T5); // i
             lcg_next(&mut a, T6); // j
-            // addr_i, addr_j
+                                  // addr_i, addr_j
             a.shl(P10, T5, 3);
             a.addi(P10, P10, elems.raw() as i64);
             a.shl(P11, T6, 3);
@@ -483,7 +490,12 @@ fn build_pipeline(threads: usize, stages: u64, tokens: u64, compute: (u64, u64))
     // non-final stage needs a pool.
     let pool_bytes = (tokens * per_stage.max(1) + 8) * LINE_BYTES;
     let pools: Vec<(Addr, u64)> = (0..threads)
-        .map(|t| (lb.segment(&format!("pool{t}"), pool_bytes, data), pool_bytes))
+        .map(|t| {
+            (
+                lb.segment(&format!("pool{t}"), pool_bytes, data),
+                pool_bytes,
+            )
+        })
         .collect();
 
     let emit_enqueue = |a: &mut Asm, lock: &TatasLock, tail: Addr, val: Reg| {

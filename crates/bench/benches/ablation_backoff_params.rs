@@ -29,8 +29,12 @@ fn main() {
             params.iters = params.iters.min(20);
         }
         // Baseline: DeNovoSync0 (no backoff at all).
-        let base = run_kernel(kernel, SystemConfig::paper(cores, Protocol::DeNovoSync0), &params)
-            .expect("baseline runs");
+        let base = run_kernel(
+            kernel,
+            SystemConfig::paper(cores, Protocol::DeNovoSync0),
+            &params,
+        )
+        .expect("baseline runs");
         println!(
             "{:12} {:>6} {:>10} {:>12} {:>14} {:>12}",
             kernel.name(),

@@ -11,7 +11,11 @@ fn main() {
         KernelId::NonBlocking(NonBlocking::HerlihyHeap),
     ];
     println!("################ original (full equality checks) ################");
-    kernel_figure("Ablation S3 (original)", &kernels, |p| p.reduced_checks = false);
+    kernel_figure("Ablation S3 (original)", &kernels, |p| {
+        p.reduced_checks = false
+    });
     println!("################ reduced equality checks ################");
-    kernel_figure("Ablation S3 (reduced)", &kernels, |p| p.reduced_checks = true);
+    kernel_figure("Ablation S3 (reduced)", &kernels, |p| {
+        p.reduced_checks = true
+    });
 }

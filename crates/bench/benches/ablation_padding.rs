@@ -12,5 +12,7 @@ fn main() {
     println!("################ padded locks (paper default) ################");
     kernel_figure("Ablation S2 (padded)", &kernels, |p| p.padded_locks = true);
     println!("################ unpadded locks ################");
-    kernel_figure("Ablation S2 (unpadded)", &kernels, |p| p.padded_locks = false);
+    kernel_figure("Ablation S2 (unpadded)", &kernels, |p| {
+        p.padded_locks = false
+    });
 }

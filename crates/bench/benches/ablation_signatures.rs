@@ -22,14 +22,19 @@ fn main() {
     if quick_mode() {
         params.iters = params.iters.min(20);
     }
-    for mode in [DataInvalidation::StaticRegions, DataInvalidation::Signatures] {
+    for mode in [
+        DataInvalidation::StaticRegions,
+        DataInvalidation::Signatures,
+    ] {
         let mut cfg = SystemConfig::paper(cores, Protocol::DeNovoSync);
         cfg.data_inv = mode;
         let stats = run_kernel(kernel, cfg, &params).expect("heap runs");
         println!(
             "{:18} {:>14} {:>12} {:>12} {:>14}",
             "heap (array)",
-            format!("{mode:?}").replace("StaticRegions", "static").replace("Signatures", "signature"),
+            format!("{mode:?}")
+                .replace("StaticRegions", "static")
+                .replace("Signatures", "signature"),
             stats.cycles,
             stats.cache.data_read_misses,
             stats.traffic.total()
@@ -37,17 +42,25 @@ fn main() {
     }
     // fluidanimate and water (read-mostly critical sections).
     for name in ["fluidanimate", "water"] {
-        let spec = all_apps().into_iter().find(|a| a.name == name).expect("app");
+        let spec = all_apps()
+            .into_iter()
+            .find(|a| a.name == name)
+            .expect("app");
         let threads = if quick_mode() { 16 } else { spec.cores };
         let w = build_app(&spec, threads);
-        for mode in [DataInvalidation::StaticRegions, DataInvalidation::Signatures] {
+        for mode in [
+            DataInvalidation::StaticRegions,
+            DataInvalidation::Signatures,
+        ] {
             let mut cfg = SystemConfig::paper(threads, Protocol::DeNovoSync);
             cfg.data_inv = mode;
             let stats = run_workload(cfg, &w).expect("app runs");
             println!(
                 "{:18} {:>14} {:>12} {:>12} {:>14}",
                 name,
-                format!("{mode:?}").replace("StaticRegions", "static").replace("Signatures", "signature"),
+                format!("{mode:?}")
+                    .replace("StaticRegions", "static")
+                    .replace("Signatures", "signature"),
                 stats.cycles,
                 stats.cache.data_read_misses,
                 stats.traffic.total()

@@ -11,7 +11,11 @@ fn main() {
         .map(|&s| KernelId::Locked(s, LockKind::Tatas))
         .collect();
     println!("################ without software backoff (paper default) ################");
-    kernel_figure("Ablation S1 (no sw backoff)", &kernels, |p| p.sw_backoff = false);
+    kernel_figure("Ablation S1 (no sw backoff)", &kernels, |p| {
+        p.sw_backoff = false
+    });
     println!("################ with software backoff [128, 2048) ################");
-    kernel_figure("Ablation S1 (sw backoff)", &kernels, |p| p.sw_backoff = true);
+    kernel_figure("Ablation S1 (sw backoff)", &kernels, |p| {
+        p.sw_backoff = true
+    });
 }

@@ -1,0 +1,117 @@
+//! Chaos matrix artifact: every kernel on every protocol under the fixed
+//! fault seeds with runtime invariant checking enabled, plus a measurement of
+//! the wall-clock cost of the checkers (which must be pay-for-use: a run with
+//! `check_invariants = false` executes none of the checking code and its
+//! simulated timing is bit-identical either way).
+//!
+//! Writes `BENCH_chaos.json` (machine-readable) and prints a summary table.
+//! The seeds here match `tests/chaos.rs` and `scripts/ci.sh`.
+
+use std::time::Instant;
+
+use dvs_bench::run_kernel;
+use dvs_core::chaos::FaultPlan;
+use dvs_core::config::{Protocol, SystemConfig};
+use dvs_kernels::{KernelId, KernelParams, LockKind, LockedStruct};
+use dvs_stats::report::{JsonObject, ParamTable};
+
+const SEEDS: [u64; 4] = [1, 42, 0xDEAD_BEEF, 0x5EED_CAFE];
+const THREADS: usize = 4;
+const OVERHEAD_REPS: u32 = 20;
+
+fn chaos_cfg(proto: Protocol, seed: u64, check: bool) -> SystemConfig {
+    let mut cfg = SystemConfig::small(THREADS, proto);
+    cfg.check_invariants = check;
+    cfg.fault_plan = Some(FaultPlan::from_seed(seed));
+    cfg
+}
+
+/// Runs the full kernel matrix for one (protocol, seed) cell with invariant
+/// checking on; panics on any failure so CI treats a regression as fatal.
+fn run_cell(proto: Protocol, seed: u64) -> JsonObject {
+    let params = KernelParams::smoke(THREADS);
+    let mut total_cycles = 0u64;
+    let mut total_msgs = 0u64;
+    let mut runs = 0u64;
+    for kernel in KernelId::all() {
+        let stats = run_kernel(kernel, chaos_cfg(proto, seed, true), &params).unwrap_or_else(|e| {
+            panic!(
+                "{} on {proto:?} with fault seed {seed:#x}: {e}",
+                kernel.name()
+            )
+        });
+        total_cycles += stats.cycles;
+        total_msgs += stats.traffic.total();
+        runs += 1;
+    }
+    let mut cell = JsonObject::new();
+    cell.str("protocol", proto.label())
+        .str("seed", &format!("{seed:#x}"))
+        .u64("runs", runs)
+        .u64("total_cycles", total_cycles)
+        .u64("total_messages", total_msgs);
+    cell
+}
+
+/// Times `OVERHEAD_REPS` runs of one kernel with checking off/on and verifies
+/// the simulated timing is unchanged — the checkers observe, never perturb.
+fn measure_overhead() -> JsonObject {
+    let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
+    let params = KernelParams::smoke(THREADS);
+    let mut times = [0u128; 2];
+    let mut cycles = [0u64; 2];
+    for (i, check) in [false, true].into_iter().enumerate() {
+        let start = Instant::now();
+        for _ in 0..OVERHEAD_REPS {
+            let stats = run_kernel(
+                kernel,
+                chaos_cfg(Protocol::DeNovoSync, SEEDS[0], check),
+                &params,
+            )
+            .expect("overhead run");
+            cycles[i] = stats.cycles;
+        }
+        times[i] = start.elapsed().as_nanos();
+    }
+    assert_eq!(
+        cycles[0], cycles[1],
+        "invariant checking must not change simulated timing"
+    );
+    let mut obj = JsonObject::new();
+    obj.str("kernel", &kernel.name())
+        .u64("reps", u64::from(OVERHEAD_REPS))
+        .u64("simulated_cycles", cycles[0])
+        .u64("wall_ns_checks_off", times[0] as u64)
+        .u64("wall_ns_checks_on", times[1] as u64)
+        .f64("on_off_ratio", times[1] as f64 / times[0] as f64);
+    obj
+}
+
+fn main() {
+    let mut matrix = Vec::new();
+    for proto in Protocol::ALL {
+        for seed in SEEDS {
+            matrix.push(run_cell(proto, seed));
+        }
+    }
+    let overhead = measure_overhead();
+
+    let mut summary = ParamTable::new("Chaos matrix");
+    summary
+        .row("kernels", KernelId::all().len())
+        .row("protocols", Protocol::ALL.len())
+        .row("fault seeds", SEEDS.len())
+        .row("invariant checking", "enabled for every matrix run");
+    print!("{}", summary.render());
+
+    let mut root = JsonObject::new();
+    root.str("bench", "chaos_matrix")
+        .u64("threads", THREADS as u64)
+        .array("matrix", matrix)
+        .object("invariant_check_overhead", overhead);
+    let json = root.render();
+    // Anchor to the workspace root regardless of the bench binary's cwd.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -9,7 +9,11 @@ use dvs_core::config::{Protocol, SystemConfig};
 use dvs_kernels::{BarrierKind, KernelId, KernelParams, LockKind, LockedStruct, NonBlocking};
 
 fn main() {
-    let cores_list: &[usize] = if quick_mode() { &[4, 16] } else { &[4, 16, 36, 64] };
+    let cores_list: &[usize] = if quick_mode() {
+        &[4, 16]
+    } else {
+        &[4, 16, 36, 64]
+    };
     let kernels = [
         KernelId::Locked(LockedStruct::Counter, LockKind::Tatas),
         KernelId::Locked(LockedStruct::Counter, LockKind::Array),

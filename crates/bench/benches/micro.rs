@@ -1,98 +1,104 @@
-//! Criterion micro-benchmarks of the simulator's hot paths.
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Micro-benchmarks of the simulator's hot paths.
+//!
+//! Self-contained timing harness (no external bench framework, so the
+//! workspace builds offline): each workload is warmed up, then run for a
+//! fixed number of iterations, and the per-iteration wall time is printed.
 use dvs_core::config::{Protocol, SystemConfig};
 use dvs_engine::{DetRng, Scheduler};
 use dvs_kernels::{KernelId, KernelParams, LockKind, LockedStruct};
 use dvs_mem::{CacheArray, CacheGeometry, LineAddr};
 use dvs_noc::{Mesh, Network, NocParams};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_scheduler(c: &mut Criterion) {
-    c.bench_function("scheduler_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut s = Scheduler::new();
-            for i in 0..1000u64 {
-                s.schedule_at(i * 3 % 997, i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = s.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
-    });
+fn bench<F: FnMut() -> u64>(name: &str, iters: u32, mut f: F) {
+    for _ in 0..iters / 10 + 1 {
+        black_box(f()); // warm-up
+    }
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        acc = acc.wrapping_add(f());
+    }
+    let elapsed = start.elapsed();
+    black_box(acc);
+    println!(
+        "{name:<32} {:>10.3} us/iter  ({iters} iters)",
+        elapsed.as_secs_f64() * 1e6 / iters as f64
+    );
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("detrng_range_1k", |b| {
-        let mut r = DetRng::new(7);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..1000 {
-                acc = acc.wrapping_add(r.range(1400, 1800));
-            }
-            black_box(acc)
-        })
-    });
-}
-
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_array_probe_1k", |b| {
-        let mut arr: CacheArray<u64> = CacheArray::new(CacheGeometry::new(32 * 1024, 4));
-        for i in 0..512u64 {
-            arr.insert_filtered(LineAddr::new(i), i, |_, _| true);
+fn bench_scheduler() {
+    bench("scheduler_push_pop_1k", 2000, || {
+        let mut s = Scheduler::new();
+        for i in 0..1000u64 {
+            s.schedule_at(i * 3 % 997, i);
         }
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..1000u64 {
-                if let Some(v) = arr.get(LineAddr::new(i % 700)) {
-                    acc = acc.wrapping_add(*v);
-                }
+        let mut acc = 0u64;
+        while let Some((_, v)) = s.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    });
+}
+
+fn bench_rng() {
+    let mut r = DetRng::new(7);
+    bench("detrng_range_1k", 5000, || {
+        let mut acc = 0u64;
+        for _ in 0..1000 {
+            acc = acc.wrapping_add(r.range(1400, 1800));
+        }
+        acc
+    });
+}
+
+fn bench_cache() {
+    let mut arr: CacheArray<u64> = CacheArray::new(CacheGeometry::new(32 * 1024, 4));
+    for i in 0..512u64 {
+        arr.insert_filtered(LineAddr::new(i), i, |_, _| true);
+    }
+    bench("cache_array_probe_1k", 5000, || {
+        let mut acc = 0u64;
+        for i in 0..1000u64 {
+            if let Some(v) = arr.get(LineAddr::new(i % 700)) {
+                acc = acc.wrapping_add(*v);
             }
-            black_box(acc)
-        })
+        }
+        acc
     });
 }
 
-fn bench_noc(c: &mut Criterion) {
-    c.bench_function("mesh_send_1k", |b| {
-        b.iter(|| {
-            let mut net = Network::new(Mesh::square(64), NocParams::default());
-            let mut t = 0;
-            for i in 0..1000usize {
-                let d = net.send(t, i % 64, (i * 31) % 64, 4 + (i % 32) as u64);
-                t = d.arrive.min(t + 5);
-            }
-            black_box(net.total_crossings())
-        })
+fn bench_noc() {
+    bench("mesh_send_1k", 2000, || {
+        let mut net = Network::new(Mesh::square(64), NocParams::default());
+        let mut t = 0;
+        for i in 0..1000usize {
+            let d = net.send(t, i % 64, (i * 31) % 64, 4 + (i % 32) as u64);
+            t = d.arrive.min(t + 5);
+        }
+        net.total_crossings()
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("tatas_counter_4c_denovosync", |b| {
-        let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
-        let params = KernelParams::smoke(4);
-        b.iter(|| {
-            let stats = dvs_bench::run_kernel(
-                kernel,
-                SystemConfig::small(4, Protocol::DeNovoSync),
-                &params,
-            )
-            .expect("runs");
-            black_box(stats.cycles)
-        })
+fn bench_end_to_end() {
+    let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
+    let params = KernelParams::smoke(4);
+    bench("tatas_counter_4c_denovosync", 20, || {
+        let stats = dvs_bench::run_kernel(
+            kernel,
+            SystemConfig::small(4, Protocol::DeNovoSync),
+            &params,
+        )
+        .expect("runs");
+        stats.cycles
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_scheduler,
-    bench_rng,
-    bench_cache,
-    bench_noc,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_scheduler();
+    bench_rng();
+    bench_cache();
+    bench_noc();
+    bench_end_to_end();
+}

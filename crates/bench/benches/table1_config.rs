@@ -3,7 +3,12 @@ use dvs_core::config::{Protocol, SystemConfig};
 
 fn main() {
     for cores in [16, 64] {
-        print!("{}", SystemConfig::paper(cores, Protocol::DeNovoSync).table1().render());
+        print!(
+            "{}",
+            SystemConfig::paper(cores, Protocol::DeNovoSync)
+                .table1()
+                .render()
+        );
         println!();
     }
 }

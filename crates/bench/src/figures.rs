@@ -39,7 +39,10 @@ fn scale_params(params: &mut KernelParams) {
 /// Builds the execution-time table rows for one run.
 pub fn time_row(stats: &RunStats) -> Vec<f64> {
     let b = stats.breakdown();
-    TimeComponent::ALL.iter().map(|&c| b.get(c) as f64).collect()
+    TimeComponent::ALL
+        .iter()
+        .map(|&c| b.get(c) as f64)
+        .collect()
 }
 
 /// Builds the traffic table rows for one run.
@@ -62,11 +65,7 @@ pub fn traffic_components() -> Vec<&'static str> {
 
 /// Runs one kernel grid (the shape of Figures 3–6) and prints the
 /// normalized tables. `tweak` adjusts the paper parameters (ablations).
-pub fn kernel_figure(
-    figure: &str,
-    kernels: &[KernelId],
-    tweak: impl Fn(&mut KernelParams),
-) {
+pub fn kernel_figure(figure: &str, kernels: &[KernelId], tweak: impl Fn(&mut KernelParams)) {
     for &cores in &figure_core_counts() {
         let tc = time_components();
         let cc = traffic_components();

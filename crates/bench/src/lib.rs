@@ -75,8 +75,12 @@ mod tests {
     fn run_kernel_returns_stats_and_checks() {
         let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
         let params = KernelParams::smoke(4);
-        let stats = run_kernel(kernel, SystemConfig::small(4, Protocol::DeNovoSync), &params)
-            .expect("kernel runs");
+        let stats = run_kernel(
+            kernel,
+            SystemConfig::small(4, Protocol::DeNovoSync),
+            &params,
+        )
+        .expect("kernel runs");
         assert!(stats.cycles > 0);
         assert!(stats.traffic.total() > 0);
     }

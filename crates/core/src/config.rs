@@ -1,5 +1,6 @@
 //! System configurations (the paper's Table 1).
 
+use crate::chaos::FaultPlan;
 use dvs_engine::Cycle;
 use dvs_mem::CacheGeometry;
 use dvs_noc::NocParams;
@@ -160,6 +161,14 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Safety valve: abort the simulation after this many cycles.
     pub max_cycles: Cycle,
+    /// Run the runtime coherence-invariant checkers at message-delivery
+    /// boundaries. Off by default: checking costs time, and the checks are
+    /// for protocol debugging and chaos testing, not production runs.
+    pub check_invariants: bool,
+    /// Deterministic fault injection (delivery delay + legal reordering).
+    /// `None` leaves message timing exactly as the network model produces
+    /// it.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SystemConfig {
@@ -183,6 +192,8 @@ impl SystemConfig {
             data_inv: DataInvalidation::StaticRegions,
             seed: 0xDE40,
             max_cycles: 2_000_000_000,
+            check_invariants: false,
+            fault_plan: None,
         }
     }
 
@@ -199,6 +210,8 @@ impl SystemConfig {
             data_inv: DataInvalidation::StaticRegions,
             seed: 0xDE40,
             max_cycles: 2_000_000_000,
+            check_invariants: false,
+            fault_plan: None,
         }
     }
 
@@ -215,6 +228,8 @@ impl SystemConfig {
             data_inv: DataInvalidation::StaticRegions,
             seed: 0xDE40,
             max_cycles: 500_000_000,
+            check_invariants: false,
+            fault_plan: None,
         }
     }
 
@@ -248,7 +263,10 @@ impl SystemConfig {
         let mut t = ParamTable::new("Table 1: Simulated system parameters");
         t.row("# of cores", self.cores)
             .row("Core frequency", "2 GHz (1 cycle = 0.5 ns)")
-            .row("Core model", "in-order, 1 CPI, blocking loads, non-blocking stores")
+            .row(
+                "Core model",
+                "in-order, 1 CPI, blocking loads, non-blocking stores",
+            )
             .row(
                 "L1 data cache (private)",
                 format!(
@@ -259,19 +277,29 @@ impl SystemConfig {
             )
             .row(
                 "L2 (shared, NUCA)",
-                format!("{}MB, {} banks, 64-byte lines", self.l2_bytes() >> 20, self.cores),
+                format!(
+                    "{}MB, {} banks, 64-byte lines",
+                    self.l2_bytes() >> 20,
+                    self.cores
+                ),
             )
             .row("Memory", "4 on-chip controllers (mesh corners)")
             .row("L1 hit latency", format!("{} cycle", self.latency.l1_hit))
-            .row("L2 bank access", format!("{} cycles + network", self.latency.l2_access))
-            .row("Remote L1 access", format!("{} cycles + network", self.latency.remote_l1))
-            .row("Memory latency", format!("{} cycles + network", self.latency.dram))
+            .row(
+                "L2 bank access",
+                format!("{} cycles + network", self.latency.l2_access),
+            )
+            .row(
+                "Remote L1 access",
+                format!("{} cycles + network", self.latency.remote_l1),
+            )
+            .row(
+                "Memory latency",
+                format!("{} cycles + network", self.latency.dram),
+            )
             .row(
                 "Network",
-                format!(
-                    "2D mesh, 16-bit flits, {} cycles/hop",
-                    self.noc.hop_cycles
-                ),
+                format!("2D mesh, 16-bit flits, {} cycles/hop", self.noc.hop_cycles),
             );
         if self.protocol == Protocol::DeNovoSync {
             t.row(
@@ -319,7 +347,9 @@ mod tests {
 
     #[test]
     fn table1_renders_key_rows() {
-        let t = SystemConfig::cores16(Protocol::DeNovoSync).table1().render();
+        let t = SystemConfig::cores16(Protocol::DeNovoSync)
+            .table1()
+            .render();
         assert!(t.contains("2 GHz"));
         assert!(t.contains("32KB"));
         assert!(t.contains("4MB"));
@@ -337,7 +367,9 @@ mod tests {
         let word_resp = flits_for(8, 8);
         let req = flits_for(8, 0);
         let l2 = |hops: usize| {
-            net.ideal_latency(hops, req) + cfg.latency.l2_access + net.ideal_latency(hops, word_resp)
+            net.ideal_latency(hops, req)
+                + cfg.latency.l2_access
+                + net.ideal_latency(hops, word_resp)
         };
         let min = l2(0);
         let max = l2(6);
@@ -350,7 +382,8 @@ mod tests {
             "far-bank L2 hit {max} should be near Table 1's 68"
         );
         // Memory: far bank + controller trip + DRAM.
-        let mem = max + net.ideal_latency(3, req) + cfg.latency.dram + net.ideal_latency(3, word_resp);
+        let mem =
+            max + net.ideal_latency(3, req) + cfg.latency.dram + net.ideal_latency(3, word_resp);
         assert!(
             (195..=290).contains(&mem),
             "memory latency {mem} should be within Table 1's 197–277"

@@ -25,7 +25,9 @@ use crate::msg::{CoreId, DnvMsg, Endpoint, Msg, XferClass};
 use crate::proto::{Action, IssueResult};
 use dvs_mem::array::InsertOutcome;
 use dvs_mem::layout::MemoryLayout;
-use dvs_mem::{AccessKind, CacheArray, CacheGeometry, LineAddr, Mshr, Region, RmwOp, WordAddr, WORDS_PER_LINE};
+use dvs_mem::{
+    AccessKind, CacheArray, CacheGeometry, LineAddr, Mshr, Region, RmwOp, WordAddr, WORDS_PER_LINE,
+};
 use dvs_stats::CacheStats;
 use dvs_vm::MemRequest;
 use std::sync::Arc;
@@ -221,6 +223,37 @@ impl DnvL1 {
         self.mshr.len()
     }
 
+    /// Whether this L1 has an outstanding MSHR transaction on `word`.
+    pub fn has_pending(&self, word: WordAddr) -> bool {
+        self.mshr.contains(&word)
+    }
+
+    /// Whether a forwarded registration transfer is parked on `word`'s MSHR
+    /// entry — the in-L1 link of the distributed registration queue.
+    pub fn has_parked_xfer(&self, word: WordAddr) -> bool {
+        self.mshr
+            .get(&word)
+            .is_some_and(|p| p.parked_xfer.is_some())
+    }
+
+    /// One `(word, description)` pair per outstanding MSHR entry (stall
+    /// diagnostics and conservation checking).
+    pub fn pending_summaries(&self) -> Vec<(WordAddr, String)> {
+        self.mshr
+            .iter()
+            .map(|(w, p)| {
+                let mut desc = format!("{:?}", p.kind);
+                if !p.parked_reads.is_empty() {
+                    desc.push_str(&format!(", {} parked read(s)", p.parked_reads.len()));
+                }
+                if let Some((c, class)) = p.parked_xfer {
+                    desc.push_str(&format!(", parked xfer to core {c} ({class:?})"));
+                }
+                (*w, desc)
+            })
+            .collect()
+    }
+
     /// Self-invalidates every Valid word belonging to `region` (Registered
     /// words are untouched — "registered data stays in the cache across
     /// synchronization boundaries").
@@ -275,7 +308,8 @@ impl DnvL1 {
                 if let Some(Pend { kind, .. }) = self.mshr.get(&word) {
                     match kind {
                         PendKind::Wb { .. } => return IssueResult::Blocked,
-                        PendKind::Write => { /* word is Registered locally: falls through to hit */ }
+                        PendKind::Write => { /* word is Registered locally: falls through to hit */
+                        }
                         other => unreachable!("data load with own {other:?} pending"),
                     }
                 }
@@ -439,11 +473,13 @@ impl DnvL1 {
                         return;
                     }
                 }
-                assert_eq!(
-                    self.word_state(word),
-                    WState::Registered,
-                    "forwarded read for unregistered word {word}"
-                );
+                if self.word_state(word) != WState::Registered {
+                    actions.push(Action::violation(format!(
+                        "L1 {}: forwarded read for unregistered word {word}",
+                        self.id
+                    )));
+                    return;
+                }
                 // DeNovo transfers data at line granularity: piggy-back the
                 // line's other words registered here (they are equally
                 // current), cutting the forwarded-read count for data that
@@ -474,7 +510,11 @@ impl DnvL1 {
                 class,
             } => {
                 if let Some(pend) = self.mshr.get_mut(&word) {
-                    if let PendKind::Wb { value, nacked: true } = pend.kind {
+                    if let PendKind::Wb {
+                        value,
+                        nacked: true,
+                    } = pend.kind
+                    {
                         // The registry refused our writeback because this
                         // transfer was already on its way: serve and drop.
                         let reads = std::mem::take(&mut pend.parked_reads);
@@ -486,22 +526,42 @@ impl DnvL1 {
                         });
                         return;
                     }
-                    assert!(
-                        pend.parked_xfer.is_none(),
-                        "second transfer parked on one registration"
-                    );
+                    if pend.parked_xfer.is_some() {
+                        actions.push(Action::violation(format!(
+                            "L1: second transfer parked on one registration for {word}"
+                        )));
+                        return;
+                    }
                     pend.parked_xfer = Some((new_owner, class));
                     return;
                 }
-                let value = self.downgrade(word, class, actions);
+                let Some(value) = self.downgrade(word, class, actions) else {
+                    actions.push(Action::violation(format!(
+                        "L1 {}: transfer for unregistered word {word}",
+                        self.id
+                    )));
+                    return;
+                };
                 actions.push(Action::Send {
                     to: Endpoint::L1(new_owner),
                     msg: Msg::Dnv(DnvMsg::RegAck { word, value, class }),
                 });
             }
             DnvMsg::ReadResp { word, value, fill } => {
-                let pend = self.mshr.remove(&word).expect("ReadResp without pending read");
-                assert!(matches!(pend.kind, PendKind::Read), "ReadResp for {pend:?}");
+                let Some(pend) = self.mshr.remove(&word) else {
+                    actions.push(Action::violation(format!(
+                        "L1 {}: ReadResp without pending read for {word}",
+                        self.id
+                    )));
+                    return;
+                };
+                if !matches!(pend.kind, PendKind::Read) {
+                    actions.push(Action::violation(format!(
+                        "L1 {}: ReadResp for {word} with {:?} pending",
+                        self.id, pend.kind
+                    )));
+                    return;
+                }
                 if self.ensure_line(word.line(), actions) {
                     let w = self.word_mut(word).expect("line ensured");
                     if w.state == WState::Invalid {
@@ -518,21 +578,49 @@ impl DnvL1 {
             }
             DnvMsg::RegAck { word, value, .. } => self.on_reg_ack(word, value, actions),
             DnvMsg::WbAck { word } => {
-                let pend = self.mshr.remove(&word).expect("WbAck without writeback");
-                let PendKind::Wb { value, nacked } = pend.kind else {
-                    panic!("WbAck for {pend:?}");
+                let Some(pend) = self.mshr.remove(&word) else {
+                    actions.push(Action::violation(format!(
+                        "L1 {}: WbAck without writeback for {word}",
+                        self.id
+                    )));
+                    return;
                 };
-                assert!(!nacked, "WbAck after WbNack");
-                assert!(
-                    pend.parked_xfer.is_none(),
-                    "registry acked a writeback with a transfer outstanding"
-                );
+                let PendKind::Wb { value, nacked } = pend.kind else {
+                    actions.push(Action::violation(format!(
+                        "L1 {}: WbAck for {word} with {:?} pending",
+                        self.id, pend.kind
+                    )));
+                    return;
+                };
+                if nacked {
+                    actions.push(Action::violation(format!(
+                        "L1 {}: WbAck for {word} after WbNack",
+                        self.id
+                    )));
+                    return;
+                }
+                if pend.parked_xfer.is_some() {
+                    actions.push(Action::violation(format!(
+                        "L1 {}: registry acked a writeback of {word} with a transfer outstanding",
+                        self.id
+                    )));
+                    return;
+                }
                 self.serve_reads(word, value, &pend.parked_reads, actions);
             }
             DnvMsg::WbNack { word } => {
-                let pend = self.mshr.get_mut(&word).expect("WbNack without writeback");
+                let Some(pend) = self.mshr.get_mut(&word) else {
+                    actions.push(Action::violation(format!(
+                        "L1: WbNack without writeback for {word}"
+                    )));
+                    return;
+                };
                 let PendKind::Wb { value, .. } = pend.kind else {
-                    panic!("WbNack for {:?}", pend.kind);
+                    let kind = pend.kind;
+                    actions.push(Action::violation(format!(
+                        "L1: WbNack for {word} with {kind:?} pending"
+                    )));
+                    return;
                 };
                 if let Some((new_owner, class)) = pend.parked_xfer.take() {
                     let reads = std::mem::take(&mut pend.parked_reads);
@@ -549,14 +637,23 @@ impl DnvL1 {
                     };
                 }
             }
-            other => panic!("L1 {} cannot handle {other:?}", self.id),
+            other => actions.push(Action::violation(format!(
+                "L1 {} cannot handle {other:?}",
+                self.id
+            ))),
         }
     }
 
     /// Our own registration was acknowledged: perform the operation, then
     /// serve anything that parked behind us in the distributed queue.
     fn on_reg_ack(&mut self, word: WordAddr, ack_value: u64, actions: &mut Vec<Action>) {
-        let pend = self.mshr.remove(&word).expect("RegAck without registration");
+        let Some(pend) = self.mshr.remove(&word) else {
+            actions.push(Action::violation(format!(
+                "L1 {}: RegAck without registration for {word}",
+                self.id
+            )));
+            return;
+        };
         let cached = self.ensure_line(word.line(), actions);
         let mut owned_value = ack_value;
         match pend.kind {
@@ -601,7 +698,13 @@ impl DnvL1 {
                     value: Some(ack_value),
                 });
             }
-            PendKind::Read | PendKind::Wb { .. } => panic!("RegAck for {:?}", pend.kind),
+            PendKind::Read | PendKind::Wb { .. } => {
+                actions.push(Action::violation(format!(
+                    "L1 {}: RegAck for {word} with {:?} pending",
+                    self.id, pend.kind
+                )));
+                return;
+            }
         }
         // Serve parked forwarded reads with the post-operation value (they
         // were serialized after our registration).
@@ -609,7 +712,10 @@ impl DnvL1 {
         // Then the parked transfer, if any: ownership moves on.
         if let Some((new_owner, class)) = pend.parked_xfer {
             let value = if cached {
+                // The ack just (re-)registered the word here, so the
+                // downgrade cannot miss.
                 self.downgrade(word, class, actions)
+                    .expect("word registered by this ack")
             } else {
                 owned_value
             };
@@ -641,17 +747,23 @@ impl DnvL1 {
     }
 
     /// Downgrades a Registered word for an outgoing transfer, returning its
-    /// value. Synchronization reads under DeNovoSync leave a Valid copy (the
-    /// backoff trigger) and bump the counter; everything else invalidates.
-    fn downgrade(&mut self, word: WordAddr, class: XferClass, actions: &mut Vec<Action>) -> u64 {
+    /// value (`None` if the word is not actually Registered here — a
+    /// protocol violation the caller reports). Synchronization reads under
+    /// DeNovoSync leave a Valid copy (the backoff trigger) and bump the
+    /// counter; everything else invalidates.
+    fn downgrade(
+        &mut self,
+        word: WordAddr,
+        class: XferClass,
+        actions: &mut Vec<Action>,
+    ) -> Option<u64> {
         let keep_valid = class == XferClass::SyncRead && self.backoff.is_enabled();
         if class == XferClass::SyncRead {
             self.backoff.on_remote_sync_read();
         }
         let w = self
             .word_mut(word)
-            .filter(|w| w.state == WState::Registered)
-            .unwrap_or_else(|| panic!("transfer for unregistered word {word}"));
+            .filter(|w| w.state == WState::Registered)?;
         let value = w.value;
         w.state = if keep_valid {
             WState::Valid
@@ -661,10 +773,16 @@ impl DnvL1 {
         if self.watch == Some(word) {
             actions.push(Action::SpinWake);
         }
-        value
+        Some(value)
     }
 
-    fn serve_reads(&self, word: WordAddr, value: u64, readers: &[CoreId], actions: &mut Vec<Action>) {
+    fn serve_reads(
+        &self,
+        word: WordAddr,
+        value: u64,
+        readers: &[CoreId],
+        actions: &mut Vec<Action>,
+    ) {
         for &r in readers {
             actions.push(Action::Send {
                 to: Endpoint::L1(r),
@@ -705,11 +823,13 @@ impl DnvL1 {
         // First preference: a victim with nothing pinned (clean Valid-only
         // lines drop silently — Valid words are always clean copies).
         let mshr = &self.mshr;
-        let clean = self.cache.insert_filtered(line, DnvLine::empty(), |addr, l| {
-            Some(addr) != watch_line
-                && !l.has_registered()
-                && addr.words().all(|w| !mshr.contains(&w))
-        });
+        let clean = self
+            .cache
+            .insert_filtered(line, DnvLine::empty(), |addr, l| {
+                Some(addr) != watch_line
+                    && !l.has_registered()
+                    && addr.words().all(|w| !mshr.contains(&w))
+            });
         match clean {
             InsertOutcome::Inserted | InsertOutcome::Evicted(..) => return true,
             InsertOutcome::NoVictim(_) => {}
@@ -717,9 +837,11 @@ impl DnvL1 {
         // Fall back to evicting a line with Registered words via the
         // writeback handshake.
         let mshr = &self.mshr;
-        let outcome = self.cache.insert_filtered(line, DnvLine::empty(), |addr, _| {
-            Some(addr) != watch_line && addr.words().all(|w| !mshr.contains(&w))
-        });
+        let outcome = self
+            .cache
+            .insert_filtered(line, DnvLine::empty(), |addr, _| {
+                Some(addr) != watch_line && addr.words().all(|w| !mshr.contains(&w))
+            });
         match outcome {
             InsertOutcome::Inserted => true,
             InsertOutcome::Evicted(victim, old) => {
@@ -853,7 +975,11 @@ mod tests {
         let mut l1 = l1(false);
         let mut acts = Vec::new();
         assert_eq!(
-            l1.core_request(&req(0x100, AccessKind::DataStore { value: 5 }), false, &mut acts),
+            l1.core_request(
+                &req(0x100, AccessKind::DataStore { value: 5 }),
+                false,
+                &mut acts
+            ),
             IssueResult::StoreAccepted { completed: false }
         );
         // The word is already Registered locally: reads hit and see 5.
@@ -880,7 +1006,11 @@ mod tests {
         for (enabled, expect) in [(false, WState::Invalid), (true, WState::Valid)] {
             let mut l1 = l1(enabled);
             let mut acts = Vec::new();
-            l1.core_request(&req(0x100, AccessKind::DataStore { value: 9 }), false, &mut acts);
+            l1.core_request(
+                &req(0x100, AccessKind::DataStore { value: 9 }),
+                false,
+                &mut acts,
+            );
             l1.on_msg(
                 DnvMsg::RegAck {
                     word: word(0x100),
@@ -918,7 +1048,11 @@ mod tests {
         let mut l1 = l1(true);
         let mut acts = Vec::new();
         // Register then lose to a remote sync read → Valid + backoff > 0.
-        l1.core_request(&req(0x100, AccessKind::DataStore { value: 1 }), false, &mut acts);
+        l1.core_request(
+            &req(0x100, AccessKind::DataStore { value: 1 }),
+            false,
+            &mut acts,
+        );
         l1.on_msg(
             DnvMsg::RegAck {
                 word: word(0x100),
@@ -1039,7 +1173,11 @@ mod tests {
             &mut acts,
         );
         // Registered word via store.
-        l1.core_request(&req(0x140, AccessKind::DataStore { value: 4 }), false, &mut acts);
+        l1.core_request(
+            &req(0x140, AccessKind::DataStore { value: 4 }),
+            false,
+            &mut acts,
+        );
         assert_eq!(l1.word_state(word(0x100)), WState::Valid);
         assert_eq!(l1.word_state(word(0x140)), WState::Registered);
         let region = l1.layout.region_of(Addr::new(0x100)).unwrap();
@@ -1053,7 +1191,11 @@ mod tests {
         let mut l1 = l1(false);
         let mut acts = Vec::new();
         // Make word 1 of the line Registered first.
-        l1.core_request(&req(0x108, AccessKind::DataStore { value: 99 }), false, &mut acts);
+        l1.core_request(
+            &req(0x108, AccessKind::DataStore { value: 99 }),
+            false,
+            &mut acts,
+        );
         acts.clear();
         l1.core_request(&req(0x100, AccessKind::DataLoad), false, &mut acts);
         let mut data = [0u64; 8];
@@ -1079,7 +1221,11 @@ mod tests {
         // Fill both ways of set 0 with registered words, then force a third
         // line into the set (2-way, 8 sets ⇒ stride 8 lines = 0x200).
         for (a, v) in [(0x200u64, 1u64), (0x400, 2)] {
-            l1.core_request(&req(a, AccessKind::DataStore { value: v }), false, &mut acts);
+            l1.core_request(
+                &req(a, AccessKind::DataStore { value: v }),
+                false,
+                &mut acts,
+            );
             l1.on_msg(
                 DnvMsg::RegAck {
                     word: word(a),
@@ -1090,7 +1236,11 @@ mod tests {
             );
         }
         acts.clear();
-        let res = l1.core_request(&req(0x600, AccessKind::DataStore { value: 3 }), false, &mut acts);
+        let res = l1.core_request(
+            &req(0x600, AccessKind::DataStore { value: 3 }),
+            false,
+            &mut acts,
+        );
         assert_eq!(res, IssueResult::StoreAccepted { completed: false });
         let wb = acts.iter().find_map(|a| match a {
             Action::Send {
@@ -1114,7 +1264,11 @@ mod tests {
         let mut l1 = l1(false);
         let mut acts = Vec::new();
         for (a, v) in [(0x200u64, 1u64), (0x400, 2)] {
-            l1.core_request(&req(a, AccessKind::DataStore { value: v }), false, &mut acts);
+            l1.core_request(
+                &req(a, AccessKind::DataStore { value: v }),
+                false,
+                &mut acts,
+            );
             l1.on_msg(
                 DnvMsg::RegAck {
                     word: word(a),
@@ -1125,7 +1279,11 @@ mod tests {
             );
         }
         acts.clear();
-        l1.core_request(&req(0x600, AccessKind::DataStore { value: 3 }), false, &mut acts);
+        l1.core_request(
+            &req(0x600, AccessKind::DataStore { value: 3 }),
+            false,
+            &mut acts,
+        );
         acts.clear();
         // Registry refuses: ownership already moved to core 4.
         l1.on_msg(DnvMsg::WbNack { word: word(0x200) }, &mut acts);
@@ -1154,7 +1312,11 @@ mod tests {
         let mut l1 = l1(false);
         let mut acts = Vec::new();
         for (a, v) in [(0x200u64, 1u64), (0x400, 2)] {
-            l1.core_request(&req(a, AccessKind::DataStore { value: v }), false, &mut acts);
+            l1.core_request(
+                &req(a, AccessKind::DataStore { value: v }),
+                false,
+                &mut acts,
+            );
             l1.on_msg(
                 DnvMsg::RegAck {
                     word: word(a),
@@ -1165,7 +1327,11 @@ mod tests {
             );
         }
         acts.clear();
-        l1.core_request(&req(0x600, AccessKind::DataStore { value: 3 }), false, &mut acts);
+        l1.core_request(
+            &req(0x600, AccessKind::DataStore { value: 3 }),
+            false,
+            &mut acts,
+        );
         acts.clear();
         // Transfer parks on the writeback entry, then the nack releases it.
         l1.on_msg(

@@ -64,8 +64,7 @@ impl DnvRegistry {
     /// The registry state of a word, if its line has been touched.
     pub fn word(&self, word: WordAddr) -> Option<RegWord> {
         let line = self.lines.get(&word.line())?;
-        line.has_data
-            .then_some(line.words[word.index_in_line()])
+        line.has_data.then_some(line.words[word.index_in_line()])
     }
 
     /// Number of words currently registered to some L1 (diagnostics; the
@@ -82,17 +81,45 @@ impl DnvRegistry {
     /// checking).
     pub fn registrations(&self) -> impl Iterator<Item = (WordAddr, CoreId)> + '_ {
         self.lines.iter().flat_map(|(&line, e)| {
-            e.words.iter().enumerate().filter_map(move |(i, w)| match w {
-                RegWord::Registered(c) => Some((line.word(i), *c)),
-                RegWord::Valid(_) => None,
-            })
+            e.words
+                .iter()
+                .enumerate()
+                .filter_map(move |(i, w)| match w {
+                    RegWord::Registered(c) => Some((line.word(i), *c)),
+                    RegWord::Valid(_) => None,
+                })
         })
     }
 
     /// Whether any line is still waiting on a memory fetch (for quiescence
     /// checks).
     pub fn any_fetching(&self) -> bool {
-        self.lines.values().any(|l| l.fetching || !l.queue.is_empty())
+        self.lines
+            .values()
+            .any(|l| l.fetching || !l.queue.is_empty())
+    }
+
+    /// Whether the line is still being resolved — fetching from memory,
+    /// holding queued requests, or not yet filled. The transient exemption
+    /// for the runtime conservation checker.
+    pub fn line_busy(&self, line: LineAddr) -> bool {
+        self.lines
+            .get(&line)
+            .is_some_and(|l| l.fetching || !l.queue.is_empty() || !l.has_data)
+    }
+
+    /// A one-line human-readable description of a word's registry state, if
+    /// its line has been touched (stall diagnostics).
+    pub fn describe_word(&self, word: WordAddr) -> Option<String> {
+        let e = self.lines.get(&word.line())?;
+        Some(format!(
+            "bank {}: {word} {:?} has_data={} fetching={} queued={}",
+            self.bank,
+            e.words[word.index_in_line()],
+            e.has_data,
+            e.fetching,
+            e.queue.len()
+        ))
     }
 
     /// Handles one incoming message.
@@ -120,8 +147,20 @@ impl DnvRegistry {
 
     /// Memory returned a line this bank was fetching.
     pub fn on_mem_data(&mut self, line: LineAddr, data: LineData, actions: &mut Vec<Action>) {
-        let entry = self.lines.get_mut(&line).expect("MemData for unknown line");
-        assert!(entry.fetching, "unexpected MemData");
+        let Some(entry) = self.lines.get_mut(&line) else {
+            actions.push(Action::violation(format!(
+                "registry bank {}: MemData for unknown line {line}",
+                self.bank
+            )));
+            return;
+        };
+        if !entry.fetching {
+            actions.push(Action::violation(format!(
+                "registry bank {}: MemData for {line} that was not being fetched",
+                self.bank
+            )));
+            return;
+        }
         for (i, w) in entry.words.iter_mut().enumerate() {
             *w = RegWord::Valid(data[i]);
         }
@@ -164,7 +203,14 @@ impl DnvRegistry {
                     });
                 }
                 RegWord::Registered(owner) => {
-                    assert_ne!(owner, req, "registrant data-reading its own word remotely");
+                    if owner == req {
+                        actions.push(Action::violation(format!(
+                            "registry bank {}: registrant core {req} data-reading its own \
+                             word {word} remotely",
+                            self.bank
+                        )));
+                        return;
+                    }
                     actions.push(Action::Send {
                         to: Endpoint::L1(owner),
                         msg: Msg::Dnv(DnvMsg::ReadReq { word, req }),
@@ -180,7 +226,14 @@ impl DnvRegistry {
                     });
                 }
                 RegWord::Registered(prev) => {
-                    assert_ne!(prev, req, "re-registration by current registrant");
+                    if prev == req {
+                        actions.push(Action::violation(format!(
+                            "registry bank {}: re-registration of {word} by current \
+                             registrant core {req}",
+                            self.bank
+                        )));
+                        return;
+                    }
                     entry.words[idx] = RegWord::Registered(req);
                     actions.push(Action::Send {
                         to: Endpoint::L1(prev),
@@ -206,9 +259,15 @@ impl DnvRegistry {
                         msg: Msg::Dnv(DnvMsg::WbNack { word }),
                     });
                 }
-                RegWord::Valid(_) => panic!("writeback for a word the registry already holds"),
+                RegWord::Valid(_) => actions.push(Action::violation(format!(
+                    "registry bank {}: writeback for {word}, which the registry already holds",
+                    self.bank
+                ))),
             },
-            other => panic!("registry bank {} cannot handle {other:?}", self.bank),
+            other => actions.push(Action::violation(format!(
+                "registry bank {} cannot handle {other:?}",
+                self.bank
+            ))),
         }
     }
 }
@@ -249,7 +308,11 @@ mod tests {
             a,
             Action::Send {
                 to: Endpoint::L1(9),
-                msg: Msg::Dnv(DnvMsg::ReadResp { value: 100, fill: Some((0xFE, _)), .. })
+                msg: Msg::Dnv(DnvMsg::ReadResp {
+                    value: 100,
+                    fill: Some((0xFE, _)),
+                    ..
+                })
             }
         )));
         r
@@ -277,7 +340,15 @@ mod tests {
         // Only one memory fetch despite two queued requests.
         let fetches = acts
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: Msg::MemRead { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: Msg::MemRead { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(fetches, 1);
         acts.clear();
@@ -315,7 +386,11 @@ mod tests {
             a,
             Action::Send {
                 to: Endpoint::L1(3),
-                msg: Msg::Dnv(DnvMsg::RegAck { value: 101, class: XferClass::Write, .. })
+                msg: Msg::Dnv(DnvMsg::RegAck {
+                    value: 101,
+                    class: XferClass::Write,
+                    ..
+                })
             }
         )));
         assert_eq!(r.word(word(1)), Some(RegWord::Registered(3)));

@@ -51,6 +51,7 @@
 //! assert!(stats.cycles > 0);
 //! ```
 
+pub mod chaos;
 pub mod config;
 pub mod denovo;
 pub mod mesi;

@@ -91,7 +91,10 @@ impl MesiDir {
 
     /// The line's current data as known to the L2 (stale while owned).
     pub fn peek_line(&self, line: LineAddr) -> Option<&LineData> {
-        self.lines.get(&line).filter(|l| l.has_data).map(|l| &l.data)
+        self.lines
+            .get(&line)
+            .filter(|l| l.has_data)
+            .map(|l| &l.data)
     }
 
     /// Iterates every tracked line's sharer mask (empty for uncached/owned)
@@ -106,7 +109,9 @@ impl MesiDir {
 
     /// Whether any line is mid-transaction (for quiescence checks).
     pub fn any_busy(&self) -> bool {
-        self.lines.values().any(|l| l.busy.is_some() || !l.queue.is_empty())
+        self.lines
+            .values()
+            .any(|l| l.busy.is_some() || !l.queue.is_empty())
     }
 
     /// The current owner, if the line is in an owned state.
@@ -114,6 +119,31 @@ impl MesiDir {
         match self.lines.get(&line)?.state {
             DirState::Owned(o) => Some(o),
             _ => None,
+        }
+    }
+
+    /// Whether the line's entry is mid-transaction, fetching memory, or
+    /// holding queued requests — the transient exemption for the runtime
+    /// invariant checker.
+    pub fn busy_or_queued(&self, line: LineAddr) -> bool {
+        self.lines
+            .get(&line)
+            .is_some_and(|l| l.busy.is_some() || !l.queue.is_empty())
+    }
+
+    /// A one-line human-readable description of the line's directory entry
+    /// (stall diagnostics).
+    pub fn describe_line(&self, line: LineAddr) -> String {
+        match self.lines.get(&line) {
+            None => format!("bank {}: {line} untracked", self.bank),
+            Some(e) => format!(
+                "bank {}: {line} {:?} busy={:?} queued={} has_data={}",
+                self.bank,
+                e.state,
+                e.busy,
+                e.queue.len(),
+                e.has_data
+            ),
         }
     }
 
@@ -160,7 +190,13 @@ impl MesiDir {
                 });
             }
             MesiMsg::OwnerWb { line, data, .. } => {
-                let entry = self.lines.get_mut(&line).expect("OwnerWb for unknown line");
+                let Some(entry) = self.lines.get_mut(&line) else {
+                    actions.push(Action::violation(format!(
+                        "bank {}: OwnerWb for unknown line {line}",
+                        self.bank
+                    )));
+                    return;
+                };
                 entry.data = data;
                 entry.has_data = true;
                 if let Some(Busy::Txn {
@@ -173,7 +209,13 @@ impl MesiDir {
                 self.maybe_unblock(line, actions);
             }
             MesiMsg::Unblock { line, .. } => {
-                let entry = self.lines.get_mut(&line).expect("Unblock for unknown line");
+                let Some(entry) = self.lines.get_mut(&line) else {
+                    actions.push(Action::violation(format!(
+                        "bank {}: Unblock for unknown line {line}",
+                        self.bank
+                    )));
+                    return;
+                };
                 if let Some(Busy::Txn {
                     ref mut need_unblock,
                     ..
@@ -183,14 +225,30 @@ impl MesiDir {
                 }
                 self.maybe_unblock(line, actions);
             }
-            other => panic!("directory bank {} cannot handle {other:?}", self.bank),
+            other => actions.push(Action::violation(format!(
+                "directory bank {} cannot handle {other:?}",
+                self.bank
+            ))),
         }
     }
 
     /// Memory returned a line this bank was fetching.
     pub fn on_mem_data(&mut self, line: LineAddr, data: LineData, actions: &mut Vec<Action>) {
-        let entry = self.lines.get_mut(&line).expect("MemData for unknown line");
-        assert_eq!(entry.busy, Some(Busy::MemFetch), "unexpected MemData");
+        let Some(entry) = self.lines.get_mut(&line) else {
+            actions.push(Action::violation(format!(
+                "bank {}: MemData for unknown line {line}",
+                self.bank
+            )));
+            return;
+        };
+        if entry.busy != Some(Busy::MemFetch) {
+            let busy = entry.busy;
+            actions.push(Action::violation(format!(
+                "bank {}: MemData for {line} while busy={busy:?}",
+                self.bank
+            )));
+            return;
+        }
         entry.data = data;
         entry.has_data = true;
         entry.busy = None;
@@ -284,7 +342,13 @@ impl MesiDir {
                     });
                 }
                 DirState::Owned(owner) => {
-                    assert_ne!(owner, req, "owner re-requesting GetS");
+                    if owner == req {
+                        actions.push(Action::violation(format!(
+                            "bank {}: owner core {req} re-requesting GetS for {line}",
+                            self.bank
+                        )));
+                        return;
+                    }
                     actions.push(Action::Send {
                         to: Endpoint::L1(owner),
                         msg: Msg::Mesi(MesiMsg::FwdGetS { line, req }),
@@ -342,7 +406,13 @@ impl MesiDir {
                     });
                 }
                 DirState::Owned(owner) => {
-                    assert_ne!(owner, req, "owner re-requesting GetM");
+                    if owner == req {
+                        actions.push(Action::violation(format!(
+                            "bank {}: owner core {req} re-requesting GetM for {line}",
+                            self.bank
+                        )));
+                        return;
+                    }
                     actions.push(Action::Send {
                         to: Endpoint::L1(owner),
                         msg: Msg::Mesi(MesiMsg::FwdGetM { line, req }),
@@ -421,7 +491,13 @@ mod tests {
         let mut d = dir();
         warm(&mut d, line());
         let mut acts = Vec::new();
-        d.on_msg(MesiMsg::GetS { line: line(), req: 1 }, &mut acts);
+        d.on_msg(
+            MesiMsg::GetS {
+                line: line(),
+                req: 1,
+            },
+            &mut acts,
+        );
         assert!(acts.iter().any(|a| matches!(
             a,
             Action::Send {
@@ -431,7 +507,13 @@ mod tests {
         )));
         // A third GetS queues while busy.
         acts.clear();
-        d.on_msg(MesiMsg::GetS { line: line(), req: 2 }, &mut acts);
+        d.on_msg(
+            MesiMsg::GetS {
+                line: line(),
+                req: 2,
+            },
+            &mut acts,
+        );
         assert!(acts.is_empty());
         // Unblock alone is not enough: the owner's data is still due.
         d.on_msg(

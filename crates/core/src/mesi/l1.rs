@@ -167,6 +167,37 @@ impl MesiL1 {
         self.cache.iter().map(|(a, l)| (a, l.state))
     }
 
+    /// Whether this L1 has an in-flight transaction on `line`.
+    pub fn has_txn(&self, line: LineAddr) -> bool {
+        self.mshr.contains(&line)
+    }
+
+    /// The line's stable state, if resident.
+    pub fn line_state(&self, line: LineAddr) -> Option<Stable> {
+        self.cache.get(line).map(|l| l.state)
+    }
+
+    /// One `(line, description)` pair per in-flight transaction (stall
+    /// diagnostics and conservation checking).
+    pub fn pending_summaries(&self) -> Vec<(LineAddr, String)> {
+        self.mshr
+            .iter()
+            .map(|(l, t)| {
+                (
+                    *l,
+                    format!(
+                        "{:?} (have_data={}, acks_balance={}, blocking={}, merged_stores={})",
+                        t.goal,
+                        t.have_data,
+                        t.acks_balance,
+                        t.blocking.is_some(),
+                        t.pending_stores.len()
+                    ),
+                )
+            })
+            .collect()
+    }
+
     /// Whether this L1 currently owns the line (E or M).
     pub fn owns_line(&self, line: LineAddr) -> Option<&MesiLine> {
         self.cache
@@ -295,9 +326,14 @@ impl MesiL1 {
                 });
                 IssueResult::StoreAccepted { completed: false }
             }
-            AccessKind::SyncStore { value } => {
-                self.ownership_op(line, w, home, BlockingOp::SyncStore { w, value }, req.kind, actions)
-            }
+            AccessKind::SyncStore { value } => self.ownership_op(
+                line,
+                w,
+                home,
+                BlockingOp::SyncStore { w, value },
+                req.kind,
+                actions,
+            ),
             AccessKind::SyncRmw(op) => {
                 self.ownership_op(line, w, home, BlockingOp::Rmw { w, op }, req.kind, actions)
             }
@@ -386,8 +422,19 @@ impl MesiL1 {
                 ..
             } => self.on_data(line, data, acks, exclusive, class, home, actions),
             MesiMsg::InvAck { .. } => {
-                let txn = self.mshr.get_mut(&line).expect("InvAck without transaction");
-                assert_eq!(txn.goal, Goal::Own, "InvAck outside Own transaction");
+                let Some(txn) = self.mshr.get_mut(&line) else {
+                    actions.push(Action::violation(format!(
+                        "L1: InvAck without transaction for {line}"
+                    )));
+                    return;
+                };
+                if txn.goal != Goal::Own {
+                    let goal = txn.goal;
+                    actions.push(Action::violation(format!(
+                        "L1: InvAck for {line} during {goal:?} transaction"
+                    )));
+                    return;
+                }
                 txn.acks_balance -= 1;
                 if txn.own_complete() {
                     self.finish_own(line, home, actions);
@@ -413,7 +460,10 @@ impl MesiL1 {
                 }
                 actions.push(Action::Send {
                     to: Endpoint::L1(req),
-                    msg: Msg::Mesi(MesiMsg::InvAck { line, from: self.id }),
+                    msg: Msg::Mesi(MesiMsg::InvAck {
+                        line,
+                        from: self.id,
+                    }),
                 });
                 if invalidated {
                     self.wake_if_watched(line, actions);
@@ -423,16 +473,35 @@ impl MesiL1 {
                 // We are the (former) owner: send data to the requestor and a
                 // copy to the directory; downgrade to S.
                 let data = if let Some(l) = self.cache.get_mut(line) {
-                    assert!(matches!(l.state, Stable::E | Stable::M), "FwdGetS to non-owner");
+                    if !matches!(l.state, Stable::E | Stable::M) {
+                        let state = l.state;
+                        actions.push(Action::violation(format!(
+                            "L1: FwdGetS for {line} held in {state:?}"
+                        )));
+                        return;
+                    }
                     l.state = Stable::S;
                     l.data
                 } else if let Some(txn) = self.mshr.get_mut(&line) {
-                    assert_eq!(txn.goal, Goal::Evict, "FwdGetS without copy");
-                    txn.evict_data.expect("evict transaction retains data")
                     // The eviction now acts as a PutS; the directory will
                     // still PutAck it.
+                    let retained = (txn.goal == Goal::Evict)
+                        .then_some(txn.evict_data)
+                        .flatten();
+                    let Some(data) = retained else {
+                        let goal = txn.goal;
+                        actions.push(Action::violation(format!(
+                            "L1: FwdGetS for {line} with {goal:?} transaction and no retained data"
+                        )));
+                        return;
+                    };
+                    data
                 } else {
-                    panic!("FwdGetS to core without line");
+                    actions.push(Action::violation(format!(
+                        "L1 {}: FwdGetS for {line} held nowhere",
+                        self.id
+                    )));
+                    return;
                 };
                 actions.push(Action::Send {
                     to: Endpoint::L1(req),
@@ -455,15 +524,34 @@ impl MesiL1 {
             }
             MesiMsg::FwdGetM { req, .. } => {
                 let data = if let Some(l) = self.cache.get(line) {
-                    assert!(matches!(l.state, Stable::E | Stable::M), "FwdGetM to non-owner");
+                    if !matches!(l.state, Stable::E | Stable::M) {
+                        let state = l.state;
+                        actions.push(Action::violation(format!(
+                            "L1: FwdGetM for {line} held in {state:?}"
+                        )));
+                        return;
+                    }
                     let d = l.data;
                     self.cache.remove(line);
                     d
                 } else if let Some(txn) = self.mshr.get_mut(&line) {
-                    assert_eq!(txn.goal, Goal::Evict, "FwdGetM without copy");
-                    txn.evict_data.take().expect("evict transaction retains data")
+                    let retained = (txn.goal == Goal::Evict)
+                        .then(|| txn.evict_data.take())
+                        .flatten();
+                    let Some(data) = retained else {
+                        let goal = txn.goal;
+                        actions.push(Action::violation(format!(
+                            "L1: FwdGetM for {line} with {goal:?} transaction and no retained data"
+                        )));
+                        return;
+                    };
+                    data
                 } else {
-                    panic!("FwdGetM to core without line");
+                    actions.push(Action::violation(format!(
+                        "L1 {}: FwdGetM for {line} held nowhere",
+                        self.id
+                    )));
+                    return;
                 };
                 actions.push(Action::Send {
                     to: Endpoint::L1(req),
@@ -478,10 +566,23 @@ impl MesiL1 {
                 self.wake_if_watched(line, actions);
             }
             MesiMsg::PutAck { .. } => {
-                let txn = self.mshr.remove(&line).expect("PutAck without eviction");
-                assert_eq!(txn.goal, Goal::Evict, "PutAck outside eviction");
+                let Some(txn) = self.mshr.remove(&line) else {
+                    actions.push(Action::violation(format!(
+                        "L1: PutAck without eviction for {line}"
+                    )));
+                    return;
+                };
+                if txn.goal != Goal::Evict {
+                    actions.push(Action::violation(format!(
+                        "L1: PutAck for {line} during {:?} transaction",
+                        txn.goal
+                    )));
+                }
             }
-            other => panic!("L1 {} cannot handle {other:?}", self.id),
+            other => actions.push(Action::violation(format!(
+                "L1 {} cannot handle {other:?}",
+                self.id
+            ))),
         }
     }
 
@@ -496,7 +597,12 @@ impl MesiL1 {
         home: Endpoint,
         actions: &mut Vec<Action>,
     ) {
-        let txn = self.mshr.get_mut(&line).expect("Data without transaction");
+        let Some(txn) = self.mshr.get_mut(&line) else {
+            actions.push(Action::violation(format!(
+                "L1: Data without transaction for {line}"
+            )));
+            return;
+        };
         match txn.goal {
             Goal::Fetch => {
                 let deliver_only = txn.deliver_only;
@@ -557,7 +663,12 @@ impl MesiL1 {
                 });
             }
             Goal::Own => {
-                assert!(!txn.have_data, "duplicate data for Own transaction");
+                if txn.have_data {
+                    actions.push(Action::violation(format!(
+                        "L1: duplicate Data for Own transaction on {line}"
+                    )));
+                    return;
+                }
                 txn.have_data = true;
                 txn.data = Some(data);
                 txn.acks_balance += i64::from(acks);
@@ -565,7 +676,9 @@ impl MesiL1 {
                     self.finish_own(line, home, actions);
                 }
             }
-            Goal::Evict => panic!("Data during eviction"),
+            Goal::Evict => actions.push(Action::violation(format!(
+                "L1: Data for {line} during eviction"
+            ))),
         }
     }
 
@@ -646,7 +759,12 @@ impl MesiL1 {
 
     /// Installs a line, evicting a victim if needed. Returns false if no
     /// victim was evictable (caller retries).
-    fn try_install(&mut self, line: LineAddr, payload: MesiLine, actions: &mut Vec<Action>) -> bool {
+    fn try_install(
+        &mut self,
+        line: LineAddr,
+        payload: MesiLine,
+        actions: &mut Vec<Action>,
+    ) -> bool {
         let watch_line = self.watch.map(WordAddr::line);
         let mshr = &self.mshr;
         let outcome = self.cache.insert_filtered(line, payload, |addr, _| {
@@ -686,7 +804,9 @@ impl MesiL1 {
                 };
                 let mut txn = Txn::new(Goal::Evict);
                 txn.evict_data = keep_data;
-                self.mshr.try_insert(victim, txn).expect("victim had no mshr");
+                self.mshr
+                    .try_insert(victim, txn)
+                    .expect("victim had no mshr");
                 actions.push(Action::Send {
                     to: victim_home,
                     msg: Msg::Mesi(msg),
@@ -775,9 +895,13 @@ mod tests {
         acts.clear();
         l1.on_msg(data_msg(Addr::new(0x100).line(), data, 0, false), &mut acts);
         assert!(acts.contains(&Action::CoreDone { value: Some(42) }));
-        assert!(acts
-            .iter()
-            .any(|a| matches!(a, Action::Send { msg: Msg::Mesi(MesiMsg::Unblock { .. }), .. })));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Mesi(MesiMsg::Unblock { .. }),
+                ..
+            }
+        )));
         // Now it hits.
         acts.clear();
         assert_eq!(
@@ -794,7 +918,10 @@ mod tests {
         let mut acts = Vec::new();
         l1.core_request(&load(0x100), &mut acts);
         acts.clear();
-        l1.on_msg(data_msg(Addr::new(0x100).line(), [0; 8], 0, true), &mut acts);
+        l1.on_msg(
+            data_msg(Addr::new(0x100).line(), [0; 8], 0, true),
+            &mut acts,
+        );
         acts.clear();
         // E state: store hits without a GetM.
         assert_eq!(
@@ -914,9 +1041,15 @@ mod tests {
         let to_req = acts.iter().any(|a| {
             matches!(a, Action::Send { to: Endpoint::L1(3), msg: Msg::Mesi(MesiMsg::Data { data, .. }) } if data[0] == 5)
         });
-        let to_dir = acts
-            .iter()
-            .any(|a| matches!(a, Action::Send { msg: Msg::Mesi(MesiMsg::OwnerWb { .. }), .. }));
+        let to_dir = acts.iter().any(|a| {
+            matches!(
+                a,
+                Action::Send {
+                    msg: Msg::Mesi(MesiMsg::OwnerWb { .. }),
+                    ..
+                }
+            )
+        });
         assert!(to_req && to_dir, "{acts:?}");
         // Now S: a store needs an upgrade.
         acts.clear();
@@ -956,7 +1089,10 @@ mod tests {
         // Third line forces an eviction of LRU 0x100.
         l1.core_request(&store(0x500, 3), &mut acts);
         acts.clear();
-        l1.on_msg(data_msg(Addr::new(0x500).line(), [0; 8], 0, false), &mut acts);
+        l1.on_msg(
+            data_msg(Addr::new(0x500).line(), [0; 8], 0, false),
+            &mut acts,
+        );
         let evicted = acts.iter().find_map(|a| match a {
             Action::Send {
                 msg: Msg::Mesi(MesiMsg::PutM { line, data, .. }),
@@ -969,7 +1105,13 @@ mod tests {
         assert_eq!(vdata[0], 1);
         // A FwdGetS before the PutAck is served from the eviction record.
         acts.clear();
-        l1.on_msg(MesiMsg::FwdGetS { line: vline, req: 7 }, &mut acts);
+        l1.on_msg(
+            MesiMsg::FwdGetS {
+                line: vline,
+                req: 7,
+            },
+            &mut acts,
+        );
         assert!(acts.iter().any(|a| matches!(
             a,
             Action::Send {

@@ -308,9 +308,9 @@ impl DnvMsg {
     pub fn class(&self) -> TrafficClass {
         match self {
             DnvMsg::ReadReq { .. } | DnvMsg::ReadResp { .. } => TrafficClass::Load,
-            DnvMsg::RegReq { class, .. } | DnvMsg::RegAck { class, .. } | DnvMsg::Xfer { class, .. } => {
-                class.traffic()
-            }
+            DnvMsg::RegReq { class, .. }
+            | DnvMsg::RegAck { class, .. }
+            | DnvMsg::Xfer { class, .. } => class.traffic(),
             DnvMsg::WbReq { .. } | DnvMsg::WbAck { .. } | DnvMsg::WbNack { .. } => {
                 TrafficClass::Writeback
             }
@@ -411,10 +411,22 @@ mod tests {
     #[test]
     fn mesi_control_messages_are_four_flits() {
         let msgs = [
-            MesiMsg::GetS { line: line(), req: 0 },
-            MesiMsg::GetM { line: line(), req: 0 },
-            MesiMsg::Inv { line: line(), req: 1 },
-            MesiMsg::InvAck { line: line(), from: 2 },
+            MesiMsg::GetS {
+                line: line(),
+                req: 0,
+            },
+            MesiMsg::GetM {
+                line: line(),
+                req: 0,
+            },
+            MesiMsg::Inv {
+                line: line(),
+                req: 1,
+            },
+            MesiMsg::InvAck {
+                line: line(),
+                from: 2,
+            },
             MesiMsg::PutAck { line: line() },
         ];
         for m in msgs {
@@ -460,11 +472,19 @@ mod tests {
     #[test]
     fn traffic_classes_follow_the_paper() {
         assert_eq!(
-            Msg::Mesi(MesiMsg::Inv { line: line(), req: 0 }).class(),
+            Msg::Mesi(MesiMsg::Inv {
+                line: line(),
+                req: 0
+            })
+            .class(),
             TrafficClass::Invalidation
         );
         assert_eq!(
-            Msg::Mesi(MesiMsg::GetM { line: line(), req: 0 }).class(),
+            Msg::Mesi(MesiMsg::GetM {
+                line: line(),
+                req: 0
+            })
+            .class(),
             TrafficClass::Store
         );
         assert_eq!(

@@ -43,6 +43,25 @@ pub enum Action {
         /// The message to re-process.
         msg: Msg,
     },
+    /// The controller received a message its current state cannot legally
+    /// handle — a protocol bug (or injected corruption). The system aborts
+    /// the run with [`SimError::ProtocolViolation`]
+    /// (`crate::system::SimError::ProtocolViolation`) instead of panicking
+    /// mid-event-loop, so the offending state is reported with endpoint and
+    /// address context.
+    Violation {
+        /// Human-readable description of the illegal state/message pair.
+        detail: String,
+    },
+}
+
+impl Action {
+    /// Shorthand for a [`Action::Violation`] with a formatted detail string.
+    pub fn violation(detail: impl Into<String>) -> Action {
+        Action::Violation {
+            detail: detail.into(),
+        }
+    }
 }
 
 /// The immediate outcome of a core request presented to its L1.
@@ -80,7 +99,10 @@ mod tests {
 
     #[test]
     fn issue_result_is_inspectable() {
-        assert_eq!(IssueResult::Hit { value: Some(3) }, IssueResult::Hit { value: Some(3) });
+        assert_eq!(
+            IssueResult::Hit { value: Some(3) },
+            IssueResult::Hit { value: Some(3) }
+        );
         assert_ne!(IssueResult::Miss, IssueResult::Blocked);
     }
 

@@ -24,12 +24,13 @@
 //! software backoff); hardware-backoff stalls → hw backoff; and everything
 //! executed in the `BarrierWait` phase → barrier stall.
 
+use crate::chaos::FaultInjector;
 use crate::config::{DataInvalidation, Protocol, SystemConfig};
 use crate::denovo::{DnvL1, DnvRegistry};
 use crate::mesi::{MesiDir, MesiL1};
 use crate::msg::{CoreId, Endpoint, Msg};
 use crate::proto::{Action, IssueResult};
-use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::trace::{MsgRing, Trace, TraceEvent, TraceKind};
 use dvs_engine::{Cycle, DetRng, Scheduler};
 use dvs_mem::layout::MemoryLayout;
 use dvs_mem::{Addr, MainMemory, WordAddr};
@@ -44,6 +45,53 @@ use std::sync::Arc;
 const RETRY_CYCLES: Cycle = 4;
 /// Safety valve on uninterrupted ALU batches.
 const MAX_BATCH: Cycle = 100_000;
+/// How many delivered messages the diagnostic ring buffer remembers.
+const MSG_RING_CAP: usize = 64;
+/// Period (in delivered messages) of the full conservation scan when
+/// invariant checking is enabled; targeted per-address checks run at every
+/// delivery.
+const FULL_SCAN_PERIOD: u64 = 4096;
+
+/// Forensic snapshot of a stalled machine, attached to
+/// [`SimError::Deadlock`] and [`SimError::CycleLimit`].
+///
+/// Everything is pre-rendered to strings so the report stays `Eq`/`Clone`
+/// and needs no lifetime into the dead system.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StallReport {
+    /// One line per non-halted core: its status and, where applicable, the
+    /// blocked address and the cycle it got stuck.
+    pub cores: Vec<String>,
+    /// One line per outstanding L1 MSHR entry (the transient states).
+    pub l1_pending: Vec<String>,
+    /// Registry/directory state for every address involved in a stuck core
+    /// or pending MSHR entry.
+    pub l2_state: Vec<String>,
+    /// The last delivered messages, oldest first.
+    pub recent_messages: Vec<String>,
+}
+
+impl std::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "stalled cores:")?;
+        for line in &self.cores {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "pending L1 transactions:")?;
+        for line in &self.l1_pending {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "L2 state for stuck addresses:")?;
+        for line in &self.l2_state {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "last {} delivered messages:", self.recent_messages.len())?;
+        for line in &self.recent_messages {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
 
 /// A simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,9 +110,26 @@ pub enum SimError {
     Deadlock {
         /// Threads still running.
         stuck: Vec<CoreId>,
+        /// Why they are stuck: statuses, transient states, L2 entries, and
+        /// the last delivered messages.
+        report: Box<StallReport>,
     },
-    /// The configured cycle limit was exceeded.
-    CycleLimit(Cycle),
+    /// The configured cycle limit was exceeded (livelock, or a genuinely
+    /// too-small budget).
+    CycleLimit {
+        /// The configured limit.
+        limit: Cycle,
+        /// What the machine was doing when the budget ran out.
+        report: Box<StallReport>,
+    },
+    /// A protocol controller reached a state/message combination the
+    /// protocol specification does not allow, or a runtime coherence
+    /// invariant failed. Always a simulator/protocol bug (or injected
+    /// corruption), never a workload error.
+    ProtocolViolation {
+        /// Description of the violated rule, with endpoint and address.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -73,8 +138,17 @@ impl std::fmt::Display for SimError {
             SimError::KernelAssert { core, pc, msg } => {
                 write!(f, "core {core} assertion failed at pc {pc}: {msg}")
             }
-            SimError::Deadlock { stuck } => write!(f, "simulation deadlocked; stuck cores {stuck:?}"),
-            SimError::CycleLimit(c) => write!(f, "cycle limit {c} exceeded"),
+            SimError::Deadlock { stuck, report } => {
+                writeln!(f, "simulation deadlocked; stuck cores {stuck:?}")?;
+                write!(f, "{report}")
+            }
+            SimError::CycleLimit { limit, report } => {
+                writeln!(f, "cycle limit {limit} exceeded")?;
+                write!(f, "{report}")
+            }
+            SimError::ProtocolViolation { detail } => {
+                write!(f, "protocol violation: {detail}")
+            }
         }
     }
 }
@@ -168,6 +242,18 @@ pub struct System {
     finish_time: Cycle,
     trace: Option<Trace>,
     error: Option<SimError>,
+    /// Delivery-path fault injection (None unless the config carries a
+    /// [`FaultPlan`](crate::chaos::FaultPlan)).
+    injector: Option<FaultInjector>,
+    /// Always-on ring of the last delivered messages, for stall forensics.
+    ring: MsgRing,
+    /// Slots of messages scheduled but not yet delivered. Maintained only
+    /// when `cfg.check_invariants` (conservation checking needs it; keeping
+    /// the plain path free of the bookkeeping keeps checking zero-cost when
+    /// disabled).
+    in_flight: std::collections::HashSet<MsgSlot>,
+    /// Deliveries processed, for the periodic full invariant scan.
+    deliveries: u64,
 }
 
 impl System {
@@ -226,12 +312,16 @@ impl System {
                 }
             })
             .collect();
+        let mut net = Network::new(mesh, cfg.noc);
+        if let Some(plan) = cfg.fault_plan {
+            net.enable_jitter(plan.link_seed(), plan.link_jitter);
+        }
         let mut sys = System {
             cfg,
             layout,
             sched: Scheduler::new(),
             msg_pool: Vec::new(),
-            net: Network::new(mesh, cfg.noc),
+            net,
             threads,
             cores: (0..n)
                 .map(|_| CoreState {
@@ -251,6 +341,10 @@ impl System {
             finish_time: 0,
             trace: None,
             error: None,
+            injector: cfg.fault_plan.map(FaultInjector::new),
+            ring: MsgRing::new(MSG_RING_CAP),
+            in_flight: std::collections::HashSet::new(),
+            deliveries: 0,
         };
         for i in 0..n {
             sys.sched.schedule_at(0, Ev::Step(i));
@@ -306,14 +400,25 @@ impl System {
     pub fn run(&mut self) -> Result<RunStats, SimError> {
         while let Some((now, ev)) = self.sched.pop() {
             if now > self.cfg.max_cycles {
-                return Err(SimError::CycleLimit(self.cfg.max_cycles));
+                return Err(SimError::CycleLimit {
+                    limit: self.cfg.max_cycles,
+                    report: self.stall_report(),
+                });
             }
             match ev {
                 Ev::Step(i) => self.step_core(i),
                 Ev::Resume(i) => self.resume_core(i),
                 Ev::Deliver(ep, slot) => {
                     let msg = self.msg_pool[slot];
+                    self.ring.push(now, ep, msg);
+                    if self.cfg.check_invariants {
+                        self.in_flight.remove(&slot);
+                    }
                     self.deliver(ep, msg);
+                    if self.cfg.check_invariants && self.error.is_none() {
+                        self.deliveries += 1;
+                        self.check_delivery_invariants(&msg);
+                    }
                 }
             }
             if let Some(err) = self.error.take() {
@@ -328,7 +433,10 @@ impl System {
             .map(|(i, _)| i)
             .collect();
         if !stuck.is_empty() {
-            return Err(SimError::Deadlock { stuck });
+            return Err(SimError::Deadlock {
+                stuck,
+                report: self.stall_report(),
+            });
         }
         Ok(self.collect_stats())
     }
@@ -378,20 +486,29 @@ impl System {
         let mut holders: std::collections::HashMap<WordAddr, CoreId> =
             std::collections::HashMap::new();
         for (c, l1) in self.l1s.iter().enumerate() {
-            let L1::Dnv(l1) = l1 else { unreachable!("protocol mismatch") };
+            let L1::Dnv(l1) = l1 else {
+                unreachable!("protocol mismatch")
+            };
             if l1.outstanding_txns() != 0 {
-                return Err(format!("core {c}: {} MSHR entries at quiescence", l1.outstanding_txns()));
+                return Err(format!(
+                    "core {c}: {} MSHR entries at quiescence",
+                    l1.outstanding_txns()
+                ));
             }
             for w in l1.registered_words() {
                 if let Some(prev) = holders.insert(w, c) {
-                    return Err(format!("word {w} registered at both core {prev} and core {c}"));
+                    return Err(format!(
+                        "word {w} registered at both core {prev} and core {c}"
+                    ));
                 }
             }
         }
         // Registry pointers must agree with the holders, in both directions.
         let mut pointed = 0usize;
         for bank in &self.banks {
-            let Bank::Dnv(reg) = bank else { unreachable!("protocol mismatch") };
+            let Bank::Dnv(reg) = bank else {
+                unreachable!("protocol mismatch")
+            };
             if reg.any_fetching() {
                 return Err("registry line still fetching at quiescence".into());
             }
@@ -400,7 +517,9 @@ impl System {
                 match holders.get(&w) {
                     Some(&h) if h == c => {}
                     Some(&h) => {
-                        return Err(format!("registry points {w} at core {c}, but core {h} holds it"))
+                        return Err(format!(
+                            "registry points {w} at core {c}, but core {h} holds it"
+                        ))
                     }
                     None => return Err(format!("registry points {w} at core {c}, which lacks it")),
                 }
@@ -422,9 +541,14 @@ impl System {
         let mut sharers: std::collections::HashMap<dvs_mem::LineAddr, u64> =
             std::collections::HashMap::new();
         for (c, l1) in self.l1s.iter().enumerate() {
-            let L1::Mesi(l1) = l1 else { unreachable!("protocol mismatch") };
+            let L1::Mesi(l1) = l1 else {
+                unreachable!("protocol mismatch")
+            };
             if l1.outstanding_txns() != 0 {
-                return Err(format!("core {c}: {} MSHR entries at quiescence", l1.outstanding_txns()));
+                return Err(format!(
+                    "core {c}: {} MSHR entries at quiescence",
+                    l1.outstanding_txns()
+                ));
             }
             for (line, state) in l1.resident_lines() {
                 match state {
@@ -438,7 +562,9 @@ impl System {
             }
         }
         for bank in &self.banks {
-            let Bank::Mesi(dir) = bank else { unreachable!("protocol mismatch") };
+            let Bank::Mesi(dir) = bank else {
+                unreachable!("protocol mismatch")
+            };
             if dir.any_busy() {
                 return Err("directory line busy at quiescence".into());
             }
@@ -464,6 +590,350 @@ impl System {
             }
         }
         Ok(())
+    }
+
+    // --- runtime invariant checking ---------------------------------------
+
+    /// The cache line a message concerns, for targeted invariant checks.
+    fn msg_line(msg: &Msg) -> dvs_mem::LineAddr {
+        match msg {
+            Msg::Mesi(m) => m.line(),
+            Msg::Dnv(m) => m.word().line(),
+            Msg::MemRead { line, .. } | Msg::MemData { line, .. } | Msg::MemWrite { line, .. } => {
+                *line
+            }
+        }
+    }
+
+    /// Runs the delivery-boundary invariant checks after one message: a
+    /// targeted check of the delivered message's line, plus a periodic full
+    /// scan (settled-state invariants over every tracked address and
+    /// MSHR/in-flight conservation). Any failure is converted to
+    /// [`SimError::ProtocolViolation`] via `self.error`.
+    fn check_delivery_invariants(&mut self, msg: &Msg) {
+        let line = Self::msg_line(msg);
+        if let Err(detail) = self.check_line_invariants(line) {
+            self.error = Some(SimError::ProtocolViolation { detail });
+            return;
+        }
+        if self.deliveries.is_multiple_of(FULL_SCAN_PERIOD) {
+            if let Err(detail) = self.verify_invariants() {
+                self.error = Some(SimError::ProtocolViolation { detail });
+            }
+        }
+    }
+
+    /// Checks the transient-tolerant coherence invariants for one line.
+    ///
+    /// Unlike [`System::verify_coherence`] (which requires quiescence),
+    /// these hold at *every* message-delivery boundary. The key notion is a
+    /// **settled** copy: state the L1 holds with no outstanding MSHR entry
+    /// for the address — transient states are exempted, settled state must
+    /// already obey the protocol's stable-state rules.
+    fn check_line_invariants(&self, line: dvs_mem::LineAddr) -> Result<(), String> {
+        match self.cfg.protocol {
+            Protocol::Mesi => self.check_mesi_line(line),
+            _ => {
+                for word in line.words() {
+                    self.check_denovo_word(word)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// DeNovo, per word: (1) at most one settled registrant anywhere;
+    /// (2) a registry pointer `Registered(c)` means core `c` either holds
+    /// the word registered or has an MSHR transaction on it (the pointer is
+    /// re-pointed eagerly, so the target may still be mid-registration);
+    /// (3) a registry `Valid` word has no settled registrant at all.
+    fn check_denovo_word(&self, word: WordAddr) -> Result<(), String> {
+        use crate::denovo::registry::RegWord;
+        let mut settled: Option<CoreId> = None;
+        for (c, l1) in self.l1s.iter().enumerate() {
+            let L1::Dnv(l1) = l1 else {
+                unreachable!("protocol mismatch")
+            };
+            if l1.word_registered(word) {
+                if let Some(prev) = settled {
+                    return Err(format!(
+                        "word {word}: settled registrants at both core {prev} and core {c}"
+                    ));
+                }
+                settled = Some(c);
+            }
+        }
+        let bank = self.home_bank(word.line());
+        let Bank::Dnv(reg) = &self.banks[bank] else {
+            unreachable!("protocol mismatch")
+        };
+        match reg.word(word) {
+            Some(RegWord::Registered(c)) => {
+                let L1::Dnv(l1) = &self.l1s[c] else {
+                    unreachable!("protocol mismatch")
+                };
+                if !l1.word_registered(word) && !l1.has_pending(word) {
+                    return Err(format!(
+                        "bank {bank}: registry points {word} at core {c}, which neither holds \
+                         it nor has a transaction on it"
+                    ));
+                }
+            }
+            Some(RegWord::Valid(_)) => {
+                if let Some(c) = settled {
+                    return Err(format!(
+                        "bank {bank}: registry holds {word} Valid while core {c} has it \
+                         settled-Registered"
+                    ));
+                }
+            }
+            None => {}
+        }
+        Ok(())
+    }
+
+    /// MESI, per line: (1) at most one settled owner (E/M with no MSHR
+    /// transaction); (2) a settled owner is known to the directory — the
+    /// entry is busy/queued (ownership mid-transfer) or points at that
+    /// owner; (3) an idle directory entry's owner pointer targets a core
+    /// that is a settled owner or mid-transaction (eviction in flight);
+    /// (4) an idle owned line has no settled S copy at another core
+    /// (single-writer/multiple-reader).
+    fn check_mesi_line(&self, line: dvs_mem::LineAddr) -> Result<(), String> {
+        use crate::mesi::l1::Stable;
+        let mut settled_owner: Option<CoreId> = None;
+        let mut settled_sharers: Vec<CoreId> = Vec::new();
+        for (c, l1) in self.l1s.iter().enumerate() {
+            let L1::Mesi(l1) = l1 else {
+                unreachable!("protocol mismatch")
+            };
+            if l1.has_txn(line) {
+                continue; // transient: exempt
+            }
+            match l1.line_state(line) {
+                Some(Stable::E) | Some(Stable::M) => {
+                    if let Some(prev) = settled_owner {
+                        return Err(format!(
+                            "line {line}: settled owners at both core {prev} and core {c}"
+                        ));
+                    }
+                    settled_owner = Some(c);
+                }
+                Some(Stable::S) => settled_sharers.push(c),
+                None => {}
+            }
+        }
+        let bank = self.home_bank(line);
+        let Bank::Mesi(dir) = &self.banks[bank] else {
+            unreachable!("protocol mismatch")
+        };
+        let busy = dir.busy_or_queued(line);
+        if let Some(owner) = settled_owner {
+            if !busy && dir.owner(line) != Some(owner) {
+                return Err(format!(
+                    "line {line}: core {owner} is settled owner but idle directory bank \
+                     {bank} says owner {:?}",
+                    dir.owner(line)
+                ));
+            }
+            if !busy && !settled_sharers.is_empty() {
+                return Err(format!(
+                    "line {line}: settled owner {owner} coexists with settled S copies at \
+                     cores {settled_sharers:?}"
+                ));
+            }
+        }
+        if !busy {
+            if let Some(o) = dir.owner(line) {
+                let L1::Mesi(l1) = &self.l1s[o] else {
+                    unreachable!("protocol mismatch")
+                };
+                let owns = matches!(l1.line_state(line), Some(Stable::E) | Some(Stable::M));
+                if !owns && !l1.has_txn(line) {
+                    return Err(format!(
+                        "line {line}: idle directory bank {bank} says core {o} owns it, but \
+                         core {o} neither holds E/M nor has a transaction"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full scan of the delivery-boundary invariants: every address any L1
+    /// or bank tracks passes its per-line check, and — **conservation** —
+    /// every outstanding L1 MSHR entry has something that can resolve it:
+    /// an in-flight message for its line, a busy/fetching/queued home-bank
+    /// entry, or (DeNovo) a transfer parked in the distributed registration
+    /// queue. An MSHR entry with none of those can never complete; that is
+    /// a lost-message or lost-wakeup bug caught long before the cycle
+    /// limit.
+    ///
+    /// Runs periodically during chaos runs; also public so tests can point
+    /// it at a deliberately corrupted machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        // Per-line settled-state checks over every tracked address.
+        let mut lines: std::collections::BTreeSet<dvs_mem::LineAddr> =
+            std::collections::BTreeSet::new();
+        for l1 in &self.l1s {
+            match l1 {
+                L1::Mesi(l1) => {
+                    lines.extend(l1.resident_lines().map(|(l, _)| l));
+                    lines.extend(l1.pending_summaries().iter().map(|(l, _)| *l));
+                }
+                L1::Dnv(l1) => {
+                    lines.extend(l1.registered_words().map(|w| w.line()));
+                    lines.extend(l1.pending_summaries().iter().map(|(w, _)| w.line()));
+                }
+            }
+        }
+        for bank in &self.banks {
+            match bank {
+                Bank::Mesi(dir) => lines.extend(dir.entries().map(|(l, _, _)| l)),
+                Bank::Dnv(reg) => lines.extend(reg.registrations().map(|(w, _)| w.line())),
+            }
+        }
+        for &line in &lines {
+            self.check_line_invariants(line)?;
+        }
+        self.verify_conservation()
+    }
+
+    /// The conservation half of [`System::verify_invariants`] (needs the
+    /// in-flight slot set, so it only sees messages when
+    /// `cfg.check_invariants` tracked them).
+    fn verify_conservation(&self) -> Result<(), String> {
+        let live_lines: std::collections::HashSet<dvs_mem::LineAddr> = self
+            .in_flight
+            .iter()
+            .map(|&slot| Self::msg_line(&self.msg_pool[slot]))
+            .collect();
+        for (c, l1) in self.l1s.iter().enumerate() {
+            match l1 {
+                L1::Mesi(l1) => {
+                    for (line, state) in l1.pending_summaries() {
+                        let Bank::Mesi(dir) = &self.banks[self.home_bank(line)] else {
+                            unreachable!("protocol mismatch")
+                        };
+                        if !live_lines.contains(&line) && !dir.busy_or_queued(line) {
+                            return Err(format!(
+                                "conservation: core {c} transaction on {line} ({state}) has \
+                                 no in-flight message and an idle directory entry"
+                            ));
+                        }
+                    }
+                }
+                L1::Dnv(l1) => {
+                    for (word, state) in l1.pending_summaries() {
+                        let line = word.line();
+                        let Bank::Dnv(reg) = &self.banks[self.home_bank(line)] else {
+                            unreachable!("protocol mismatch")
+                        };
+                        // A parked transfer anywhere on this word keeps the
+                        // distributed registration queue moving.
+                        let parked = self.l1s.iter().any(|o| {
+                            let L1::Dnv(o) = o else {
+                                unreachable!("protocol mismatch")
+                            };
+                            o.has_parked_xfer(word)
+                        });
+                        if !live_lines.contains(&line) && !reg.line_busy(line) && !parked {
+                            return Err(format!(
+                                "conservation: core {c} transaction on {word} ({state}) has \
+                                 no in-flight message, idle registry line, and no parked \
+                                 transfer"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The home L2 bank of a line.
+    fn home_bank(&self, line: dvs_mem::LineAddr) -> usize {
+        (line.raw() % self.banks.len() as u64) as usize
+    }
+
+    // --- stall forensics ---------------------------------------------------
+
+    /// Snapshots the machine for a [`SimError::Deadlock`] /
+    /// [`SimError::CycleLimit`] report.
+    fn stall_report(&self) -> Box<StallReport> {
+        let mut report = StallReport::default();
+        let mut addrs: std::collections::BTreeSet<dvs_mem::LineAddr> =
+            std::collections::BTreeSet::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            let line = match &core.status {
+                Status::Halted => continue,
+                Status::Ready => format!("core {i}: ready (event pending)"),
+                Status::BlockedMem { req, issued } => {
+                    addrs.insert(req.addr.word().line());
+                    format!(
+                        "core {i}: blocked on memory at {} since cycle {issued}",
+                        req.addr
+                    )
+                }
+                Status::Watching { req, since } => {
+                    addrs.insert(req.addr.word().line());
+                    format!("core {i}: spin-watching {} since cycle {since}", req.addr)
+                }
+                Status::Reissue { req, after_backoff } => {
+                    addrs.insert(req.addr.word().line());
+                    format!(
+                        "core {i}: waiting to re-issue {} (after_backoff={after_backoff})",
+                        req.addr
+                    )
+                }
+                Status::DelaySleep => format!("core {i}: in a timed delay"),
+                Status::PendingFence => format!("core {i}: re-checking a fence"),
+                Status::FenceWait { since } => format!(
+                    "core {i}: fence-waiting on {} outstanding stores since cycle {since}",
+                    core.outstanding_stores
+                ),
+                Status::Dead => format!("core {i}: dead (failed assertion)"),
+            };
+            report.cores.push(line);
+        }
+        for (c, l1) in self.l1s.iter().enumerate() {
+            match l1 {
+                L1::Mesi(l1) => {
+                    for (line, state) in l1.pending_summaries() {
+                        addrs.insert(line);
+                        report.l1_pending.push(format!("core {c}: {line} {state}"));
+                    }
+                }
+                L1::Dnv(l1) => {
+                    for (word, state) in l1.pending_summaries() {
+                        addrs.insert(word.line());
+                        report.l1_pending.push(format!("core {c}: {word} {state}"));
+                    }
+                }
+            }
+        }
+        for &line in &addrs {
+            match &self.banks[self.home_bank(line)] {
+                Bank::Mesi(dir) => report.l2_state.push(dir.describe_line(line)),
+                Bank::Dnv(reg) => {
+                    for word in line.words() {
+                        if let Some(desc) = reg.describe_word(word) {
+                            report.l2_state.push(desc);
+                        }
+                    }
+                }
+            }
+        }
+        for d in self.ring.iter() {
+            report
+                .recent_messages
+                .push(format!("cycle {}: to {:?}: {:?}", d.cycle, d.to, d.msg));
+        }
+        report.into()
     }
 
     /// Reads the architecturally-current value of a word after a run,
@@ -510,7 +980,10 @@ impl System {
                 match (&mut self.l1s[i], msg) {
                     (L1::Mesi(l1), Msg::Mesi(m)) => l1.on_msg(m, &mut actions),
                     (L1::Dnv(l1), Msg::Dnv(m)) => l1.on_msg(m, &mut actions),
-                    (_, other) => panic!("L1 {i} got {other:?}"),
+                    (_, other) => {
+                        self.violation(format!("L1 {i} got a foreign message {other:?}"));
+                        return;
+                    }
                 }
                 self.apply_actions(ep, self.cfg.latency.remote_l1, actions);
             }
@@ -525,20 +998,39 @@ impl System {
                     (Bank::Dnv(r), Msg::MemData { line, data, .. }) => {
                         r.on_mem_data(line, data, &mut actions)
                     }
-                    (_, other) => panic!("bank {b} got {other:?}"),
+                    (_, other) => {
+                        self.violation(format!("bank {b} got a foreign message {other:?}"));
+                        return;
+                    }
                 }
                 self.apply_actions(ep, self.cfg.latency.l2_access, actions);
             }
             Endpoint::Mem(node) => match msg {
                 Msg::MemRead { line, bank, class } => {
                     let data = self.memory.read_line(line);
-                    self.send_msg(node, Endpoint::Bank(bank), Msg::MemData { line, data, class }, self.cfg.latency.dram);
+                    self.send_msg(
+                        node,
+                        Endpoint::Bank(bank),
+                        Msg::MemData { line, data, class },
+                        self.cfg.latency.dram,
+                    );
                 }
                 Msg::MemWrite { line, data, mask } => {
                     self.memory.write_line_masked(line, &data, mask);
                 }
-                other => panic!("memory controller got {other:?}"),
+                other => {
+                    self.violation(format!("memory controller {node} got {other:?}"));
+                }
             },
+        }
+    }
+
+    /// Records a protocol violation; the event loop aborts the run with
+    /// [`SimError::ProtocolViolation`] after the current event.
+    fn violation(&mut self, detail: String) {
+        // Keep the first violation: later ones are usually fallout.
+        if self.error.is_none() {
+            self.error = Some(SimError::ProtocolViolation { detail });
         }
     }
 
@@ -557,25 +1049,35 @@ impl System {
                 Action::Send { to, msg } => self.send_msg(src, to, msg, send_delay),
                 Action::Local { delay, msg } => {
                     let slot = self.stash(msg);
+                    if self.cfg.check_invariants {
+                        self.in_flight.insert(slot);
+                    }
                     self.sched.schedule_in(delay, Ev::Deliver(from, slot));
                 }
                 Action::CoreDone { value } => {
                     let Endpoint::L1(i) = from else {
-                        panic!("CoreDone from non-L1 endpoint")
+                        self.violation(format!("CoreDone from non-L1 endpoint {from:?}"));
+                        return;
                     };
                     self.core_done(i, value);
                 }
                 Action::StoresDone { count } => {
                     let Endpoint::L1(i) = from else {
-                        panic!("StoresDone from non-L1 endpoint")
+                        self.violation(format!("StoresDone from non-L1 endpoint {from:?}"));
+                        return;
                     };
                     self.stores_done(i, count);
                 }
                 Action::SpinWake => {
                     let Endpoint::L1(i) = from else {
-                        panic!("SpinWake from non-L1 endpoint")
+                        self.violation(format!("SpinWake from non-L1 endpoint {from:?}"));
+                        return;
                     };
                     self.spin_wake(i);
+                }
+                Action::Violation { detail } => {
+                    self.violation(format!("{from:?}: {detail}"));
+                    return;
                 }
             }
         }
@@ -591,8 +1093,15 @@ impl System {
         let inject = self.sched.now() + extra_delay;
         let d = self.net.send(inject, src, dst, msg.flits());
         self.traffic.record(msg.class(), d.crossings);
+        let arrive = match &mut self.injector {
+            Some(inj) => inj.perturb(src, to, d.arrive),
+            None => d.arrive,
+        };
         let slot = self.stash(msg);
-        self.sched.schedule_at(d.arrive, Ev::Deliver(to, slot));
+        if self.cfg.check_invariants {
+            self.in_flight.insert(slot);
+        }
+        self.sched.schedule_at(arrive, Ev::Deliver(to, slot));
     }
 
     // --- core scheduling -----------------------------------------------------
@@ -739,7 +1248,9 @@ impl System {
                     };
                 }
             }
-            other => panic!("core {i} resumed in state {other:?}"),
+            other => {
+                self.violation(format!("core {i} resumed in state {other:?}"));
+            }
         }
     }
 
@@ -896,7 +1407,9 @@ impl System {
     fn core_done(&mut self, i: CoreId, value: Option<u64>) {
         let status = std::mem::replace(&mut self.cores[i].status, Status::Ready);
         let Status::BlockedMem { req, issued } = status else {
-            panic!("core {i} completion in state {status:?}");
+            self.violation(format!("core {i} memory completion in state {status:?}"));
+            self.cores[i].status = status;
+            return;
         };
         let comp = self.stall_comp(i);
         self.attr(i, comp, self.sched.now() - issued);
@@ -914,10 +1427,13 @@ impl System {
     }
 
     fn stores_done(&mut self, i: CoreId, count: usize) {
-        assert!(
-            self.cores[i].outstanding_stores >= count,
-            "store completion underflow"
-        );
+        if self.cores[i].outstanding_stores < count {
+            self.violation(format!(
+                "core {i}: {count} store completions with only {} outstanding",
+                self.cores[i].outstanding_stores
+            ));
+            return;
+        }
         self.cores[i].outstanding_stores -= count;
         if self.cores[i].outstanding_stores == 0 {
             if let Status::FenceWait { since } = self.cores[i].status {
@@ -973,7 +1489,11 @@ mod tests {
         (b.build(), c)
     }
 
-    fn run_all_protocols(make: impl Fn(usize, usize) -> Program, cores: usize, check: impl Fn(&System, &RunStats, Protocol)) {
+    fn run_all_protocols(
+        make: impl Fn(usize, usize) -> Program,
+        cores: usize,
+        check: impl Fn(&System, &RunStats, Protocol),
+    ) {
         for proto in Protocol::ALL {
             let (layout, _) = counter_layout();
             let programs = (0..cores).map(|i| make(i, cores)).collect();
@@ -998,7 +1518,10 @@ mod tests {
             let stats = sys.run().unwrap();
             assert_eq!(sys.read_word(counter), 123, "{proto:?}");
             assert!(stats.cycles > 0);
-            assert!(stats.traffic.total() == 0, "single tile: all same-node traffic");
+            assert!(
+                stats.traffic.total() == 0,
+                "single tile: all same-node traffic"
+            );
         }
     }
 
@@ -1127,7 +1650,24 @@ mod tests {
             vec![a.build()],
         );
         match sys.run() {
-            Err(SimError::Deadlock { stuck }) => assert_eq!(stuck, vec![0]),
+            Err(SimError::Deadlock { stuck, report }) => {
+                assert_eq!(stuck, vec![0]);
+                assert!(
+                    report.cores.iter().any(|l| l.starts_with("core 0:")),
+                    "report must name the stuck core: {report}"
+                );
+                assert!(
+                    report
+                        .cores
+                        .iter()
+                        .any(|l| l.contains(&format!("{}", flag))),
+                    "report must name the watched flag address: {report}"
+                );
+                assert!(
+                    !report.recent_messages.is_empty(),
+                    "report must include recent message history"
+                );
+            }
             other => panic!("expected deadlock, got {other:?}"),
         }
     }
@@ -1146,7 +1686,11 @@ mod tests {
             vec![a.build()],
         );
         match sys.run() {
-            Err(SimError::KernelAssert { core: 0, msg: "intentional", .. }) => {}
+            Err(SimError::KernelAssert {
+                core: 0,
+                msg: "intentional",
+                ..
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -1187,7 +1731,8 @@ mod tests {
             let programs = (0..4).map(|_| make()).collect::<Vec<_>>();
             let mut sys = System::new(SystemConfig::small(4, proto), layout, programs);
             sys.run().unwrap();
-            sys.verify_coherence().unwrap_or_else(|e| panic!("{proto:?}: {e}"));
+            sys.verify_coherence()
+                .unwrap_or_else(|e| panic!("{proto:?}: {e}"));
         }
     }
 
@@ -1240,6 +1785,56 @@ mod tests {
         assert!(
             sys.verify_coherence().is_err(),
             "verifier must flag a registry pointer with no holder"
+        );
+    }
+
+    #[test]
+    fn runtime_invariant_checker_catches_corrupted_registry() {
+        // Same corruption as above, but caught by the delivery-boundary
+        // invariant checker — which needs no quiescence and returns a
+        // description instead of panicking, so chaos runs can abort with a
+        // ProtocolViolation naming the bad state.
+        let (layout, counter) = counter_layout();
+        let make = || {
+            let mut a = Asm::new("inc");
+            a.movi(Reg(1), counter.raw())
+                .movi(Reg(2), 1)
+                .fai(Reg(3), Reg(1), 0, Reg(2))
+                .halt();
+            a.build()
+        };
+        let mut sys = System::new(
+            SystemConfig::small(4, Protocol::DeNovoSync0),
+            layout,
+            (0..4).map(|_| make()).collect(),
+        );
+        sys.run().unwrap();
+        sys.verify_invariants().expect("clean after a clean run");
+        let word = counter.word();
+        let bank = (word.line().raw() % sys.banks.len() as u64) as usize;
+        let Bank::Dnv(reg) = &mut sys.banks[bank] else {
+            unreachable!()
+        };
+        let current = match reg.word(word) {
+            Some(crate::denovo::registry::RegWord::Registered(c)) => c,
+            _ => 3,
+        };
+        let thief = (current + 1) % 4;
+        let mut scratch = Vec::new();
+        reg.on_msg(
+            crate::msg::DnvMsg::RegReq {
+                word,
+                req: thief,
+                class: crate::msg::XferClass::SyncRead,
+            },
+            &mut scratch,
+        );
+        let err = sys
+            .verify_invariants()
+            .expect_err("checker must flag a registry pointer with no holder");
+        assert!(
+            err.contains("registry points"),
+            "unexpected violation detail: {err}"
         );
     }
 

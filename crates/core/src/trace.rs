@@ -1,5 +1,7 @@
-//! Per-access tracing (used by the Figure-2 walkthrough and tests).
+//! Per-access tracing (used by the Figure-2 walkthrough and tests) and the
+//! always-on delivered-message ring buffer that feeds stall diagnostics.
 
+use crate::msg::{Endpoint, Msg};
 use dvs_engine::Cycle;
 use dvs_mem::Addr;
 
@@ -69,9 +71,96 @@ impl Trace {
     }
 }
 
+/// One delivered protocol message, as remembered by [`MsgRing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveredMsg {
+    /// Delivery cycle.
+    pub cycle: Cycle,
+    /// Receiving endpoint.
+    pub to: Endpoint,
+    /// The message.
+    pub msg: Msg,
+}
+
+/// A fixed-capacity ring buffer of the most recently delivered messages.
+///
+/// Kept always-on by the system (entries are small `Copy` records, and the
+/// push is two stores), so a deadlock or cycle-limit abort can report the
+/// last messages the machine processed without any tracing opt-in.
+#[derive(Debug, Clone)]
+pub struct MsgRing {
+    buf: Vec<DeliveredMsg>,
+    next: usize,
+    cap: usize,
+}
+
+impl MsgRing {
+    /// Creates a ring remembering the last `cap` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        MsgRing {
+            buf: Vec::with_capacity(cap),
+            next: 0,
+            cap,
+        }
+    }
+
+    /// Records a delivery, evicting the oldest entry once full.
+    pub fn push(&mut self, cycle: Cycle, to: Endpoint, msg: Msg) {
+        let entry = DeliveredMsg { cycle, to, msg };
+        if self.buf.len() < self.cap {
+            self.buf.push(entry);
+        } else {
+            self.buf[self.next] = entry;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    /// Number of messages currently remembered (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The remembered messages, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &DeliveredMsg> {
+        let split = if self.buf.len() < self.cap {
+            0
+        } else {
+            self.next
+        };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ring_keeps_last_n_in_order() {
+        let mut ring = MsgRing::new(4);
+        assert!(ring.is_empty());
+        for i in 0..10u64 {
+            let msg = Msg::MemRead {
+                line: dvs_mem::LineAddr::new(i),
+                bank: 0,
+                class: dvs_stats::TrafficClass::Writeback,
+            };
+            ring.push(i, Endpoint::L1(0), msg);
+        }
+        assert_eq!(ring.len(), 4);
+        let cycles: Vec<Cycle> = ring.iter().map(|d| d.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "oldest first, last four kept");
+    }
 
     #[test]
     fn trace_records_and_filters() {

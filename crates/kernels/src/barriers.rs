@@ -8,9 +8,7 @@
 //! round number before arriving, and thread 0 verifies all slots after the
 //! barrier — a barrier that releases early fails the in-VM assertion.
 
-use crate::sync::{
-    emit_prologue, CentralBarrier, TreeBarrier, EPOCH, ITER, ITERS, TID,
-};
+use crate::sync::{emit_prologue, CentralBarrier, TreeBarrier, EPOCH, ITER, ITERS, TID};
 use crate::{BarrierKind, KernelParams, Workload};
 use dvs_mem::{Addr, LayoutBuilder, LINE_BYTES};
 use dvs_stats::TimeComponent;
@@ -43,7 +41,11 @@ pub fn build(kind: BarrierKind, p: &KernelParams) -> Workload {
     let slots = lb.segment("slots", p.threads as u64 * LINE_BYTES, data);
     let barrier = match kind {
         BarrierKind::Tree | BarrierKind::Nary => {
-            let (fan_in, fan_out) = if kind == BarrierKind::Tree { (2, 2) } else { (4, 2) };
+            let (fan_in, fan_out) = if kind == BarrierKind::Tree {
+                (2, 2)
+            } else {
+                (4, 2)
+            };
             AnyBarrier::Tree(TreeBarrier {
                 arrive: lb.segment("arrive", p.threads as u64 * LINE_BYTES, sync),
                 go: lb.segment("go", p.threads as u64 * LINE_BYTES, sync),
@@ -110,7 +112,9 @@ pub fn build(kind: BarrierKind, p: &KernelParams) -> Workload {
             for t in 0..threads {
                 let got = read(Addr::new(slots.raw() + t as u64 * LINE_BYTES));
                 if got != iters {
-                    return Err(format!("thread {t} published round {got}, expected {iters}"));
+                    return Err(format!(
+                        "thread {t} published round {got}, expected {iters}"
+                    ));
                 }
             }
             Ok(())

@@ -113,15 +113,19 @@ impl Shared {
                 sw_backoff: p.sw_backoff,
             }),
             LockKind::Array => {
-                let stride = if p.padded_locks { LINE_BYTES } else { WORD_BYTES };
+                let stride = if p.padded_locks {
+                    LINE_BYTES
+                } else {
+                    WORD_BYTES
+                };
                 let nslots = (p.threads as u64 + 1).next_power_of_two();
                 Lock::Array(ArrayLock {
-                    slots: self.lb.segment(
-                        &format!("{name}_slots"),
-                        nslots * stride,
-                        self.sync,
-                    ),
-                    ticket: self.lb.sync_var(&format!("{name}_ticket"), self.sync, p.padded_locks),
+                    slots: self
+                        .lb
+                        .segment(&format!("{name}_slots"), nslots * stride, self.sync),
+                    ticket: self
+                        .lb
+                        .sync_var(&format!("{name}_ticket"), self.sync, p.padded_locks),
                     nslots,
                     stride,
                     data_region: Some(self.data),
@@ -142,7 +146,12 @@ impl Shared {
             .sum();
         let bytes = p.iters * per_iter + 4 * LINE_BYTES;
         (0..p.threads)
-            .map(|t| (self.lb.segment(&format!("pool{t}"), bytes, self.data), bytes))
+            .map(|t| {
+                (
+                    self.lb.segment(&format!("pool{t}"), bytes, self.data),
+                    bytes,
+                )
+            })
             .collect()
     }
 }
@@ -300,8 +309,7 @@ fn build_queue(kind: LockKind, p: &KernelParams, two_locks: bool) -> Workload {
     let head = sh.lb.segment("head", 8, sh.data);
     let tail = sh.lb.segment("tail", 8, sh.data);
     let dummy = sh.lb.segment("dummy", 16, sh.data);
-    sh.init
-        .extend([(head, dummy.raw()), (tail, dummy.raw())]);
+    sh.init.extend([(head, dummy.raw()), (tail, dummy.raw())]);
     let pools = sh.pools(p, &[(1, 2)]);
     let barrier = sh.end_barrier.take().expect("barrier");
     let results = sh.results;
@@ -544,7 +552,7 @@ fn build_heap(kind: LockKind, p: &KernelParams) -> Workload {
             a.shl(T6, T5, 1);
             let no_right = a.label();
             a.blt(T4, T6, sd_done); // size < l
-            // m = l; if r <= size and arr[r] < arr[l]: m = r
+                                    // m = l; if r <= size and arr[r] < arr[l]: m = r
             a.mov(T7, T6); // m = l
             a.addi(T8, T6, 1); // r
             a.blt(T4, T8, no_right);
@@ -629,7 +637,8 @@ pub(crate) mod tests {
         for (i, &(base, bytes)) in w.pools.iter().enumerate() {
             m.set_thread_pool(i, base, bytes);
         }
-        m.run(10_000_000 + extra_budget).expect("reference run completes");
+        m.run(10_000_000 + extra_budget)
+            .expect("reference run completes");
         let read = |a: Addr| m.memory().read_word(a.word());
         (w.check)(&read).expect("semantic check");
     }

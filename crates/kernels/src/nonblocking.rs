@@ -88,7 +88,12 @@ impl Shell {
             .sum();
         let bytes = p.iters * per_iter + 4 * LINE_BYTES;
         (0..p.threads)
-            .map(|t| (self.lb.segment(&format!("pool{t}"), bytes, self.data), bytes))
+            .map(|t| {
+                (
+                    self.lb.segment(&format!("pool{t}"), bytes, self.data),
+                    bytes,
+                )
+            })
             .collect()
     }
 }
@@ -457,7 +462,7 @@ fn build_herlihy_stack(p: &KernelParams) -> Workload {
             a.load(T5, T4, 0); // size
             a.movi(T6, HERLIHY_CAP);
             a.bge(T5, T6, pu_skip); // full: skip this push
-            // copy [1..=size] then append.
+                                    // copy [1..=size] then append.
             a.addi(T6, T5, 1);
             a.store(T6, P12, 0); // new size
             emit_block_copy(&mut a, T4, P12, T6, 1);
@@ -500,7 +505,7 @@ fn build_herlihy_stack(p: &KernelParams) -> Workload {
             a.addi(T6, T5, -1);
             a.store(T6, P11, 0);
             emit_block_copy(&mut a, T4, P11, T5, 1); // keep words 1..=size-1
-            // (word at index size in the copy is garbage; size field caps it)
+                                                     // (word at index size in the copy is garbage; size field caps it)
             a.fence();
             if !reduced {
                 a.loads(T7, P10, 0);
@@ -649,8 +654,8 @@ fn build_herlihy_heap(p: &KernelParams) -> Workload {
             a.load(T8, T4, 8); // min = arr[1]
             a.addi(T6, T5, -1);
             a.store(T6, P11, 0); // new size
-            // Keep old arr[1..=size-1] (bound = OLD size), then move the old
-            // last element into the root slot.
+                                 // Keep old arr[1..=size-1] (bound = OLD size), then move the old
+                                 // last element into the root slot.
             emit_block_copy(&mut a, T4, P11, T5, 1);
             // copy[1] = old arr[size]
             a.shl(T13, T5, 3);

@@ -385,7 +385,12 @@ mod tests {
             a.addi(Reg(12), Reg(12), 1);
             a.store(Reg(12), Reg(11), 0);
             a.load(Reg(13), Reg(10), 0);
-            a.assert_cond(Cond::Eq, Reg(13), TID, "array-lock mutual exclusion violated");
+            a.assert_cond(
+                Cond::Eq,
+                Reg(13),
+                TID,
+                "array-lock mutual exclusion violated",
+            );
             alock.emit_release(&mut a);
             a.addi(ITER, ITER, 1);
             a.blt(ITER, ITERS, top);

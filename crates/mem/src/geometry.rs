@@ -37,7 +37,10 @@ impl CacheGeometry {
             "cache of {size_bytes} bytes cannot be {assoc}-way"
         );
         let sets = (lines / assoc as u64) as usize;
-        assert!(sets.is_power_of_two(), "set count {sets} not a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} not a power of two"
+        );
         CacheGeometry {
             size_bytes,
             assoc,

@@ -29,7 +29,8 @@
 //! assert_eq!(d.crossings, 4 * 6); // 6 hops on a 4x4 mesh diagonal
 //! ```
 
-use dvs_engine::Cycle;
+use dvs_engine::{Cycle, DetRng};
+use std::collections::HashMap;
 
 /// Bits per flit (paper Table 1: 16-bit flits).
 pub const FLIT_BITS: u64 = 16;
@@ -203,7 +204,11 @@ impl Mesh {
             cur.x = if goal.x > cur.x { cur.x + 1 } else { cur.x - 1 };
         }
         while cur.y != goal.y {
-            let dir = if goal.y > cur.y { Dir::South } else { Dir::North };
+            let dir = if goal.y > cur.y {
+                Dir::South
+            } else {
+                Dir::North
+            };
             links.push(self.link(self.node(cur), dir));
             cur.y = if goal.y > cur.y { cur.y + 1 } else { cur.y - 1 };
         }
@@ -252,6 +257,18 @@ pub struct Network {
     next_free: Vec<Cycle>,
     crossings: u64,
     messages: u64,
+    jitter: Option<Jitter>,
+}
+
+/// Opt-in deterministic link jitter for fault-injection runs: each routed
+/// message picks up a bounded random extra delay, clamped so messages
+/// between the same node pair still arrive in send order (the FIFO property
+/// the protocols rely on).
+#[derive(Debug, Clone)]
+struct Jitter {
+    rng: DetRng,
+    max: Cycle,
+    last_arrival: HashMap<(NodeId, NodeId), Cycle>,
 }
 
 impl Network {
@@ -263,7 +280,24 @@ impl Network {
             next_free: vec![0; mesh.link_slots()],
             crossings: 0,
             messages: 0,
+            jitter: None,
         }
+    }
+
+    /// Enables deterministic per-message link jitter of up to `max_jitter`
+    /// extra cycles (fault-injection runs only). Jittered arrivals are
+    /// clamped so each (src, dst) node pair keeps FIFO delivery order.
+    /// `max_jitter == 0` turns jitter back off.
+    pub fn enable_jitter(&mut self, seed: u64, max_jitter: Cycle) {
+        self.jitter = if max_jitter == 0 {
+            None
+        } else {
+            Some(Jitter {
+                rng: DetRng::new(seed),
+                max: max_jitter,
+                last_arrival: HashMap::new(),
+            })
+        };
     }
 
     /// The topology.
@@ -286,7 +320,7 @@ impl Network {
         if src == dst {
             // Same tile: no link crossings; a small fixed turnaround.
             return Delivery {
-                arrive: now + self.params.endpoint_cycles,
+                arrive: self.jittered(src, dst, now + self.params.endpoint_cycles),
                 crossings: 0,
             };
         }
@@ -303,9 +337,25 @@ impl Network {
         self.crossings += crossings;
         // Tail flit trails the head by the serialization latency.
         Delivery {
-            arrive: head + flits + self.params.endpoint_cycles,
+            arrive: self.jittered(src, dst, head + flits + self.params.endpoint_cycles),
             crossings,
         }
+    }
+
+    /// Applies link jitter (no-op unless enabled): a bounded random delay,
+    /// then the per-pair FIFO clamp so a jittered message never overtakes —
+    /// nor is overtaken by — another message of the same (src, dst) pair.
+    fn jittered(&mut self, src: NodeId, dst: NodeId, arrive: Cycle) -> Cycle {
+        let Some(j) = &mut self.jitter else {
+            return arrive;
+        };
+        let mut adjusted = arrive + j.rng.range(0, j.max + 1);
+        let last = j.last_arrival.entry((src, dst)).or_insert(0);
+        if adjusted < *last {
+            adjusted = *last;
+        }
+        *last = adjusted;
+        adjusted
     }
 
     /// Total flit–link crossings since construction.
@@ -451,5 +501,31 @@ mod tests {
     #[should_panic(expected = "at least one flit")]
     fn zero_flit_message_rejected() {
         Network::new(Mesh::new(2, 2), NocParams::default()).send(0, 0, 1, 0);
+    }
+
+    #[test]
+    fn jitter_only_delays_and_keeps_pair_fifo() {
+        let mut net = Network::new(Mesh::new(4, 4), NocParams::default());
+        let mut jit = net.clone();
+        jit.enable_jitter(99, 7);
+        let mut last = 0;
+        for i in 0..200u64 {
+            let base = net.send(i * 3, 2, 13, 4).arrive;
+            let pert = jit.send(i * 3, 2, 13, 4).arrive;
+            assert!(pert >= base, "jitter may only delay (message {i})");
+            assert!(pert >= last, "pair FIFO violated at message {i}");
+            last = pert;
+        }
+        // Deterministic: same seed reproduces the same schedule.
+        let mut a = Network::new(Mesh::new(4, 4), NocParams::default());
+        let mut b = Network::new(Mesh::new(4, 4), NocParams::default());
+        a.enable_jitter(7, 5);
+        b.enable_jitter(7, 5);
+        for i in 0..100u64 {
+            assert_eq!(
+                a.send(i * 2, 0, 15, 8).arrive,
+                b.send(i * 2, 0, 15, 8).arrive
+            );
+        }
     }
 }

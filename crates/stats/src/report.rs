@@ -89,7 +89,11 @@ impl StackedTable {
         let base: f64 = g.bars.first()?.values.iter().sum();
         let b = g.bars.iter().find(|b| b.name == bar)?;
         let total: f64 = b.values.iter().sum();
-        Some(if base > 0.0 { total / base * 100.0 } else { 0.0 })
+        Some(if base > 0.0 {
+            total / base * 100.0
+        } else {
+            0.0
+        })
     }
 
     /// Renders the table as ASCII text.
@@ -111,22 +115,26 @@ impl StackedTable {
             .max()
             .unwrap_or(3);
 
-        let _ = write!(out, "{:group_w$}  {:bar_w$}  {:>8}", "group", "bar", "total");
+        let _ = write!(
+            out,
+            "{:group_w$}  {:bar_w$}  {:>8}",
+            "group", "bar", "total"
+        );
         for c in &self.components {
             let _ = write!(out, "  {:>10}", c);
         }
         out.push('\n');
 
         for g in &self.groups {
-            let base: f64 = g
-                .bars
-                .first()
-                .map(|b| b.values.iter().sum())
-                .unwrap_or(0.0);
+            let base: f64 = g.bars.first().map(|b| b.values.iter().sum()).unwrap_or(0.0);
             for (i, b) in g.bars.iter().enumerate() {
                 let name = if i == 0 { g.name.as_str() } else { "" };
                 let total: f64 = b.values.iter().sum();
-                let pct = if base > 0.0 { total / base * 100.0 } else { 0.0 };
+                let pct = if base > 0.0 {
+                    total / base * 100.0
+                } else {
+                    0.0
+                };
                 let _ = write!(out, "{:group_w$}  {:bar_w$}  {:>7.1}%", name, b.name, pct);
                 for v in &b.values {
                     let vp = if base > 0.0 { v / base * 100.0 } else { 0.0 };
@@ -163,6 +171,156 @@ impl StackedTable {
     pub fn group_names(&self) -> Vec<&str> {
         self.groups.iter().map(|g| g.name.as_str()).collect()
     }
+}
+
+/// A minimal JSON object builder for machine-readable benchmark artifacts
+/// (`BENCH_*.json`). Hand-rolled so the workspace stays dependency-free: it
+/// supports string/number/bool scalars, nested objects, and arrays of
+/// objects — exactly what the bench targets emit, nothing more.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_stats::report::JsonObject;
+///
+/// let mut inner = JsonObject::new();
+/// inner.u64("cycles", 1200);
+/// let mut obj = JsonObject::new();
+/// obj.str("bench", "chaos_matrix").object("mesi", inner);
+/// assert!(obj.render().contains("\"cycles\": 1200"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    entries: Vec<(String, JsonValue)>,
+}
+
+#[derive(Debug, Clone)]
+enum JsonValue {
+    Str(String),
+    UInt(u64),
+    Float(f64),
+    Bool(bool),
+    Obj(JsonObject),
+    Arr(Vec<JsonObject>),
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Appends a string member.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.push(key, JsonValue::Str(value.to_owned()))
+    }
+
+    /// Appends an unsigned integer member.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.push(key, JsonValue::UInt(value))
+    }
+
+    /// Appends a floating-point member (non-finite values render as `null`).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.push(key, JsonValue::Float(value))
+    }
+
+    /// Appends a boolean member.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.push(key, JsonValue::Bool(value))
+    }
+
+    /// Appends a nested object member.
+    pub fn object(&mut self, key: &str, value: JsonObject) -> &mut Self {
+        self.push(key, JsonValue::Obj(value))
+    }
+
+    /// Appends an array-of-objects member.
+    pub fn array(&mut self, key: &str, values: Vec<JsonObject>) -> &mut Self {
+        self.push(key, JsonValue::Arr(values))
+    }
+
+    fn push(&mut self, key: &str, value: JsonValue) -> &mut Self {
+        self.entries.push((key.to_owned(), value));
+        self
+    }
+
+    /// Renders the object as pretty-printed JSON with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        if self.entries.is_empty() {
+            out.push_str("{}");
+            return;
+        }
+        out.push_str("{\n");
+        let pad = "  ".repeat(indent + 1);
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            let _ = write!(out, "{pad}\"{}\": ", json_escape(key));
+            match value {
+                JsonValue::Str(s) => {
+                    let _ = write!(out, "\"{}\"", json_escape(s));
+                }
+                JsonValue::UInt(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                JsonValue::Float(f) if f.is_finite() => {
+                    let _ = write!(out, "{f}");
+                }
+                JsonValue::Float(_) => out.push_str("null"),
+                JsonValue::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+                JsonValue::Obj(o) => o.write(out, indent + 1),
+                JsonValue::Arr(items) => {
+                    if items.is_empty() {
+                        out.push_str("[]");
+                    } else {
+                        out.push_str("[\n");
+                        let item_pad = "  ".repeat(indent + 2);
+                        for (j, item) in items.iter().enumerate() {
+                            out.push_str(&item_pad);
+                            item.write(out, indent + 2);
+                            if j + 1 < items.len() {
+                                out.push(',');
+                            }
+                            out.push('\n');
+                        }
+                        let _ = write!(out, "{pad}]");
+                    }
+                }
+            }
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str(&"  ".repeat(indent));
+        out.push('}');
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A plain key/value listing (used for the paper's parameter tables).
@@ -259,6 +417,46 @@ mod tests {
     fn wrong_arity_panics() {
         let mut t = StackedTable::new("t", &["a", "b"]);
         t.bar("g", "M", &[1.0]);
+    }
+
+    #[test]
+    fn json_object_renders_nested_structure() {
+        let mut run = JsonObject::new();
+        run.u64("cycles", 1234).bool("invariants", true);
+        let mut arr_item = JsonObject::new();
+        arr_item.str("kernel", "tatas counter");
+        let mut root = JsonObject::new();
+        root.str("bench", "chaos")
+            .f64("overhead", 1.25)
+            .object("run", run)
+            .array("kernels", vec![arr_item]);
+        let s = root.render();
+        assert!(s.contains("\"bench\": \"chaos\""));
+        assert!(s.contains("\"overhead\": 1.25"));
+        assert!(s.contains("\"cycles\": 1234"));
+        assert!(s.contains("\"invariants\": true"));
+        assert!(s.contains("\"kernel\": \"tatas counter\""));
+        assert!(s.ends_with("}\n"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_control_chars() {
+        let mut o = JsonObject::new();
+        o.str("msg", "a \"quoted\"\nline\\");
+        let s = o.render();
+        assert!(s.contains(r#""a \"quoted\"\nline\\""#));
+    }
+
+    #[test]
+    fn json_non_finite_floats_render_as_null() {
+        let mut o = JsonObject::new();
+        o.f64("nan", f64::NAN).f64("inf", f64::INFINITY);
+        let s = o.render();
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.contains("\"inf\": null"));
     }
 
     #[test]

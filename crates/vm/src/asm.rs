@@ -392,7 +392,10 @@ mod tests {
         a.beq(Reg(1), Reg(1), top);
         a.halt();
         let p = a.build();
-        assert_eq!(p.fetch(1), Some(&Instr::Branch(Cond::Eq, Reg(1), Reg(1), 0)));
+        assert_eq!(
+            p.fetch(1),
+            Some(&Instr::Branch(Cond::Eq, Reg(1), Reg(1), 0))
+        );
     }
 
     #[test]

@@ -178,11 +178,7 @@ impl RefMachine {
                     Effect::Mark(m) => self.marks[i].push(m),
                     Effect::Halted => {}
                     Effect::Failed { pc, msg } => {
-                        return Err(RefError::AssertFailed {
-                            thread: i,
-                            pc,
-                            msg,
-                        })
+                        return Err(RefError::AssertFailed { thread: i, pc, msg })
                     }
                     Effect::Mem(req) => {
                         if let Some(spin) = req.spin {
@@ -278,10 +274,17 @@ mod tests {
     #[test]
     fn failed_assert_is_reported() {
         let mut a = Asm::new("bad");
-        a.movi(Reg(1), 1).movi(Reg(2), 2).assert_cond(Cond::Eq, Reg(1), Reg(2), "nope").halt();
+        a.movi(Reg(1), 1)
+            .movi(Reg(2), 2)
+            .assert_cond(Cond::Eq, Reg(1), Reg(2), "nope")
+            .halt();
         let mut m = RefMachine::new(vec![a.build()]);
         match m.run(100) {
-            Err(RefError::AssertFailed { thread: 0, msg: "nope", .. }) => {}
+            Err(RefError::AssertFailed {
+                thread: 0,
+                msg: "nope",
+                ..
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -289,7 +292,10 @@ mod tests {
     #[test]
     fn livelock_hits_budget() {
         let mut a = Asm::new("spin-forever");
-        a.movi(Reg(1), 0x100).movi(Reg(2), 1).spin_until(Reg(3), Reg(1), 0, Cond::Eq, Reg(2)).halt();
+        a.movi(Reg(1), 0x100)
+            .movi(Reg(2), 1)
+            .spin_until(Reg(3), Reg(1), 0, Cond::Eq, Reg(2))
+            .halt();
         let mut m = RefMachine::new(vec![a.build()]);
         assert_eq!(m.run(1_000), Err(RefError::StepBudgetExhausted));
     }
@@ -310,7 +316,10 @@ mod tests {
     fn alloc_pools_do_not_collide() {
         let make = || {
             let mut a = Asm::new("alloc");
-            a.alloc(Reg(1), 4).movi(Reg(2), 5).store(Reg(2), Reg(1), 0).halt();
+            a.alloc(Reg(1), 4)
+                .movi(Reg(2), 5)
+                .store(Reg(2), Reg(1), 0)
+                .halt();
             a.build()
         };
         let mut m = RefMachine::new(vec![make(), make()]);

@@ -193,10 +193,13 @@ impl Thread {
         if let Some((pc, msg)) = self.failed {
             return Effect::Failed { pc, msg };
         }
-        let instr = *self
-            .program
-            .fetch(self.pc)
-            .unwrap_or_else(|| panic!("{}: pc {} fell off program end", self.program.name(), self.pc));
+        let instr = *self.program.fetch(self.pc).unwrap_or_else(|| {
+            panic!(
+                "{}: pc {} fell off program end",
+                self.program.name(),
+                self.pc
+            )
+        });
         let at = self.pc;
         self.pc += 1;
         match instr {
@@ -242,7 +245,12 @@ impl Thread {
                 self.pc = target;
                 Effect::Retired
             }
-            Instr::Load { dst, base, off, sync } => Effect::Mem(MemRequest {
+            Instr::Load {
+                dst,
+                base,
+                off,
+                sync,
+            } => Effect::Mem(MemRequest {
                 addr: self.ea(base, off),
                 kind: if sync {
                     AccessKind::SyncLoad
@@ -252,7 +260,12 @@ impl Thread {
                 dst: Some(dst),
                 spin: None,
             }),
-            Instr::Store { src, base, off, sync } => {
+            Instr::Store {
+                src,
+                base,
+                off,
+                sync,
+            } => {
                 let value = self.regs[src.index()];
                 Effect::Mem(MemRequest {
                     addr: self.ea(base, off),
@@ -280,7 +293,12 @@ impl Thread {
                 dst: Some(dst),
                 spin: None,
             }),
-            Instr::Fai { dst, base, off, delta } => Effect::Mem(MemRequest {
+            Instr::Fai {
+                dst,
+                base,
+                off,
+                delta,
+            } => Effect::Mem(MemRequest {
                 addr: self.ea(base, off),
                 kind: AccessKind::SyncRmw(RmwOp::Fai {
                     delta: self.regs[delta.index()],
@@ -288,7 +306,12 @@ impl Thread {
                 dst: Some(dst),
                 spin: None,
             }),
-            Instr::Swap { dst, base, off, new } => Effect::Mem(MemRequest {
+            Instr::Swap {
+                dst,
+                base,
+                off,
+                new,
+            } => Effect::Mem(MemRequest {
                 addr: self.ea(base, off),
                 kind: AccessKind::SyncRmw(RmwOp::Swap {
                     new: self.regs[new.index()],
@@ -417,7 +440,11 @@ mod tests {
     #[test]
     fn division_by_zero_yields_zero() {
         let mut a = Asm::new("div0");
-        a.movi(Reg(1), 5).movi(Reg(2), 0).div(Reg(3), Reg(1), Reg(2)).rem(Reg(4), Reg(1), Reg(2)).halt();
+        a.movi(Reg(1), 5)
+            .movi(Reg(2), 0)
+            .div(Reg(3), Reg(1), Reg(2))
+            .rem(Reg(4), Reg(1), Reg(2))
+            .halt();
         let mut t = thread_for(a);
         for _ in 0..5 {
             t.step();
@@ -465,7 +492,10 @@ mod tests {
     #[test]
     fn store_carries_value() {
         let mut a = Asm::new("st");
-        a.movi(Reg(1), 0x100).movi(Reg(2), 55).stores(Reg(2), Reg(1), 0).halt();
+        a.movi(Reg(1), 0x100)
+            .movi(Reg(2), 55)
+            .stores(Reg(2), Reg(1), 0)
+            .halt();
         let mut t = thread_for(a);
         t.step();
         t.step();
@@ -561,7 +591,10 @@ mod tests {
     #[test]
     fn assert_failure_sticks() {
         let mut a = Asm::new("assert");
-        a.movi(Reg(1), 1).movi(Reg(2), 2).assert_cond(Cond::Eq, Reg(1), Reg(2), "boom").halt();
+        a.movi(Reg(1), 1)
+            .movi(Reg(2), 2)
+            .assert_cond(Cond::Eq, Reg(1), Reg(2), "boom")
+            .halt();
         let mut t = thread_for(a);
         t.step();
         t.step();
@@ -620,7 +653,10 @@ mod tests {
     #[test]
     fn swap_issues_exchange_rmw() {
         let mut a = Asm::new("swap");
-        a.movi(Reg(1), 0x100).movi(Reg(2), 77).swap(Reg(3), Reg(1), 0, Reg(2)).halt();
+        a.movi(Reg(1), 0x100)
+            .movi(Reg(2), 77)
+            .swap(Reg(3), Reg(1), 0, Reg(2))
+            .halt();
         let mut t = thread_for(a);
         t.step();
         t.step();
@@ -637,7 +673,9 @@ mod tests {
     #[test]
     fn phase_changes_are_tracked() {
         let mut a = Asm::new("phase");
-        a.phase(PhaseChange::BarrierWait).phase(PhaseChange::Normal).halt();
+        a.phase(PhaseChange::BarrierWait)
+            .phase(PhaseChange::Normal)
+            .halt();
         let mut t = thread_for(a);
         assert_eq!(t.phase(), ExecPhase::Normal);
         t.step();

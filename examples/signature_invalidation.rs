@@ -16,17 +16,27 @@ fn main() {
         "app", "mode", "cycles", "data-rd-miss", "crossings"
     );
     for name in ["fluidanimate", "water", "barnes"] {
-        let spec = all_apps().into_iter().find(|a| a.name == name).expect("app");
+        let spec = all_apps()
+            .into_iter()
+            .find(|a| a.name == name)
+            .expect("app");
         let threads = 16;
         let w = build_app(&spec, threads);
-        for mode in [DataInvalidation::StaticRegions, DataInvalidation::Signatures] {
+        for mode in [
+            DataInvalidation::StaticRegions,
+            DataInvalidation::Signatures,
+        ] {
             let mut cfg = SystemConfig::paper(threads, Protocol::DeNovoSync);
             cfg.data_inv = mode;
             let stats = run_workload(cfg, &w).expect("run verifies");
             println!(
                 "{:14} {:>12} {:>10} {:>14} {:>12}",
                 name,
-                if mode == DataInvalidation::StaticRegions { "static" } else { "signature" },
+                if mode == DataInvalidation::StaticRegions {
+                    "static"
+                } else {
+                    "signature"
+                },
                 stats.cycles,
                 stats.cache.data_read_misses,
                 stats.traffic.total()

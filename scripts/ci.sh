@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints, tier-1 verification, and the chaos matrix.
+# Everything runs offline against the committed Cargo.lock — no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: release build + full test suite =="
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== chaos matrix (fixed fault seeds, invariant checking on) =="
+cargo test -q --offline --test chaos
+
+echo "CI OK"

@@ -12,8 +12,8 @@ fn all_thirteen_apps_on_mesi_and_denovosync() {
         let w = build_app(&spec, threads);
         for proto in [Protocol::Mesi, Protocol::DeNovoSync] {
             let cfg = SystemConfig::small(threads, proto);
-            let stats = run_workload(cfg, &w)
-                .unwrap_or_else(|e| panic!("{} on {proto:?}: {e}", spec.name));
+            let stats =
+                run_workload(cfg, &w).unwrap_or_else(|e| panic!("{} on {proto:?}: {e}", spec.name));
             assert!(stats.cycles > 0, "{}", spec.name);
         }
     }
@@ -22,7 +22,10 @@ fn all_thirteen_apps_on_mesi_and_denovosync() {
 #[test]
 fn canneal_is_sync_heavy_on_denovo() {
     use dvs_stats::TrafficClass;
-    let spec = all_apps().into_iter().find(|a| a.name == "canneal").unwrap();
+    let spec = all_apps()
+        .into_iter()
+        .find(|a| a.name == "canneal")
+        .unwrap();
     let w = build_app(&spec, 4);
     let stats = run_workload(SystemConfig::small(4, Protocol::DeNovoSync), &w).unwrap();
     let sync = stats.traffic.get(TrafficClass::Sync);
@@ -39,6 +42,11 @@ fn denovo_has_no_invalidation_traffic_in_apps() {
     for spec in all_apps().into_iter().take(3) {
         let w = build_app(&spec, 4);
         let stats = run_workload(SystemConfig::small(4, Protocol::DeNovoSync0), &w).unwrap();
-        assert_eq!(stats.traffic.get(TrafficClass::Invalidation), 0, "{}", spec.name);
+        assert_eq!(
+            stats.traffic.get(TrafficClass::Invalidation),
+            0,
+            "{}",
+            spec.name
+        );
     }
 }

@@ -55,13 +55,15 @@ fn run_case(proto: Protocol, jitter: bool) {
         lb.build(),
         (0..cores).map(make).collect(),
     );
-    sys.run().unwrap_or_else(|e| panic!("{proto:?} jitter={jitter}: {e}"));
+    sys.run()
+        .unwrap_or_else(|e| panic!("{proto:?} jitter={jitter}: {e}"));
     sys.verify_coherence()
         .unwrap_or_else(|e| panic!("{proto:?} jitter={jitter}: {e}"));
     for w in 0..threads {
         let got = sys.read_word(Addr::new(line.raw() + w as u64 * WORD_BYTES));
         assert_eq!(
-            got, iters,
+            got,
+            iters,
             "{proto:?} jitter={jitter}: word {w} lost {} increments",
             iters - got
         );

@@ -1,67 +1,100 @@
-//! Property tests on the substrate crates: mesh routing, traffic
+//! Randomized tests on the substrate crates: mesh routing, traffic
 //! accounting, cache-array invariants, and layout/region lookups.
+//! Driven by the in-house [`DetRng`] (no external dependencies); each case
+//! derives from a fixed seed, so failures reproduce exactly.
 
+use dvs_engine::DetRng;
 use dvs_mem::{Addr, CacheArray, CacheGeometry, LayoutBuilder, LineAddr};
 use dvs_noc::{Mesh, Network, NocParams};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const SEED: u64 = 0x40C_3E5;
 
-    /// Route length equals Manhattan distance and crossings equal
-    /// flits × hops, for any pair on either paper mesh.
-    #[test]
-    fn crossings_are_flits_times_hops(
-        square in prop_oneof![Just(16usize), Just(64usize)],
-        src_i in 0usize..64,
-        dst_i in 0usize..64,
-        flits in 1u64..64,
-    ) {
+/// Route length equals Manhattan distance and crossings equal
+/// flits × hops, for any pair on either paper mesh.
+#[test]
+fn crossings_are_flits_times_hops() {
+    let root = DetRng::new(SEED);
+    for case in 0..128u64 {
+        let mut rng = root.split(case);
+        let square = if rng.chance(1, 2) { 16usize } else { 64 };
+        let src = rng.below(square);
+        let dst = rng.below(square);
+        let flits = rng.range(1, 64);
         let mesh = Mesh::square(square);
-        let src = src_i % square;
-        let dst = dst_i % square;
         let mut net = Network::new(mesh, NocParams::default());
         let d = net.send(0, src, dst, flits);
-        prop_assert_eq!(d.crossings, flits * mesh.hops(src, dst) as u64);
-        prop_assert_eq!(mesh.route(src, dst).len(), mesh.hops(src, dst));
-        prop_assert_eq!(net.total_crossings(), d.crossings);
+        assert_eq!(
+            d.crossings,
+            flits * mesh.hops(src, dst) as u64,
+            "case {case}: {square}-mesh {src}->{dst} x{flits}"
+        );
+        assert_eq!(mesh.route(src, dst).len(), mesh.hops(src, dst));
+        assert_eq!(net.total_crossings(), d.crossings);
     }
+}
 
-    /// Uncontended latency is monotone in both distance and message size.
-    #[test]
-    fn latency_is_monotone(hops_a in 0usize..14, hops_b in 0usize..14, flits in 1u64..64) {
+/// Uncontended latency is monotone in both distance and message size.
+#[test]
+fn latency_is_monotone() {
+    let root = DetRng::new(SEED ^ 0x10);
+    for case in 0..128u64 {
+        let mut rng = root.split(case);
+        let hops_a = rng.below(14);
+        let hops_b = rng.below(14);
+        let flits = rng.range(1, 64);
         let net = Network::new(Mesh::square(64), NocParams::default());
-        let (lo, hi) = if hops_a <= hops_b { (hops_a, hops_b) } else { (hops_b, hops_a) };
-        prop_assert!(net.ideal_latency(lo, flits) <= net.ideal_latency(hi, flits));
-        prop_assert!(net.ideal_latency(hi, flits) <= net.ideal_latency(hi, flits + 8));
+        let (lo, hi) = if hops_a <= hops_b {
+            (hops_a, hops_b)
+        } else {
+            (hops_b, hops_a)
+        };
+        assert!(net.ideal_latency(lo, flits) <= net.ideal_latency(hi, flits));
+        assert!(net.ideal_latency(hi, flits) <= net.ideal_latency(hi, flits + 8));
     }
+}
 
-    /// A cache array never holds more lines than its capacity, never holds
-    /// duplicates, and always contains the most recently inserted line
-    /// (when eviction is unrestricted).
-    #[test]
-    fn cache_array_capacity_and_recency(lines in proptest::collection::vec(0u64..128, 1..200)) {
+/// A cache array never holds more lines than its capacity, never holds
+/// duplicates, and always contains the most recently inserted line
+/// (when eviction is unrestricted).
+#[test]
+fn cache_array_capacity_and_recency() {
+    let root = DetRng::new(SEED ^ 0x20);
+    for case in 0..128u64 {
+        let mut rng = root.split(case);
+        let n = rng.range(1, 200) as usize;
+        let lines: Vec<u64> = (0..n).map(|_| rng.range(0, 128)).collect();
         let geometry = CacheGeometry::new(16 * 64, 2); // 16 lines, 2-way
         let mut cache: CacheArray<u64> = CacheArray::new(geometry);
         for (i, &l) in lines.iter().enumerate() {
             cache.insert_filtered(LineAddr::new(l), i as u64, |_, _| true);
-            prop_assert!(cache.len() <= geometry.lines());
-            prop_assert!(cache.contains(LineAddr::new(l)), "just-inserted line resident");
+            assert!(cache.len() <= geometry.lines());
+            assert!(
+                cache.contains(LineAddr::new(l)),
+                "case {case}: just-inserted line resident"
+            );
         }
         // No duplicates: every resident address appears exactly once.
         let mut seen: Vec<u64> = cache.iter().map(|(a, _)| a.raw()).collect();
-        let n = seen.len();
+        let count = seen.len();
         seen.sort_unstable();
         seen.dedup();
-        prop_assert_eq!(seen.len(), n);
+        assert_eq!(seen.len(), count, "case {case}");
     }
+}
 
-    /// Region lookup: every address inside a segment maps to its region;
-    /// addresses between segments map to none.
-    #[test]
-    fn layout_region_lookup_is_exact(sizes in proptest::collection::vec(1u64..300, 1..8)) {
+/// Region lookup: every address inside a segment maps to its region;
+/// addresses between segments map to none.
+#[test]
+fn layout_region_lookup_is_exact() {
+    let root = DetRng::new(SEED ^ 0x30);
+    for case in 0..128u64 {
+        let mut rng = root.split(case);
+        let n = rng.range(1, 8) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| rng.range(1, 300)).collect();
         let mut lb = LayoutBuilder::new();
-        let regions: Vec<_> = (0..sizes.len()).map(|i| lb.region(&format!("r{i}"))).collect();
+        let regions: Vec<_> = (0..sizes.len())
+            .map(|i| lb.region(&format!("r{i}")))
+            .collect();
         let bases: Vec<Addr> = sizes
             .iter()
             .enumerate()
@@ -70,24 +103,36 @@ proptest! {
         let layout = lb.build();
         for (i, base) in bases.iter().enumerate() {
             let seg = layout.segment(&format!("s{i}")).expect("segment exists");
-            prop_assert_eq!(layout.region_of(*base), Some(regions[i]));
-            prop_assert_eq!(layout.region_of(base.offset(seg.bytes as i64 - 1)), Some(regions[i]));
+            assert_eq!(layout.region_of(*base), Some(regions[i]), "case {case}");
+            assert_eq!(
+                layout.region_of(base.offset(seg.bytes as i64 - 1)),
+                Some(regions[i]),
+                "case {case}"
+            );
         }
-        prop_assert_eq!(layout.region_of(Addr::new(0)), None);
-        prop_assert_eq!(layout.region_of(Addr::new(1 << 50)), None);
+        assert_eq!(layout.region_of(Addr::new(0)), None);
+        assert_eq!(layout.region_of(Addr::new(1 << 50)), None);
     }
+}
 
-    /// DetRng splits are stable and independent of sibling draws.
-    #[test]
-    fn rng_splits_are_order_independent(seed in any::<u64>(), a in 0u64..64, b in 0u64..64) {
-        use dvs_engine::DetRng;
-        prop_assume!(a != b);
+/// DetRng splits are stable and independent of sibling draws.
+#[test]
+fn rng_splits_are_order_independent() {
+    let root_rng = DetRng::new(SEED ^ 0x40);
+    for case in 0..128u64 {
+        let mut rng = root_rng.split(case);
+        let seed = rng.next_u64();
+        let a = rng.range(0, 64);
+        let b = rng.range(0, 64);
+        if a == b {
+            continue;
+        }
         let root = DetRng::new(seed);
         let mut s1 = root.split(a);
         let mut s2 = root.split(a);
-        prop_assert_eq!(s1.next_u64(), s2.next_u64());
+        assert_eq!(s1.next_u64(), s2.next_u64(), "case {case}");
         let mut other = root.split(b);
         // Not a proof of independence, but catches collapsed streams.
-        prop_assert_ne!(root.split(a).next_u64(), other.next_u64());
+        assert_ne!(root.split(a).next_u64(), other.next_u64(), "case {case}");
     }
 }

@@ -1,4 +1,5 @@
-//! Property-based tests over the whole stack.
+//! Randomized tests over the whole stack, driven by the in-house [`DetRng`]
+//! so the workspace builds with no external dependencies.
 //!
 //! * random ALU programs agree with a direct Rust evaluation (VM semantics);
 //! * random data-race-free phase programs produce identical results on
@@ -7,15 +8,21 @@
 //! * random racy synchronization-only programs preserve counter totals on
 //!   every protocol (write serialization + atomicity of the registration
 //!   path).
+//!
+//! Every case derives from a fixed seed via `DetRng::split`, so a failure
+//! message's case index is enough to reproduce it exactly.
 
 use denovosync_suite::core::config::{Protocol, SystemConfig};
 use denovosync_suite::core::System;
+use dvs_engine::DetRng;
 use dvs_kernels::sync::{emit_prologue, TreeBarrier, ITER, ITERS};
 use dvs_mem::{Addr, LayoutBuilder, MemoryLayout, LINE_BYTES};
 use dvs_vm::isa::{Cond, Reg};
 use dvs_vm::reference::RefMachine;
 use dvs_vm::{Asm, Program};
-use proptest::prelude::*;
+
+/// Root seed for every randomized test in this file.
+const SEED: u64 = 0xDE40_505C;
 
 // ---------------------------------------------------------------------------
 // 1. VM ALU semantics vs a direct evaluator.
@@ -37,22 +44,24 @@ enum AluOp {
     Addi(u8, u8, i32),
 }
 
-fn alu_op_strategy() -> impl Strategy<Value = AluOp> {
-    let r = 0u8..12;
-    prop_oneof![
-        (r.clone(), any::<u64>()).prop_map(|(d, v)| AluOp::Movi(d, v)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Add(d, a, b)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Sub(d, a, b)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Mul(d, a, b)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Div(d, a, b)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Rem(d, a, b)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::And(d, a, b)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Or(d, a, b)),
-        (r.clone(), r.clone(), r.clone()).prop_map(|(d, a, b)| AluOp::Xor(d, a, b)),
-        (r.clone(), r.clone(), 0u8..64).prop_map(|(d, a, s)| AluOp::Shl(d, a, s)),
-        (r.clone(), r.clone(), 0u8..64).prop_map(|(d, a, s)| AluOp::Shr(d, a, s)),
-        (r.clone(), r, any::<i32>()).prop_map(|(d, a, i)| AluOp::Addi(d, a, i)),
-    ]
+fn random_alu_op(rng: &mut DetRng) -> AluOp {
+    let d = rng.below(12) as u8;
+    let a = rng.below(12) as u8;
+    let b = rng.below(12) as u8;
+    match rng.below(12) {
+        0 => AluOp::Movi(d, rng.next_u64()),
+        1 => AluOp::Add(d, a, b),
+        2 => AluOp::Sub(d, a, b),
+        3 => AluOp::Mul(d, a, b),
+        4 => AluOp::Div(d, a, b),
+        5 => AluOp::Rem(d, a, b),
+        6 => AluOp::And(d, a, b),
+        7 => AluOp::Or(d, a, b),
+        8 => AluOp::Xor(d, a, b),
+        9 => AluOp::Shl(d, a, rng.below(64) as u8),
+        10 => AluOp::Shr(d, a, rng.below(64) as u8),
+        _ => AluOp::Addi(d, a, rng.next_u64() as i32),
+    }
 }
 
 fn eval_alu(ops: &[AluOp]) -> [u64; 12] {
@@ -74,9 +83,7 @@ fn eval_alu(ops: &[AluOp]) -> [u64; 12] {
             AluOp::Xor(d, a, b) => r[d as usize] = r[a as usize] ^ r[b as usize],
             AluOp::Shl(d, a, s) => r[d as usize] = r[a as usize] << (s & 63),
             AluOp::Shr(d, a, s) => r[d as usize] = r[a as usize] >> (s & 63),
-            AluOp::Addi(d, a, i) => {
-                r[d as usize] = r[a as usize].wrapping_add(i as i64 as u64)
-            }
+            AluOp::Addi(d, a, i) => r[d as usize] = r[a as usize].wrapping_add(i as i64 as u64),
         }
     }
     r
@@ -104,16 +111,22 @@ fn assemble_alu(ops: &[AluOp]) -> Program {
     a.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn vm_alu_matches_direct_evaluation(ops in proptest::collection::vec(alu_op_strategy(), 1..60)) {
+#[test]
+fn vm_alu_matches_direct_evaluation() {
+    let root = DetRng::new(SEED);
+    for case in 0..64u64 {
+        let mut rng = root.split(case);
+        let len = rng.range(1, 60) as usize;
+        let ops: Vec<AluOp> = (0..len).map(|_| random_alu_op(&mut rng)).collect();
         let mut m = RefMachine::new(vec![assemble_alu(&ops)]);
         m.run(1_000).expect("alu program halts");
         let expected = eval_alu(&ops);
         for (i, &want) in expected.iter().enumerate() {
-            prop_assert_eq!(m.thread(0).reg(Reg(i as u8)), want, "r{}", i);
+            assert_eq!(
+                m.thread(0).reg(Reg(i as u8)),
+                want,
+                "case {case}: r{i} ops {ops:?}"
+            );
         }
     }
 }
@@ -133,18 +146,17 @@ struct DrfCase {
     reads: Vec<(usize, u64)>,
 }
 
-fn drf_case() -> impl Strategy<Value = DrfCase> {
-    (1u64..4, 1u64..6).prop_flat_map(|(phases, slice_words)| {
-        proptest::collection::vec(
-            (0..DRF_THREADS, 0..slice_words),
-            (phases as usize) * DRF_THREADS,
-        )
-        .prop_map(move |reads| DrfCase {
-            phases,
-            slice_words,
-            reads,
-        })
-    })
+fn random_drf_case(rng: &mut DetRng) -> DrfCase {
+    let phases = rng.range(1, 4);
+    let slice_words = rng.range(1, 6);
+    let reads = (0..phases as usize * DRF_THREADS)
+        .map(|_| (rng.below(DRF_THREADS), rng.range(0, slice_words)))
+        .collect();
+    DrfCase {
+        phases,
+        slice_words,
+        reads,
+    }
 }
 
 /// Builds: each phase, thread t writes `phase*4096 + t*97 + j` to its own
@@ -155,11 +167,7 @@ fn build_drf(case: &DrfCase) -> (MemoryLayout, Vec<Program>, Addr) {
     let sync = lb.region("sync");
     let data = lb.region("data");
     let results = lb.segment("results", DRF_THREADS as u64 * LINE_BYTES, data);
-    let slices = lb.segment(
-        "slices",
-        DRF_THREADS as u64 * case.slice_words * 8,
-        data,
-    );
+    let slices = lb.segment("slices", DRF_THREADS as u64 * case.slice_words * 8, data);
     let barrier = TreeBarrier {
         arrive: lb.segment("arrive", DRF_THREADS as u64 * LINE_BYTES, sync),
         go: lb.segment("go", DRF_THREADS as u64 * LINE_BYTES, sync),
@@ -229,28 +237,35 @@ fn expected_drf(case: &DrfCase) -> Vec<u64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn drf_programs_agree_on_every_protocol(case in drf_case()) {
+#[test]
+fn drf_programs_agree_on_every_protocol() {
+    let root = DetRng::new(SEED ^ 0xD2F);
+    for case_i in 0..12u64 {
+        let mut rng = root.split(case_i);
+        let case = random_drf_case(&mut rng);
         let expected = expected_drf(&case);
         // Untimed SC reference.
         let (_, programs, results) = build_drf(&case);
         let mut m = RefMachine::new(programs);
         m.run(10_000_000).expect("reference");
         for (tid, &want) in expected.iter().enumerate() {
-            let got = m.memory().read_word(Addr::new(results.raw() + tid as u64 * LINE_BYTES).word());
-            prop_assert_eq!(got, want, "reference tid {}", tid);
+            let got = m
+                .memory()
+                .read_word(Addr::new(results.raw() + tid as u64 * LINE_BYTES).word());
+            assert_eq!(got, want, "case {case_i}: reference tid {tid}");
         }
         // Timed protocols.
         for proto in Protocol::ALL {
             let (layout, programs, results) = build_drf(&case);
             let mut sys = System::new(SystemConfig::small(DRF_THREADS, proto), layout, programs);
-            sys.run().map_err(|e| TestCaseError::fail(format!("{proto:?}: {e}")))?;
+            sys.run()
+                .unwrap_or_else(|e| panic!("case {case_i} {proto:?}: {e}"));
             for (tid, &want) in expected.iter().enumerate() {
                 let got = sys.read_word(Addr::new(results.raw() + tid as u64 * LINE_BYTES));
-                prop_assert_eq!(got, want, "{:?} tid {} (stale data visible?)", proto, tid);
+                assert_eq!(
+                    got, want,
+                    "case {case_i} {proto:?} tid {tid} (stale data visible?)"
+                );
             }
         }
     }
@@ -268,23 +283,30 @@ struct RacyCase {
     threads: usize,
 }
 
-fn racy_case() -> impl Strategy<Value = RacyCase> {
-    (2usize..=4, 1usize..12).prop_flat_map(|(threads, steps)| {
-        proptest::collection::vec((0u8..3, 0u8..3), threads * steps)
-            .prop_map(move |ops| RacyCase { ops, threads })
-    })
+fn random_racy_case(rng: &mut DetRng) -> RacyCase {
+    let threads = rng.range(2, 5) as usize;
+    let steps = rng.range(1, 12) as usize;
+    let ops = (0..threads * steps)
+        .map(|_| (rng.below(3) as u8, rng.below(3) as u8))
+        .collect();
+    RacyCase { ops, threads }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn racy_sync_totals_are_exact_on_every_protocol(case in racy_case()) {
+#[test]
+fn racy_sync_totals_are_exact_on_every_protocol() {
+    let root = DetRng::new(SEED ^ 0x4AC7);
+    for case_i in 0..12u64 {
+        let mut rng = root.split(case_i);
+        let case = random_racy_case(&mut rng);
         let steps = case.ops.len() / case.threads;
         // Expected per-counter totals.
         let mut expected = [0u64; 3];
         for &(c, op) in &case.ops {
-            expected[c as usize] += match op { 0 => 1, 1 => 2, _ => 1 };
+            expected[c as usize] += match op {
+                0 => 1,
+                1 => 2,
+                _ => 1,
+            };
         }
         let build = || {
             let mut lb = LayoutBuilder::new();
@@ -329,7 +351,10 @@ proptest! {
         };
         for proto in Protocol::ALL {
             let (layout, programs, counters) = build();
-            let n = match case.threads { 2 | 3 => 4, n => n }; // square mesh
+            let n = match case.threads {
+                2 | 3 => 4,
+                n => n,
+            }; // square mesh
             let mut padded = programs;
             while padded.len() < n {
                 let mut a = Asm::new("idle");
@@ -337,18 +362,25 @@ proptest! {
                 padded.push(a.build());
             }
             let mut sys = System::new(SystemConfig::small(n, proto), layout, padded);
-            sys.run().map_err(|e| TestCaseError::fail(format!("{proto:?}: {e}")))?;
+            sys.run()
+                .unwrap_or_else(|e| panic!("case {case_i} {proto:?}: {e}"));
             for (i, &want) in expected.iter().enumerate() {
                 let got = sys.read_word(counters[i]);
-                prop_assert_eq!(got, want, "{:?} counter {} (lost update?)", proto, i);
+                assert_eq!(
+                    got, want,
+                    "case {case_i} {proto:?} counter {i} (lost update?)"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn final_sync_value_is_some_threads_write(
-        writes in proptest::collection::vec(1u64..100, 2..6)
-    ) {
+#[test]
+fn final_sync_value_is_some_threads_write() {
+    let root = DetRng::new(SEED ^ 0x5EA1);
+    for case_i in 0..12u64 {
+        let mut rng = root.split(case_i);
+        let writes: Vec<u64> = (0..rng.range(2, 6)).map(|_| rng.range(1, 100)).collect();
         // Every thread sync-stores its value once; the final value must be
         // one of them (write serialization: no blends, no losses).
         for proto in Protocol::ALL {
@@ -369,9 +401,13 @@ proptest! {
                 })
                 .collect();
             let mut sys = System::new(SystemConfig::small(n, proto), lb.build(), programs);
-            sys.run().map_err(|e| TestCaseError::fail(format!("{proto:?}: {e}")))?;
+            sys.run()
+                .unwrap_or_else(|e| panic!("case {case_i} {proto:?}: {e}"));
             let got = sys.read_word(var);
-            prop_assert!(writes.contains(&got), "{:?}: final {} not among writes {:?}", proto, got, writes);
+            assert!(
+                writes.contains(&got),
+                "case {case_i} {proto:?}: final {got} not among writes {writes:?}"
+            );
         }
     }
 }
@@ -380,11 +416,11 @@ proptest! {
 // 4. Spin/watch robustness: a waiter always observes a flag write.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn flag_handoff_never_loses_the_wakeup(delay in 0u64..400) {
+#[test]
+fn flag_handoff_never_loses_the_wakeup() {
+    let root = DetRng::new(SEED ^ 0xF1A6);
+    for case_i in 0..16u64 {
+        let delay = root.split(case_i).range(0, 400);
         // One producer sets a flag after a random delay; three consumers
         // spin. Lost-wakeup bugs in the watch mechanism deadlock this.
         for proto in Protocol::ALL {
@@ -408,13 +444,18 @@ proptest! {
                 })
                 .collect();
             let mut sys = System::new(SystemConfig::small(4, proto), lb.build(), programs);
-            sys.run().map_err(|e| TestCaseError::fail(format!("{proto:?} delay {delay}: {e}")))?;
-            prop_assert_eq!(sys.read_word(flag), 1);
+            sys.run()
+                .unwrap_or_else(|e| panic!("{proto:?} delay {delay}: {e}"));
+            assert_eq!(sys.read_word(flag), 1);
         }
     }
+}
 
-    #[test]
-    fn tid_values_flow_through_registers(seed in any::<u64>()) {
+#[test]
+fn tid_values_flow_through_registers() {
+    let root = DetRng::new(SEED ^ 0x71D);
+    for case_i in 0..16u64 {
+        let seed = root.split(case_i).next_u64();
         // Register writes never bleed across threads.
         let n = 4;
         let programs: Vec<Program> = (0..n)
@@ -430,7 +471,7 @@ proptest! {
         let mut m = RefMachine::new(programs);
         m.run(1_000).expect("halts");
         for t in 0..n {
-            prop_assert_eq!(m.thread(t).reg(Reg(3)), t as u64 + seed % 1000);
+            assert_eq!(m.thread(t).reg(Reg(3)), t as u64 + seed % 1000);
         }
     }
 }

@@ -149,8 +149,11 @@ fn signatures_cut_misses_on_read_mostly_critical_sections() {
         &build(),
     )
     .expect("static run");
-    let sig_run = run_workload(cfg(Protocol::DeNovoSync, DataInvalidation::Signatures), &build())
-        .expect("signature run");
+    let sig_run = run_workload(
+        cfg(Protocol::DeNovoSync, DataInvalidation::Signatures),
+        &build(),
+    )
+    .expect("signature run");
     assert!(
         sig_run.cache.data_read_misses < static_run.cache.data_read_misses / 2,
         "read-mostly CS: signature misses {} should be well under static {}",
@@ -195,9 +198,17 @@ fn signatures_help_fluidanimate() {
 fn mesi_is_unaffected_by_invalidation_mode() {
     let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
     let params = KernelParams::smoke(4);
-    let a = run_kernel(kernel, cfg(Protocol::Mesi, DataInvalidation::StaticRegions), &params)
-        .unwrap();
-    let b = run_kernel(kernel, cfg(Protocol::Mesi, DataInvalidation::Signatures), &params)
-        .unwrap();
+    let a = run_kernel(
+        kernel,
+        cfg(Protocol::Mesi, DataInvalidation::StaticRegions),
+        &params,
+    )
+    .unwrap();
+    let b = run_kernel(
+        kernel,
+        cfg(Protocol::Mesi, DataInvalidation::Signatures),
+        &params,
+    )
+    .unwrap();
     assert_eq!(a, b);
 }

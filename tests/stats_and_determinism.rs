@@ -59,7 +59,10 @@ fn seeds_change_timing_not_results() {
 #[test]
 fn time_breakdowns_are_bounded_by_run_length() {
     for proto in Protocol::ALL {
-        let stats = smoke_run(KernelId::Locked(LockedStruct::Counter, LockKind::Tatas), proto);
+        let stats = smoke_run(
+            KernelId::Locked(LockedStruct::Counter, LockKind::Tatas),
+            proto,
+        );
         for (core, b) in stats.per_core.iter().enumerate() {
             assert!(
                 b.total() <= stats.cycles + 16,
@@ -167,7 +170,12 @@ fn ds0_sync_reads_register() {
     let mut params = KernelParams::smoke(4);
     params.iters = 10;
     let mesi = run_kernel(kernel, SystemConfig::small(4, Protocol::Mesi), &params).unwrap();
-    let ds0 = run_kernel(kernel, SystemConfig::small(4, Protocol::DeNovoSync0), &params).unwrap();
+    let ds0 = run_kernel(
+        kernel,
+        SystemConfig::small(4, Protocol::DeNovoSync0),
+        &params,
+    )
+    .unwrap();
     assert!(
         ds0.cache.sync_read_misses > mesi.cache.sync_read_misses,
         "DS0 {} vs MESI {}: read registration must show up as misses",
