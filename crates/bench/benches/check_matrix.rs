@@ -1,0 +1,139 @@
+//! Model-checker matrix artifact: every litmus test, on every protocol,
+//! exhaustively explored by `dvs-check`, plus the parallel-scaling curve.
+//!
+//! Writes `BENCH_check.json` (machine-readable) and prints a summary table.
+//! Reported per cell: states explored, dedup hit rate, and the sleep-set
+//! partial-order-reduction factor (transitions a reduction-free exploration
+//! of the same space fires, divided by what the reduced exploration fires —
+//! both verdicts must agree). The scaling section runs the largest suite
+//! workload (4-contender TATAS) at 1, 2, and 4 workers and reports
+//! states/second; the acceptance bar is ≥ 2× at 4 workers *on a host with
+//! at least 4 CPUs* — the artifact records `host_parallelism` so a
+//! single-core CI box (where extra workers can only add overhead) is
+//! distinguishable from a genuine scaling regression.
+
+use std::time::Instant;
+
+use dvs_check::{check_litmus, CheckConfig, CheckReport, Verdict};
+use dvs_core::config::Protocol;
+use dvs_stats::report::{JsonObject, ParamTable};
+use dvs_vm::litmus::{self, Litmus};
+
+fn run(lit: &Litmus, proto: Protocol, workers: usize, por: bool) -> (CheckReport, f64) {
+    let cfg = CheckConfig {
+        workers,
+        por,
+        ..CheckConfig::default()
+    };
+    let start = Instant::now();
+    let report = check_litmus(lit, proto, None, &cfg);
+    let wall = start.elapsed().as_secs_f64();
+    if let Verdict::Violated(ce) = &report.verdict {
+        panic!("{} on {proto:?}: violation found: {}", lit.name, ce.failure);
+    }
+    assert!(
+        report.stats.complete,
+        "{} on {proto:?}: exploration truncated",
+        lit.name
+    );
+    (report, wall)
+}
+
+fn matrix_cell(lit: &Litmus, proto: Protocol) -> JsonObject {
+    let (with_por, wall_por) = run(lit, proto, 1, true);
+    let (without, wall_full) = run(lit, proto, 1, false);
+    assert_eq!(
+        with_por.stats.unique_states, without.stats.unique_states,
+        "{} on {proto:?}: POR changed the reachable state set",
+        lit.name
+    );
+    let s = with_por.stats;
+    let mut cell = JsonObject::new();
+    cell.str("litmus", lit.name)
+        .str("protocol", proto.label())
+        .u64("unique_states", s.unique_states)
+        .u64("expansions", s.expansions)
+        .u64("transitions_fired", s.transitions_fired)
+        .u64("sleep_skips", s.sleep_skips)
+        .u64("dedup_hits", s.dedup_hits)
+        .f64(
+            "dedup_hit_rate",
+            s.dedup_hits as f64 / (s.expansions + s.dedup_hits).max(1) as f64,
+        )
+        .f64(
+            "por_reduction_factor",
+            without.stats.transitions_fired as f64 / s.transitions_fired.max(1) as f64,
+        )
+        .u64("max_depth", s.max_depth_seen as u64)
+        .f64("wall_s_por", wall_por)
+        .f64("wall_s_full", wall_full);
+    cell
+}
+
+fn scaling() -> (Vec<JsonObject>, f64) {
+    let lit = litmus::tatas_n(4);
+    let proto = Protocol::Mesi;
+    let mut rows = Vec::new();
+    let mut rate1 = 0.0;
+    let mut speedup4 = 0.0;
+    for workers in [1usize, 2, 4] {
+        let (report, wall) = run(&lit, proto, workers, true);
+        let rate = report.stats.unique_states as f64 / wall;
+        if workers == 1 {
+            rate1 = rate;
+        }
+        if workers == 4 {
+            speedup4 = rate / rate1;
+        }
+        let mut row = JsonObject::new();
+        row.str("litmus", lit.name)
+            .str("protocol", proto.label())
+            .u64("workers", workers as u64)
+            .u64("unique_states", report.stats.unique_states)
+            .f64("wall_s", wall)
+            .f64("states_per_sec", rate)
+            .f64("speedup_vs_1", rate / rate1);
+        rows.push(row);
+    }
+    (rows, speedup4)
+}
+
+fn main() {
+    let mut matrix = Vec::new();
+    for lit in Litmus::all() {
+        for proto in Protocol::ALL {
+            matrix.push(matrix_cell(&lit, proto));
+        }
+    }
+    let (scaling_rows, speedup4) = scaling();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut summary = ParamTable::new("Model-checker matrix");
+    summary
+        .row("litmus tests", Litmus::all().len())
+        .row("protocols", Protocol::ALL.len())
+        .row("verdicts", "all verified, complete")
+        .row("scaling workload", "tatas4 on MESI, workers 1/2/4")
+        .row("host CPUs", host_cpus)
+        .row(
+            "4-worker speedup",
+            if host_cpus >= 4 {
+                format!("{speedup4:.2}x")
+            } else {
+                format!("{speedup4:.2}x (host has {host_cpus} CPU(s); not meaningful)")
+            },
+        );
+    print!("{}", summary.render());
+
+    let mut root = JsonObject::new();
+    root.str("bench", "check_matrix")
+        .u64("host_parallelism", host_cpus as u64)
+        .array("matrix", matrix)
+        .array("scaling", scaling_rows)
+        .f64("speedup_4_workers", speedup4);
+    let json = root.render();
+    // Anchor to the workspace root regardless of the bench binary's cwd.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_check.json");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}

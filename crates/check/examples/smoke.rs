@@ -1,0 +1,55 @@
+//! CI smoke stage for the model checker (see `scripts/ci.sh`).
+//!
+//! Bounded-depth check of the two smallest litmus tests under every
+//! protocol — each space is small enough to explore exhaustively in well
+//! under a minute even on one CPU — plus one seeded-mutation cell to prove
+//! the detection path end to end (found, minimized, replayed). The full
+//! matrix, including TATAS and all four mutations, lives in
+//! `crates/check/tests/check.rs` and the `check_matrix` bench.
+
+use dvs_check::{check_litmus, replay_litmus, CheckConfig, Verdict};
+use dvs_core::config::{Protocol, ProtocolMutation};
+use dvs_vm::litmus::Litmus;
+
+fn main() {
+    let cfg = CheckConfig {
+        workers: 2,
+        max_depth: 200,
+        max_states: 100_000,
+        ..CheckConfig::default()
+    };
+
+    for name in ["corr", "sb"] {
+        let lit = Litmus::by_name(name).expect("suite litmus");
+        for proto in Protocol::ALL {
+            let report = check_litmus(&lit, proto, None, &cfg);
+            assert_eq!(
+                report.verdict,
+                Verdict::Verified,
+                "{name} on {proto:?} must verify"
+            );
+            assert!(report.stats.complete, "{name} on {proto:?} truncated");
+            // Print only worker-schedule-independent quantities so two runs
+            // of this binary diff clean (expansion/transition counts vary
+            // with thread scheduling; the state set does not).
+            println!(
+                "ok {name:5} {proto:?}: {} states",
+                report.stats.unique_states
+            );
+        }
+    }
+
+    // Negative control: a seeded protocol bug must be caught and replay.
+    let lit = Litmus::by_name("tatas").expect("suite litmus");
+    let (proto, mutation) = (Protocol::Mesi, ProtocolMutation::MesiSkipInvalidate);
+    let report = check_litmus(&lit, proto, Some(mutation), &cfg);
+    let Verdict::Violated(ce) = &report.verdict else {
+        panic!("{mutation:?} must be caught on {} / {proto:?}", lit.name);
+    };
+    let replayed = replay_litmus(&lit, proto, Some(mutation), ce).expect("counterexample replays");
+    println!(
+        "ok tatas {proto:?} + {mutation:?}: caught in {} deliveries ({replayed})",
+        ce.picks.len()
+    );
+    println!("checker smoke OK");
+}

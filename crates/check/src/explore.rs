@@ -1,0 +1,523 @@
+//! The parallel sleep-set explorer.
+//!
+//! Explores every message-delivery interleaving of a [`StepOracle`] machine
+//! from its initial state, up to configurable depth/state budgets, checking
+//! for recorded protocol errors, deadlocks, and final-state property
+//! violations.
+//!
+//! # State space
+//!
+//! A *state* is a quiesced machine: every core-local event has run, so the
+//! only enabled transitions are channel deliveries ([`StepOracle::enabled`]).
+//! Two states are identified iff their canonical fingerprints
+//! ([`StepOracle::fingerprint`]) match — a 64-bit hash, so the visited set
+//! is sound up to hash collisions (≈ `n²/2⁶⁴` for `n` states; negligible at
+//! the ≤10⁶-state spaces this checker targets, and any collision only
+//! *under*-explores, it cannot fabricate a violation).
+//!
+//! # Partial-order reduction
+//!
+//! Classic sleep sets (Godefroid) over the delivery-dependence relation
+//! [`ChannelKey::depends`]: deliveries to distinct endpoints commute (each
+//! mutates only its destination controller; memory controllers are mutually
+//! dependent through the shared memory image), so of the `k!` orders of `k`
+//! pairwise-independent deliveries only one is explored. Sleep sets compose
+//! with the visited set via the *subset-prune* rule: the visited entry for a
+//! fingerprint stores the sleep set (and depth) it was last expanded with,
+//! and a revisit is pruned only if its sleep set is a superset (nothing new
+//! would be explored) **and** it is not shallower (nothing new fits in the
+//! depth budget). Otherwise the entry is weakened to the intersection /
+//! minimum and the state re-expanded. Expansion is therefore monotone and
+//! converges to a least fixpoint, making the final visited *set*
+//! deterministic across runs and worker counts even though scheduling
+//! racing makes the expansion *count* vary.
+//!
+//! # Parallelism
+//!
+//! Plain OS threads over a shared injector deque. Each worker pops one node,
+//! then runs a depth-first local chain (expand, keep one child, donate the
+//! rest to the deque and wake siblings), which keeps the hot path off the
+//! lock and spreads work without per-worker deques. Termination is the
+//! classic "queue empty and no worker active" condition under one mutex.
+
+use dvs_core::oracle::{ChannelKey, StepOracle};
+use dvs_core::system::SimError;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Exploration budgets and strategy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Worker threads. 1 = sequential.
+    pub workers: usize,
+    /// Maximum deliveries along any one path. Paths that reach the bound
+    /// without terminating mark the run incomplete. The default is high
+    /// enough that the visited set, not the depth, bounds exploration.
+    pub max_depth: usize,
+    /// Maximum node expansions (including sleep-set re-expansions) before
+    /// the run gives up and marks itself incomplete.
+    pub max_states: u64,
+    /// Enable sleep-set partial-order reduction. Disabling explores the
+    /// full interleaving tree (modulo the visited set) — used to measure
+    /// the reduction factor and by soundness cross-checks.
+    pub por: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            workers: 1,
+            max_depth: 100_000,
+            max_states: 2_000_000,
+            por: true,
+        }
+    }
+}
+
+/// Counters describing one exploration run.
+///
+/// `unique_states` is deterministic for a given model and config (see the
+/// module docs); the other counters depend on scheduling and are reported
+/// for diagnostics and benchmarking only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Distinct canonical fingerprints visited.
+    pub unique_states: u64,
+    /// Node expansions, including sleep-set/depth re-expansions.
+    pub expansions: u64,
+    /// Deliveries actually performed (edges walked).
+    pub transitions_fired: u64,
+    /// Sum of enabled-transition counts over all expansions — what a
+    /// reduction-free explorer would have fired from the same states.
+    pub transitions_enabled: u64,
+    /// Transitions skipped because they were in the sleep set.
+    pub sleep_skips: u64,
+    /// Revisits pruned by the visited set.
+    pub dedup_hits: u64,
+    /// Deepest path expanded.
+    pub max_depth_seen: usize,
+    /// Whether every within-budget state was fully expanded. `false` means
+    /// a depth or state budget was hit and "no violation" is only a
+    /// bounded claim.
+    pub complete: bool,
+}
+
+/// What went wrong in a violating execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// The machine recorded an error: a runtime coherence-invariant
+    /// violation, a VM assertion, or a deadlock (empty channels with
+    /// threads still running).
+    Sim(SimError),
+    /// All threads halted cleanly but the final memory state violated the
+    /// model's property (e.g. a litmus test's SC verdict).
+    FinalState(String),
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Sim(e) => write!(f, "{e}"),
+            Failure::FinalState(msg) => write!(f, "final state violates property: {msg}"),
+        }
+    }
+}
+
+/// A violating execution: the delivery schedule from the initial state and
+/// the failure it ends in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The channel picked at each delivery, in order. Feed to
+    /// [`SchedulePlan`](dvs_core::oracle::SchedulePlan) for replay on the
+    /// real system.
+    pub picks: Vec<ChannelKey>,
+    /// How the execution fails after the last pick.
+    pub failure: Failure,
+    /// Whether `picks` is the minimizer's shortest deterministic schedule
+    /// (`true`) or a raw parallel-search artifact (`false`, only if the
+    /// minimizer's budget ran out — not expected in practice).
+    pub minimized: bool,
+}
+
+/// The checker's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// No reachable violation within the explored bounds
+    /// ([`CheckStats::complete`] says whether the bounds truncated
+    /// anything).
+    Verified,
+    /// A violating execution exists.
+    Violated(Counterexample),
+}
+
+/// Verdict plus run statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// The answer.
+    pub verdict: Verdict,
+    /// How much work it took.
+    pub stats: CheckStats,
+}
+
+/// The model's terminal-state property: `Err(description)` when a cleanly
+/// halted final state is wrong.
+pub type FinalCheck<'a, S> = dyn Fn(&S) -> Result<(), String> + Sync + 'a;
+
+/// Classifies a quiesced state: `Some` if it is a violation (recorded
+/// error, deadlock, or — when no transition remains — a failed final-state
+/// property).
+pub fn failure_of<S: StepOracle>(sys: &S, final_ok: &FinalCheck<'_, S>) -> Option<Failure> {
+    if let Some(e) = sys.error() {
+        return Some(Failure::Sim(e.clone()));
+    }
+    if sys.enabled().is_empty() {
+        if sys.all_halted() {
+            if let Err(msg) = final_ok(sys) {
+                return Some(Failure::FinalState(msg));
+            }
+            None
+        } else {
+            Some(Failure::Sim(sys.deadlock_error()))
+        }
+    } else {
+        None
+    }
+}
+
+struct Node<S> {
+    sys: S,
+    depth: usize,
+    sleep: Vec<ChannelKey>,
+    path: Vec<ChannelKey>,
+}
+
+/// Visited-set shard count; fingerprints spread across shards to keep lock
+/// contention off the hot path.
+const SHARDS: usize = 64;
+
+/// One visited-set shard: fingerprint → (sleep set stored for that state,
+/// minimal depth at which it was reached). See [`Shared::admit`].
+type VisitedShard = Mutex<HashMap<u64, (Vec<ChannelKey>, usize)>>;
+
+struct QState<S> {
+    items: VecDeque<Node<S>>,
+    active: usize,
+    stopped: bool,
+}
+
+struct Shared<'m, S: StepOracle> {
+    cfg: CheckConfig,
+    final_ok: &'m FinalCheck<'m, S>,
+    queue: Mutex<QState<S>>,
+    available: Condvar,
+    visited: Vec<VisitedShard>,
+    expansions: AtomicU64,
+    truncated: AtomicBool,
+    /// Best (shortest, then lexicographically least) violating path found
+    /// so far — an upper bound for the minimizer, not the final answer.
+    found: Mutex<Option<(Vec<ChannelKey>, Failure)>>,
+}
+
+impl<'m, S: StepOracle + Send> Shared<'m, S> {
+    fn pop(&self) -> Option<Node<S>> {
+        let mut g = self.queue.lock().unwrap();
+        loop {
+            if g.stopped {
+                return None;
+            }
+            if let Some(n) = g.items.pop_front() {
+                g.active += 1;
+                return Some(n);
+            }
+            if g.active == 0 {
+                return None;
+            }
+            g = self.available.wait(g).unwrap();
+        }
+    }
+
+    fn donate(&self, nodes: Vec<Node<S>>) {
+        if nodes.is_empty() {
+            return;
+        }
+        let mut g = self.queue.lock().unwrap();
+        g.items.extend(nodes);
+        drop(g);
+        self.available.notify_all();
+    }
+
+    fn chain_done(&self) {
+        let mut g = self.queue.lock().unwrap();
+        g.active -= 1;
+        if g.active == 0 && g.items.is_empty() {
+            drop(g);
+            self.available.notify_all();
+        }
+    }
+
+    fn stopped(&self) -> bool {
+        self.queue.lock().unwrap().stopped
+    }
+
+    fn record_violation(&self, path: Vec<ChannelKey>, failure: Failure) {
+        let mut best = self.found.lock().unwrap();
+        let better = match &*best {
+            None => true,
+            Some((p, _)) => (path.len(), &path) < (p.len(), p),
+        };
+        if better {
+            *best = Some((path, failure));
+        }
+        drop(best);
+        let mut g = self.queue.lock().unwrap();
+        g.stopped = true;
+        drop(g);
+        self.available.notify_all();
+    }
+
+    /// Visited-set gate for a node about to be expanded. Returns the sleep
+    /// set to expand with, or `None` to prune.
+    fn admit(&self, fp: u64, sleep: &[ChannelKey], depth: usize) -> Option<Vec<ChannelKey>> {
+        let shard = &self.visited[(fp % SHARDS as u64) as usize];
+        let mut map = shard.lock().unwrap();
+        match map.get_mut(&fp) {
+            None => {
+                map.insert(fp, (sleep.to_vec(), depth));
+                Some(sleep.to_vec())
+            }
+            Some((stored, stored_depth)) => {
+                let subset = stored.iter().all(|k| sleep.contains(k));
+                if subset && *stored_depth <= depth {
+                    return None;
+                }
+                let merged: Vec<ChannelKey> = stored
+                    .iter()
+                    .filter(|k| sleep.contains(k))
+                    .copied()
+                    .collect();
+                *stored = merged.clone();
+                *stored_depth = (*stored_depth).min(depth);
+                Some(merged)
+            }
+        }
+    }
+
+    /// Expands one node: classify, gate through the visited set, fire every
+    /// non-slept transition. Returns the children to continue with.
+    fn expand(&self, node: Node<S>, stats: &mut CheckStats) -> Vec<Node<S>> {
+        if let Some(f) = failure_of(&node.sys, self.final_ok) {
+            self.record_violation(node.path, f);
+            return Vec::new();
+        }
+        let fp = node.sys.fingerprint();
+        let Some(sleep) = self.admit(fp, &node.sleep, node.depth) else {
+            stats.dedup_hits += 1;
+            return Vec::new();
+        };
+        if node.depth >= self.cfg.max_depth
+            || self.expansions.fetch_add(1, Ordering::Relaxed) >= self.cfg.max_states
+        {
+            self.truncated.store(true, Ordering::Relaxed);
+            return Vec::new();
+        }
+        stats.expansions += 1;
+        stats.max_depth_seen = stats.max_depth_seen.max(node.depth);
+        let enabled = node.sys.enabled();
+        stats.transitions_enabled += enabled.len() as u64;
+        let mut explored: Vec<ChannelKey> = Vec::new();
+        let mut children = Vec::new();
+        for t in enabled {
+            if self.cfg.por && sleep.contains(&t) {
+                stats.sleep_skips += 1;
+                continue;
+            }
+            let mut child = node.sys.clone();
+            let fired = child.fire(t);
+            debug_assert!(fired, "enabled transition must fire");
+            stats.transitions_fired += 1;
+            let child_sleep = if self.cfg.por {
+                let mut cs: Vec<ChannelKey> = sleep
+                    .iter()
+                    .chain(explored.iter())
+                    .filter(|u| !u.depends(t))
+                    .copied()
+                    .collect();
+                cs.sort_unstable();
+                cs.dedup();
+                cs
+            } else {
+                Vec::new()
+            };
+            let mut child_path = node.path.clone();
+            child_path.push(t);
+            children.push(Node {
+                sys: child,
+                depth: node.depth + 1,
+                sleep: child_sleep,
+                path: child_path,
+            });
+            explored.push(t);
+        }
+        children
+    }
+
+    fn worker(&self) -> CheckStats {
+        let mut stats = CheckStats::default();
+        while let Some(seed) = self.pop() {
+            let mut local = vec![seed];
+            while let Some(node) = local.pop() {
+                if self.stopped() {
+                    break;
+                }
+                let mut children = self.expand(node, &mut stats);
+                // Keep one child for the local depth-first chain, donate
+                // the rest so idle workers can pick them up.
+                if let Some(next) = children.pop() {
+                    local.push(next);
+                }
+                self.donate(children);
+            }
+            self.chain_done();
+        }
+        stats
+    }
+}
+
+/// Explores the full bounded state space of `root` and reports.
+///
+/// If a violation is found, the reported counterexample is re-derived by the
+/// sequential [`minimize`] pass, so it is the shortest schedule (ties broken
+/// by canonical channel order) regardless of worker count or scheduling —
+/// the parallel phase only answers *whether* a violation exists and bounds
+/// the minimizer's search depth.
+pub fn explore<S>(root: &S, final_ok: &FinalCheck<'_, S>, cfg: &CheckConfig) -> CheckReport
+where
+    S: StepOracle + Send + Sync,
+{
+    assert!(cfg.workers >= 1, "need at least one worker");
+    let shared = Shared {
+        cfg: *cfg,
+        final_ok,
+        queue: Mutex::new(QState {
+            items: VecDeque::from([Node {
+                sys: root.clone(),
+                depth: 0,
+                sleep: Vec::new(),
+                path: Vec::new(),
+            }]),
+            active: 0,
+            stopped: false,
+        }),
+        available: Condvar::new(),
+        visited: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        expansions: AtomicU64::new(0),
+        truncated: AtomicBool::new(false),
+        found: Mutex::new(None),
+    };
+    let mut stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|_| scope.spawn(|| shared.worker()))
+            .collect();
+        let mut total = CheckStats {
+            complete: true,
+            ..CheckStats::default()
+        };
+        for h in handles {
+            let s = h.join().expect("checker worker panicked");
+            total.expansions += s.expansions;
+            total.transitions_fired += s.transitions_fired;
+            total.transitions_enabled += s.transitions_enabled;
+            total.sleep_skips += s.sleep_skips;
+            total.dedup_hits += s.dedup_hits;
+            total.max_depth_seen = total.max_depth_seen.max(s.max_depth_seen);
+        }
+        total
+    });
+    stats.unique_states = shared
+        .visited
+        .iter()
+        .map(|m| m.lock().unwrap().len() as u64)
+        .sum();
+    stats.complete = !shared.truncated.load(Ordering::Relaxed);
+    let found = shared.found.into_inner().unwrap();
+    let verdict = match found {
+        None => Verdict::Verified,
+        Some((path, failure)) => {
+            let ce = minimize(root, final_ok, path.len()).unwrap_or(Counterexample {
+                picks: path,
+                failure,
+                minimized: false,
+            });
+            stats.complete = false;
+            Verdict::Violated(ce)
+        }
+    };
+    CheckReport { verdict, stats }
+}
+
+/// Finds the shortest violating schedule of length ≤ `max_len`, determin-
+/// istically: iterative-deepening depth-first search in canonical channel
+/// order, *without* partial-order reduction (reduction preserves the
+/// existence of violations but not their minimal length), deduplicating
+/// states by (fingerprint, depth) within each deepening round.
+pub fn minimize<S: StepOracle>(
+    root: &S,
+    final_ok: &FinalCheck<'_, S>,
+    max_len: usize,
+) -> Option<Counterexample> {
+    if let Some(f) = failure_of(root, final_ok) {
+        return Some(Counterexample {
+            picks: Vec::new(),
+            failure: f,
+            minimized: true,
+        });
+    }
+    for target in 1..=max_len {
+        let mut visited: HashMap<u64, usize> = HashMap::new();
+        let mut path = Vec::new();
+        if let Some(ce) = dfs_to(root, final_ok, target, &mut path, &mut visited) {
+            return Some(ce);
+        }
+    }
+    None
+}
+
+fn dfs_to<S: StepOracle>(
+    sys: &S,
+    final_ok: &FinalCheck<'_, S>,
+    target: usize,
+    path: &mut Vec<ChannelKey>,
+    visited: &mut HashMap<u64, usize>,
+) -> Option<Counterexample> {
+    let depth = path.len();
+    let fp = sys.fingerprint();
+    match visited.get(&fp) {
+        Some(&d) if d <= depth => return None,
+        _ => {
+            visited.insert(fp, depth);
+        }
+    }
+    for t in sys.enabled() {
+        let mut child = sys.clone();
+        if !child.fire(t) {
+            continue;
+        }
+        path.push(t);
+        if let Some(f) = failure_of(&child, final_ok) {
+            return Some(Counterexample {
+                picks: path.clone(),
+                failure: f,
+                minimized: true,
+            });
+        }
+        if path.len() < target {
+            if let Some(ce) = dfs_to(&child, final_ok, target, path, visited) {
+                return Some(ce);
+            }
+        }
+        path.pop();
+    }
+    None
+}

@@ -1,0 +1,202 @@
+//! End-to-end model-checker tests: every litmus test verifies clean under
+//! every protocol, every seeded protocol mutation is caught with a
+//! minimized, deterministically replayable counterexample, and results do
+//! not depend on the worker count.
+
+use dvs_check::{check_litmus, replay_litmus, CheckConfig, Failure, Verdict};
+use dvs_core::config::{Protocol, ProtocolMutation};
+use dvs_core::system::SimError;
+use dvs_vm::litmus::{self, Litmus};
+
+fn cfg(workers: usize) -> CheckConfig {
+    CheckConfig {
+        workers,
+        ..CheckConfig::default()
+    }
+}
+
+/// Every litmus test, under every protocol, explores its complete state
+/// space without finding an invariant violation, deadlock, or SC failure.
+#[test]
+fn all_litmus_verified_under_all_protocols() {
+    for lit in Litmus::all() {
+        for proto in Protocol::ALL {
+            let report = check_litmus(&lit, proto, None, &cfg(2));
+            match &report.verdict {
+                Verdict::Verified => {}
+                Verdict::Violated(ce) => panic!(
+                    "{} under {proto:?}: unexpected violation after {} picks: {}\n  picks: {:?}",
+                    lit.name,
+                    ce.picks.len(),
+                    ce.failure,
+                    ce.picks
+                ),
+            }
+            assert!(
+                report.stats.complete,
+                "{} under {proto:?}: exploration truncated ({:?})",
+                lit.name, report.stats
+            );
+            assert!(report.stats.unique_states > 1);
+        }
+    }
+}
+
+/// The mutations each litmus test is expected to catch, and the protocol
+/// they apply to. A mutation is only observable if some interleaving makes
+/// a core rely on the dropped action. Under MESI, real `Inv`/`InvAck`
+/// traffic needs a line in S at one core while another upgrades to M —
+/// single-reader lines ride the E-state ownership-transfer path instead —
+/// which is exactly the TATAS contended-lock shape: the spin loser holds an
+/// S copy (downgrading the winner via FwdGetS) that the winner's release
+/// must invalidate. The DeNovo registry mutations need two cores contending
+/// for registration of one word, which SB's and MP's sync variables give.
+fn mutation_cases() -> Vec<(&'static str, Protocol, ProtocolMutation)> {
+    vec![
+        (
+            "tatas",
+            Protocol::Mesi,
+            ProtocolMutation::MesiSkipInvalidate,
+        ),
+        ("tatas", Protocol::Mesi, ProtocolMutation::MesiDropAck),
+        (
+            "sb",
+            Protocol::DeNovoSync0,
+            ProtocolMutation::DnvSkipRepoint,
+        ),
+        ("mp", Protocol::DeNovoSync, ProtocolMutation::DnvDropXfer),
+    ]
+}
+
+/// Every seeded protocol bug is detected within the default bounds, and the
+/// counterexample is the minimizer's (shortest, canonical) schedule.
+#[test]
+fn mutations_are_caught_with_minimized_counterexamples() {
+    for (name, proto, mutation) in mutation_cases() {
+        let lit = Litmus::by_name(name).unwrap();
+        let report = check_litmus(&lit, proto, Some(mutation), &cfg(2));
+        let Verdict::Violated(ce) = &report.verdict else {
+            panic!("{name} under {proto:?} with {mutation:?}: bug not caught ({report:?})");
+        };
+        assert!(
+            ce.minimized,
+            "{name}/{mutation:?}: counterexample not minimized"
+        );
+        assert!(
+            !ce.picks.is_empty(),
+            "{name}/{mutation:?}: empty counterexample"
+        );
+    }
+}
+
+/// Replaying an exported counterexample schedule on a fresh system
+/// reproduces the same failure, deterministically (twice).
+#[test]
+fn counterexamples_replay_deterministically() {
+    for (name, proto, mutation) in mutation_cases() {
+        let lit = Litmus::by_name(name).unwrap();
+        let report = check_litmus(&lit, proto, Some(mutation), &cfg(2));
+        let Verdict::Violated(ce) = report.verdict else {
+            panic!("{name} under {proto:?} with {mutation:?}: bug not caught");
+        };
+        let first = replay_litmus(&lit, proto, Some(mutation), &ce)
+            .unwrap_or_else(|e| panic!("{name}/{mutation:?}: {e}"));
+        let second = replay_litmus(&lit, proto, Some(mutation), &ce)
+            .unwrap_or_else(|e| panic!("{name}/{mutation:?}: {e}"));
+        assert_eq!(
+            first, second,
+            "{name}/{mutation:?}: replay not deterministic"
+        );
+        assert_eq!(
+            first, ce.failure,
+            "{name}/{mutation:?}: replay shows a different failure than the checker"
+        );
+        // A replayed simulator failure carries forensics: the violation
+        // detail is stamped with the delivery ordinal, and deadlocks carry
+        // a stall report.
+        if let Failure::Sim(e) = &first {
+            match e {
+                SimError::ProtocolViolation { detail, .. } => {
+                    assert!(
+                        detail.contains("[delivery #"),
+                        "violation detail lacks delivery ordinal: {detail}"
+                    );
+                }
+                SimError::Deadlock { report, .. } => {
+                    assert!(!report.cores.is_empty(), "empty stall report");
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Verdict, minimized counterexample, and the deterministic statistics are
+/// identical for 1, 2, and 4 workers.
+#[test]
+fn results_do_not_depend_on_worker_count() {
+    // A clean case: the full deterministic fixpoint is reached, so the
+    // unique-state count must match exactly.
+    let lit = litmus::sb();
+    let base = check_litmus(&lit, Protocol::DeNovoSync0, None, &cfg(1));
+    assert_eq!(base.verdict, Verdict::Verified);
+    for workers in [2, 4] {
+        let r = check_litmus(&lit, Protocol::DeNovoSync0, None, &cfg(workers));
+        assert_eq!(
+            r.verdict, base.verdict,
+            "{workers} workers: verdict differs"
+        );
+        assert_eq!(
+            r.stats.unique_states, base.stats.unique_states,
+            "{workers} workers: explored a different state set"
+        );
+    }
+    // A violating case: the minimized counterexample must be bit-identical.
+    let (name, proto, mutation) = (
+        "tatas",
+        Protocol::Mesi,
+        ProtocolMutation::MesiSkipInvalidate,
+    );
+    let lit = Litmus::by_name(name).unwrap();
+    let base = check_litmus(&lit, proto, Some(mutation), &cfg(1));
+    let Verdict::Violated(base_ce) = base.verdict else {
+        panic!("bug not caught at 1 worker");
+    };
+    for workers in [2, 4] {
+        let r = check_litmus(&lit, proto, Some(mutation), &cfg(workers));
+        let Verdict::Violated(ce) = r.verdict else {
+            panic!("bug not caught at {workers} workers");
+        };
+        assert_eq!(ce, base_ce, "{workers} workers: different counterexample");
+    }
+}
+
+/// Partial-order reduction does not change the verdict or the reachable
+/// state set — it only prunes redundant paths into the same states.
+#[test]
+fn por_preserves_the_state_set() {
+    let lit = litmus::corr();
+    for proto in Protocol::ALL {
+        let with = check_litmus(&lit, proto, None, &cfg(1));
+        let without = check_litmus(
+            &lit,
+            proto,
+            None,
+            &CheckConfig {
+                por: false,
+                workers: 1,
+                ..CheckConfig::default()
+            },
+        );
+        assert_eq!(with.verdict, Verdict::Verified);
+        assert_eq!(without.verdict, Verdict::Verified);
+        assert_eq!(
+            with.stats.unique_states, without.stats.unique_states,
+            "{proto:?}: POR changed the reachable state set"
+        );
+        assert!(
+            with.stats.transitions_fired <= without.stats.transitions_fired,
+            "{proto:?}: POR fired more transitions than full exploration"
+        );
+    }
+}

@@ -22,6 +22,29 @@ pub enum DataInvalidation {
     Signatures,
 }
 
+/// A seeded protocol bug, injected at a single transition of a controller.
+///
+/// Mutations exist to prove the model checker and the runtime invariant
+/// checkers actually discriminate: each one breaks exactly one rule the
+/// protocol depends on, and `dvs-check` must find an interleaving that
+/// exposes it. They are plumbed through [`SystemConfig::mutation`] (default
+/// `None`) rather than `#[cfg(test)]` so integration tests and the checker
+/// crate can enable them on an otherwise-stock system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolMutation {
+    /// DeNovo registry: serve a registration transfer from the previous
+    /// registrant but forget to re-point the registry word at the new one.
+    DnvSkipRepoint,
+    /// DeNovo registry: re-point the registry word but never send the
+    /// `Xfer` to the previous registrant (the transfer is lost).
+    DnvDropXfer,
+    /// MESI L1: acknowledge an `Inv` without actually dropping the S copy.
+    MesiSkipInvalidate,
+    /// MESI L1: drop an incoming `InvAck` (the acks balance never reaches
+    /// zero, or ownership completes early on the next ack).
+    MesiDropAck,
+}
+
 /// Which coherence protocol the system runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
@@ -59,7 +82,7 @@ impl std::fmt::Display for Protocol {
 }
 
 /// Hardware-backoff parameters (paper §4.2 and §5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BackoffConfig {
     /// Backoff-counter width in bits (counter wraps on overflow).
     pub counter_bits: u32,
@@ -169,6 +192,8 @@ pub struct SystemConfig {
     /// `None` leaves message timing exactly as the network model produces
     /// it.
     pub fault_plan: Option<FaultPlan>,
+    /// A seeded protocol bug for negative testing (`None` = stock protocol).
+    pub mutation: Option<ProtocolMutation>,
 }
 
 impl SystemConfig {
@@ -194,6 +219,7 @@ impl SystemConfig {
             max_cycles: 2_000_000_000,
             check_invariants: false,
             fault_plan: None,
+            mutation: None,
         }
     }
 
@@ -212,6 +238,7 @@ impl SystemConfig {
             max_cycles: 2_000_000_000,
             check_invariants: false,
             fault_plan: None,
+            mutation: None,
         }
     }
 
@@ -230,6 +257,7 @@ impl SystemConfig {
             max_cycles: 500_000_000,
             check_invariants: false,
             fault_plan: None,
+            mutation: None,
         }
     }
 

@@ -15,7 +15,7 @@ use crate::config::BackoffConfig;
 use dvs_engine::Cycle;
 
 /// Per-core adaptive backoff state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BackoffUnit {
     cfg: BackoffConfig,
     enabled: bool,

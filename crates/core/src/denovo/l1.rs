@@ -33,7 +33,7 @@ use dvs_vm::MemRequest;
 use std::sync::Arc;
 
 /// Per-word coherence state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WState {
     /// No usable copy.
     Invalid,
@@ -45,7 +45,7 @@ pub enum WState {
 }
 
 /// One cached word.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Hash)]
 pub struct DnvWord {
     /// Coherence state.
     pub state: WState,
@@ -54,7 +54,7 @@ pub struct DnvWord {
 }
 
 /// A cached line: eight independently-tracked words.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct DnvLine {
     /// The line's words.
     pub words: [DnvWord; WORDS_PER_LINE],
@@ -76,7 +76,7 @@ impl DnvLine {
 }
 
 /// What an MSHR entry is waiting for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum PendKind {
     /// Non-ownership data read.
     Read,
@@ -95,7 +95,7 @@ enum PendKind {
 }
 
 /// One outstanding word-granularity transaction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 struct Pend {
     kind: PendKind,
     /// Forwarded data reads that arrived while we were pending.
@@ -117,7 +117,7 @@ impl Pend {
 }
 
 /// The DeNovo L1 controller for one core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DnvL1 {
     id: CoreId,
     banks: usize,
@@ -894,6 +894,20 @@ impl DnvL1 {
                 self.stats.sync_write_misses += 1
             }
         }
+    }
+}
+
+/// Canonical hash for model checking: every field that influences future
+/// protocol behaviour. `stats` (counters) and `layout` (immutable, shared)
+/// are excluded.
+impl std::hash::Hash for DnvL1 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+        self.banks.hash(state);
+        self.cache.hash(state);
+        self.mshr.hash(state);
+        self.backoff.hash(state);
+        self.watch.hash(state);
     }
 }
 

@@ -9,13 +9,14 @@
 //! finish. Racing registrations therefore serialize through the L1s' MSHRs
 //! (the paper's distributed queue, §4.1 "Handling races").
 
+use crate::config::ProtocolMutation;
 use crate::msg::{BankId, CoreId, DnvMsg, Endpoint, LineData, Msg};
 use crate::proto::Action;
 use dvs_mem::{LineAddr, WordAddr, WORDS_PER_LINE};
 use std::collections::{HashMap, VecDeque};
 
 /// One word's registry state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegWord {
     /// The L2 holds the current value.
     Valid(u64),
@@ -23,7 +24,7 @@ pub enum RegWord {
     Registered(CoreId),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 struct RegLine {
     words: [RegWord; WORDS_PER_LINE],
     has_data: bool,
@@ -43,11 +44,12 @@ impl RegLine {
 }
 
 /// One L2 bank's slice of the registry.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DnvRegistry {
     bank: BankId,
     mem: Endpoint,
     lines: HashMap<LineAddr, RegLine>,
+    mutation: Option<ProtocolMutation>,
 }
 
 impl DnvRegistry {
@@ -58,7 +60,14 @@ impl DnvRegistry {
             bank,
             mem,
             lines: HashMap::new(),
+            mutation: None,
         }
+    }
+
+    /// Arms a seeded protocol bug (negative testing; see
+    /// [`ProtocolMutation`]).
+    pub fn set_mutation(&mut self, mutation: Option<ProtocolMutation>) {
+        self.mutation = mutation;
     }
 
     /// The registry state of a word, if its line has been touched.
@@ -234,15 +243,19 @@ impl DnvRegistry {
                         )));
                         return;
                     }
-                    entry.words[idx] = RegWord::Registered(req);
-                    actions.push(Action::Send {
-                        to: Endpoint::L1(prev),
-                        msg: Msg::Dnv(DnvMsg::Xfer {
-                            word,
-                            new_owner: req,
-                            class,
-                        }),
-                    });
+                    if self.mutation != Some(ProtocolMutation::DnvSkipRepoint) {
+                        entry.words[idx] = RegWord::Registered(req);
+                    }
+                    if self.mutation != Some(ProtocolMutation::DnvDropXfer) {
+                        actions.push(Action::Send {
+                            to: Endpoint::L1(prev),
+                            msg: Msg::Dnv(DnvMsg::Xfer {
+                                word,
+                                new_owner: req,
+                                class,
+                            }),
+                        });
+                    }
                 }
             },
             DnvMsg::WbReq { value, from, .. } => match entry.words[idx] {
@@ -268,6 +281,22 @@ impl DnvRegistry {
                 "registry bank {} cannot handle {other:?}",
                 self.bank
             ))),
+        }
+    }
+}
+
+/// Canonical hash for model checking: lines sorted by address. Queued
+/// messages hash in FIFO order — their order is architecturally visible.
+impl std::hash::Hash for DnvRegistry {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bank.hash(state);
+        self.mem.hash(state);
+        let mut lines: Vec<(&LineAddr, &RegLine)> = self.lines.iter().collect();
+        lines.sort_unstable_by_key(|(l, _)| **l);
+        state.write_usize(lines.len());
+        for (l, e) in lines {
+            l.hash(state);
+            e.hash(state);
         }
     }
 }

@@ -56,9 +56,10 @@ pub mod config;
 pub mod denovo;
 pub mod mesi;
 pub mod msg;
+pub mod oracle;
 pub mod proto;
 pub mod system;
 pub mod trace;
 
-pub use config::{Protocol, SystemConfig};
+pub use config::{Protocol, ProtocolMutation, SystemConfig};
 pub use system::System;

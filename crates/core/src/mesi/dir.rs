@@ -19,7 +19,7 @@ use dvs_stats::TrafficClass;
 use std::collections::{HashMap, VecDeque};
 
 /// Directory state for one line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum DirState {
     /// No L1 holds the line.
     Uncached,
@@ -29,7 +29,7 @@ enum DirState {
     Owned(CoreId),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Busy {
     /// A coherence transaction is in flight: waiting for the requestor's
     /// `Unblock`, and possibly the former owner's data copy.
@@ -41,7 +41,7 @@ enum Busy {
     MemFetch,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 struct DirLine {
     data: LineData,
     has_data: bool,
@@ -63,7 +63,7 @@ impl DirLine {
 }
 
 /// One L2 bank with its slice of the directory.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MesiDir {
     bank: BankId,
     mem: Endpoint,
@@ -425,6 +425,22 @@ impl MesiDir {
                 }
             },
             other => unreachable!("request() only takes GetS/GetM: {other:?}"),
+        }
+    }
+}
+
+/// Canonical hash for model checking: lines sorted by address. Queued
+/// messages hash in FIFO order — their order is architecturally visible.
+impl std::hash::Hash for MesiDir {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bank.hash(state);
+        self.mem.hash(state);
+        let mut lines: Vec<(&LineAddr, &DirLine)> = self.lines.iter().collect();
+        lines.sort_unstable_by_key(|(l, _)| **l);
+        state.write_usize(lines.len());
+        for (l, e) in lines {
+            l.hash(state);
+            e.hash(state);
         }
     }
 }

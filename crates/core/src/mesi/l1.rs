@@ -11,6 +11,7 @@
 //! into the line's `Own` transaction and the core is notified with
 //! [`Action::StoresDone`] when the transaction completes; fences drain them.
 
+use crate::config::ProtocolMutation;
 use crate::msg::{CoreId, Endpoint, LineData, MesiMsg, Msg};
 use crate::proto::{Action, IssueResult};
 use dvs_mem::array::InsertOutcome;
@@ -19,7 +20,7 @@ use dvs_stats::{CacheStats, TrafficClass};
 use dvs_vm::MemRequest;
 
 /// A resident line's stable state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stable {
     /// Shared, clean.
     S,
@@ -30,7 +31,7 @@ pub enum Stable {
 }
 
 /// A resident cache line.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct MesiLine {
     /// Coherence state.
     pub state: Stable,
@@ -39,7 +40,7 @@ pub struct MesiLine {
 }
 
 /// The blocking core operation a transaction will complete.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum BlockingOp {
     /// A (data or sync) load of word `w`.
     Load { w: usize },
@@ -49,7 +50,7 @@ enum BlockingOp {
     Rmw { w: usize, op: RmwOp },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Goal {
     /// GetS in flight (IS_D).
     Fetch,
@@ -60,7 +61,7 @@ enum Goal {
 }
 
 /// One in-flight transaction (the transient-state record).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 struct Txn {
     goal: Goal,
     /// The core's blocking operation, if this transaction carries one.
@@ -100,13 +101,14 @@ impl Txn {
 }
 
 /// The MESI L1 controller for one core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MesiL1 {
     id: CoreId,
     banks: usize,
     cache: CacheArray<MesiLine>,
     mshr: Mshr<LineAddr, Txn>,
     watch: Option<WordAddr>,
+    mutation: Option<ProtocolMutation>,
     stats: CacheStats,
 }
 
@@ -123,8 +125,15 @@ impl MesiL1 {
             cache: CacheArray::new(geometry),
             mshr: Mshr::unbounded(),
             watch: None,
+            mutation: None,
             stats: CacheStats::new(),
         }
+    }
+
+    /// Arms a seeded protocol bug (negative testing; see
+    /// [`ProtocolMutation`]).
+    pub fn set_mutation(&mut self, mutation: Option<ProtocolMutation>) {
+        self.mutation = mutation;
     }
 
     /// Cache-access statistics so far.
@@ -435,7 +444,9 @@ impl MesiL1 {
                     )));
                     return;
                 }
-                txn.acks_balance -= 1;
+                if self.mutation != Some(ProtocolMutation::MesiDropAck) {
+                    txn.acks_balance -= 1;
+                }
                 if txn.own_complete() {
                     self.finish_own(line, home, actions);
                 }
@@ -445,7 +456,9 @@ impl MesiL1 {
                 // legitimately target (see module docs).
                 let mut invalidated = false;
                 if let Some(l) = self.cache.get(line) {
-                    if l.state == Stable::S {
+                    if l.state == Stable::S
+                        && self.mutation != Some(ProtocolMutation::MesiSkipInvalidate)
+                    {
                         self.cache.remove(line);
                         invalidated = true;
                     }
@@ -837,6 +850,19 @@ impl MesiL1 {
                 self.stats.sync_write_misses += 1
             }
         }
+    }
+}
+
+/// Canonical hash for model checking: every field that influences future
+/// protocol behaviour. `stats` (counters) is excluded; `mutation` is fixed
+/// per run and hashing it is harmless.
+impl std::hash::Hash for MesiL1 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+        self.banks.hash(state);
+        self.cache.hash(state);
+        self.mshr.hash(state);
+        self.watch.hash(state);
     }
 }
 

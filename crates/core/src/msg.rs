@@ -22,7 +22,7 @@ pub const HEADER_BYTES: u64 = 8;
 pub type LineData = [u64; WORDS_PER_LINE];
 
 /// Where a message is delivered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Endpoint {
     /// A private L1 cache (by core id).
     L1(CoreId),
@@ -63,7 +63,7 @@ impl XferClass {
 }
 
 /// MESI protocol messages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MesiMsg {
     /// Read request to the directory.
     GetS {
@@ -215,7 +215,7 @@ impl MesiMsg {
 }
 
 /// DeNovo protocol messages (word granularity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DnvMsg {
     /// Non-ownership data-read request to the registry.
     ReadReq {
@@ -333,7 +333,7 @@ impl DnvMsg {
 }
 
 /// Any message on the interconnect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Msg {
     /// A MESI protocol message.
     Mesi(MesiMsg),

@@ -29,6 +29,7 @@ use crate::config::{DataInvalidation, Protocol, SystemConfig};
 use crate::denovo::{DnvL1, DnvRegistry};
 use crate::mesi::{MesiDir, MesiL1};
 use crate::msg::{CoreId, Endpoint, Msg};
+use crate::oracle::{ChannelKey, OracleState};
 use crate::proto::{Action, IssueResult};
 use crate::trace::{MsgRing, Trace, TraceEvent, TraceKind};
 use dvs_engine::{Cycle, DetRng, Scheduler};
@@ -155,14 +156,14 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-#[derive(Debug)]
-enum L1 {
+#[derive(Debug, Clone)]
+pub(crate) enum L1 {
     Mesi(MesiL1),
     Dnv(DnvL1),
 }
 
-#[derive(Debug)]
-enum Bank {
+#[derive(Debug, Clone)]
+pub(crate) enum Bank {
     Mesi(MesiDir),
     Dnv(DnvRegistry),
 }
@@ -180,8 +181,8 @@ enum Ev {
 /// Messages are boxed out-of-line to keep the event small.
 type MsgSlot = usize;
 
-#[derive(Debug)]
-enum Status {
+#[derive(Debug, Clone)]
+pub(crate) enum Status {
     /// A `Step` event is scheduled.
     Ready,
     /// Blocked on a memory access.
@@ -205,9 +206,9 @@ enum Status {
     Dead,
 }
 
-#[derive(Debug)]
-struct CoreState {
-    status: Status,
+#[derive(Debug, Clone)]
+pub(crate) struct CoreState {
+    pub(crate) status: Status,
     outstanding_stores: usize,
     breakdown: dvs_stats::TimeBreakdown,
     /// Signature mode: data words written since this core's last release.
@@ -218,7 +219,7 @@ struct CoreState {
 }
 
 /// The simulated machine. See the [module docs](self).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct System {
     cfg: SystemConfig,
     layout: Arc<MemoryLayout>,
@@ -252,8 +253,15 @@ pub struct System {
     /// the plain path free of the bookkeeping keeps checking zero-cost when
     /// disabled).
     in_flight: std::collections::HashSet<MsgSlot>,
-    /// Deliveries processed, for the periodic full invariant scan.
+    /// Deliveries processed: the *delivery ordinal* stamped on traces, the
+    /// message ring, and protocol-violation reports. Also paces the periodic
+    /// full invariant scan.
     deliveries: u64,
+    /// Untimed "oracle" mode for the model checker (`dvs-check`): sends
+    /// enqueue into per-channel FIFO queues instead of timed `Deliver`
+    /// events, and structurally-blocked cores park until the checker
+    /// delivers a message. `None` for normal timed simulation.
+    oracle: Option<OracleState>,
 }
 
 impl System {
@@ -282,7 +290,7 @@ impl System {
                 t
             })
             .collect();
-        let l1s: Vec<L1> = (0..n)
+        let mut l1s: Vec<L1> = (0..n)
             .map(|i| match cfg.protocol {
                 Protocol::Mesi => L1::Mesi(MesiL1::new(i, cfg.l1, n)),
                 Protocol::DeNovoSync0 => L1::Dnv(DnvL1::new(
@@ -303,7 +311,7 @@ impl System {
                 )),
             })
             .collect();
-        let banks: Vec<Bank> = (0..n)
+        let mut banks: Vec<Bank> = (0..n)
             .map(|b| {
                 let mem = Endpoint::Mem(mesh.nearest_corner(b));
                 match cfg.protocol {
@@ -312,6 +320,18 @@ impl System {
                 }
             })
             .collect();
+        if let Some(m) = cfg.mutation {
+            for l1 in &mut l1s {
+                if let L1::Mesi(l) = l1 {
+                    l.set_mutation(Some(m));
+                }
+            }
+            for bank in &mut banks {
+                if let Bank::Dnv(r) = bank {
+                    r.set_mutation(Some(m));
+                }
+            }
+        }
         let mut net = Network::new(mesh, cfg.noc);
         if let Some(plan) = cfg.fault_plan {
             net.enable_jitter(plan.link_seed(), plan.link_jitter);
@@ -345,6 +365,7 @@ impl System {
             ring: MsgRing::new(MSG_RING_CAP),
             in_flight: std::collections::HashSet::new(),
             deliveries: 0,
+            oracle: None,
         };
         for i in 0..n {
             sys.sched.schedule_at(0, Ev::Step(i));
@@ -410,13 +431,13 @@ impl System {
                 Ev::Resume(i) => self.resume_core(i),
                 Ev::Deliver(ep, slot) => {
                     let msg = self.msg_pool[slot];
-                    self.ring.push(now, ep, msg);
+                    self.deliveries += 1;
+                    self.ring.push(now, ep, self.deliveries, msg);
                     if self.cfg.check_invariants {
                         self.in_flight.remove(&slot);
                     }
                     self.deliver(ep, msg);
                     if self.cfg.check_invariants && self.error.is_none() {
-                        self.deliveries += 1;
                         self.check_delivery_invariants(&msg);
                     }
                 }
@@ -613,12 +634,12 @@ impl System {
     fn check_delivery_invariants(&mut self, msg: &Msg) {
         let line = Self::msg_line(msg);
         if let Err(detail) = self.check_line_invariants(line) {
-            self.error = Some(SimError::ProtocolViolation { detail });
+            self.violation(detail);
             return;
         }
         if self.deliveries.is_multiple_of(FULL_SCAN_PERIOD) {
             if let Err(detail) = self.verify_invariants() {
-                self.error = Some(SimError::ProtocolViolation { detail });
+                self.violation(detail);
             }
         }
     }
@@ -807,11 +828,16 @@ impl System {
     /// in-flight slot set, so it only sees messages when
     /// `cfg.check_invariants` tracked them).
     fn verify_conservation(&self) -> Result<(), String> {
-        let live_lines: std::collections::HashSet<dvs_mem::LineAddr> = self
-            .in_flight
-            .iter()
-            .map(|&slot| Self::msg_line(&self.msg_pool[slot]))
-            .collect();
+        // In oracle mode the undelivered messages live in the checker's
+        // channel queues, not in scheduled events.
+        let live_lines: std::collections::HashSet<dvs_mem::LineAddr> = match &self.oracle {
+            Some(o) => o.channels.values().flatten().map(Self::msg_line).collect(),
+            None => self
+                .in_flight
+                .iter()
+                .map(|&slot| Self::msg_line(&self.msg_pool[slot]))
+                .collect(),
+        };
         for (c, l1) in self.l1s.iter().enumerate() {
             match l1 {
                 L1::Mesi(l1) => {
@@ -1026,11 +1052,15 @@ impl System {
     }
 
     /// Records a protocol violation; the event loop aborts the run with
-    /// [`SimError::ProtocolViolation`] after the current event.
+    /// [`SimError::ProtocolViolation`] after the current event. The detail
+    /// is stamped with the delivery ordinal so a violation can be lined up
+    /// against the message ring and trace streams.
     fn violation(&mut self, detail: String) {
         // Keep the first violation: later ones are usually fallout.
         if self.error.is_none() {
-            self.error = Some(SimError::ProtocolViolation { detail });
+            self.error = Some(SimError::ProtocolViolation {
+                detail: format!("[delivery #{}] {detail}", self.deliveries),
+            });
         }
     }
 
@@ -1048,6 +1078,15 @@ impl System {
             match a {
                 Action::Send { to, msg } => self.send_msg(src, to, msg, send_delay),
                 Action::Local { delay, msg } => {
+                    if let Some(o) = &mut self.oracle {
+                        // Retries get their own checker-chosen lane: draining
+                        // them eagerly could livelock an install-retry loop.
+                        o.channels
+                            .entry(ChannelKey::Local(from))
+                            .or_default()
+                            .push_back(msg);
+                        continue;
+                    }
                     let slot = self.stash(msg);
                     if self.cfg.check_invariants {
                         self.in_flight.insert(slot);
@@ -1089,6 +1128,15 @@ impl System {
     }
 
     fn send_msg(&mut self, src: NodeId, to: Endpoint, msg: Msg, extra_delay: Cycle) {
+        if let Some(o) = &mut self.oracle {
+            // Oracle mode: no network timing; the checker picks delivery
+            // order, constrained only by per-channel FIFO.
+            o.channels
+                .entry(ChannelKey::Net(src, to))
+                .or_default()
+                .push_back(msg);
+            return;
+        }
         let dst = self.node_of(to);
         let inject = self.sched.now() + extra_delay;
         let d = self.net.send(inject, src, dst, msg.flits());
@@ -1202,10 +1250,12 @@ impl System {
                 }
                 Effect::Mark(m) => {
                     let cycle = self.sched.now() + local;
+                    let ordinal = self.deliveries;
                     if let Some(t) = &mut self.trace {
                         t.push(TraceEvent {
                             core: i,
                             cycle,
+                            ordinal,
                             addr: Addr::new(0),
                             sync: false,
                             write: false,
@@ -1325,10 +1375,12 @@ impl System {
             }
             IssueResult::Backoff { cycles } => {
                 self.attr(i, TimeComponent::HwBackoff, cycles);
+                let ordinal = self.deliveries;
                 if let Some(t) = &mut self.trace {
                     t.push(TraceEvent {
                         core: i,
                         cycle: self.sched.now(),
+                        ordinal,
                         addr: req.addr,
                         sync: true,
                         write: false,
@@ -1343,9 +1395,16 @@ impl System {
                 false
             }
             IssueResult::Blocked => {
+                self.cores[i].status = Status::Reissue { req, after_backoff };
+                if let Some(o) = &mut self.oracle {
+                    // Park instead of polling: a blocked access can only
+                    // unblock after some delivery, so the checker re-issues
+                    // parked cores after each one.
+                    o.parked.push(i);
+                    return false;
+                }
                 let comp = self.stall_comp(i);
                 self.attr(i, comp, RETRY_CYCLES);
-                self.cores[i].status = Status::Reissue { req, after_backoff };
                 self.sched.schedule_in(RETRY_CYCLES, Ev::Resume(i));
                 false
             }
@@ -1353,6 +1412,7 @@ impl System {
     }
 
     fn record_access(&mut self, i: CoreId, req: &MemRequest, res: &IssueResult) {
+        let ordinal = self.deliveries;
         let Some(t) = &mut self.trace else { return };
         let kind = match res {
             IssueResult::Hit { .. } | IssueResult::StoreAccepted { completed: true } => {
@@ -1364,6 +1424,7 @@ impl System {
         t.push(TraceEvent {
             core: i,
             cycle: self.sched.now(),
+            ordinal,
             addr: req.addr,
             sync: req.kind.is_sync(),
             write: req.kind.may_write(),
@@ -1470,6 +1531,193 @@ impl System {
         };
         self.sched
             .schedule_in(self.cfg.latency.spin_recheck, Ev::Resume(i));
+    }
+
+    // --- oracle (model-checking) mode ---------------------------------------
+
+    /// Builds a system in **oracle mode** for the model checker: protocol
+    /// messages enqueue into per-channel FIFO queues instead of timed
+    /// deliveries, and the caller picks which channel's head message to
+    /// deliver next via [`System::oracle_deliver`]. Cores are run eagerly to
+    /// quiescence between deliveries (local core steps of different cores
+    /// commute, so their interleaving is never a branch point).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cfg.data_inv` is
+    /// [`DataInvalidation::StaticRegions`]: the signature log is global
+    /// state shared by all cores, which breaks the delivery-commutativity
+    /// argument the checker's partial-order reduction relies on.
+    pub fn new_oracle(cfg: SystemConfig, layout: MemoryLayout, programs: Vec<Program>) -> Self {
+        assert_eq!(
+            cfg.data_inv,
+            DataInvalidation::StaticRegions,
+            "oracle mode requires static-region self-invalidation"
+        );
+        let mut sys = Self::new(cfg, layout, programs);
+        sys.oracle = Some(OracleState::default());
+        sys.oracle_drain();
+        sys
+    }
+
+    /// Oracle mode: runs every scheduled core event (steps, resumes,
+    /// delays) to quiescence. No `Deliver` events exist in oracle mode, so
+    /// this always terminates: every chain of core events ends in a halt, a
+    /// park, a watch, or a memory block.
+    fn oracle_drain(&mut self) {
+        while let Some((_, ev)) = self.sched.pop() {
+            if self.error.is_some() {
+                continue; // discard the rest; the error is terminal
+            }
+            match ev {
+                Ev::Step(i) => self.step_core(i),
+                Ev::Resume(i) => self.resume_core(i),
+                Ev::Deliver(..) => unreachable!("oracle mode schedules no Deliver events"),
+            }
+        }
+    }
+
+    /// Oracle mode: the channels currently holding at least one undelivered
+    /// message — the enabled transitions of the current state, in canonical
+    /// (sorted) order.
+    pub fn oracle_channels(&self) -> Vec<ChannelKey> {
+        match &self.oracle {
+            Some(o) => o.channels.keys().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Oracle mode: delivers the head message of `key`, re-issues parked
+    /// cores, and runs the machine back to quiescence. Returns `false` if
+    /// the channel holds no message (the pick was invalid).
+    pub fn oracle_deliver(&mut self, key: ChannelKey) -> bool {
+        let msg = {
+            let Some(o) = &mut self.oracle else {
+                return false;
+            };
+            let Some(q) = o.channels.get_mut(&key) else {
+                return false;
+            };
+            let Some(msg) = q.pop_front() else {
+                return false;
+            };
+            if q.is_empty() {
+                // Keep the channel map canonical: no empty queues.
+                o.channels.remove(&key);
+            }
+            msg
+        };
+        let ep = key.dst();
+        self.deliveries += 1;
+        self.ring.push(self.sched.now(), ep, self.deliveries, msg);
+        self.deliver(ep, msg);
+        if self.cfg.check_invariants && self.error.is_none() {
+            self.check_delivery_invariants(&msg);
+        }
+        // A delivery is the only thing that can unblock a parked core:
+        // re-issue them all (a still-blocked one just re-parks).
+        let parked = std::mem::take(&mut self.oracle.as_mut().expect("oracle mode").parked);
+        for i in parked {
+            if self.error.is_none() {
+                self.sched.schedule_in(0, Ev::Resume(i));
+            }
+        }
+        self.oracle_drain();
+        true
+    }
+
+    /// Whether every thread has halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores
+            .iter()
+            .all(|c| matches!(c.status, Status::Halted))
+    }
+
+    /// The recorded error (assertion failure or protocol violation), if any.
+    pub fn error(&self) -> Option<&SimError> {
+        self.error.as_ref()
+    }
+
+    /// Builds the deadlock error for the current state — used by the model
+    /// checker when the channels drain with threads still running (it
+    /// drives deliveries itself instead of calling [`System::run`]).
+    pub fn deadlock_error(&self) -> SimError {
+        let stuck: Vec<CoreId> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !matches!(c.status, Status::Halted))
+            .map(|(i, _)| i)
+            .collect();
+        SimError::Deadlock {
+            stuck,
+            report: self.stall_report(),
+        }
+    }
+
+    /// Canonical fingerprint of the architectural state, for the model
+    /// checker's visited set. Includes everything that influences future
+    /// behaviour: threads, core statuses (minus timestamps), L1s, banks,
+    /// main memory, and undelivered channel contents. Excludes timing,
+    /// statistics, and diagnostics, so two states reached by different
+    /// schedules compare equal iff their futures are identical.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for t in &self.threads {
+            t.hash(&mut h);
+        }
+        for c in &self.cores {
+            match &c.status {
+                Status::Ready => h.write_u8(0),
+                Status::BlockedMem { req, .. } => {
+                    h.write_u8(1);
+                    req.hash(&mut h);
+                }
+                Status::Watching { req, .. } => {
+                    h.write_u8(2);
+                    req.hash(&mut h);
+                }
+                Status::Reissue { req, after_backoff } => {
+                    h.write_u8(3);
+                    req.hash(&mut h);
+                    after_backoff.hash(&mut h);
+                }
+                Status::DelaySleep => h.write_u8(4),
+                Status::PendingFence => h.write_u8(5),
+                Status::FenceWait { .. } => h.write_u8(6),
+                Status::Halted => h.write_u8(7),
+                Status::Dead => h.write_u8(8),
+            }
+            c.outstanding_stores.hash(&mut h);
+            c.cs_writes.hash(&mut h);
+            c.sig_cursor.hash(&mut h);
+        }
+        for l1 in &self.l1s {
+            match l1 {
+                L1::Mesi(l) => l.hash(&mut h),
+                L1::Dnv(l) => l.hash(&mut h),
+            }
+        }
+        for bank in &self.banks {
+            match bank {
+                Bank::Mesi(d) => d.hash(&mut h),
+                Bank::Dnv(r) => r.hash(&mut h),
+            }
+        }
+        self.memory.hash(&mut h);
+        self.sig_log.hash(&mut h);
+        if let Some(o) = &self.oracle {
+            for (k, q) in &o.channels {
+                k.hash(&mut h);
+                h.write_usize(q.len());
+                for m in q {
+                    m.hash(&mut h);
+                }
+            }
+        }
+        h.finish()
     }
 }
 

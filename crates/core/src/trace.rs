@@ -28,6 +28,10 @@ pub struct TraceEvent {
     pub core: usize,
     /// Simulated cycle.
     pub cycle: Cycle,
+    /// The system's delivery ordinal (count of messages delivered so far)
+    /// when the event was recorded: the common clock for lining traces up
+    /// against the message ring and `ProtocolViolation` reports.
+    pub ordinal: u64,
     /// Accessed address (zero for marks).
     pub addr: Addr,
     /// Whether the access was a synchronization access.
@@ -78,6 +82,8 @@ pub struct DeliveredMsg {
     pub cycle: Cycle,
     /// Receiving endpoint.
     pub to: Endpoint,
+    /// Delivery ordinal (1-based count of deliveries, including this one).
+    pub ordinal: u64,
     /// The message.
     pub msg: Msg,
 }
@@ -110,8 +116,13 @@ impl MsgRing {
     }
 
     /// Records a delivery, evicting the oldest entry once full.
-    pub fn push(&mut self, cycle: Cycle, to: Endpoint, msg: Msg) {
-        let entry = DeliveredMsg { cycle, to, msg };
+    pub fn push(&mut self, cycle: Cycle, to: Endpoint, ordinal: u64, msg: Msg) {
+        let entry = DeliveredMsg {
+            cycle,
+            to,
+            ordinal,
+            msg,
+        };
         if self.buf.len() < self.cap {
             self.buf.push(entry);
         } else {
@@ -155,11 +166,13 @@ mod tests {
                 bank: 0,
                 class: dvs_stats::TrafficClass::Writeback,
             };
-            ring.push(i, Endpoint::L1(0), msg);
+            ring.push(i, Endpoint::L1(0), i + 1, msg);
         }
         assert_eq!(ring.len(), 4);
         let cycles: Vec<Cycle> = ring.iter().map(|d| d.cycle).collect();
         assert_eq!(cycles, vec![6, 7, 8, 9], "oldest first, last four kept");
+        let ordinals: Vec<u64> = ring.iter().map(|d| d.ordinal).collect();
+        assert_eq!(ordinals, vec![7, 8, 9, 10]);
     }
 
     #[test]
@@ -168,6 +181,7 @@ mod tests {
         t.push(TraceEvent {
             core: 0,
             cycle: 5,
+            ordinal: 0,
             addr: Addr::new(0x40),
             sync: true,
             write: false,
@@ -176,6 +190,7 @@ mod tests {
         t.push(TraceEvent {
             core: 1,
             cycle: 6,
+            ordinal: 2,
             addr: Addr::new(0x40),
             sync: true,
             write: true,

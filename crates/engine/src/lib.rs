@@ -53,7 +53,7 @@ pub type Cycle = u64;
 /// assert_eq!(sched.pop(), Some((10, 1)));
 /// assert_eq!(sched.pop(), Some((10, 2)));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Scheduler<E> {
     heap: BinaryHeap<Entry<E>>,
     now: Cycle,
@@ -61,7 +61,7 @@ pub struct Scheduler<E> {
     scheduled: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<E> {
     key: Reverse<(Cycle, u64)>,
     event: E,

@@ -8,6 +8,7 @@
 
 use crate::addr::LineAddr;
 use crate::geometry::CacheGeometry;
+use std::hash::{Hash, Hasher};
 
 /// A resident cache line: its address and the protocol-specific payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,6 +187,32 @@ impl<L> CacheArray<L> {
         self.sets
             .iter_mut()
             .flat_map(|s| s.iter_mut().map(|l| (l.addr, &mut l.payload)))
+    }
+}
+
+/// Hashes the array's *replacement-relevant* state canonically: for each set
+/// (in index order), the resident lines sorted by address, each hashed as
+/// `(addr, lru-rank-within-set, payload)`. Absolute `lru` stamps and the
+/// global `clock` are excluded — two arrays that would make identical
+/// eviction decisions forever hash identically even if they were touched a
+/// different number of times.
+impl<L: Hash> Hash for CacheArray<L> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.geometry.hash(state);
+        for set in &self.sets {
+            // Rank of each line's lru stamp within its set (0 = LRU).
+            let mut stamps: Vec<u64> = set.iter().map(|l| l.lru).collect();
+            stamps.sort_unstable();
+            let mut entries: Vec<&CacheLine<L>> = set.iter().collect();
+            entries.sort_unstable_by_key(|l| l.addr);
+            state.write_usize(entries.len());
+            for line in entries {
+                line.addr.hash(state);
+                let rank = stamps.iter().position(|&s| s == line.lru).unwrap();
+                state.write_usize(rank);
+                line.payload.hash(state);
+            }
+        }
     }
 }
 

@@ -69,6 +69,21 @@ impl MainMemory {
     }
 }
 
+/// Canonical hash: the non-zero words sorted by address. Zero-valued words
+/// are removed by [`MainMemory::write_word`], so two images holding the same
+/// architectural contents always hash identically.
+impl std::hash::Hash for MainMemory {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut words: Vec<(&WordAddr, &u64)> = self.words.iter().collect();
+        words.sort_unstable_by_key(|(w, _)| **w);
+        state.write_usize(words.len());
+        for (w, v) in words {
+            w.hash(state);
+            v.hash(state);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

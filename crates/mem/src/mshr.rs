@@ -128,6 +128,21 @@ impl<K: Eq + Hash, V> Mshr<K, V> {
     }
 }
 
+/// Canonical hash: entries sorted by key, plus the capacity bound. The
+/// `high_water` statistic is excluded — it never affects future behaviour.
+impl<K: Ord + Hash, V: Hash> Hash for Mshr<K, V> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut keys: Vec<&K> = self.entries.keys().collect();
+        keys.sort_unstable();
+        state.write_usize(keys.len());
+        for k in keys {
+            k.hash(state);
+            self.entries[k].hash(state);
+        }
+        self.capacity.hash(state);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,9 +45,11 @@
 
 pub mod asm;
 pub mod isa;
+pub mod litmus;
 pub mod reference;
 pub mod thread;
 
 pub use asm::Asm;
 pub use isa::{Cond, DelayLen, Instr, Program, Reg};
+pub use litmus::Litmus;
 pub use thread::{Effect, ExecPhase, MemRequest, SpinCond, Thread};

@@ -1,0 +1,317 @@
+//! Litmus tests: tiny multi-threaded programs with a sequential-consistency
+//! verdict over their final memory state.
+//!
+//! Each [`Litmus`] bundles a memory layout, one program per thread, a list
+//! of observable result words, and a predicate that holds iff the final
+//! state is one sequential consistency allows. The programs record what
+//! their loads observed into per-thread result words so the verdict needs
+//! only the final memory image — no instruction-level trace.
+//!
+//! The suite is deliberately small (2 threads, 1–2 contended lines): these
+//! programs are the workload of the `dvs-check` model checker, which
+//! explores *every* message-delivery interleaving, so state-space size is
+//! the budget. The timed simulator also runs them (see `tests/litmus.rs`)
+//! as a cheap SC smoke test under all three protocols.
+//!
+//! All programs are written to be SC under every protocol's contract:
+//! synchronization accesses (`loads`/`stores`/RMWs) order everything, and
+//! cross-thread *data* communication is fenced on the producer side and
+//! self-invalidated on the consumer side, as DeNovo's static-region model
+//! requires. MESI treats the self-invalidation as a no-op, so one program
+//! text serves all three protocols.
+
+use crate::asm::Asm;
+use crate::isa::{Cond, Program, Reg};
+use dvs_mem::{Addr, LayoutBuilder, MemoryLayout};
+
+/// The SC verdict over the observable values, in `observables` order.
+type VerdictFn = Box<dyn Fn(&[u64]) -> bool + Send + Sync>;
+
+/// A litmus test: programs, layout, observables, and the SC verdict.
+pub struct Litmus {
+    /// Short lowercase name (`"sb"`, `"mp"`, …), stable across releases —
+    /// used in CI stage names and bench JSON keys.
+    pub name: &'static str,
+    /// What the verdict asserts, for failure messages.
+    pub property: &'static str,
+    /// The memory layout the programs were assembled against.
+    pub layout: MemoryLayout,
+    /// One program per thread.
+    pub programs: Vec<Program>,
+    /// Named result words to read from final memory, in predicate order.
+    pub observables: Vec<(&'static str, Addr)>,
+    verdict: VerdictFn,
+}
+
+impl Litmus {
+    /// Number of threads.
+    pub fn nthreads(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Applies the SC verdict to a final memory state, reading each
+    /// observable through `read` (e.g. `|a| sys.read_word(a)`).
+    ///
+    /// Returns the observed values on failure so the caller can print them
+    /// alongside [`Litmus::property`].
+    pub fn check(&self, read: impl Fn(Addr) -> u64) -> Result<(), Vec<(&'static str, u64)>> {
+        let vals: Vec<u64> = self.observables.iter().map(|&(_, a)| read(a)).collect();
+        if (self.verdict)(&vals) {
+            Ok(())
+        } else {
+            Err(self.observables.iter().map(|&(n, _)| n).zip(vals).collect())
+        }
+    }
+
+    /// The full suite, smallest state space first.
+    pub fn all() -> Vec<Litmus> {
+        vec![corr(), sb(), mp(), tatas()]
+    }
+
+    /// Looks a test up by [`Litmus::name`].
+    pub fn by_name(name: &str) -> Option<Litmus> {
+        Self::all().into_iter().find(|l| l.name == name)
+    }
+}
+
+impl std::fmt::Debug for Litmus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Litmus")
+            .field("name", &self.name)
+            .field("threads", &self.programs.len())
+            .field("property", &self.property)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Store buffering (SB): each thread sync-stores its own flag, then
+/// sync-loads the other's. SC forbids both threads reading the initial
+/// zero — some store must be ordered first.
+pub fn sb() -> Litmus {
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let data = lb.region("results");
+    let x = lb.sync_var("x", sync, true);
+    let y = lb.sync_var("y", sync, true);
+    let res0 = lb.sync_var("res0", data, true);
+    let res1 = lb.sync_var("res1", data, true);
+
+    let thread = |mine: Addr, other: Addr, res: Addr| {
+        let mut a = Asm::new("sb");
+        let (v, p, r) = (Reg(1), Reg(2), Reg(3));
+        a.movi(v, 1);
+        a.movi(p, mine.raw());
+        a.stores(v, p, 0); // my flag := 1 (sync)
+        a.fence();
+        a.movi(p, other.raw());
+        a.loads(r, p, 0); // observe the other flag (sync)
+        a.movi(p, res.raw());
+        a.store(r, p, 0);
+        a.fence(); // result globally visible before halt
+        a.halt();
+        a.build()
+    };
+
+    Litmus {
+        name: "sb",
+        property: "SC forbids both threads observing 0 (res0 == 0 && res1 == 0)",
+        layout: lb.build(),
+        programs: vec![thread(x, y, res0), thread(y, x, res1)],
+        observables: vec![("res0", res0), ("res1", res1)],
+        verdict: Box::new(|v| !(v[0] == 0 && v[1] == 0)),
+    }
+}
+
+/// Message passing (MP): the producer writes data (plain store), fences,
+/// then sync-stores a flag; the consumer spins on the flag, self-invalidates
+/// the data region, and loads the data. SC + the self-invalidation contract
+/// require the consumer to observe the payload.
+pub fn mp() -> Litmus {
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let payload = lb.region("payload");
+    let results = lb.region("results");
+    let datum = lb.sync_var("datum", payload, true);
+    let flag = lb.sync_var("flag", sync, true);
+    let res = lb.sync_var("res", results, true);
+
+    let producer = {
+        let mut a = Asm::new("mp-producer");
+        let (v, p) = (Reg(1), Reg(2));
+        a.movi(v, 42);
+        a.movi(p, datum.raw());
+        a.store(v, p, 0); // payload (plain data store)
+        a.fence(); // payload complete before the flag is raised
+        a.movi(v, 1);
+        a.movi(p, flag.raw());
+        a.stores(v, p, 0); // flag := 1 (sync release)
+        a.halt();
+        a.build()
+    };
+    let consumer = {
+        let mut a = Asm::new("mp-consumer");
+        let (one, p, r) = (Reg(1), Reg(2), Reg(3));
+        a.movi(one, 1);
+        a.movi(p, flag.raw());
+        a.spin_until(r, p, 0, Cond::Eq, one); // acquire: wait for flag == 1
+        a.self_inv(payload); // discard possibly-stale payload copies
+        a.movi(p, datum.raw());
+        a.load(r, p, 0);
+        a.movi(p, res.raw());
+        a.store(r, p, 0);
+        a.fence();
+        a.halt();
+        a.build()
+    };
+
+    Litmus {
+        name: "mp",
+        property: "consumer must observe the payload published before the flag (res == 42)",
+        layout: lb.build(),
+        programs: vec![producer, consumer],
+        observables: vec![("res", res)],
+        verdict: Box::new(|v| v[0] == 42),
+    }
+}
+
+/// Coherent read-read (CoRR): one thread sync-stores `x := 1`; the other
+/// sync-loads `x` twice. Coherence forbids the second load travelling
+/// backwards (observing 1 then 0).
+pub fn corr() -> Litmus {
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let results = lb.region("results");
+    let x = lb.sync_var("x", sync, true);
+    let res0 = lb.sync_var("res0", results, true);
+    let res1 = lb.sync_var("res1", results, true);
+
+    let writer = {
+        let mut a = Asm::new("corr-writer");
+        let (v, p) = (Reg(1), Reg(2));
+        a.movi(v, 1);
+        a.movi(p, x.raw());
+        a.stores(v, p, 0);
+        a.halt();
+        a.build()
+    };
+    let reader = {
+        let mut a = Asm::new("corr-reader");
+        let (p, r0, r1, q) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        a.movi(p, x.raw());
+        a.loads(r0, p, 0);
+        a.loads(r1, p, 0);
+        a.movi(q, res0.raw());
+        a.store(r0, q, 0);
+        a.movi(q, res1.raw());
+        a.store(r1, q, 0);
+        a.fence();
+        a.halt();
+        a.build()
+    };
+
+    Litmus {
+        name: "corr",
+        property: "reads of one location must not go backwards (res0 == 1 => res1 == 1)",
+        layout: lb.build(),
+        programs: vec![writer, reader],
+        observables: vec![("res0", res0), ("res1", res1)],
+        verdict: Box::new(|v| !(v[0] == 1 && v[1] == 0)),
+    }
+}
+
+/// Test-and-test-and-set lock: two threads each acquire the lock (TAS,
+/// spinning on a sync read while held), increment a shared counter inside
+/// the critical section (data accesses, guarded by self-invalidation on
+/// entry and a fence before release), and sync-store 0 to release. Mutual
+/// exclusion requires the counter to equal the thread count at the end.
+pub fn tatas() -> Litmus {
+    tatas_n(2)
+}
+
+/// [`tatas`] generalized to `nthreads` contenders — the model checker's
+/// scaling workload (state space grows steeply with each extra contender).
+/// Not part of [`Litmus::all`]; only `nthreads == 2` is suite-sized.
+///
+/// # Panics
+///
+/// Panics unless `2 <= nthreads <= 4` (named variants keep
+/// [`Litmus::name`] a static string).
+pub fn tatas_n(nthreads: usize) -> Litmus {
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let cs = lb.region("cs");
+    let lock = lb.sync_var("lock", sync, true);
+    let counter = lb.sync_var("counter", cs, true);
+
+    let thread = || {
+        let mut a = Asm::new("tatas");
+        let (zero, one, lk, r, c, v) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+        a.movi(zero, 0);
+        a.movi(one, 1);
+        a.movi(lk, lock.raw());
+        let acquire = a.here();
+        a.tas(r, lk, 0);
+        let entered = a.label();
+        a.beq(r, zero, entered); // old value 0 => we hold the lock
+        a.spin_until(r, lk, 0, Cond::Eq, zero); // test: wait until free
+        a.jmp(acquire); // then test-and-set again
+        a.bind(entered);
+        a.self_inv(cs); // acquire: discard stale critical-section data
+        a.movi(c, counter.raw());
+        a.load(v, c, 0);
+        a.add(v, v, one);
+        a.store(v, c, 0);
+        a.fence(); // counter update complete before the lock is released
+        a.stores(zero, lk, 0); // release
+        a.halt();
+        a.build()
+    };
+
+    let name = match nthreads {
+        2 => "tatas",
+        3 => "tatas3",
+        4 => "tatas4",
+        n => panic!("unsupported tatas contender count {n}"),
+    };
+    Litmus {
+        name,
+        property: "mutual exclusion: counter == nthreads and lock released (== 0)",
+        layout: lb.build(),
+        programs: (0..nthreads).map(|_| thread()).collect(),
+        observables: vec![("counter", counter), ("lock", lock)],
+        verdict: Box::new(move |v| v[0] == nthreads as u64 && v[1] == 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::RefMachine;
+
+    /// Every litmus program must satisfy its own verdict under the untimed
+    /// sequentially-consistent reference executor (which runs threads in a
+    /// deterministic round-robin — one SC interleaving).
+    #[test]
+    fn reference_executor_satisfies_all_verdicts() {
+        for lit in Litmus::all() {
+            let mut m = RefMachine::new(lit.programs.clone());
+            m.run(100_000)
+                .unwrap_or_else(|e| panic!("{}: reference run failed: {e}", lit.name));
+            let mem = m.memory();
+            lit.check(|a| mem.read_word(a.word()))
+                .unwrap_or_else(|vals| panic!("{}: {} violated: {vals:?}", lit.name, lit.property));
+        }
+    }
+
+    #[test]
+    fn suite_is_well_formed() {
+        let all = Litmus::all();
+        assert_eq!(all.len(), 4);
+        for lit in &all {
+            assert_eq!(lit.nthreads(), 2, "{}", lit.name);
+            assert!(!lit.observables.is_empty(), "{}", lit.name);
+        }
+        assert!(Litmus::by_name("sb").is_some());
+        assert!(Litmus::by_name("nope").is_none());
+    }
+}

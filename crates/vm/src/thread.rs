@@ -18,7 +18,7 @@ use std::sync::Arc;
 pub type ExecPhase = PhaseChange;
 
 /// The exit condition of a spinning load.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SpinCond {
     /// Condition on `(loaded value, rhs)`.
     pub cond: Cond,
@@ -34,7 +34,7 @@ impl SpinCond {
 }
 
 /// A memory request issued by a thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemRequest {
     /// Word-aligned effective address.
     pub addr: Addr,
@@ -405,6 +405,24 @@ impl Thread {
     fn alu(&mut self, d: Reg, a: Reg, b: Reg, f: impl Fn(u64, u64) -> u64) -> Effect {
         self.regs[d.index()] = f(self.regs[a.index()], self.regs[b.index()]);
         Effect::Retired
+    }
+}
+
+/// Canonical hash of the architectural state. The program is excluded: it is
+/// immutable for the lifetime of the thread, so two snapshots of the same
+/// run always share it.
+impl std::hash::Hash for Thread {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+        self.nthreads.hash(state);
+        self.regs.hash(state);
+        self.pc.hash(state);
+        self.rng.hash(state);
+        self.alloc_cursor.hash(state);
+        self.alloc_limit.hash(state);
+        self.phase.hash(state);
+        self.halted.hash(state);
+        self.failed.hash(state);
     }
 }
 

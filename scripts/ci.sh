@@ -17,4 +17,7 @@ cargo test -q --offline
 echo "== chaos matrix (fixed fault seeds, invariant checking on) =="
 cargo test -q --offline --test chaos
 
+echo "== model-checker smoke (bounded-depth, 2 litmus x 3 protocols + 1 mutation) =="
+cargo run --release --offline -p dvs-check --example smoke
+
 echo "CI OK"

@@ -1,0 +1,58 @@
+//! The litmus suite on the timed simulator: every litmus program, under
+//! every protocol, must complete and satisfy its sequential-consistency
+//! verdict — in the stock timing and under chaos-perturbed schedules.
+//!
+//! This is the cheap, sampled counterpart of the `dvs-check` model checker
+//! (which *enumerates* delivery interleavings of the same programs): it
+//! validates that the litmus programs themselves are well-formed workloads
+//! for the full machine, and catches SC regressions in ordinary timed runs.
+
+use denovosync_suite::core::chaos::FaultPlan;
+use denovosync_suite::core::config::{Protocol, SystemConfig};
+use denovosync_suite::core::system::System;
+use denovosync_suite::vm::litmus::Litmus;
+use denovosync_suite::vm::Asm;
+
+/// Runs a litmus test on the timed simulator and applies its verdict. The
+/// mesh needs a square tile count, so the two litmus threads are padded to
+/// four cores with idle programs.
+fn run_timed(lit: &Litmus, mut cfg: SystemConfig) {
+    cfg.check_invariants = true;
+    let mut programs = lit.programs.clone();
+    while programs.len() < cfg.cores {
+        let mut a = Asm::new("idle");
+        a.halt();
+        programs.push(a.build());
+    }
+    let mut sys = System::new(cfg, lit.layout.clone(), programs);
+    sys.run()
+        .unwrap_or_else(|e| panic!("{} ({:?}): {e}", lit.name, cfg.protocol));
+    lit.check(|a| sys.read_word(a)).unwrap_or_else(|vals| {
+        panic!(
+            "{} ({:?}): {} — observed {:?}",
+            lit.name, cfg.protocol, lit.property, vals
+        )
+    });
+}
+
+#[test]
+fn all_litmus_sc_on_all_protocols() {
+    for lit in Litmus::all() {
+        for proto in Protocol::ALL {
+            run_timed(&lit, SystemConfig::small(4, proto));
+        }
+    }
+}
+
+#[test]
+fn all_litmus_sc_under_chaos() {
+    for lit in Litmus::all() {
+        for proto in Protocol::ALL {
+            for seed in [1, 0xC0FFEE, 0xDE40_5EED] {
+                let mut cfg = SystemConfig::small(4, proto);
+                cfg.fault_plan = Some(FaultPlan::from_seed(seed));
+                run_timed(&lit, cfg);
+            }
+        }
+    }
+}
