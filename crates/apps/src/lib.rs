@@ -210,9 +210,25 @@ pub fn all_apps() -> Vec<AppSpec> {
     ]
 }
 
+/// Looks up an app model by its Table 2 name (`"FFT"`, `"canneal"`, ...),
+/// so experiment specs can address apps as serializable data.
+pub fn app_by_name(name: &str) -> Option<AppSpec> {
+    all_apps().into_iter().find(|a| a.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn app_names_round_trip() {
+        for app in all_apps() {
+            let found = app_by_name(app.name).expect("lookup by name");
+            assert_eq!(found.name, app.name);
+            assert_eq!(found.cores, app.cores);
+        }
+        assert!(app_by_name("doom").is_none());
+    }
 
     #[test]
     fn thirteen_apps_match_table2() {

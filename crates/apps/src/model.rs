@@ -265,12 +265,12 @@ fn build_barrier_only(
             sum
         })
         .collect();
-    Workload {
-        layout: lb.build(),
+    Workload::new(
+        lb.build(),
         programs,
-        init: Vec::new(),
-        pools: Vec::new(),
-        check: Box::new(move |read| {
+        Vec::new(),
+        Vec::new(),
+        Box::new(move |read| {
             for (tid, &want) in expected.iter().enumerate() {
                 let got = read(Addr::new(results.raw() + tid as u64 * LINE_BYTES));
                 if got != want {
@@ -281,7 +281,7 @@ fn build_barrier_only(
             }
             Ok(())
         }),
-    }
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -358,12 +358,12 @@ fn build_barrier_lock(
         .collect();
 
     let expected_total = threads as u64 * phases * cs_per_phase * cs_words;
-    Workload {
-        layout: lb.build(),
+    Workload::new(
+        lb.build(),
         programs,
-        init: Vec::new(),
-        pools: Vec::new(),
-        check: Box::new(move |read| {
+        Vec::new(),
+        Vec::new(),
+        Box::new(move |read| {
             let total: u64 = (0..locks)
                 .map(|l| read(Addr::new(accs.raw() + l * LINE_BYTES)))
                 .sum();
@@ -374,7 +374,7 @@ fn build_barrier_lock(
             }
             Ok(())
         }),
-    }
+    )
 }
 
 fn build_swap(threads: usize, elements: u64, swaps: u64, compute: (u64, u64)) -> Workload {
@@ -436,12 +436,12 @@ fn build_swap(threads: usize, elements: u64, swaps: u64, compute: (u64, u64)) ->
         })
         .collect();
 
-    Workload {
-        layout: lb.build(),
+    Workload::new(
+        lb.build(),
         programs,
         init,
-        pools: Vec::new(),
-        check: Box::new(move |read| {
+        Vec::new(),
+        Box::new(move |read| {
             let total: u64 = (0..elements)
                 .map(|i| read(Addr::new(elems.raw() + i * WORD_BYTES)))
                 .fold(0u64, |a, b| a.wrapping_add(b));
@@ -452,7 +452,7 @@ fn build_swap(threads: usize, elements: u64, swaps: u64, compute: (u64, u64)) ->
             }
             Ok(())
         }),
-    }
+    )
 }
 
 fn build_pipeline(threads: usize, stages: u64, tokens: u64, compute: (u64, u64)) -> Workload {
@@ -600,12 +600,12 @@ fn build_pipeline(threads: usize, stages: u64, tokens: u64, compute: (u64, u64))
         .flat_map(|p| (0..tokens).map(move |t| p * tokens + t + 1))
         .sum();
     let last_base = (threads as u64 - per_stage) as usize;
-    Workload {
-        layout: lb.build(),
+    Workload::new(
+        lb.build(),
         programs,
         init,
         pools,
-        check: Box::new(move |read| {
+        Box::new(move |read| {
             let threads = last_base + per_stage as usize;
             let consumed_cnt: u64 = (last_base..threads)
                 .map(|t| read(Addr::new(results.raw() + t as u64 * LINE_BYTES + 8)))
@@ -625,7 +625,7 @@ fn build_pipeline(threads: usize, stages: u64, tokens: u64, compute: (u64, u64))
             }
             Ok(())
         }),
-    }
+    )
 }
 
 #[cfg(test)]

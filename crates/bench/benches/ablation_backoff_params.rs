@@ -6,11 +6,14 @@
 //! enough under contention. This sweep varies both knobs on the most
 //! backoff-sensitive kernels (TATAS large-CS and the Michael–Scott queue)
 //! and prints execution time and traffic relative to DeNovoSync0
-//! (increment 0 ≙ no backoff).
-use dvs_bench::figures::{quick_mode, time_row};
-use dvs_bench::run_kernel;
-use dvs_core::config::{Protocol, SystemConfig};
-use dvs_kernels::{KernelId, KernelParams, LockKind, LockedStruct, NonBlocking};
+//! (increment 0 ≙ no backoff). The whole sweep is one campaign.
+use dvs_campaign::grids::figure_params;
+use dvs_campaign::{quick_mode, workers_from_env, Campaign, ExperimentSpec};
+use dvs_core::config::Protocol;
+use dvs_kernels::{KernelId, LockKind, LockedStruct, NonBlocking};
+
+const BITS: [u32; 3] = [6, 9, 12];
+const INCREMENTS: [u64; 4] = [1, 16, 64, 256];
 
 fn main() {
     let cores = if quick_mode() { 16 } else { 64 };
@@ -18,23 +21,37 @@ fn main() {
         KernelId::Locked(LockedStruct::LargeCs, LockKind::Tatas),
         KernelId::NonBlocking(NonBlocking::MsQueue),
     ];
+
+    let mut specs = Vec::new();
+    for kernel in kernels {
+        let params = figure_params(kernel, cores);
+        // Baseline: DeNovoSync0 (no backoff at all).
+        specs.push(ExperimentSpec::kernel(
+            kernel,
+            params,
+            Protocol::DeNovoSync0,
+        ));
+        for bits in BITS {
+            for increment in INCREMENTS {
+                let mut spec = ExperimentSpec::kernel(kernel, params, Protocol::DeNovoSync);
+                spec.overrides.backoff_bits = Some(bits);
+                spec.overrides.backoff_increment = Some(increment);
+                specs.push(spec);
+            }
+        }
+    }
+    let report = Campaign::from_specs(specs).run(workers_from_env());
+    report.expect_all_ok("backoff-parameter sweep");
+
     println!("== Ablation: hardware-backoff parameters, {cores} cores ==");
     println!(
         "{:12} {:>6} {:>10} {:>12} {:>14} {:>12}",
         "kernel", "bits", "increment", "cycles", "vs DS0", "crossings"
     );
-    for kernel in kernels {
-        let mut params = KernelParams::paper(kernel, cores);
-        if quick_mode() {
-            params.iters = params.iters.min(20);
-        }
-        // Baseline: DeNovoSync0 (no backoff at all).
-        let base = run_kernel(
-            kernel,
-            SystemConfig::paper(cores, Protocol::DeNovoSync0),
-            &params,
-        )
-        .expect("baseline runs");
+    let per_kernel = 1 + BITS.len() * INCREMENTS.len();
+    for (k, kernel) in kernels.iter().enumerate() {
+        let rows = &report.records[k * per_kernel..(k + 1) * per_kernel];
+        let base = rows[0].outcome.as_ref().expect("baseline ran");
         println!(
             "{:12} {:>6} {:>10} {:>12} {:>14} {:>12}",
             kernel.name(),
@@ -44,23 +61,19 @@ fn main() {
             "100.0%",
             base.traffic.total()
         );
-        for bits in [6u32, 9, 12] {
-            for increment in [1u64, 16, 64, 256] {
-                let mut cfg = SystemConfig::paper(cores, Protocol::DeNovoSync);
-                cfg.backoff.counter_bits = bits;
-                cfg.backoff.default_increment = increment;
-                let stats = run_kernel(kernel, cfg, &params).expect("sweep point runs");
-                println!(
-                    "{:12} {:>6} {:>10} {:>12} {:>13.1}% {:>12}",
-                    kernel.name(),
-                    bits,
-                    increment,
-                    stats.cycles,
-                    stats.cycles as f64 / base.cycles as f64 * 100.0,
-                    stats.traffic.total()
-                );
-                let _ = time_row(&stats);
-            }
+        for row in &rows[1..] {
+            let stats = row.outcome.as_ref().expect("sweep point ran");
+            let bits = row.spec.overrides.backoff_bits.expect("sweep spec");
+            let increment = row.spec.overrides.backoff_increment.expect("sweep spec");
+            println!(
+                "{:12} {:>6} {:>10} {:>12} {:>13.1}% {:>12}",
+                kernel.name(),
+                bits,
+                increment,
+                stats.cycles,
+                stats.cycles as f64 / base.cycles as f64 * 100.0,
+                stats.traffic.total()
+            );
         }
         println!();
     }

@@ -2,7 +2,7 @@
 //! equality checks. The paper found both protocols improve, DeNovo much
 //! more (each removed check is a read registration DeNovo no longer
 //! ping-pongs).
-use dvs_bench::figures::kernel_figure;
+use dvs_bench::kernel_figure;
 use dvs_kernels::{KernelId, NonBlocking};
 
 fn main() {

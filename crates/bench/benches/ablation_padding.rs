@@ -1,7 +1,7 @@
 //! §7.1.1 sensitivity: lock padding. Without padding, MESI suffers false
 //! sharing on lock lines, but DeNovo's advantage also shrinks (it issues
 //! separate word requests for locks and data in the same line).
-use dvs_bench::figures::kernel_figure;
+use dvs_bench::kernel_figure;
 use dvs_kernels::{KernelId, LockKind, LockedStruct};
 
 fn main() {

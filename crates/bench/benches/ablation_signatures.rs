@@ -3,69 +3,66 @@
 //! says would benefit — the array-lock heap (§7.1.2: "can be remedied using
 //! dynamic hardware signatures") and fluidanimate (§7.2, the one
 //! application where DeNovoSync loses to MESI for this reason).
-use dvs_apps::{all_apps, build_app};
-use dvs_bench::figures::quick_mode;
-use dvs_bench::{run_kernel, run_workload};
-use dvs_core::config::{DataInvalidation, Protocol, SystemConfig};
-use dvs_kernels::{KernelId, KernelParams, LockKind, LockedStruct};
+use dvs_campaign::grids::figure_params;
+use dvs_campaign::{quick_mode, workers_from_env, Campaign, ExperimentSpec};
+use dvs_core::config::{DataInvalidation, Protocol};
+use dvs_kernels::{KernelId, LockKind, LockedStruct};
+
+const MODES: [DataInvalidation; 2] = [
+    DataInvalidation::StaticRegions,
+    DataInvalidation::Signatures,
+];
+
+fn mode_label(mode: DataInvalidation) -> &'static str {
+    match mode {
+        DataInvalidation::StaticRegions => "static",
+        DataInvalidation::Signatures => "signature",
+    }
+}
 
 fn main() {
     let cores = if quick_mode() { 16 } else { 64 };
+    let kernel = KernelId::Locked(LockedStruct::Heap, LockKind::Array);
+    let params = figure_params(kernel, cores);
+
+    let mut specs = Vec::new();
+    let mut names = Vec::new();
+    for mode in MODES {
+        let mut spec = ExperimentSpec::kernel(kernel, params, Protocol::DeNovoSync);
+        spec.overrides.data_inv = Some(mode);
+        specs.push(spec);
+        names.push("heap (array)");
+    }
+    // fluidanimate and water (read-mostly critical sections).
+    for name in ["fluidanimate", "water"] {
+        let app = dvs_apps::app_by_name(name).expect("app");
+        let threads = if quick_mode() { 16 } else { app.cores };
+        for mode in MODES {
+            let mut spec = ExperimentSpec::app(app.name, threads, Protocol::DeNovoSync);
+            spec.overrides.data_inv = Some(mode);
+            specs.push(spec);
+            names.push(name);
+        }
+    }
+    let report = Campaign::from_specs(specs).run(workers_from_env());
+    report.expect_all_ok("signature ablation");
+
     println!("== Ablation: static regions vs dynamic signatures (DeNovoSync, {cores} cores) ==");
     println!(
         "{:18} {:>14} {:>12} {:>12} {:>14}",
         "workload", "mode", "cycles", "rd-misses", "crossings"
     );
-    // The heap kernel.
-    let kernel = KernelId::Locked(LockedStruct::Heap, LockKind::Array);
-    let mut params = KernelParams::paper(kernel, cores);
-    if quick_mode() {
-        params.iters = params.iters.min(20);
-    }
-    for mode in [
-        DataInvalidation::StaticRegions,
-        DataInvalidation::Signatures,
-    ] {
-        let mut cfg = SystemConfig::paper(cores, Protocol::DeNovoSync);
-        cfg.data_inv = mode;
-        let stats = run_kernel(kernel, cfg, &params).expect("heap runs");
+    for (record, name) in report.records.iter().zip(&names) {
+        let stats = record.outcome.as_ref().expect("run succeeded");
+        let mode = record.spec.overrides.data_inv.expect("ablation spec");
         println!(
             "{:18} {:>14} {:>12} {:>12} {:>14}",
-            "heap (array)",
-            format!("{mode:?}")
-                .replace("StaticRegions", "static")
-                .replace("Signatures", "signature"),
+            name,
+            mode_label(mode),
             stats.cycles,
             stats.cache.data_read_misses,
             stats.traffic.total()
         );
-    }
-    // fluidanimate and water (read-mostly critical sections).
-    for name in ["fluidanimate", "water"] {
-        let spec = all_apps()
-            .into_iter()
-            .find(|a| a.name == name)
-            .expect("app");
-        let threads = if quick_mode() { 16 } else { spec.cores };
-        let w = build_app(&spec, threads);
-        for mode in [
-            DataInvalidation::StaticRegions,
-            DataInvalidation::Signatures,
-        ] {
-            let mut cfg = SystemConfig::paper(threads, Protocol::DeNovoSync);
-            cfg.data_inv = mode;
-            let stats = run_workload(cfg, &w).expect("app runs");
-            println!(
-                "{:18} {:>14} {:>12} {:>12} {:>14}",
-                name,
-                format!("{mode:?}")
-                    .replace("StaticRegions", "static")
-                    .replace("Signatures", "signature"),
-                stats.cycles,
-                stats.cache.data_read_misses,
-                stats.traffic.total()
-            );
-        }
     }
     println!(
         "\n(Signatures invalidate only words actually written since the core's \

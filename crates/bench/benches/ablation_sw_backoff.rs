@@ -2,7 +2,7 @@
 //! TATAS-lock kernels. The paper found the DeNovo–MESI gap grows with
 //! software backoff (it spaces out DeNovo's read registrations but does not
 //! shorten MESI's invalidation latency).
-use dvs_bench::figures::kernel_figure;
+use dvs_bench::kernel_figure;
 use dvs_kernels::{KernelId, LockKind, LockedStruct};
 
 fn main() {

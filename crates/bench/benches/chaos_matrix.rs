@@ -5,52 +5,66 @@
 //! simulated timing is bit-identical either way).
 //!
 //! Writes `BENCH_chaos.json` (machine-readable) and prints a summary table.
-//! The seeds here match `tests/chaos.rs` and `scripts/ci.sh`.
+//! The seeds here match `tests/chaos.rs` and `scripts/ci.sh`. The matrix is
+//! one campaign (chaos cells are just specs with fault-seed overrides); the
+//! overhead measurement stays sequential because it times the host.
 
 use std::time::Instant;
 
 use dvs_bench::run_kernel;
+use dvs_campaign::{workers_from_env, Campaign, CampaignReport, ExperimentSpec};
 use dvs_core::chaos::FaultPlan;
 use dvs_core::config::{Protocol, SystemConfig};
 use dvs_kernels::{KernelId, KernelParams, LockKind, LockedStruct};
-use dvs_stats::report::{JsonObject, ParamTable};
+use dvs_stats::report::{BenchArtifact, JsonObject, ParamTable};
 
 const SEEDS: [u64; 4] = [1, 42, 0xDEAD_BEEF, 0x5EED_CAFE];
 const THREADS: usize = 4;
 const OVERHEAD_REPS: u32 = 20;
 
-fn chaos_cfg(proto: Protocol, seed: u64, check: bool) -> SystemConfig {
-    let mut cfg = SystemConfig::small(THREADS, proto);
-    cfg.check_invariants = check;
-    cfg.fault_plan = Some(FaultPlan::from_seed(seed));
-    cfg
+/// The full matrix as one spec list: (protocol × seed) cells, each cell
+/// covering every kernel, in cell-major order.
+fn matrix_specs() -> Vec<ExperimentSpec> {
+    let params = KernelParams::smoke(THREADS);
+    let mut specs = Vec::new();
+    for proto in Protocol::ALL {
+        for seed in SEEDS {
+            for kernel in KernelId::all() {
+                let mut spec = ExperimentSpec::kernel(kernel, params, proto);
+                spec.overrides.check_invariants = true;
+                spec.overrides.fault_seed = Some(seed);
+                specs.push(spec);
+            }
+        }
+    }
+    specs
 }
 
-/// Runs the full kernel matrix for one (protocol, seed) cell with invariant
-/// checking on; panics on any failure so CI treats a regression as fatal.
-fn run_cell(proto: Protocol, seed: u64) -> JsonObject {
-    let params = KernelParams::smoke(THREADS);
-    let mut total_cycles = 0u64;
-    let mut total_msgs = 0u64;
-    let mut runs = 0u64;
-    for kernel in KernelId::all() {
-        let stats = run_kernel(kernel, chaos_cfg(proto, seed, true), &params).unwrap_or_else(|e| {
-            panic!(
-                "{} on {proto:?} with fault seed {seed:#x}: {e}",
-                kernel.name()
-            )
-        });
-        total_cycles += stats.cycles;
-        total_msgs += stats.traffic.total();
-        runs += 1;
+/// Aggregates the per-kernel records back into (protocol, seed) cells.
+fn cell_json(report: &CampaignReport) -> Vec<JsonObject> {
+    let kernels = KernelId::all().len();
+    let mut cells = Vec::new();
+    let mut chunk = report.records.chunks(kernels);
+    for proto in Protocol::ALL {
+        for seed in SEEDS {
+            let records = chunk.next().expect("cell records");
+            let mut total_cycles = 0u64;
+            let mut total_msgs = 0u64;
+            for r in records {
+                let stats = r.outcome.as_ref().expect("matrix run succeeded");
+                total_cycles += stats.cycles;
+                total_msgs += stats.traffic.total();
+            }
+            let mut cell = JsonObject::new();
+            cell.str("protocol", proto.label())
+                .str("seed", &format!("{seed:#x}"))
+                .u64("runs", records.len() as u64)
+                .u64("total_cycles", total_cycles)
+                .u64("total_messages", total_msgs);
+            cells.push(cell);
+        }
     }
-    let mut cell = JsonObject::new();
-    cell.str("protocol", proto.label())
-        .str("seed", &format!("{seed:#x}"))
-        .u64("runs", runs)
-        .u64("total_cycles", total_cycles)
-        .u64("total_messages", total_msgs);
-    cell
+    cells
 }
 
 /// Times `OVERHEAD_REPS` runs of one kernel with checking off/on and verifies
@@ -63,12 +77,10 @@ fn measure_overhead() -> JsonObject {
     for (i, check) in [false, true].into_iter().enumerate() {
         let start = Instant::now();
         for _ in 0..OVERHEAD_REPS {
-            let stats = run_kernel(
-                kernel,
-                chaos_cfg(Protocol::DeNovoSync, SEEDS[0], check),
-                &params,
-            )
-            .expect("overhead run");
+            let mut cfg = SystemConfig::small(THREADS, Protocol::DeNovoSync);
+            cfg.check_invariants = check;
+            cfg.fault_plan = Some(FaultPlan::from_seed(SEEDS[0]));
+            let stats = run_kernel(kernel, cfg, &params).expect("overhead run");
             cycles[i] = stats.cycles;
         }
         times[i] = start.elapsed().as_nanos();
@@ -88,12 +100,9 @@ fn measure_overhead() -> JsonObject {
 }
 
 fn main() {
-    let mut matrix = Vec::new();
-    for proto in Protocol::ALL {
-        for seed in SEEDS {
-            matrix.push(run_cell(proto, seed));
-        }
-    }
+    let report = Campaign::from_specs(matrix_specs()).run(workers_from_env());
+    report.expect_all_ok("chaos matrix");
+    let matrix = cell_json(&report);
     let overhead = measure_overhead();
 
     let mut summary = ParamTable::new("Chaos matrix");
@@ -101,17 +110,19 @@ fn main() {
         .row("kernels", KernelId::all().len())
         .row("protocols", Protocol::ALL.len())
         .row("fault seeds", SEEDS.len())
-        .row("invariant checking", "enabled for every matrix run");
+        .row("invariant checking", "enabled for every matrix run")
+        .row("campaign wall", format!("{:.1}s", report.wall_seconds()));
     print!("{}", summary.render());
 
-    let mut root = JsonObject::new();
-    root.str("bench", "chaos_matrix")
+    let mut artifact = BenchArtifact::new("chaos_matrix", "");
+    artifact
+        .body()
         .u64("threads", THREADS as u64)
         .array("matrix", matrix)
         .object("invariant_check_overhead", overhead);
-    let json = root.render();
     // Anchor to the workspace root regardless of the bench binary's cwd.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    println!("wrote {path}");
+    artifact.write(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_chaos.json"
+    ));
 }

@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use dvs_check::{check_litmus, CheckConfig, CheckReport, Verdict};
 use dvs_core::config::Protocol;
-use dvs_stats::report::{JsonObject, ParamTable};
+use dvs_stats::report::{host_parallelism, BenchArtifact, JsonObject, ParamTable};
 use dvs_vm::litmus::{self, Litmus};
 
 fn run(lit: &Litmus, proto: Protocol, workers: usize, por: bool) -> (CheckReport, f64) {
@@ -106,7 +106,7 @@ fn main() {
         }
     }
     let (scaling_rows, speedup4) = scaling();
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_cpus = host_parallelism();
 
     let mut summary = ParamTable::new("Model-checker matrix");
     summary
@@ -125,15 +125,15 @@ fn main() {
         );
     print!("{}", summary.render());
 
-    let mut root = JsonObject::new();
-    root.str("bench", "check_matrix")
-        .u64("host_parallelism", host_cpus as u64)
+    let mut artifact = BenchArtifact::new("check_matrix", "");
+    artifact
+        .body()
         .array("matrix", matrix)
         .array("scaling", scaling_rows)
         .f64("speedup_4_workers", speedup4);
-    let json = root.render();
     // Anchor to the workspace root regardless of the bench binary's cwd.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_check.json");
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    println!("wrote {path}");
+    artifact.write(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_check.json"
+    ));
 }

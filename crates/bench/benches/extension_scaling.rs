@@ -2,10 +2,12 @@
 //! synchronization class. The paper evaluates 16 and 64 cores; this sweep
 //! fills in the curve and shows where each protocol's costs start growing
 //! (MESI's invalidation fan-out and blocking-directory queues vs DeNovo's
-//! registration chains and backoff).
-use dvs_bench::figures::quick_mode;
-use dvs_bench::run_kernel;
-use dvs_core::config::{Protocol, SystemConfig};
+//! registration chains and backoff). One campaign covers every kernel,
+//! core count, and protocol; a spec's config is the paper preset at 16/64
+//! cores and the small-system preset elsewhere.
+use dvs_campaign::spec::WorkloadSpec;
+use dvs_campaign::{quick_mode, workers_from_env, Campaign, ExperimentSpec};
+use dvs_core::config::Protocol;
 use dvs_kernels::{BarrierKind, KernelId, KernelParams, LockKind, LockedStruct, NonBlocking};
 
 fn main() {
@@ -20,12 +22,9 @@ fn main() {
         KernelId::NonBlocking(NonBlocking::MsQueue),
         KernelId::Barrier(BarrierKind::Central, false),
     ];
+
+    let mut specs = Vec::new();
     for kernel in kernels {
-        println!("== Scaling: {} ==", kernel.name());
-        println!(
-            "{:>6} {:>10} {:>12} {:>12} {:>14} {:>14}",
-            "cores", "proto", "cycles", "per-op", "crossings", "sync-misses"
-        );
         for &cores in cores_list {
             for proto in Protocol::ALL {
                 let mut params = KernelParams::paper(kernel, cores.max(16));
@@ -33,24 +32,36 @@ fn main() {
                 if quick_mode() {
                     params.iters = params.iters.min(20);
                 }
-                let mut cfg = SystemConfig::small(cores, proto);
-                // Keep the paper's latency/backoff structure at paper sizes.
-                if cores == 16 || cores == 64 {
-                    cfg = SystemConfig::paper(cores, proto);
-                }
-                let stats = run_kernel(kernel, cfg, &params)
-                    .unwrap_or_else(|e| panic!("{} @{cores} {proto}: {e}", kernel.name()));
-                let ops = params.iters * cores as u64;
-                println!(
-                    "{:>6} {:>10} {:>12} {:>12} {:>14} {:>14}",
-                    cores,
-                    proto.label(),
-                    stats.cycles,
-                    stats.cycles / ops.max(1),
-                    stats.traffic.total(),
-                    stats.cache.sync_read_misses
-                );
+                specs.push(ExperimentSpec::kernel(kernel, params, proto));
             }
+        }
+    }
+    let report = Campaign::from_specs(specs).run(workers_from_env());
+    report.expect_all_ok("scaling sweep");
+
+    let per_kernel = cores_list.len() * Protocol::ALL.len();
+    for (k, kernel) in kernels.iter().enumerate() {
+        println!("== Scaling: {} ==", kernel.name());
+        println!(
+            "{:>6} {:>10} {:>12} {:>12} {:>14} {:>14}",
+            "cores", "proto", "cycles", "per-op", "crossings", "sync-misses"
+        );
+        for record in &report.records[k * per_kernel..(k + 1) * per_kernel] {
+            let stats = record.outcome.as_ref().expect("run succeeded");
+            let WorkloadSpec::Kernel { params, .. } = record.spec.workload else {
+                panic!("kernel spec expected");
+            };
+            let cores = params.threads;
+            let ops = params.iters * cores as u64;
+            println!(
+                "{:>6} {:>10} {:>12} {:>12} {:>14} {:>14}",
+                cores,
+                record.spec.protocol.label(),
+                stats.cycles,
+                stats.cycles / ops.max(1),
+                stats.traffic.total(),
+                stats.cache.sync_read_misses
+            );
         }
         println!();
     }

@@ -1,7 +1,11 @@
 //! Figure 2: example interleavings of the Michael–Scott enqueue on MESI,
 //! DeNovoSync0, and DeNovoSync, showing per-access hits/misses (and
 //! hardware-backoff stalls).
-use dvs_bench::figures::fig2_trace;
+//!
+//! This is a single-run trace replay, not an evaluation grid, so it stays
+//! off the campaign runner (see `dvs_bench::trace`).
+
+use dvs_bench::trace::fig2_trace;
 
 fn main() {
     fig2_trace();

@@ -1,6 +1,6 @@
 //! Figure 3: Test-and-Test-and-Set lock based synchronization —
 //! execution time and network traffic on 16 and 64 cores.
-use dvs_bench::figures::kernel_figure;
+use dvs_bench::kernel_figure;
 use dvs_kernels::{KernelId, LockKind, LockedStruct};
 
 fn main() {

@@ -1,5 +1,5 @@
 //! Figure 4: array (queue) lock based synchronization.
-use dvs_bench::figures::kernel_figure;
+use dvs_bench::kernel_figure;
 use dvs_kernels::{KernelId, LockKind, LockedStruct};
 
 fn main() {

@@ -1,5 +1,5 @@
 //! Figure 5: non-blocking algorithms.
-use dvs_bench::figures::kernel_figure;
+use dvs_bench::kernel_figure;
 use dvs_kernels::{KernelId, NonBlocking};
 
 fn main() {

@@ -1,5 +1,5 @@
 //! Figure 6: barrier synchronization (balanced and unbalanced).
-use dvs_bench::figures::kernel_figure;
+use dvs_bench::kernel_figure;
 use dvs_kernels::{BarrierKind, KernelId};
 
 fn main() {

@@ -2,7 +2,7 @@
 //! over the 13 application models (ferret and x264 at 16 cores, the rest
 //! at 64).
 use dvs_apps::all_apps;
-use dvs_bench::figures::app_figure;
+use dvs_bench::app_figure;
 
 fn main() {
     app_figure("Figure 7 (applications)", &all_apps());

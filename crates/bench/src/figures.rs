@@ -1,40 +1,20 @@
-//! Drivers that regenerate the paper's figures as normalized tables.
+//! Table rendering for the paper's figures.
 //!
-//! Each figure runs a grid of (workload × protocol × core count), verifies
-//! every run's semantic post-condition, and prints two paper-style stacked
-//! tables per core count: execution time (normalized to MESI, decomposed
-//! into the Figure 3–7 components) and network traffic (normalized to MESI,
+//! The grids themselves are expanded and executed by `dvs-campaign`; this
+//! module only turns a finished [`CampaignReport`] into the paper-style
+//! stacked tables: execution time (normalized to MESI, decomposed into the
+//! Figure 3–7 components) and network traffic (normalized to MESI,
 //! decomposed by message class).
 //!
-//! Set `DVS_QUICK=1` to run a reduced grid (fewer iterations, 16 cores
-//! only) — used for smoke-testing the harnesses.
+//! Set `DVS_QUICK=1` to run reduced grids and `DVS_WORKERS=N` to control the
+//! campaign worker pool (see [`dvs_campaign::grids`]).
 
-use crate::{run_kernel, run_workload};
-use dvs_apps::{build_app, AppSpec};
-use dvs_core::config::{Protocol, SystemConfig};
-use dvs_kernels::{KernelId, KernelParams};
+pub use dvs_campaign::{figure_core_counts, quick_mode};
+
+use dvs_campaign::spec::WorkloadSpec;
+use dvs_campaign::CampaignReport;
 use dvs_stats::report::StackedTable;
 use dvs_stats::{RunStats, TimeComponent, TrafficClass};
-
-/// Whether quick mode is enabled (reduced iterations and core counts).
-pub fn quick_mode() -> bool {
-    std::env::var("DVS_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
-}
-
-/// The core counts a figure should sweep (paper: 16 and 64; quick: 16).
-pub fn figure_core_counts() -> Vec<usize> {
-    if quick_mode() {
-        vec![16]
-    } else {
-        vec![16, 64]
-    }
-}
-
-fn scale_params(params: &mut KernelParams) {
-    if quick_mode() {
-        params.iters = params.iters.min(20);
-    }
-}
 
 /// Builds the execution-time table rows for one run.
 pub fn time_row(stats: &RunStats) -> Vec<f64> {
@@ -63,64 +43,35 @@ pub fn traffic_components() -> Vec<&'static str> {
     TrafficClass::ALL.iter().map(|c| c.label()).collect()
 }
 
-/// Runs one kernel grid (the shape of Figures 3–6) and prints the
-/// normalized tables. `tweak` adjusts the paper parameters (ablations).
-pub fn kernel_figure(figure: &str, kernels: &[KernelId], tweak: impl Fn(&mut KernelParams)) {
-    for &cores in &figure_core_counts() {
-        let tc = time_components();
-        let cc = traffic_components();
-        let mut time = StackedTable::new(
-            &format!("{figure}: execution time, {cores} cores (normalized to MESI)"),
-            &tc,
-        );
-        let mut traffic = StackedTable::new(
-            &format!("{figure}: network traffic, {cores} cores (normalized to MESI)"),
-            &cc,
-        );
-        for &kernel in kernels {
-            for proto in Protocol::ALL {
-                let mut params = KernelParams::paper(kernel, cores);
-                scale_params(&mut params);
-                tweak(&mut params);
-                let cfg = SystemConfig::paper(cores, proto);
-                let stats = run_kernel(kernel, cfg, &params)
-                    .unwrap_or_else(|e| panic!("{} on {proto} @{cores}: {e}", kernel.name()));
-                time.bar(&kernel.name(), proto.label(), &time_row(&stats));
-                traffic.bar(&kernel.name(), proto.label(), &traffic_row(&stats));
-            }
-        }
-        print!("{}", time.render());
-        summarize(&time, "execution time");
-        print!("{}", traffic.render());
-        summarize(&traffic, "network traffic");
-        println!();
+/// The table group a spec's bars belong to (one group per workload).
+fn group_name(workload: &WorkloadSpec) -> String {
+    match workload {
+        WorkloadSpec::Kernel { kernel, .. } => kernel.name(),
+        WorkloadSpec::App { name, threads } => format!("{name} @{threads}"),
     }
 }
 
-/// Runs the application grid (Figure 7: MESI vs DeNovoSync) and prints the
-/// normalized tables.
-pub fn app_figure(figure: &str, apps: &[AppSpec]) {
+/// Renders a campaign report as the two paper-style tables (execution time
+/// and network traffic) plus the geomean summary lines. Records must all be
+/// successful (the figure drivers call `expect_all_ok` first).
+///
+/// # Panics
+///
+/// Panics if a record carries an error instead of stats.
+pub fn render_report_tables(title_time: &str, title_traffic: &str, report: &CampaignReport) {
     let tc = time_components();
     let cc = traffic_components();
-    let mut time = StackedTable::new(
-        &format!("{figure}: execution time (normalized to MESI)"),
-        &tc,
-    );
-    let mut traffic = StackedTable::new(
-        &format!("{figure}: network traffic (normalized to MESI)"),
-        &cc,
-    );
-    for spec in apps {
-        let threads = if quick_mode() { 16 } else { spec.cores };
-        let workload = build_app(spec, threads);
-        for proto in [Protocol::Mesi, Protocol::DeNovoSync] {
-            let cfg = SystemConfig::paper(threads, proto);
-            let stats = run_workload(cfg, &workload)
-                .unwrap_or_else(|e| panic!("{} on {proto}: {e}", spec.name));
-            let label = format!("{} @{}", spec.name, threads);
-            time.bar(&label, proto.label(), &time_row(&stats));
-            traffic.bar(&label, proto.label(), &traffic_row(&stats));
-        }
+    let mut time = StackedTable::new(title_time, &tc);
+    let mut traffic = StackedTable::new(title_traffic, &cc);
+    for record in &report.records {
+        let stats = record
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: {e}", record.spec.label()));
+        let group = group_name(&record.spec.workload);
+        let bar = record.spec.protocol.label();
+        time.bar(&group, bar, &time_row(stats));
+        traffic.bar(&group, bar, &traffic_row(stats));
     }
     print!("{}", time.render());
     summarize(&time, "execution time");
@@ -128,74 +79,8 @@ pub fn app_figure(figure: &str, apps: &[AppSpec]) {
     summarize(&traffic, "network traffic");
 }
 
-/// Replays the paper's Figure 2 scenario: two threads race through the
-/// Michael–Scott `enqueue` while a third keeps dequeueing, on each protocol;
-/// prints every access to `tail`, `head` and node links with its hit/miss
-/// outcome (and hardware-backoff stalls under DeNovoSync).
-pub fn fig2_trace() {
-    use dvs_core::trace::TraceKind;
-    use dvs_core::System;
-    use dvs_kernels::{KernelParams, NonBlocking};
-
-    let mut params = KernelParams::smoke(4);
-    params.iters = 2;
-    params.nonsynch = (1, 2);
-    params.sw_backoff = false;
-    let w = dvs_kernels::build(KernelId::NonBlocking(NonBlocking::MsQueue), &params);
-    let head = w.layout.segment("head").expect("head").base;
-    let tail = w.layout.segment("tail").expect("tail").base;
-    for proto in Protocol::ALL {
-        println!("== Figure 2 ({proto}): M-S queue, accesses to head/tail/links ==");
-        let mut sys = System::new(
-            SystemConfig::small(4, proto),
-            w.layout.clone(),
-            w.programs.clone(),
-        );
-        for &(a, v) in &w.init {
-            sys.preload(a, v);
-        }
-        for (i, &(b, n)) in w.pools.iter().enumerate() {
-            sys.set_thread_pool(i, b, n);
-        }
-        sys.enable_trace();
-        sys.run().expect("figure-2 run");
-        let trace = sys.take_trace().expect("trace enabled");
-        let mut shown = 0;
-        for e in trace.events() {
-            let name = if e.addr == head {
-                "head"
-            } else if e.addr == tail {
-                "tail"
-            } else if e.sync {
-                "node.next"
-            } else {
-                continue; // node values and bookkeeping
-            };
-            let outcome = match e.kind {
-                TraceKind::Hit => "HIT ".to_owned(),
-                TraceKind::Miss => "MISS".to_owned(),
-                TraceKind::Backoff { cycles } => format!("BACKOFF {cycles}"),
-                TraceKind::Mark(_) => continue,
-            };
-            println!(
-                "  core {} @{:>6}  {:9} {:5} {}",
-                e.core,
-                e.cycle,
-                name,
-                if e.write { "write" } else { "read" },
-                outcome
-            );
-            shown += 1;
-            if shown >= 40 {
-                println!("  ... (truncated)");
-                break;
-            }
-        }
-        println!();
-    }
-}
-
-fn summarize(table: &StackedTable, what: &str) {
+/// Prints the paper's quoted geomean summary lines for a rendered table.
+pub fn summarize(table: &StackedTable, what: &str) {
     for bar in ["DS0", "DS"] {
         if let Some(g) = table.geomean_total(bar) {
             println!("  geomean {what} {bar} vs MESI: {g:.1}%");

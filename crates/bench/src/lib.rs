@@ -1,74 +1,67 @@
-//! The experiment harness: glue between workloads and the simulator, plus
-//! the table/figure drivers under `benches/` (run with `cargo bench`).
+//! The experiment harness: campaign-driven figure drivers plus the
+//! table/figure targets under `benches/` (run with `cargo bench`).
+//!
+//! Every evaluation grid is expanded into [`dvs_campaign::ExperimentSpec`]
+//! lists and executed by the parallel [`dvs_campaign::Campaign`] runner;
+//! this crate contributes only the paper-shaped grid definitions and the
+//! table rendering ([`figures`]). The single-run entry points
+//! ([`run_workload`], [`run_kernel`]) live in `dvs-campaign` and are
+//! re-exported here for the tests and examples that predate the campaign
+//! layer.
 
 pub mod figures;
+pub mod trace;
 
-use dvs_core::config::SystemConfig;
-use dvs_core::system::SimError;
-use dvs_core::System;
-use dvs_kernels::{KernelId, KernelParams, Workload};
-use dvs_stats::RunStats;
+pub use dvs_campaign::{run_kernel, run_workload, RunError};
 
-/// A failed experiment run.
-#[derive(Debug)]
-pub enum RunError {
-    /// The simulator reported an error (deadlock, assertion, cycle limit).
-    Sim(SimError),
-    /// The workload's semantic post-condition failed.
-    Check(String),
-}
+use dvs_apps::AppSpec;
+use dvs_campaign::grids::{app_grid, kernel_grid};
+use dvs_campaign::{figure_core_counts, workers_from_env, Campaign};
+use dvs_core::config::Protocol;
+use dvs_kernels::{KernelId, KernelParams};
 
-impl std::fmt::Display for RunError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
-            RunError::Check(e) => write!(f, "semantic check failed: {e}"),
-        }
+/// Runs one kernel grid (the shape of Figures 3–6) through the campaign
+/// runner and prints the normalized tables per core count. `tweak` adjusts
+/// the paper parameters (ablations).
+///
+/// # Panics
+///
+/// Panics if any cell fails — a figure with holes is a regression.
+pub fn kernel_figure(figure: &str, kernels: &[KernelId], tweak: impl Fn(&mut KernelParams)) {
+    for &cores in &figure_core_counts() {
+        let specs = kernel_grid(kernels, cores, &Protocol::ALL, &tweak);
+        let report = Campaign::from_specs(specs).run(workers_from_env());
+        report.expect_all_ok(figure);
+        figures::render_report_tables(
+            &format!("{figure}: execution time, {cores} cores (normalized to MESI)"),
+            &format!("{figure}: network traffic, {cores} cores (normalized to MESI)"),
+            &report,
+        );
+        println!();
     }
 }
 
-impl std::error::Error for RunError {}
-
-/// Instantiates `workload` on a system, runs it to completion, verifies its
-/// semantic post-condition, and returns the run statistics.
+/// Runs the application grid (Figure 7: MESI vs DeNovoSync) through the
+/// campaign runner and prints the normalized tables.
 ///
-/// # Errors
+/// # Panics
 ///
-/// [`RunError::Sim`] if the simulation fails; [`RunError::Check`] if the
-/// final memory image violates the workload's post-condition.
-pub fn run_workload(cfg: SystemConfig, workload: &Workload) -> Result<RunStats, RunError> {
-    let mut sys = System::new(cfg, workload.layout.clone(), workload.programs.clone());
-    for &(addr, value) in &workload.init {
-        sys.preload(addr, value);
-    }
-    for (i, &(base, bytes)) in workload.pools.iter().enumerate() {
-        sys.set_thread_pool(i, base, bytes);
-    }
-    let stats = sys.run().map_err(RunError::Sim)?;
-    sys.verify_coherence().map_err(RunError::Check)?;
-    let read = |a| sys.read_word(a);
-    (workload.check)(&read).map_err(RunError::Check)?;
-    Ok(stats)
-}
-
-/// Builds and runs one kernel.
-///
-/// # Errors
-///
-/// Propagates [`run_workload`] failures.
-pub fn run_kernel(
-    kernel: KernelId,
-    cfg: SystemConfig,
-    params: &KernelParams,
-) -> Result<RunStats, RunError> {
-    let workload = dvs_kernels::build(kernel, params);
-    run_workload(cfg, &workload)
+/// Panics if any cell fails.
+pub fn app_figure(figure: &str, apps: &[AppSpec]) {
+    let specs = app_grid(apps, &[Protocol::Mesi, Protocol::DeNovoSync]);
+    let report = Campaign::from_specs(specs).run(workers_from_env());
+    report.expect_all_ok(figure);
+    figures::render_report_tables(
+        &format!("{figure}: execution time (normalized to MESI)"),
+        &format!("{figure}: network traffic (normalized to MESI)"),
+        &report,
+    );
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvs_core::config::Protocol;
+    use dvs_core::config::SystemConfig;
     use dvs_kernels::{LockKind, LockedStruct};
 
     #[test]

@@ -1,0 +1,133 @@
+//! Grid builders: expand figure-shaped evaluation grids into spec lists,
+//! plus the environment knobs shared by every bench driver.
+//!
+//! * `DVS_QUICK=1` — reduced grids (fewer iterations, 16 cores only) for
+//!   smoke runs; read once and cached.
+//! * `DVS_WORKERS=N` — campaign worker count; defaults to the host's
+//!   available parallelism.
+
+use crate::spec::ExperimentSpec;
+use dvs_apps::AppSpec;
+use dvs_core::config::Protocol;
+use dvs_kernels::{KernelId, KernelParams};
+use dvs_stats::report::host_parallelism;
+use std::sync::OnceLock;
+
+/// Whether quick mode is enabled (reduced iterations and core counts).
+/// The `DVS_QUICK` lookup happens once per process, not per call.
+pub fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var("DVS_QUICK").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// Campaign worker count: `DVS_WORKERS` if set and positive, otherwise the
+/// host's available parallelism.
+pub fn workers_from_env() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("DVS_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or_else(host_parallelism)
+    })
+}
+
+/// The core counts a figure should sweep (paper: 16 and 64; quick: 16).
+pub fn figure_core_counts() -> Vec<usize> {
+    if quick_mode() {
+        vec![16]
+    } else {
+        vec![16, 64]
+    }
+}
+
+/// Paper parameters for `kernel` at `cores`, reduced in quick mode.
+pub fn figure_params(kernel: KernelId, cores: usize) -> KernelParams {
+    let mut params = KernelParams::paper(kernel, cores);
+    if quick_mode() {
+        params.iters = params.iters.min(20);
+    }
+    params
+}
+
+/// The kernel-figure grid (Figures 3–6): `kernels × protocols` at one core
+/// count, paper parameters adjusted by `tweak` (identity for the main
+/// figures, parameter flips for the ablations).
+pub fn kernel_grid(
+    kernels: &[KernelId],
+    cores: usize,
+    protocols: &[Protocol],
+    tweak: impl Fn(&mut KernelParams),
+) -> Vec<ExperimentSpec> {
+    let mut specs = Vec::with_capacity(kernels.len() * protocols.len());
+    for &kernel in kernels {
+        for &protocol in protocols {
+            let mut params = figure_params(kernel, cores);
+            tweak(&mut params);
+            specs.push(ExperimentSpec::kernel(kernel, params, protocol));
+        }
+    }
+    specs
+}
+
+/// The app thread count a figure uses (paper: the app's Table 2 core count;
+/// quick: 16).
+pub fn app_threads(app: &AppSpec) -> usize {
+    if quick_mode() {
+        16
+    } else {
+        app.cores
+    }
+}
+
+/// The app-figure grid (Figure 7): `apps × protocols` at each app's own core
+/// count.
+pub fn app_grid(apps: &[AppSpec], protocols: &[Protocol]) -> Vec<ExperimentSpec> {
+    let mut specs = Vec::with_capacity(apps.len() * protocols.len());
+    for app in apps {
+        for &protocol in protocols {
+            specs.push(ExperimentSpec::app(app.name, app_threads(app), protocol));
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_kernels::{LockKind, LockedStruct};
+
+    #[test]
+    fn kernel_grid_is_kernel_major_protocol_minor() {
+        let kernels = [
+            KernelId::Locked(LockedStruct::Counter, LockKind::Tatas),
+            KernelId::Locked(LockedStruct::Stack, LockKind::Array),
+        ];
+        let specs = kernel_grid(&kernels, 16, &Protocol::ALL, |_| {});
+        assert_eq!(specs.len(), 6);
+        assert_eq!(specs[0].label(), "tatas:counter M @16");
+        assert_eq!(specs[1].label(), "tatas:counter DS0 @16");
+        assert_eq!(specs[2].label(), "tatas:counter DS @16");
+        assert_eq!(specs[3].label(), "array:stack M @16");
+    }
+
+    #[test]
+    fn kernel_grid_applies_tweaks() {
+        let kernels = [KernelId::Locked(LockedStruct::Counter, LockKind::Tatas)];
+        let specs = kernel_grid(&kernels, 16, &[Protocol::DeNovoSync], |p| {
+            p.sw_backoff = true;
+        });
+        match specs[0].workload {
+            crate::spec::WorkloadSpec::Kernel { params, .. } => assert!(params.sw_backoff),
+            _ => panic!("kernel spec expected"),
+        }
+    }
+
+    #[test]
+    fn app_grid_covers_all_pairs() {
+        let apps = dvs_apps::all_apps();
+        let specs = app_grid(&apps, &[Protocol::Mesi, Protocol::DeNovoSync]);
+        assert_eq!(specs.len(), apps.len() * 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! The parallel campaign runner.
+//!
+//! Work distribution follows `dvs-check`'s explorer: a shared atomic cursor
+//! over the spec list, self-scheduling worker threads, results written into
+//! per-spec slots. Workers never exchange results, so the report is
+//! independent of scheduling; a worker that hits a panic records it in its
+//! slot and moves on to the next spec.
+
+use crate::spec::ExperimentSpec;
+use crate::RunError;
+use dvs_core::system::SimError;
+use dvs_stats::report::JsonObject;
+use dvs_stats::{RunStats, TimeComponent, TrafficClass};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Why one campaign run failed. Failures are per-run records, never
+/// campaign-fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The workload id did not resolve to a buildable workload.
+    Build(String),
+    /// The simulator reported an error (deadlock, assertion, cycle limit).
+    Sim(SimError),
+    /// Post-run verification failed (coherence or the semantic check).
+    Check(String),
+    /// The run panicked (e.g. a builder rejected the configuration); the
+    /// payload is the panic message.
+    Panic(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Build(e) => write!(f, "build failed: {e}"),
+            CampaignError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CampaignError::Check(e) => write!(f, "check failed: {e}"),
+            CampaignError::Panic(e) => write!(f, "run panicked: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The outcome of one spec: its identity, result, and how long the run took
+/// on the host. `wall_nanos` is observability only — it never enters
+/// [`CampaignReport::results_json`] or the digest.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Position in the campaign's spec list.
+    pub index: usize,
+    /// The spec that ran.
+    pub spec: ExperimentSpec,
+    /// Simulation statistics, or why the run failed.
+    pub outcome: Result<RunStats, CampaignError>,
+    /// Host wall-clock time of this run, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// Everything a [`Campaign::run`] produced, ordered by spec index.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// One record per spec, in spec order regardless of execution order.
+    pub records: Vec<RunRecord>,
+    /// How many worker threads executed the campaign.
+    pub workers: usize,
+    /// Total host wall-clock for the whole campaign, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// An ordered list of [`ExperimentSpec`]s to execute.
+#[derive(Debug, Clone, Default)]
+pub struct Campaign {
+    specs: Vec<ExperimentSpec>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new() -> Self {
+        Campaign::default()
+    }
+
+    /// Wraps an existing run list.
+    pub fn from_specs(specs: Vec<ExperimentSpec>) -> Self {
+        Campaign { specs }
+    }
+
+    /// Appends one spec.
+    pub fn push(&mut self, spec: ExperimentSpec) {
+        self.specs.push(spec);
+    }
+
+    /// The run list, in execution-index order.
+    pub fn specs(&self) -> &[ExperimentSpec] {
+        &self.specs
+    }
+
+    /// Runs every spec on `workers` self-scheduling threads (clamped to at
+    /// least 1) and returns the per-spec records in spec order.
+    ///
+    /// Each worker claims the next unclaimed spec, materializes its workload
+    /// locally, runs the simulation, and stores the outcome in that spec's
+    /// slot. Panics inside a run are caught and recorded as
+    /// [`CampaignError::Panic`]; the worker then continues with the next
+    /// spec. Progress lines go to stderr.
+    pub fn run(&self, workers: usize) -> CampaignReport {
+        let n = self.specs.len();
+        let workers = workers.max(1).min(n.max(1));
+        let started = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let spec = self.specs[index];
+                    let t0 = Instant::now();
+                    let outcome = run_isolated(&spec);
+                    let wall_nanos = t0.elapsed().as_nanos() as u64;
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let status = match &outcome {
+                        Ok(stats) => format!("ok, {} cycles", stats.cycles),
+                        Err(e) => format!("FAILED: {e}"),
+                    };
+                    eprintln!(
+                        "[{finished}/{n}] {} — {status} ({:.1} ms)",
+                        spec.label(),
+                        wall_nanos as f64 / 1e6
+                    );
+                    *slots[index].lock().expect("slot lock") = Some(RunRecord {
+                        index,
+                        spec,
+                        outcome,
+                        wall_nanos,
+                    });
+                });
+            }
+        });
+
+        let records = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every slot is filled before the scope ends")
+            })
+            .collect();
+        CampaignReport {
+            records,
+            workers,
+            wall_nanos: started.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// Runs one spec with panic isolation.
+fn run_isolated(spec: &ExperimentSpec) -> Result<RunStats, CampaignError> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let workload = spec.build().map_err(CampaignError::Build)?;
+        crate::run_workload(spec.config(), &workload).map_err(|e| match e {
+            RunError::Sim(e) => CampaignError::Sim(e),
+            RunError::Check(msg) => CampaignError::Check(msg),
+        })
+    }));
+    attempt.unwrap_or_else(|payload| Err(CampaignError::Panic(panic_message(payload))))
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+impl CampaignReport {
+    /// Number of successful runs.
+    pub fn ok_count(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome.is_ok()).count()
+    }
+
+    /// The failed runs, in spec order.
+    pub fn failures(&self) -> Vec<&RunRecord> {
+        self.records.iter().filter(|r| r.outcome.is_err()).collect()
+    }
+
+    /// Panics with a list of every failure unless all runs succeeded — the
+    /// figure drivers treat any failed cell as fatal.
+    pub fn expect_all_ok(&self, what: &str) {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return;
+        }
+        let mut msg = format!(
+            "{what}: {} of {} runs failed:",
+            failures.len(),
+            self.records.len()
+        );
+        for r in failures {
+            let err = r.outcome.as_ref().expect_err("failure record");
+            msg.push_str(&format!("\n  {} — {err}", r.spec.label()));
+        }
+        panic!("{msg}");
+    }
+
+    /// The per-run results as JSON objects, in spec order. Contains only
+    /// spec identities and simulated quantities — no wall-times, worker
+    /// counts, thread ids, or host properties — so the rendering is
+    /// byte-identical for any worker count.
+    pub fn results_json(&self) -> Vec<JsonObject> {
+        self.records.iter().map(record_json).collect()
+    }
+
+    /// FNV-1a hash (hex) of the rendered [`CampaignReport::results_json`] —
+    /// the campaign's determinism fingerprint.
+    pub fn results_digest(&self) -> String {
+        let mut hash = FNV_OFFSET;
+        for obj in self.results_json() {
+            for byte in obj.render().bytes() {
+                hash = fnv1a(hash, byte);
+            }
+        }
+        format!("{hash:016x}")
+    }
+
+    /// Total host wall-clock in seconds.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_nanos as f64 / 1e9
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(hash: u64, byte: u8) -> u64 {
+    (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+fn record_json(record: &RunRecord) -> JsonObject {
+    let mut obj = JsonObject::new();
+    obj.u64("index", record.index as u64)
+        .str("spec", &record.spec.label())
+        .str("protocol", record.spec.protocol.label())
+        .u64("cores", record.spec.workload.cores() as u64);
+    match &record.outcome {
+        Ok(stats) => {
+            obj.bool("ok", true);
+            obj.u64("cycles", stats.cycles).u64("events", stats.events);
+            let mut time = JsonObject::new();
+            let breakdown = stats.breakdown();
+            for &c in &TimeComponent::ALL {
+                time.u64(c.label(), breakdown.get(c));
+            }
+            obj.object("time", time);
+            let mut traffic = JsonObject::new();
+            for &c in &TrafficClass::ALL {
+                traffic.u64(c.label(), stats.traffic.get(c));
+            }
+            traffic.u64("messages", stats.traffic.messages());
+            obj.object("traffic", traffic);
+            let mut cache = JsonObject::new();
+            cache
+                .u64("hits", stats.cache.hits())
+                .u64("misses", stats.cache.misses());
+            obj.object("cache", cache);
+            // Per-core breakdowns folded to a hash: enough to detect any
+            // cross-worker nondeterminism without bloating the artifact.
+            obj.str("per_core_fnv", &per_core_fnv(stats));
+        }
+        Err(e) => {
+            obj.bool("ok", false);
+            obj.str("error", &e.to_string());
+        }
+    }
+    obj
+}
+
+fn per_core_fnv(stats: &RunStats) -> String {
+    let mut hash = FNV_OFFSET;
+    for core in &stats.per_core {
+        for (_, cycles) in core.iter() {
+            for byte in cycles.to_le_bytes() {
+                hash = fnv1a(hash, byte);
+            }
+        }
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_core::config::Protocol;
+    use dvs_kernels::{KernelId, KernelParams, LockKind, LockedStruct};
+
+    fn smoke_spec(threads: usize, protocol: Protocol) -> ExperimentSpec {
+        ExperimentSpec::kernel(
+            KernelId::Locked(LockedStruct::Counter, LockKind::Tatas),
+            KernelParams::smoke(threads),
+            protocol,
+        )
+    }
+
+    #[test]
+    fn empty_campaign_runs() {
+        let report = Campaign::new().run(4);
+        assert!(report.records.is_empty());
+        assert_eq!(report.ok_count(), 0);
+        report.expect_all_ok("empty");
+    }
+
+    #[test]
+    fn records_come_back_in_spec_order() {
+        let campaign = Campaign::from_specs(vec![
+            smoke_spec(4, Protocol::Mesi),
+            smoke_spec(4, Protocol::DeNovoSync0),
+            smoke_spec(4, Protocol::DeNovoSync),
+        ]);
+        let report = campaign.run(2);
+        assert_eq!(report.records.len(), 3);
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.spec, campaign.specs()[i]);
+            assert!(r.outcome.is_ok(), "{}: {:?}", r.spec.label(), r.outcome);
+        }
+    }
+
+    #[test]
+    fn digest_ignores_wall_times() {
+        let campaign = Campaign::from_specs(vec![smoke_spec(4, Protocol::Mesi)]);
+        let mut report = campaign.run(1);
+        let digest = report.results_digest();
+        report.records[0].wall_nanos = 123_456_789;
+        report.wall_nanos = 1;
+        assert_eq!(report.results_digest(), digest);
+    }
+
+    #[test]
+    #[should_panic(expected = "of 1 runs failed")]
+    fn expect_all_ok_reports_failures() {
+        let mut spec = smoke_spec(4, Protocol::Mesi);
+        spec.overrides.max_cycles = Some(10);
+        Campaign::from_specs(vec![spec])
+            .run(1)
+            .expect_all_ok("smoke");
+    }
+}

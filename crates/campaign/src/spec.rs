@@ -1,0 +1,230 @@
+//! Experiment specifications: one run described entirely as data.
+//!
+//! A spec carries no closures and no pre-built workload — just identifiers
+//! and plain-old-data parameters — so a campaign is a serializable value
+//! that any worker thread can materialize independently.
+
+use crate::{run_workload, RunError};
+use dvs_core::chaos::FaultPlan;
+use dvs_core::config::{DataInvalidation, Protocol, ProtocolMutation, SystemConfig};
+use dvs_kernels::{KernelId, KernelParams, Workload};
+use dvs_stats::RunStats;
+
+/// Which workload a spec runs, addressed by serializable id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadSpec {
+    /// A synchronization kernel (Figures 3–6) with explicit parameters.
+    Kernel {
+        /// Which kernel; `KernelId::token()` is its serialized form.
+        kernel: KernelId,
+        /// Iteration/thread parameters (`params.threads` = core count).
+        params: KernelParams,
+    },
+    /// An application model (Figure 7), addressed by its Table 2 name.
+    App {
+        /// The app's name as listed by `dvs_apps::all_apps()`.
+        name: &'static str,
+        /// Thread count (= core count) to build the model at.
+        threads: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// The workload's display name (kernel token or app name).
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::Kernel { kernel, .. } => kernel.token(),
+            WorkloadSpec::App { name, .. } => (*name).to_owned(),
+        }
+    }
+
+    /// The core count this workload wants (one core per thread).
+    pub fn cores(&self) -> usize {
+        match self {
+            WorkloadSpec::Kernel { params, .. } => params.threads,
+            WorkloadSpec::App { threads, .. } => *threads,
+        }
+    }
+}
+
+/// Pure-data overrides applied on top of the base [`SystemConfig`] for a
+/// spec. `Default` leaves the base configuration untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ConfigOverrides {
+    /// Data self-invalidation mechanism (ablation: signatures).
+    pub data_inv: Option<DataInvalidation>,
+    /// Hardware-backoff counter width (ablation: backoff parameters).
+    pub backoff_bits: Option<u32>,
+    /// Hardware-backoff default increment (ablation: backoff parameters).
+    pub backoff_increment: Option<u64>,
+    /// Run the runtime coherence-invariant checkers (chaos matrix).
+    pub check_invariants: bool,
+    /// Deterministic fault injection seed (chaos matrix).
+    pub fault_seed: Option<u64>,
+    /// A seeded protocol bug for negative testing.
+    pub mutation: Option<ProtocolMutation>,
+    /// Cycle-limit safety valve override.
+    pub max_cycles: Option<u64>,
+}
+
+impl ConfigOverrides {
+    /// Applies the overrides to `cfg` in place.
+    pub fn apply(&self, cfg: &mut SystemConfig) {
+        if let Some(di) = self.data_inv {
+            cfg.data_inv = di;
+        }
+        if let Some(bits) = self.backoff_bits {
+            cfg.backoff.counter_bits = bits;
+        }
+        if let Some(inc) = self.backoff_increment {
+            cfg.backoff.default_increment = inc;
+        }
+        if self.check_invariants {
+            cfg.check_invariants = true;
+        }
+        if let Some(seed) = self.fault_seed {
+            cfg.fault_plan = Some(FaultPlan::from_seed(seed));
+        }
+        if let Some(m) = self.mutation {
+            cfg.mutation = Some(m);
+        }
+        if let Some(mc) = self.max_cycles {
+            cfg.max_cycles = mc;
+        }
+    }
+}
+
+/// One cell of an evaluation grid: workload × protocol × config overrides.
+///
+/// Specs are `Copy` values; the expensive parts (program text, layouts) are
+/// built on the worker that executes the spec, then dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExperimentSpec {
+    /// What to run.
+    pub workload: WorkloadSpec,
+    /// Which protocol to run it on.
+    pub protocol: Protocol,
+    /// Configuration adjustments over the base (paper/small) config.
+    pub overrides: ConfigOverrides,
+}
+
+impl ExperimentSpec {
+    /// A kernel spec with no overrides.
+    pub fn kernel(kernel: KernelId, params: KernelParams, protocol: Protocol) -> Self {
+        ExperimentSpec {
+            workload: WorkloadSpec::Kernel { kernel, params },
+            protocol,
+            overrides: ConfigOverrides::default(),
+        }
+    }
+
+    /// An app spec with no overrides.
+    pub fn app(name: &'static str, threads: usize, protocol: Protocol) -> Self {
+        ExperimentSpec {
+            workload: WorkloadSpec::App { name, threads },
+            protocol,
+            overrides: ConfigOverrides::default(),
+        }
+    }
+
+    /// Human-readable one-line identity, e.g. `tatas:counter DS @16`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} @{}",
+            self.workload.name(),
+            self.protocol.label(),
+            self.workload.cores()
+        )
+    }
+
+    /// The full system configuration for this spec: the paper's Table 1
+    /// config at 16/64 cores, the small test config elsewhere, plus
+    /// [`ConfigOverrides`].
+    pub fn config(&self) -> SystemConfig {
+        let cores = self.workload.cores();
+        let mut cfg = match cores {
+            16 | 64 => SystemConfig::paper(cores, self.protocol),
+            other => SystemConfig::small(other, self.protocol),
+        };
+        self.overrides.apply(&mut cfg);
+        cfg
+    }
+
+    /// Materializes the workload this spec names.
+    ///
+    /// # Errors
+    ///
+    /// An explanation when the workload id does not resolve (unknown app
+    /// name). Builder panics (e.g. invalid thread counts) are *not* caught
+    /// here — the campaign runner isolates them per run.
+    pub fn build(&self) -> Result<Workload, String> {
+        match self.workload {
+            WorkloadSpec::Kernel { kernel, ref params } => Ok(dvs_kernels::build(kernel, params)),
+            WorkloadSpec::App { name, threads } => {
+                let app =
+                    dvs_apps::app_by_name(name).ok_or_else(|| format!("unknown app {name:?}"))?;
+                Ok(dvs_apps::build_app(&app, threads))
+            }
+        }
+    }
+
+    /// Builds and runs this spec to completion on the current thread.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Check`] for an unresolvable workload id, otherwise
+    /// whatever [`run_workload`] reports.
+    pub fn run(&self) -> Result<RunStats, RunError> {
+        let workload = self.build().map_err(RunError::Check)?;
+        run_workload(self.config(), &workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_kernels::{LockKind, LockedStruct};
+
+    fn counter_spec(threads: usize) -> ExperimentSpec {
+        ExperimentSpec::kernel(
+            KernelId::Locked(LockedStruct::Counter, LockKind::Tatas),
+            KernelParams::smoke(threads),
+            Protocol::DeNovoSync,
+        )
+    }
+
+    #[test]
+    fn labels_identify_workload_protocol_cores() {
+        assert_eq!(counter_spec(4).label(), "tatas:counter DS @4");
+        assert_eq!(
+            ExperimentSpec::app("FFT", 16, Protocol::Mesi).label(),
+            "FFT M @16"
+        );
+    }
+
+    #[test]
+    fn config_uses_paper_presets_only_at_16_and_64() {
+        assert_eq!(counter_spec(16).config().max_cycles, 2_000_000_000);
+        assert_eq!(counter_spec(4).config().max_cycles, 500_000_000);
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_base() {
+        let mut spec = counter_spec(16);
+        spec.overrides.backoff_bits = Some(6);
+        spec.overrides.backoff_increment = Some(256);
+        spec.overrides.max_cycles = Some(1_000);
+        spec.overrides.check_invariants = true;
+        let cfg = spec.config();
+        assert_eq!(cfg.backoff.counter_bits, 6);
+        assert_eq!(cfg.backoff.default_increment, 256);
+        assert_eq!(cfg.max_cycles, 1_000);
+        assert!(cfg.check_invariants);
+    }
+
+    #[test]
+    fn unknown_app_is_a_build_error() {
+        let spec = ExperimentSpec::app("doom", 4, Protocol::Mesi);
+        assert!(spec.build().is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Campaign determinism and fault-isolation guarantees (the tentpole's
+//! acceptance tests).
+//!
+//! * A mixed kernel/app campaign serializes to byte-identical results at 1,
+//!   2, and 4 workers.
+//! * A spec that hits the cycle limit, one whose semantic check fails, and
+//!   one that panics in the builder are each reported as a per-run
+//!   `CampaignError` without poisoning their siblings.
+
+use dvs_campaign::{Campaign, CampaignError, ExperimentSpec};
+use dvs_core::config::{Protocol, ProtocolMutation};
+use dvs_core::system::SimError;
+use dvs_kernels::{BarrierKind, KernelId, KernelParams, LockKind, LockedStruct, NonBlocking};
+
+fn kernel_spec(kernel: KernelId, threads: usize, proto: Protocol) -> ExperimentSpec {
+    ExperimentSpec::kernel(kernel, KernelParams::smoke(threads), proto)
+}
+
+/// ~12 mixed kernel/app specs spanning every workload family and protocol.
+fn mixed_specs() -> Vec<ExperimentSpec> {
+    let counter = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
+    let queue = KernelId::NonBlocking(NonBlocking::MsQueue);
+    let barrier = KernelId::Barrier(BarrierKind::Central, false);
+    let mut specs = Vec::new();
+    for proto in Protocol::ALL {
+        specs.push(kernel_spec(counter, 4, proto));
+        specs.push(kernel_spec(queue, 4, proto));
+    }
+    specs.push(kernel_spec(barrier, 4, Protocol::Mesi));
+    specs.push(kernel_spec(barrier, 4, Protocol::DeNovoSync));
+    for app in ["FFT", "canneal"] {
+        specs.push(ExperimentSpec::app(app, 4, Protocol::Mesi));
+        specs.push(ExperimentSpec::app(app, 4, Protocol::DeNovoSync));
+    }
+    specs
+}
+
+#[test]
+fn results_are_byte_identical_across_worker_counts() {
+    let specs = mixed_specs();
+    assert_eq!(specs.len(), 12, "the grid should stay ~12 specs");
+    let mut renderings = Vec::new();
+    let mut digests = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let report = Campaign::from_specs(specs.clone()).run(workers);
+        assert_eq!(report.records.len(), specs.len());
+        report.expect_all_ok("mixed grid");
+        let bytes: String = report
+            .results_json()
+            .into_iter()
+            .map(|o| o.render())
+            .collect();
+        renderings.push(bytes);
+        digests.push(report.results_digest());
+    }
+    assert_eq!(renderings[0], renderings[1], "1 vs 2 workers");
+    assert_eq!(renderings[0], renderings[2], "1 vs 4 workers");
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[0], digests[2]);
+}
+
+#[test]
+fn failing_specs_do_not_poison_siblings() {
+    let counter = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
+
+    // Spec 1 (healthy), spec 2 hits the cycle limit, spec 3 fails its
+    // post-run check (a seeded MESI bug leaves stale S copies behind; the
+    // M-S queue completes anyway, so coherence verification catches it),
+    // spec 4 panics before the simulation even starts (3 cores is not a
+    // square mesh), spec 5 (healthy).
+    let mut cycle_limited = kernel_spec(counter, 4, Protocol::DeNovoSync);
+    cycle_limited.overrides.max_cycles = Some(1_000);
+    let mut check_failing = kernel_spec(
+        KernelId::NonBlocking(NonBlocking::MsQueue),
+        4,
+        Protocol::Mesi,
+    );
+    check_failing.overrides.mutation = Some(ProtocolMutation::MesiSkipInvalidate);
+    let panicking = kernel_spec(counter, 3, Protocol::Mesi);
+
+    let specs = vec![
+        kernel_spec(counter, 4, Protocol::Mesi),
+        cycle_limited,
+        check_failing,
+        panicking,
+        kernel_spec(counter, 4, Protocol::DeNovoSync),
+    ];
+    let report = Campaign::from_specs(specs).run(4);
+    assert_eq!(report.records.len(), 5);
+    assert_eq!(report.ok_count(), 2);
+
+    assert!(report.records[0].outcome.is_ok(), "sibling before failures");
+    assert!(
+        matches!(
+            report.records[1].outcome,
+            Err(CampaignError::Sim(SimError::CycleLimit { .. }))
+        ),
+        "cycle-limited spec: {:?}",
+        report.records[1].outcome
+    );
+    assert!(
+        matches!(report.records[2].outcome, Err(CampaignError::Check(_))),
+        "check-failing spec: {:?}",
+        report.records[2].outcome
+    );
+    assert!(
+        matches!(report.records[3].outcome, Err(CampaignError::Panic(_))),
+        "panicking spec: {:?}",
+        report.records[3].outcome
+    );
+    assert!(report.records[4].outcome.is_ok(), "sibling after failures");
+
+    // The report (failures included) still serializes deterministically.
+    let again = Campaign::from_specs(vec![
+        kernel_spec(counter, 4, Protocol::Mesi),
+        {
+            let mut s = kernel_spec(counter, 4, Protocol::DeNovoSync);
+            s.overrides.max_cycles = Some(1_000);
+            s
+        },
+        {
+            let mut s = kernel_spec(
+                KernelId::NonBlocking(NonBlocking::MsQueue),
+                4,
+                Protocol::Mesi,
+            );
+            s.overrides.mutation = Some(ProtocolMutation::MesiSkipInvalidate);
+            s
+        },
+        kernel_spec(counter, 3, Protocol::Mesi),
+        kernel_spec(counter, 4, Protocol::DeNovoSync),
+    ])
+    .run(1);
+    assert_eq!(report.results_digest(), again.results_digest());
+}
+
+#[test]
+fn unknown_app_is_an_isolated_build_error() {
+    let specs = vec![
+        ExperimentSpec::app("no-such-app", 4, Protocol::Mesi),
+        kernel_spec(
+            KernelId::Locked(LockedStruct::Counter, LockKind::Tatas),
+            4,
+            Protocol::Mesi,
+        ),
+    ];
+    let report = Campaign::from_specs(specs).run(2);
+    assert!(matches!(
+        report.records[0].outcome,
+        Err(CampaignError::Build(_))
+    ));
+    assert!(report.records[1].outcome.is_ok());
+}

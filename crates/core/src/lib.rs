@@ -45,7 +45,7 @@
 //! };
 //!
 //! let cfg = SystemConfig::small(4, Protocol::DeNovoSync);
-//! let mut sys = System::new(cfg, lb.build(), (0..4).map(prog).collect());
+//! let mut sys = System::new(cfg, lb.build(), (0..4).map(prog).collect::<Vec<_>>());
 //! let stats = sys.run().expect("simulation completes");
 //! assert_eq!(sys.read_word(counter), 4);
 //! assert!(stats.cycles > 0);

@@ -264,20 +264,42 @@ pub struct System {
     oracle: Option<OracleState>,
 }
 
+// The campaign layer (`dvs-campaign`) materializes and runs full systems on
+// worker threads, so the whole machine — and everything a run produces —
+// must be `Send`. Asserted at compile time so a non-`Send` field added later
+// fails here rather than in a downstream crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<System>();
+    assert_send::<SystemConfig>();
+    assert_send::<SimError>();
+    assert_send::<RunStats>();
+};
+
 impl System {
     /// Builds a system running one program per core.
     ///
+    /// Layout and programs are reference-counted so a workload built once
+    /// can be materialized into many systems (e.g. by a parallel experiment
+    /// campaign) without deep-cloning its programs: pass `Arc`s to share,
+    /// or plain values to have them wrapped on entry.
+    ///
     /// # Panics
     ///
-    /// Panics if `programs.len()` differs from the configured core count or
-    /// the core count is not a perfect square (mesh).
-    pub fn new(cfg: SystemConfig, layout: MemoryLayout, programs: Vec<Program>) -> Self {
+    /// Panics if the number of programs differs from the configured core
+    /// count or the core count is not a perfect square (mesh).
+    pub fn new(
+        cfg: SystemConfig,
+        layout: impl Into<Arc<MemoryLayout>>,
+        programs: impl IntoIterator<Item = impl Into<Arc<Program>>>,
+    ) -> Self {
+        let programs: Vec<Arc<Program>> = programs.into_iter().map(Into::into).collect();
         assert_eq!(
             programs.len(),
             cfg.cores,
             "need exactly one program per core"
         );
-        let layout = Arc::new(layout);
+        let layout = layout.into();
         let mesh = Mesh::square(cfg.cores);
         let root = DetRng::new(cfg.seed);
         let n = cfg.cores;
@@ -285,7 +307,7 @@ impl System {
             .into_iter()
             .enumerate()
             .map(|(i, p)| {
-                let mut t = Thread::new(i, n, Arc::new(p), root.split(i as u64));
+                let mut t = Thread::new(i, n, p, root.split(i as u64));
                 t.set_alloc_pool(pool_base(i), DEFAULT_POOL_BYTES);
                 t
             })
@@ -1548,7 +1570,11 @@ impl System {
     /// [`DataInvalidation::StaticRegions`]: the signature log is global
     /// state shared by all cores, which breaks the delivery-commutativity
     /// argument the checker's partial-order reduction relies on.
-    pub fn new_oracle(cfg: SystemConfig, layout: MemoryLayout, programs: Vec<Program>) -> Self {
+    pub fn new_oracle(
+        cfg: SystemConfig,
+        layout: impl Into<Arc<MemoryLayout>>,
+        programs: impl IntoIterator<Item = impl Into<Arc<Program>>>,
+    ) -> Self {
         assert_eq!(
             cfg.data_inv,
             DataInvalidation::StaticRegions,
@@ -1744,7 +1770,7 @@ mod tests {
     ) {
         for proto in Protocol::ALL {
             let (layout, _) = counter_layout();
-            let programs = (0..cores).map(|i| make(i, cores)).collect();
+            let programs = (0..cores).map(|i| make(i, cores)).collect::<Vec<_>>();
             let mut sys = System::new(SystemConfig::small(cores, proto), layout, programs);
             let stats = sys.run().unwrap_or_else(|e| panic!("{proto:?}: {e}"));
             check(&sys, &stats, proto);
@@ -1833,7 +1859,7 @@ mod tests {
             let r2 = lb.region("shared");
             lb.sync_var("flag", r2, true);
             lb.segment("data", 64, r2);
-            let programs = (0..4).map(|i| make(i, 4)).collect();
+            let programs = (0..4).map(|i| make(i, 4)).collect::<Vec<_>>();
             let mut sys = System::new(SystemConfig::small(4, proto), lb.build(), programs);
             sys.run().unwrap_or_else(|e| panic!("{proto:?}: {e}"));
             for c in 1..4 {
@@ -1859,7 +1885,7 @@ mod tests {
         let mut inv_by_proto = Vec::new();
         for proto in Protocol::ALL {
             let (layout, _) = counter_layout();
-            let programs = (0..4).map(|i| make(i, 4)).collect();
+            let programs = (0..4).map(|i| make(i, 4)).collect::<Vec<_>>();
             let mut sys = System::new(SystemConfig::small(4, proto), layout, programs);
             let stats = sys.run().unwrap();
             inv_by_proto.push((proto, stats.traffic.get(TrafficClass::Invalidation)));
@@ -1999,7 +2025,7 @@ mod tests {
         let mut sys = System::new(
             SystemConfig::small(4, Protocol::DeNovoSync0),
             layout,
-            (0..4).map(|_| make()).collect(),
+            (0..4).map(|_| make()).collect::<Vec<_>>(),
         );
         sys.run().unwrap();
         sys.verify_coherence().expect("clean before corruption");
@@ -2054,7 +2080,7 @@ mod tests {
         let mut sys = System::new(
             SystemConfig::small(4, Protocol::DeNovoSync0),
             layout,
-            (0..4).map(|_| make()).collect(),
+            (0..4).map(|_| make()).collect::<Vec<_>>(),
         );
         sys.run().unwrap();
         sys.verify_invariants().expect("clean after a clean run");
@@ -2104,7 +2130,7 @@ mod tests {
             let mut sys = System::new(
                 SystemConfig::small(4, Protocol::DeNovoSync),
                 layout,
-                (0..4).map(make).collect(),
+                (0..4).map(make).collect::<Vec<_>>(),
             );
             sys.run().unwrap()
         };

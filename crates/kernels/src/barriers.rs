@@ -103,12 +103,12 @@ pub fn build(kind: BarrierKind, p: &KernelParams) -> Workload {
 
     let threads = p.threads;
     let iters = p.iters;
-    Workload {
-        layout: lb.build(),
+    Workload::new(
+        lb.build(),
         programs,
-        init: Vec::new(),
-        pools: Vec::new(),
-        check: Box::new(move |read| {
+        Vec::new(),
+        Vec::new(),
+        Box::new(move |read| {
             for t in 0..threads {
                 let got = read(Addr::new(slots.raw() + t as u64 * LINE_BYTES));
                 if got != iters {
@@ -119,7 +119,7 @@ pub fn build(kind: BarrierKind, p: &KernelParams) -> Workload {
             }
             Ok(())
         }),
-    }
+    )
 }
 
 #[cfg(test)]

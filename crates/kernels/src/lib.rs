@@ -26,6 +26,7 @@ pub mod sync;
 
 use dvs_mem::{Addr, MemoryLayout};
 use dvs_vm::Program;
+use std::sync::Arc;
 
 /// Which lock implementation a lock-based kernel uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,6 +158,106 @@ impl KernelId {
         }
     }
 
+    /// A stable, serializable identifier for this kernel, so experiment
+    /// specs can address workloads as data (`"tatas:counter"`,
+    /// `"array:heap"`, `"nb:ms_queue"`, `"barrier:tree:ub"`, ...).
+    /// [`KernelId::from_token`] inverts it.
+    pub fn token(self) -> String {
+        match self {
+            KernelId::Locked(s, k) => {
+                let s = match s {
+                    LockedStruct::SingleQueue => "single_q",
+                    LockedStruct::DoubleQueue => "double_q",
+                    LockedStruct::Stack => "stack",
+                    LockedStruct::Heap => "heap",
+                    LockedStruct::Counter => "counter",
+                    LockedStruct::LargeCs => "large_cs",
+                };
+                let k = match k {
+                    LockKind::Tatas => "tatas",
+                    LockKind::Array => "array",
+                };
+                format!("{k}:{s}")
+            }
+            KernelId::NonBlocking(n) => {
+                let n = match n {
+                    NonBlocking::MsQueue => "ms_queue",
+                    NonBlocking::PljQueue => "plj_queue",
+                    NonBlocking::TreiberStack => "treiber_stack",
+                    NonBlocking::HerlihyStack => "herlihy_stack",
+                    NonBlocking::HerlihyHeap => "herlihy_heap",
+                    NonBlocking::FaiCounter => "fai_counter",
+                };
+                format!("nb:{n}")
+            }
+            KernelId::Barrier(k, ub) => {
+                let k = match k {
+                    BarrierKind::Tree => "tree",
+                    BarrierKind::Nary => "nary",
+                    BarrierKind::Central => "central",
+                };
+                if ub {
+                    format!("barrier:{k}:ub")
+                } else {
+                    format!("barrier:{k}")
+                }
+            }
+        }
+    }
+
+    /// Parses a token produced by [`KernelId::token`]. Returns `None` for
+    /// anything else.
+    pub fn from_token(token: &str) -> Option<KernelId> {
+        let mut parts = token.split(':');
+        let head = parts.next()?;
+        let id = match head {
+            "tatas" | "array" => {
+                let kind = if head == "tatas" {
+                    LockKind::Tatas
+                } else {
+                    LockKind::Array
+                };
+                let s = match parts.next()? {
+                    "single_q" => LockedStruct::SingleQueue,
+                    "double_q" => LockedStruct::DoubleQueue,
+                    "stack" => LockedStruct::Stack,
+                    "heap" => LockedStruct::Heap,
+                    "counter" => LockedStruct::Counter,
+                    "large_cs" => LockedStruct::LargeCs,
+                    _ => return None,
+                };
+                KernelId::Locked(s, kind)
+            }
+            "nb" => KernelId::NonBlocking(match parts.next()? {
+                "ms_queue" => NonBlocking::MsQueue,
+                "plj_queue" => NonBlocking::PljQueue,
+                "treiber_stack" => NonBlocking::TreiberStack,
+                "herlihy_stack" => NonBlocking::HerlihyStack,
+                "herlihy_heap" => NonBlocking::HerlihyHeap,
+                "fai_counter" => NonBlocking::FaiCounter,
+                _ => return None,
+            }),
+            "barrier" => {
+                let k = match parts.next()? {
+                    "tree" => BarrierKind::Tree,
+                    "nary" => BarrierKind::Nary,
+                    "central" => BarrierKind::Central,
+                    _ => return None,
+                };
+                match parts.next() {
+                    None => KernelId::Barrier(k, false),
+                    Some("ub") => KernelId::Barrier(k, true),
+                    Some(_) => return None,
+                }
+            }
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(id)
+    }
+
     /// All 24 kernels, grouped as in the paper's Figures 3–6.
     pub fn all() -> Vec<KernelId> {
         let mut v = Vec::with_capacity(24);
@@ -180,7 +281,7 @@ impl KernelId {
 }
 
 /// Workload-shaping parameters (§5.3.1 defaults via [`KernelParams::paper`]).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KernelParams {
     /// Number of threads (= cores).
     pub threads: usize,
@@ -238,15 +339,21 @@ impl KernelParams {
 
 /// A semantic post-condition over the final memory image. The argument reads
 /// the architecturally-current value of an address (through whatever cache
-/// holds it).
-pub type Check = Box<dyn Fn(&dyn Fn(Addr) -> u64) -> Result<(), String>>;
+/// holds it). `Send + Sync` so a built workload can be run (or re-run) from
+/// any campaign worker thread.
+pub type Check = Box<dyn Fn(&dyn Fn(Addr) -> u64) -> Result<(), String> + Send + Sync>;
 
 /// A ready-to-run workload.
+///
+/// Layout and programs are reference-counted: materializing a [`Workload`]
+/// into a simulator shares them instead of deep-cloning, so running the same
+/// workload under several protocols or configurations costs no per-run
+/// allocation.
 pub struct Workload {
     /// The memory layout (regions drive DeNovo self-invalidation).
-    pub layout: MemoryLayout,
+    pub layout: Arc<MemoryLayout>,
     /// One program per thread.
-    pub programs: Vec<Program>,
+    pub programs: Vec<Arc<Program>>,
     /// Initial memory values.
     pub init: Vec<(Addr, u64)>,
     /// Per-thread allocation pools `(base, bytes)` — inside the layout so
@@ -255,6 +362,33 @@ pub struct Workload {
     /// Semantic post-condition.
     pub check: Check,
 }
+
+impl Workload {
+    /// Wraps freshly-built parts into a shareable workload.
+    pub fn new(
+        layout: MemoryLayout,
+        programs: Vec<Program>,
+        init: Vec<(Addr, u64)>,
+        pools: Vec<(Addr, u64)>,
+        check: Check,
+    ) -> Self {
+        Workload {
+            layout: Arc::new(layout),
+            programs: programs.into_iter().map(Arc::new).collect(),
+            init,
+            pools,
+            check,
+        }
+    }
+}
+
+// Workload builders are pure functions of their parameters and their output
+// is shared across campaign worker threads; keep it thread-safe by
+// construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Workload>();
+};
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -292,6 +426,25 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 24, "kernel names must be unique");
+    }
+
+    #[test]
+    fn tokens_round_trip_and_are_unique() {
+        let all = KernelId::all();
+        let mut tokens: Vec<String> = all.iter().map(|k| k.token()).collect();
+        for (k, tok) in all.iter().zip(&tokens) {
+            assert_eq!(
+                KernelId::from_token(tok),
+                Some(*k),
+                "token {tok} must parse back"
+            );
+        }
+        tokens.sort();
+        tokens.dedup();
+        assert_eq!(tokens.len(), 24, "kernel tokens must be unique");
+        assert_eq!(KernelId::from_token("tatas:counter:extra"), None);
+        assert_eq!(KernelId::from_token("nb:bogus"), None);
+        assert_eq!(KernelId::from_token(""), None);
     }
 
     #[test]

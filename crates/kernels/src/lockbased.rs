@@ -234,12 +234,12 @@ fn build_counter(kind: LockKind, p: &KernelParams) -> Workload {
         .collect();
 
     let expected = p.iters * p.threads as u64;
-    Workload {
-        layout: sh.lb.build(),
+    Workload::new(
+        sh.lb.build(),
         programs,
-        init: sh.init,
-        pools: Vec::new(),
-        check: Box::new(move |read| {
+        sh.init,
+        Vec::new(),
+        Box::new(move |read| {
             let got = read(counter);
             if got == expected {
                 Ok(())
@@ -247,7 +247,7 @@ fn build_counter(kind: LockKind, p: &KernelParams) -> Workload {
                 Err(format!("counter = {got}, expected {expected}"))
             }
         }),
-    }
+    )
 }
 
 fn build_large_cs(kind: LockKind, p: &KernelParams) -> Workload {
@@ -281,12 +281,12 @@ fn build_large_cs(kind: LockKind, p: &KernelParams) -> Workload {
         .collect();
 
     let expected = p.iters * p.threads as u64;
-    Workload {
-        layout: sh.lb.build(),
+    Workload::new(
+        sh.lb.build(),
         programs,
-        init: sh.init,
-        pools: Vec::new(),
-        check: Box::new(move |read| {
+        sh.init,
+        Vec::new(),
+        Box::new(move |read| {
             for j in 0..LARGE_CS_WORDS {
                 let got = read(Addr::new(arr.raw() + j * 8));
                 if got != expected {
@@ -295,7 +295,7 @@ fn build_large_cs(kind: LockKind, p: &KernelParams) -> Workload {
             }
             Ok(())
         }),
-    }
+    )
 }
 
 fn build_queue(kind: LockKind, p: &KernelParams, two_locks: bool) -> Workload {
@@ -356,12 +356,12 @@ fn build_queue(kind: LockKind, p: &KernelParams, two_locks: bool) -> Workload {
 
     let threads = p.threads;
     let max_nodes = p.iters as usize * threads + 2;
-    Workload {
-        layout: sh.lb.build(),
+    Workload::new(
+        sh.lb.build(),
         programs,
-        init: sh.init,
+        sh.init,
         pools,
-        check: Box::new(move |read| {
+        Box::new(move |read| {
             let enq_sum = sum_results(read, results, threads, 0);
             let enq_cnt = sum_results(read, results, threads, 1);
             let deq_sum = sum_results(read, results, threads, 2);
@@ -396,7 +396,7 @@ fn build_queue(kind: LockKind, p: &KernelParams, two_locks: bool) -> Workload {
             }
             Ok(())
         }),
-    }
+    )
 }
 
 fn build_stack(kind: LockKind, p: &KernelParams) -> Workload {
@@ -445,12 +445,12 @@ fn build_stack(kind: LockKind, p: &KernelParams) -> Workload {
 
     let threads = p.threads;
     let max_nodes = p.iters as usize * threads + 2;
-    Workload {
-        layout: sh.lb.build(),
+    Workload::new(
+        sh.lb.build(),
         programs,
-        init: sh.init,
+        sh.init,
         pools,
-        check: Box::new(move |read| {
+        Box::new(move |read| {
             let ins_sum = sum_results(read, results, threads, 0);
             let ins_cnt = sum_results(read, results, threads, 1);
             let del_sum = sum_results(read, results, threads, 2);
@@ -475,7 +475,7 @@ fn build_stack(kind: LockKind, p: &KernelParams) -> Workload {
             }
             Ok(())
         }),
-    }
+    )
 }
 
 fn build_heap(kind: LockKind, p: &KernelParams) -> Workload {
@@ -585,12 +585,12 @@ fn build_heap(kind: LockKind, p: &KernelParams) -> Workload {
         .collect();
 
     let threads = p.threads;
-    Workload {
-        layout: sh.lb.build(),
+    Workload::new(
+        sh.lb.build(),
         programs,
-        init: sh.init,
-        pools: Vec::new(),
-        check: Box::new(move |read| {
+        sh.init,
+        Vec::new(),
+        Box::new(move |read| {
             let ins_sum = sum_results(read, results, threads, 0);
             let ins_cnt = sum_results(read, results, threads, 1);
             let del_sum = sum_results(read, results, threads, 2);
@@ -618,7 +618,7 @@ fn build_heap(kind: LockKind, p: &KernelParams) -> Workload {
             }
             Ok(())
         }),
-    }
+    )
 }
 
 #[cfg(test)]

@@ -174,12 +174,12 @@ fn build_fai(p: &KernelParams) -> Workload {
         .collect();
 
     let expected = p.iters * p.threads as u64;
-    Workload {
-        layout: sh.lb.build(),
+    Workload::new(
+        sh.lb.build(),
         programs,
-        init: sh.init,
-        pools: Vec::new(),
-        check: Box::new(move |read| {
+        sh.init,
+        Vec::new(),
+        Box::new(move |read| {
             let got = read(counter);
             if got == expected {
                 Ok(())
@@ -187,7 +187,7 @@ fn build_fai(p: &KernelParams) -> Workload {
                 Err(format!("FAI counter = {got}, expected {expected}"))
             }
         }),
-    }
+    )
 }
 
 /// The Michael–Scott non-blocking queue (paper Figure 1); with
@@ -288,12 +288,12 @@ fn build_ms_like_queue(p: &KernelParams, snapshot: bool) -> Workload {
 
     let threads = p.threads;
     let max_nodes = p.iters as usize * threads + 2;
-    Workload {
-        layout: sh.lb.build(),
+    Workload::new(
+        sh.lb.build(),
         programs,
-        init: sh.init,
+        sh.init,
         pools,
-        check: Box::new(move |read| {
+        Box::new(move |read| {
             let enq_sum = sum_results(read, results, threads, 0);
             let enq_cnt = sum_results(read, results, threads, 1);
             let deq_sum = sum_results(read, results, threads, 2);
@@ -320,7 +320,7 @@ fn build_ms_like_queue(p: &KernelParams, snapshot: bool) -> Workload {
             }
             Ok(())
         }),
-    }
+    )
 }
 
 fn build_treiber(p: &KernelParams) -> Workload {
@@ -379,12 +379,12 @@ fn build_treiber(p: &KernelParams) -> Workload {
 
     let threads = p.threads;
     let max_nodes = p.iters as usize * threads + 2;
-    Workload {
-        layout: sh.lb.build(),
+    Workload::new(
+        sh.lb.build(),
         programs,
-        init: sh.init,
+        sh.init,
         pools,
-        check: Box::new(move |read| {
+        Box::new(move |read| {
             let ins_sum = sum_results(read, results, threads, 0);
             let ins_cnt = sum_results(read, results, threads, 1);
             let del_sum = sum_results(read, results, threads, 2);
@@ -407,7 +407,7 @@ fn build_treiber(p: &KernelParams) -> Workload {
             }
             Ok(())
         }),
-    }
+    )
 }
 
 /// Emits `copy block[0..=count_reg words] from src_reg to dst_reg`, starting
@@ -528,12 +528,12 @@ fn build_herlihy_stack(p: &KernelParams) -> Workload {
         .collect();
 
     let threads = p.threads;
-    Workload {
-        layout: sh.lb.build(),
+    Workload::new(
+        sh.lb.build(),
         programs,
-        init: sh.init,
+        sh.init,
         pools,
-        check: Box::new(move |read| {
+        Box::new(move |read| {
             let ins_sum = sum_results(read, results, threads, 0);
             let ins_cnt = sum_results(read, results, threads, 1);
             let del_sum = sum_results(read, results, threads, 2);
@@ -554,7 +554,7 @@ fn build_herlihy_stack(p: &KernelParams) -> Workload {
             }
             Ok(())
         }),
-    }
+    )
 }
 
 /// Herlihy small-object min-heap.
@@ -715,12 +715,12 @@ fn build_herlihy_heap(p: &KernelParams) -> Workload {
         .collect();
 
     let threads = p.threads;
-    Workload {
-        layout: sh.lb.build(),
+    Workload::new(
+        sh.lb.build(),
         programs,
-        init: sh.init,
+        sh.init,
         pools,
-        check: Box::new(move |read| {
+        Box::new(move |read| {
             let ins_sum = sum_results(read, results, threads, 0);
             let ins_cnt = sum_results(read, results, threads, 1);
             let del_sum = sum_results(read, results, threads, 2);
@@ -749,7 +749,7 @@ fn build_herlihy_heap(p: &KernelParams) -> Workload {
             }
             Ok(())
         }),
-    }
+    )
 }
 
 #[cfg(test)]

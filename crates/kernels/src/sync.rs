@@ -352,7 +352,7 @@ mod tests {
         let counter = lb.segment("counter", 8, data);
         let programs = (0..4)
             .map(|_| lock_mutex_program(true, lock, owner, counter, 10))
-            .collect();
+            .collect::<Vec<_>>();
         let mut m = RefMachine::new(programs);
         m.run(1_000_000).expect("mutual exclusion holds");
         assert_eq!(m.memory().read_word(counter.word()), 40);
@@ -397,7 +397,7 @@ mod tests {
             a.halt();
             a.build()
         };
-        let programs = (0..4).map(|_| make()).collect();
+        let programs = (0..4).map(|_| make()).collect::<Vec<_>>();
         let mut m = RefMachine::new(programs);
         for (addr, v) in alock.init() {
             m.memory_mut().write_word(addr.word(), v);
@@ -455,7 +455,7 @@ mod tests {
         let _layout = lb.build(); // validates disjointness
         let programs = (0..n)
             .map(|tid| barrier_program(n, tid, 5, slots, &emit))
-            .collect();
+            .collect::<Vec<_>>();
         let mut m = RefMachine::new(programs);
         m.run(10_000_000).expect("barrier integrity holds");
     }

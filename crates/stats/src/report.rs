@@ -323,6 +323,77 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Version stamped into every `BENCH_*.json` artifact. Bump when the shared
+/// envelope (not a bench's payload) changes shape.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Number of hardware threads the host exposes (1 if unknown).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The one emitter behind every `BENCH_*.json` file. Each bench used to
+/// hand-assemble its own root object; this wraps [`JsonObject`] with the
+/// shared envelope — `bench` name, `schema_version`, `host_parallelism`, and
+/// a caller-supplied timestamp — so all artifacts agree on those fields and
+/// the payload stays bench-specific.
+///
+/// The timestamp is passed in (not read from the clock here) so artifact
+/// assembly itself stays deterministic and testable; pass `""` to omit it.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_stats::report::BenchArtifact;
+///
+/// let mut a = BenchArtifact::new("fig3", "");
+/// a.body().u64("cells", 144);
+/// let s = a.render();
+/// assert!(s.contains("\"bench\": \"fig3\""));
+/// assert!(s.contains("\"schema_version\": 1"));
+/// assert!(s.contains("\"host_parallelism\""));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchArtifact {
+    body: JsonObject,
+}
+
+impl BenchArtifact {
+    /// Starts an artifact for bench `name` with the shared envelope fields.
+    pub fn new(name: &str, timestamp: &str) -> Self {
+        let mut body = JsonObject::new();
+        body.str("bench", name)
+            .u64("schema_version", BENCH_SCHEMA_VERSION)
+            .u64("host_parallelism", host_parallelism() as u64);
+        if !timestamp.is_empty() {
+            body.str("timestamp", timestamp);
+        }
+        BenchArtifact { body }
+    }
+
+    /// The payload object; append bench-specific members here.
+    pub fn body(&mut self) -> &mut JsonObject {
+        &mut self.body
+    }
+
+    /// Renders the artifact as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        self.body.render()
+    }
+
+    /// Writes the artifact to `path` and prints a `wrote <path>` line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (benches treat that as fatal).
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
 /// A plain key/value listing (used for the paper's parameter tables).
 #[derive(Debug, Clone, Default)]
 pub struct ParamTable {
@@ -457,6 +528,21 @@ mod tests {
         let s = o.render();
         assert!(s.contains("\"nan\": null"));
         assert!(s.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn bench_artifact_has_shared_envelope() {
+        let mut a = BenchArtifact::new("campaign", "2026-01-01");
+        a.body().u64("runs", 3);
+        let s = a.render();
+        assert!(s.contains("\"bench\": \"campaign\""));
+        assert!(s.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")));
+        assert!(s.contains("\"host_parallelism\""));
+        assert!(s.contains("\"timestamp\": \"2026-01-01\""));
+        assert!(s.contains("\"runs\": 3"));
+        // Empty timestamp omits the field entirely.
+        let s = BenchArtifact::new("campaign", "").render();
+        assert!(!s.contains("timestamp"));
     }
 
     #[test]

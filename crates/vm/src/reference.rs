@@ -71,20 +71,27 @@ pub struct RefMachine {
 
 impl RefMachine {
     /// Creates a machine with one thread per program, seeded deterministically.
-    pub fn new(programs: Vec<Program>) -> Self {
+    ///
+    /// Accepts plain [`Program`]s or shared `Arc<Program>`s (workloads store
+    /// the latter so simulators can be materialized without deep clones).
+    pub fn new(programs: impl IntoIterator<Item = impl Into<Arc<Program>>>) -> Self {
         Self::with_seed(programs, 0xD15C)
     }
 
     /// Creates a machine with an explicit seed for the threads' random
     /// streams.
-    pub fn with_seed(programs: Vec<Program>, seed: u64) -> Self {
+    pub fn with_seed(
+        programs: impl IntoIterator<Item = impl Into<Arc<Program>>>,
+        seed: u64,
+    ) -> Self {
+        let programs: Vec<Arc<Program>> = programs.into_iter().map(Into::into).collect();
         let n = programs.len();
         let root = DetRng::new(seed);
         let threads: Vec<Thread> = programs
             .into_iter()
             .enumerate()
             .map(|(i, p)| {
-                let mut t = Thread::new(i, n, Arc::new(p), root.split(i as u64));
+                let mut t = Thread::new(i, n, p, root.split(i as u64));
                 t.set_alloc_pool(pool_base(i), DEFAULT_POOL_BYTES);
                 t
             })

@@ -9,7 +9,7 @@
 //! cargo run --release --example ms_queue_trace
 //! ```
 
-use dvs_bench::figures::fig2_trace;
+use dvs_bench::trace::fig2_trace;
 
 fn main() {
     fig2_trace();

@@ -40,7 +40,11 @@ fn main() {
     );
     for proto in Protocol::ALL {
         let cfg = SystemConfig::paper(16, proto);
-        let mut sys = System::new(cfg, layout.clone(), (0..16).map(|_| program()).collect());
+        let mut sys = System::new(
+            cfg,
+            layout.clone(),
+            (0..16).map(|_| program()).collect::<Vec<_>>(),
+        );
         let stats = sys.run().expect("simulation completes");
         assert_eq!(sys.read_word(counter), 16 * 50, "every increment must land");
         println!(

@@ -12,6 +12,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== tier-1: release build + full test suite =="
 cargo build --release --offline
+cargo build --release --offline --examples
 cargo test -q --offline
 
 echo "== chaos matrix (fixed fault seeds, invariant checking on) =="
@@ -19,5 +20,8 @@ cargo test -q --offline --test chaos
 
 echo "== model-checker smoke (bounded-depth, 2 litmus x 3 protocols + 1 mutation) =="
 cargo run --release --offline -p dvs-check --example smoke
+
+echo "== campaign smoke (reduced fig3+fig7 grid at 1/2/4 workers, digest must match) =="
+DVS_QUICK=1 DVS_WORKERS=4 cargo bench --offline -p dvs-bench --bench campaign
 
 echo "CI OK"

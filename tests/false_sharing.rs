@@ -53,7 +53,7 @@ fn run_case(proto: Protocol, jitter: bool) {
     let mut sys = System::new(
         SystemConfig::small(cores, proto),
         lb.build(),
-        (0..cores).map(make).collect(),
+        (0..cores).map(make).collect::<Vec<_>>(),
     );
     sys.run()
         .unwrap_or_else(|e| panic!("{proto:?} jitter={jitter}: {e}"));
@@ -125,7 +125,7 @@ fn denovo_wins_false_sharing_traffic() {
         let mut sys = System::new(
             SystemConfig::small(cores, proto),
             lb.build(),
-            (0..cores).map(make).collect(),
+            (0..cores).map(make).collect::<Vec<_>>(),
         );
         let stats = sys.run().expect("runs");
         stats.traffic.total()

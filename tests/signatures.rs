@@ -129,12 +129,12 @@ fn signatures_cut_misses_on_read_mostly_critical_sections() {
                 a.build()
             })
             .collect();
-        Workload {
-            layout: lb.build(),
+        Workload::new(
+            lb.build(),
             programs,
-            init: Vec::new(),
-            pools: Vec::new(),
-            check: Box::new(move |read| {
+            Vec::new(),
+            Vec::new(),
+            Box::new(move |read| {
                 let total: u64 = (0..4).map(|t| read(Addr::new(table.raw() + t * 8))).sum();
                 if total == 4 * 12 {
                     Ok(())
@@ -142,7 +142,7 @@ fn signatures_cut_misses_on_read_mostly_critical_sections() {
                     Err(format!("table increments {total}, expected 48"))
                 }
             }),
-        }
+        )
     };
     let static_run = run_workload(
         cfg(Protocol::DeNovoSync, DataInvalidation::StaticRegions),
