@@ -79,7 +79,7 @@ fn main() {
         let mut row = JsonObject::new();
         row.u64("workers", workers as u64)
             .f64("wall_s", walls[i])
-            .f64("speedup_vs_1", speedup);
+            .f64_opt("speedup_vs_1", speedup);
         runs.push(row);
     }
     if host < 4 {
@@ -97,7 +97,7 @@ fn main() {
         .u64("specs", specs.len() as u64)
         .str("results_digest", &digests[0])
         .bool("digests_identical", true)
-        .f64("speedup_4_workers", walls[0] / walls[2])
+        .f64_opt("speedup_4_workers", walls[0] / walls[2])
         .bool("speedup_target_meaningful", host >= 4)
         .array("scaling", runs);
     // Anchor to the workspace root regardless of the bench binary's cwd.

@@ -95,7 +95,7 @@ fn measure_overhead() -> JsonObject {
         .u64("simulated_cycles", cycles[0])
         .u64("wall_ns_checks_off", times[0] as u64)
         .u64("wall_ns_checks_on", times[1] as u64)
-        .f64("on_off_ratio", times[1] as f64 / times[0] as f64);
+        .f64_opt("on_off_ratio", times[1] as f64 / times[0] as f64);
     obj
 }
 

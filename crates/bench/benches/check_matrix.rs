@@ -91,8 +91,8 @@ fn scaling() -> (Vec<JsonObject>, f64) {
             .u64("workers", workers as u64)
             .u64("unique_states", report.stats.unique_states)
             .f64("wall_s", wall)
-            .f64("states_per_sec", rate)
-            .f64("speedup_vs_1", rate / rate1);
+            .f64_opt("states_per_sec", rate)
+            .f64_opt("speedup_vs_1", rate / rate1);
         rows.push(row);
     }
     (rows, speedup4)
@@ -130,7 +130,7 @@ fn main() {
         .body()
         .array("matrix", matrix)
         .array("scaling", scaling_rows)
-        .f64("speedup_4_workers", speedup4);
+        .f64_opt("speedup_4_workers", speedup4);
     // Anchor to the workspace root regardless of the bench binary's cwd.
     artifact.write(concat!(
         env!("CARGO_MANIFEST_DIR"),

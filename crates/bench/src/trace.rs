@@ -2,12 +2,15 @@
 //!
 //! This is not an evaluation grid — it replays one short run per protocol
 //! and prints the per-access outcomes — so it drives the simulator directly
-//! instead of going through the campaign runner.
+//! instead of going through the campaign runner. The per-access stream comes
+//! from the telemetry recorder: the core's [`EventKind::Access`] and
+//! [`EventKind::Backoff`] events carry exactly the fields this walkthrough
+//! needs.
 
 use dvs_core::config::{Protocol, SystemConfig};
-use dvs_core::trace::TraceKind;
 use dvs_core::System;
 use dvs_kernels::{KernelId, KernelParams, NonBlocking};
+use dvs_telemetry::{Component, EventKind, Telemetry};
 
 /// Prints example interleavings of the M-S enqueue on MESI, DeNovoSync0, and
 /// DeNovoSync, showing per-access hits/misses (and hardware-backoff stalls).
@@ -36,32 +39,39 @@ pub fn fig2_trace() {
         for (i, &(b, n)) in w.pools.iter().enumerate() {
             sys.set_thread_pool(i, b, n);
         }
-        sys.enable_trace();
+        let tel = Telemetry::recorder();
+        sys.set_telemetry(tel.clone());
         sys.run().expect("figure-2 run");
-        let trace = sys.take_trace().expect("trace enabled");
+        let events = tel.take_events().expect("recorder drains");
         let mut shown = 0;
-        for e in trace.events() {
-            let name = if e.addr == head {
+        for e in &events {
+            if e.component != Component::Core {
+                continue;
+            }
+            let (sync, write, outcome) = match e.kind {
+                EventKind::Access { hit, sync, write } => {
+                    let outcome = if hit { "HIT " } else { "MISS" };
+                    (sync, write, outcome.to_owned())
+                }
+                // Backoff penalties only ever hit synchronization reads.
+                EventKind::Backoff { cycles } => (true, false, format!("BACKOFF {cycles}")),
+                _ => continue, // marks, stalls: not per-access outcomes
+            };
+            let name = if e.addr == head.raw() {
                 "head"
-            } else if e.addr == tail {
+            } else if e.addr == tail.raw() {
                 "tail"
-            } else if e.sync {
+            } else if sync {
                 "node.next"
             } else {
                 continue; // node values and bookkeeping
             };
-            let outcome = match e.kind {
-                TraceKind::Hit => "HIT ".to_owned(),
-                TraceKind::Miss => "MISS".to_owned(),
-                TraceKind::Backoff { cycles } => format!("BACKOFF {cycles}"),
-                TraceKind::Mark(_) => continue,
-            };
             println!(
                 "  core {} @{:>6}  {:9} {:5} {}",
-                e.core,
+                e.node,
                 e.cycle,
                 name,
-                if e.write { "write" } else { "read" },
+                if write { "write" } else { "read" },
                 outcome
             );
             shown += 1;

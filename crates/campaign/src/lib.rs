@@ -34,13 +34,14 @@ pub mod spec;
 
 pub use grids::{figure_core_counts, quick_mode, workers_from_env};
 pub use runner::{Campaign, CampaignError, CampaignReport, RunRecord};
-pub use spec::{ConfigOverrides, ExperimentSpec, WorkloadSpec};
+pub use spec::{ConfigOverrides, ExperimentSpec, TelemetryPolicy, WorkloadSpec};
 
 use dvs_core::config::SystemConfig;
 use dvs_core::system::SimError;
 use dvs_core::System;
 use dvs_kernels::{KernelId, KernelParams, Workload};
 use dvs_stats::RunStats;
+use dvs_telemetry::{MetricsRegistry, Telemetry};
 
 /// A failed experiment run.
 #[derive(Debug)]
@@ -74,6 +75,24 @@ impl std::error::Error for RunError {}
 /// [`RunError::Sim`] if the simulation fails; [`RunError::Check`] if the
 /// final memory image violates the workload's post-condition.
 pub fn run_workload(cfg: SystemConfig, workload: &Workload) -> Result<RunStats, RunError> {
+    run_workload_with(cfg, workload, Telemetry::off()).map(|(stats, _)| stats)
+}
+
+/// [`run_workload`] with an explicit telemetry handle: the handle's sink
+/// observes the whole run, and the system's hierarchical metrics tree is
+/// returned alongside the statistics. Passing [`Telemetry::off`] makes this
+/// identical to [`run_workload`] (the metrics tree — stall accounting, cache
+/// and traffic counters — is collected either way; it is built from
+/// simulated quantities, not from the event stream).
+///
+/// # Errors
+///
+/// Same contract as [`run_workload`].
+pub fn run_workload_with(
+    cfg: SystemConfig,
+    workload: &Workload,
+    tel: Telemetry,
+) -> Result<(RunStats, MetricsRegistry), RunError> {
     let mut sys = System::new(cfg, workload.layout.clone(), workload.programs.clone());
     for &(addr, value) in &workload.init {
         sys.preload(addr, value);
@@ -81,11 +100,12 @@ pub fn run_workload(cfg: SystemConfig, workload: &Workload) -> Result<RunStats, 
     for (i, &(base, bytes)) in workload.pools.iter().enumerate() {
         sys.set_thread_pool(i, base, bytes);
     }
+    sys.set_telemetry(tel);
     let stats = sys.run().map_err(RunError::Sim)?;
     sys.verify_coherence().map_err(RunError::Check)?;
     let read = |a| sys.read_word(a);
     (workload.check)(&read).map_err(RunError::Check)?;
-    Ok(stats)
+    Ok((stats, sys.metrics()))
 }
 
 /// Builds and runs one kernel.

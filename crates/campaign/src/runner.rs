@@ -11,6 +11,7 @@ use crate::RunError;
 use dvs_core::system::SimError;
 use dvs_stats::report::JsonObject;
 use dvs_stats::{RunStats, TimeComponent, TrafficClass};
+use dvs_telemetry::MetricsRegistry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -45,8 +46,8 @@ impl std::fmt::Display for CampaignError {
 impl std::error::Error for CampaignError {}
 
 /// The outcome of one spec: its identity, result, and how long the run took
-/// on the host. `wall_nanos` is observability only — it never enters
-/// [`CampaignReport::results_json`] or the digest.
+/// on the host. `wall_nanos` and `metrics` are observability only — neither
+/// ever enters [`CampaignReport::results_json`] or the digest.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Position in the campaign's spec list.
@@ -57,6 +58,10 @@ pub struct RunRecord {
     pub outcome: Result<RunStats, CampaignError>,
     /// Host wall-clock time of this run, in nanoseconds.
     pub wall_nanos: u64,
+    /// The run's hierarchical metrics tree, kept when the spec's
+    /// [`TelemetryPolicy`](crate::TelemetryPolicy) attached a sink. Excluded
+    /// from the results digest.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 /// Everything a [`Campaign::run`] produced, ordered by spec index.
@@ -122,7 +127,7 @@ impl Campaign {
                     }
                     let spec = self.specs[index];
                     let t0 = Instant::now();
-                    let outcome = run_isolated(&spec);
+                    let (outcome, metrics) = run_isolated(&spec);
                     let wall_nanos = t0.elapsed().as_nanos() as u64;
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     let status = match &outcome {
@@ -139,6 +144,7 @@ impl Campaign {
                         spec,
                         outcome,
                         wall_nanos,
+                        metrics,
                     });
                 });
             }
@@ -160,16 +166,29 @@ impl Campaign {
     }
 }
 
-/// Runs one spec with panic isolation.
-fn run_isolated(spec: &ExperimentSpec) -> Result<RunStats, CampaignError> {
+/// Runs one spec with panic isolation. The metrics tree comes back next to
+/// the outcome (kept only when the spec's telemetry policy attached a sink)
+/// so it can never contaminate the digest-bearing result.
+fn run_isolated(
+    spec: &ExperimentSpec,
+) -> (Result<RunStats, CampaignError>, Option<MetricsRegistry>) {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         let workload = spec.build().map_err(CampaignError::Build)?;
-        crate::run_workload(spec.config(), &workload).map_err(|e| match e {
-            RunError::Sim(e) => CampaignError::Sim(e),
-            RunError::Check(msg) => CampaignError::Check(msg),
-        })
+        let policy = spec.overrides.telemetry;
+        let (stats, metrics) =
+            crate::run_workload_with(spec.config(), &workload, policy.telemetry()).map_err(
+                |e| match e {
+                    RunError::Sim(e) => CampaignError::Sim(e),
+                    RunError::Check(msg) => CampaignError::Check(msg),
+                },
+            )?;
+        Ok((stats, policy.enabled().then_some(metrics)))
     }));
-    attempt.unwrap_or_else(|payload| Err(CampaignError::Panic(panic_message(payload))))
+    match attempt {
+        Ok(Ok((stats, metrics))) => (Ok(stats), metrics),
+        Ok(Err(e)) => (Err(e), None),
+        Err(payload) => (Err(CampaignError::Panic(panic_message(payload))), None),
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

@@ -9,6 +9,7 @@ use dvs_core::chaos::FaultPlan;
 use dvs_core::config::{DataInvalidation, Protocol, ProtocolMutation, SystemConfig};
 use dvs_kernels::{KernelId, KernelParams, Workload};
 use dvs_stats::RunStats;
+use dvs_telemetry::{JsonlSink, Telemetry};
 
 /// Which workload a spec runs, addressed by serializable id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,6 +48,43 @@ impl WorkloadSpec {
     }
 }
 
+/// How much telemetry a campaign run captures. The policy only chooses the
+/// event sink — telemetry feeds nothing back into simulated state, so run
+/// results (and the campaign digest) are byte-identical under every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TelemetryPolicy {
+    /// No sink attached: every instrumentation site is one no-op branch.
+    #[default]
+    Off,
+    /// A bounded per-node ring buffer (cheap always-on capture; the run's
+    /// metrics tree is kept on the [`RunRecord`](crate::RunRecord)).
+    Ring,
+    /// Stream every event as a JSON line into a null writer. Exercises the
+    /// full serialization path; drivers that want the lines on disk call
+    /// [`run_workload_with`](crate::run_workload_with) with their own sink.
+    Jsonl,
+}
+
+impl TelemetryPolicy {
+    /// Ring capacity (events per `(component, node)`) used by
+    /// [`TelemetryPolicy::Ring`].
+    pub const RING_PER_NODE: usize = 64;
+
+    /// Builds the telemetry handle this policy prescribes.
+    pub fn telemetry(self) -> Telemetry {
+        match self {
+            TelemetryPolicy::Off => Telemetry::off(),
+            TelemetryPolicy::Ring => Telemetry::ring(Self::RING_PER_NODE),
+            TelemetryPolicy::Jsonl => Telemetry::new(JsonlSink::new(std::io::sink())),
+        }
+    }
+
+    /// Whether this policy attaches a sink at all.
+    pub fn enabled(self) -> bool {
+        self != TelemetryPolicy::Off
+    }
+}
+
 /// Pure-data overrides applied on top of the base [`SystemConfig`] for a
 /// spec. `Default` leaves the base configuration untouched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -65,6 +103,8 @@ pub struct ConfigOverrides {
     pub mutation: Option<ProtocolMutation>,
     /// Cycle-limit safety valve override.
     pub max_cycles: Option<u64>,
+    /// Telemetry capture policy (observability only; never changes results).
+    pub telemetry: TelemetryPolicy,
 }
 
 impl ConfigOverrides {

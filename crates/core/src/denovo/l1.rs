@@ -29,6 +29,7 @@ use dvs_mem::{
     AccessKind, CacheArray, CacheGeometry, LineAddr, Mshr, Region, RmwOp, WordAddr, WORDS_PER_LINE,
 };
 use dvs_stats::CacheStats;
+use dvs_telemetry::{Component, Event, EventKind, Telemetry, TelemetryKey};
 use dvs_vm::MemRequest;
 use std::sync::Arc;
 
@@ -42,6 +43,17 @@ pub enum WState {
     Valid,
     /// The registered (single up-to-date) copy; readable and writable.
     Registered,
+}
+
+impl WState {
+    /// Short state label for telemetry transitions.
+    pub fn label(self) -> &'static str {
+        match self {
+            WState::Invalid => "I",
+            WState::Valid => "V",
+            WState::Registered => "R",
+        }
+    }
 }
 
 /// One cached word.
@@ -127,6 +139,8 @@ pub struct DnvL1 {
     watch: Option<WordAddr>,
     layout: Arc<MemoryLayout>,
     stats: CacheStats,
+    /// Observability only — excluded from `Hash`, never affects behaviour.
+    tel: Telemetry,
 }
 
 fn bank_for(word: WordAddr, banks: usize) -> usize {
@@ -153,7 +167,36 @@ impl DnvL1 {
             watch: None,
             layout,
             stats: CacheStats::new(),
+            tel: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle (word-state transitions, registrations,
+    /// MSHR occupancy).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.mshr.set_telemetry(tel.clone(), self.id as u32);
+        self.tel = tel;
+    }
+
+    /// Peak simultaneous MSHR occupancy observed.
+    pub fn mshr_high_water(&self) -> usize {
+        self.mshr.high_water()
+    }
+
+    fn emit_transition(
+        &self,
+        word: WordAddr,
+        from: &'static str,
+        to: &'static str,
+        cause: &'static str,
+    ) {
+        self.tel.emit(|| Event {
+            cycle: self.tel.now(),
+            node: self.id as u32,
+            component: Component::L1,
+            addr: word.telemetry_key(),
+            kind: EventKind::Transition { from, to, cause },
+        });
     }
 
     /// Cache-access statistics so far.
@@ -358,8 +401,10 @@ impl DnvL1 {
                 }
                 self.note_miss(req.kind);
                 let w = self.word_mut(word).expect("line just ensured");
+                let from = w.state.label();
                 w.state = WState::Registered;
                 w.value = value;
+                self.emit_transition(word, from, "R", "store");
                 self.mshr
                     .try_insert(word, Pend::new(PendKind::Write))
                     .expect("fresh mshr");
@@ -669,8 +714,10 @@ impl DnvL1 {
             PendKind::SyncRead => {
                 if cached {
                     let w = self.word_mut(word).expect("line ensured");
+                    let from = w.state.label();
                     w.state = WState::Registered;
                     w.value = ack_value;
+                    self.emit_transition(word, from, "R", "RegAck");
                 }
                 actions.push(Action::CoreDone {
                     value: Some(ack_value),
@@ -679,8 +726,10 @@ impl DnvL1 {
             PendKind::SyncWrite { value } => {
                 if cached {
                     let w = self.word_mut(word).expect("line ensured");
+                    let from = w.state.label();
                     w.state = WState::Registered;
                     w.value = value;
+                    self.emit_transition(word, from, "R", "RegAck");
                 }
                 owned_value = value;
                 self.backoff.on_release();
@@ -690,8 +739,10 @@ impl DnvL1 {
                 let new = op.apply(ack_value);
                 if cached {
                     let w = self.word_mut(word).expect("line ensured");
+                    let from = w.state.label();
                     w.state = WState::Registered;
                     w.value = new;
+                    self.emit_transition(word, from, "R", "RegAck");
                 }
                 owned_value = new;
                 actions.push(Action::CoreDone {
@@ -770,6 +821,7 @@ impl DnvL1 {
         } else {
             WState::Invalid
         };
+        self.emit_transition(word, "R", if keep_valid { "V" } else { "I" }, "Xfer");
         if self.watch == Some(word) {
             actions.push(Action::SpinWake);
         }

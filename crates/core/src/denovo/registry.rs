@@ -13,6 +13,7 @@ use crate::config::ProtocolMutation;
 use crate::msg::{BankId, CoreId, DnvMsg, Endpoint, LineData, Msg};
 use crate::proto::Action;
 use dvs_mem::{LineAddr, WordAddr, WORDS_PER_LINE};
+use dvs_telemetry::{Component, Event, EventKind, Telemetry, TelemetryKey};
 use std::collections::{HashMap, VecDeque};
 
 /// One word's registry state.
@@ -50,6 +51,8 @@ pub struct DnvRegistry {
     mem: Endpoint,
     lines: HashMap<LineAddr, RegLine>,
     mutation: Option<ProtocolMutation>,
+    /// Observability only — excluded from `Hash`, never affects behaviour.
+    tel: Telemetry,
 }
 
 impl DnvRegistry {
@@ -61,7 +64,29 @@ impl DnvRegistry {
             mem,
             lines: HashMap::new(),
             mutation: None,
+            tel: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle (registration re-points).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// Emits a [`EventKind::Registration`]: the registry pointer for `word`
+    /// moved to `owner` (from `prev`, or `u32::MAX` when the registry itself
+    /// held the value).
+    fn emit_registration(&self, word: WordAddr, owner: CoreId, prev: Option<CoreId>) {
+        self.tel.emit(|| Event {
+            cycle: self.tel.now(),
+            node: self.bank as u32,
+            component: Component::Dir,
+            addr: word.telemetry_key(),
+            kind: EventKind::Registration {
+                owner: owner as u32,
+                prev: prev.map_or(u32::MAX, |p| p as u32),
+            },
+        });
     }
 
     /// Arms a seeded protocol bug (negative testing; see
@@ -233,6 +258,7 @@ impl DnvRegistry {
                         to: Endpoint::L1(req),
                         msg: Msg::Dnv(DnvMsg::RegAck { word, value, class }),
                     });
+                    self.emit_registration(word, req, None);
                 }
                 RegWord::Registered(prev) => {
                     if prev == req {
@@ -256,6 +282,7 @@ impl DnvRegistry {
                             }),
                         });
                     }
+                    self.emit_registration(word, req, Some(prev));
                 }
             },
             DnvMsg::WbReq { value, from, .. } => match entry.words[idx] {

@@ -17,9 +17,9 @@
 //! * [`system`] — the full simulated machine: VM threads on in-order cores,
 //!   private L1s, a banked shared L2 (registry/directory), memory
 //!   controllers, and the 2D-mesh interconnect, driven by a deterministic
-//!   event loop.
-//! * [`trace`] — per-access hit/miss tracing (used by the Figure-2
-//!   walkthrough).
+//!   event loop. Attach a [`dvs_telemetry::Telemetry`] sink via
+//!   [`System::set_telemetry`](system::System::set_telemetry) to observe
+//!   per-access outcomes, protocol transitions, and stalls.
 //!
 //! # Examples
 //!
@@ -59,7 +59,6 @@ pub mod msg;
 pub mod oracle;
 pub mod proto;
 pub mod system;
-pub mod trace;
 
 pub use config::{Protocol, ProtocolMutation, SystemConfig};
 pub use system::System;

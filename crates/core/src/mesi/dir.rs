@@ -16,6 +16,7 @@ use crate::msg::{BankId, CoreId, Endpoint, LineData, MesiMsg, Msg};
 use crate::proto::Action;
 use dvs_mem::LineAddr;
 use dvs_stats::TrafficClass;
+use dvs_telemetry::{Component, Event, EventKind, Telemetry, TelemetryKey};
 use std::collections::{HashMap, VecDeque};
 
 /// Directory state for one line.
@@ -27,6 +28,17 @@ enum DirState {
     Shared(u64),
     /// Exclusively owned (E or M at the L1).
     Owned(CoreId),
+}
+
+impl DirState {
+    /// Short state label for telemetry transitions.
+    fn label(self) -> &'static str {
+        match self {
+            DirState::Uncached => "U",
+            DirState::Shared(_) => "S",
+            DirState::Owned(_) => "O",
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,6 +80,8 @@ pub struct MesiDir {
     bank: BankId,
     mem: Endpoint,
     lines: HashMap<LineAddr, DirLine>,
+    /// Observability only — excluded from `Hash`, never affects behaviour.
+    tel: Telemetry,
 }
 
 impl MesiDir {
@@ -78,7 +92,30 @@ impl MesiDir {
             bank,
             mem,
             lines: HashMap::new(),
+            tel: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle (directory state transitions and
+    /// invalidation fan-outs).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    fn emit_transition(
+        &self,
+        line: LineAddr,
+        from: &'static str,
+        to: &'static str,
+        cause: &'static str,
+    ) {
+        self.tel.emit(|| Event {
+            cycle: self.tel.now(),
+            node: self.bank as u32,
+            component: Component::Dir,
+            addr: line.telemetry_key(),
+            kind: EventKind::Transition { from, to, cause },
+        });
     }
 
     /// Number of lines with at least one sharer or an owner (diagnostics).
@@ -282,11 +319,17 @@ impl MesiDir {
 
     fn request(&mut self, msg: MesiMsg, actions: &mut Vec<Action>) {
         let line = msg.line();
+        let cause = match msg {
+            MesiMsg::GetS { .. } => "GetS",
+            _ => "GetM",
+        };
         let entry = self.lines.entry(line).or_insert_with(DirLine::new);
         if entry.busy.is_some() {
             entry.queue.push_back(msg);
             return;
         }
+        let before = entry.state;
+        let mut inv_fanout = None;
         if !entry.has_data && entry.state == DirState::Uncached {
             // Cold line: fetch from memory first.
             entry.busy = Some(Busy::MemFetch);
@@ -381,6 +424,9 @@ impl MesiDir {
                 DirState::Shared(mask) => {
                     let others = mask & !(1 << req);
                     let acks = others.count_ones();
+                    if acks > 0 {
+                        inv_fanout = Some((req, acks));
+                    }
                     actions.push(Action::Send {
                         to: Endpoint::L1(req),
                         msg: Msg::Mesi(MesiMsg::Data {
@@ -425,6 +471,22 @@ impl MesiDir {
                 }
             },
             other => unreachable!("request() only takes GetS/GetM: {other:?}"),
+        }
+        let after = self.lines.get(&line).expect("entry exists").state;
+        if after != before {
+            self.emit_transition(line, before.label(), after.label(), cause);
+        }
+        if let Some((req, sharers)) = inv_fanout {
+            self.tel.emit(|| Event {
+                cycle: self.tel.now(),
+                node: self.bank as u32,
+                component: Component::Dir,
+                addr: line.telemetry_key(),
+                kind: EventKind::Invalidation {
+                    requester: req as u32,
+                    sharers,
+                },
+            });
         }
     }
 }

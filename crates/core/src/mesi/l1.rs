@@ -17,6 +17,7 @@ use crate::proto::{Action, IssueResult};
 use dvs_mem::array::InsertOutcome;
 use dvs_mem::{AccessKind, CacheArray, CacheGeometry, LineAddr, Mshr, RmwOp, WordAddr};
 use dvs_stats::{CacheStats, TrafficClass};
+use dvs_telemetry::{Component, Event, EventKind, Telemetry, TelemetryKey};
 use dvs_vm::MemRequest;
 
 /// A resident line's stable state.
@@ -28,6 +29,17 @@ pub enum Stable {
     E,
     /// Modified, dirty.
     M,
+}
+
+impl Stable {
+    /// Short state label for telemetry transitions.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stable::S => "S",
+            Stable::E => "E",
+            Stable::M => "M",
+        }
+    }
 }
 
 /// A resident cache line.
@@ -110,6 +122,8 @@ pub struct MesiL1 {
     watch: Option<WordAddr>,
     mutation: Option<ProtocolMutation>,
     stats: CacheStats,
+    /// Observability only — excluded from `Hash`, never affects behaviour.
+    tel: Telemetry,
 }
 
 fn bank_for(line: LineAddr, banks: usize) -> usize {
@@ -127,6 +141,7 @@ impl MesiL1 {
             watch: None,
             mutation: None,
             stats: CacheStats::new(),
+            tel: Telemetry::off(),
         }
     }
 
@@ -134,6 +149,34 @@ impl MesiL1 {
     /// [`ProtocolMutation`]).
     pub fn set_mutation(&mut self, mutation: Option<ProtocolMutation>) {
         self.mutation = mutation;
+    }
+
+    /// Attaches a telemetry handle (state transitions, invalidations, MSHR
+    /// occupancy).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.mshr.set_telemetry(tel.clone(), self.id as u32);
+        self.tel = tel;
+    }
+
+    /// Peak simultaneous MSHR occupancy observed.
+    pub fn mshr_high_water(&self) -> usize {
+        self.mshr.high_water()
+    }
+
+    fn emit_transition(
+        &self,
+        line: LineAddr,
+        from: &'static str,
+        to: &'static str,
+        cause: &'static str,
+    ) {
+        self.tel.emit(|| Event {
+            cycle: self.tel.now(),
+            node: self.id as u32,
+            component: Component::L1,
+            addr: line.telemetry_key(),
+            kind: EventKind::Transition { from, to, cause },
+        });
     }
 
     /// Cache-access statistics so far.
@@ -461,6 +504,17 @@ impl MesiL1 {
                     {
                         self.cache.remove(line);
                         invalidated = true;
+                        self.emit_transition(line, "S", "I", "Inv");
+                        self.tel.emit(|| Event {
+                            cycle: self.tel.now(),
+                            node: self.id as u32,
+                            component: Component::L1,
+                            addr: line.telemetry_key(),
+                            kind: EventKind::Invalidation {
+                                requester: req as u32,
+                                sharers: 1,
+                            },
+                        });
                     }
                     // E/M: the Inv is from a stale epoch (we have since
                     // re-acquired the line); ack without invalidating.
@@ -493,8 +547,11 @@ impl MesiL1 {
                         )));
                         return;
                     }
+                    let from = l.state.label();
                     l.state = Stable::S;
-                    l.data
+                    let data = l.data;
+                    self.emit_transition(line, from, "S", "FwdGetS");
+                    data
                 } else if let Some(txn) = self.mshr.get_mut(&line) {
                     // The eviction now acts as a PutS; the directory will
                     // still PutAck it.
@@ -544,8 +601,10 @@ impl MesiL1 {
                         )));
                         return;
                     }
+                    let from = l.state.label();
                     let d = l.data;
                     self.cache.remove(line);
+                    self.emit_transition(line, from, "I", "FwdGetM");
                     d
                 } else if let Some(txn) = self.mshr.get_mut(&line) {
                     let retained = (txn.goal == Goal::Evict)
@@ -643,6 +702,7 @@ impl MesiL1 {
                 }
                 // Install S (or E when granted exclusively).
                 let state = if exclusive { Stable::E } else { Stable::S };
+                self.emit_transition(line, "I", state.label(), "Data");
                 if !self.try_install(line, MesiLine { state, data }, actions) {
                     // Structural hazard: retry the install shortly.
                     actions.push(Action::Local {
@@ -723,6 +783,8 @@ impl MesiL1 {
                 core_done = Some(Some(data[w]));
             }
         }
+        let from = self.cache.get(line).map_or("I", |l| l.state.label());
+        self.emit_transition(line, from, "M", "Data");
         if !self.try_install(
             line,
             MesiLine {
@@ -815,6 +877,7 @@ impl MesiL1 {
                         Some(old.data),
                     ),
                 };
+                self.emit_transition(victim, old.state.label(), "I", "evict");
                 let mut txn = Txn::new(Goal::Evict);
                 txn.evict_data = keep_data;
                 self.mshr

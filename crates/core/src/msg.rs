@@ -212,6 +212,25 @@ impl MesiMsg {
             | MesiMsg::Unblock { line, .. } => line,
         }
     }
+
+    /// The message type's name (telemetry / forensics labels).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            MesiMsg::GetS { .. } => "GetS",
+            MesiMsg::GetM { .. } => "GetM",
+            MesiMsg::PutS { .. } => "PutS",
+            MesiMsg::PutM { .. } => "PutM",
+            MesiMsg::PutE { .. } => "PutE",
+            MesiMsg::Data { .. } => "Data",
+            MesiMsg::FwdGetS { .. } => "FwdGetS",
+            MesiMsg::FwdGetM { .. } => "FwdGetM",
+            MesiMsg::Inv { .. } => "Inv",
+            MesiMsg::InvAck { .. } => "InvAck",
+            MesiMsg::PutAck { .. } => "PutAck",
+            MesiMsg::OwnerWb { .. } => "OwnerWb",
+            MesiMsg::Unblock { .. } => "Unblock",
+        }
+    }
 }
 
 /// DeNovo protocol messages (word granularity).
@@ -330,6 +349,20 @@ impl DnvMsg {
             | DnvMsg::WbNack { word } => word,
         }
     }
+
+    /// The message type's name (telemetry / forensics labels).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            DnvMsg::ReadReq { .. } => "ReadReq",
+            DnvMsg::RegReq { .. } => "RegReq",
+            DnvMsg::ReadResp { .. } => "ReadResp",
+            DnvMsg::RegAck { .. } => "RegAck",
+            DnvMsg::Xfer { .. } => "Xfer",
+            DnvMsg::WbReq { .. } => "WbReq",
+            DnvMsg::WbAck { .. } => "WbAck",
+            DnvMsg::WbNack { .. } => "WbNack",
+        }
+    }
 }
 
 /// Any message on the interconnect.
@@ -392,6 +425,17 @@ impl Msg {
             Msg::Dnv(m) => m.class(),
             Msg::MemRead { class, .. } | Msg::MemData { class, .. } => *class,
             Msg::MemWrite { .. } => TrafficClass::Writeback,
+        }
+    }
+
+    /// The message type's name (telemetry / forensics labels).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Msg::Mesi(m) => m.kind_name(),
+            Msg::Dnv(m) => m.kind_name(),
+            Msg::MemRead { .. } => "MemRead",
+            Msg::MemData { .. } => "MemData",
+            Msg::MemWrite { .. } => "MemWrite",
         }
     }
 }

@@ -31,23 +31,26 @@ use crate::mesi::{MesiDir, MesiL1};
 use crate::msg::{CoreId, Endpoint, Msg};
 use crate::oracle::{ChannelKey, OracleState};
 use crate::proto::{Action, IssueResult};
-use crate::trace::{MsgRing, Trace, TraceEvent, TraceKind};
 use dvs_engine::{Cycle, DetRng, Scheduler};
 use dvs_mem::layout::MemoryLayout;
 use dvs_mem::{Addr, MainMemory, WordAddr};
 use dvs_noc::{Mesh, Network, NodeId};
-use dvs_stats::{RunStats, TimeComponent, TrafficStats};
+use dvs_stats::{RunStats, TimeComponent, TrafficClass, TrafficStats};
+use dvs_telemetry::{
+    Component, Event, EventKind, MetricsRegistry, RingSink, StallClass, Telemetry, TelemetryKey,
+};
 use dvs_vm::isa::PhaseChange;
 use dvs_vm::reference::{pool_base, DEFAULT_POOL_BYTES};
-use dvs_vm::{Effect, MemRequest, Program, Thread};
+use dvs_vm::{Effect, MemRequest, Program, StallTracker, Thread};
 use std::sync::Arc;
 
 /// Retry delay for structurally-blocked accesses.
 const RETRY_CYCLES: Cycle = 4;
 /// Safety valve on uninterrupted ALU batches.
 const MAX_BATCH: Cycle = 100_000;
-/// How many delivered messages the diagnostic ring buffer remembers.
-const MSG_RING_CAP: usize = 64;
+/// How many delivery events the always-on forensic ring remembers per
+/// destination node.
+const FORENSICS_PER_NODE: usize = 16;
 /// Period (in delivered messages) of the full conservation scan when
 /// invariant checking is enabled; targeted per-address checks run at every
 /// delivery.
@@ -68,7 +71,8 @@ pub struct StallReport {
     /// Registry/directory state for every address involved in a stuck core
     /// or pending MSHR entry.
     pub l2_state: Vec<String>,
-    /// The last delivered messages, oldest first.
+    /// The last delivered messages (per destination node), in delivery
+    /// order, sourced from the telemetry forensic ring.
     pub recent_messages: Vec<String>,
 }
 
@@ -241,13 +245,19 @@ pub struct System {
     sig_log: Vec<WordAddr>,
     finished: usize,
     finish_time: Cycle,
-    trace: Option<Trace>,
+    /// Observability only — never read back into simulated behaviour. The
+    /// off handle makes every instrumentation site a no-op.
+    tel: Telemetry,
     error: Option<SimError>,
     /// Delivery-path fault injection (None unless the config carries a
     /// [`FaultPlan`](crate::chaos::FaultPlan)).
     injector: Option<FaultInjector>,
-    /// Always-on ring of the last delivered messages, for stall forensics.
-    ring: MsgRing,
+    /// Always-on per-node ring of recent delivery events, for stall
+    /// forensics. Fed directly (no handle) so it works with telemetry off.
+    forensics: RingSink,
+    /// Always-on stall interval accounting (memory / spin / backoff /
+    /// fence), exported into the telemetry metrics tree after a run.
+    stalls: StallTracker,
     /// Slots of messages scheduled but not yet delivered. Maintained only
     /// when `cfg.check_invariants` (conservation checking needs it; keeping
     /// the plain path free of the bookkeeping keeps checking zero-cost when
@@ -381,10 +391,11 @@ impl System {
             sig_log: Vec::new(),
             finished: 0,
             finish_time: 0,
-            trace: None,
+            tel: Telemetry::off(),
             error: None,
             injector: cfg.fault_plan.map(FaultInjector::new),
-            ring: MsgRing::new(MSG_RING_CAP),
+            forensics: RingSink::new(FORENSICS_PER_NODE),
+            stalls: StallTracker::new(n),
             in_flight: std::collections::HashSet::new(),
             deliveries: 0,
             oracle: None,
@@ -418,14 +429,60 @@ impl System {
         self.threads[core].set_alloc_pool(base, bytes);
     }
 
-    /// Enables per-access tracing.
-    pub fn enable_trace(&mut self) {
-        self.trace = Some(Trace::new());
+    /// Attaches a telemetry sink, cloning the shared handle into every
+    /// instrumented component: the network, each L1 (and its MSHR), each L2
+    /// bank, and the stall tracker. The default handle is
+    /// [`Telemetry::off`], under which every instrumentation site costs one
+    /// branch and builds no event.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.net.set_telemetry(tel.clone());
+        self.stalls.set_telemetry(tel.clone());
+        for l1 in &mut self.l1s {
+            match l1 {
+                L1::Mesi(l) => l.set_telemetry(tel.clone()),
+                L1::Dnv(l) => l.set_telemetry(tel.clone()),
+            }
+        }
+        for bank in &mut self.banks {
+            match bank {
+                Bank::Mesi(d) => d.set_telemetry(tel.clone()),
+                Bank::Dnv(r) => r.set_telemetry(tel.clone()),
+            }
+        }
+        self.tel = tel;
     }
 
-    /// Takes the recorded trace, if tracing was enabled.
-    pub fn take_trace(&mut self) -> Option<Trace> {
-        self.trace.take()
+    /// The attached telemetry handle (the off handle unless
+    /// [`System::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Builds the hierarchical metrics tree for this system: per-core stall
+    /// counts and duration histograms, L1 hit/miss counters, MSHR high-water
+    /// marks, and system-level delivery/traffic totals. Every value is a
+    /// simulated quantity, so the tree is identical across hosts, worker
+    /// counts, and telemetry sinks.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        self.stalls.export(&mut reg);
+        for (i, l1) in self.l1s.iter().enumerate() {
+            let node = format!("core{i}");
+            let (stats, high_water) = match l1 {
+                L1::Mesi(l) => (l.stats(), l.mshr_high_water()),
+                L1::Dnv(l) => (l.stats(), l.mshr_high_water()),
+            };
+            reg.add(&node, "l1", "hits", stats.hits());
+            reg.add(&node, "l1", "misses", stats.misses());
+            reg.add(&node, "mshr", "high_water", high_water as u64);
+        }
+        reg.add("sys", "sched", "deliveries", self.deliveries);
+        reg.add("sys", "sched", "finish_cycle", self.finish_time);
+        for class in TrafficClass::ALL {
+            let name = format!("flits_{}", class.label().to_ascii_lowercase());
+            reg.add("sys", "noc", &name, self.traffic.get(class));
+        }
+        reg
     }
 
     /// A thread's architectural state (for test assertions after a run).
@@ -448,13 +505,14 @@ impl System {
                     report: self.stall_report(),
                 });
             }
+            self.tel.set_now(now);
             match ev {
                 Ev::Step(i) => self.step_core(i),
                 Ev::Resume(i) => self.resume_core(i),
                 Ev::Deliver(ep, slot) => {
                     let msg = self.msg_pool[slot];
                     self.deliveries += 1;
-                    self.ring.push(now, ep, self.deliveries, msg);
+                    self.note_delivery(now, ep, &msg);
                     if self.cfg.check_invariants {
                         self.in_flight.remove(&slot);
                     }
@@ -481,7 +539,31 @@ impl System {
                 report: self.stall_report(),
             });
         }
+        self.stalls.finish(self.finish_time);
+        self.tel.flush();
         Ok(self.collect_stats())
+    }
+
+    /// Records one message delivery into the always-on forensic ring and,
+    /// when a sink is attached, the telemetry stream.
+    fn note_delivery(&mut self, now: Cycle, ep: Endpoint, msg: &Msg) {
+        let (component, node) = match ep {
+            Endpoint::L1(i) => (Component::L1, i as u32),
+            Endpoint::Bank(b) => (Component::Dir, b as u32),
+            Endpoint::Mem(n) => (Component::Sys, n as u32),
+        };
+        let ev = Event {
+            cycle: now,
+            node,
+            component,
+            addr: Self::msg_line(msg).telemetry_key(),
+            kind: EventKind::Delivery {
+                msg: msg.kind_name(),
+                ordinal: self.deliveries,
+            },
+        };
+        self.forensics.push(&ev);
+        self.tel.emit(|| ev);
     }
 
     fn collect_stats(&self) -> RunStats {
@@ -976,10 +1058,28 @@ impl System {
                 }
             }
         }
-        for d in self.ring.iter() {
-            report
-                .recent_messages
-                .push(format!("cycle {}: to {:?}: {:?}", d.cycle, d.to, d.msg));
+        let mut deliveries: Vec<Event> = self
+            .forensics
+            .snapshot()
+            .into_iter()
+            .filter(|e| matches!(e.kind, EventKind::Delivery { .. }))
+            .collect();
+        deliveries.sort_by_key(|e| match e.kind {
+            EventKind::Delivery { ordinal, .. } => ordinal,
+            _ => 0,
+        });
+        for e in deliveries {
+            let EventKind::Delivery { msg, ordinal } = e.kind else {
+                continue;
+            };
+            report.recent_messages.push(format!(
+                "cycle {}: to {}[{}]: {} on line {:#x} (delivery #{ordinal})",
+                e.cycle,
+                e.component.label(),
+                e.node,
+                msg,
+                e.addr
+            ));
         }
         report.into()
     }
@@ -1272,18 +1372,13 @@ impl System {
                 }
                 Effect::Mark(m) => {
                     let cycle = self.sched.now() + local;
-                    let ordinal = self.deliveries;
-                    if let Some(t) = &mut self.trace {
-                        t.push(TraceEvent {
-                            core: i,
-                            cycle,
-                            ordinal,
-                            addr: Addr::new(0),
-                            sync: false,
-                            write: false,
-                            kind: TraceKind::Mark(m),
-                        });
-                    }
+                    self.tel.emit(|| Event {
+                        cycle,
+                        node: i as u32,
+                        component: Component::Core,
+                        addr: 0,
+                        kind: EventKind::Mark(m),
+                    });
                 }
                 Effect::Halted => {
                     let comp = self.exec_comp(i);
@@ -1315,9 +1410,9 @@ impl System {
                 if self.cores[i].outstanding_stores == 0 {
                     self.step_core(i);
                 } else {
-                    self.cores[i].status = Status::FenceWait {
-                        since: self.sched.now(),
-                    };
+                    let now = self.sched.now();
+                    self.stalls.begin(i, StallClass::Fence, now);
+                    self.cores[i].status = Status::FenceWait { since: now };
                 }
             }
             other => {
@@ -1379,10 +1474,9 @@ impl System {
                 true
             }
             IssueResult::Miss => {
-                self.cores[i].status = Status::BlockedMem {
-                    req,
-                    issued: self.sched.now(),
-                };
+                let now = self.sched.now();
+                self.stalls.begin(i, StallClass::Memory, now);
+                self.cores[i].status = Status::BlockedMem { req, issued: now };
                 false
             }
             IssueResult::StoreAccepted { completed } => {
@@ -1397,18 +1491,15 @@ impl System {
             }
             IssueResult::Backoff { cycles } => {
                 self.attr(i, TimeComponent::HwBackoff, cycles);
-                let ordinal = self.deliveries;
-                if let Some(t) = &mut self.trace {
-                    t.push(TraceEvent {
-                        core: i,
-                        cycle: self.sched.now(),
-                        ordinal,
-                        addr: req.addr,
-                        sync: true,
-                        write: false,
-                        kind: TraceKind::Backoff { cycles },
-                    });
-                }
+                let now = self.sched.now();
+                self.stalls.span(i, StallClass::Backoff, now, cycles);
+                self.tel.emit(|| Event {
+                    cycle: now,
+                    node: i as u32,
+                    component: Component::Core,
+                    addr: req.addr.telemetry_key(),
+                    kind: EventKind::Backoff { cycles },
+                });
                 self.cores[i].status = Status::Reissue {
                     req,
                     after_backoff: true,
@@ -1433,24 +1524,22 @@ impl System {
         }
     }
 
-    fn record_access(&mut self, i: CoreId, req: &MemRequest, res: &IssueResult) {
-        let ordinal = self.deliveries;
-        let Some(t) = &mut self.trace else { return };
-        let kind = match res {
-            IssueResult::Hit { .. } | IssueResult::StoreAccepted { completed: true } => {
-                TraceKind::Hit
-            }
-            IssueResult::Miss | IssueResult::StoreAccepted { completed: false } => TraceKind::Miss,
+    fn record_access(&self, i: CoreId, req: &MemRequest, res: &IssueResult) {
+        let hit = match res {
+            IssueResult::Hit { .. } | IssueResult::StoreAccepted { completed: true } => true,
+            IssueResult::Miss | IssueResult::StoreAccepted { completed: false } => false,
             IssueResult::Backoff { .. } | IssueResult::Blocked => return,
         };
-        t.push(TraceEvent {
-            core: i,
+        self.tel.emit(|| Event {
             cycle: self.sched.now(),
-            ordinal,
-            addr: req.addr,
-            sync: req.kind.is_sync(),
-            write: req.kind.may_write(),
-            kind,
+            node: i as u32,
+            component: Component::Core,
+            addr: req.addr.telemetry_key(),
+            kind: EventKind::Access {
+                hit,
+                sync: req.kind.is_sync(),
+                write: req.kind.may_write(),
+            },
         });
     }
 
@@ -1469,10 +1558,9 @@ impl System {
                 L1::Mesi(l1) => l1.set_watch(word),
                 L1::Dnv(l1) => l1.set_watch(word),
             }
-            self.cores[i].status = Status::Watching {
-                req,
-                since: self.sched.now(),
-            };
+            let now = self.sched.now();
+            self.stalls.begin(i, StallClass::Spin, now);
+            self.cores[i].status = Status::Watching { req, since: now };
         } else {
             // The copy is already gone (or was never installed): re-issue
             // after the spin-loop overhead.
@@ -1495,6 +1583,7 @@ impl System {
             return;
         };
         let comp = self.stall_comp(i);
+        self.stalls.end(i, self.sched.now());
         self.attr(i, comp, self.sched.now() - issued);
         if let Some(spin) = req.spin {
             let v = value.expect("spin loads return values");
@@ -1522,6 +1611,7 @@ impl System {
             if let Status::FenceWait { since } = self.cores[i].status {
                 let comp = self.stall_comp(i);
                 let now = self.sched.now();
+                self.stalls.end(i, now);
                 self.attr(i, comp, now - since);
                 self.cores[i].status = Status::Ready;
                 self.sched.schedule_in(1, Ev::Step(i));
@@ -1545,6 +1635,7 @@ impl System {
         // accesses (cache hits)").
         let comp = self.exec_comp(i);
         let now = self.sched.now();
+        self.stalls.end(i, now);
         self.attr(i, comp, now - since);
         self.attr(i, comp, self.cfg.latency.spin_recheck);
         self.cores[i].status = Status::Reissue {
@@ -1635,7 +1726,9 @@ impl System {
         };
         let ep = key.dst();
         self.deliveries += 1;
-        self.ring.push(self.sched.now(), ep, self.deliveries, msg);
+        let now = self.sched.now();
+        self.tel.set_now(now);
+        self.note_delivery(now, ep, &msg);
         self.deliver(ep, msg);
         if self.cfg.check_invariants && self.error.is_none() {
             self.check_delivery_invariants(&msg);

@@ -6,6 +6,7 @@
 //! mark so experiments can confirm realistic occupancies; a bound can be set
 //! to model a finite file.
 
+use dvs_telemetry::{Component, Event, EventKind, Telemetry, TelemetryKey};
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -26,6 +27,9 @@ pub struct Mshr<K, V> {
     entries: HashMap<K, V>,
     capacity: Option<usize>,
     high_water: usize,
+    /// Observability only — excluded from `Hash`, never affects behaviour.
+    tel: Telemetry,
+    node: u32,
 }
 
 /// Error returned when inserting into a full or conflicting MSHR file.
@@ -55,6 +59,8 @@ impl<K: Eq + Hash, V> Mshr<K, V> {
             entries: HashMap::new(),
             capacity: None,
             high_water: 0,
+            tel: Telemetry::off(),
+            node: 0,
         }
     }
 
@@ -64,9 +70,22 @@ impl<K: Eq + Hash, V> Mshr<K, V> {
             entries: HashMap::new(),
             capacity: Some(capacity),
             high_water: 0,
+            tel: Telemetry::off(),
+            node: 0,
         }
     }
 
+    /// Attaches a telemetry handle; allocations and releases then emit
+    /// [`EventKind::MshrAlloc`]/[`EventKind::MshrFree`] events attributed to
+    /// `node`, stamped from the handle's shared clock
+    /// ([`Telemetry::now`]).
+    pub fn set_telemetry(&mut self, tel: Telemetry, node: u32) {
+        self.tel = tel;
+        self.node = node;
+    }
+}
+
+impl<K: Eq + Hash + TelemetryKey, V> Mshr<K, V> {
     /// Inserts a new entry.
     ///
     /// # Errors
@@ -82,9 +101,36 @@ impl<K: Eq + Hash, V> Mshr<K, V> {
                 return Err(MshrError::Full);
             }
         }
+        let addr = key.telemetry_key();
         self.entries.insert(key, value);
         self.high_water = self.high_water.max(self.entries.len());
+        self.tel.emit(|| Event {
+            cycle: self.tel.now(),
+            node: self.node,
+            component: Component::Mshr,
+            addr,
+            kind: EventKind::MshrAlloc {
+                occupancy: self.entries.len() as u32,
+            },
+        });
         Ok(())
+    }
+
+    /// Removes and returns an entry.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = self.entries.remove(key);
+        if removed.is_some() {
+            self.tel.emit(|| Event {
+                cycle: self.tel.now(),
+                node: self.node,
+                component: Component::Mshr,
+                addr: key.telemetry_key(),
+                kind: EventKind::MshrFree {
+                    occupancy: self.entries.len() as u32,
+                },
+            });
+        }
+        removed
     }
 
     /// Looks up an entry.
@@ -95,11 +141,6 @@ impl<K: Eq + Hash, V> Mshr<K, V> {
     /// Looks up an entry mutably.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         self.entries.get_mut(key)
-    }
-
-    /// Removes and returns an entry.
-    pub fn remove(&mut self, key: &K) -> Option<V> {
-        self.entries.remove(key)
     }
 
     /// Whether an entry exists for `key`.

@@ -30,6 +30,7 @@
 //! ```
 
 use dvs_engine::{Cycle, DetRng};
+use dvs_telemetry::{Component, Event, EventKind, Telemetry};
 use std::collections::HashMap;
 
 /// Bits per flit (paper Table 1: 16-bit flits).
@@ -258,6 +259,8 @@ pub struct Network {
     crossings: u64,
     messages: u64,
     jitter: Option<Jitter>,
+    /// Observability only — never feeds back into routing or timing.
+    tel: Telemetry,
 }
 
 /// Opt-in deterministic link jitter for fault-injection runs: each routed
@@ -281,7 +284,14 @@ impl Network {
             crossings: 0,
             messages: 0,
             jitter: None,
+            tel: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle: every message then emits enqueue,
+    /// per-link hop, and dequeue events ([`dvs_telemetry::EventKind`]).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Enables deterministic per-message link jitter of up to `max_jitter`
@@ -317,10 +327,24 @@ impl Network {
     pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, flits: u64) -> Delivery {
         assert!(flits > 0, "messages have at least one flit");
         self.messages += 1;
+        if self.tel.enabled() {
+            self.tel.emit(|| Event {
+                cycle: now,
+                node: src as u32,
+                component: Component::Noc,
+                addr: 0,
+                kind: EventKind::NocEnqueue {
+                    dst: dst as u32,
+                    flits: flits as u32,
+                },
+            });
+        }
         if src == dst {
             // Same tile: no link crossings; a small fixed turnaround.
+            let arrive = self.jittered(src, dst, now + self.params.endpoint_cycles);
+            self.emit_dequeue(now, src, dst, arrive);
             return Delivery {
-                arrive: self.jittered(src, dst, now + self.params.endpoint_cycles),
+                arrive,
                 crossings: 0,
             };
         }
@@ -332,14 +356,40 @@ impl Network {
             // The link is busy for the whole message's serialization time.
             *slot = start + flits;
             head = start + self.params.hop_cycles;
+            if self.tel.enabled() {
+                let busy_until = *slot;
+                self.tel.emit(|| Event {
+                    cycle: start,
+                    node: src as u32,
+                    component: Component::Noc,
+                    addr: 0,
+                    kind: EventKind::NocHop {
+                        link: link.0 as u32,
+                        busy_until,
+                    },
+                });
+            }
         }
         let crossings = flits * route.len() as u64;
         self.crossings += crossings;
         // Tail flit trails the head by the serialization latency.
-        Delivery {
-            arrive: self.jittered(src, dst, head + flits + self.params.endpoint_cycles),
-            crossings,
-        }
+        let arrive = self.jittered(src, dst, head + flits + self.params.endpoint_cycles);
+        self.emit_dequeue(now, src, dst, arrive);
+        Delivery { arrive, crossings }
+    }
+
+    /// Records the arrival-side event for a message injected at `now`.
+    fn emit_dequeue(&self, now: Cycle, src: NodeId, dst: NodeId, arrive: Cycle) {
+        self.tel.emit(|| Event {
+            cycle: arrive,
+            node: dst as u32,
+            component: Component::Noc,
+            addr: 0,
+            kind: EventKind::NocDequeue {
+                src: src as u32,
+                latency: arrive.saturating_sub(now),
+            },
+        });
     }
 
     /// Applies link jitter (no-op unless enabled): a bounded random delay,

@@ -225,6 +225,18 @@ impl JsonObject {
         self.push(key, JsonValue::Float(value))
     }
 
+    /// Appends a floating-point member only when `value` is finite. Derived
+    /// ratios (speedups, rates) that degenerate — a zero-length wall-clock
+    /// interval, an empty denominator — are *omitted* rather than rendered
+    /// as `null`, so consumers can treat member presence as validity.
+    pub fn f64_opt(&mut self, key: &str, value: f64) -> &mut Self {
+        if value.is_finite() {
+            self.f64(key, value)
+        } else {
+            self
+        }
+    }
+
     /// Appends a boolean member.
     pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
         self.push(key, JsonValue::Bool(value))
@@ -378,6 +390,14 @@ impl BenchArtifact {
         &mut self.body
     }
 
+    /// Appends the optional `telemetry` summary block (event counts, metric
+    /// trees). Benches that ran without a telemetry sink never call this, so
+    /// the member is absent — omitted, not `null` — in their artifacts.
+    pub fn telemetry(&mut self, summary: JsonObject) -> &mut Self {
+        self.body.object("telemetry", summary);
+        self
+    }
+
     /// Renders the artifact as pretty-printed JSON.
     pub fn render(&self) -> String {
         self.body.render()
@@ -528,6 +548,33 @@ mod tests {
         let s = o.render();
         assert!(s.contains("\"nan\": null"));
         assert!(s.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn optional_floats_are_omitted_not_null() {
+        let mut o = JsonObject::new();
+        o.f64_opt("kept", 1.5)
+            .f64_opt("nan", f64::NAN)
+            .f64_opt("inf", f64::INFINITY);
+        let s = o.render();
+        assert!(s.contains("\"kept\": 1.5"));
+        assert!(!s.contains("nan"));
+        assert!(!s.contains("inf"));
+        assert!(!s.contains("null"));
+    }
+
+    #[test]
+    fn bench_artifact_telemetry_block_is_optional() {
+        // Absent unless attached — omitted, not null.
+        let s = BenchArtifact::new("fig3", "").render();
+        assert!(!s.contains("telemetry"));
+        let mut summary = JsonObject::new();
+        summary.u64("events", 42);
+        let mut a = BenchArtifact::new("fig3", "");
+        a.telemetry(summary);
+        let s = a.render();
+        assert!(s.contains("\"telemetry\": {"));
+        assert!(s.contains("\"events\": 42"));
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! Zero-cost structured observability for the DeNovoSync reproduction.
+//!
+//! The simulator's end-of-run aggregates say *what* a run cost; this crate
+//! records *why*. It provides three cooperating pieces:
+//!
+//! * **A typed event stream** ([`Event`] / [`EventKind`]): protocol
+//!   transitions, registrations and invalidations, NoC enqueue/hop/dequeue,
+//!   MSHR alloc/free, per-core stall begin/end, access outcomes, and
+//!   delivered protocol messages, all stamped with the simulated cycle and
+//!   the emitting `(node, component)`. Events flow through a [`Telemetry`]
+//!   handle into a pluggable [`EventSink`]: a growable [`RecorderSink`], a
+//!   bounded per-node [`RingSink`], or a streaming [`JsonlSink`].
+//! * **A hierarchical metrics registry** ([`MetricsRegistry`]): counters and
+//!   log2 histograms keyed by `node/component/name` paths, stored in ordered
+//!   maps so aggregation (and JSON rendering) is deterministic regardless of
+//!   worker count or merge order.
+//! * **A Chrome trace-event exporter** ([`perfetto`]): renders an event
+//!   stream as per-core / per-directory lanes in the JSON trace-event
+//!   format, so a whole kernel run opens in `ui.perfetto.dev`.
+//!
+//! # The zero-cost guarantee
+//!
+//! A default [`Telemetry`] handle is *off*: it holds no sink, and
+//! [`Telemetry::emit`] takes a closure, so when telemetry is disabled the
+//! cost at every instrumentation site is one branch on an `Option` — the
+//! event value is never even constructed. Nothing in this crate feeds back
+//! into simulated state: handles hash as nothing, compare as nothing, and
+//! are excluded from every architectural `Hash` in the stack, so simulated
+//! results (and campaign digests) are byte-identical with telemetry on or
+//! off.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_telemetry::{Component, Event, EventKind, Telemetry};
+//!
+//! let tel = Telemetry::recorder();
+//! tel.emit(|| Event {
+//!     cycle: 42,
+//!     node: 3,
+//!     component: Component::L1,
+//!     addr: 0x100,
+//!     kind: EventKind::Access { hit: true, sync: false, write: false },
+//! });
+//! let events = tel.take_events().expect("recorder drains");
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].cycle, 42);
+//!
+//! let off = Telemetry::default();
+//! off.emit(|| unreachable!("never constructed when telemetry is off"));
+//! ```
+
+pub mod metrics;
+pub mod perfetto;
+pub mod sink;
+
+pub use metrics::{Log2Histogram, MetricsRegistry};
+pub use sink::{EventSink, JsonlSink, RecorderSink, RingSink};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which simulated component emitted an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// A core / its VM thread.
+    Core,
+    /// A private L1 controller (MESI or DeNovo).
+    L1,
+    /// A shared-L2 bank: MESI directory or DeNovo registry.
+    Dir,
+    /// The mesh interconnect.
+    Noc,
+    /// A miss-status holding register file.
+    Mshr,
+    /// The system event loop itself (message deliveries, marks).
+    Sys,
+}
+
+impl Component {
+    /// Every component, in reporting order (the enum's discriminant order).
+    pub const ALL: [Component; 6] = [
+        Component::Core,
+        Component::L1,
+        Component::Dir,
+        Component::Noc,
+        Component::Mshr,
+        Component::Sys,
+    ];
+
+    /// Stable lowercase label used in JSONL output and metric paths.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Core => "core",
+            Component::L1 => "l1",
+            Component::Dir => "dir",
+            Component::Noc => "noc",
+            Component::Mshr => "mshr",
+            Component::Sys => "sys",
+        }
+    }
+}
+
+/// Why a core is not retiring instructions (the stall taxonomy mirrored by
+/// the paper's stacked-bar breakdowns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StallClass {
+    /// Blocked on the memory system (a miss outstanding).
+    Memory,
+    /// Parked in the spin-watch waiting for a sync location to change.
+    Spin,
+    /// Serving a hardware-backoff penalty before reissuing a sync access.
+    Backoff,
+    /// Waiting on a fence for outstanding stores to drain.
+    Fence,
+}
+
+impl StallClass {
+    /// Every stall class, in reporting order.
+    pub const ALL: [StallClass; 4] = [
+        StallClass::Memory,
+        StallClass::Spin,
+        StallClass::Backoff,
+        StallClass::Fence,
+    ];
+
+    /// Stable lowercase label used in JSONL output and metric paths.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallClass::Memory => "memory",
+            StallClass::Spin => "spin",
+            StallClass::Backoff => "backoff",
+            StallClass::Fence => "fence",
+        }
+    }
+
+    /// Dense index into per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            StallClass::Memory => 0,
+            StallClass::Spin => 1,
+            StallClass::Backoff => 2,
+            StallClass::Fence => 3,
+        }
+    }
+}
+
+/// What happened. Variants carry only plain numbers and `&'static str`
+/// labels so an [`Event`] is `Copy` and ring-buffer pushes never allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A core access completed at the L1 with this outcome.
+    Access {
+        /// Serviced without leaving the L1.
+        hit: bool,
+        /// The access was a synchronization access.
+        sync: bool,
+        /// The access may write.
+        write: bool,
+    },
+    /// A synchronization access was penalized by hardware backoff.
+    Backoff {
+        /// Penalty length in cycles.
+        cycles: u64,
+    },
+    /// A program-inserted phase marker (kernel iteration boundaries).
+    Mark(u32),
+    /// A protocol controller moved a line/word between states.
+    Transition {
+        /// State before the message/request was applied.
+        from: &'static str,
+        /// State after.
+        to: &'static str,
+        /// What caused the move (message or request name).
+        cause: &'static str,
+    },
+    /// A DeNovo registry (or L1) re-pointed a word's registration.
+    Registration {
+        /// Core that now owns the word's registered copy.
+        owner: u32,
+        /// Previous owner, or `u32::MAX` when the word was unregistered.
+        prev: u32,
+    },
+    /// A MESI invalidation was sent to (or acted on by) a sharer.
+    Invalidation {
+        /// The core whose request triggered the invalidation.
+        requester: u32,
+        /// Sharers invalidated (fan-out at the directory, 1 at an L1).
+        sharers: u32,
+    },
+    /// A message entered the mesh at its source tile.
+    NocEnqueue {
+        /// Destination tile.
+        dst: u32,
+        /// Message size in flits.
+        flits: u32,
+    },
+    /// A message's head flit claimed one link of its route.
+    NocHop {
+        /// Link id along the XY route.
+        link: u32,
+        /// Cycle until which the link stays busy serializing the message.
+        busy_until: u64,
+    },
+    /// A message fully arrived at its destination tile.
+    NocDequeue {
+        /// Source tile.
+        src: u32,
+        /// End-to-end latency in cycles, including queuing.
+        latency: u64,
+    },
+    /// An MSHR entry was allocated.
+    MshrAlloc {
+        /// Entries in use after the allocation.
+        occupancy: u32,
+    },
+    /// An MSHR entry was released.
+    MshrFree {
+        /// Entries in use after the release.
+        occupancy: u32,
+    },
+    /// A core stopped retiring instructions.
+    StallBegin {
+        /// Why.
+        class: StallClass,
+    },
+    /// A core resumed after a stall.
+    StallEnd {
+        /// Why it was stalled.
+        class: StallClass,
+        /// Stall length in cycles.
+        cycles: u64,
+    },
+    /// The event loop delivered a protocol message to an endpoint.
+    Delivery {
+        /// The message's wire name (e.g. `GetM`, `RegReq`).
+        msg: &'static str,
+        /// Delivery ordinal (1-based count of deliveries so far).
+        ordinal: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable lowercase tag for JSONL output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EventKind::Access { .. } => "access",
+            EventKind::Backoff { .. } => "backoff",
+            EventKind::Mark(_) => "mark",
+            EventKind::Transition { .. } => "transition",
+            EventKind::Registration { .. } => "registration",
+            EventKind::Invalidation { .. } => "invalidation",
+            EventKind::NocEnqueue { .. } => "noc_enqueue",
+            EventKind::NocHop { .. } => "noc_hop",
+            EventKind::NocDequeue { .. } => "noc_dequeue",
+            EventKind::MshrAlloc { .. } => "mshr_alloc",
+            EventKind::MshrFree { .. } => "mshr_free",
+            EventKind::StallBegin { .. } => "stall_begin",
+            EventKind::StallEnd { .. } => "stall_end",
+            EventKind::Delivery { .. } => "delivery",
+        }
+    }
+}
+
+/// One observation: *when*, *where*, *about which address*, *what*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Simulated cycle the event happened at.
+    pub cycle: u64,
+    /// Emitting node: core/tile index, or bank index for directories.
+    pub node: u32,
+    /// Emitting component class.
+    pub component: Component,
+    /// Byte address the event concerns, or 0 when not address-shaped.
+    pub addr: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        sink::jsonl_line(self)
+    }
+}
+
+/// Anything that can serve as an event's subject address.
+///
+/// Implemented here for plain integers; `dvs-mem` implements it for its
+/// typed byte/word/line addresses so instrumentation sites can pass whatever
+/// they have.
+pub trait TelemetryKey {
+    /// The subject as a raw byte address (or plain number).
+    fn telemetry_key(&self) -> u64;
+}
+
+impl TelemetryKey for u64 {
+    fn telemetry_key(&self) -> u64 {
+        *self
+    }
+}
+
+impl TelemetryKey for u32 {
+    fn telemetry_key(&self) -> u64 {
+        u64::from(*self)
+    }
+}
+
+impl TelemetryKey for usize {
+    fn telemetry_key(&self) -> u64 {
+        *self as u64
+    }
+}
+
+/// A cheap, cloneable handle to an event sink — or to nothing.
+///
+/// `Telemetry::default()` is the *off* handle: no allocation, no lock, and
+/// [`Telemetry::emit`]'s closure is never called, so instrumentation sites
+/// cost one `Option` branch when observability is disabled. Clones share the
+/// underlying sink, which is how one sink collects events from every
+/// component of a [`System`](../dvs_core/system/struct.System.html).
+///
+/// Handles are deliberately invisible to simulated state: they carry no
+/// `Hash`/`PartialEq`, and every architectural container that stores one
+/// excludes it from its own `Hash`.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Shared>>,
+}
+
+/// The state clones of one handle share: the sink, plus a clock the event
+/// loop advances so components deep in the stack (MSHRs, controllers) can
+/// timestamp events without threading `now` through every call.
+#[derive(Debug)]
+struct Shared {
+    sink: Mutex<Box<dyn EventSink>>,
+    clock: AtomicU64,
+}
+
+impl Telemetry {
+    /// The off handle (same as `Telemetry::default()`).
+    pub fn off() -> Self {
+        Telemetry::default()
+    }
+
+    /// Wraps `sink` in a shareable handle.
+    pub fn new(sink: impl EventSink + 'static) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Shared {
+                sink: Mutex::new(Box::new(sink)),
+                clock: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A handle backed by a growable in-memory [`RecorderSink`].
+    pub fn recorder() -> Self {
+        Telemetry::new(RecorderSink::new())
+    }
+
+    /// A handle backed by a bounded per-node [`RingSink`].
+    pub fn ring(per_node: usize) -> Self {
+        Telemetry::new(RingSink::new(per_node))
+    }
+
+    /// Whether a sink is attached. Instrumentation that must loop to build
+    /// several events (e.g. per-hop NoC records) guards on this first.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records the event built by `f` — or does nothing, without calling
+    /// `f`, when the handle is off.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> Event) {
+        if let Some(shared) = &self.inner {
+            shared
+                .sink
+                .lock()
+                .expect("telemetry sink lock")
+                .record(&f());
+        }
+    }
+
+    /// Publishes the current simulated cycle for [`Telemetry::now`]. The
+    /// event loop calls this when a handle is enabled; components that
+    /// don't see `now` directly stamp their events from it.
+    pub fn set_now(&self, cycle: u64) {
+        if let Some(shared) = &self.inner {
+            shared.clock.store(cycle, Ordering::Relaxed);
+        }
+    }
+
+    /// The last cycle published with [`Telemetry::set_now`] (0 when off).
+    pub fn now(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |shared| shared.clock.load(Ordering::Relaxed))
+    }
+
+    /// Drains recorded events from sinks that keep them in memory
+    /// ([`RecorderSink`], [`RingSink`]); `None` for streaming sinks or the
+    /// off handle.
+    pub fn take_events(&self) -> Option<Vec<Event>> {
+        let shared = self.inner.as_ref()?;
+        shared
+            .sink
+            .lock()
+            .expect("telemetry sink lock")
+            .take_events()
+    }
+
+    /// Flushes streaming sinks (no-op otherwise).
+    pub fn flush(&self) {
+        if let Some(shared) = &self.inner {
+            shared.sink.lock().expect("telemetry sink lock").flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, node: u32) -> Event {
+        Event {
+            cycle,
+            node,
+            component: Component::L1,
+            addr: 0x40,
+            kind: EventKind::Access {
+                hit: false,
+                sync: true,
+                write: false,
+            },
+        }
+    }
+
+    #[test]
+    fn off_handle_never_builds_the_event() {
+        let off = Telemetry::off();
+        assert!(!off.enabled());
+        off.emit(|| unreachable!("closure must not run"));
+        assert!(off.take_events().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let tel = Telemetry::recorder();
+        let alias = tel.clone();
+        tel.emit(|| ev(1, 0));
+        alias.emit(|| ev(2, 1));
+        let events = tel.take_events().expect("recorder");
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].cycle, events[1].cycle), (1, 2));
+    }
+
+    #[test]
+    fn handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Telemetry>();
+        assert_send::<Event>();
+    }
+}

@@ -1,0 +1,273 @@
+//! The hierarchical metrics registry: counters and log2 histograms keyed by
+//! `node / component / name` paths.
+//!
+//! Registries live entirely outside simulated state: a simulation (or a
+//! campaign worker) fills one *after* the run from whatever it observed,
+//! then registries are merged in spec order. All storage is ordered
+//! (`BTreeMap`), so rendering and merging are deterministic regardless of
+//! worker count, and a campaign digest is byte-identical whether metrics
+//! were collected or not (they never enter the digest at all).
+
+use dvs_stats::report::JsonObject;
+use std::collections::BTreeMap;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples whose bit length is `i` (bucket 0 counts only
+/// zeros, bucket 1 counts `1`, bucket 2 counts `2..=3`, …), capped at 63.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    /// Which bucket a sample lands in.
+    fn bucket(value: u64) -> usize {
+        (64 - value.leading_zeros() as usize).min(63)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Renders as `{count, sum, max, buckets: {"<lo>..<hi>": n, …}}` with
+    /// only the populated buckets listed.
+    pub fn to_json(&self) -> JsonObject {
+        let mut obj = JsonObject::new();
+        obj.u64("count", self.count)
+            .u64("sum", self.sum)
+            .u64("max", self.max);
+        let mut buckets = JsonObject::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let label = if i == 0 {
+                "0".to_owned()
+            } else {
+                let lo = 1u64 << (i - 1);
+                let hi = if i == 63 { u64::MAX } else { (1u64 << i) - 1 };
+                format!("{lo}..{hi}")
+            };
+            buckets.u64(&label, n);
+        }
+        obj.object("buckets", buckets);
+        obj
+    }
+}
+
+/// `(node, component, name)` — the hierarchical key of one metric.
+type MetricPath = (String, String, String);
+
+/// Counters and histograms addressed by `node/component/name` paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricPath, u64>,
+    histograms: BTreeMap<MetricPath, Log2Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter at `node/component/name`.
+    pub fn add(&mut self, node: &str, component: &str, name: &str, delta: u64) {
+        *self
+            .counters
+            .entry((node.to_owned(), component.to_owned(), name.to_owned()))
+            .or_insert(0) += delta;
+    }
+
+    /// Records one sample into the histogram at `node/component/name`.
+    pub fn sample(&mut self, node: &str, component: &str, name: &str, value: u64) {
+        self.histograms
+            .entry((node.to_owned(), component.to_owned(), name.to_owned()))
+            .or_default()
+            .record(value);
+    }
+
+    /// Merges a whole prebuilt histogram into the one at the path.
+    pub fn merge_histogram(&mut self, node: &str, component: &str, name: &str, h: &Log2Histogram) {
+        if h.count() == 0 {
+            return;
+        }
+        self.histograms
+            .entry((node.to_owned(), component.to_owned(), name.to_owned()))
+            .or_default()
+            .merge(h);
+    }
+
+    /// The counter at a path (0 when absent).
+    pub fn counter(&self, node: &str, component: &str, name: &str) -> u64 {
+        self.counters
+            .get(&(node.to_owned(), component.to_owned(), name.to_owned()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The histogram at a path, if any samples were recorded.
+    pub fn histogram(&self, node: &str, component: &str, name: &str) -> Option<&Log2Histogram> {
+        self.histograms
+            .get(&(node.to_owned(), component.to_owned(), name.to_owned()))
+    }
+
+    /// Sum of one counter name across every node/component.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((_, _, n), _)| n == name)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Number of distinct metric paths (counters + histograms).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.histograms.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`. Merging is commutative and associative on
+    /// the stored values, and rendering is path-ordered, so any merge order
+    /// produces the same JSON.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (path, &v) in &other.counters {
+            *self.counters.entry(path.clone()).or_insert(0) += v;
+        }
+        for (path, h) in &other.histograms {
+            self.histograms.entry(path.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders the registry as a `node → component → name` tree.
+    pub fn to_json(&self) -> JsonObject {
+        let mut nodes: BTreeMap<&str, BTreeMap<&str, JsonObject>> = BTreeMap::new();
+        for ((node, comp, name), &v) in &self.counters {
+            nodes
+                .entry(node)
+                .or_default()
+                .entry(comp)
+                .or_default()
+                .u64(name, v);
+        }
+        for ((node, comp, name), h) in &self.histograms {
+            nodes
+                .entry(node)
+                .or_default()
+                .entry(comp)
+                .or_default()
+                .object(name, h.to_json());
+        }
+        let mut root = JsonObject::new();
+        for (node, comps) in nodes {
+            let mut node_obj = JsonObject::new();
+            for (comp, obj) in comps {
+                node_obj.object(comp, obj);
+            }
+            root.object(node, node_obj);
+        }
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_are_bit_lengths() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), u64::MAX);
+        let json = h.to_json().render();
+        assert!(json.contains("\"0\": 1"));
+        assert!(json.contains("\"2..3\": 2"));
+        assert!(json.contains("\"1024..2047\": 1"));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = MetricsRegistry::new();
+        a.add("core0", "l1", "hits", 3);
+        a.sample("core0", "core", "stall", 17);
+        let mut b = MetricsRegistry::new();
+        b.add("core0", "l1", "hits", 2);
+        b.add("dir1", "dir", "invals", 5);
+        b.sample("core0", "core", "stall", 200);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.to_json().render(), ba.to_json().render());
+        assert_eq!(ab.counter("core0", "l1", "hits"), 5);
+        assert_eq!(ab.counter_total("hits"), 5);
+        assert_eq!(ab.histogram("core0", "core", "stall").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn json_tree_is_node_component_name() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("core1", "l1", "misses", 9);
+        let text = reg.to_json().render();
+        assert!(text.contains("\"core1\""));
+        assert!(text.contains("\"l1\""));
+        assert!(text.contains("\"misses\": 9"));
+    }
+}

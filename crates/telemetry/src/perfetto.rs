@@ -1,0 +1,501 @@
+//! Chrome trace-event (Perfetto) export of an event stream.
+//!
+//! [`export`] renders a recorded event stream as the JSON object format of
+//! the Chrome trace-event spec — `{"traceEvents": [...]}` — which
+//! `ui.perfetto.dev` (and `chrome://tracing`) open directly. Lanes are
+//! organized as processes/threads:
+//!
+//! * **pid 1 "cores"** — one lane per core: stall and backoff slices
+//!   (`ph:"X"`), access/mark/transition instants.
+//! * **pid 2 "directories"** — one lane per L2 bank: directory/registry
+//!   transitions, registrations, invalidation fan-outs.
+//! * **pid 3 "mesh"** — one lane per tile: message enqueue/dequeue instants
+//!   plus MSHR occupancy counters (`ph:"C"`).
+//!
+//! One simulated cycle is rendered as one microsecond of trace time (the
+//! trace-event `ts` unit), so Perfetto's time axis reads directly in cycles.
+//!
+//! [`validate`] is a dependency-free structural checker for the same format
+//! (we cannot ship a browser in CI): it parses the JSON with a small
+//! recursive-descent parser and verifies the fields the viewer requires.
+
+use crate::{Component, Event, EventKind};
+use dvs_stats::report::JsonObject;
+
+/// Process ids used for the three lane groups.
+const PID_CORES: u64 = 1;
+const PID_DIRS: u64 = 2;
+const PID_MESH: u64 = 3;
+
+fn base(name: &str, ph: &str, ts: u64, pid: u64, tid: u64) -> JsonObject {
+    let mut obj = JsonObject::new();
+    obj.str("name", name)
+        .str("ph", ph)
+        .u64("ts", ts)
+        .u64("pid", pid)
+        .u64("tid", tid);
+    obj
+}
+
+fn instant(name: &str, ts: u64, pid: u64, tid: u64, args: JsonObject) -> JsonObject {
+    let mut obj = base(name, "i", ts, pid, tid);
+    obj.str("s", "t");
+    obj.object("args", args);
+    obj
+}
+
+fn slice(name: &str, ts: u64, dur: u64, pid: u64, tid: u64) -> JsonObject {
+    let mut obj = base(name, "X", ts, pid, tid);
+    obj.u64("dur", dur);
+    obj
+}
+
+fn metadata(name: &str, pid: u64, tid: u64, value: &str) -> JsonObject {
+    let mut args = JsonObject::new();
+    args.str("name", value);
+    let mut obj = base(name, "M", 0, pid, tid);
+    obj.object("args", args);
+    obj
+}
+
+/// Which lane group an event renders into.
+fn lane(event: &Event) -> (u64, u64) {
+    let node = u64::from(event.node);
+    match event.component {
+        Component::Core | Component::L1 => (PID_CORES, node),
+        Component::Dir => (PID_DIRS, node),
+        Component::Noc | Component::Mshr | Component::Sys => (PID_MESH, node),
+    }
+}
+
+/// Renders `events` as a Chrome trace-event JSON document titled `title`.
+pub fn export(title: &str, events: &[Event]) -> String {
+    let mut rows: Vec<JsonObject> = Vec::new();
+    // Lane naming first: collect the lanes actually used so the metadata
+    // stays proportional to the trace.
+    let mut lanes: Vec<(u64, u64)> = events.iter().map(lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for &(pid, name) in &[
+        (PID_CORES, "cores"),
+        (PID_DIRS, "directories"),
+        (PID_MESH, "mesh"),
+    ] {
+        if lanes.iter().any(|&(p, _)| p == pid) {
+            rows.push(metadata("process_name", pid, 0, name));
+        }
+    }
+    for &(pid, tid) in &lanes {
+        let label = match pid {
+            PID_CORES => format!("core {tid}"),
+            PID_DIRS => format!("dir {tid}"),
+            _ => format!("tile {tid}"),
+        };
+        rows.push(metadata("thread_name", pid, tid, &label));
+    }
+
+    for event in events {
+        let (pid, tid) = lane(event);
+        let ts = event.cycle;
+        match event.kind {
+            EventKind::Access { hit, sync, write } => {
+                let name = match (hit, sync) {
+                    (true, true) => "sync hit",
+                    (true, false) => "hit",
+                    (false, true) => "sync miss",
+                    (false, false) => "miss",
+                };
+                let mut args = JsonObject::new();
+                args.u64("addr", event.addr).bool("write", write);
+                rows.push(instant(name, ts, pid, tid, args));
+            }
+            EventKind::Backoff { cycles } => {
+                rows.push(slice("hw backoff", ts, cycles.max(1), pid, tid));
+            }
+            EventKind::Mark(m) => {
+                let mut args = JsonObject::new();
+                args.u64("mark", u64::from(m));
+                rows.push(instant("mark", ts, pid, tid, args));
+            }
+            EventKind::Transition { from, to, cause } => {
+                let mut args = JsonObject::new();
+                args.u64("addr", event.addr).str("from", from).str("to", to);
+                rows.push(instant(cause, ts, pid, tid, args));
+            }
+            EventKind::Registration { owner, prev } => {
+                let mut args = JsonObject::new();
+                args.u64("addr", event.addr).u64("owner", u64::from(owner));
+                if prev != u32::MAX {
+                    args.u64("prev", u64::from(prev));
+                }
+                rows.push(instant("registration", ts, pid, tid, args));
+            }
+            EventKind::Invalidation { requester, sharers } => {
+                let mut args = JsonObject::new();
+                args.u64("addr", event.addr)
+                    .u64("requester", u64::from(requester))
+                    .u64("sharers", u64::from(sharers));
+                rows.push(instant("invalidation", ts, pid, tid, args));
+            }
+            EventKind::NocEnqueue { dst, flits } => {
+                let mut args = JsonObject::new();
+                args.u64("dst", u64::from(dst))
+                    .u64("flits", u64::from(flits));
+                rows.push(instant("enqueue", ts, pid, tid, args));
+            }
+            EventKind::NocHop { link, busy_until } => {
+                let mut args = JsonObject::new();
+                args.u64("link", u64::from(link))
+                    .u64("busy_until", busy_until);
+                rows.push(instant("hop", ts, pid, tid, args));
+            }
+            EventKind::NocDequeue { src: _, latency } => {
+                // Render the in-flight window as a slice ending at arrival.
+                rows.push(slice(
+                    "in flight",
+                    ts.saturating_sub(latency),
+                    latency.max(1),
+                    pid,
+                    tid,
+                ));
+            }
+            EventKind::MshrAlloc { occupancy } | EventKind::MshrFree { occupancy } => {
+                let mut args = JsonObject::new();
+                args.u64("occupancy", u64::from(occupancy));
+                let mut obj = base("mshr occupancy", "C", ts, pid, tid);
+                obj.object("args", args);
+                rows.push(obj);
+            }
+            EventKind::StallBegin { .. } => {
+                // Slices are rendered from the matching StallEnd, which
+                // carries the duration.
+            }
+            EventKind::StallEnd { class, cycles } => {
+                rows.push(slice(
+                    class.label(),
+                    ts.saturating_sub(cycles),
+                    cycles.max(1),
+                    pid,
+                    tid,
+                ));
+            }
+            EventKind::Delivery { msg, ordinal } => {
+                let mut args = JsonObject::new();
+                args.u64("addr", event.addr).u64("ordinal", ordinal);
+                rows.push(instant(msg, ts, pid, tid, args));
+            }
+        }
+    }
+
+    let mut root = JsonObject::new();
+    root.str("displayTimeUnit", "ns");
+    root.str("otherData", title);
+    root.array("traceEvents", rows);
+    root.render()
+}
+
+/// Structurally validates a trace-event JSON document.
+///
+/// Checks what `ui.perfetto.dev` needs to load the file: a root object with
+/// a `traceEvents` array whose elements each carry a string `name`, a
+/// string `ph`, and numeric `ts`/`pid`/`tid`; `"X"` events additionally
+/// need a numeric `dur`. Returns the number of trace events.
+///
+/// # Errors
+///
+/// A description of the first malformed construct found.
+pub fn validate(json: &str) -> Result<u64, String> {
+    let value = Parser {
+        bytes: json.as_bytes(),
+        pos: 0,
+    }
+    .document()?;
+    let Val::Obj(root) = value else {
+        return Err("root is not an object".to_owned());
+    };
+    let events = root
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("missing traceEvents")?;
+    let Val::Arr(events) = events else {
+        return Err("traceEvents is not an array".to_owned());
+    };
+    for (i, event) in events.iter().enumerate() {
+        let Val::Obj(fields) = event else {
+            return Err(format!("traceEvents[{i}] is not an object"));
+        };
+        let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        match field("name") {
+            Some(Val::Str(_)) => {}
+            _ => return Err(format!("traceEvents[{i}]: missing string name")),
+        }
+        let ph = match field("ph") {
+            Some(Val::Str(s)) => s.clone(),
+            _ => return Err(format!("traceEvents[{i}]: missing string ph")),
+        };
+        for key in ["ts", "pid", "tid"] {
+            match field(key) {
+                Some(Val::Num(_)) => {}
+                _ => return Err(format!("traceEvents[{i}]: missing numeric {key}")),
+            }
+        }
+        if ph == "X" && !matches!(field("dur"), Some(Val::Num(_))) {
+            return Err(format!("traceEvents[{i}]: X event without numeric dur"));
+        }
+    }
+    Ok(events.len() as u64)
+}
+
+/// Minimal JSON value for [`validate`].
+enum Val {
+    Obj(Vec<(String, Val)>),
+    Arr(Vec<Val>),
+    Str(String),
+    Num(#[allow(dead_code)] f64),
+    Bool(#[allow(dead_code)] bool),
+    Null,
+}
+
+/// A no-dependency recursive-descent JSON parser (validation only — numbers
+/// are parsed with `str::parse::<f64>`, strings keep escapes unresolved
+/// except the basics).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn document(mut self) -> Result<Val, String> {
+        let v = self.value()?;
+        self.ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_owned())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Val, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Val::Str(self.string()?)),
+            b't' => self.literal("true", Val::Bool(true)),
+            b'f' => self.literal("false", Val::Bool(false)),
+            b'n' => self.literal("null", Val::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, val: Val) -> Result<Val, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(val)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Val, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Val::Obj(members));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Val::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Val, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Val::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Val::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                other => out.push(other as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Val, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Val::Num)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StallClass;
+
+    fn event(cycle: u64, node: u32, component: Component, kind: EventKind) -> Event {
+        Event {
+            cycle,
+            node,
+            component,
+            addr: 0x1000,
+            kind,
+        }
+    }
+
+    #[test]
+    fn export_roundtrips_through_validate() {
+        let events = vec![
+            event(
+                10,
+                0,
+                Component::L1,
+                EventKind::Access {
+                    hit: false,
+                    sync: true,
+                    write: false,
+                },
+            ),
+            event(
+                30,
+                0,
+                Component::Core,
+                EventKind::StallEnd {
+                    class: StallClass::Memory,
+                    cycles: 20,
+                },
+            ),
+            event(
+                12,
+                1,
+                Component::Dir,
+                EventKind::Invalidation {
+                    requester: 0,
+                    sharers: 3,
+                },
+            ),
+            event(
+                14,
+                2,
+                Component::Noc,
+                EventKind::NocDequeue { src: 0, latency: 9 },
+            ),
+            event(
+                15,
+                0,
+                Component::Mshr,
+                EventKind::MshrAlloc { occupancy: 2 },
+            ),
+        ];
+        let json = export("unit test", &events);
+        let count = validate(&json).expect("structurally valid");
+        // 5 events plus lane metadata rows.
+        assert!(count > 5, "expected metadata + events, got {count}");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"sync miss\""));
+        assert!(json.contains("\"memory\""));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate("[]").is_err());
+        assert!(validate("{\"traceEvents\": 3}\n").is_err());
+        assert!(validate("{\"traceEvents\": [{\"ph\": \"i\"}]}").is_err());
+        let missing_dur =
+            "{\"traceEvents\": [{\"name\": \"a\", \"ph\": \"X\", \"ts\": 1, \"pid\": 1, \"tid\": 0}]}";
+        assert!(validate(missing_dur).unwrap_err().contains("dur"));
+        assert!(validate("{\"traceEvents\": []}").unwrap() == 0);
+    }
+}

@@ -47,9 +47,11 @@ pub mod asm;
 pub mod isa;
 pub mod litmus;
 pub mod reference;
+pub mod stall;
 pub mod thread;
 
 pub use asm::Asm;
 pub use isa::{Cond, DelayLen, Instr, Program, Reg};
 pub use litmus::Litmus;
+pub use stall::StallTracker;
 pub use thread::{Effect, ExecPhase, MemRequest, SpinCond, Thread};

@@ -24,4 +24,12 @@ cargo run --release --offline -p dvs-check --example smoke
 echo "== campaign smoke (reduced fig3+fig7 grid at 1/2/4 workers, digest must match) =="
 DVS_QUICK=1 DVS_WORKERS=4 cargo bench --offline -p dvs-bench --bench campaign
 
+echo "== telemetry smoke (zero-perturbation + Perfetto export validation) =="
+# Captures one tatas run per protocol with a recorder sink, asserts the
+# stats/metrics match the no-telemetry baseline, validates the exported
+# Chrome trace JSON, and writes TRACE_telemetry_*.json + BENCH_telemetry.json.
+DVS_QUICK=1 cargo bench --offline -p dvs-bench --bench telemetry_timeline
+# Digest invariance across telemetry policies and worker counts.
+cargo test -q --offline -p dvs-campaign --test telemetry
+
 echo "CI OK"
