@@ -33,7 +33,10 @@ pub mod runner;
 pub mod spec;
 
 pub use grids::{figure_core_counts, quick_mode, workers_from_env};
-pub use runner::{Campaign, CampaignError, CampaignReport, RunRecord};
+pub use runner::{
+    fnv1a, fnv1a_str, parallel_indexed, Campaign, CampaignError, CampaignReport, RunRecord,
+    FNV_OFFSET,
+};
 pub use spec::{ConfigOverrides, ExperimentSpec, TelemetryPolicy, WorkloadSpec};
 
 use dvs_core::config::SystemConfig;

@@ -114,56 +114,80 @@ impl Campaign {
         let n = self.specs.len();
         let workers = workers.max(1).min(n.max(1));
         let started = Instant::now();
-        let cursor = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= n {
-                        break;
-                    }
-                    let spec = self.specs[index];
-                    let t0 = Instant::now();
-                    let (outcome, metrics) = run_isolated(&spec);
-                    let wall_nanos = t0.elapsed().as_nanos() as u64;
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    let status = match &outcome {
-                        Ok(stats) => format!("ok, {} cycles", stats.cycles),
-                        Err(e) => format!("FAILED: {e}"),
-                    };
-                    eprintln!(
-                        "[{finished}/{n}] {} — {status} ({:.1} ms)",
-                        spec.label(),
-                        wall_nanos as f64 / 1e6
-                    );
-                    *slots[index].lock().expect("slot lock") = Some(RunRecord {
-                        index,
-                        spec,
-                        outcome,
-                        wall_nanos,
-                        metrics,
-                    });
-                });
+        let records = parallel_indexed(n, workers, |index| {
+            let spec = self.specs[index];
+            let t0 = Instant::now();
+            let (outcome, metrics) = run_isolated(&spec);
+            let wall_nanos = t0.elapsed().as_nanos() as u64;
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let status = match &outcome {
+                Ok(stats) => format!("ok, {} cycles", stats.cycles),
+                Err(e) => format!("FAILED: {e}"),
+            };
+            eprintln!(
+                "[{finished}/{n}] {} — {status} ({:.1} ms)",
+                spec.label(),
+                wall_nanos as f64 / 1e6
+            );
+            RunRecord {
+                index,
+                spec,
+                outcome,
+                wall_nanos,
+                metrics,
             }
         });
-
-        let records = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock")
-                    .expect("every slot is filled before the scope ends")
-            })
-            .collect();
         CampaignReport {
             records,
             workers,
             wall_nanos: started.elapsed().as_nanos() as u64,
         }
     }
+}
+
+/// Runs `job(0..n)` on `workers` self-scheduling threads (clamped to at
+/// least 1 and at most `n`) and returns the results in index order.
+///
+/// This is the campaign's work-distribution core, factored out so other
+/// batch engines (the differential fuzzer's `dvs-fuzz` batches) inherit its
+/// determinism property: workers claim indices from a shared atomic cursor
+/// and write each result into that index's slot, so the returned vector is
+/// independent of worker count and OS scheduling. The job itself must not
+/// unwind — callers wanting fault isolation wrap their job body in
+/// `catch_unwind` and return the panic as a value (as [`Campaign::run`]
+/// does).
+pub fn parallel_indexed<T, F>(n: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(n.max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let result = job(index);
+                *slots[index].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
 }
 
 /// Runs one spec with panic isolation. The metrics tree comes back next to
@@ -257,10 +281,19 @@ impl CampaignReport {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit offset basis — the starting value for [`fnv1a`].
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
-fn fnv1a(hash: u64, byte: u8) -> u64 {
+/// One FNV-1a step: folds `byte` into `hash`. Shared by every
+/// determinism digest in the workspace (campaign reports, fuzz batches) so
+/// their fingerprints stay comparable across tools.
+pub fn fnv1a(hash: u64, byte: u8) -> u64 {
     (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Folds every byte of `s` into `hash` with [`fnv1a`].
+pub fn fnv1a_str(hash: u64, s: &str) -> u64 {
+    s.bytes().fold(hash, fnv1a)
 }
 
 fn record_json(record: &RunRecord) -> JsonObject {

@@ -1,0 +1,186 @@
+//! `dvsf` — the fuzzer's command-line front end.
+//!
+//! ```text
+//! dvsf gen <seed> [--small]                      print the generated .dvsf
+//! dvsf run <file> [--mutation <tok>]             replay one case
+//! dvsf shrink <file> [--mutation <tok>]          minimize a diverging case
+//! dvsf hunt <start> <count> [--small] [--workers N] [--mutation <tok>]
+//!                                                fuzz a seed range
+//! ```
+//!
+//! Exit codes: 0 clean, 1 divergence found (`run`/`hunt`), 2 usage or
+//! sick case. `shrink` exits 0 on success (the divergence is the point)
+//! and 2 if the input does not diverge. Mutation tokens:
+//! `dnv-skip-repoint`, `dnv-drop-xfer`, `mesi-skip-invalidate`,
+//! `mesi-drop-ack`.
+
+use dvs_fuzz::{
+    generate, parse_mutation, run_batch, run_case, shrink, BatchConfig, CaseVerdict, FuzzCase,
+    GenConfig, HarnessConfig,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("dvsf: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pulls `--flag value` / bare `--flag` options out of `args`.
+struct Opts {
+    positional: Vec<String>,
+    small: bool,
+    workers: usize,
+    mutation: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        positional: Vec::new(),
+        small: false,
+        workers: 1,
+        mutation: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--small" => o.small = true,
+            "--workers" => {
+                o.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "--workers needs a number")?;
+            }
+            "--mutation" => {
+                o.mutation = Some(it.next().ok_or("--mutation needs a token")?.clone());
+            }
+            _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
+            _ => o.positional.push(a.clone()),
+        }
+    }
+    Ok(o)
+}
+
+fn harness_for(o: &Opts) -> Result<HarnessConfig, String> {
+    let mut h = HarnessConfig::default();
+    if let Some(tok) = &o.mutation {
+        h.mutation = Some(parse_mutation(tok)?);
+    }
+    Ok(h)
+}
+
+fn gen_for(o: &Opts) -> GenConfig {
+    if o.small {
+        GenConfig::small()
+    } else {
+        GenConfig::default_pool()
+    }
+}
+
+fn parse_seed(tok: &str) -> Result<u64, String> {
+    let hex = tok.strip_prefix("0x");
+    match hex {
+        Some(h) => u64::from_str_radix(h, 16),
+        None => tok.parse(),
+    }
+    .map_err(|_| format!("bad seed {tok:?}"))
+}
+
+fn load_case(path: &str) -> Result<FuzzCase, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    FuzzCase::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("usage: dvsf <gen|run|shrink|hunt> ...".into());
+    };
+    let o = parse_opts(rest)?;
+    match cmd.as_str() {
+        "gen" => {
+            let [seed] = o.positional.as_slice() else {
+                return Err("usage: dvsf gen <seed> [--small]".into());
+            };
+            let case = generate(parse_seed(seed)?, &gen_for(&o));
+            print!("{}", case.render());
+            Ok(ExitCode::SUCCESS)
+        }
+        "run" => {
+            let [path] = o.positional.as_slice() else {
+                return Err("usage: dvsf run <file.dvsf> [--mutation <tok>]".into());
+            };
+            let case = load_case(path)?;
+            match run_case(&case, &harness_for(&o)?) {
+                CaseVerdict::Pass { ref_fnv, instrs } => {
+                    println!("pass ref={ref_fnv:016x} instrs={instrs}");
+                    Ok(ExitCode::SUCCESS)
+                }
+                CaseVerdict::Sick { reason } => Err(format!("sick case: {reason}")),
+                CaseVerdict::Diverged { instrs, divergence } => {
+                    println!("diverged {divergence} instrs={instrs}");
+                    Ok(ExitCode::from(1))
+                }
+            }
+        }
+        "shrink" => {
+            let [path] = o.positional.as_slice() else {
+                return Err("usage: dvsf shrink <file.dvsf> [--mutation <tok>]".into());
+            };
+            let case = load_case(path)?;
+            let h = harness_for(&o)?;
+            if !run_case(&case, &h).is_divergent() {
+                return Err("input case does not diverge; nothing to shrink".into());
+            }
+            let out = shrink(&case, |c| run_case(c, &h).is_divergent());
+            eprintln!(
+                "shrunk {} -> {} instrs ({} attempts, {} accepted)",
+                out.initial_instrs, out.final_instrs, out.attempts, out.accepted
+            );
+            print!("{}", out.case.render());
+            Ok(ExitCode::SUCCESS)
+        }
+        "hunt" => {
+            let [start, count] = o.positional.as_slice() else {
+                return Err(
+                    "usage: dvsf hunt <start-seed> <count> [--small] [--workers N] \
+                     [--mutation <tok>]"
+                        .into(),
+                );
+            };
+            let cfg = BatchConfig {
+                seed_start: parse_seed(start)?,
+                count: count.parse().map_err(|_| "bad count")?,
+                gen: gen_for(&o),
+                harness: harness_for(&o)?,
+                workers: o.workers,
+            };
+            let report = run_batch(&cfg);
+            println!(
+                "total={} passed={} sick={} panicked={} diverged={} digest={:016x}",
+                report.total,
+                report.passed,
+                report.sick,
+                report.panicked,
+                report.diverged.len(),
+                report.digest
+            );
+            for d in &report.diverged {
+                println!("  {}", d.line);
+            }
+            Ok(
+                if report.diverged.is_empty() && report.sick == 0 && report.panicked == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                },
+            )
+        }
+        _ => Err(format!("unknown command {cmd:?}")),
+    }
+}

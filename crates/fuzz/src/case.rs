@@ -1,0 +1,896 @@
+//! The fuzzer's program representation: a [`FuzzCase`] is a small
+//! concurrent program over a fixed menu of synchronization idioms, one
+//! op-list per thread, plus the shared-address [`Shape`] the ops index
+//! into.
+//!
+//! Cases are *deterministic under sequential consistency by construction*:
+//! shared locations are only touched through idioms whose final value is
+//! interleaving-independent (fetch-and-increment counters, test-and-set
+//! words, lock-guarded counters, publish-once flags), and every
+//! schedule-dependent observation (the old value an RMW returned, what a
+//! racy probe load saw) is quarantined into per-thread *witness* words that
+//! are checked against interleaving-independent predicates instead of being
+//! compared across runs. That split is what makes differential checking
+//! sound: the *stable* words must match the sequential reference machine
+//! exactly, on every protocol, timed or untimed.
+//!
+//! [`FuzzCase::lower`] expands the ops to `dvs-vm` programs following the
+//! DeNovo contract (producers fence before raising flags, consumers
+//! self-invalidate the data region after acquiring), so one lowering is SC
+//! on MESI and both DeNovo variants. Cases serialize to a line-oriented
+//! `.dvsf` text format for the committed regression corpus.
+
+use dvs_mem::{Addr, LayoutBuilder, MemoryLayout};
+use dvs_vm::asm::Asm;
+use dvs_vm::isa::{Cond, Program, Reg};
+use std::sync::Arc;
+
+/// `.dvsf` format version.
+pub const DVSF_VERSION: u32 = 1;
+
+/// Maximum thread count a case may use (the harness runs a 2×2 mesh).
+pub const MAX_THREADS: usize = 4;
+
+/// How many shared locations of each class a case may address. Each class
+/// has one access discipline (see [`Op`]); a location never mixes
+/// disciplines, which is what keeps final values schedule-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Shape {
+    /// Fetch-and-increment counters (`sync` region, atomic RMW only).
+    pub fai: u8,
+    /// Locks, each guarding its own plain-data counter in the `cs` region.
+    pub locks: u8,
+    /// Test-and-set-once words.
+    pub tas: u8,
+    /// Swap words; every swap stores the word's fixed constant.
+    pub swaps: u8,
+    /// Publish-once flags, each with a plain-data payload word.
+    pub flags: u8,
+    /// Racy flag words: sync-stored to 1, sync-probed by readers (the
+    /// CoRR/IRIW idiom pool).
+    pub rf: u8,
+    /// Private scratch words per thread.
+    pub priv_slots: u8,
+}
+
+impl Shape {
+    /// The constant a swap word's swappers store (never 0, distinct per
+    /// word so a cross-wired swap is visible in final memory).
+    pub fn swap_const(word: u8) -> u64 {
+        0x5A + u64::from(word)
+    }
+}
+
+/// One generator op. Each op lowers to a short, self-contained instruction
+/// sequence; `witness` flags make the op record its schedule-dependent
+/// observation into a fresh private witness word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Plain store of `value` into the thread's own scratch word `slot`.
+    PrivStore { slot: u8, value: u16 },
+    /// Plain load of scratch word `slot`, folded into the thread's history
+    /// hash (published at halt).
+    PrivLoad { slot: u8 },
+    /// Atomic fetch-and-increment of counter `ctr`.
+    Fai { ctr: u8, witness: bool },
+    /// Test-and-set of word `word`.
+    Tas { word: u8, witness: bool },
+    /// Swap the word's constant into word `word`.
+    Swap { word: u8, witness: bool },
+    /// Tatas-acquire lock `lock`, self-invalidate the critical-section
+    /// region, increment the guarded counter, fence, release.
+    LockedAdd { lock: u8, witness: bool },
+    /// Plain-store `value` to flag `flag`'s payload, fence, sync-store the
+    /// flag to 1. At most one per flag, in the flag's owner thread.
+    MsgSend { flag: u8, value: u16 },
+    /// Spin until flag `flag` reads 1, self-invalidate the payload region,
+    /// fold the payload into the history hash. Only threads with a higher
+    /// id than the flag's owner may wait (keeps the wait graph acyclic).
+    MsgWait { flag: u8 },
+    /// Sync-store 1 to racy flag word `word`.
+    RfStore { word: u8 },
+    /// Sync-load racy word `a` then `b`. `a == b` is a CoRR probe; two
+    /// witnessed probes over the same pair in opposite orders form an IRIW
+    /// probe. Witnessed observations feed the relational SC checks.
+    RfLoad2 { a: u8, b: u8, witness: bool },
+    /// Standalone fence.
+    Fence,
+    /// Self-invalidate the `cs` and `payload` data regions (always legal;
+    /// only performance-relevant).
+    SelfInv,
+    /// No-op.
+    Nop,
+}
+
+/// A generated (or shrunk, or parsed) concurrent program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// Corpus-stable identifier.
+    pub name: String,
+    /// The generator seed this case came from (provenance only; a parsed
+    /// or shrunk case keeps the seed of its ancestor).
+    pub seed: u64,
+    /// Shared-location counts.
+    pub shape: Shape,
+    /// One op list per thread, executed straight-line.
+    pub threads: Vec<Vec<Op>>,
+}
+
+/// How a witness multiset is judged. Both predicates are true in *every*
+/// SC execution (and every coherent one), regardless of interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WitnessKind {
+    /// Observed old values must be pairwise distinct and `< total`
+    /// (fetch-and-increment and lock-guarded counters: the op sequence
+    /// observes a permutation of `0..total`).
+    DistinctBelow { total: u64 },
+    /// At most one observation of 0; every other must equal `rest`
+    /// (test-and-set and constant-swap words).
+    ZeroThen { rest: u64 },
+}
+
+/// The witness words observing one shared location, with the predicate
+/// their values must satisfy.
+#[derive(Debug, Clone)]
+pub struct WitnessCheck {
+    /// Which location, for failure messages (e.g. `"fai0"`).
+    pub what: String,
+    /// The witness words, across all threads.
+    pub slots: Vec<Addr>,
+    /// The interleaving-independent predicate.
+    pub kind: WitnessKind,
+}
+
+/// One witnessed `RfLoad2`: which racy words it probed, in which order,
+/// and where the two observations live. The differential harness derives
+/// CoRR (`a == b`) and pairwise IRIW checks from these.
+#[derive(Debug, Clone)]
+pub struct RfProbe {
+    /// Thread that executed the probe.
+    pub thread: usize,
+    /// First word probed.
+    pub a: u8,
+    /// Second word probed.
+    pub b: u8,
+    /// Witness word holding the first observation.
+    pub slot_a: Addr,
+    /// Witness word holding the second observation.
+    pub slot_b: Addr,
+}
+
+/// A case lowered to runnable form: layout, per-thread programs, and the
+/// observation plan the differential harness executes.
+pub struct Lowered {
+    /// The memory layout the programs were assembled against.
+    pub layout: Arc<MemoryLayout>,
+    /// One program per case thread (the harness pads to the mesh size).
+    pub programs: Vec<Arc<Program>>,
+    /// Words whose final value is the same in every SC execution — these
+    /// must match the reference machine exactly.
+    pub stable: Vec<(String, Addr)>,
+    /// Witness multiset predicates, one per observed shared location.
+    pub witness_checks: Vec<WitnessCheck>,
+    /// Witnessed racy probes for the relational (CoRR/IRIW) checks.
+    pub rf_probes: Vec<RfProbe>,
+    /// Total instruction count over the case's own programs (idle mesh
+    /// padding excluded) — the shrinker's minimization metric.
+    pub instr_count: usize,
+}
+
+impl FuzzCase {
+    /// Structural validity: indices in shape bounds, thread count within
+    /// the mesh, and the flag protocol (one sender per flag, waiters
+    /// strictly after the owner in thread order) that guarantees the case
+    /// is deadlock-free under SC.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads.is_empty() || self.threads.len() > MAX_THREADS {
+            return Err(format!(
+                "case needs 1..={MAX_THREADS} threads, has {}",
+                self.threads.len()
+            ));
+        }
+        let s = &self.shape;
+        let mut flag_owner: Vec<Option<usize>> = vec![None; s.flags as usize];
+        for (t, ops) in self.threads.iter().enumerate() {
+            for op in ops {
+                let bound = |what: &str, idx: u8, n: u8| {
+                    if idx < n {
+                        Ok(())
+                    } else {
+                        Err(format!("thread {t}: {what} index {idx} out of range {n}"))
+                    }
+                };
+                match *op {
+                    Op::PrivStore { slot, .. } | Op::PrivLoad { slot } => {
+                        bound("priv slot", slot, s.priv_slots)?
+                    }
+                    Op::Fai { ctr, .. } => bound("fai counter", ctr, s.fai)?,
+                    Op::Tas { word, .. } => bound("tas word", word, s.tas)?,
+                    Op::Swap { word, .. } => bound("swap word", word, s.swaps)?,
+                    Op::LockedAdd { lock, .. } => bound("lock", lock, s.locks)?,
+                    Op::MsgSend { flag, .. } => {
+                        bound("flag", flag, s.flags)?;
+                        let owner = &mut flag_owner[flag as usize];
+                        if owner.is_some() {
+                            return Err(format!("flag {flag} has more than one sender"));
+                        }
+                        *owner = Some(t);
+                    }
+                    Op::MsgWait { flag } => bound("flag", flag, s.flags)?,
+                    Op::RfStore { word } => bound("rf word", word, s.rf)?,
+                    Op::RfLoad2 { a, b, .. } => {
+                        bound("rf word", a, s.rf)?;
+                        bound("rf word", b, s.rf)?;
+                    }
+                    Op::Fence | Op::SelfInv | Op::Nop => {}
+                }
+            }
+        }
+        for (t, ops) in self.threads.iter().enumerate() {
+            for op in ops {
+                if let Op::MsgWait { flag } = *op {
+                    match flag_owner[flag as usize] {
+                        None => {
+                            return Err(format!(
+                                "thread {t} waits on flag {flag}, which is never sent"
+                            ))
+                        }
+                        Some(owner) if owner >= t => {
+                            return Err(format!(
+                                "thread {t} waits on flag {flag} owned by thread {owner} \
+                                 (waiters must come after the owner)"
+                            ))
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the case to programs, layout, and observation plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case fails [`FuzzCase::validate`] — callers validate
+    /// first (the harness maps invalid cases to a "sick" verdict).
+    pub fn lower(&self) -> Lowered {
+        self.validate().expect("lowering requires a valid case");
+        let s = self.shape;
+        let nthreads = self.threads.len();
+        let mut lb = LayoutBuilder::new();
+        let sync = lb.region("sync");
+        let cs = lb.region("cs");
+        let payload = lb.region("payload");
+
+        let mut stable: Vec<(String, Addr)> = Vec::new();
+        let named = |lb: &mut LayoutBuilder,
+                     stable: &mut Vec<(String, Addr)>,
+                     name: String,
+                     region,
+                     keep: bool| {
+            let a = lb.sync_var(&name, region, true);
+            if keep {
+                stable.push((name, a));
+            }
+            a
+        };
+
+        let fai: Vec<Addr> = (0..s.fai)
+            .map(|i| named(&mut lb, &mut stable, format!("fai{i}"), sync, true))
+            .collect();
+        let locks: Vec<Addr> = (0..s.locks)
+            .map(|i| named(&mut lb, &mut stable, format!("lock{i}"), sync, true))
+            .collect();
+        let lctrs: Vec<Addr> = (0..s.locks)
+            .map(|i| named(&mut lb, &mut stable, format!("lctr{i}"), cs, true))
+            .collect();
+        let tas: Vec<Addr> = (0..s.tas)
+            .map(|i| named(&mut lb, &mut stable, format!("tas{i}"), sync, true))
+            .collect();
+        let swaps: Vec<Addr> = (0..s.swaps)
+            .map(|i| named(&mut lb, &mut stable, format!("swap{i}"), sync, true))
+            .collect();
+        let flags: Vec<Addr> = (0..s.flags)
+            .map(|i| named(&mut lb, &mut stable, format!("flag{i}"), sync, true))
+            .collect();
+        let datums: Vec<Addr> = (0..s.flags)
+            .map(|i| named(&mut lb, &mut stable, format!("datum{i}"), payload, true))
+            .collect();
+        let rf: Vec<Addr> = (0..s.rf)
+            .map(|i| named(&mut lb, &mut stable, format!("rf{i}"), sync, true))
+            .collect();
+
+        // Per-thread private words. Each thread gets its own region so a
+        // region-level self-invalidation never creates cross-thread
+        // staleness hazards on private data.
+        let mut scratch: Vec<Vec<Addr>> = Vec::with_capacity(nthreads);
+        let mut hists: Vec<Addr> = Vec::with_capacity(nthreads);
+        let mut wits: Vec<Vec<Addr>> = Vec::with_capacity(nthreads);
+        for (t, ops) in self.threads.iter().enumerate() {
+            let region = lb.region(&format!("priv{t}"));
+            scratch.push(
+                (0..s.priv_slots)
+                    .map(|k| named(&mut lb, &mut stable, format!("p{t}_{k}"), region, true))
+                    .collect(),
+            );
+            hists.push(named(
+                &mut lb,
+                &mut stable,
+                format!("hist{t}"),
+                region,
+                false,
+            ));
+            let wit_count: usize = ops.iter().map(|op| op.witness_slots()).sum();
+            // Witness words are schedule-dependent: allocated but never in
+            // the stable set.
+            wits.push(
+                (0..wit_count)
+                    .map(|k| named(&mut lb, &mut stable, format!("w{t}_{k}"), region, false))
+                    .collect(),
+            );
+        }
+
+        // Witness bookkeeping: which slots observe which location.
+        let mut fai_wits: Vec<Vec<Addr>> = vec![Vec::new(); s.fai as usize];
+        let mut lock_wits: Vec<Vec<Addr>> = vec![Vec::new(); s.locks as usize];
+        let mut tas_wits: Vec<Vec<Addr>> = vec![Vec::new(); s.tas as usize];
+        let mut swap_wits: Vec<Vec<Addr>> = vec![Vec::new(); s.swaps as usize];
+        let mut fai_total = vec![0u64; s.fai as usize];
+        let mut lock_total = vec![0u64; s.locks as usize];
+        let mut tas_total = vec![0u64; s.tas as usize];
+        let mut swap_total = vec![0u64; s.swaps as usize];
+        let mut rf_probes: Vec<RfProbe> = Vec::new();
+
+        let mut programs: Vec<Arc<Program>> = Vec::with_capacity(nthreads);
+        let mut instr_count = 0usize;
+        for (t, ops) in self.threads.iter().enumerate() {
+            let mut a = Asm::new("fuzz");
+            // Register map: r1 value, r2 address, r3 observed, r4 history
+            // hash (live across ops), r5/r6/r7 op-local temporaries.
+            let (v, p, r, acc, q, zero, tmp) =
+                (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7));
+            let mut next_wit = 0usize;
+            let mut uses_hash = false;
+            for op in ops {
+                match *op {
+                    Op::PrivStore { slot, value } => {
+                        a.movi(v, u64::from(value));
+                        a.movi(p, scratch[t][slot as usize].raw());
+                        a.store(v, p, 0);
+                    }
+                    Op::PrivLoad { slot } => {
+                        a.movi(p, scratch[t][slot as usize].raw());
+                        a.load(r, p, 0);
+                        a.add(acc, acc, r);
+                        uses_hash = true;
+                    }
+                    Op::Fai { ctr, witness } => {
+                        a.movi(v, 1);
+                        a.movi(p, fai[ctr as usize].raw());
+                        a.fai(r, p, 0, v);
+                        fai_total[ctr as usize] += 1;
+                        if witness {
+                            let w = wits[t][next_wit];
+                            next_wit += 1;
+                            a.movi(p, w.raw());
+                            a.store(r, p, 0);
+                            fai_wits[ctr as usize].push(w);
+                        }
+                    }
+                    Op::Tas { word, witness } => {
+                        a.movi(p, tas[word as usize].raw());
+                        a.tas(r, p, 0);
+                        tas_total[word as usize] += 1;
+                        if witness {
+                            let w = wits[t][next_wit];
+                            next_wit += 1;
+                            a.movi(p, w.raw());
+                            a.store(r, p, 0);
+                            tas_wits[word as usize].push(w);
+                        }
+                    }
+                    Op::Swap { word, witness } => {
+                        a.movi(v, Shape::swap_const(word));
+                        a.movi(p, swaps[word as usize].raw());
+                        a.swap(r, p, 0, v);
+                        swap_total[word as usize] += 1;
+                        if witness {
+                            let w = wits[t][next_wit];
+                            next_wit += 1;
+                            a.movi(p, w.raw());
+                            a.store(r, p, 0);
+                            swap_wits[word as usize].push(w);
+                        }
+                    }
+                    Op::LockedAdd { lock, witness } => {
+                        a.movi(zero, 0);
+                        a.movi(v, 1);
+                        a.movi(p, locks[lock as usize].raw());
+                        let acquire = a.here();
+                        a.tas(r, p, 0);
+                        let entered = a.label();
+                        a.beq(r, zero, entered); // old 0 => lock acquired
+                        a.spin_until(r, p, 0, Cond::Eq, zero); // test
+                        a.jmp(acquire); // ...and set again
+                        a.bind(entered);
+                        a.self_inv(cs); // acquire: drop stale cs data
+                        a.movi(q, lctrs[lock as usize].raw());
+                        a.load(r, q, 0);
+                        a.add(tmp, r, v);
+                        a.store(tmp, q, 0);
+                        a.fence(); // update durable before release
+                        a.stores(zero, p, 0); // release
+                        lock_total[lock as usize] += 1;
+                        if witness {
+                            let w = wits[t][next_wit];
+                            next_wit += 1;
+                            a.movi(p, w.raw());
+                            a.store(r, p, 0);
+                            lock_wits[lock as usize].push(w);
+                        }
+                    }
+                    Op::MsgSend { flag, value } => {
+                        a.movi(v, u64::from(value));
+                        a.movi(p, datums[flag as usize].raw());
+                        a.store(v, p, 0); // payload (plain data)
+                        a.fence(); // payload durable before the flag
+                        a.movi(v, 1);
+                        a.movi(p, flags[flag as usize].raw());
+                        a.stores(v, p, 0);
+                    }
+                    Op::MsgWait { flag } => {
+                        a.movi(v, 1);
+                        a.movi(p, flags[flag as usize].raw());
+                        a.spin_until(r, p, 0, Cond::Eq, v);
+                        a.self_inv(payload); // acquire: drop stale payload
+                        a.movi(p, datums[flag as usize].raw());
+                        a.load(r, p, 0);
+                        a.add(acc, acc, r);
+                        uses_hash = true;
+                    }
+                    Op::RfStore { word } => {
+                        a.movi(v, 1);
+                        a.movi(p, rf[word as usize].raw());
+                        a.stores(v, p, 0);
+                    }
+                    Op::RfLoad2 {
+                        a: wa,
+                        b: wb,
+                        witness,
+                    } => {
+                        a.movi(p, rf[wa as usize].raw());
+                        a.loads(r, p, 0);
+                        if wb != wa {
+                            a.movi(p, rf[wb as usize].raw());
+                        }
+                        a.loads(q, p, 0);
+                        if witness {
+                            let (sa, sb) = (wits[t][next_wit], wits[t][next_wit + 1]);
+                            next_wit += 2;
+                            a.movi(p, sa.raw());
+                            a.store(r, p, 0);
+                            a.movi(p, sb.raw());
+                            a.store(q, p, 0);
+                            rf_probes.push(RfProbe {
+                                thread: t,
+                                a: wa,
+                                b: wb,
+                                slot_a: sa,
+                                slot_b: sb,
+                            });
+                        }
+                    }
+                    Op::Fence => {
+                        a.fence();
+                    }
+                    Op::SelfInv => {
+                        a.self_inv(cs);
+                        a.self_inv(payload);
+                    }
+                    Op::Nop => {
+                        a.nop();
+                    }
+                }
+            }
+            if uses_hash {
+                a.movi(p, hists[t].raw());
+                a.store(acc, p, 0);
+                stable.push((format!("hist{t}"), hists[t]));
+            }
+            a.halt();
+            let prog = a.build();
+            instr_count += prog.len();
+            programs.push(Arc::new(prog));
+        }
+
+        let mut witness_checks = Vec::new();
+        let mut push_checks =
+            |what: &str, wits: Vec<Vec<Addr>>, kind: &dyn Fn(usize) -> WitnessKind| {
+                for (i, slots) in wits.into_iter().enumerate() {
+                    if !slots.is_empty() {
+                        witness_checks.push(WitnessCheck {
+                            what: format!("{what}{i}"),
+                            slots,
+                            kind: kind(i),
+                        });
+                    }
+                }
+            };
+        push_checks("fai", fai_wits, &|i| WitnessKind::DistinctBelow {
+            total: fai_total[i],
+        });
+        push_checks("lctr", lock_wits, &|i| WitnessKind::DistinctBelow {
+            total: lock_total[i],
+        });
+        push_checks("tas", tas_wits, &|_| WitnessKind::ZeroThen { rest: 1 });
+        push_checks("swap", swap_wits, &|i| WitnessKind::ZeroThen {
+            rest: Shape::swap_const(i as u8),
+        });
+        // Totals keep the counts honest even when nothing is witnessed:
+        // the stable compare against the reference covers final values, so
+        // nothing further is needed for unwitnessed locations.
+        let _ = (tas_total, swap_total);
+
+        Lowered {
+            layout: Arc::new(lb.build()),
+            programs,
+            stable,
+            witness_checks,
+            rf_probes,
+            instr_count,
+        }
+    }
+
+    /// Total lowered instruction count (the shrinker's metric).
+    pub fn instr_count(&self) -> usize {
+        self.lower().instr_count
+    }
+
+    /// Renders the case in `.dvsf` text form (see the module docs of
+    /// [`crate::case`]; line-oriented, round-trips through
+    /// [`FuzzCase::parse`]).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let s = self.shape;
+        writeln!(out, "dvsf {DVSF_VERSION}").unwrap();
+        writeln!(out, "name {}", self.name).unwrap();
+        writeln!(out, "seed {:#x}", self.seed).unwrap();
+        writeln!(
+            out,
+            "shape fai={} locks={} tas={} swaps={} flags={} rf={} priv={}",
+            s.fai, s.locks, s.tas, s.swaps, s.flags, s.rf, s.priv_slots
+        )
+        .unwrap();
+        for ops in &self.threads {
+            writeln!(out, "thread").unwrap();
+            for op in ops {
+                let w = |witness: bool| if witness { "w" } else { "-" };
+                match *op {
+                    Op::PrivStore { slot, value } => {
+                        writeln!(out, "  priv_store {slot} {value}").unwrap()
+                    }
+                    Op::PrivLoad { slot } => writeln!(out, "  priv_load {slot}").unwrap(),
+                    Op::Fai { ctr, witness } => {
+                        writeln!(out, "  fai {ctr} {}", w(witness)).unwrap()
+                    }
+                    Op::Tas { word, witness } => {
+                        writeln!(out, "  tas {word} {}", w(witness)).unwrap()
+                    }
+                    Op::Swap { word, witness } => {
+                        writeln!(out, "  swap {word} {}", w(witness)).unwrap()
+                    }
+                    Op::LockedAdd { lock, witness } => {
+                        writeln!(out, "  locked_add {lock} {}", w(witness)).unwrap()
+                    }
+                    Op::MsgSend { flag, value } => {
+                        writeln!(out, "  msg_send {flag} {value}").unwrap()
+                    }
+                    Op::MsgWait { flag } => writeln!(out, "  msg_wait {flag}").unwrap(),
+                    Op::RfStore { word } => writeln!(out, "  rf_store {word}").unwrap(),
+                    Op::RfLoad2 { a, b, witness } => {
+                        writeln!(out, "  rf_load2 {a} {b} {}", w(witness)).unwrap()
+                    }
+                    Op::Fence => writeln!(out, "  fence").unwrap(),
+                    Op::SelfInv => writeln!(out, "  self_inv").unwrap(),
+                    Op::Nop => writeln!(out, "  nop").unwrap(),
+                }
+            }
+            writeln!(out, "end").unwrap();
+        }
+        out
+    }
+
+    /// Parses `.dvsf` text. Blank lines and `#` comments are skipped.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending line. The parsed case is also
+    /// [`FuzzCase::validate`]d.
+    pub fn parse(text: &str) -> Result<FuzzCase, String> {
+        let mut name = None;
+        let mut seed = 0u64;
+        let mut shape: Option<Shape> = None;
+        let mut threads: Vec<Vec<Op>> = Vec::new();
+        let mut current: Option<Vec<Op>> = None;
+        let mut saw_header = false;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: &str| format!("line {}: {msg}: {line:?}", lineno + 1);
+            let mut toks = line.split_whitespace();
+            let head = toks.next().expect("non-empty line");
+            let mut rest = |what: &str| toks.next().ok_or_else(|| err(&format!("missing {what}")));
+            let parse_u8 = |tok: &str| tok.parse::<u8>().map_err(|_| err("bad index"));
+            let parse_u16 = |tok: &str| tok.parse::<u16>().map_err(|_| err("bad value"));
+            let parse_wit = |tok: &str| match tok {
+                "w" => Ok(true),
+                "-" => Ok(false),
+                _ => Err(err("bad witness marker (want 'w' or '-')")),
+            };
+            match head {
+                "dvsf" => {
+                    let v: u32 = rest("version")?.parse().map_err(|_| err("bad version"))?;
+                    if v != DVSF_VERSION {
+                        return Err(err(&format!("unsupported version {v}")));
+                    }
+                    saw_header = true;
+                }
+                "name" => name = Some(rest("name")?.to_owned()),
+                "seed" => {
+                    let tok = rest("seed")?;
+                    let tok = tok.strip_prefix("0x").unwrap_or(tok);
+                    seed = u64::from_str_radix(tok, 16).map_err(|_| err("bad seed"))?;
+                }
+                "shape" => {
+                    let mut s = Shape::default();
+                    for kv in toks.by_ref() {
+                        let (k, v) = kv.split_once('=').ok_or_else(|| err("bad shape field"))?;
+                        let v = parse_u8(v)?;
+                        match k {
+                            "fai" => s.fai = v,
+                            "locks" => s.locks = v,
+                            "tas" => s.tas = v,
+                            "swaps" => s.swaps = v,
+                            "flags" => s.flags = v,
+                            "rf" => s.rf = v,
+                            "priv" => s.priv_slots = v,
+                            _ => return Err(err("unknown shape field")),
+                        }
+                    }
+                    shape = Some(s);
+                }
+                "thread" => {
+                    if current.is_some() {
+                        return Err(err("nested thread section"));
+                    }
+                    current = Some(Vec::new());
+                }
+                "end" => {
+                    let ops = current.take().ok_or_else(|| err("end outside thread"))?;
+                    threads.push(ops);
+                }
+                op => {
+                    let ops = current.as_mut().ok_or_else(|| err("op outside thread"))?;
+                    let parsed = match op {
+                        "priv_store" => Op::PrivStore {
+                            slot: parse_u8(rest("slot")?)?,
+                            value: parse_u16(rest("value")?)?,
+                        },
+                        "priv_load" => Op::PrivLoad {
+                            slot: parse_u8(rest("slot")?)?,
+                        },
+                        "fai" => Op::Fai {
+                            ctr: parse_u8(rest("ctr")?)?,
+                            witness: parse_wit(rest("witness")?)?,
+                        },
+                        "tas" => Op::Tas {
+                            word: parse_u8(rest("word")?)?,
+                            witness: parse_wit(rest("witness")?)?,
+                        },
+                        "swap" => Op::Swap {
+                            word: parse_u8(rest("word")?)?,
+                            witness: parse_wit(rest("witness")?)?,
+                        },
+                        "locked_add" => Op::LockedAdd {
+                            lock: parse_u8(rest("lock")?)?,
+                            witness: parse_wit(rest("witness")?)?,
+                        },
+                        "msg_send" => Op::MsgSend {
+                            flag: parse_u8(rest("flag")?)?,
+                            value: parse_u16(rest("value")?)?,
+                        },
+                        "msg_wait" => Op::MsgWait {
+                            flag: parse_u8(rest("flag")?)?,
+                        },
+                        "rf_store" => Op::RfStore {
+                            word: parse_u8(rest("word")?)?,
+                        },
+                        "rf_load2" => Op::RfLoad2 {
+                            a: parse_u8(rest("a")?)?,
+                            b: parse_u8(rest("b")?)?,
+                            witness: parse_wit(rest("witness")?)?,
+                        },
+                        "fence" => Op::Fence,
+                        "self_inv" => Op::SelfInv,
+                        "nop" => Op::Nop,
+                        _ => return Err(err("unknown op")),
+                    };
+                    ops.push(parsed);
+                }
+            }
+        }
+        if !saw_header {
+            return Err("missing 'dvsf <version>' header".to_owned());
+        }
+        if current.is_some() {
+            return Err("unterminated thread section".to_owned());
+        }
+        let case = FuzzCase {
+            name: name.ok_or("missing 'name' line")?,
+            seed,
+            shape: shape.ok_or("missing 'shape' line")?,
+            threads,
+        };
+        case.validate()?;
+        Ok(case)
+    }
+}
+
+impl Op {
+    /// How many private witness words this op consumes when lowered.
+    pub fn witness_slots(&self) -> usize {
+        match *self {
+            Op::Fai { witness, .. }
+            | Op::Tas { witness, .. }
+            | Op::Swap { witness, .. }
+            | Op::LockedAdd { witness, .. } => usize::from(witness),
+            Op::RfLoad2 { witness, .. } => 2 * usize::from(witness),
+            _ => 0,
+        }
+    }
+
+    /// A copy with the witness flag cleared, if the op carries one (the
+    /// shrinker's witness-stripping reduction).
+    pub fn without_witness(&self) -> Option<Op> {
+        match *self {
+            Op::Fai { ctr, witness: true } => Some(Op::Fai {
+                ctr,
+                witness: false,
+            }),
+            Op::Tas {
+                word,
+                witness: true,
+            } => Some(Op::Tas {
+                word,
+                witness: false,
+            }),
+            Op::Swap {
+                word,
+                witness: true,
+            } => Some(Op::Swap {
+                word,
+                witness: false,
+            }),
+            Op::LockedAdd {
+                lock,
+                witness: true,
+            } => Some(Op::LockedAdd {
+                lock,
+                witness: false,
+            }),
+            Op::RfLoad2 {
+                a,
+                b,
+                witness: true,
+            } => Some(Op::RfLoad2 {
+                a,
+                b,
+                witness: false,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FuzzCase {
+        FuzzCase {
+            name: "sample".into(),
+            seed: 0xBEEF,
+            shape: Shape {
+                fai: 1,
+                locks: 1,
+                tas: 1,
+                swaps: 1,
+                flags: 1,
+                rf: 2,
+                priv_slots: 2,
+            },
+            threads: vec![
+                vec![
+                    Op::PrivStore { slot: 0, value: 17 },
+                    Op::Fai {
+                        ctr: 0,
+                        witness: true,
+                    },
+                    Op::MsgSend { flag: 0, value: 99 },
+                    Op::RfStore { word: 0 },
+                    Op::Fence,
+                ],
+                vec![
+                    Op::MsgWait { flag: 0 },
+                    Op::LockedAdd {
+                        lock: 0,
+                        witness: false,
+                    },
+                    Op::RfLoad2 {
+                        a: 0,
+                        b: 1,
+                        witness: true,
+                    },
+                    Op::Tas {
+                        word: 0,
+                        witness: true,
+                    },
+                    Op::Swap {
+                        word: 0,
+                        witness: false,
+                    },
+                    Op::PrivLoad { slot: 0 },
+                    Op::SelfInv,
+                    Op::Nop,
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn dvsf_round_trips() {
+        let case = sample();
+        let text = case.render();
+        let back = FuzzCase::parse(&text).expect("parse");
+        assert_eq!(case, back);
+        assert_eq!(text, back.render());
+    }
+
+    #[test]
+    fn lowering_counts_and_plan() {
+        let low = sample().lower();
+        assert_eq!(low.programs.len(), 2);
+        assert!(low.instr_count > 0);
+        assert_eq!(
+            low.instr_count,
+            low.programs.iter().map(|p| p.len()).sum::<usize>()
+        );
+        // fai0 witnessed once, tas0 witnessed once, probe witnessed.
+        assert_eq!(low.witness_checks.len(), 2);
+        assert_eq!(low.rf_probes.len(), 1);
+        // Witness and hist words never enter the stable set.
+        assert!(low.stable.iter().all(|(n, _)| !n.starts_with('w')));
+    }
+
+    #[test]
+    fn validation_rejects_flag_protocol_violations() {
+        let mut case = sample();
+        // Waiting before the owner in thread order is rejected.
+        case.threads[0].push(Op::MsgWait { flag: 0 });
+        assert!(case.validate().unwrap_err().contains("waits on flag"));
+
+        let mut orphan = sample();
+        orphan.threads[0].retain(|op| !matches!(op, Op::MsgSend { .. }));
+        assert!(orphan.validate().unwrap_err().contains("never sent"));
+    }
+}

@@ -1,0 +1,381 @@
+//! Delta-debugging shrinker: reduces a diverging [`FuzzCase`] to a
+//! minimal reproducer.
+//!
+//! Four reductions run in rounds until a fixpoint:
+//!
+//! 1. **Thread removal** — drop one whole thread (waits on flags whose
+//!    sender lived there are co-removed, so candidates stay valid).
+//! 2. **Op removal** — ddmin-style chunked deletion within each thread,
+//!    halving the chunk size down to single ops. Deleting a `MsgSend`
+//!    co-removes every wait on its flag.
+//! 3. **Witness stripping** — clear witness flags one op at a time (each
+//!    strip removes the observation plumbing from the lowering).
+//! 4. **Address merging** — within one location class, redirect a used
+//!    index onto the class's smallest used index, collapsing contention
+//!    onto fewer lines. Flags are never merged (one-sender rule).
+//!
+//! A candidate is accepted iff it still [`FuzzCase::validate`]s *and* the
+//! caller's `still_failing` predicate holds — typically "the differential
+//! harness still reports a divergence". Invalid candidates are rejected
+//! before the predicate ever runs, so the (expensive) harness only sees
+//! runnable programs. A final compaction pass renumbers each class's used
+//! indices densely and shrinks the [`Shape`](crate::case::Shape) to match,
+//! so committed reproducers carry no dead locations.
+
+use crate::case::{FuzzCase, Op};
+
+/// What the shrinker did to one case.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized case (equal to the input if nothing could be removed).
+    pub case: FuzzCase,
+    /// Lowered instruction count before shrinking.
+    pub initial_instrs: usize,
+    /// Lowered instruction count after shrinking.
+    pub final_instrs: usize,
+    /// Candidates tried (validity rejections included).
+    pub attempts: usize,
+    /// Candidates accepted.
+    pub accepted: usize,
+}
+
+impl ShrinkOutcome {
+    /// `final_instrs / initial_instrs` — the headline shrink metric.
+    pub fn ratio(&self) -> f64 {
+        if self.initial_instrs == 0 {
+            1.0
+        } else {
+            self.final_instrs as f64 / self.initial_instrs as f64
+        }
+    }
+}
+
+/// The location classes address merging operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Fai,
+    Lock,
+    Tas,
+    Swap,
+    Rf,
+    Priv,
+    /// Flags renumber during compaction but never merge.
+    Flag,
+}
+
+const MERGEABLE: [Class; 6] = [
+    Class::Fai,
+    Class::Lock,
+    Class::Tas,
+    Class::Swap,
+    Class::Rf,
+    Class::Priv,
+];
+
+/// Shrinks `case` while `still_failing` holds. The input case itself must
+/// satisfy the predicate (it is the fallback result).
+pub fn shrink<F>(case: &FuzzCase, still_failing: F) -> ShrinkOutcome
+where
+    F: Fn(&FuzzCase) -> bool,
+{
+    let initial_instrs = case.lower().instr_count;
+    let mut best = case.clone();
+    let mut attempts = 0usize;
+    let mut accepted = 0usize;
+    // Accepts `cand` into `best` if it is valid and still failing.
+    let mut consider = |best: &mut FuzzCase, cand: FuzzCase| -> bool {
+        attempts += 1;
+        if cand.validate().is_ok() && still_failing(&cand) {
+            *best = cand;
+            accepted += 1;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let before = best.clone();
+
+        // 1. Thread removal.
+        let mut t = 0;
+        while best.threads.len() > 1 && t < best.threads.len() {
+            let cand = remove_thread(&best, t);
+            if !consider(&mut best, cand) {
+                t += 1;
+            }
+        }
+
+        // 2. Chunked op removal (ddmin over each thread).
+        for t in 0..best.threads.len() {
+            let mut chunk = best.threads[t].len().max(1).next_power_of_two();
+            loop {
+                let mut i = 0;
+                while i < best.threads[t].len() {
+                    // On success the list shrank under us; retry at the
+                    // same offset with the same chunk.
+                    let cand = remove_ops(&best, t, i, chunk);
+                    if !consider(&mut best, cand) {
+                        i += chunk;
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+        }
+
+        // 3. Witness stripping.
+        for t in 0..best.threads.len() {
+            let mut i = 0;
+            while i < best.threads[t].len() {
+                if let Some(stripped) = best.threads[t][i].without_witness() {
+                    let mut cand = best.clone();
+                    cand.threads[t][i] = stripped;
+                    consider(&mut best, cand);
+                }
+                i += 1;
+            }
+        }
+
+        // 4. Address merging within each class.
+        for class in MERGEABLE {
+            let used = used_indices(&best, class);
+            if let Some(&target) = used.first() {
+                for &from in used.iter().skip(1) {
+                    let cand = remap(&best, class, from, target);
+                    consider(&mut best, cand);
+                }
+            }
+        }
+
+        if best == before {
+            break;
+        }
+    }
+
+    // Renumbering is semantics-preserving, but run it through the
+    // predicate anyway — defense in depth for a committed reproducer.
+    let compacted = compact(&best);
+    consider(&mut best, compacted);
+
+    let final_instrs = best.lower().instr_count;
+    ShrinkOutcome {
+        case: best,
+        initial_instrs,
+        final_instrs,
+        attempts,
+        accepted,
+    }
+}
+
+/// Drops thread `t`, plus every wait on a flag whose sender it held.
+fn remove_thread(case: &FuzzCase, t: usize) -> FuzzCase {
+    let mut cand = case.clone();
+    let removed = cand.threads.remove(t);
+    let orphaned: Vec<u8> = removed
+        .iter()
+        .filter_map(|op| match op {
+            Op::MsgSend { flag, .. } => Some(*flag),
+            _ => None,
+        })
+        .collect();
+    for ops in cand.threads.iter_mut() {
+        ops.retain(|op| !matches!(op, Op::MsgWait { flag } if orphaned.contains(flag)));
+    }
+    cand
+}
+
+/// Drops `ops[i..i+chunk]` from thread `t`, co-removing waits on any flag
+/// whose `MsgSend` fell in the deleted range.
+fn remove_ops(case: &FuzzCase, t: usize, i: usize, chunk: usize) -> FuzzCase {
+    let mut cand = case.clone();
+    let end = (i + chunk).min(cand.threads[t].len());
+    let removed: Vec<Op> = cand.threads[t].drain(i..end).collect();
+    let orphaned: Vec<u8> = removed
+        .iter()
+        .filter_map(|op| match op {
+            Op::MsgSend { flag, .. } => Some(*flag),
+            _ => None,
+        })
+        .collect();
+    if !orphaned.is_empty() {
+        for ops in cand.threads.iter_mut() {
+            ops.retain(|op| !matches!(op, Op::MsgWait { flag } if orphaned.contains(flag)));
+        }
+    }
+    cand
+}
+
+/// The class index an op addresses, if it belongs to `class`.
+fn op_indices(op: &Op, class: Class) -> Vec<u8> {
+    match (class, *op) {
+        (Class::Fai, Op::Fai { ctr, .. }) => vec![ctr],
+        (Class::Lock, Op::LockedAdd { lock, .. }) => vec![lock],
+        (Class::Tas, Op::Tas { word, .. }) => vec![word],
+        (Class::Swap, Op::Swap { word, .. }) => vec![word],
+        (Class::Rf, Op::RfStore { word }) => vec![word],
+        (Class::Rf, Op::RfLoad2 { a, b, .. }) => vec![a, b],
+        (Class::Priv, Op::PrivStore { slot, .. }) | (Class::Priv, Op::PrivLoad { slot }) => {
+            vec![slot]
+        }
+        (Class::Flag, Op::MsgSend { flag, .. }) | (Class::Flag, Op::MsgWait { flag }) => {
+            vec![flag]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Rewrites every index of `class` through `f`.
+fn map_indices(case: &FuzzCase, class: Class, f: &dyn Fn(u8) -> u8) -> FuzzCase {
+    let mut cand = case.clone();
+    for ops in cand.threads.iter_mut() {
+        for op in ops.iter_mut() {
+            *op = match (class, *op) {
+                (Class::Fai, Op::Fai { ctr, witness }) => Op::Fai {
+                    ctr: f(ctr),
+                    witness,
+                },
+                (Class::Lock, Op::LockedAdd { lock, witness }) => Op::LockedAdd {
+                    lock: f(lock),
+                    witness,
+                },
+                (Class::Tas, Op::Tas { word, witness }) => Op::Tas {
+                    word: f(word),
+                    witness,
+                },
+                (Class::Swap, Op::Swap { word, witness }) => Op::Swap {
+                    word: f(word),
+                    witness,
+                },
+                (Class::Rf, Op::RfStore { word }) => Op::RfStore { word: f(word) },
+                (Class::Rf, Op::RfLoad2 { a, b, witness }) => Op::RfLoad2 {
+                    a: f(a),
+                    b: f(b),
+                    witness,
+                },
+                (Class::Priv, Op::PrivStore { slot, value }) => Op::PrivStore {
+                    slot: f(slot),
+                    value,
+                },
+                (Class::Priv, Op::PrivLoad { slot }) => Op::PrivLoad { slot: f(slot) },
+                (Class::Flag, Op::MsgSend { flag, value }) => Op::MsgSend {
+                    flag: f(flag),
+                    value,
+                },
+                (Class::Flag, Op::MsgWait { flag }) => Op::MsgWait { flag: f(flag) },
+                (_, other) => other,
+            };
+        }
+    }
+    cand
+}
+
+/// The sorted set of `class` indices the case actually uses.
+fn used_indices(case: &FuzzCase, class: Class) -> Vec<u8> {
+    let mut used: Vec<u8> = case
+        .threads
+        .iter()
+        .flatten()
+        .flat_map(|op| op_indices(op, class))
+        .collect();
+    used.sort_unstable();
+    used.dedup();
+    used
+}
+
+/// Redirects every use of `class` index `from` onto `to`.
+fn remap(case: &FuzzCase, class: Class, from: u8, to: u8) -> FuzzCase {
+    map_indices(case, class, &|i| if i == from { to } else { i })
+}
+
+/// Renumbers every class's used indices densely from 0 and shrinks the
+/// shape to the used counts. Pure renaming: semantics unchanged.
+fn compact(case: &FuzzCase) -> FuzzCase {
+    let mut cand = case.clone();
+    for class in [
+        Class::Fai,
+        Class::Lock,
+        Class::Tas,
+        Class::Swap,
+        Class::Rf,
+        Class::Priv,
+        Class::Flag,
+    ] {
+        let used = used_indices(&cand, class);
+        let dense = |i: u8| used.iter().position(|&u| u == i).unwrap_or(0) as u8;
+        cand = map_indices(&cand, class, &dense);
+        let n = used.len() as u8;
+        match class {
+            Class::Fai => cand.shape.fai = n,
+            Class::Lock => cand.shape.locks = n,
+            Class::Tas => cand.shape.tas = n,
+            Class::Swap => cand.shape.swaps = n,
+            Class::Rf => cand.shape.rf = n,
+            Class::Priv => cand.shape.priv_slots = n,
+            Class::Flag => cand.shape.flags = n,
+        }
+    }
+    cand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    /// With an always-true predicate the shrinker must drive any case to
+    /// its floor: one thread, zero ops (everything is removable).
+    #[test]
+    fn always_failing_shrinks_to_the_floor() {
+        for seed in 0..20u64 {
+            let case = generate(seed, &GenConfig::small());
+            let out = shrink(&case, |_| true);
+            assert_eq!(out.case.threads.len(), 1, "seed {seed}");
+            assert!(out.case.threads[0].is_empty(), "seed {seed}");
+            assert!(out.final_instrs <= out.initial_instrs);
+            assert_eq!(out.case.validate(), Ok(()));
+        }
+    }
+
+    /// With an always-false predicate nothing is accepted and the case is
+    /// returned untouched.
+    #[test]
+    fn never_failing_returns_input() {
+        let case = generate(7, &GenConfig::default_pool());
+        let out = shrink(&case, |_| false);
+        assert_eq!(out.case, case);
+        assert_eq!(out.accepted, 0);
+        assert_eq!(out.initial_instrs, out.final_instrs);
+    }
+
+    /// A predicate demanding a specific op keeps that op while everything
+    /// else shrinks away.
+    #[test]
+    fn preserves_the_failing_ingredient() {
+        for seed in 0..20u64 {
+            let case = generate(seed, &GenConfig::default_pool());
+            let has_fai = |c: &FuzzCase| {
+                c.threads
+                    .iter()
+                    .flatten()
+                    .any(|op| matches!(op, Op::Fai { .. }))
+            };
+            if !has_fai(&case) {
+                continue;
+            }
+            let out = shrink(&case, has_fai);
+            assert!(has_fai(&out.case), "seed {seed}");
+            let fais = out
+                .case
+                .threads
+                .iter()
+                .flatten()
+                .filter(|op| matches!(op, Op::Fai { .. }))
+                .count();
+            assert_eq!(fais, 1, "seed {seed}: exactly one fai must survive");
+            assert_eq!(out.case.threads.len(), 1, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Replays the committed `.dvsf` regression corpus.
+//!
+//! Two kinds of cases live under `corpus/`:
+//!
+//! - **Benign cases** (minimized or generator-picked): must pass the full
+//!   differential stack on the stock protocols, with the committed
+//!   reference fingerprint — a changed fingerprint means the generator,
+//!   lowering, or reference semantics drifted, which must be a deliberate
+//!   corpus update, never an accident.
+//! - **Negative controls**: minimized reproducers for seeded
+//!   [`ProtocolMutation`]s. Each must pass on the *stock* protocols
+//!   (they are real programs, not malformed inputs), diverge under its
+//!   mutation, and re-shrink to its committed floor — proving the whole
+//!   catch-and-minimize pipeline still discriminates.
+
+use dvs_core::config::ProtocolMutation;
+use dvs_fuzz::{run_case, shrink, CaseVerdict, FuzzCase, HarnessConfig};
+
+fn load(name: &str) -> FuzzCase {
+    let path = format!("{}/corpus/{name}.dvsf", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    FuzzCase::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// name, committed reference fingerprint, lowered size.
+const BENIGN: [(&str, u64, usize); 4] = [
+    ("iriw-quad", 0x04584abed112454c, 171),
+    ("lock-convoy", 0x854490b87adec8cc, 214),
+    ("two-thread-mix", 0xe0d813514c784db6, 154),
+    ("message-passing", 0x4d60ce5c6b5350c4, 118),
+];
+
+/// name, mutation, committed shrink floor (instruction count).
+const CONTROLS: [(&str, ProtocolMutation, usize); 4] = [
+    ("control-dnv-drop-xfer", ProtocolMutation::DnvDropXfer, 8),
+    (
+        "control-dnv-skip-repoint",
+        ProtocolMutation::DnvSkipRepoint,
+        8,
+    ),
+    (
+        "control-mesi-skip-invalidate",
+        ProtocolMutation::MesiSkipInvalidate,
+        12,
+    ),
+    ("control-mesi-drop-ack", ProtocolMutation::MesiDropAck, 12),
+];
+
+#[test]
+fn benign_corpus_replays_green() {
+    let h = HarnessConfig::default();
+    for (name, want_fnv, want_instrs) in BENIGN {
+        match run_case(&load(name), &h) {
+            CaseVerdict::Pass { ref_fnv, instrs } => {
+                assert_eq!(
+                    ref_fnv, want_fnv,
+                    "{name}: reference fingerprint drifted (got {ref_fnv:#018x})"
+                );
+                assert_eq!(instrs, want_instrs, "{name}: lowered size drifted");
+            }
+            other => panic!("{name}: expected pass, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn controls_pass_on_stock_protocols() {
+    let h = HarnessConfig::default();
+    for (name, _, _) in CONTROLS {
+        let v = run_case(&load(name), &h);
+        assert!(
+            matches!(v, CaseVerdict::Pass { .. }),
+            "{name}: stock protocols must pass the control program, got {v:?}"
+        );
+    }
+}
+
+#[test]
+fn controls_are_caught_and_shrink_to_their_floor() {
+    for (name, mutation, floor) in CONTROLS {
+        let h = HarnessConfig {
+            mutation: Some(mutation),
+            ..Default::default()
+        };
+        let case = load(name);
+        let v = run_case(&case, &h);
+        assert!(
+            v.is_divergent(),
+            "{name}: mutation {mutation:?} was not caught, got {v:?}"
+        );
+        // The committed case is already minimal: re-shrinking must hold the
+        // committed floor (a larger floor means the shrinker regressed).
+        let out = shrink(&case, |c| run_case(c, &h).is_divergent());
+        assert!(
+            out.final_instrs <= floor,
+            "{name}: shrunk to {} instrs, committed floor is {floor}",
+            out.final_instrs
+        );
+    }
+}
+
+#[test]
+fn seeded_controls_shrink_from_scratch() {
+    // The end-to-end pipeline the corpus came from: generate a fresh case,
+    // catch the mutation, and auto-shrink to no more than 8 instructions.
+    // Both DeNovo controls hit that floor from every diverging seed tried;
+    // seed 0 is pinned here.
+    use dvs_fuzz::{generate, GenConfig};
+    for mutation in [
+        ProtocolMutation::DnvDropXfer,
+        ProtocolMutation::DnvSkipRepoint,
+    ] {
+        let h = HarnessConfig {
+            mutation: Some(mutation),
+            ..Default::default()
+        };
+        let case = generate(0, &GenConfig::small());
+        assert!(
+            run_case(&case, &h).is_divergent(),
+            "{mutation:?}: seed 0 must diverge"
+        );
+        let out = shrink(&case, |c| run_case(c, &h).is_divergent());
+        assert!(
+            out.final_instrs <= 8,
+            "{mutation:?}: auto-shrunk to {} instrs, want <= 8",
+            out.final_instrs
+        );
+        assert!(out.final_instrs < out.initial_instrs);
+    }
+}
+
+#[test]
+fn corpus_files_round_trip() {
+    for name in BENIGN
+        .iter()
+        .map(|(n, _, _)| *n)
+        .chain(CONTROLS.iter().map(|(n, _, _)| *n))
+    {
+        let case = load(name);
+        let back = FuzzCase::parse(&case.render()).expect("re-parse");
+        assert_eq!(case, back, "{name}: .dvsf render/parse must round-trip");
+        assert_eq!(case.name, name, "{name}: corpus name must match filename");
+    }
+}

@@ -1,0 +1,69 @@
+//! The fuzzer's acceptance tests: a real batch at two worker counts with
+//! byte-identical digests and zero divergences, plus serialization
+//! properties over generated cases.
+
+use dvs_fuzz::{generate, run_batch, BatchConfig, FuzzCase, GenConfig, HarnessConfig};
+
+/// The headline acceptance criterion: a 500-program batch over the stock
+/// protocols yields zero true divergences (and no sick cases or panics),
+/// and its result digest is byte-identical at 1 and 4 workers.
+#[test]
+fn batch_of_500_is_clean_and_worker_count_independent() {
+    let cfg = |workers: usize| BatchConfig {
+        seed_start: 0,
+        count: 500,
+        gen: GenConfig::default_pool(),
+        harness: HarnessConfig::default(),
+        workers,
+    };
+    let one = run_batch(&cfg(1));
+    let four = run_batch(&cfg(4));
+
+    assert_eq!(one.total, 500);
+    assert_eq!(
+        one.passed, 500,
+        "true divergences on stock protocols: {:#?}",
+        one.diverged
+    );
+    assert_eq!(one.sick, 0);
+    assert_eq!(one.panicked, 0);
+    assert!(one.diverged.is_empty());
+    assert!(one.instrs_total > 0);
+
+    assert_eq!(
+        one.digest, four.digest,
+        "digest must not depend on worker count"
+    );
+    assert_eq!(one.passed, four.passed);
+    assert_eq!(one.instrs_total, four.instrs_total);
+}
+
+/// Every generated case round-trips through the `.dvsf` text format.
+#[test]
+fn generated_cases_round_trip_through_dvsf() {
+    for cfg in [GenConfig::default_pool(), GenConfig::small()] {
+        for seed in 0..150u64 {
+            let case = generate(seed, &cfg);
+            let text = case.render();
+            let back =
+                FuzzCase::parse(&text).unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}"));
+            assert_eq!(case, back, "seed {seed}: round-trip mismatch");
+        }
+    }
+}
+
+/// The digest really covers case outcomes: disjoint seed ranges digest
+/// differently.
+#[test]
+fn digest_distinguishes_seed_ranges() {
+    let mk = |start: u64| BatchConfig {
+        seed_start: start,
+        count: 20,
+        gen: GenConfig::small(),
+        harness: HarnessConfig::default(),
+        workers: 2,
+    };
+    let a = run_batch(&mk(0));
+    let b = run_batch(&mk(1000));
+    assert_ne!(a.digest, b.digest);
+}

@@ -1,0 +1,153 @@
+//! Property tests for the metrics layer the fuzzer and campaign lean on:
+//! `MetricsRegistry::merge` must be associative and commutative (worker
+//! partials can be folded in any grouping/order), and `Log2Histogram`
+//! buckets must actually bound the samples they claim to hold.
+
+use dvs_engine::DetRng;
+use dvs_telemetry::{Log2Histogram, MetricsRegistry};
+
+/// A small random registry: counters and histogram samples over a tiny
+/// key pool so different registries collide on paths (the interesting
+/// merge case).
+fn random_registry(rng: &mut DetRng) -> MetricsRegistry {
+    const NODES: [&str; 3] = ["core0", "core1", "bank0"];
+    const COMPONENTS: [&str; 2] = ["l1", "noc"];
+    const NAMES: [&str; 3] = ["hits", "stall", "hops"];
+    let mut reg = MetricsRegistry::new();
+    for _ in 0..rng.range(1, 30) {
+        let node = NODES[rng.below(NODES.len())];
+        let comp = COMPONENTS[rng.below(COMPONENTS.len())];
+        let name = NAMES[rng.below(NAMES.len())];
+        if rng.chance(1, 2) {
+            reg.add(node, comp, name, rng.range(0, 1000));
+        } else {
+            reg.sample(node, comp, name, rng.next_u64() >> rng.range(0, 64) as u32);
+        }
+    }
+    reg
+}
+
+fn merged(parts: &[&MetricsRegistry]) -> MetricsRegistry {
+    let mut acc = MetricsRegistry::new();
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+#[test]
+fn registry_merge_is_associative_and_commutative() {
+    let mut rng = DetRng::new(0x7E1E);
+    for round in 0..50 {
+        let a = random_registry(&mut rng);
+        let b = random_registry(&mut rng);
+        let c = random_registry(&mut rng);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let left = {
+            let mut ab = merged(&[&a, &b]);
+            ab.merge(&c);
+            ab
+        };
+        let right = {
+            let bc = merged(&[&b, &c]);
+            let mut acc = a.clone();
+            acc.merge(&bc);
+            acc
+        };
+        assert_eq!(left, right, "associativity, round {round}");
+        assert_eq!(
+            left.to_json().render(),
+            right.to_json().render(),
+            "associativity (rendered), round {round}"
+        );
+
+        // a ⊕ b == b ⊕ a
+        assert_eq!(
+            merged(&[&a, &b]),
+            merged(&[&b, &a]),
+            "commutativity, round {round}"
+        );
+
+        // The empty registry is the identity.
+        assert_eq!(merged(&[&a, &MetricsRegistry::new()]), a);
+    }
+}
+
+/// Each sample must land in a bucket whose rendered `lo..hi` range
+/// contains it, and count/sum/max must track the samples exactly.
+#[test]
+fn histogram_buckets_bound_their_samples() {
+    let mut rng = DetRng::new(0xB0C3);
+    for _ in 0..200 {
+        // Spread samples across all magnitudes, including 0, 1, u64::MAX.
+        let value = match rng.below(8) {
+            0 => 0,
+            1 => 1,
+            2 => u64::MAX,
+            _ => rng.next_u64() >> rng.range(0, 64) as u32,
+        };
+        let mut h = Log2Histogram::new();
+        h.record(value);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), value);
+        assert_eq!(h.max(), value);
+
+        // Exactly one populated bucket, and its bounds contain the sample.
+        let json = h.to_json().render();
+        let (lo, hi) = single_bucket_bounds(&json);
+        assert!(
+            lo <= value && value <= hi,
+            "sample {value} outside bucket {lo}..{hi} ({json})"
+        );
+    }
+
+    // Bulk invariants: count/sum aggregate, max is the maximum.
+    let mut h = Log2Histogram::new();
+    let mut values = Vec::new();
+    for _ in 0..500 {
+        let v = rng.next_u64() >> rng.range(0, 64) as u32;
+        h.record(v);
+        values.push(v);
+    }
+    assert_eq!(h.count(), values.len() as u64);
+    assert_eq!(
+        h.sum(),
+        values.iter().fold(0u64, |s, &v| s.saturating_add(v))
+    );
+    assert_eq!(h.max(), *values.iter().max().unwrap());
+
+    // Merging two histograms is sample-union: same as recording everything
+    // into one.
+    let mut left = Log2Histogram::new();
+    let mut right = Log2Histogram::new();
+    let mut both = Log2Histogram::new();
+    for (i, &v) in values.iter().enumerate() {
+        if i % 2 == 0 { &mut left } else { &mut right }.record(v);
+        both.record(v);
+    }
+    left.merge(&right);
+    assert_eq!(left.to_json().render(), both.to_json().render());
+}
+
+/// Parses the single populated bucket's `"lo..hi"` (or `"0"`) label out of
+/// a one-sample histogram rendering.
+fn single_bucket_bounds(json: &str) -> (u64, u64) {
+    let buckets = json
+        .split("\"buckets\":")
+        .nth(1)
+        .expect("buckets object present");
+    let inner = buckets
+        .trim_start()
+        .trim_start_matches('{')
+        .split('}')
+        .next()
+        .expect("bucket body");
+    let label = inner.split('"').nth(1).expect("exactly one bucket label");
+    if let Some((lo, hi)) = label.split_once("..") {
+        (lo.parse().expect("lo"), hi.parse().expect("hi"))
+    } else {
+        let v: u64 = label.parse().expect("degenerate bucket");
+        (v, v)
+    }
+}

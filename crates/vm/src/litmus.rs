@@ -68,9 +68,21 @@ impl Litmus {
         vec![corr(), sb(), mp(), tatas()]
     }
 
-    /// Looks a test up by [`Litmus::name`].
+    /// The extended shapes — wider than the checker budget allows
+    /// ([`Litmus::all`] stays 2-thread), but cheap on the timed simulator
+    /// and the differential fuzzer: IRIW and the n-thread message-passing
+    /// chains.
+    pub fn extended() -> Vec<Litmus> {
+        vec![iriw(), mp_chain(3), mp_chain(4)]
+    }
+
+    /// Looks a test up by [`Litmus::name`] across [`Litmus::all`] and
+    /// [`Litmus::extended`].
     pub fn by_name(name: &str) -> Option<Litmus> {
-        Self::all().into_iter().find(|l| l.name == name)
+        Self::all()
+            .into_iter()
+            .chain(Self::extended())
+            .find(|l| l.name == name)
     }
 }
 
@@ -283,6 +295,153 @@ pub fn tatas_n(nthreads: usize) -> Litmus {
     }
 }
 
+/// Independent reads of independent writes (IRIW): two writers sync-store
+/// two different flags; two readers sync-load both flags in opposite
+/// orders. SC requires the writes to appear in *one* global order, so the
+/// readers must not observe them in contradictory orders (each seeing the
+/// "first" write but not the "second" one it read later).
+pub fn iriw() -> Litmus {
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let results = lb.region("results");
+    let x = lb.sync_var("x", sync, true);
+    let y = lb.sync_var("y", sync, true);
+    let r0x = lb.sync_var("r0x", results, true);
+    let r0y = lb.sync_var("r0y", results, true);
+    let r1y = lb.sync_var("r1y", results, true);
+    let r1x = lb.sync_var("r1x", results, true);
+
+    let writer = |target: Addr| {
+        let mut a = Asm::new("iriw-writer");
+        let (v, p) = (Reg(1), Reg(2));
+        a.movi(v, 1);
+        a.movi(p, target.raw());
+        a.stores(v, p, 0);
+        a.halt();
+        a.build()
+    };
+    let reader = |first: Addr, second: Addr, res_first: Addr, res_second: Addr| {
+        let mut a = Asm::new("iriw-reader");
+        let (p, ra, rb, q) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        a.movi(p, first.raw());
+        a.loads(ra, p, 0);
+        a.movi(p, second.raw());
+        a.loads(rb, p, 0);
+        a.movi(q, res_first.raw());
+        a.store(ra, q, 0);
+        a.movi(q, res_second.raw());
+        a.store(rb, q, 0);
+        a.fence();
+        a.halt();
+        a.build()
+    };
+
+    Litmus {
+        name: "iriw",
+        property: "readers must agree on one write order \
+                   (forbid r0x==1,r0y==0 with r1y==1,r1x==0)",
+        layout: lb.build(),
+        programs: vec![
+            writer(x),
+            writer(y),
+            reader(x, y, r0x, r0y),
+            reader(y, x, r1y, r1x),
+        ],
+        observables: vec![("r0x", r0x), ("r0y", r0y), ("r1y", r1y), ("r1x", r1x)],
+        verdict: Box::new(|v| !(v[0] == 1 && v[1] == 0 && v[2] == 1 && v[3] == 0)),
+    }
+}
+
+/// An `n`-thread message-passing chain: thread 0 plain-stores a payload,
+/// fences, and raises flag 0; each relay thread spins on the previous flag,
+/// self-invalidates the payload region, increments the payload it received,
+/// and passes it on behind the next flag; the last thread publishes what it
+/// observed. SC plus the self-invalidation contract force the final value
+/// to be the payload after `n - 2` relay increments.
+///
+/// # Panics
+///
+/// Panics unless `3 <= n <= 4` (named variants keep [`Litmus::name`] a
+/// static string).
+pub fn mp_chain(n: usize) -> Litmus {
+    let name = match n {
+        3 => "mp_chain3",
+        4 => "mp_chain4",
+        other => panic!("unsupported mp chain length {other}"),
+    };
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let payload = lb.region("payload");
+    let results = lb.region("results");
+    let data: Vec<Addr> = (0..n - 1)
+        .map(|i| lb.sync_var(&format!("d{i}"), payload, true))
+        .collect();
+    let flags: Vec<Addr> = (0..n - 1)
+        .map(|i| lb.sync_var(&format!("f{i}"), sync, true))
+        .collect();
+    let res = lb.sync_var("res", results, true);
+
+    let producer = {
+        let mut a = Asm::new("chain-producer");
+        let (v, p) = (Reg(1), Reg(2));
+        a.movi(v, 7);
+        a.movi(p, data[0].raw());
+        a.store(v, p, 0); // payload (plain data store)
+        a.fence(); // payload complete before the flag is raised
+        a.movi(v, 1);
+        a.movi(p, flags[0].raw());
+        a.stores(v, p, 0);
+        a.halt();
+        a.build()
+    };
+    let relay = |i: usize| {
+        let mut a = Asm::new("chain-relay");
+        let (one, p, r) = (Reg(1), Reg(2), Reg(3));
+        a.movi(one, 1);
+        a.movi(p, flags[i - 1].raw());
+        a.spin_until(r, p, 0, Cond::Eq, one); // acquire the previous link
+        a.self_inv(payload); // discard possibly-stale payload copies
+        a.movi(p, data[i - 1].raw());
+        a.load(r, p, 0);
+        a.addi(r, r, 1); // relay work: payload + 1
+        a.movi(p, data[i].raw());
+        a.store(r, p, 0);
+        a.fence();
+        a.movi(p, flags[i].raw());
+        a.stores(one, p, 0);
+        a.halt();
+        a.build()
+    };
+    let consumer = {
+        let mut a = Asm::new("chain-consumer");
+        let (one, p, r) = (Reg(1), Reg(2), Reg(3));
+        a.movi(one, 1);
+        a.movi(p, flags[n - 2].raw());
+        a.spin_until(r, p, 0, Cond::Eq, one);
+        a.self_inv(payload);
+        a.movi(p, data[n - 2].raw());
+        a.load(r, p, 0);
+        a.movi(p, res.raw());
+        a.store(r, p, 0);
+        a.fence();
+        a.halt();
+        a.build()
+    };
+
+    let mut programs = vec![producer];
+    programs.extend((1..n - 1).map(relay));
+    programs.push(consumer);
+    let expected = 7 + (n as u64 - 2);
+    Litmus {
+        name,
+        property: "the chained payload must arrive intact (res == 7 + relays)",
+        layout: lb.build(),
+        programs,
+        observables: vec![("res", res)],
+        verdict: Box::new(move |v| v[0] == expected),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,7 +452,7 @@ mod tests {
     /// deterministic round-robin — one SC interleaving).
     #[test]
     fn reference_executor_satisfies_all_verdicts() {
-        for lit in Litmus::all() {
+        for lit in Litmus::all().into_iter().chain(Litmus::extended()) {
             let mut m = RefMachine::new(lit.programs.clone());
             m.run(100_000)
                 .unwrap_or_else(|e| panic!("{}: reference run failed: {e}", lit.name));
@@ -313,5 +472,20 @@ mod tests {
         }
         assert!(Litmus::by_name("sb").is_some());
         assert!(Litmus::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn extended_suite_is_well_formed() {
+        let ext = Litmus::extended();
+        assert_eq!(ext.len(), 3);
+        assert_eq!(ext[0].name, "iriw");
+        assert_eq!(ext[0].nthreads(), 4);
+        assert_eq!(ext[1].nthreads(), 3);
+        assert_eq!(ext[2].nthreads(), 4);
+        for lit in &ext {
+            assert!(!lit.observables.is_empty(), "{}", lit.name);
+        }
+        assert!(Litmus::by_name("iriw").is_some());
+        assert!(Litmus::by_name("mp_chain3").is_some());
     }
 }

@@ -32,4 +32,15 @@ DVS_QUICK=1 cargo bench --offline -p dvs-bench --bench telemetry_timeline
 # Digest invariance across telemetry policies and worker counts.
 cargo test -q --offline -p dvs-campaign --test telemetry
 
+echo "== fuzz smoke (fixed seeds; fails on divergence, corpus drift, or missed controls) =="
+# Corpus replay: benign cases green with committed fingerprints, negative
+# controls caught and re-shrunk to their committed floors.
+cargo test -q --offline -p dvs-fuzz --test corpus
+# A fixed-seed stock-protocol hunt: any divergence, sick case, or panic
+# exits nonzero, and the result digest must not depend on the worker count.
+hunt() { cargo run --release --offline -p dvs-fuzz --bin dvsf -- hunt 0 60 --workers "$1"; }
+d2=$(hunt 2); echo "$d2"
+d1=$(hunt 1); echo "$d1"
+[ "${d1##*digest=}" = "${d2##*digest=}" ] || { echo "fuzz digest differs across worker counts"; exit 1; }
+
 echo "CI OK"

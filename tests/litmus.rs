@@ -35,9 +35,18 @@ fn run_timed(lit: &Litmus, mut cfg: SystemConfig) {
     });
 }
 
+/// The checker-sized suite plus the extended shapes (IRIW, MP chains) — the
+/// timed simulator is cheap enough to cover both.
+fn full_suite() -> Vec<Litmus> {
+    Litmus::all()
+        .into_iter()
+        .chain(Litmus::extended())
+        .collect()
+}
+
 #[test]
 fn all_litmus_sc_on_all_protocols() {
-    for lit in Litmus::all() {
+    for lit in full_suite() {
         for proto in Protocol::ALL {
             run_timed(&lit, SystemConfig::small(4, proto));
         }
@@ -46,7 +55,7 @@ fn all_litmus_sc_on_all_protocols() {
 
 #[test]
 fn all_litmus_sc_under_chaos() {
-    for lit in Litmus::all() {
+    for lit in full_suite() {
         for proto in Protocol::ALL {
             for seed in [1, 0xC0FFEE, 0xDE40_5EED] {
                 let mut cfg = SystemConfig::small(4, proto);
