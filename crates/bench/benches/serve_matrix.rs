@@ -1,0 +1,142 @@
+//! Service robustness artifact.
+//!
+//! Exercises the `dvs-serve` job service end to end in a scratch service
+//! directory: a cold campaign run, a warm re-run that must hit the
+//! content-addressed cache at >= 90%, a corruption pass (a bit-flipped
+//! entry must be quarantined and recomputed to the same digest), and a
+//! retry-exhaustion job. Writes `BENCH_serve.json` with the digests and
+//! the hit/miss/quarantine/shed/retry counters.
+
+use dvs_campaign::{kernel_grid, ExperimentSpec};
+use dvs_core::config::Protocol;
+use dvs_kernels::{KernelId, KernelParams, LockKind, LockedStruct};
+use dvs_serve::{JobSpec, RetryPolicy, Serve, ServeConfig};
+use dvs_stats::report::{host_parallelism, BenchArtifact, ParamTable};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn service_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dvs-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn grid_job() -> JobSpec {
+    let tatas: Vec<KernelId> = LockedStruct::ALL
+        .iter()
+        .map(|&s| KernelId::Locked(s, LockKind::Tatas))
+        .collect();
+    JobSpec::Campaign(kernel_grid(&tatas, 16, &Protocol::ALL, |_| {}))
+}
+
+fn config(dir: &PathBuf) -> ServeConfig {
+    let mut cfg = ServeConfig::new(dir);
+    cfg.retry = RetryPolicy {
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(4),
+        ..RetryPolicy::default()
+    };
+    cfg
+}
+
+fn main() {
+    let dir = service_dir();
+    let job = grid_job();
+    let cells = job.cells().len();
+    println!("serve bench: {cells}-cell grid, dir {}", dir.display());
+
+    // Cold: everything computes and populates the store.
+    let mut serve = Serve::open(config(&dir)).expect("open service");
+    let id = serve.submit(&job).expect("submit cold");
+    let cold = serve.run_job(id).expect("run cold");
+    assert_eq!(cold.computed, cells, "cold run computes everything");
+    assert_eq!(cold.failed, 0, "cold run must be clean");
+    drop(serve);
+
+    // Warm: a fresh service process serves from the cache.
+    let mut serve = Serve::open(config(&dir)).expect("reopen service");
+    let id = serve.submit(&job).expect("submit warm");
+    let warm = serve.run_job(id).expect("run warm");
+    assert_eq!(warm.digest, cold.digest, "cache cannot change results");
+    let hit_rate = warm.hits as f64 / cells as f64;
+    assert!(
+        hit_rate >= 0.9,
+        "warm re-run must hit >= 90% of the cache ({}/{cells})",
+        warm.hits
+    );
+    drop(serve);
+
+    // Corruption: flip one byte of one entry's payload; the service must
+    // quarantine it, recompute, and land on the same digest.
+    let entries = dir.join("store/entries");
+    let victim = std::fs::read_dir(&entries)
+        .expect("entries dir")
+        .next()
+        .expect("at least one entry")
+        .expect("dir entry")
+        .path();
+    let mut raw = std::fs::read(&victim).expect("read entry");
+    let n = raw.len();
+    raw[n - 2] ^= 0x10;
+    std::fs::write(&victim, raw).expect("corrupt entry");
+
+    let mut serve = Serve::open(config(&dir)).expect("reopen after corruption");
+    let id = serve.submit(&job).expect("submit repair");
+    let repaired = serve.run_job(id).expect("run repair");
+    assert_eq!(
+        repaired.digest, cold.digest,
+        "corruption cannot change results"
+    );
+    assert_eq!(repaired.computed, 1, "only the quarantined cell recomputes");
+    let repair_counters = serve.counters();
+    assert_eq!(repair_counters.quarantine, 1);
+
+    // Retry: an always-panicking cell exhausts its attempts.
+    let mut broken = KernelParams::smoke(4);
+    broken.threads = 0;
+    let bad = ExperimentSpec::kernel(
+        KernelId::Locked(LockedStruct::Counter, LockKind::Tatas),
+        broken,
+        Protocol::Mesi,
+    );
+    let id = serve
+        .submit(&JobSpec::Campaign(vec![bad]))
+        .expect("submit bad");
+    let exhausted = serve.run_job(id).expect("run bad");
+    assert_eq!(exhausted.failed, 1);
+    assert_eq!(exhausted.retries, 2, "3 attempts = 2 retries");
+    let counters = serve.counters();
+
+    let mut summary = ParamTable::new("Service robustness");
+    summary
+        .row("grid cells", cells)
+        .row("cold digest", format!("{:016x}", cold.digest))
+        .row("warm hit rate", format!("{:.0}%", hit_rate * 100.0))
+        .row("quarantined + recomputed", repair_counters.quarantine)
+        .row("retries to exhaustion", exhausted.retries)
+        .row("host CPUs", host_parallelism());
+    print!("{}", summary.render());
+
+    let mut artifact = BenchArtifact::new("serve", "");
+    artifact
+        .body()
+        .u64("grid_cells", cells as u64)
+        .str("cold_digest", &format!("{:016x}", cold.digest))
+        .str("warm_digest", &format!("{:016x}", warm.digest))
+        .str("repaired_digest", &format!("{:016x}", repaired.digest))
+        .bool("digests_identical", true)
+        .f64("warm_hit_rate", hit_rate)
+        .u64("cache_hits", counters.hit)
+        .u64("cache_misses", counters.miss)
+        .u64("quarantined", counters.quarantine)
+        .u64("shed_writes", counters.shed)
+        .u64("retry_attempts", counters.retry)
+        .u64("cells_computed", counters.computed)
+        .u64("cells_failed", counters.failed);
+    artifact.write(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_serve.json"
+    ));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -13,23 +13,79 @@ use dvs_kernels::{KernelId, KernelParams};
 use dvs_stats::report::host_parallelism;
 use std::sync::OnceLock;
 
+/// The raw value of an environment variable, treating a non-unicode value
+/// as malformed (warned, then ignored) rather than panicking mid-grid.
+fn env_raw(name: &str) -> Option<String> {
+    match std::env::var(name) {
+        Ok(v) => Some(v),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!("warning: {name} is not valid UTF-8; using the default");
+            None
+        }
+    }
+}
+
+/// Interprets a `DVS_QUICK` value. Unset, empty, `0`, `false`, and `off`
+/// disable quick mode; `1`, `true`, and `on` enable it; anything else is
+/// malformed and falls back to the default (off) with a warning.
+fn parse_quick(raw: Option<&str>) -> (bool, Option<String>) {
+    match raw {
+        None | Some("" | "0" | "false" | "off") => (false, None),
+        Some("1" | "true" | "on") => (true, None),
+        Some(other) => (
+            false,
+            Some(format!(
+                "warning: DVS_QUICK={other:?} is not recognized (want 0/1); running full grids"
+            )),
+        ),
+    }
+}
+
+/// Interprets a `DVS_WORKERS` value. `None` means "use the default" (the
+/// host's available parallelism); a non-numeric or zero value is malformed
+/// and also falls back, with a warning.
+fn parse_workers(raw: Option<&str>) -> (Option<usize>, Option<String>) {
+    match raw {
+        None | Some("") => (None, None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(w) if w > 0 => (Some(w), None),
+            _ => (
+                None,
+                Some(format!(
+                    "warning: DVS_WORKERS={v:?} is not a positive integer; \
+                     using host parallelism"
+                )),
+            ),
+        },
+    }
+}
+
 /// Whether quick mode is enabled (reduced iterations and core counts).
-/// The `DVS_QUICK` lookup happens once per process, not per call.
+/// The `DVS_QUICK` lookup happens once per process, not per call; a
+/// malformed value warns once and falls back to full grids.
 pub fn quick_mode() -> bool {
     static QUICK: OnceLock<bool> = OnceLock::new();
-    *QUICK.get_or_init(|| std::env::var("DVS_QUICK").is_ok_and(|v| !v.is_empty() && v != "0"))
+    *QUICK.get_or_init(|| {
+        let (quick, warning) = parse_quick(env_raw("DVS_QUICK").as_deref());
+        if let Some(w) = warning {
+            eprintln!("{w}");
+        }
+        quick
+    })
 }
 
 /// Campaign worker count: `DVS_WORKERS` if set and positive, otherwise the
-/// host's available parallelism.
+/// host's available parallelism. A malformed value warns once and falls
+/// back to the default instead of failing mid-grid.
 pub fn workers_from_env() -> usize {
     static WORKERS: OnceLock<usize> = OnceLock::new();
     *WORKERS.get_or_init(|| {
-        std::env::var("DVS_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&w| w > 0)
-            .unwrap_or_else(host_parallelism)
+        let (workers, warning) = parse_workers(env_raw("DVS_WORKERS").as_deref());
+        if let Some(w) = warning {
+            eprintln!("{w}");
+        }
+        workers.unwrap_or_else(host_parallelism)
     })
 }
 
@@ -97,6 +153,31 @@ pub fn app_grid(apps: &[AppSpec], protocols: &[Protocol]) -> Vec<ExperimentSpec>
 mod tests {
     use super::*;
     use dvs_kernels::{LockKind, LockedStruct};
+
+    #[test]
+    fn quick_values_parse_with_warnings_for_garbage() {
+        for off in [None, Some(""), Some("0"), Some("false"), Some("off")] {
+            assert_eq!(parse_quick(off), (false, None), "{off:?}");
+        }
+        for on in [Some("1"), Some("true"), Some("on")] {
+            assert_eq!(parse_quick(on), (true, None), "{on:?}");
+        }
+        let (quick, warning) = parse_quick(Some("banana"));
+        assert!(!quick, "malformed DVS_QUICK must fall back to off");
+        assert!(warning.expect("warns").contains("banana"));
+    }
+
+    #[test]
+    fn worker_values_parse_with_warnings_for_garbage() {
+        assert_eq!(parse_workers(None), (None, None));
+        assert_eq!(parse_workers(Some("")), (None, None));
+        assert_eq!(parse_workers(Some("4")), (Some(4), None));
+        for bad in ["0", "-3", "four", "4x", "1e3"] {
+            let (workers, warning) = parse_workers(Some(bad));
+            assert_eq!(workers, None, "malformed DVS_WORKERS={bad:?} falls back");
+            assert!(warning.expect("warns").contains(bad));
+        }
+    }
 
     #[test]
     fn kernel_grid_is_kernel_major_protocol_minor() {

@@ -32,12 +32,15 @@ pub mod grids;
 pub mod runner;
 pub mod spec;
 
-pub use grids::{figure_core_counts, quick_mode, workers_from_env};
+pub use grids::{figure_core_counts, kernel_grid, quick_mode, workers_from_env};
 pub use runner::{
-    fnv1a, fnv1a_str, parallel_indexed, Campaign, CampaignError, CampaignReport, RunRecord,
-    FNV_OFFSET,
+    fnv1a, fnv1a_str, parallel_indexed, run_recorded, Campaign, CampaignError, CampaignReport,
+    RunRecord, FNV_OFFSET,
 };
-pub use spec::{ConfigOverrides, ExperimentSpec, TelemetryPolicy, WorkloadSpec};
+pub use spec::{
+    mutation_token, parse_mutation_token, parse_protocol, ConfigOverrides, ExperimentSpec,
+    TelemetryPolicy, WorkloadSpec,
+};
 
 use dvs_core::config::SystemConfig;
 use dvs_core::system::SimError;

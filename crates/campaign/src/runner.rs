@@ -64,6 +64,15 @@ pub struct RunRecord {
     pub metrics: Option<MetricsRegistry>,
 }
 
+impl RunRecord {
+    /// The run's host wall-clock time as a [`Duration`](std::time::Duration)
+    /// — the typed view of [`RunRecord::wall_nanos`]. Digest-excluded, like
+    /// the raw field.
+    pub fn wall(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.wall_nanos)
+    }
+}
+
 /// Everything a [`Campaign::run`] produced, ordered by spec index.
 #[derive(Debug)]
 pub struct CampaignReport {
@@ -117,33 +126,52 @@ impl Campaign {
         let done = AtomicUsize::new(0);
 
         let records = parallel_indexed(n, workers, |index| {
-            let spec = self.specs[index];
-            let t0 = Instant::now();
-            let (outcome, metrics) = run_isolated(&spec);
-            let wall_nanos = t0.elapsed().as_nanos() as u64;
+            let record = run_recorded(&self.specs[index], index);
             let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-            let status = match &outcome {
+            let status = match &record.outcome {
                 Ok(stats) => format!("ok, {} cycles", stats.cycles),
                 Err(e) => format!("FAILED: {e}"),
             };
             eprintln!(
                 "[{finished}/{n}] {} — {status} ({:.1} ms)",
-                spec.label(),
-                wall_nanos as f64 / 1e6
+                record.spec.label(),
+                record.wall_nanos as f64 / 1e6
             );
-            RunRecord {
-                index,
-                spec,
-                outcome,
-                wall_nanos,
-                metrics,
-            }
+            record
         });
         CampaignReport {
             records,
             workers,
             wall_nanos: started.elapsed().as_nanos() as u64,
         }
+    }
+
+    /// Runs only the specs at `indices` (a resumable cursor: callers that
+    /// already hold results for some specs — a journal, a cache — pass the
+    /// remainder) and returns their records in the order of `indices`.
+    /// Each record's `index` is the spec's position in the full campaign,
+    /// so results can be merged back into a complete report.
+    pub fn run_subset(&self, workers: usize, indices: &[usize]) -> Vec<RunRecord> {
+        parallel_indexed(indices.len(), workers, |i| {
+            let index = indices[i];
+            run_recorded(&self.specs[index], index)
+        })
+    }
+}
+
+/// Runs one spec with fault isolation and wall-clock accounting — the
+/// single timing source shared by [`Campaign::run`], the resumable
+/// [`Campaign::run_subset`] cursor, and the `dvs-serve` job service, so
+/// retry/deadline policies and BENCH artifacts all see the same numbers.
+pub fn run_recorded(spec: &ExperimentSpec, index: usize) -> RunRecord {
+    let t0 = Instant::now();
+    let (outcome, metrics) = run_isolated(spec);
+    RunRecord {
+        index,
+        spec: *spec,
+        outcome,
+        wall_nanos: t0.elapsed().as_nanos() as u64,
+        metrics,
     }
 }
 
@@ -279,6 +307,19 @@ impl CampaignReport {
     pub fn wall_seconds(&self) -> f64 {
         self.wall_nanos as f64 / 1e9
     }
+
+    /// Sum of the per-run wall-clocks ([`RunRecord::wall_nanos`]) — the
+    /// aggregate compute time, as opposed to the campaign's elapsed
+    /// [`CampaignReport::wall_nanos`] which divides it by parallelism.
+    pub fn run_wall_nanos(&self) -> u64 {
+        self.records.iter().map(|r| r.wall_nanos).sum()
+    }
+
+    /// The slowest single run's wall-clock in nanoseconds (0 when empty).
+    /// Deadline policies size per-job budgets from this.
+    pub fn max_run_wall_nanos(&self) -> u64 {
+        self.records.iter().map(|r| r.wall_nanos).max().unwrap_or(0)
+    }
 }
 
 /// The FNV-1a 64-bit offset basis — the starting value for [`fnv1a`].
@@ -393,6 +434,34 @@ mod tests {
         report.records[0].wall_nanos = 123_456_789;
         report.wall_nanos = 1;
         assert_eq!(report.results_digest(), digest);
+    }
+
+    #[test]
+    fn run_subset_resumes_with_original_indices() {
+        let campaign = Campaign::from_specs(vec![
+            smoke_spec(4, Protocol::Mesi),
+            smoke_spec(4, Protocol::DeNovoSync0),
+            smoke_spec(4, Protocol::DeNovoSync),
+        ]);
+        // Simulate a crash after spec 0 completed: resume the remainder.
+        let records = campaign.run_subset(2, &[2, 1]);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].index, 2);
+        assert_eq!(records[1].index, 1);
+        for r in &records {
+            assert_eq!(r.spec, campaign.specs()[r.index]);
+            assert!(r.outcome.is_ok(), "{}: {:?}", r.spec.label(), r.outcome);
+        }
+    }
+
+    #[test]
+    fn wall_accessors_agree_with_raw_nanos() {
+        let campaign = Campaign::from_specs(vec![smoke_spec(4, Protocol::Mesi)]);
+        let mut report = campaign.run(1);
+        report.records[0].wall_nanos = 1_500_000;
+        assert_eq!(report.records[0].wall().as_micros(), 1_500);
+        assert_eq!(report.run_wall_nanos(), 1_500_000);
+        assert_eq!(report.max_run_wall_nanos(), 1_500_000);
     }
 
     #[test]

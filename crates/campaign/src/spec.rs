@@ -218,6 +218,192 @@ impl ExperimentSpec {
         let workload = self.build().map_err(RunError::Check)?;
         run_workload(self.config(), &workload)
     }
+
+    /// A canonical, serializable identity for this spec: `;`-separated
+    /// `key=value` fields in a fixed order, with override fields appended
+    /// only when they differ from the default. Two specs are equal iff their
+    /// tokens are equal, which makes the token the right input for
+    /// content-addressed result caching (`dvs-serve` keys its store on it).
+    /// [`ExperimentSpec::from_token`] inverts it.
+    pub fn token(&self) -> String {
+        let mut out = match self.workload {
+            WorkloadSpec::Kernel { kernel, params } => format!(
+                "kernel={};threads={};iters={};ns={}-{};swb={};pad={};rc={}",
+                kernel.token(),
+                params.threads,
+                params.iters,
+                params.nonsynch.0,
+                params.nonsynch.1,
+                u8::from(params.sw_backoff),
+                u8::from(params.padded_locks),
+                u8::from(params.reduced_checks),
+            ),
+            WorkloadSpec::App { name, threads } => format!("app={name};threads={threads}"),
+        };
+        out.push_str(&format!(";proto={}", self.protocol.label()));
+        let o = &self.overrides;
+        if let Some(di) = o.data_inv {
+            out.push_str(match di {
+                DataInvalidation::StaticRegions => ";di=static",
+                DataInvalidation::Signatures => ";di=sig",
+            });
+        }
+        if let Some(bits) = o.backoff_bits {
+            out.push_str(&format!(";bb={bits}"));
+        }
+        if let Some(inc) = o.backoff_increment {
+            out.push_str(&format!(";bi={inc}"));
+        }
+        if o.check_invariants {
+            out.push_str(";inv=1");
+        }
+        if let Some(seed) = o.fault_seed {
+            out.push_str(&format!(";seed={seed}"));
+        }
+        if let Some(m) = o.mutation {
+            out.push_str(&format!(";mut={}", mutation_token(m)));
+        }
+        if let Some(mc) = o.max_cycles {
+            out.push_str(&format!(";maxc={mc}"));
+        }
+        match o.telemetry {
+            TelemetryPolicy::Off => {}
+            TelemetryPolicy::Ring => out.push_str(";tel=ring"),
+            TelemetryPolicy::Jsonl => out.push_str(";tel=jsonl"),
+        }
+        out
+    }
+
+    /// Parses a token produced by [`ExperimentSpec::token`].
+    ///
+    /// # Errors
+    ///
+    /// Explains which field is missing, malformed, or unknown.
+    pub fn from_token(token: &str) -> Result<ExperimentSpec, String> {
+        let mut fields = Vec::new();
+        for part in token.split(';') {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("field {part:?} is not key=value"))?;
+            fields.push((k, v));
+        }
+        let get = |key: &str| fields.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+        let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
+            get(key)
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("{key}={v:?} is not a number"))
+                })
+                .transpose()
+        };
+        let parse_bool = |key: &str| -> Result<bool, String> {
+            match get(key) {
+                Some("0") | None => Ok(false),
+                Some("1") => Ok(true),
+                Some(v) => Err(format!("{key}={v:?} is not 0/1")),
+            }
+        };
+
+        let workload = match (get("kernel"), get("app")) {
+            (Some(ktok), None) => {
+                let kernel = KernelId::from_token(ktok)
+                    .ok_or_else(|| format!("unknown kernel token {ktok:?}"))?;
+                let ns = get("ns").ok_or("missing ns=lo-hi")?;
+                let (lo, hi) = ns.split_once('-').ok_or_else(|| format!("ns={ns:?}"))?;
+                let params = KernelParams {
+                    threads: parse_u64("threads")?.ok_or("missing threads")? as usize,
+                    iters: parse_u64("iters")?.ok_or("missing iters")?,
+                    nonsynch: (
+                        lo.parse().map_err(|_| format!("ns lo {lo:?}"))?,
+                        hi.parse().map_err(|_| format!("ns hi {hi:?}"))?,
+                    ),
+                    sw_backoff: parse_bool("swb")?,
+                    padded_locks: parse_bool("pad")?,
+                    reduced_checks: parse_bool("rc")?,
+                };
+                WorkloadSpec::Kernel { kernel, params }
+            }
+            (None, Some(name)) => {
+                // Resolve through the app table to recover the 'static name.
+                let app =
+                    dvs_apps::app_by_name(name).ok_or_else(|| format!("unknown app {name:?}"))?;
+                WorkloadSpec::App {
+                    name: app.name,
+                    threads: parse_u64("threads")?.ok_or("missing threads")? as usize,
+                }
+            }
+            _ => return Err("token must name exactly one of kernel= or app=".to_owned()),
+        };
+
+        let proto = get("proto").ok_or("missing proto")?;
+        let protocol = parse_protocol(proto)?;
+        let overrides = ConfigOverrides {
+            data_inv: match get("di") {
+                None => None,
+                Some("static") => Some(DataInvalidation::StaticRegions),
+                Some("sig") => Some(DataInvalidation::Signatures),
+                Some(v) => return Err(format!("di={v:?} is not static/sig")),
+            },
+            backoff_bits: parse_u64("bb")?.map(|v| v as u32),
+            backoff_increment: parse_u64("bi")?,
+            check_invariants: parse_bool("inv")?,
+            fault_seed: parse_u64("seed")?,
+            mutation: get("mut").map(parse_mutation_token).transpose()?,
+            max_cycles: parse_u64("maxc")?,
+            telemetry: match get("tel") {
+                None => TelemetryPolicy::Off,
+                Some("ring") => TelemetryPolicy::Ring,
+                Some("jsonl") => TelemetryPolicy::Jsonl,
+                Some(v) => return Err(format!("tel={v:?} is not ring/jsonl")),
+            },
+        };
+        Ok(ExperimentSpec {
+            workload,
+            protocol,
+            overrides,
+        })
+    }
+}
+
+/// Parses a protocol by its bar label (`"M"`, `"DS0"`, `"DS"`).
+///
+/// # Errors
+///
+/// Lists the known labels when `label` is not one of them.
+pub fn parse_protocol(label: &str) -> Result<Protocol, String> {
+    Protocol::ALL
+        .into_iter()
+        .find(|p| p.label() == label)
+        .ok_or_else(|| format!("unknown protocol {label:?} (want M, DS0, or DS)"))
+}
+
+/// The serialized form of a [`ProtocolMutation`] — the same tokens the
+/// `dvsf` CLI accepts, so spec tokens and fuzz commands agree.
+pub fn mutation_token(m: ProtocolMutation) -> &'static str {
+    match m {
+        ProtocolMutation::DnvSkipRepoint => "dnv-skip-repoint",
+        ProtocolMutation::DnvDropXfer => "dnv-drop-xfer",
+        ProtocolMutation::MesiSkipInvalidate => "mesi-skip-invalidate",
+        ProtocolMutation::MesiDropAck => "mesi-drop-ack",
+    }
+}
+
+/// Parses a token produced by [`mutation_token`].
+///
+/// # Errors
+///
+/// Lists the known tokens when `tok` is not one of them.
+pub fn parse_mutation_token(tok: &str) -> Result<ProtocolMutation, String> {
+    match tok {
+        "dnv-skip-repoint" => Ok(ProtocolMutation::DnvSkipRepoint),
+        "dnv-drop-xfer" => Ok(ProtocolMutation::DnvDropXfer),
+        "mesi-skip-invalidate" => Ok(ProtocolMutation::MesiSkipInvalidate),
+        "mesi-drop-ack" => Ok(ProtocolMutation::MesiDropAck),
+        _ => Err(format!(
+            "unknown mutation {tok:?} (want dnv-skip-repoint, dnv-drop-xfer, \
+             mesi-skip-invalidate, or mesi-drop-ack)"
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -266,5 +452,72 @@ mod tests {
     fn unknown_app_is_a_build_error() {
         let spec = ExperimentSpec::app("doom", 4, Protocol::Mesi);
         assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn tokens_round_trip_for_kernels_apps_and_overrides() {
+        let mut spec = counter_spec(16);
+        assert_eq!(
+            spec.token(),
+            "kernel=tatas:counter;threads=16;iters=6;ns=40-80;swb=1;pad=1;rc=0;proto=DS"
+        );
+        assert_eq!(ExperimentSpec::from_token(&spec.token()), Ok(spec));
+
+        spec.overrides = ConfigOverrides {
+            data_inv: Some(DataInvalidation::Signatures),
+            backoff_bits: Some(6),
+            backoff_increment: Some(256),
+            check_invariants: true,
+            fault_seed: Some(0xC0FFEE),
+            mutation: Some(ProtocolMutation::DnvDropXfer),
+            max_cycles: Some(1_000),
+            telemetry: TelemetryPolicy::Ring,
+        };
+        assert_eq!(ExperimentSpec::from_token(&spec.token()), Ok(spec));
+
+        for app in dvs_apps::all_apps() {
+            let spec = ExperimentSpec::app(app.name, 16, Protocol::Mesi);
+            assert_eq!(ExperimentSpec::from_token(&spec.token()), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn token_parsing_rejects_garbage_with_reasons() {
+        for (bad, needle) in [
+            ("", "key=value"),
+            ("kernel=tatas:counter", "missing"),
+            ("app=doom;threads=4;proto=M", "unknown app"),
+            (
+                "kernel=bogus;threads=4;iters=6;ns=1-2;proto=M",
+                "kernel token",
+            ),
+            (
+                "kernel=tatas:counter;threads=x;iters=6;ns=1-2;proto=M",
+                "not a number",
+            ),
+            (
+                "kernel=tatas:counter;threads=4;iters=6;ns=1-2;proto=Z",
+                "unknown protocol",
+            ),
+            (
+                "kernel=tatas:counter;threads=4;iters=6;ns=1-2;proto=M;mut=nope",
+                "unknown mutation",
+            ),
+        ] {
+            let err = ExperimentSpec::from_token(bad).expect_err(bad);
+            assert!(err.contains(needle), "{bad:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn equal_specs_have_equal_tokens_and_distinct_specs_do_not() {
+        let a = counter_spec(4);
+        let mut b = a;
+        assert_eq!(a.token(), b.token());
+        b.protocol = Protocol::Mesi;
+        assert_ne!(a.token(), b.token());
+        b = a;
+        b.overrides.max_cycles = Some(10);
+        assert_ne!(a.token(), b.token());
     }
 }

@@ -29,20 +29,12 @@ pub use gen::{generate, GenConfig};
 pub use shrink::{shrink, ShrinkOutcome};
 
 /// Parses a mutation token as used by the `dvsf` CLI and `scripts/ci.sh`.
+/// Delegates to `dvs-campaign`'s parser so spec tokens, `dvsf`, and
+/// `dvs-serve` all accept the same vocabulary.
 ///
 /// # Errors
 ///
 /// Lists the known tokens when `tok` is not one of them.
 pub fn parse_mutation(tok: &str) -> Result<dvs_core::config::ProtocolMutation, String> {
-    use dvs_core::config::ProtocolMutation as M;
-    match tok {
-        "dnv-skip-repoint" => Ok(M::DnvSkipRepoint),
-        "dnv-drop-xfer" => Ok(M::DnvDropXfer),
-        "mesi-skip-invalidate" => Ok(M::MesiSkipInvalidate),
-        "mesi-drop-ack" => Ok(M::MesiDropAck),
-        _ => Err(format!(
-            "unknown mutation {tok:?} (want dnv-skip-repoint, dnv-drop-xfer, \
-             mesi-skip-invalidate, or mesi-drop-ack)"
-        )),
-    }
+    dvs_campaign::parse_mutation_token(tok)
 }

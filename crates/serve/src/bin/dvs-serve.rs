@@ -1,0 +1,298 @@
+//! `dvs-serve` — the simulation job service's command-line front end.
+//!
+//! ```text
+//! dvs-serve submit --dir D --grid smoke [--no-run] [flags]   campaign grid job
+//! dvs-serve submit --dir D --fuzz <start> <count> [--small]  fuzz-hunt job
+//! dvs-serve submit --dir D --litmus all                      litmus-sweep job
+//! dvs-serve resume --dir D [flags]                           finish unfinished jobs
+//! dvs-serve status --dir D                                   one line per job
+//! dvs-serve verify-store --dir D                             integrity-check the cache
+//! dvs-serve gc --dir D [--budget-bytes N]                    evict stale/over-budget
+//! ```
+//!
+//! Shared flags: `--workers N`, `--deadline-ms N`, `--retries N`,
+//! `--budget-bytes N`, `--cell-delay-ms N` (debug: slows each cell so crash
+//! tests can land a `kill -9` mid-job), `--no-sync` (skip per-append
+//! fsync — faster, crash-unsafe).
+//!
+//! Each finished job prints one machine-parseable line:
+//!
+//! ```text
+//! job=3 cells=18 hits=18 computed=0 failed=0 retries=0 digest=84d1c8a3b4e5f607
+//! ```
+//!
+//! Exit codes: 0 clean, 1 a cell failed terminally (or `verify-store`
+//! quarantined entries), 2 usage or I/O error.
+
+use dvs_campaign::kernel_grid;
+use dvs_core::config::Protocol;
+use dvs_kernels::{KernelId, LockKind, LockedStruct};
+use dvs_serve::{JobSpec, RetryPolicy, Serve, ServeConfig};
+use dvs_vm::litmus::Litmus;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("dvs-serve: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Opts {
+    positional: Vec<String>,
+    dir: Option<String>,
+    grid: Option<String>,
+    fuzz: Option<(u64, usize)>,
+    litmus: Option<String>,
+    small: bool,
+    no_run: bool,
+    no_sync: bool,
+    workers: Option<usize>,
+    deadline_ms: Option<u64>,
+    retries: Option<u32>,
+    budget_bytes: Option<u64>,
+    cell_delay_ms: Option<u64>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        positional: Vec::new(),
+        dir: None,
+        grid: None,
+        fuzz: None,
+        litmus: None,
+        small: false,
+        no_run: false,
+        no_sync: false,
+        workers: None,
+        deadline_ms: None,
+        retries: None,
+        budget_bytes: None,
+        cell_delay_ms: None,
+    };
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => o.dir = Some(value(&mut it, "--dir")?),
+            "--grid" => o.grid = Some(value(&mut it, "--grid")?),
+            "--fuzz" => {
+                let start = value(&mut it, "--fuzz")?
+                    .parse()
+                    .map_err(|_| "--fuzz needs <start> <count>")?;
+                let count = value(&mut it, "--fuzz")?
+                    .parse()
+                    .map_err(|_| "--fuzz needs <start> <count>")?;
+                o.fuzz = Some((start, count));
+            }
+            "--litmus" => o.litmus = Some(value(&mut it, "--litmus")?),
+            "--small" => o.small = true,
+            "--no-run" => o.no_run = true,
+            "--no-sync" => o.no_sync = true,
+            "--workers" => {
+                o.workers = Some(parse_num(&value(&mut it, "--workers")?, "--workers")? as usize);
+            }
+            "--deadline-ms" => {
+                o.deadline_ms = Some(parse_num(
+                    &value(&mut it, "--deadline-ms")?,
+                    "--deadline-ms",
+                )?);
+            }
+            "--retries" => {
+                o.retries = Some(parse_num(&value(&mut it, "--retries")?, "--retries")? as u32);
+            }
+            "--budget-bytes" => {
+                o.budget_bytes = Some(parse_num(
+                    &value(&mut it, "--budget-bytes")?,
+                    "--budget-bytes",
+                )?);
+            }
+            "--cell-delay-ms" => {
+                o.cell_delay_ms = Some(parse_num(
+                    &value(&mut it, "--cell-delay-ms")?,
+                    "--cell-delay-ms",
+                )?);
+            }
+            _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
+            _ => o.positional.push(a.clone()),
+        }
+    }
+    Ok(o)
+}
+
+fn parse_num(tok: &str, flag: &str) -> Result<u64, String> {
+    tok.parse().map_err(|_| format!("{flag} needs a number"))
+}
+
+fn config_for(o: &Opts) -> Result<ServeConfig, String> {
+    let dir = o.dir.as_deref().ok_or("--dir is required")?;
+    let mut cfg = ServeConfig::new(dir);
+    if let Some(w) = o.workers {
+        cfg.workers = w.max(1);
+    }
+    cfg.deadline = o.deadline_ms.map(Duration::from_millis);
+    if let Some(r) = o.retries {
+        cfg.retry = RetryPolicy {
+            max_attempts: r.max(1),
+            ..RetryPolicy::default()
+        };
+    }
+    cfg.store_budget = o.budget_bytes;
+    cfg.sync_journal = !o.no_sync;
+    cfg.cell_delay = o.cell_delay_ms.map(Duration::from_millis);
+    Ok(cfg)
+}
+
+/// The `--grid smoke` job: the six TATAS locked kernels × every protocol at
+/// four cores with smoke parameters — 18 quick cells.
+fn smoke_grid() -> JobSpec {
+    let kernels: Vec<KernelId> = LockedStruct::ALL
+        .iter()
+        .map(|&s| KernelId::Locked(s, LockKind::Tatas))
+        .collect();
+    JobSpec::Campaign(kernel_grid(&kernels, 4, &Protocol::ALL, |p| {
+        *p = dvs_kernels::KernelParams::smoke(4);
+    }))
+}
+
+fn job_for(o: &Opts) -> Result<JobSpec, String> {
+    match (&o.grid, o.fuzz, &o.litmus) {
+        (Some(grid), None, None) => match grid.as_str() {
+            "smoke" => Ok(smoke_grid()),
+            other => Err(format!("unknown grid {other:?} (try: smoke)")),
+        },
+        (None, Some((seed_start, count)), None) => Ok(JobSpec::FuzzHunt {
+            seed_start,
+            count,
+            small: o.small,
+        }),
+        (None, None, Some(which)) => {
+            let names: Vec<String> = match which.as_str() {
+                "all" => Litmus::all().iter().map(|l| l.name.to_owned()).collect(),
+                name => {
+                    Litmus::by_name(name).ok_or_else(|| format!("unknown litmus {name:?}"))?;
+                    vec![name.to_owned()]
+                }
+            };
+            Ok(JobSpec::Litmus {
+                names,
+                protocols: Protocol::ALL.to_vec(),
+            })
+        }
+        _ => Err("submit needs exactly one of --grid, --fuzz, --litmus".into()),
+    }
+}
+
+fn print_report(r: &dvs_serve::JobReport) {
+    println!(
+        "job={} cells={} hits={} computed={} failed={} retries={} digest={:016x}",
+        r.id, r.cells, r.hits, r.computed, r.failed, r.retries, r.digest
+    );
+}
+
+fn print_metrics(serve: &Serve) {
+    for ((node, component, name), value) in serve.metrics().counters() {
+        eprintln!("  {node}/{component}/{name} = {value}");
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("usage: dvs-serve <submit|resume|status|verify-store|gc> --dir D ...".into());
+    };
+    let o = parse_opts(rest)?;
+    match cmd.as_str() {
+        "submit" => {
+            let job = job_for(&o)?;
+            let mut serve = Serve::open(config_for(&o)?).map_err(|e| e.to_string())?;
+            let id = serve.submit(&job).map_err(|e| e.to_string())?;
+            if o.no_run {
+                println!("job={id} cells={} submitted", job.cells().len());
+                return Ok(ExitCode::SUCCESS);
+            }
+            let report = serve.run_job(id).map_err(|e| e.to_string())?;
+            print_report(&report);
+            print_metrics(&serve);
+            Ok(if report.failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
+        }
+        "resume" => {
+            let mut serve = Serve::open(config_for(&o)?).map_err(|e| e.to_string())?;
+            let reports = serve.resume_all().map_err(|e| e.to_string())?;
+            if reports.is_empty() {
+                println!("nothing to resume");
+            }
+            let mut failed = 0;
+            for r in &reports {
+                print_report(r);
+                failed += r.failed;
+            }
+            print_metrics(&serve);
+            Ok(if failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
+        }
+        "status" => {
+            let serve = Serve::open(config_for(&o)?).map_err(|e| e.to_string())?;
+            let jobs = serve.status();
+            if jobs.is_empty() {
+                println!("no jobs");
+            }
+            for j in jobs {
+                match j.digest {
+                    Some(d) => println!(
+                        "job={} kind={} cells={} done digest={d:016x}",
+                        j.id, j.kind, j.cells
+                    ),
+                    None => println!(
+                        "job={} kind={} cells={} pending={}",
+                        j.id, j.kind, j.cells, j.pending
+                    ),
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify-store" => {
+            let mut serve = Serve::open(config_for(&o)?).map_err(|e| e.to_string())?;
+            let report = serve.verify_store();
+            println!(
+                "checked={} ok={} quarantined={}",
+                report.checked,
+                report.ok,
+                report.quarantined.len()
+            );
+            for (name, reason) in &report.quarantined {
+                eprintln!("  {name}: {reason}");
+            }
+            Ok(if report.quarantined.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
+        }
+        "gc" => {
+            let mut serve = Serve::open(config_for(&o)?).map_err(|e| e.to_string())?;
+            let report = serve.gc_store();
+            println!(
+                "removed_stale={} removed_budget={} remaining_bytes={}",
+                report.removed_stale, report.removed_budget, report.remaining_bytes
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err(format!("unknown command {cmd:?}")),
+    }
+}

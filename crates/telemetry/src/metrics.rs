@@ -128,6 +128,12 @@ impl MetricsRegistry {
             .or_insert(0) += delta;
     }
 
+    /// Increments the counter at `node/component/name` by one — the common
+    /// case for event-shaped counters (cache hits, retries, quarantines).
+    pub fn incr(&mut self, node: &str, component: &str, name: &str) {
+        self.add(node, component, name, 1);
+    }
+
     /// Records one sample into the histogram at `node/component/name`.
     pub fn sample(&mut self, node: &str, component: &str, name: &str, value: u64) {
         self.histograms
@@ -159,6 +165,15 @@ impl MetricsRegistry {
     pub fn histogram(&self, node: &str, component: &str, name: &str) -> Option<&Log2Histogram> {
         self.histograms
             .get(&(node.to_owned(), component.to_owned(), name.to_owned()))
+    }
+
+    /// Every counter as `((node, component, name), value)`, in path order.
+    /// Path order is deterministic (`BTreeMap`), so consumers that fold the
+    /// counters into artifacts or digests see a stable sequence.
+    pub fn counters(&self) -> impl Iterator<Item = ((&str, &str, &str), u64)> {
+        self.counters
+            .iter()
+            .map(|((n, c, m), &v)| ((n.as_str(), c.as_str(), m.as_str()), v))
     }
 
     /// Sum of one counter name across every node/component.
@@ -239,6 +254,24 @@ mod tests {
         assert!(json.contains("\"0\": 1"));
         assert!(json.contains("\"2..3\": 2"));
         assert!(json.contains("\"1024..2047\": 1"));
+    }
+
+    #[test]
+    fn incr_and_counters_iterate_in_path_order() {
+        let mut m = MetricsRegistry::new();
+        m.incr("serve", "cache", "miss");
+        m.incr("serve", "cache", "hit");
+        m.incr("serve", "cache", "hit");
+        m.add("serve", "retry", "transient", 3);
+        let listed: Vec<_> = m.counters().collect();
+        assert_eq!(
+            listed,
+            vec![
+                (("serve", "cache", "hit"), 2),
+                (("serve", "cache", "miss"), 1),
+                (("serve", "retry", "transient"), 3),
+            ]
+        );
     }
 
     #[test]

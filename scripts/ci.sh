@@ -43,4 +43,34 @@ d2=$(hunt 2); echo "$d2"
 d1=$(hunt 1); echo "$d1"
 [ "${d1##*digest=}" = "${d2##*digest=}" ] || { echo "fuzz digest differs across worker counts"; exit 1; }
 
+echo "== serve smoke (crash-safe job service: kill -9 resume + warm cache) =="
+# Robustness artifact: cold + warm + corruption-repair + retry counters.
+DVS_QUICK=1 cargo bench --offline -p dvs-bench --bench serve_matrix
+# Crash drill against the real binary: SIGKILL a slowed run mid-job, resume,
+# and demand the digest match an uninterrupted run; then re-run warm and
+# demand >= 90% cache hits.
+cargo build --release --offline -p dvs-serve --bin dvs-serve
+SERVE=./target/release/dvs-serve
+SDIR=$(mktemp -d)
+trap 'rm -rf "$SDIR"' EXIT
+ref=$("$SERVE" submit --dir "$SDIR/ref" --grid smoke --workers 2); echo "$ref"
+want=${ref##*digest=}
+"$SERVE" submit --dir "$SDIR/victim" --grid smoke --workers 2 --cell-delay-ms 200 &
+victim=$!
+# Kill as soon as the journal shows the first completed cell.
+for _ in $(seq 1 400); do
+  grep -q '^cell ' "$SDIR/victim/journal.log" 2>/dev/null && break
+  kill -0 "$victim" 2>/dev/null || { echo "victim finished before the kill"; exit 1; }
+  sleep 0.025
+done
+kill -9 "$victim"; wait "$victim" 2>/dev/null || true
+resumed=$("$SERVE" resume --dir "$SDIR/victim" --workers 2); echo "$resumed"
+[ "${resumed##*digest=}" = "$want" ] || { echo "resumed digest differs from uninterrupted run"; exit 1; }
+warm=$("$SERVE" submit --dir "$SDIR/ref" --grid smoke --workers 2); echo "$warm"
+[ "${warm##*digest=}" = "$want" ] || { echo "warm digest differs"; exit 1; }
+hits=$(echo "$warm" | sed -n 's/.*hits=\([0-9]*\).*/\1/p' | tail -1)
+cells=$(echo "$warm" | sed -n 's/.*cells=\([0-9]*\).*/\1/p' | tail -1)
+[ $((hits * 10)) -ge $((cells * 9)) ] || { echo "warm hit rate below 90% ($hits/$cells)"; exit 1; }
+"$SERVE" verify-store --dir "$SDIR/ref"
+
 echo "CI OK"
