@@ -48,6 +48,7 @@ fn group_name(workload: &WorkloadSpec) -> String {
     match workload {
         WorkloadSpec::Kernel { kernel, .. } => kernel.name(),
         WorkloadSpec::App { name, threads } => format!("{name} @{threads}"),
+        WorkloadSpec::Trace { mix } => mix.name(),
     }
 }
 

@@ -225,6 +225,17 @@ fn run_isolated(
     spec: &ExperimentSpec,
 ) -> (Result<RunStats, CampaignError>, Option<MetricsRegistry>) {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
+        if let crate::spec::WorkloadSpec::Trace { mix } = spec.workload {
+            let trace =
+                dvs_trace::build_mix(mix).map_err(|e| CampaignError::Build(e.to_string()))?;
+            let stats =
+                dvs_trace::replay_timed(&trace, spec.config(), dvs_trace::ReplayMode::Faithful)
+                    .map_err(|e| match crate::spec::trace_run_error(e) {
+                        RunError::Sim(e) => CampaignError::Sim(e),
+                        RunError::Check(msg) => CampaignError::Check(msg),
+                    })?;
+            return Ok((stats, None));
+        }
         let workload = spec.build().map_err(CampaignError::Build)?;
         let policy = spec.overrides.telemetry;
         let (stats, metrics) =

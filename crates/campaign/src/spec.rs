@@ -10,6 +10,7 @@ use dvs_core::config::{DataInvalidation, Protocol, ProtocolMutation, SystemConfi
 use dvs_kernels::{KernelId, KernelParams, Workload};
 use dvs_stats::RunStats;
 use dvs_telemetry::{JsonlSink, Telemetry};
+use dvs_trace::{build_mix, replay_timed, MixSpec, ReplayMode, TraceError};
 
 /// Which workload a spec runs, addressed by serializable id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,6 +29,13 @@ pub enum WorkloadSpec {
         /// Thread count (= core count) to build the model at.
         threads: usize,
     },
+    /// A recorded workload mix, replayed through the timed stack. The
+    /// [`MixSpec`] is pure data; the worker materializes the trace
+    /// (deterministic record + compose) and replays it faithfully.
+    Trace {
+        /// The mix to build and replay.
+        mix: MixSpec,
+    },
 }
 
 impl WorkloadSpec {
@@ -36,6 +44,7 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Kernel { kernel, .. } => kernel.token(),
             WorkloadSpec::App { name, .. } => (*name).to_owned(),
+            WorkloadSpec::Trace { mix } => mix.name(),
         }
     }
 
@@ -44,6 +53,7 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Kernel { params, .. } => params.threads,
             WorkloadSpec::App { threads, .. } => *threads,
+            WorkloadSpec::Trace { mix } => mix.threads,
         }
     }
 }
@@ -205,16 +215,28 @@ impl ExperimentSpec {
                     dvs_apps::app_by_name(name).ok_or_else(|| format!("unknown app {name:?}"))?;
                 Ok(dvs_apps::build_app(&app, threads))
             }
+            WorkloadSpec::Trace { mix } => Err(format!(
+                "trace spec {} is replayed, not built as a VM workload",
+                mix.name()
+            )),
         }
     }
 
     /// Builds and runs this spec to completion on the current thread.
+    /// Kernel and app specs run VM-driven; trace specs materialize the mix
+    /// (deterministic record + compose) and replay it faithfully, so the
+    /// reported cycles are comparable across protocols.
     ///
     /// # Errors
     ///
-    /// [`RunError::Check`] for an unresolvable workload id, otherwise
-    /// whatever [`run_workload`] reports.
+    /// [`RunError::Check`] for an unresolvable workload id or a replay
+    /// validation failure, otherwise whatever [`run_workload`] reports.
     pub fn run(&self) -> Result<RunStats, RunError> {
+        if let WorkloadSpec::Trace { mix } = self.workload {
+            let trace = build_mix(mix).map_err(trace_run_error)?;
+            return replay_timed(&trace, self.config(), ReplayMode::Faithful)
+                .map_err(trace_run_error);
+        }
         let workload = self.build().map_err(RunError::Check)?;
         run_workload(self.config(), &workload)
     }
@@ -239,6 +261,12 @@ impl ExperimentSpec {
                 u8::from(params.reduced_checks),
             ),
             WorkloadSpec::App { name, threads } => format!("app={name};threads={threads}"),
+            // `seed=` is taken by the fault-seed override, so the mix
+            // parameters ride inside the trace value itself.
+            WorkloadSpec::Trace { mix } => format!(
+                "trace=mix:{}:{};threads={}",
+                mix.seed, mix.phases, mix.threads
+            ),
         };
         out.push_str(&format!(";proto={}", self.protocol.label()));
         let o = &self.overrides;
@@ -304,8 +332,8 @@ impl ExperimentSpec {
             }
         };
 
-        let workload = match (get("kernel"), get("app")) {
-            (Some(ktok), None) => {
+        let workload = match (get("kernel"), get("app"), get("trace")) {
+            (Some(ktok), None, None) => {
                 let kernel = KernelId::from_token(ktok)
                     .ok_or_else(|| format!("unknown kernel token {ktok:?}"))?;
                 let ns = get("ns").ok_or("missing ns=lo-hi")?;
@@ -323,7 +351,7 @@ impl ExperimentSpec {
                 };
                 WorkloadSpec::Kernel { kernel, params }
             }
-            (None, Some(name)) => {
+            (None, Some(name), None) => {
                 // Resolve through the app table to recover the 'static name.
                 let app =
                     dvs_apps::app_by_name(name).ok_or_else(|| format!("unknown app {name:?}"))?;
@@ -332,7 +360,33 @@ impl ExperimentSpec {
                     threads: parse_u64("threads")?.ok_or("missing threads")? as usize,
                 }
             }
-            _ => return Err("token must name exactly one of kernel= or app=".to_owned()),
+            (None, None, Some(val)) => {
+                let mut it = val.split(':');
+                if it.next() != Some("mix") {
+                    return Err(format!(
+                        "unknown trace kind {val:?} (want mix:<seed>:<phases>)"
+                    ));
+                }
+                let seed: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("trace={val:?}: bad mix seed"))?;
+                let phases: u8 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("trace={val:?}: bad mix phase count"))?;
+                if it.next().is_some() {
+                    return Err(format!("trace={val:?}: trailing fields"));
+                }
+                WorkloadSpec::Trace {
+                    mix: MixSpec {
+                        seed,
+                        phases,
+                        threads: parse_u64("threads")?.ok_or("missing threads")? as usize,
+                    },
+                }
+            }
+            _ => return Err("token must name exactly one of kernel=, app=, or trace=".to_owned()),
         };
 
         let proto = get("proto").ok_or("missing proto")?;
@@ -362,6 +416,17 @@ impl ExperimentSpec {
             protocol,
             overrides,
         })
+    }
+}
+
+/// Folds a [`TraceError`] into the campaign's run-error taxonomy: simulator
+/// failures stay simulator failures, everything else (workload checks,
+/// replay validation, bad mix specs) is a check failure.
+pub fn trace_run_error(e: TraceError) -> RunError {
+    match e {
+        TraceError::Sim(e) => RunError::Sim(e),
+        TraceError::Check(m) => RunError::Check(m),
+        TraceError::Validate(m) => RunError::Check(format!("replay validation: {m}")),
     }
 }
 

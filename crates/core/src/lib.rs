@@ -58,7 +58,9 @@ pub mod mesi;
 pub mod msg;
 pub mod oracle;
 pub mod proto;
+pub mod replay;
 pub mod system;
 
 pub use config::{Protocol, ProtocolMutation, SystemConfig};
+pub use replay::{compress_ops, Recording, TraceOp, TraceRecorder};
 pub use system::System;

@@ -31,6 +31,7 @@ use crate::mesi::{MesiDir, MesiL1};
 use crate::msg::{CoreId, Endpoint, Msg};
 use crate::oracle::{ChannelKey, OracleState};
 use crate::proto::{Action, IssueResult};
+use crate::replay::{Fronts, Recording, ReplayBoard, TraceCore, TraceOp, TraceRecorder, TraceStep};
 use dvs_engine::{Cycle, DetRng, Scheduler};
 use dvs_mem::layout::MemoryLayout;
 use dvs_mem::{Addr, MainMemory, WordAddr};
@@ -208,6 +209,12 @@ pub(crate) enum Status {
     Halted,
     /// The thread died on a failed assertion.
     Dead,
+    /// Trace replay: parked until a sync completion advances the per-word
+    /// ordering board past this core's next op's dependency.
+    DepWait {
+        /// A `Resume` is already scheduled (dedups wake-ups).
+        woken: bool,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -230,7 +237,9 @@ pub struct System {
     sched: Scheduler<Ev>,
     msg_pool: Vec<Msg>,
     net: Network,
-    threads: Vec<Thread>,
+    /// Per-core front-ends: VM threads, or trace-replay cores sharing a
+    /// sync-ordering board (see [`crate::replay`]).
+    fronts: Fronts,
     cores: Vec<CoreState>,
     l1s: Vec<L1>,
     banks: Vec<Bank>,
@@ -272,6 +281,10 @@ pub struct System {
     /// events, and structurally-blocked cores park until the checker
     /// delivers a message. `None` for normal timed simulation.
     oracle: Option<OracleState>,
+    /// Live trace recording (`dvs-trace`), attached via
+    /// [`System::start_recording`]. Boxed to keep the machine small when
+    /// not recording; `None` costs one branch per hook site.
+    recorder: Option<Box<TraceRecorder>>,
 }
 
 // The campaign layer (`dvs-campaign`) materializes and runs full systems on
@@ -309,8 +322,6 @@ impl System {
             cfg.cores,
             "need exactly one program per core"
         );
-        let layout = layout.into();
-        let mesh = Mesh::square(cfg.cores);
         let root = DetRng::new(cfg.seed);
         let n = cfg.cores;
         let threads: Vec<Thread> = programs
@@ -322,6 +333,42 @@ impl System {
                 t
             })
             .collect();
+        Self::assemble(cfg, layout.into(), Fronts::Vm(threads))
+    }
+
+    /// Builds a system whose cores replay recorded op streams instead of
+    /// executing programs — the `dvs-trace` fast path (see
+    /// [`crate::replay`]). The protocol stack is identical to
+    /// [`System::new`]'s; only the core front-ends differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of streams differs from the configured core
+    /// count.
+    pub fn new_replay(
+        cfg: SystemConfig,
+        layout: impl Into<Arc<MemoryLayout>>,
+        streams: Vec<Arc<Vec<TraceOp>>>,
+    ) -> Self {
+        assert_eq!(
+            streams.len(),
+            cfg.cores,
+            "need exactly one trace stream per core"
+        );
+        let cores = streams.into_iter().map(TraceCore::new).collect();
+        Self::assemble(
+            cfg,
+            layout.into(),
+            Fronts::Trace {
+                cores,
+                board: ReplayBoard::default(),
+            },
+        )
+    }
+
+    fn assemble(cfg: SystemConfig, layout: Arc<MemoryLayout>, fronts: Fronts) -> Self {
+        let mesh = Mesh::square(cfg.cores);
+        let n = cfg.cores;
         let mut l1s: Vec<L1> = (0..n)
             .map(|i| match cfg.protocol {
                 Protocol::Mesi => L1::Mesi(MesiL1::new(i, cfg.l1, n)),
@@ -374,7 +421,7 @@ impl System {
             sched: Scheduler::new(),
             msg_pool: Vec::new(),
             net,
-            threads,
+            fronts,
             cores: (0..n)
                 .map(|_| CoreState {
                     status: Status::Ready,
@@ -399,6 +446,7 @@ impl System {
             in_flight: std::collections::HashSet::new(),
             deliveries: 0,
             oracle: None,
+            recorder: None,
         };
         for i in 0..n {
             sys.sched.schedule_at(0, Ev::Step(i));
@@ -426,7 +474,35 @@ impl System {
     /// participate in region self-invalidation place pools inside the
     /// layout).
     pub fn set_thread_pool(&mut self, core: CoreId, base: Addr, bytes: u64) {
-        self.threads[core].set_alloc_pool(base, bytes);
+        match &mut self.fronts {
+            Fronts::Vm(ts) => ts[core].set_alloc_pool(base, bytes),
+            // Replay cores carry no allocator: recorded `alloc` results are
+            // baked into the op stream's addresses. Accepting (and
+            // ignoring) the call lets one workload driver serve both modes.
+            Fronts::Trace { .. } => {}
+        }
+    }
+
+    /// Attaches a trace recorder capturing this run's per-core op streams
+    /// and final memory image (see [`crate::replay`]). Call before
+    /// [`System::run`]; seal with [`System::take_recording`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a trace-replay system (recording a replay is meaningless).
+    pub fn start_recording(&mut self) {
+        assert!(
+            matches!(self.fronts, Fronts::Vm(_)),
+            "recording requires a VM-driven system"
+        );
+        self.recorder = Some(Box::new(TraceRecorder::new(self.cfg.cores)));
+    }
+
+    /// Detaches and seals the recording started by
+    /// [`System::start_recording`]. `init` is the workload's preloaded
+    /// image, used to pin final values for words read but never written.
+    pub fn take_recording(&mut self, init: &[(Addr, u64)]) -> Option<Recording> {
+        self.recorder.take().map(|r| r.finish(init))
     }
 
     /// Attaches a telemetry sink, cloning the shared handle into every
@@ -486,8 +562,15 @@ impl System {
     }
 
     /// A thread's architectural state (for test assertions after a run).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a trace-replay system (replay cores have no registers).
     pub fn thread(&self, i: CoreId) -> &Thread {
-        &self.threads[i]
+        match &self.fronts {
+            Fronts::Vm(ts) => &ts[i],
+            Fronts::Trace { .. } => panic!("trace-replay systems have no VM threads"),
+        }
     }
 
     /// Runs the simulation to completion.
@@ -1027,6 +1110,16 @@ impl System {
                     core.outstanding_stores
                 ),
                 Status::Dead => format!("core {i}: dead (failed assertion)"),
+                Status::DepWait { woken } => {
+                    let at = match &self.fronts {
+                        Fronts::Trace { cores, .. } => cores[i].position(),
+                        Fronts::Vm(_) => 0,
+                    };
+                    format!(
+                        "core {i}: trace replay parked on recorded sync order \
+                         (op {at}, woken={woken})"
+                    )
+                }
             };
             report.cores.push(line);
         }
@@ -1283,17 +1376,25 @@ impl System {
     }
 
     fn exec_comp(&self, i: CoreId) -> TimeComponent {
-        match self.threads[i].phase() {
-            PhaseChange::Normal => TimeComponent::Compute,
-            PhaseChange::NonSynch => TimeComponent::NonSynch,
-            PhaseChange::BarrierWait => TimeComponent::BarrierStall,
+        match &self.fronts {
+            Fronts::Vm(ts) => match ts[i].phase() {
+                PhaseChange::Normal => TimeComponent::Compute,
+                PhaseChange::NonSynch => TimeComponent::NonSynch,
+                PhaseChange::BarrierWait => TimeComponent::BarrierStall,
+            },
+            // Replay carries no phase annotations; everything local is
+            // compute (per-component breakdowns belong to the recording).
+            Fronts::Trace { .. } => TimeComponent::Compute,
         }
     }
 
     fn stall_comp(&self, i: CoreId) -> TimeComponent {
-        match self.threads[i].phase() {
-            PhaseChange::BarrierWait => TimeComponent::BarrierStall,
-            _ => TimeComponent::MemoryStall,
+        match &self.fronts {
+            Fronts::Vm(ts) => match ts[i].phase() {
+                PhaseChange::BarrierWait => TimeComponent::BarrierStall,
+                _ => TimeComponent::MemoryStall,
+            },
+            Fronts::Trace { .. } => TimeComponent::MemoryStall,
         }
     }
 
@@ -1301,8 +1402,28 @@ impl System {
         debug_assert!(matches!(self.cores[i].status, Status::Ready));
         let mut local: Cycle = 0;
         loop {
-            match self.threads[i].step() {
+            let step = match &mut self.fronts {
+                Fronts::Vm(ts) => TraceStep::Run(ts[i].step()),
+                Fronts::Trace { cores, board } => cores[i].step(board),
+            };
+            let eff = match step {
+                TraceStep::Run(eff) => eff,
+                TraceStep::DepWait => {
+                    // Replay: the next op is gated on the recorded sync
+                    // order. Park; a sync completion on the gating word
+                    // wakes every parked core (wake-on-increment, so the
+                    // oracle drain terminates without polling).
+                    let comp = self.exec_comp(i);
+                    self.attr(i, comp, local);
+                    self.cores[i].status = Status::DepWait { woken: false };
+                    return;
+                }
+            };
+            match eff {
                 Effect::Retired => {
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.retired(i);
+                    }
                     local += 1;
                     if local >= MAX_BATCH {
                         let comp = self.exec_comp(i);
@@ -1329,14 +1450,20 @@ impl System {
                     return;
                 }
                 Effect::Delay { cycles, comp } => {
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.delayed(i, cycles);
+                    }
                     let exec = self.exec_comp(i);
                     self.attr(i, exec, local + 1);
                     // Inside an attribution phase the whole delay belongs to
                     // the phase (dummy compute, barrier wait); otherwise to
                     // the delay's own component (sw backoff, modelled work).
-                    let delay_comp = match self.threads[i].phase() {
-                        PhaseChange::Normal => comp,
-                        _ => exec,
+                    let delay_comp = match &self.fronts {
+                        Fronts::Vm(ts) => match ts[i].phase() {
+                            PhaseChange::Normal => comp,
+                            _ => exec,
+                        },
+                        Fronts::Trace { .. } => comp,
                     };
                     self.attr(i, delay_comp, cycles);
                     self.cores[i].status = Status::DelaySleep;
@@ -1344,6 +1471,9 @@ impl System {
                     return;
                 }
                 Effect::Fence => {
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.fence(i);
+                    }
                     if self.cores[i].outstanding_stores == 0 {
                         local += 1;
                         continue;
@@ -1355,6 +1485,9 @@ impl System {
                     return;
                 }
                 Effect::SelfInvalidate(region) => {
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.self_inv(i, region);
+                    }
                     local += 1;
                     // MESI: self-invalidation instructions are no-ops.
                     if let L1::Dnv(l1) = &mut self.l1s[i] {
@@ -1381,6 +1514,9 @@ impl System {
                     });
                 }
                 Effect::Halted => {
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.halt(i);
+                    }
                     let comp = self.exec_comp(i);
                     self.attr(i, comp, local);
                     self.cores[i].status = Status::Halted;
@@ -1406,6 +1542,9 @@ impl System {
                 }
             }
             Status::DelaySleep => self.step_core(i),
+            // Replay: re-examine the gated op; if the board still blocks
+            // it the core simply re-parks.
+            Status::DepWait { .. } => self.step_core(i),
             Status::PendingFence => {
                 if self.cores[i].outstanding_stores == 0 {
                     self.step_core(i);
@@ -1438,6 +1577,42 @@ impl System {
         }
     }
 
+    /// Routes a blocking-access completion to the core's front-end: VM
+    /// threads take the loaded value into a register; replay cores
+    /// validate it against the recording and advance the sync-ordering
+    /// board, waking parked cores when it moves.
+    fn complete_front(&mut self, i: CoreId, req: &MemRequest, value: u64) {
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.mem_complete(i, req, value);
+        }
+        let advanced = match &mut self.fronts {
+            Fronts::Vm(ts) => {
+                ts[i].complete_load(req.dst, value);
+                Ok(false)
+            }
+            Fronts::Trace { cores, board } => cores[i].complete(value, board),
+        };
+        match advanced {
+            Ok(true) => self.wake_dep_waiters(),
+            Ok(false) => {}
+            Err(msg) => self.violation(format!("core {i}: {msg}")),
+        }
+    }
+
+    /// Replay: schedule a re-examination of every core parked on the
+    /// sync-ordering board. Parked cores that are still gated re-park, so
+    /// spurious wakes are harmless; `woken` dedups the scheduling.
+    fn wake_dep_waiters(&mut self) {
+        for i in 0..self.cores.len() {
+            if let Status::DepWait { woken } = &mut self.cores[i].status {
+                if !*woken {
+                    *woken = true;
+                    self.sched.schedule_in(1, Ev::Resume(i));
+                }
+            }
+        }
+    }
+
     /// Issues a memory request to the core's L1. Returns true if the core
     /// was put back on the ready path (hit / accepted store), false if it
     /// blocked.
@@ -1466,7 +1641,7 @@ impl System {
                     }
                 }
                 self.note_sync_completion(i, &req);
-                self.threads[i].complete_load(req.dst, value.unwrap_or(0));
+                self.complete_front(i, &req, value.unwrap_or(0));
                 let comp = self.exec_comp(i);
                 self.attr(i, comp, self.cfg.latency.l1_hit);
                 self.cores[i].status = Status::Ready;
@@ -1480,6 +1655,9 @@ impl System {
                 false
             }
             IssueResult::StoreAccepted { completed } => {
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    r.store_accepted(i, &req);
+                }
                 if !completed {
                     self.cores[i].outstanding_stores += 1;
                 }
@@ -1593,7 +1771,7 @@ impl System {
             }
         }
         self.note_sync_completion(i, &req);
-        self.threads[i].complete_load(req.dst, value.unwrap_or(0));
+        self.complete_front(i, &req, value.unwrap_or(0));
         self.cores[i].status = Status::Ready;
         self.sched.schedule_in(1, Ev::Step(i));
     }
@@ -1675,6 +1853,39 @@ impl System {
         sys.oracle = Some(OracleState::default());
         sys.oracle_drain();
         sys
+    }
+
+    /// Builds a trace-replay system in **oracle mode**: recorded op
+    /// streams drive the untimed protocol stack, the caller picking
+    /// deliveries as in [`System::new_oracle`]. Unlike the VM oracle
+    /// constructor this does *not* drain eagerly — preload the memory
+    /// image first, then call [`System::oracle_start`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cfg.data_inv` is
+    /// [`DataInvalidation::StaticRegions`] (same restriction as
+    /// [`System::new_oracle`]) or if the stream count differs from the
+    /// core count.
+    pub fn new_oracle_replay(
+        cfg: SystemConfig,
+        layout: impl Into<Arc<MemoryLayout>>,
+        streams: Vec<Arc<Vec<TraceOp>>>,
+    ) -> Self {
+        assert_eq!(
+            cfg.data_inv,
+            DataInvalidation::StaticRegions,
+            "oracle mode requires static-region self-invalidation"
+        );
+        let mut sys = Self::new_replay(cfg, layout, streams);
+        sys.oracle = Some(OracleState::default());
+        sys
+    }
+
+    /// Oracle mode: runs the initial core steps to quiescence. A no-op
+    /// after the first delivery (every [`System::oracle_deliver`] drains).
+    pub fn oracle_start(&mut self) {
+        self.oracle_drain();
     }
 
     /// Oracle mode: runs every scheduled core event (steps, resumes,
@@ -1784,8 +1995,18 @@ impl System {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
         let mut h = DefaultHasher::new();
-        for t in &self.threads {
-            t.hash(&mut h);
+        match &self.fronts {
+            Fronts::Vm(ts) => {
+                for t in ts {
+                    t.hash(&mut h);
+                }
+            }
+            Fronts::Trace { cores, board } => {
+                for c in cores {
+                    c.hash_into(&mut h);
+                }
+                board.hash_into(&mut h);
+            }
         }
         for c in &self.cores {
             match &c.status {
@@ -1808,6 +2029,10 @@ impl System {
                 Status::FenceWait { .. } => h.write_u8(6),
                 Status::Halted => h.write_u8(7),
                 Status::Dead => h.write_u8(8),
+                Status::DepWait { woken } => {
+                    h.write_u8(9);
+                    woken.hash(&mut h);
+                }
             }
             c.outstanding_stores.hash(&mut h);
             c.cs_writes.hash(&mut h);

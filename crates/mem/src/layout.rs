@@ -184,6 +184,39 @@ pub struct MemoryLayout {
 }
 
 impl MemoryLayout {
+    /// Rebuilds a layout from raw parts (e.g. parsed back from a trace
+    /// file). Segments are sorted by base; region indices in segments must
+    /// refer into `region_names`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overlapping segments or a segment naming an undeclared
+    /// region, exactly like [`LayoutBuilder::build`].
+    pub fn from_parts(segments: Vec<Segment>, region_names: Vec<String>) -> Self {
+        let mut segments = segments;
+        segments.sort_by_key(|s| s.base.raw());
+        for pair in segments.windows(2) {
+            assert!(
+                pair[0].base.raw() + pair[0].bytes <= pair[1].base.raw(),
+                "overlapping segments {} and {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+        for s in &segments {
+            assert!(
+                (s.region.0 as usize) < region_names.len(),
+                "segment {} names undeclared region {}",
+                s.name,
+                s.region.0
+            );
+        }
+        MemoryLayout {
+            segments,
+            region_names,
+        }
+    }
+
     /// The region containing `addr`, if any.
     pub fn region_of(&self, addr: Addr) -> Option<Region> {
         let i = self

@@ -253,14 +253,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 println!("no jobs");
             }
             for j in jobs {
+                let wall_ms = j.wall_nanos / 1_000_000;
                 match j.digest {
                     Some(d) => println!(
-                        "job={} kind={} cells={} done digest={d:016x}",
-                        j.id, j.kind, j.cells
+                        "job={} kind={} cells={}/{} failed={} retries={} wall={wall_ms}ms \
+                         done digest={d:016x}",
+                        j.id, j.kind, j.completed, j.cells, j.failed, j.retries
                     ),
                     None => println!(
-                        "job={} kind={} cells={} pending={}",
-                        j.id, j.kind, j.cells, j.pending
+                        "job={} kind={} cells={}/{} failed={} retries={} wall={wall_ms}ms \
+                         pending={}",
+                        j.id, j.kind, j.completed, j.cells, j.failed, j.retries, j.pending
                     ),
                 }
             }

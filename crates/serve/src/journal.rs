@@ -58,6 +58,17 @@ pub enum JournalEvent {
         /// Failure class token (`deterministic`, `exhausted`, `deadline`).
         class: String,
     },
+    /// A transient cell failure is being retried. Progress-only: retries
+    /// never enter the digest, but `status` reports them so a stuck job is
+    /// visible from the journal alone.
+    Retry {
+        /// Owning job.
+        job: u64,
+        /// Cell index within the job.
+        index: usize,
+        /// The attempt that just failed (1-based).
+        attempt: u32,
+    },
     /// Every cell of the job reached a terminal state; `digest` is the
     /// job's final results digest.
     Done {
@@ -94,6 +105,8 @@ pub struct RecoveredJob {
     pub kind: String,
     /// Per-cell terminal outcomes (`None` = still pending).
     pub outcomes: Vec<Option<CellOutcome>>,
+    /// Retry attempts journaled for this job (all cells, all runs).
+    pub retries: u64,
     /// The final digest, once every cell was terminal.
     pub done: Option<u64>,
 }
@@ -107,6 +120,18 @@ impl RecoveredJob {
             .filter(|(_, o)| o.is_none())
             .map(|(i, _)| i)
             .collect()
+    }
+
+    /// Total compute wall-clock journaled for completed cells, in
+    /// nanoseconds (cache hits contribute zero).
+    pub fn wall_nanos(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Some(CellOutcome::Ok { wall_nanos, .. }) => Some(*wall_nanos),
+                _ => None,
+            })
+            .sum()
     }
 }
 
@@ -135,6 +160,11 @@ fn render(event: &JournalEvent) -> String {
         JournalEvent::CellErr { job, index, class } => {
             format!("cell {job} {index} err {}", sanitize(class))
         }
+        JournalEvent::Retry {
+            job,
+            index,
+            attempt,
+        } => format!("retry {job} {index} {attempt}"),
         JournalEvent::Done { job, digest } => format!("done {job} {digest:016x}"),
     };
     format!("{body} #{:08x}\n", checksum(&body))
@@ -196,6 +226,16 @@ fn parse_line(line: &str) -> Result<JournalEvent, String> {
                 }),
                 other => Err(format!("bad cell verdict {other:?}: {line:?}")),
             }
+        }
+        "retry" => {
+            let job = num("job id")?;
+            let index = num("cell index")? as usize;
+            let attempt = num("attempt")? as u32;
+            Ok(JournalEvent::Retry {
+                job,
+                index,
+                attempt,
+            })
         }
         "done" => {
             let job = num("job id")?;
@@ -276,6 +316,7 @@ fn apply(jobs: &mut Vec<RecoveredJob>, event: JournalEvent) {
             id,
             kind,
             outcomes: vec![None; cells],
+            retries: 0,
             done: None,
         }),
         JournalEvent::CellOk {
@@ -298,6 +339,11 @@ fn apply(jobs: &mut Vec<RecoveredJob>, event: JournalEvent) {
                 if let Some(slot) = j.outcomes.get_mut(index) {
                     *slot = Some(CellOutcome::Err { class });
                 }
+            }
+        }
+        JournalEvent::Retry { job, .. } => {
+            if let Some(j) = jobs.iter_mut().find(|j| j.id == job) {
+                j.retries += 1;
             }
         }
         JournalEvent::Done { job, digest } => {
@@ -415,6 +461,35 @@ mod tests {
         let (_, recovered) = Journal::open(&path, false).expect("reopen");
         let job = &recovered[0];
         assert_eq!(job.outcomes, vec![None, None, None], "replay stopped early");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn retries_and_wall_recover_from_the_journal() {
+        let path = tmp("retry");
+        {
+            let (mut j, _) = Journal::open(&path, false).expect("open");
+            for e in events() {
+                j.append(&e).expect("append");
+            }
+            j.append(&JournalEvent::Retry {
+                job: 1,
+                index: 1,
+                attempt: 1,
+            })
+            .expect("append");
+            j.append(&JournalEvent::Retry {
+                job: 1,
+                index: 1,
+                attempt: 2,
+            })
+            .expect("append");
+        }
+        let (_, recovered) = Journal::open(&path, false).expect("reopen");
+        let job = &recovered[0];
+        assert_eq!(job.retries, 2);
+        assert_eq!(job.wall_nanos(), 1_000, "only ok cells contribute wall");
+        assert_eq!(job.pending(), vec![1], "retries are not terminal");
         let _ = fs::remove_file(&path);
     }
 

@@ -135,7 +135,8 @@ pub struct JobReport {
     pub wall_nanos: u64,
 }
 
-/// One job's standing, for `status`.
+/// One job's standing, for `status` — recovered entirely from the journal,
+/// so it is accurate even for jobs another (crashed) process ran.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobStatus {
     /// The job.
@@ -144,8 +145,16 @@ pub struct JobStatus {
     pub kind: String,
     /// Total cells.
     pub cells: usize,
+    /// Cells with a terminal outcome.
+    pub completed: usize,
     /// Cells with no terminal outcome yet.
     pub pending: usize,
+    /// Cells that ended in a terminal failure.
+    pub failed: usize,
+    /// Retry attempts journaled across all the job's cells and runs.
+    pub retries: u64,
+    /// Compute wall-clock journaled for completed cells, in nanoseconds.
+    pub wall_nanos: u64,
     /// Final digest once finished.
     pub digest: Option<u64>,
 }
@@ -293,6 +302,7 @@ impl Serve {
             id,
             kind,
             outcomes: vec![None; cells.len()],
+            retries: 0,
             done: None,
         });
         Ok(id)
@@ -346,6 +356,8 @@ impl Serve {
         for (index, outcome) in fresh {
             self.jobs[pos].outcomes[index] = Some(outcome);
         }
+        let after_retries = self.counters.snapshot().retry;
+        self.jobs[pos].retries += after_retries - before.retry;
         let digest = fold_digest(&self.jobs[pos].outcomes);
         if self.jobs[pos].done != Some(digest) {
             if let Err(e) = self
@@ -440,6 +452,17 @@ impl Serve {
                         && attempt < self.config.retry.max_attempts
                     {
                         self.counters.retry.fetch_add(1, Ordering::Relaxed);
+                        // Progress-only fact: lost appends degrade status
+                        // accuracy, never the digest.
+                        if let Err(e) = self.journal.lock().expect("journal lock").append(
+                            &JournalEvent::Retry {
+                                job,
+                                index,
+                                attempt,
+                            },
+                        ) {
+                            eprintln!("dvs-serve: retry record lost ({e})");
+                        }
                         std::thread::sleep(self.config.retry.delay(attempt, key));
                         attempt += 1;
                         continue;
@@ -507,12 +530,24 @@ impl Serve {
     pub fn status(&self) -> Vec<JobStatus> {
         self.jobs
             .iter()
-            .map(|j| JobStatus {
-                id: j.id,
-                kind: j.kind.clone(),
-                cells: j.outcomes.len(),
-                pending: j.pending().len(),
-                digest: j.done,
+            .map(|j| {
+                let pending = j.pending().len();
+                let failed = j
+                    .outcomes
+                    .iter()
+                    .filter(|o| matches!(o, Some(CellOutcome::Err { .. })))
+                    .count();
+                JobStatus {
+                    id: j.id,
+                    kind: j.kind.clone(),
+                    cells: j.outcomes.len(),
+                    completed: j.outcomes.len() - pending,
+                    pending,
+                    failed,
+                    retries: j.retries,
+                    wall_nanos: j.wall_nanos(),
+                    digest: j.done,
+                }
             })
             .collect()
     }

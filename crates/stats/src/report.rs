@@ -346,11 +346,23 @@ pub fn host_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// Peak resident-set size of this process in bytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` where procfs is unavailable — the
+/// caller omits the field rather than guessing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 /// The one emitter behind every `BENCH_*.json` file. Each bench used to
 /// hand-assemble its own root object; this wraps [`JsonObject`] with the
-/// shared envelope — `bench` name, `schema_version`, `host_parallelism`, and
-/// a caller-supplied timestamp — so all artifacts agree on those fields and
-/// the payload stays bench-specific.
+/// shared envelope — `bench` name, `schema_version`, `host_parallelism`,
+/// `peak_rss_bytes` (when procfs is available), and a caller-supplied
+/// timestamp — so all artifacts agree on those fields and the payload stays
+/// bench-specific. Peak RSS is sampled at assembly time, which benches do
+/// last, so it reflects the run's high-water mark.
 ///
 /// The timestamp is passed in (not read from the clock here) so artifact
 /// assembly itself stays deterministic and testable; pass `""` to omit it.
@@ -379,6 +391,9 @@ impl BenchArtifact {
         body.str("bench", name)
             .u64("schema_version", BENCH_SCHEMA_VERSION)
             .u64("host_parallelism", host_parallelism() as u64);
+        if let Some(rss) = peak_rss_bytes() {
+            body.u64("peak_rss_bytes", rss);
+        }
         if !timestamp.is_empty() {
             body.str("timestamp", timestamp);
         }
@@ -575,6 +590,17 @@ mod tests {
         let s = a.render();
         assert!(s.contains("\"telemetry\": {"));
         assert!(s.contains("\"events\": 42"));
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_and_in_the_envelope() {
+        // procfs hosts (the CI image is Linux) must report a nonzero peak
+        // that covers at least the binary's own footprint.
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(rss > 1 << 20, "peak RSS {rss} implausibly small");
+            let s = BenchArtifact::new("x", "").render();
+            assert!(s.contains("\"peak_rss_bytes\""));
+        }
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Composite multi-phase VM programs: pipeline → barrier → lock-free
+//! handoff in one workload.
+//!
+//! This is the composite-app layer's VM-side half: a single program per
+//! core that chains three qualitatively different synchronization phases,
+//! with tunable ALU "think time" between sync points. Dense local compute
+//! makes it the honest baseline for measuring replay speedup — the VM
+//! pays per-instruction stepping for every ALU op, replay collapses each
+//! gap into one `Exec` record.
+//!
+//! Phases (all cores participate):
+//!
+//! 1. **Ring pipeline** — a token circulates core 0 → 1 → … → n−1 → 0 for
+//!    `items` rounds; each hop is a sync store consumed by an exact-value
+//!    spin.
+//! 2. **Central barrier** — fetch-and-increment plus a spin on the full
+//!    count.
+//! 3. **Lock-free handoff** — cores pair up (2p, 2p+1): the producer data-
+//!    stores an item, fences, and publishes a sync flag; the consumer
+//!    spins on the flag (≥, the paper's arbitrary-sync shape), loads the
+//!    item, and asserts its value in-program.
+
+use dvs_kernels::Workload;
+use dvs_mem::{Addr, LayoutBuilder, WORD_BYTES};
+use dvs_vm::isa::{Cond, Reg};
+use dvs_vm::{Asm, Program};
+
+/// Registers: keep clear of Reg(0) (conventionally zero elsewhere).
+const R_ADDR: Reg = Reg(1);
+const R_K: Reg = Reg(2);
+const R_ITEMS: Reg = Reg(3);
+const R_ACC: Reg = Reg(4);
+const R_WORK: Reg = Reg(5);
+const R_ONE: Reg = Reg(6);
+const R_VAL: Reg = Reg(7);
+const R_RHS: Reg = Reg(8);
+const R_OFF: Reg = Reg(9);
+const R_GOT: Reg = Reg(10);
+const R_ZERO: Reg = Reg(11);
+
+/// Emits `work` iterations of a 3-instruction ALU loop.
+fn alu_work(a: &mut Asm, work: u64) {
+    if work == 0 {
+        return;
+    }
+    a.movi(R_WORK, work);
+    let top = a.here();
+    let done = a.label();
+    a.beq(R_WORK, R_ZERO, done);
+    a.addi(R_ACC, R_ACC, 3);
+    a.addi(R_WORK, R_WORK, -1);
+    a.jmp(top);
+    a.bind(done);
+}
+
+/// Builds the three-phase composite workload for `threads` cores.
+/// `items` is the per-phase item count, `work` the ALU iterations between
+/// sync points.
+///
+/// # Panics
+///
+/// Panics if `threads < 2`.
+pub fn composite(threads: usize, items: u64, work: u64) -> Workload {
+    assert!(threads >= 2, "composite needs at least two cores");
+    let n = threads;
+    let pairs = n / 2;
+    let mut b = LayoutBuilder::new();
+    let sync = b.region("sync");
+    let data_r = b.region("data");
+    let slots: Vec<Addr> = (0..n)
+        .map(|i| b.sync_var(&format!("slot{i}"), sync, true))
+        .collect();
+    let bar = b.sync_var("bar", sync, true);
+    let flags: Vec<Addr> = (0..pairs)
+        .map(|p| b.sync_var(&format!("flag{p}"), sync, true))
+        .collect();
+    let data = b.segment("data", (pairs as u64 * items).max(1) * WORD_BYTES, data_r);
+    let layout = b.build();
+
+    let programs: Vec<Program> = (0..n)
+        .map(|i| {
+            let mut a = Asm::new(&format!("composite{i}"));
+            a.movi(R_ZERO, 0);
+            a.movi(R_ONE, 1);
+            a.movi(R_ITEMS, items);
+            a.movi(R_ACC, 0);
+
+            // Phase 1: ring pipeline.
+            a.movi(R_K, 0);
+            let ring_top = a.here();
+            let ring_done = a.label();
+            a.addi(R_K, R_K, 1);
+            a.blt(R_ITEMS, R_K, ring_done);
+            if i == 0 {
+                alu_work(&mut a, work);
+                a.movi(R_ADDR, slots[1 % n].raw());
+                a.stores(R_K, R_ADDR, 0);
+                a.movi(R_ADDR, slots[0].raw());
+                a.spin_until(R_VAL, R_ADDR, 0, Cond::Eq, R_K);
+            } else {
+                a.movi(R_ADDR, slots[i].raw());
+                a.spin_until(R_VAL, R_ADDR, 0, Cond::Eq, R_K);
+                alu_work(&mut a, work);
+                a.movi(R_ADDR, slots[(i + 1) % n].raw());
+                a.stores(R_K, R_ADDR, 0);
+            }
+            a.jmp(ring_top);
+            a.bind(ring_done);
+
+            // Phase 2: central barrier.
+            a.movi(R_ADDR, bar.raw());
+            a.fai(R_VAL, R_ADDR, 0, R_ONE);
+            a.movi(R_RHS, n as u64);
+            a.spin_until(R_VAL, R_ADDR, 0, Cond::Ge, R_RHS);
+
+            // Phase 3: paired lock-free handoff (an unpaired last core
+            // skips straight to halt).
+            let p = i / 2;
+            if p < pairs {
+                let base = data.raw() + p as u64 * items * WORD_BYTES;
+                a.movi(R_K, 0);
+                let h_top = a.here();
+                let h_done = a.label();
+                a.addi(R_K, R_K, 1);
+                a.blt(R_ITEMS, R_K, h_done);
+                // item value = 3k + p
+                a.movi(R_RHS, 3);
+                a.mul(R_VAL, R_K, R_RHS);
+                a.movi(R_RHS, p as u64);
+                a.add(R_VAL, R_VAL, R_RHS);
+                // item address = base + (k-1)*8
+                a.addi(R_OFF, R_K, -1);
+                a.movi(R_RHS, WORD_BYTES);
+                a.mul(R_OFF, R_OFF, R_RHS);
+                a.movi(R_ADDR, base);
+                a.add(R_ADDR, R_ADDR, R_OFF);
+                if i % 2 == 0 {
+                    // Producer: data store, fence, publish.
+                    a.store(R_VAL, R_ADDR, 0);
+                    alu_work(&mut a, work);
+                    a.fence();
+                    a.movi(R_ADDR, flags[p].raw());
+                    a.stores(R_K, R_ADDR, 0);
+                } else {
+                    // Consumer: acquire, load, verify in-program.
+                    a.movi(R_ADDR, flags[p].raw());
+                    a.spin_until(R_GOT, R_ADDR, 0, Cond::Ge, R_K);
+                    a.movi(R_ADDR, base);
+                    a.add(R_ADDR, R_ADDR, R_OFF);
+                    a.load(R_GOT, R_ADDR, 0);
+                    a.assert_cond(Cond::Eq, R_GOT, R_VAL, "handoff item corrupted");
+                    alu_work(&mut a, work);
+                }
+                a.jmp(h_top);
+                a.bind(h_done);
+            }
+            a.halt();
+            a.build()
+        })
+        .collect();
+
+    let slots_c = slots.clone();
+    let flags_c = flags.clone();
+    let check = move |read: &dyn Fn(Addr) -> u64| -> Result<(), String> {
+        for (j, &s) in slots_c.iter().enumerate() {
+            let got = read(s);
+            if got != items {
+                return Err(format!("slot{j} = {got}, expected {items}"));
+            }
+        }
+        let got = read(bar);
+        if got != n as u64 {
+            return Err(format!("barrier count = {got}, expected {n}"));
+        }
+        for (p, &f) in flags_c.iter().enumerate() {
+            let got = read(f);
+            if got != items {
+                return Err(format!("flag{p} = {got}, expected {items}"));
+            }
+            for k in 1..=items {
+                let a =
+                    Addr::new(data.raw() + p as u64 * items * WORD_BYTES + (k - 1) * WORD_BYTES);
+                let got = read(a);
+                let want = 3 * k + p as u64;
+                if got != want {
+                    return Err(format!("data[{p}][{k}] = {got}, expected {want}"));
+                }
+            }
+        }
+        Ok(())
+    };
+    Workload::new(layout, programs, Vec::new(), Vec::new(), Box::new(check))
+}

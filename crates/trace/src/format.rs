@@ -1,0 +1,482 @@
+//! The versioned, line-oriented `.dvst` trace format.
+//!
+//! A trace file is self-contained: it carries the memory layout (regions
+//! and segments), the preloaded image, the per-core op streams, and the
+//! pinned *final* image of every word the recorded run touched. Replay on
+//! any protocol validates against the finals, and
+//! [`Trace::fingerprint`] folds them into one pinned number.
+//!
+//! Like `.dvsf`, the format is plain text, one record per line, designed
+//! to diff well and survive hand edits in a corpus:
+//!
+//! ```text
+//! dvst 1
+//! name tatas_counter
+//! on DS
+//! cores 4
+//! region 0 sync
+//! seg 0 64 0 counter
+//! init 0 6
+//! final 0 18
+//! core 0 5
+//! ex 42
+//! rmw 0 fai 1 0 0 6
+//! fence
+//! halt
+//! ...
+//! ```
+//!
+//! Addresses and values are hex (no `0x` prefix); counts and ordinals are
+//! decimal. Segment and region names come last on their lines so they may
+//! contain spaces.
+
+use dvs_core::replay::TraceOp;
+use dvs_mem::{AccessKind, Addr, MemoryLayout, Region, RmwOp, Segment, WordAddr};
+use dvs_vm::isa::Cond;
+use dvs_vm::{MemRequest, SpinCond};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Format version emitted and accepted by this build.
+pub const DVST_VERSION: u32 = 1;
+
+/// FNV-1a offset basis (matches `dvs_campaign::FNV_OFFSET`).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A sealed, replayable trace: layout, preloaded image, per-core op
+/// streams, and the recorded run's pinned final image.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Short identifier (no newlines).
+    pub name: String,
+    /// Protocol label the trace was recorded on (informational only — a
+    /// trace replays on any protocol).
+    pub recorded_on: String,
+    /// The memory layout the workload was built against (regions drive
+    /// DeNovo self-invalidation during replay).
+    pub layout: Arc<MemoryLayout>,
+    /// Words preloaded before the run, in workload order.
+    pub init: Vec<(Addr, u64)>,
+    /// `(word, value)` for every word the recorded run touched, sorted by
+    /// address — the pinned stable state replay must reproduce.
+    pub finals: Vec<(WordAddr, u64)>,
+    /// One ordered op stream per core.
+    pub ops: Vec<Arc<Vec<TraceOp>>>,
+}
+
+impl Trace {
+    /// Number of cores the trace drives.
+    pub fn cores(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total recorded ops across all cores.
+    pub fn total_ops(&self) -> usize {
+        self.ops.iter().map(|s| s.len()).sum()
+    }
+
+    /// The pinned stable-state fingerprint: FNV-1a over the sorted final
+    /// image. Protocol- and schedule-independent by construction.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &(w, v) in &self.finals {
+            h = fnv1a_u64(h, w.base().raw());
+            h = fnv1a_u64(h, v);
+        }
+        h
+    }
+
+    /// Renders the trace as `.dvst` text. [`Trace::parse`] inverts it.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "dvst {DVST_VERSION}");
+        let _ = writeln!(s, "name {}", self.name);
+        let _ = writeln!(s, "on {}", self.recorded_on);
+        let _ = writeln!(s, "cores {}", self.ops.len());
+        for r in 0..self.layout.regions() {
+            let name = self.layout.region_name(Region(r as u16)).unwrap_or("?");
+            let _ = writeln!(s, "region {r} {name}");
+        }
+        for seg in self.layout.segments() {
+            let _ = writeln!(
+                s,
+                "seg {:x} {} {} {}",
+                seg.base.raw(),
+                seg.bytes,
+                seg.region.0,
+                seg.name
+            );
+        }
+        for &(a, v) in &self.init {
+            let _ = writeln!(s, "init {:x} {v:x}", a.raw());
+        }
+        for &(w, v) in &self.finals {
+            let _ = writeln!(s, "final {:x} {v:x}", w.base().raw());
+        }
+        for (i, ops) in self.ops.iter().enumerate() {
+            let _ = writeln!(s, "core {i} {}", ops.len());
+            for op in ops.iter() {
+                render_op(&mut s, op);
+            }
+        }
+        s
+    }
+
+    /// Parses `.dvst` text produced by [`Trace::render`] (or hand-written
+    /// in the same shape).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first offending line.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, first) = lines.next().ok_or("empty trace")?;
+        let version: u32 = first
+            .strip_prefix("dvst ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("line 1: expected `dvst <version>`, got `{first}`"))?;
+        if version != DVST_VERSION {
+            return Err(format!("unsupported dvst version {version}"));
+        }
+        let mut name = String::new();
+        let mut recorded_on = String::new();
+        let mut cores: Option<usize> = None;
+        let mut region_names: Vec<String> = Vec::new();
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut init = Vec::new();
+        let mut finals = Vec::new();
+        let mut ops: Vec<Vec<TraceOp>> = Vec::new();
+        let mut current: Option<(usize, usize)> = None; // (core, remaining)
+        for (ln, line) in lines {
+            let ln = ln + 1; // 1-based
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |m: String| format!("line {ln}: {m}");
+            if let Some((core, left)) = &mut current {
+                if *left > 0 {
+                    let op = parse_op(line).map_err(&err)?;
+                    ops[*core].push(op);
+                    *left -= 1;
+                    continue;
+                }
+                current = None;
+            }
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "name" => name = rest.to_owned(),
+                "on" => recorded_on = rest.to_owned(),
+                "cores" => {
+                    let n: usize = rest
+                        .parse()
+                        .map_err(|_| err(format!("bad core count `{rest}`")))?;
+                    cores = Some(n);
+                    ops = vec![Vec::new(); n];
+                }
+                "region" => {
+                    let (idx, rname) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| err("expected `region <idx> <name>`".into()))?;
+                    let idx: usize = idx
+                        .parse()
+                        .map_err(|_| err(format!("bad region index `{idx}`")))?;
+                    if idx != region_names.len() {
+                        return Err(err(format!(
+                            "region {idx} out of order (expected {})",
+                            region_names.len()
+                        )));
+                    }
+                    region_names.push(rname.to_owned());
+                }
+                "seg" => {
+                    let mut it = rest.splitn(4, ' ');
+                    let base = parse_hex(it.next().unwrap_or("")).map_err(&err)?;
+                    let bytes: u64 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("bad segment size".into()))?;
+                    let region: u16 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("bad segment region".into()))?;
+                    let sname = it
+                        .next()
+                        .ok_or_else(|| err("missing segment name".into()))?;
+                    segments.push(Segment {
+                        name: sname.to_owned(),
+                        base: Addr::new(base),
+                        bytes,
+                        region: Region(region),
+                    });
+                }
+                "init" => {
+                    let (a, v) = parse_pair_hex(rest).map_err(&err)?;
+                    init.push((Addr::new(a), v));
+                }
+                "final" => {
+                    let (a, v) = parse_pair_hex(rest).map_err(&err)?;
+                    finals.push((Addr::new(a).word(), v));
+                }
+                "core" => {
+                    let (idx, n) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| err("expected `core <idx> <nops>`".into()))?;
+                    let idx: usize = idx
+                        .parse()
+                        .map_err(|_| err(format!("bad core index `{idx}`")))?;
+                    let n: usize = n.parse().map_err(|_| err(format!("bad op count `{n}`")))?;
+                    if idx >= ops.len() {
+                        return Err(err(format!("core {idx} beyond declared count")));
+                    }
+                    current = Some((idx, n));
+                }
+                other => return Err(err(format!("unknown record `{other}`"))),
+            }
+        }
+        if let Some((core, left)) = current {
+            if left > 0 {
+                return Err(format!("core {core}: {left} ops missing at end of file"));
+            }
+        }
+        let cores = cores.ok_or("missing `cores` record")?;
+        if ops.len() != cores {
+            return Err(format!("declared {cores} cores, found {}", ops.len()));
+        }
+        Ok(Trace {
+            name,
+            recorded_on,
+            layout: Arc::new(MemoryLayout::from_parts(segments, region_names)),
+            init,
+            finals,
+            ops: ops.into_iter().map(Arc::new).collect(),
+        })
+    }
+}
+
+fn cond_token(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "eq",
+        Cond::Ne => "ne",
+        Cond::Lt => "lt",
+        Cond::Ge => "ge",
+    }
+}
+
+fn parse_cond(s: &str) -> Result<Cond, String> {
+    match s {
+        "eq" => Ok(Cond::Eq),
+        "ne" => Ok(Cond::Ne),
+        "lt" => Ok(Cond::Lt),
+        "ge" => Ok(Cond::Ge),
+        other => Err(format!("unknown spin condition `{other}`")),
+    }
+}
+
+fn render_op(s: &mut String, op: &TraceOp) {
+    match *op {
+        TraceOp::Exec { cycles } => {
+            let _ = writeln!(s, "ex {cycles}");
+        }
+        TraceOp::Fence => {
+            let _ = writeln!(s, "fence");
+        }
+        TraceOp::SelfInv(r) => {
+            let _ = writeln!(s, "inv {}", r.0);
+        }
+        TraceOp::Halt => {
+            let _ = writeln!(s, "halt");
+        }
+        TraceOp::Mem {
+            req,
+            dep,
+            rwait,
+            result,
+        } => {
+            let a = req.addr.raw();
+            match (req.kind, req.spin) {
+                (AccessKind::DataLoad, _) => {
+                    let _ = writeln!(s, "ld {a:x}");
+                }
+                (AccessKind::DataStore { value }, _) => {
+                    let _ = writeln!(s, "st {a:x} {value:x}");
+                }
+                (AccessKind::SyncLoad, None) => {
+                    let _ = writeln!(s, "lds {a:x} {dep} {}", hex_opt(result));
+                }
+                (AccessKind::SyncLoad, Some(spin)) => {
+                    let _ = writeln!(
+                        s,
+                        "sp {a:x} {} {:x} {dep} {}",
+                        cond_token(spin.cond),
+                        spin.rhs,
+                        hex_opt(result)
+                    );
+                }
+                (AccessKind::SyncStore { value }, _) => {
+                    let _ = writeln!(s, "sts {a:x} {value:x} {dep} {rwait}");
+                }
+                (AccessKind::SyncRmw(op), _) => {
+                    let body = match op {
+                        RmwOp::Cas { expected, new } => format!("cas {expected:x} {new:x}"),
+                        RmwOp::Fai { delta } => format!("fai {delta:x}"),
+                        RmwOp::Swap { new } => format!("swap {new:x}"),
+                        RmwOp::Tas => "tas".to_owned(),
+                    };
+                    let _ = writeln!(s, "rmw {a:x} {body} {dep} {rwait} {}", hex_opt(result));
+                }
+            }
+        }
+    }
+}
+
+fn hex_opt(v: Option<u64>) -> String {
+    match v {
+        Some(v) => format!("{v:x}"),
+        None => "-".to_owned(),
+    }
+}
+
+fn parse_hex(s: &str) -> Result<u64, String> {
+    u64::from_str_radix(s, 16).map_err(|_| format!("bad hex value `{s}`"))
+}
+
+fn parse_hex_opt(s: &str) -> Result<Option<u64>, String> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        parse_hex(s).map(Some)
+    }
+}
+
+fn parse_pair_hex(rest: &str) -> Result<(u64, u64), String> {
+    let (a, v) = rest
+        .split_once(' ')
+        .ok_or_else(|| format!("expected `<addr> <value>`, got `{rest}`"))?;
+    Ok((parse_hex(a)?, parse_hex(v)?))
+}
+
+fn mem(addr: u64, kind: AccessKind, spin: Option<SpinCond>) -> MemRequest {
+    MemRequest {
+        addr: Addr::new(addr),
+        kind,
+        dst: None,
+        spin,
+    }
+}
+
+fn parse_op(line: &str) -> Result<TraceOp, String> {
+    let mut it = line.split(' ');
+    let key = it.next().unwrap_or("");
+    let mut next = |what: &str| {
+        it.next()
+            .ok_or_else(|| format!("`{key}`: missing {what}"))
+            .map(|s| s.to_owned())
+    };
+    let op = match key {
+        "ex" => TraceOp::Exec {
+            cycles: next("cycle count")?
+                .parse()
+                .map_err(|_| "bad cycle count".to_owned())?,
+        },
+        "fence" => TraceOp::Fence,
+        "inv" => TraceOp::SelfInv(Region(
+            next("region")?
+                .parse()
+                .map_err(|_| "bad region index".to_owned())?,
+        )),
+        "halt" => TraceOp::Halt,
+        "ld" => TraceOp::Mem {
+            req: mem(parse_hex(&next("address")?)?, AccessKind::DataLoad, None),
+            dep: 0,
+            rwait: 0,
+            result: None,
+        },
+        "st" => {
+            let a = parse_hex(&next("address")?)?;
+            let value = parse_hex(&next("value")?)?;
+            TraceOp::Mem {
+                req: mem(a, AccessKind::DataStore { value }, None),
+                dep: 0,
+                rwait: 0,
+                result: None,
+            }
+        }
+        "lds" => {
+            let a = parse_hex(&next("address")?)?;
+            let dep = next("dep")?.parse().map_err(|_| "bad dep".to_owned())?;
+            let result = parse_hex_opt(&next("result")?)?;
+            TraceOp::Mem {
+                req: mem(a, AccessKind::SyncLoad, None),
+                dep,
+                rwait: 0,
+                result,
+            }
+        }
+        "sp" => {
+            let a = parse_hex(&next("address")?)?;
+            let cond = parse_cond(&next("condition")?)?;
+            let rhs = parse_hex(&next("rhs")?)?;
+            let dep = next("dep")?.parse().map_err(|_| "bad dep".to_owned())?;
+            let result = parse_hex_opt(&next("result")?)?;
+            TraceOp::Mem {
+                req: mem(a, AccessKind::SyncLoad, Some(SpinCond { cond, rhs })),
+                dep,
+                rwait: 0,
+                result,
+            }
+        }
+        "sts" => {
+            let a = parse_hex(&next("address")?)?;
+            let value = parse_hex(&next("value")?)?;
+            let dep = next("dep")?.parse().map_err(|_| "bad dep".to_owned())?;
+            let rwait = next("rwait")?.parse().map_err(|_| "bad rwait".to_owned())?;
+            TraceOp::Mem {
+                req: mem(a, AccessKind::SyncStore { value }, None),
+                dep,
+                rwait,
+                result: None,
+            }
+        }
+        "rmw" => {
+            let a = parse_hex(&next("address")?)?;
+            let op = match next("rmw kind")?.as_str() {
+                "cas" => RmwOp::Cas {
+                    expected: parse_hex(&next("expected")?)?,
+                    new: parse_hex(&next("new")?)?,
+                },
+                "fai" => RmwOp::Fai {
+                    delta: parse_hex(&next("delta")?)?,
+                },
+                "swap" => RmwOp::Swap {
+                    new: parse_hex(&next("new")?)?,
+                },
+                "tas" => RmwOp::Tas,
+                other => return Err(format!("unknown rmw kind `{other}`")),
+            };
+            let dep = next("dep")?.parse().map_err(|_| "bad dep".to_owned())?;
+            let rwait = next("rwait")?.parse().map_err(|_| "bad rwait".to_owned())?;
+            let result = parse_hex_opt(&next("result")?)?;
+            TraceOp::Mem {
+                req: mem(a, AccessKind::SyncRmw(op), None),
+                dep,
+                rwait,
+                result,
+            }
+        }
+        other => return Err(format!("unknown op `{other}`")),
+    };
+    if it.next().is_some() {
+        return Err(format!("`{key}`: trailing fields"));
+    }
+    Ok(op)
+}

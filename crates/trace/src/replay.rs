@@ -1,0 +1,149 @@
+//! Replay: drive a [`Trace`] through the timed or oracle protocol stack
+//! and validate the replayed stable state against the recording.
+
+use crate::format::Trace;
+use crate::record::TraceError;
+use dvs_core::config::DataInvalidation;
+use dvs_core::replay::{compress_ops, TraceOp};
+use dvs_core::{System, SystemConfig};
+use dvs_engine::DetRng;
+use dvs_stats::RunStats;
+use std::sync::Arc;
+
+/// How faithfully to reproduce recorded think-time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Reproduce recorded `Exec` gaps exactly: replayed cycle counts are
+    /// comparable across protocols.
+    Faithful,
+    /// Cap `Exec` gaps at [`COMPRESS_CAP`] cycles: same op order, same
+    /// final image, protocol-bound throughput. Use for raw-speed work.
+    Compressed,
+}
+
+/// `Exec` cap used by [`ReplayMode::Compressed`].
+pub const COMPRESS_CAP: u64 = 8;
+
+/// Default delivery budget for oracle-mode replay walks.
+pub const ORACLE_DELIVERY_BUDGET: u64 = 2_000_000;
+
+fn streams(trace: &Trace, mode: ReplayMode) -> Vec<Arc<Vec<TraceOp>>> {
+    match mode {
+        ReplayMode::Faithful => trace.ops.clone(),
+        ReplayMode::Compressed => trace
+            .ops
+            .iter()
+            .map(|s| Arc::new(compress_ops(s, COMPRESS_CAP)))
+            .collect(),
+    }
+}
+
+fn check_cores(trace: &Trace, cfg: &SystemConfig) -> Result<(), TraceError> {
+    if trace.cores() != cfg.cores {
+        return Err(TraceError::Validate(format!(
+            "trace drives {} cores but the config has {}",
+            trace.cores(),
+            cfg.cores
+        )));
+    }
+    Ok(())
+}
+
+fn validate_finals(sys: &System, trace: &Trace) -> Result<(), TraceError> {
+    for &(w, want) in &trace.finals {
+        let got = sys.read_word(w.base());
+        if got != want {
+            return Err(TraceError::Validate(format!(
+                "final state diverged at {:#x}: replay has {got:#x}, recording pinned {want:#x}",
+                w.base().raw()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Replays `trace` on the timed simulator under `cfg`, validating every
+/// sync value in flight (in-system) and the full final image afterwards.
+///
+/// # Errors
+///
+/// [`TraceError::Sim`] on simulator failures (including in-flight value
+/// divergence, surfaced as protocol violations),
+/// [`TraceError::Validate`] on final-state divergence or a core-count
+/// mismatch.
+pub fn replay_timed(
+    trace: &Trace,
+    cfg: SystemConfig,
+    mode: ReplayMode,
+) -> Result<RunStats, TraceError> {
+    check_cores(trace, &cfg)?;
+    let mut sys = System::new_replay(cfg, Arc::clone(&trace.layout), streams(trace, mode));
+    for &(addr, value) in &trace.init {
+        sys.preload(addr, value);
+    }
+    let stats = sys.run().map_err(TraceError::Sim)?;
+    sys.verify_coherence().map_err(TraceError::Check)?;
+    validate_finals(&sys, trace)?;
+    Ok(stats)
+}
+
+/// Replays `trace` through the untimed oracle stack: a seeded random walk
+/// over the enabled channels picks delivery orders no timed schedule
+/// would produce. Returns the number of deliveries consumed.
+///
+/// `cfg.data_inv` is forced to static regions (the oracle-mode
+/// requirement).
+///
+/// # Errors
+///
+/// As [`replay_timed`], plus [`TraceError::Validate`] when the walk
+/// exceeds `budget` deliveries or quiesces without halting every core.
+pub fn replay_oracle(
+    trace: &Trace,
+    mut cfg: SystemConfig,
+    walk_seed: u64,
+    budget: u64,
+) -> Result<u64, TraceError> {
+    cfg.data_inv = DataInvalidation::StaticRegions;
+    check_cores(trace, &cfg)?;
+    let mut sys = System::new_oracle_replay(
+        cfg,
+        Arc::clone(&trace.layout),
+        streams(trace, ReplayMode::Compressed),
+    );
+    for &(addr, value) in &trace.init {
+        sys.preload(addr, value);
+    }
+    sys.oracle_start();
+    let mut rng = DetRng::new(walk_seed);
+    let mut delivered = 0u64;
+    loop {
+        if let Some(e) = sys.error() {
+            return Err(TraceError::Sim(e.clone()));
+        }
+        let channels = sys.oracle_channels();
+        if channels.is_empty() {
+            break;
+        }
+        let pick = channels[rng.below(channels.len())];
+        sys.oracle_deliver(pick);
+        delivered += 1;
+        if delivered > budget {
+            return Err(TraceError::Validate(format!(
+                "oracle walk exceeded {budget} deliveries without quiescing"
+            )));
+        }
+    }
+    if let Some(e) = sys.error() {
+        return Err(TraceError::Sim(e.clone()));
+    }
+    if !sys.all_halted() {
+        return Err(TraceError::Validate(format!(
+            "oracle channels drained with cores running: {}",
+            sys.deadlock_error()
+        )));
+    }
+    sys.verify_coherence().map_err(TraceError::Check)?;
+    validate_finals(&sys, trace)?;
+    Ok(delivered)
+}

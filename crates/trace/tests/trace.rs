@@ -1,0 +1,275 @@
+//! Integration tests: record/replay round trips across all three
+//! protocols (timed and oracle), `.dvst` format round trips, composition,
+//! mix determinism, and replay of the committed corpus.
+
+use dvs_core::replay::TraceOp;
+use dvs_core::{Protocol, SystemConfig};
+use dvs_kernels::{build, BarrierKind, KernelId, KernelParams, LockKind, LockedStruct};
+use dvs_trace::{
+    build_mix, compose, composite, record, replay_oracle, replay_timed, MixSpec, ReplayMode, Trace,
+    TraceError, ORACLE_DELIVERY_BUDGET,
+};
+use std::sync::Arc;
+
+const THREADS: usize = 4;
+
+fn cfg(proto: Protocol) -> SystemConfig {
+    SystemConfig::small(THREADS, proto)
+}
+
+fn record_kernel(id: KernelId) -> Trace {
+    let mut params = KernelParams::smoke(THREADS);
+    params.iters = 4;
+    let workload = build(id, &params);
+    let (trace, _) =
+        record(&id.token(), &workload, cfg(Protocol::DeNovoSync)).expect("recording must succeed");
+    trace
+}
+
+/// Replays `trace` on every protocol, timed and oracle, and checks the
+/// final image validates everywhere (validation happens inside replay).
+fn replay_everywhere(trace: &Trace) {
+    for proto in Protocol::ALL {
+        for mode in [ReplayMode::Faithful, ReplayMode::Compressed] {
+            replay_timed(trace, cfg(proto), mode)
+                .unwrap_or_else(|e| panic!("{} timed replay on {proto}: {e}", trace.name));
+        }
+    }
+    for seed in [1, 99] {
+        replay_oracle(
+            trace,
+            cfg(Protocol::DeNovoSync),
+            seed,
+            ORACLE_DELIVERY_BUDGET,
+        )
+        .unwrap_or_else(|e| panic!("{} oracle replay (seed {seed}): {e}", trace.name));
+    }
+}
+
+#[test]
+fn tatas_counter_round_trip() {
+    let trace = record_kernel(KernelId::Locked(LockedStruct::Counter, LockKind::Tatas));
+    assert!(trace.total_ops() > 0);
+    replay_everywhere(&trace);
+}
+
+#[test]
+fn barrier_round_trip() {
+    let trace = record_kernel(KernelId::Barrier(BarrierKind::Central, false));
+    replay_everywhere(&trace);
+}
+
+#[test]
+fn composite_round_trip() {
+    let workload = composite(THREADS, 3, 24);
+    let (trace, _) =
+        record("composite:3:24", &workload, cfg(Protocol::DeNovoSync)).expect("record");
+    replay_everywhere(&trace);
+}
+
+#[test]
+fn recording_protocol_does_not_matter() {
+    // A trace recorded on MESI replays to the same finals as one recorded
+    // on DS: the stable state is protocol-independent.
+    let mut params = KernelParams::smoke(THREADS);
+    params.iters = 4;
+    let workload = build(
+        KernelId::Locked(LockedStruct::Counter, LockKind::Tatas),
+        &params,
+    );
+    let (on_mesi, _) = record("t", &workload, cfg(Protocol::Mesi)).expect("record on MESI");
+    let (on_ds, _) = record("t", &workload, cfg(Protocol::DeNovoSync)).expect("record on DS");
+    assert_eq!(on_mesi.fingerprint(), on_ds.fingerprint());
+    replay_everywhere(&on_mesi);
+}
+
+#[test]
+fn format_round_trip_is_identity() {
+    let trace = record_kernel(KernelId::Locked(LockedStruct::Counter, LockKind::Tatas));
+    let text = trace.render();
+    let parsed = Trace::parse(&text).expect("parse rendered trace");
+    assert_eq!(parsed.render(), text, "render∘parse∘render must be stable");
+    assert_eq!(parsed.fingerprint(), trace.fingerprint());
+    assert_eq!(parsed.cores(), trace.cores());
+    assert_eq!(parsed.init, trace.init);
+    assert_eq!(parsed.finals, trace.finals);
+    for (a, b) in parsed.ops.iter().zip(trace.ops.iter()) {
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+    // The parsed trace is replayable (layout survived the round trip).
+    replay_timed(&parsed, cfg(Protocol::DeNovoSync), ReplayMode::Compressed).expect("replay");
+}
+
+#[test]
+fn parse_rejects_garbage() {
+    assert!(Trace::parse("").is_err());
+    assert!(Trace::parse("dvst 99\n").is_err());
+    let err = Trace::parse("dvst 1\ncores 1\nbogus line\n").unwrap_err();
+    assert!(err.contains("line 3"), "error should name the line: {err}");
+    let err = Trace::parse("dvst 1\ncores 1\ncore 0 2\nhalt\n").unwrap_err();
+    assert!(err.contains("missing"), "truncated stream: {err}");
+}
+
+#[test]
+fn tampered_result_is_caught_in_flight() {
+    let trace = record_kernel(KernelId::Locked(LockedStruct::Counter, LockKind::Tatas));
+    let mut tampered = trace.clone();
+    // Flip the recorded result of the first validated sync op we find.
+    'outer: for stream in &mut tampered.ops {
+        let mut ops = stream.as_ref().clone();
+        for op in &mut ops {
+            if let TraceOp::Mem {
+                result: Some(v), ..
+            } = op
+            {
+                *v ^= 0x1;
+                *stream = Arc::new(ops);
+                break 'outer;
+            }
+        }
+    }
+    let err = replay_timed(&tampered, cfg(Protocol::DeNovoSync), ReplayMode::Faithful)
+        .expect_err("tampered result must fail validation");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("replay"),
+        "divergence should be reported as a replay violation: {msg}"
+    );
+}
+
+#[test]
+fn tampered_final_is_caught_after_the_run() {
+    let trace = record_kernel(KernelId::Locked(LockedStruct::Counter, LockKind::Tatas));
+    let mut tampered = trace.clone();
+    let last = tampered.finals.len() - 1;
+    tampered.finals[last].1 ^= 0xff;
+    match replay_timed(&tampered, cfg(Protocol::DeNovoSync), ReplayMode::Faithful) {
+        Err(TraceError::Validate(m)) => assert!(m.contains("diverged"), "{m}"),
+        // The tampered word may also be an in-flight-validated sync word.
+        Err(other) => panic!("expected Validate, got {other}"),
+        Ok(_) => panic!("tampered finals must not validate"),
+    }
+}
+
+#[test]
+fn core_count_mismatch_is_rejected() {
+    let trace = record_kernel(KernelId::Locked(LockedStruct::Counter, LockKind::Tatas));
+    let bad = SystemConfig::small(16, Protocol::DeNovoSync);
+    assert!(matches!(
+        replay_timed(&trace, bad, ReplayMode::Faithful),
+        Err(TraceError::Validate(_))
+    ));
+}
+
+#[test]
+fn composed_trace_replays_all_phases() {
+    let a = record_kernel(KernelId::Locked(LockedStruct::Counter, LockKind::Tatas));
+    let b = {
+        let workload = composite(THREADS, 2, 16);
+        record("composite:2:16", &workload, cfg(Protocol::DeNovoSync))
+            .expect("record")
+            .0
+    };
+    let c = record_kernel(KernelId::Barrier(BarrierKind::Central, false));
+    let composed = compose("three_phase", &[&a, &b, &c]).expect("compose");
+    assert_eq!(composed.cores(), THREADS);
+    assert!(composed.total_ops() > a.total_ops() + b.total_ops() + c.total_ops());
+    replay_everywhere(&composed);
+    // Format round trip survives composition (join segment, prefixed
+    // regions, shifted addresses).
+    let parsed = Trace::parse(&composed.render()).expect("parse composed");
+    assert_eq!(parsed.render(), composed.render());
+    replay_timed(&parsed, cfg(Protocol::Mesi), ReplayMode::Compressed).expect("replay parsed");
+}
+
+#[test]
+fn compose_rejects_mismatched_core_counts() {
+    let a = record_kernel(KernelId::Locked(LockedStruct::Counter, LockKind::Tatas));
+    let mut params = KernelParams::smoke(16);
+    params.iters = 2;
+    let w = build(
+        KernelId::Locked(LockedStruct::Counter, LockKind::Tatas),
+        &params,
+    );
+    let (b, _) = record("wide", &w, SystemConfig::small(16, Protocol::DeNovoSync)).expect("rec");
+    assert!(compose("bad", &[&a, &b]).is_err());
+}
+
+#[test]
+fn mix_is_deterministic_and_replayable() {
+    let spec = MixSpec {
+        seed: 11,
+        phases: 2,
+        threads: THREADS,
+    };
+    let one = build_mix(spec).expect("mix");
+    let two = build_mix(spec).expect("mix again");
+    assert_eq!(
+        one.render(),
+        two.render(),
+        "same spec must yield byte-equal traces"
+    );
+    assert_eq!(one.name, spec.name());
+    replay_timed(&one, cfg(Protocol::Mesi), ReplayMode::Compressed).expect("mix on MESI");
+    replay_timed(&one, cfg(Protocol::DeNovoSync), ReplayMode::Faithful).expect("mix on DS");
+    // Different seeds make different traces.
+    let other = build_mix(MixSpec { seed: 12, ..spec }).expect("mix seed 12");
+    assert_ne!(one.render(), other.render());
+}
+
+#[test]
+fn mix_rejects_bad_specs() {
+    assert!(build_mix(MixSpec {
+        seed: 1,
+        phases: 0,
+        threads: 4
+    })
+    .is_err());
+    assert!(build_mix(MixSpec {
+        seed: 1,
+        phases: 1,
+        threads: 6
+    })
+    .is_err());
+    assert!(build_mix(MixSpec {
+        seed: 1,
+        phases: 1,
+        threads: 1
+    })
+    .is_err());
+}
+
+/// Every committed corpus trace must parse, match its pinned fingerprint
+/// (encoded in a `# fingerprint` comment would be nicer, but the finals
+/// ARE the pin), and replay cleanly on all three protocols.
+#[test]
+fn corpus_replays_on_all_protocols() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dvst"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "committed corpus must not be empty");
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("read corpus trace");
+        let trace = Trace::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let n = trace.cores();
+        for proto in Protocol::ALL {
+            replay_timed(
+                &trace,
+                SystemConfig::small(n, proto),
+                ReplayMode::Compressed,
+            )
+            .unwrap_or_else(|e| panic!("{} on {proto}: {e}", path.display()));
+        }
+        replay_oracle(
+            &trace,
+            SystemConfig::small(n, Protocol::DeNovoSync),
+            5,
+            ORACLE_DELIVERY_BUDGET,
+        )
+        .unwrap_or_else(|e| panic!("{} oracle: {e}", path.display()));
+    }
+}

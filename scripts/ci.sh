@@ -73,4 +73,26 @@ cells=$(echo "$warm" | sed -n 's/.*cells=\([0-9]*\).*/\1/p' | tail -1)
 [ $((hits * 10)) -ge $((cells * 9)) ] || { echo "warm hit rate below 90% ($hits/$cells)"; exit 1; }
 "$SERVE" verify-store --dir "$SDIR/ref"
 
+echo "== trace smoke (record/replay across protocols + committed corpus) =="
+# Committed .dvst corpus: parse, replay on MESI/DS0/DS timed + the oracle,
+# validate every pinned final; plus format/compose/mix round-trip tests.
+cargo test -q --offline -p dvs-trace --test trace
+# Record a kernel with the dvst CLI, replay it on all three protocols, and
+# demand the pinned fingerprint is reproduced identically everywhere.
+cargo build --release --offline -p dvs-trace --bin dvst
+DVST=./target/release/dvst
+TDIR=$(mktemp -d)
+trap 'rm -rf "$SDIR" "$TDIR"' EXIT
+"$DVST" record tatas:counter --threads 4 --iters 4 -o "$TDIR/t.dvst"
+fp=""
+for proto in M DS0 DS; do
+  out=$("$DVST" replay "$TDIR/t.dvst" --proto "$proto"); echo "$out"
+  this=${out##*fingerprint }
+  [ -z "$fp" ] && fp=$this
+  [ "$this" = "$fp" ] || { echo "fingerprint differs on $proto"; exit 1; }
+done
+"$DVST" replay "$TDIR/t.dvst" --oracle --seed 9
+# Replay-vs-VM throughput artifact; quick mode gates the speedup at >= 2x.
+DVS_QUICK=1 cargo bench --offline -p dvs-bench --bench trace_matrix
+
 echo "CI OK"
