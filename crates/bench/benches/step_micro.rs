@@ -1,0 +1,228 @@
+//! Timed-core stepping throughput artifact (`BENCH_step.json`).
+//!
+//! The raw-speed gate for the simulator's hot path. Two workloads, both
+//! single-worker so the numbers measure stepping throughput and not host
+//! parallelism (BENCH_campaign shows this host has `host_parallelism: 1`):
+//!
+//! 1. **fig3 quick grid** — the TATAS kernel sweep at 16 cores across all
+//!    three protocols, through the campaign runner: wall-clock plus
+//!    scheduler events/second summed over every run.
+//! 2. **fuzz batch** — the differential fuzzer's stock-protocol batch
+//!    (each case runs 7 systems: SC reference + 3 protocols × timed and
+//!    untimed): cases/second, dominated by `System` construction and
+//!    short-run stepping.
+//!
+//! The artifact embeds the pre-refactor baseline (measured at the seed
+//! commit on this host, before the bucketed scheduler / slot recycling /
+//! dense-state overhaul) so every regeneration shows the trajectory, and
+//! enforces regression floors: the bench *fails* if either throughput
+//! drops below its floor. `DVS_STEP_NO_GATE=1` skips the floors and
+//! `DVS_STEP_ITERS=N` repeats the measurement loop (profiling runs use a
+//! large N to give coarse samplers something to chew on — see
+//! `scripts/profile.sh`).
+
+use dvs_campaign::grids::kernel_grid;
+use dvs_campaign::run_recorded;
+use dvs_core::config::Protocol;
+use dvs_fuzz::{generate, run_case, GenConfig, HarnessConfig};
+use dvs_kernels::{KernelId, LockKind, LockedStruct};
+use dvs_stats::report::{peak_rss_bytes, BenchArtifact, JsonObject, ParamTable};
+use std::time::Instant;
+
+/// Pre-refactor baseline, measured at the seed commit (`8a73eeb`) on the
+/// CI host (1 CPU): the fig3 quick grid at 1 worker, the 500-case stock
+/// fuzz batch at 1 worker, and the campaign bench's peak RSS.
+const BASELINE_FIG3_WALL_S: f64 = 2.345;
+const BASELINE_EVENTS_PER_S: f64 = 4_157_151.0;
+const BASELINE_FUZZ_CASES_PER_S: f64 = 1026.2;
+const BASELINE_PEAK_RSS_BYTES: u64 = 128_167_936;
+
+/// Regression floors: the bench fails if a fresh measurement drops below
+/// these. Set at roughly 60% of the post-refactor throughput (fig3
+/// ~8.9 Mev/s, fuzz ~2000 cases/s on the CI host) so host noise does not
+/// trip the gate but a structural regression — or an accidental return to
+/// the heap scheduler / hash-map state — does. Both floors sit *above* the
+/// pre-refactor baseline on purpose.
+const FLOOR_EVENTS_PER_S: f64 = 5_000_000.0;
+const FLOOR_FUZZ_CASES_PER_S: f64 = 1100.0;
+
+const FUZZ_CASES: usize = 500;
+
+fn fig3_specs() -> Vec<dvs_campaign::ExperimentSpec> {
+    let tatas: Vec<KernelId> = LockedStruct::ALL
+        .iter()
+        .map(|&s| KernelId::Locked(s, LockKind::Tatas))
+        .collect();
+    kernel_grid(&tatas, 16, &Protocol::ALL, |_| {})
+}
+
+struct Measurement {
+    fig3_wall_s: f64,
+    events: u64,
+    events_per_s: f64,
+    fuzz_wall_s: f64,
+    cases_per_s: f64,
+}
+
+fn measure_once(specs: &[dvs_campaign::ExperimentSpec]) -> Measurement {
+    // Everything runs inline on the calling thread: the bench measures
+    // single-thread stepping throughput, not work distribution (and the
+    // profiling recipe in scripts/profile.sh needs the hot loop on the
+    // main thread).
+    let t0 = Instant::now();
+    let mut events: u64 = 0;
+    for (i, spec) in specs.iter().enumerate() {
+        let record = run_recorded(spec, i);
+        match &record.outcome {
+            Ok(stats) => events += stats.events,
+            Err(e) => panic!("{} failed: {e}", spec.label()),
+        }
+    }
+    let fig3_wall_s = t0.elapsed().as_secs_f64();
+
+    let gen = GenConfig::default_pool();
+    let harness = HarnessConfig::default();
+    let t1 = Instant::now();
+    for seed in 0..FUZZ_CASES as u64 {
+        let case = generate(seed, &gen);
+        let verdict = run_case(&case, &harness);
+        assert!(
+            !verdict.is_divergent(),
+            "stock fuzz batch diverged at seed {seed}"
+        );
+    }
+    let fuzz_wall_s = t1.elapsed().as_secs_f64();
+
+    Measurement {
+        fig3_wall_s,
+        events,
+        events_per_s: events as f64 / fig3_wall_s,
+        fuzz_wall_s,
+        cases_per_s: FUZZ_CASES as f64 / fuzz_wall_s,
+    }
+}
+
+fn main() {
+    let iters: usize = std::env::var("DVS_STEP_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let gate = std::env::var("DVS_STEP_NO_GATE").is_err();
+
+    let specs = fig3_specs();
+    println!("step_micro: fig3 quick grid ({} specs) + {FUZZ_CASES}-case fuzz batch, {iters} iteration(s)", specs.len());
+
+    // Best-of-N: the floor gate should see the host's capability, not its
+    // worst scheduling hiccup. N=1 in CI keeps the stage cheap.
+    let mut best: Option<Measurement> = None;
+    for _ in 0..iters {
+        let m = measure_once(&specs);
+        let better = match &best {
+            Some(b) => m.events_per_s > b.events_per_s,
+            None => true,
+        };
+        if better {
+            best = Some(m);
+        }
+    }
+    let m = best.expect("at least one iteration");
+    let rss = peak_rss_bytes();
+
+    let mut summary = ParamTable::new("Timed-core stepping throughput");
+    summary
+        .row(
+            "fig3 quick grid",
+            format!(
+                "{:.3}s wall, {} events, {:.2} Mev/s",
+                m.fig3_wall_s,
+                m.events,
+                m.events_per_s / 1e6
+            ),
+        )
+        .row(
+            "fuzz batch",
+            format!("{:.3}s wall, {:.0} cases/s", m.fuzz_wall_s, m.cases_per_s),
+        )
+        .row(
+            "vs baseline",
+            format!(
+                "fig3 wall {:.2}x, events/s {:.2}x, cases/s {:.2}x",
+                BASELINE_FIG3_WALL_S / m.fig3_wall_s,
+                m.events_per_s / BASELINE_EVENTS_PER_S,
+                m.cases_per_s / BASELINE_FUZZ_CASES_PER_S
+            ),
+        );
+    if let Some(rss) = rss {
+        summary.row(
+            "peak RSS",
+            format!(
+                "{:.1} MiB ({:+.1}% vs baseline)",
+                rss as f64 / (1 << 20) as f64,
+                100.0 * (rss as f64 / BASELINE_PEAK_RSS_BYTES as f64 - 1.0)
+            ),
+        );
+    }
+    print!("{}", summary.render());
+
+    let mut baseline = JsonObject::new();
+    baseline
+        .f64("fig3_wall_s", BASELINE_FIG3_WALL_S)
+        .f64("events_per_s", BASELINE_EVENTS_PER_S)
+        .f64("fuzz_cases_per_s", BASELINE_FUZZ_CASES_PER_S)
+        .u64("peak_rss_bytes", BASELINE_PEAK_RSS_BYTES);
+    let mut floors = JsonObject::new();
+    floors
+        .f64("events_per_s", FLOOR_EVENTS_PER_S)
+        .f64("fuzz_cases_per_s", FLOOR_FUZZ_CASES_PER_S);
+    let mut artifact = BenchArtifact::new("step", "");
+    artifact
+        .body()
+        .u64("fig3_specs", specs.len() as u64)
+        .f64("fig3_wall_s", m.fig3_wall_s)
+        .u64("fig3_events", m.events)
+        .f64("events_per_s", m.events_per_s)
+        .u64("fuzz_cases", FUZZ_CASES as u64)
+        .f64("fuzz_wall_s", m.fuzz_wall_s)
+        .f64("fuzz_cases_per_s", m.cases_per_s)
+        .object("baseline", baseline)
+        .object("floors", floors)
+        .f64_opt("fig3_wall_speedup", BASELINE_FIG3_WALL_S / m.fig3_wall_s)
+        .f64_opt(
+            "events_per_s_speedup",
+            m.events_per_s / BASELINE_EVENTS_PER_S,
+        )
+        .f64_opt(
+            "fuzz_cases_per_s_speedup",
+            m.cases_per_s / BASELINE_FUZZ_CASES_PER_S,
+        );
+    if let Some(rss) = rss {
+        artifact.body().f64_opt(
+            "peak_rss_vs_baseline",
+            rss as f64 / BASELINE_PEAK_RSS_BYTES as f64,
+        );
+    }
+    artifact.write(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_step.json"
+    ));
+
+    if gate {
+        assert!(
+            m.events_per_s >= FLOOR_EVENTS_PER_S,
+            "events/s regression: {:.0} < floor {:.0}",
+            m.events_per_s,
+            FLOOR_EVENTS_PER_S
+        );
+        assert!(
+            m.cases_per_s >= FLOOR_FUZZ_CASES_PER_S,
+            "fuzz cases/s regression: {:.0} < floor {:.0}",
+            m.cases_per_s,
+            FLOOR_FUZZ_CASES_PER_S
+        );
+        println!(
+            "floors OK: {:.0} events/s >= {:.0}, {:.0} cases/s >= {:.0}",
+            m.events_per_s, FLOOR_EVENTS_PER_S, m.cases_per_s, FLOOR_FUZZ_CASES_PER_S
+        );
+    }
+}

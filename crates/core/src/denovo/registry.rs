@@ -12,9 +12,9 @@
 use crate::config::ProtocolMutation;
 use crate::msg::{BankId, CoreId, DnvMsg, Endpoint, LineData, Msg};
 use crate::proto::Action;
-use dvs_mem::{LineAddr, WordAddr, WORDS_PER_LINE};
+use dvs_mem::{LineAddr, MemoryLayout, SpanMap, WordAddr, LINE_BYTES, WORDS_PER_LINE};
 use dvs_telemetry::{Component, Event, EventKind, Telemetry, TelemetryKey};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One word's registry state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,7 +49,7 @@ impl RegLine {
 pub struct DnvRegistry {
     bank: BankId,
     mem: Endpoint,
-    lines: HashMap<LineAddr, RegLine>,
+    lines: SpanMap<RegLine>,
     mutation: Option<ProtocolMutation>,
     /// Observability only — excluded from `Hash`, never affects behaviour.
     tel: Telemetry,
@@ -62,10 +62,22 @@ impl DnvRegistry {
         DnvRegistry {
             bank,
             mem,
-            lines: HashMap::new(),
+            lines: SpanMap::sparse_only(),
             mutation: None,
             tel: Telemetry::off(),
         }
+    }
+
+    /// Sizes the dense line table from the workload layout. This bank homes
+    /// exactly the lines `l` with `l.raw() % banks == bank`, so the table
+    /// covers the layout span at stride `banks` with no unreachable slots;
+    /// out-of-layout lines (thread-private pools) spill to the sparse tier.
+    /// Call before any traffic arrives.
+    pub fn configure_span(&mut self, layout: &MemoryLayout, banks: usize) {
+        debug_assert!(self.lines.is_empty(), "span configured after traffic");
+        let top_line = layout.top().div_ceil(LINE_BYTES);
+        let slots = top_line.div_ceil(banks as u64) as usize;
+        self.lines = SpanMap::with_span(self.bank as u64, banks as u64, slots);
     }
 
     /// Attaches a telemetry handle (registration re-points).
@@ -97,7 +109,7 @@ impl DnvRegistry {
 
     /// The registry state of a word, if its line has been touched.
     pub fn word(&self, word: WordAddr) -> Option<RegWord> {
-        let line = self.lines.get(&word.line())?;
+        let line = self.lines.get(word.line().raw())?;
         line.has_data.then_some(line.words[word.index_in_line()])
     }
 
@@ -105,8 +117,8 @@ impl DnvRegistry {
     /// registry's entire "sharer state" is this one pointer per word).
     pub fn registered_words(&self) -> usize {
         self.lines
-            .values()
-            .flat_map(|l| l.words.iter())
+            .iter()
+            .flat_map(|(_, l)| l.words.iter())
             .filter(|w| matches!(w, RegWord::Registered(_)))
             .count()
     }
@@ -114,7 +126,8 @@ impl DnvRegistry {
     /// Iterates every word currently registered to some core (for invariant
     /// checking).
     pub fn registrations(&self) -> impl Iterator<Item = (WordAddr, CoreId)> + '_ {
-        self.lines.iter().flat_map(|(&line, e)| {
+        self.lines.iter().flat_map(|(raw, e)| {
+            let line = LineAddr::new(raw);
             e.words
                 .iter()
                 .enumerate()
@@ -129,8 +142,8 @@ impl DnvRegistry {
     /// checks).
     pub fn any_fetching(&self) -> bool {
         self.lines
-            .values()
-            .any(|l| l.fetching || !l.queue.is_empty())
+            .iter()
+            .any(|(_, l)| l.fetching || !l.queue.is_empty())
     }
 
     /// Whether the line is still being resolved — fetching from memory,
@@ -138,14 +151,14 @@ impl DnvRegistry {
     /// for the runtime conservation checker.
     pub fn line_busy(&self, line: LineAddr) -> bool {
         self.lines
-            .get(&line)
+            .get(line.raw())
             .is_some_and(|l| l.fetching || !l.queue.is_empty() || !l.has_data)
     }
 
     /// A one-line human-readable description of a word's registry state, if
     /// its line has been touched (stall diagnostics).
     pub fn describe_word(&self, word: WordAddr) -> Option<String> {
-        let e = self.lines.get(&word.line())?;
+        let e = self.lines.get(word.line().raw())?;
         Some(format!(
             "bank {}: {word} {:?} has_data={} fetching={} queued={}",
             self.bank,
@@ -160,7 +173,7 @@ impl DnvRegistry {
     pub fn on_msg(&mut self, msg: DnvMsg, actions: &mut Vec<Action>) {
         let word = msg.word();
         let line = word.line();
-        let entry = self.lines.entry(line).or_insert_with(RegLine::new);
+        let entry = self.lines.or_insert_with(line.raw(), RegLine::new);
         if !entry.has_data {
             entry.queue.push_back(msg);
             if !entry.fetching {
@@ -181,7 +194,7 @@ impl DnvRegistry {
 
     /// Memory returned a line this bank was fetching.
     pub fn on_mem_data(&mut self, line: LineAddr, data: LineData, actions: &mut Vec<Action>) {
-        let Some(entry) = self.lines.get_mut(&line) else {
+        let Some(entry) = self.lines.get_mut(line.raw()) else {
             actions.push(Action::violation(format!(
                 "registry bank {}: MemData for unknown line {line}",
                 self.bank
@@ -211,7 +224,7 @@ impl DnvRegistry {
         let word = msg.word();
         let line = word.line();
         let idx = word.index_in_line();
-        let entry = self.lines.get_mut(&line).expect("line fetched");
+        let entry = self.lines.get_mut(line.raw()).expect("line fetched");
         match msg {
             DnvMsg::ReadReq { req, .. } => match entry.words[idx] {
                 RegWord::Valid(value) => {
@@ -318,13 +331,10 @@ impl std::hash::Hash for DnvRegistry {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.bank.hash(state);
         self.mem.hash(state);
-        let mut lines: Vec<(&LineAddr, &RegLine)> = self.lines.iter().collect();
-        lines.sort_unstable_by_key(|(l, _)| **l);
-        state.write_usize(lines.len());
-        for (l, e) in lines {
-            l.hash(state);
-            e.hash(state);
-        }
+        // SpanMap hashes entries sorted by key, length-prefixed; `LineAddr`
+        // hashes as its raw `u64`, so the stream is unchanged from the
+        // HashMap-backed version of this bank.
+        self.lines.hash(state);
     }
 }
 

@@ -14,10 +14,10 @@
 
 use crate::msg::{BankId, CoreId, Endpoint, LineData, MesiMsg, Msg};
 use crate::proto::Action;
-use dvs_mem::LineAddr;
+use dvs_mem::{LineAddr, MemoryLayout, SpanMap, LINE_BYTES};
 use dvs_stats::TrafficClass;
 use dvs_telemetry::{Component, Event, EventKind, Telemetry, TelemetryKey};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Directory state for one line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,7 +79,7 @@ impl DirLine {
 pub struct MesiDir {
     bank: BankId,
     mem: Endpoint,
-    lines: HashMap<LineAddr, DirLine>,
+    lines: SpanMap<DirLine>,
     /// Observability only — excluded from `Hash`, never affects behaviour.
     tel: Telemetry,
 }
@@ -91,9 +91,21 @@ impl MesiDir {
         MesiDir {
             bank,
             mem,
-            lines: HashMap::new(),
+            lines: SpanMap::sparse_only(),
             tel: Telemetry::off(),
         }
+    }
+
+    /// Sizes the dense line table from the workload layout. This bank homes
+    /// exactly the lines `l` with `l.raw() % banks == bank`, so the table
+    /// covers the layout span at stride `banks` with no unreachable slots;
+    /// out-of-layout lines (thread-private pools) spill to the sparse tier.
+    /// Call before any traffic arrives.
+    pub fn configure_span(&mut self, layout: &MemoryLayout, banks: usize) {
+        debug_assert!(self.lines.is_empty(), "span configured after traffic");
+        let top_line = layout.top().div_ceil(LINE_BYTES);
+        let slots = top_line.div_ceil(banks as u64) as usize;
+        self.lines = SpanMap::with_span(self.bank as u64, banks as u64, slots);
     }
 
     /// Attaches a telemetry handle (directory state transitions and
@@ -121,15 +133,15 @@ impl MesiDir {
     /// Number of lines with at least one sharer or an owner (diagnostics).
     pub fn tracked_lines(&self) -> usize {
         self.lines
-            .values()
-            .filter(|l| l.state != DirState::Uncached)
+            .iter()
+            .filter(|(_, l)| l.state != DirState::Uncached)
             .count()
     }
 
     /// The line's current data as known to the L2 (stale while owned).
     pub fn peek_line(&self, line: LineAddr) -> Option<&LineData> {
         self.lines
-            .get(&line)
+            .get(line.raw())
             .filter(|l| l.has_data)
             .map(|l| &l.data)
     }
@@ -137,23 +149,26 @@ impl MesiDir {
     /// Iterates every tracked line's sharer mask (empty for uncached/owned)
     /// and owner (for invariant checking).
     pub fn entries(&self) -> impl Iterator<Item = (LineAddr, u64, Option<CoreId>)> + '_ {
-        self.lines.iter().map(|(&line, e)| match e.state {
-            DirState::Uncached => (line, 0, None),
-            DirState::Shared(mask) => (line, mask, None),
-            DirState::Owned(o) => (line, 0, Some(o)),
+        self.lines.iter().map(|(raw, e)| {
+            let line = LineAddr::new(raw);
+            match e.state {
+                DirState::Uncached => (line, 0, None),
+                DirState::Shared(mask) => (line, mask, None),
+                DirState::Owned(o) => (line, 0, Some(o)),
+            }
         })
     }
 
     /// Whether any line is mid-transaction (for quiescence checks).
     pub fn any_busy(&self) -> bool {
         self.lines
-            .values()
-            .any(|l| l.busy.is_some() || !l.queue.is_empty())
+            .iter()
+            .any(|(_, l)| l.busy.is_some() || !l.queue.is_empty())
     }
 
     /// The current owner, if the line is in an owned state.
     pub fn owner(&self, line: LineAddr) -> Option<CoreId> {
-        match self.lines.get(&line)?.state {
+        match self.lines.get(line.raw())?.state {
             DirState::Owned(o) => Some(o),
             _ => None,
         }
@@ -164,14 +179,14 @@ impl MesiDir {
     /// invariant checker.
     pub fn busy_or_queued(&self, line: LineAddr) -> bool {
         self.lines
-            .get(&line)
+            .get(line.raw())
             .is_some_and(|l| l.busy.is_some() || !l.queue.is_empty())
     }
 
     /// A one-line human-readable description of the line's directory entry
     /// (stall diagnostics).
     pub fn describe_line(&self, line: LineAddr) -> String {
-        match self.lines.get(&line) {
+        match self.lines.get(line.raw()) {
             None => format!("bank {}: {line} untracked", self.bank),
             Some(e) => format!(
                 "bank {}: {line} {:?} busy={:?} queued={} has_data={}",
@@ -189,7 +204,7 @@ impl MesiDir {
         match msg {
             MesiMsg::GetS { .. } | MesiMsg::GetM { .. } => self.request(msg, actions),
             MesiMsg::PutS { line, req } => {
-                let entry = self.lines.entry(line).or_insert_with(DirLine::new);
+                let entry = self.lines.or_insert_with(line.raw(), DirLine::new);
                 if let DirState::Shared(ref mut mask) = entry.state {
                     *mask &= !(1 << req);
                     if *mask == 0 {
@@ -202,7 +217,7 @@ impl MesiDir {
                 });
             }
             MesiMsg::PutM { line, req, data } => {
-                let entry = self.lines.entry(line).or_insert_with(DirLine::new);
+                let entry = self.lines.or_insert_with(line.raw(), DirLine::new);
                 if entry.state == DirState::Owned(req) {
                     entry.data = data;
                     entry.has_data = true;
@@ -216,7 +231,7 @@ impl MesiDir {
                 });
             }
             MesiMsg::PutE { line, req } => {
-                let entry = self.lines.entry(line).or_insert_with(DirLine::new);
+                let entry = self.lines.or_insert_with(line.raw(), DirLine::new);
                 if entry.state == DirState::Owned(req) {
                     // E is clean by construction: the L2 data is current.
                     entry.state = DirState::Uncached;
@@ -227,7 +242,7 @@ impl MesiDir {
                 });
             }
             MesiMsg::OwnerWb { line, data, .. } => {
-                let Some(entry) = self.lines.get_mut(&line) else {
+                let Some(entry) = self.lines.get_mut(line.raw()) else {
                     actions.push(Action::violation(format!(
                         "bank {}: OwnerWb for unknown line {line}",
                         self.bank
@@ -246,7 +261,7 @@ impl MesiDir {
                 self.maybe_unblock(line, actions);
             }
             MesiMsg::Unblock { line, .. } => {
-                let Some(entry) = self.lines.get_mut(&line) else {
+                let Some(entry) = self.lines.get_mut(line.raw()) else {
                     actions.push(Action::violation(format!(
                         "bank {}: Unblock for unknown line {line}",
                         self.bank
@@ -271,7 +286,7 @@ impl MesiDir {
 
     /// Memory returned a line this bank was fetching.
     pub fn on_mem_data(&mut self, line: LineAddr, data: LineData, actions: &mut Vec<Action>) {
-        let Some(entry) = self.lines.get_mut(&line) else {
+        let Some(entry) = self.lines.get_mut(line.raw()) else {
             actions.push(Action::violation(format!(
                 "bank {}: MemData for unknown line {line}",
                 self.bank
@@ -293,7 +308,7 @@ impl MesiDir {
     }
 
     fn maybe_unblock(&mut self, line: LineAddr, actions: &mut Vec<Action>) {
-        let entry = self.lines.get_mut(&line).expect("line exists");
+        let entry = self.lines.get_mut(line.raw()).expect("line exists");
         if let Some(Busy::Txn {
             need_unblock: false,
             need_owner_wb: false,
@@ -306,7 +321,7 @@ impl MesiDir {
 
     fn drain(&mut self, line: LineAddr, actions: &mut Vec<Action>) {
         loop {
-            let entry = self.lines.get_mut(&line).expect("line exists");
+            let entry = self.lines.get_mut(line.raw()).expect("line exists");
             if entry.busy.is_some() {
                 return;
             }
@@ -323,7 +338,7 @@ impl MesiDir {
             MesiMsg::GetS { .. } => "GetS",
             _ => "GetM",
         };
-        let entry = self.lines.entry(line).or_insert_with(DirLine::new);
+        let entry = self.lines.or_insert_with(line.raw(), DirLine::new);
         if entry.busy.is_some() {
             entry.queue.push_back(msg);
             return;
@@ -472,7 +487,7 @@ impl MesiDir {
             },
             other => unreachable!("request() only takes GetS/GetM: {other:?}"),
         }
-        let after = self.lines.get(&line).expect("entry exists").state;
+        let after = self.lines.get(line.raw()).expect("entry exists").state;
         if after != before {
             self.emit_transition(line, before.label(), after.label(), cause);
         }
@@ -497,13 +512,10 @@ impl std::hash::Hash for MesiDir {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.bank.hash(state);
         self.mem.hash(state);
-        let mut lines: Vec<(&LineAddr, &DirLine)> = self.lines.iter().collect();
-        lines.sort_unstable_by_key(|(l, _)| **l);
-        state.write_usize(lines.len());
-        for (l, e) in lines {
-            l.hash(state);
-            e.hash(state);
-        }
+        // SpanMap hashes entries sorted by key, length-prefixed; `LineAddr`
+        // hashes as its raw `u64`, so the stream is unchanged from the
+        // HashMap-backed version of this bank.
+        self.lines.hash(state);
     }
 }
 

@@ -235,7 +235,24 @@ pub struct System {
     cfg: SystemConfig,
     layout: Arc<MemoryLayout>,
     sched: Scheduler<Ev>,
+    /// In-flight message storage. Slots are recycled through `free_slots`
+    /// the moment their `Deliver` event fires, so the pool's length tracks
+    /// the *peak* number of simultaneously in-flight messages (a few dozen)
+    /// instead of growing by every message ever sent.
     msg_pool: Vec<Msg>,
+    /// Recycled `msg_pool` indexes, ready for the next `stash`.
+    free_slots: Vec<MsgSlot>,
+    /// `slot_live[s]` ⇔ slot `s` holds a scheduled-but-undelivered message.
+    /// Maintained unconditionally — stash sets it, delivery clears it, in
+    /// both invariant modes — so slot recycling has exactly one owner and
+    /// the conservation checker can enumerate in-flight messages without a
+    /// separate (and previously asymmetric) tracking set.
+    slot_live: Vec<bool>,
+    /// Recycled [`Action`] buffers for the deliver/issue hot path. A stack
+    /// (not a single buffer) because `apply_actions` can re-enter through
+    /// `core_done → issue_mem`; depth tracks the re-entrancy, which is
+    /// shallow, so steady state allocates nothing per event.
+    action_scratch: Vec<Vec<Action>>,
     net: Network,
     /// Per-core front-ends: VM threads, or trace-replay cores sharing a
     /// sync-ordering board (see [`crate::replay`]).
@@ -267,11 +284,6 @@ pub struct System {
     /// Always-on stall interval accounting (memory / spin / backoff /
     /// fence), exported into the telemetry metrics tree after a run.
     stalls: StallTracker,
-    /// Slots of messages scheduled but not yet delivered. Maintained only
-    /// when `cfg.check_invariants` (conservation checking needs it; keeping
-    /// the plain path free of the bookkeeping keeps checking zero-cost when
-    /// disabled).
-    in_flight: std::collections::HashSet<MsgSlot>,
     /// Deliveries processed: the *delivery ordinal* stamped on traces, the
     /// message ring, and protocol-violation reports. Also paces the periodic
     /// full invariant scan.
@@ -393,9 +405,19 @@ impl System {
         let mut banks: Vec<Bank> = (0..n)
             .map(|b| {
                 let mem = Endpoint::Mem(mesh.nearest_corner(b));
+                // Dense per-line state tables sized from the layout span;
+                // out-of-layout lines (thread pools) spill to a sparse tier.
                 match cfg.protocol {
-                    Protocol::Mesi => Bank::Mesi(MesiDir::new(b, mem)),
-                    _ => Bank::Dnv(DnvRegistry::new(b, mem)),
+                    Protocol::Mesi => Bank::Mesi({
+                        let mut d = MesiDir::new(b, mem);
+                        d.configure_span(&layout, n);
+                        d
+                    }),
+                    _ => Bank::Dnv({
+                        let mut r = DnvRegistry::new(b, mem);
+                        r.configure_span(&layout, n);
+                        r
+                    }),
                 }
             })
             .collect();
@@ -415,11 +437,15 @@ impl System {
         if let Some(plan) = cfg.fault_plan {
             net.enable_jitter(plan.link_seed(), plan.link_jitter);
         }
+        let memory = MainMemory::with_layout(&layout);
         let mut sys = System {
             cfg,
             layout,
             sched: Scheduler::new(),
             msg_pool: Vec::new(),
+            free_slots: Vec::new(),
+            slot_live: Vec::new(),
+            action_scratch: Vec::new(),
             net,
             fronts,
             cores: (0..n)
@@ -433,7 +459,7 @@ impl System {
                 .collect(),
             l1s,
             banks,
-            memory: MainMemory::new(),
+            memory,
             traffic: TrafficStats::new(),
             sig_log: Vec::new(),
             finished: 0,
@@ -443,7 +469,6 @@ impl System {
             injector: cfg.fault_plan.map(FaultInjector::new),
             forensics: RingSink::new(FORENSICS_PER_NODE),
             stalls: StallTracker::new(n),
-            in_flight: std::collections::HashSet::new(),
             deliveries: 0,
             oracle: None,
             recorder: None,
@@ -581,34 +606,17 @@ impl System {
     /// [`SimError::Deadlock`] if the event queue drains with threads still
     /// running, [`SimError::CycleLimit`] if the configured limit is hit.
     pub fn run(&mut self) -> Result<RunStats, SimError> {
-        while let Some((now, ev)) = self.sched.pop() {
-            if now > self.cfg.max_cycles {
-                return Err(SimError::CycleLimit {
-                    limit: self.cfg.max_cycles,
-                    report: self.stall_report(),
-                });
-            }
-            self.tel.set_now(now);
-            match ev {
-                Ev::Step(i) => self.step_core(i),
-                Ev::Resume(i) => self.resume_core(i),
-                Ev::Deliver(ep, slot) => {
-                    let msg = self.msg_pool[slot];
-                    self.deliveries += 1;
-                    self.note_delivery(now, ep, &msg);
-                    if self.cfg.check_invariants {
-                        self.in_flight.remove(&slot);
-                    }
-                    self.deliver(ep, msg);
-                    if self.cfg.check_invariants && self.error.is_none() {
-                        self.check_delivery_invariants(&msg);
-                    }
-                }
-            }
-            if let Some(err) = self.error.take() {
-                return Err(err);
-            }
-        }
+        // The event loop is monomorphized over the two per-event policies —
+        // telemetry clock publication and invariant checking — so the common
+        // configuration (both off) dispatches events with no per-event
+        // branching on either.
+        let result = match (self.tel.enabled(), self.cfg.check_invariants) {
+            (false, false) => self.run_loop::<false, false>(),
+            (false, true) => self.run_loop::<false, true>(),
+            (true, false) => self.run_loop::<true, false>(),
+            (true, true) => self.run_loop::<true, true>(),
+        };
+        result?;
         let stuck: Vec<CoreId> = self
             .cores
             .iter()
@@ -625,6 +633,41 @@ impl System {
         self.stalls.finish(self.finish_time);
         self.tel.flush();
         Ok(self.collect_stats())
+    }
+
+    /// The monomorphized event loop behind [`System::run`]. `TEL` publishes
+    /// the simulated clock to the telemetry handle per event; `INV` runs the
+    /// delivery-boundary invariant checkers.
+    fn run_loop<const TEL: bool, const INV: bool>(&mut self) -> Result<(), SimError> {
+        while let Some((now, ev)) = self.sched.pop() {
+            if now > self.cfg.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.cfg.max_cycles,
+                    report: self.stall_report(),
+                });
+            }
+            if TEL {
+                self.tel.set_now(now);
+            }
+            match ev {
+                Ev::Step(i) => self.step_core(i),
+                Ev::Resume(i) => self.resume_core(i),
+                Ev::Deliver(ep, slot) => {
+                    let msg = self.msg_pool[slot];
+                    self.release_slot(slot);
+                    self.deliveries += 1;
+                    self.note_delivery(now, ep, &msg);
+                    self.deliver(ep, msg);
+                    if INV && self.error.is_none() {
+                        self.check_delivery_invariants(&msg);
+                    }
+                }
+            }
+            if let Some(err) = self.error.take() {
+                return Err(err);
+            }
+        }
+        Ok(())
     }
 
     /// Records one message delivery into the always-on forensic ring and,
@@ -1011,18 +1054,20 @@ impl System {
         self.verify_conservation()
     }
 
-    /// The conservation half of [`System::verify_invariants`] (needs the
-    /// in-flight slot set, so it only sees messages when
-    /// `cfg.check_invariants` tracked them).
+    /// The conservation half of [`System::verify_invariants`]. In-flight
+    /// messages are enumerated from the slot pool's liveness flags, which
+    /// the stash/release pair maintains in every mode.
     fn verify_conservation(&self) -> Result<(), String> {
         // In oracle mode the undelivered messages live in the checker's
         // channel queues, not in scheduled events.
         let live_lines: std::collections::HashSet<dvs_mem::LineAddr> = match &self.oracle {
             Some(o) => o.channels.values().flatten().map(Self::msg_line).collect(),
             None => self
-                .in_flight
+                .msg_pool
                 .iter()
-                .map(|&slot| Self::msg_line(&self.msg_pool[slot]))
+                .zip(&self.slot_live)
+                .filter(|(_, &live)| live)
+                .map(|(msg, _)| Self::msg_line(msg))
                 .collect(),
         };
         for (c, l1) in self.l1s.iter().enumerate() {
@@ -1217,7 +1262,7 @@ impl System {
     fn deliver(&mut self, ep: Endpoint, msg: Msg) {
         match ep {
             Endpoint::L1(i) => {
-                let mut actions = Vec::new();
+                let mut actions = self.take_actions();
                 match (&mut self.l1s[i], msg) {
                     (L1::Mesi(l1), Msg::Mesi(m)) => l1.on_msg(m, &mut actions),
                     (L1::Dnv(l1), Msg::Dnv(m)) => l1.on_msg(m, &mut actions),
@@ -1229,7 +1274,7 @@ impl System {
                 self.apply_actions(ep, self.cfg.latency.remote_l1, actions);
             }
             Endpoint::Bank(b) => {
-                let mut actions = Vec::new();
+                let mut actions = self.take_actions();
                 match (&mut self.banks[b], msg) {
                     (Bank::Mesi(d), Msg::Mesi(m)) => d.on_msg(m, &mut actions),
                     (Bank::Dnv(r), Msg::Dnv(m)) => r.on_msg(m, &mut actions),
@@ -1287,9 +1332,14 @@ impl System {
         }
     }
 
-    fn apply_actions(&mut self, from: Endpoint, send_delay: Cycle, actions: Vec<Action>) {
+    /// Pops a recycled action buffer (or allocates the pool's next one).
+    fn take_actions(&mut self) -> Vec<Action> {
+        self.action_scratch.pop().unwrap_or_default()
+    }
+
+    fn apply_actions(&mut self, from: Endpoint, send_delay: Cycle, mut actions: Vec<Action>) {
         let src = self.node_of(from);
-        for a in actions {
+        'apply: for a in actions.drain(..) {
             match a {
                 Action::Send { to, msg } => self.send_msg(src, to, msg, send_delay),
                 Action::Local { delay, msg } => {
@@ -1303,43 +1353,66 @@ impl System {
                         continue;
                     }
                     let slot = self.stash(msg);
-                    if self.cfg.check_invariants {
-                        self.in_flight.insert(slot);
-                    }
                     self.sched.schedule_in(delay, Ev::Deliver(from, slot));
                 }
                 Action::CoreDone { value } => {
                     let Endpoint::L1(i) = from else {
                         self.violation(format!("CoreDone from non-L1 endpoint {from:?}"));
-                        return;
+                        break 'apply;
                     };
                     self.core_done(i, value);
                 }
                 Action::StoresDone { count } => {
                     let Endpoint::L1(i) = from else {
                         self.violation(format!("StoresDone from non-L1 endpoint {from:?}"));
-                        return;
+                        break 'apply;
                     };
                     self.stores_done(i, count);
                 }
                 Action::SpinWake => {
                     let Endpoint::L1(i) = from else {
                         self.violation(format!("SpinWake from non-L1 endpoint {from:?}"));
-                        return;
+                        break 'apply;
                     };
                     self.spin_wake(i);
                 }
                 Action::Violation { detail } => {
                     self.violation(format!("{from:?}: {detail}"));
-                    return;
+                    break 'apply;
                 }
+            }
+        }
+        // Violations above stop processing (remaining actions are dropped,
+        // matching the pre-pool early returns); the buffer is recycled
+        // either way.
+        actions.clear();
+        self.action_scratch.push(actions);
+    }
+
+    /// Parks an outbound message in the slot pool until its `Deliver` event
+    /// fires. Slots are recycled through the free list, and liveness is
+    /// tracked unconditionally: [`System::release_slot`] is the single
+    /// other owner of a slot's lifecycle.
+    fn stash(&mut self, msg: Msg) -> MsgSlot {
+        match self.free_slots.pop() {
+            Some(slot) => {
+                self.msg_pool[slot] = msg;
+                self.slot_live[slot] = true;
+                slot
+            }
+            None => {
+                self.msg_pool.push(msg);
+                self.slot_live.push(true);
+                self.msg_pool.len() - 1
             }
         }
     }
 
-    fn stash(&mut self, msg: Msg) -> MsgSlot {
-        self.msg_pool.push(msg);
-        self.msg_pool.len() - 1
+    /// Returns a delivered message's slot to the free list.
+    fn release_slot(&mut self, slot: MsgSlot) {
+        debug_assert!(self.slot_live[slot], "slot {slot} delivered twice");
+        self.slot_live[slot] = false;
+        self.free_slots.push(slot);
     }
 
     fn send_msg(&mut self, src: NodeId, to: Endpoint, msg: Msg, extra_delay: Cycle) {
@@ -1361,9 +1434,6 @@ impl System {
             None => d.arrive,
         };
         let slot = self.stash(msg);
-        if self.cfg.check_invariants {
-            self.in_flight.insert(slot);
-        }
         self.sched.schedule_at(arrive, Ev::Deliver(to, slot));
     }
 
@@ -1617,7 +1687,7 @@ impl System {
     /// was put back on the ready path (hit / accepted store), false if it
     /// blocked.
     fn issue_mem(&mut self, i: CoreId, req: MemRequest, after_backoff: bool) -> bool {
-        let mut actions = Vec::new();
+        let mut actions = self.take_actions();
         let res = match &mut self.l1s[i] {
             L1::Mesi(l1) => l1.core_request(&req, &mut actions),
             L1::Dnv(l1) => l1.core_request(&req, after_backoff, &mut actions),

@@ -25,15 +25,23 @@
 //! assert_eq!(sched.now(), 5);
 //! ```
 
+pub mod reference;
 pub mod rng;
 
 pub use rng::DetRng;
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Simulated time, in core clock cycles.
 pub type Cycle = u64;
+
+/// Width of the calendar ring: events within this many cycles of `now` live
+/// in O(1) per-cycle buckets; everything further out sits in the overflow
+/// heap. 256 covers every single-hop latency in the simulated machine
+/// (DRAM at 150 cycles is the largest — see `dvs-core`'s `LatencyConfig`),
+/// so the heap only sees pathological far-future events.
+const RING: usize = 256;
 
 /// A deterministic discrete-event scheduler.
 ///
@@ -41,6 +49,19 @@ pub type Cycle = u64;
 /// scheduling order, which makes simulations exactly reproducible. The
 /// scheduler tracks the current simulated time ([`Scheduler::now`]), which
 /// advances monotonically as events are popped.
+///
+/// # Implementation
+///
+/// A two-tier calendar queue. Near-future events (within [`RING`] cycles of
+/// `now`) go into a ring of per-cycle FIFO buckets — scheduling and popping
+/// are O(1) plus a scan over empty cycles, with no comparisons and no
+/// per-event reordering. Far-future events go into a conventional
+/// `(cycle, seq)` binary heap and are popped from there directly. The pop
+/// order is identical to a single global `(cycle, seq)` priority queue
+/// (property-tested against [`reference::HeapScheduler`]): within a cycle,
+/// overflow events always precede ring events because an event can only
+/// have entered the overflow tier at a strictly earlier scheduling time —
+/// `now` is monotone, so its sequence number is strictly smaller.
 ///
 /// # Examples
 ///
@@ -55,7 +76,16 @@ pub type Cycle = u64;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// `ring[c % RING]` is the FIFO bucket for absolute cycle `c`, valid for
+    /// `c` in `[now, now + RING)`. Buckets below `now` are always empty (a
+    /// cycle is fully drained before `now` moves past it), so each slot is
+    /// unambiguous.
+    ring: Vec<VecDeque<E>>,
+    /// Number of events currently in the ring (so pops skip the scan
+    /// entirely when only the overflow tier is populated).
+    ring_len: usize,
+    /// Far-future events, ordered by `(cycle, seq)`.
+    overflow: BinaryHeap<Entry<E>>,
     now: Cycle,
     seq: u64,
     scheduled: u64,
@@ -94,7 +124,9 @@ impl<E> Scheduler<E> {
     /// Creates an empty scheduler at cycle 0.
     pub fn new() -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
+            ring: (0..RING).map(|_| VecDeque::new()).collect(),
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
             now: 0,
             seq: 0,
             scheduled: 0,
@@ -127,10 +159,15 @@ impl<E> Scheduler<E> {
         );
         self.seq += 1;
         self.scheduled += 1;
-        self.heap.push(Entry {
-            key: Reverse((at, self.seq)),
-            event,
-        });
+        if at - self.now < RING as Cycle {
+            self.ring[(at % RING as Cycle) as usize].push_back(event);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Entry {
+                key: Reverse((at, self.seq)),
+                event,
+            });
+        }
     }
 
     /// Schedules `event` `delay` cycles from now.
@@ -141,7 +178,32 @@ impl<E> Scheduler<E> {
     /// Removes and returns the next event, advancing [`Scheduler::now`] to
     /// its cycle. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let entry = self.heap.pop()?;
+        if self.ring_len > 0 {
+            // The overflow tier can undercut the ring (its events may have
+            // fallen inside the window as `now` advanced), and at an equal
+            // cycle it wins: overflow entries always carry smaller seqs.
+            let horizon = match self.overflow.peek() {
+                Some(e) => e.key.0 .0,
+                None => Cycle::MAX,
+            };
+            let mut c = self.now;
+            loop {
+                if c >= horizon {
+                    break; // overflow event is due first (or ties).
+                }
+                let slot = &mut self.ring[(c % RING as Cycle) as usize];
+                if let Some(event) = slot.pop_front() {
+                    self.ring_len -= 1;
+                    self.now = c;
+                    return Some((c, event));
+                }
+                c += 1;
+                // The ring is non-empty, so this terminates within RING
+                // steps; horizon only cuts the scan short.
+                debug_assert!(c < self.now + RING as Cycle + 1);
+            }
+        }
+        let entry = self.overflow.pop()?;
         let Reverse((cycle, _)) = entry.key;
         debug_assert!(cycle >= self.now);
         self.now = cycle;
@@ -150,17 +212,39 @@ impl<E> Scheduler<E> {
 
     /// The cycle of the next pending event, if any.
     pub fn peek_cycle(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.key.0 .0)
+        let horizon = self.overflow.peek().map(|e| e.key.0 .0);
+        if self.ring_len > 0 {
+            let limit = horizon.unwrap_or(Cycle::MAX);
+            let mut c = self.now;
+            while c < limit {
+                if !self.ring[(c % RING as Cycle) as usize].is_empty() {
+                    return Some(c);
+                }
+                c += 1;
+            }
+        }
+        horizon
+    }
+
+    /// The cycle of the next pending event — the lookahead hook for
+    /// mesh-partitioned parallel stepping (the parti-gem5 playbook): a
+    /// partition may safely advance to
+    /// `min(next_event_cycle(), neighbour horizons + link latency)` without
+    /// coordinating. Today it is synonymous with [`Scheduler::peek_cycle`];
+    /// it exists as a named seam so partitioned drivers don't couple to the
+    /// peek API.
+    pub fn next_event_cycle(&self) -> Option<Cycle> {
+        self.peek_cycle()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.overflow.len()
     }
 
     /// Whether there are no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 

@@ -255,6 +255,15 @@ impl MemoryLayout {
     pub fn footprint(&self) -> u64 {
         self.segments.iter().map(|s| s.bytes).sum()
     }
+
+    /// One past the last allocated byte — the exclusive top of the layout
+    /// (0 for an empty layout). Dense per-line/per-word state tables size
+    /// themselves from this: every layout address falls below it.
+    pub fn top(&self) -> u64 {
+        // Segments are sorted by base and disjoint, so the last one ends
+        // highest.
+        self.segments.last().map_or(0, |s| s.base.raw() + s.bytes)
+    }
 }
 
 #[cfg(test)]

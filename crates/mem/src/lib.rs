@@ -11,7 +11,9 @@
 //! * [`mshr`] — miss-status holding registers,
 //! * [`layout`] — named memory segments with DeNovo *regions* (the paper's
 //!   software-provided self-invalidation targets),
-//! * [`memory`] — the functional backing store (main memory image).
+//! * [`memory`] — the functional backing store (main memory image),
+//! * [`table`] — two-tier dense/sparse keyed storage for per-line and
+//!   per-word protocol state.
 //!
 //! The protocol controllers in `dvs-core` compose these into MESI and DeNovo
 //! cache hierarchies.
@@ -23,6 +25,7 @@ pub mod geometry;
 pub mod layout;
 pub mod memory;
 pub mod mshr;
+pub mod table;
 
 pub use access::{AccessKind, RmwOp};
 pub use addr::{Addr, LineAddr, WordAddr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
@@ -31,3 +34,4 @@ pub use geometry::CacheGeometry;
 pub use layout::{LayoutBuilder, MemoryLayout, Region, Segment};
 pub use memory::MainMemory;
 pub use mshr::Mshr;
+pub use table::SpanMap;

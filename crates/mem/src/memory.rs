@@ -2,12 +2,16 @@
 //!
 //! Caches in this simulator hold real data (so that protocol bugs manifest
 //! as wrong values, not just wrong timings); main memory is the root of that
-//! data. It is a sparse word-addressed image initialized to zero.
+//! data. It is a word-addressed image initialized to zero, stored in two
+//! tiers: a flat dense array covering the workload layout (every shared
+//! address the protocols fight over) and a sparse spill map for everything
+//! above it (thread-private allocation pools live at `1 << 40`).
 
-use crate::addr::{LineAddr, WordAddr, WORDS_PER_LINE};
+use crate::addr::{LineAddr, WordAddr, WORDS_PER_LINE, WORD_BYTES};
+use crate::layout::MemoryLayout;
 use std::collections::HashMap;
 
-/// A sparse, zero-initialized main-memory image.
+/// A zero-initialized main-memory image.
 ///
 /// # Examples
 ///
@@ -22,26 +26,59 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MainMemory {
-    words: HashMap<WordAddr, u64>,
+    /// Word `w` for `w < dense.len()` lives at `dense[w]`; zero means unset
+    /// (architecturally indistinguishable from never-written).
+    dense: Vec<u64>,
+    /// Non-zero words in the dense tier (so `nonzero_words` and the hash
+    /// length prefix stay O(1)/O(span)).
+    dense_nonzero: usize,
+    /// Words at or above `dense.len()` — out-of-layout addresses.
+    sparse: HashMap<WordAddr, u64>,
 }
 
 impl MainMemory {
-    /// Creates an all-zero image.
+    /// Creates an all-zero image with no dense tier (every word sparse).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an all-zero image whose dense tier covers `layout`: words
+    /// from address zero through the layout's top live in a flat array, so
+    /// the shared data the protocols actually contend on is reached without
+    /// hashing. Out-of-layout words still work — they spill to the sparse
+    /// tier.
+    pub fn with_layout(layout: &MemoryLayout) -> Self {
+        let words = layout.top().div_ceil(WORD_BYTES) as usize;
+        MainMemory {
+            dense: vec![0; words],
+            dense_nonzero: 0,
+            sparse: HashMap::new(),
+        }
+    }
+
     /// Reads one word (0 if never written).
     pub fn read_word(&self, w: WordAddr) -> u64 {
-        self.words.get(&w).copied().unwrap_or(0)
+        match self.dense.get(w.raw() as usize) {
+            Some(&v) => v,
+            None => self.sparse.get(&w).copied().unwrap_or(0),
+        }
     }
 
     /// Writes one word.
     pub fn write_word(&mut self, w: WordAddr, value: u64) {
-        if value == 0 {
-            self.words.remove(&w);
-        } else {
-            self.words.insert(w, value);
+        match self.dense.get_mut(w.raw() as usize) {
+            Some(slot) => {
+                self.dense_nonzero += (value != 0) as usize;
+                self.dense_nonzero -= (*slot != 0) as usize;
+                *slot = value;
+            }
+            None => {
+                if value == 0 {
+                    self.sparse.remove(&w);
+                } else {
+                    self.sparse.insert(w, value);
+                }
+            }
         }
     }
 
@@ -65,19 +102,29 @@ impl MainMemory {
 
     /// Number of words holding a non-zero value.
     pub fn nonzero_words(&self) -> usize {
-        self.words.len()
+        self.dense_nonzero + self.sparse.len()
     }
 }
 
-/// Canonical hash: the non-zero words sorted by address. Zero-valued words
-/// are removed by [`MainMemory::write_word`], so two images holding the same
-/// architectural contents always hash identically.
+/// Canonical hash: the non-zero words sorted by address. Zero is "unset" in
+/// both tiers (the sparse tier drops zero writes, the dense tier skips zeros
+/// here), so two images holding the same architectural contents always hash
+/// identically — regardless of how their storage is tiered.
 impl std::hash::Hash for MainMemory {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        let mut words: Vec<(&WordAddr, &u64)> = self.words.iter().collect();
+        state.write_usize(self.nonzero_words());
+        // Sparse keys all lie at or above the dense span, so dense-ascending
+        // followed by sparse-sorted is globally sorted.
+        for (i, &v) in self.dense.iter().enumerate() {
+            if v != 0 {
+                WordAddr::new(i as u64).hash(state);
+                v.hash(state);
+            }
+        }
+        let mut words: Vec<(&WordAddr, &u64)> = self.sparse.iter().collect();
         words.sort_unstable_by_key(|(w, _)| **w);
-        state.write_usize(words.len());
         for (w, v) in words {
+            debug_assert!(w.raw() as usize >= self.dense.len());
             w.hash(state);
             v.hash(state);
         }
@@ -87,6 +134,14 @@ impl std::hash::Hash for MainMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::LayoutBuilder;
+    use std::hash::{DefaultHasher, Hash, Hasher};
+
+    fn fingerprint(mem: &MainMemory) -> u64 {
+        let mut h = DefaultHasher::new();
+        mem.hash(&mut h);
+        h.finish()
+    }
 
     #[test]
     fn unwritten_words_read_zero() {
@@ -128,5 +183,47 @@ mod tests {
         mem.write_word(w, 0);
         assert_eq!(mem.nonzero_words(), 0);
         assert_eq!(mem.read_word(w), 0);
+    }
+
+    #[test]
+    fn dense_tier_covers_the_layout() {
+        let mut b = LayoutBuilder::new();
+        let r = b.region("r");
+        let a = b.segment("a", 256, r);
+        let layout = b.build();
+        let mut mem = MainMemory::with_layout(&layout);
+        // In-layout words hit the dense tier; far addresses still work.
+        mem.write_word(a.word(), 7);
+        mem.write_word(WordAddr::new(1 << 40), 9);
+        assert_eq!(mem.read_word(a.word()), 7);
+        assert_eq!(mem.read_word(WordAddr::new(1 << 40)), 9);
+        assert_eq!(mem.nonzero_words(), 2);
+        mem.write_word(a.word(), 0);
+        mem.write_word(WordAddr::new(1 << 40), 0);
+        assert_eq!(mem.nonzero_words(), 0);
+    }
+
+    #[test]
+    fn hash_is_tier_independent() {
+        let mut b = LayoutBuilder::new();
+        let r = b.region("r");
+        let a = b.segment("a", 128, r);
+        let layout = b.build();
+        let mut dense = MainMemory::with_layout(&layout);
+        let mut sparse = MainMemory::new();
+        let writes = [
+            (a.word(), 3u64),
+            (WordAddr::new(a.word().raw() + 5), 8),
+            (WordAddr::new(1 << 41), 1),
+        ];
+        for (w, v) in writes {
+            dense.write_word(w, v);
+            sparse.write_word(w, v);
+        }
+        assert_eq!(fingerprint(&dense), fingerprint(&sparse));
+        dense.write_word(a.word(), 0);
+        assert_ne!(fingerprint(&dense), fingerprint(&sparse));
+        sparse.write_word(a.word(), 0);
+        assert_eq!(fingerprint(&dense), fingerprint(&sparse));
     }
 }

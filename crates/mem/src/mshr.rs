@@ -5,9 +5,13 @@
 //! pressure, so the file is unbounded by default, but it records a high-water
 //! mark so experiments can confirm realistic occupancies; a bound can be set
 //! to model a finite file.
+//!
+//! Occupancy is a handful of entries (bounded by each core's outstanding
+//! misses), so the file is a flat key-sorted vector: binary-search lookups
+//! with no hashing, and the canonical fingerprint hash falls out of plain
+//! in-order iteration.
 
 use dvs_telemetry::{Component, Event, EventKind, Telemetry, TelemetryKey};
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// A file of miss-status holding registers keyed by `K`.
@@ -24,7 +28,8 @@ use std::hash::Hash;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mshr<K, V> {
-    entries: HashMap<K, V>,
+    /// Outstanding entries, sorted by key.
+    entries: Vec<(K, V)>,
     capacity: Option<usize>,
     high_water: usize,
     /// Observability only — excluded from `Hash`, never affects behaviour.
@@ -52,11 +57,11 @@ impl std::fmt::Display for MshrError {
 
 impl std::error::Error for MshrError {}
 
-impl<K: Eq + Hash, V> Mshr<K, V> {
+impl<K, V> Mshr<K, V> {
     /// Creates an unbounded file.
     pub fn unbounded() -> Self {
         Mshr {
-            entries: HashMap::new(),
+            entries: Vec::new(),
             capacity: None,
             high_water: 0,
             tel: Telemetry::off(),
@@ -67,7 +72,7 @@ impl<K: Eq + Hash, V> Mshr<K, V> {
     /// Creates a file bounded to `capacity` entries.
     pub fn bounded(capacity: usize) -> Self {
         Mshr {
-            entries: HashMap::new(),
+            entries: Vec::new(),
             capacity: Some(capacity),
             high_water: 0,
             tel: Telemetry::off(),
@@ -85,7 +90,14 @@ impl<K: Eq + Hash, V> Mshr<K, V> {
     }
 }
 
-impl<K: Eq + Hash + TelemetryKey, V> Mshr<K, V> {
+impl<K: Ord, V> Mshr<K, V> {
+    /// Where `key` is, or where it would insert.
+    fn search(&self, key: &K) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(key))
+    }
+}
+
+impl<K: Ord + TelemetryKey, V> Mshr<K, V> {
     /// Inserts a new entry.
     ///
     /// # Errors
@@ -93,16 +105,17 @@ impl<K: Eq + Hash + TelemetryKey, V> Mshr<K, V> {
     /// Returns [`MshrError::Occupied`] if the key is already tracked and
     /// [`MshrError::Full`] if a bounded file is at capacity.
     pub fn try_insert(&mut self, key: K, value: V) -> Result<(), MshrError> {
-        if self.entries.contains_key(&key) {
-            return Err(MshrError::Occupied);
-        }
+        let slot = match self.search(&key) {
+            Ok(_) => return Err(MshrError::Occupied),
+            Err(slot) => slot,
+        };
         if let Some(cap) = self.capacity {
             if self.entries.len() >= cap {
                 return Err(MshrError::Full);
             }
         }
         let addr = key.telemetry_key();
-        self.entries.insert(key, value);
+        self.entries.insert(slot, (key, value));
         self.high_water = self.high_water.max(self.entries.len());
         self.tel.emit(|| Event {
             cycle: self.tel.now(),
@@ -118,34 +131,35 @@ impl<K: Eq + Hash + TelemetryKey, V> Mshr<K, V> {
 
     /// Removes and returns an entry.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        let removed = self.entries.remove(key);
-        if removed.is_some() {
-            self.tel.emit(|| Event {
-                cycle: self.tel.now(),
-                node: self.node,
-                component: Component::Mshr,
-                addr: key.telemetry_key(),
-                kind: EventKind::MshrFree {
-                    occupancy: self.entries.len() as u32,
-                },
-            });
-        }
-        removed
+        let slot = self.search(key).ok()?;
+        let (_, value) = self.entries.remove(slot);
+        self.tel.emit(|| Event {
+            cycle: self.tel.now(),
+            node: self.node,
+            component: Component::Mshr,
+            addr: key.telemetry_key(),
+            kind: EventKind::MshrFree {
+                occupancy: self.entries.len() as u32,
+            },
+        });
+        Some(value)
     }
 
     /// Looks up an entry.
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.entries.get(key)
+        let slot = self.search(key).ok()?;
+        Some(&self.entries[slot].1)
     }
 
     /// Looks up an entry mutably.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
-        self.entries.get_mut(key)
+        let slot = self.search(key).ok()?;
+        Some(&mut self.entries[slot].1)
     }
 
     /// Whether an entry exists for `key`.
     pub fn contains(&self, key: &K) -> bool {
-        self.entries.contains_key(key)
+        self.search(key).is_ok()
     }
 
     /// Current number of outstanding entries.
@@ -163,22 +177,21 @@ impl<K: Eq + Hash + TelemetryKey, V> Mshr<K, V> {
         self.high_water
     }
 
-    /// Iterates outstanding entries (no particular order).
+    /// Iterates outstanding entries in ascending key order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.entries.iter()
+        self.entries.iter().map(|(k, v)| (k, v))
     }
 }
 
-/// Canonical hash: entries sorted by key, plus the capacity bound. The
-/// `high_water` statistic is excluded — it never affects future behaviour.
+/// Canonical hash: entries sorted by key (their storage order), plus the
+/// capacity bound. The `high_water` statistic is excluded — it never affects
+/// future behaviour.
 impl<K: Ord + Hash, V: Hash> Hash for Mshr<K, V> {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        let mut keys: Vec<&K> = self.entries.keys().collect();
-        keys.sort_unstable();
-        state.write_usize(keys.len());
-        for k in keys {
+        state.write_usize(self.entries.len());
+        for (k, v) in &self.entries {
             k.hash(state);
-            self.entries[k].hash(state);
+            v.hash(state);
         }
         self.capacity.hash(state);
     }
@@ -224,5 +237,15 @@ mod tests {
         m.remove(&2);
         assert_eq!(m.high_water(), 2);
         assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn iteration_is_key_sorted() {
+        let mut m: Mshr<u32, u32> = Mshr::unbounded();
+        for k in [9u32, 2, 5, 7, 1] {
+            m.try_insert(k, k * 10).unwrap();
+        }
+        let keys: Vec<u32> = m.iter().map(|(&k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 5, 7, 9]);
     }
 }

@@ -1,0 +1,255 @@
+//! Two-tier keyed storage: a flat dense span plus a sparse spill map.
+//!
+//! The protocol controllers and the directory/registry banks key their
+//! per-line state by address. Workload layouts are small and contiguous
+//! (`LayoutBuilder` bump-allocates from `LINE_BYTES` upward), so almost
+//! every key a bank ever sees falls in a span that is known at construction
+//! time — those live in a flat array indexed by ordinal, with no hashing
+//! and no pointer chasing. Keys outside the span (thread-private allocation
+//! pools live at `1 << 40`, far above any layout) spill to a `HashMap`.
+//!
+//! A [`SpanMap`] hashes canonically — entries sorted by key, length-prefixed
+//! — so replacing a `HashMap` with one leaves model-checking fingerprints
+//! byte-identical.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A map from `u64` keys to `T` with a dense fast path.
+///
+/// Keys of the form `base + i * stride` for `i < slots` are stored in a flat
+/// array at index `i`; all other keys fall back to a sparse map. A banked
+/// structure that only homes keys congruent to `bank` modulo `banks` uses
+/// `base = bank, stride = banks` for a table with no unreachable slots.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_mem::SpanMap;
+///
+/// let mut m: SpanMap<&str> = SpanMap::with_span(1, 2, 8); // keys 1,3,..,15
+/// *m.or_insert_with(3, || "dense") = "dense";
+/// *m.or_insert_with(1 << 40, || "sparse") = "sparse";
+/// assert_eq!(m.get(3), Some(&"dense"));
+/// assert_eq!(m.get(1 << 40), Some(&"sparse"));
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpanMap<T> {
+    base: u64,
+    stride: u64,
+    dense: Vec<Option<T>>,
+    dense_len: usize,
+    sparse: HashMap<u64, T>,
+}
+
+impl<T> Default for SpanMap<T> {
+    fn default() -> Self {
+        Self::sparse_only()
+    }
+}
+
+impl<T> SpanMap<T> {
+    /// Creates a map with no dense span: every key uses the sparse tier.
+    pub fn sparse_only() -> Self {
+        SpanMap {
+            base: 0,
+            stride: 1,
+            dense: Vec::new(),
+            dense_len: 0,
+            sparse: HashMap::new(),
+        }
+    }
+
+    /// Creates a map whose dense tier covers the `slots` keys
+    /// `base, base + stride, …, base + (slots - 1) * stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn with_span(base: u64, stride: u64, slots: usize) -> Self {
+        assert!(stride > 0, "zero stride");
+        let mut dense = Vec::new();
+        dense.resize_with(slots, || None);
+        SpanMap {
+            base,
+            stride,
+            dense,
+            dense_len: 0,
+            sparse: HashMap::new(),
+        }
+    }
+
+    /// The dense slot for `key`, if it falls in the span.
+    fn slot(&self, key: u64) -> Option<usize> {
+        let off = key.checked_sub(self.base)?;
+        if off % self.stride != 0 {
+            return None;
+        }
+        let i = (off / self.stride) as usize;
+        (i < self.dense.len()).then_some(i)
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<&T> {
+        match self.slot(key) {
+            Some(i) => self.dense[i].as_ref(),
+            None => self.sparse.get(&key),
+        }
+    }
+
+    /// Looks up `key` mutably.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        match self.slot(key) {
+            Some(i) => self.dense[i].as_mut(),
+            None => self.sparse.get_mut(&key),
+        }
+    }
+
+    /// Returns the entry for `key`, inserting `make()` if absent.
+    pub fn or_insert_with(&mut self, key: u64, make: impl FnOnce() -> T) -> &mut T {
+        match self.slot(key) {
+            Some(i) => {
+                let slot = &mut self.dense[i];
+                if slot.is_none() {
+                    *slot = Some(make());
+                    self.dense_len += 1;
+                }
+                slot.as_mut().expect("just filled")
+            }
+            None => self.sparse.entry(key).or_insert_with(make),
+        }
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        self.dense_len + self.sparse.len()
+    }
+
+    /// Whether no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates present entries. Dense entries come first in ascending key
+    /// order, then sparse entries in arbitrary order — callers that need a
+    /// canonical order must sort (as [`SpanMap::hash`] does).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slot)| {
+                slot.as_ref()
+                    .map(|v| (self.base + i as u64 * self.stride, v))
+            })
+            .chain(self.sparse.iter().map(|(&k, v)| (k, v)))
+    }
+}
+
+/// Canonical hash: entries sorted by key, length-prefixed. Matches what a
+/// plain `HashMap` version hashed after sorting, so swapping the storage
+/// leaves fingerprints unchanged.
+impl<T: Hash> Hash for SpanMap<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.len());
+        let mut sparse: Vec<(&u64, &T)> = self.sparse.iter().collect();
+        sparse.sort_unstable_by_key(|(k, _)| **k);
+        let mut spill = sparse.into_iter().peekable();
+        for (i, slot) in self.dense.iter().enumerate() {
+            if let Some(v) = slot {
+                let key = self.base + i as u64 * self.stride;
+                while let Some(&(&k, sv)) = spill.peek() {
+                    if k >= key {
+                        break;
+                    }
+                    k.hash(state);
+                    sv.hash(state);
+                    spill.next();
+                }
+                key.hash(state);
+                v.hash(state);
+            }
+        }
+        for (&k, sv) in spill {
+            k.hash(state);
+            sv.hash(state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::DefaultHasher;
+
+    fn fingerprint<T: Hash>(m: &SpanMap<T>) -> u64 {
+        let mut h = DefaultHasher::new();
+        m.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn dense_and_sparse_tiers_roundtrip() {
+        let mut m: SpanMap<u32> = SpanMap::with_span(2, 4, 4); // 2, 6, 10, 14
+        *m.or_insert_with(6, || 0) = 66;
+        *m.or_insert_with(18, || 0) = 18; // past the span
+        *m.or_insert_with(4, || 0) = 44; // wrong residue
+        *m.or_insert_with(1, || 0) = 11; // below base
+        assert_eq!(m.get(6), Some(&66));
+        assert_eq!(m.get(18), Some(&18));
+        assert_eq!(m.get(4), Some(&44));
+        assert_eq!(m.get(1), Some(&11));
+        assert_eq!(m.get(10), None);
+        assert_eq!(m.len(), 4);
+        *m.get_mut(6).unwrap() += 1;
+        assert_eq!(m.get(6), Some(&67));
+    }
+
+    #[test]
+    fn or_insert_keeps_existing() {
+        let mut m: SpanMap<u32> = SpanMap::with_span(0, 1, 8);
+        *m.or_insert_with(3, || 1) = 9;
+        assert_eq!(*m.or_insert_with(3, || 1), 9);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iter_visits_every_entry_once() {
+        let mut m: SpanMap<u64> = SpanMap::with_span(0, 2, 8);
+        for k in [0u64, 4, 14, 3, 1 << 50] {
+            *m.or_insert_with(k, || 0) = k;
+        }
+        let mut seen: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 3, 4, 14, 1 << 50]);
+        assert!(m.iter().all(|(k, &v)| k == v));
+    }
+
+    #[test]
+    fn hash_is_layout_independent() {
+        // The same entries must hash identically whether they sit in the
+        // dense tier, the sparse tier, or a mix — the canonical form is the
+        // sorted entry list, not the storage.
+        let keys = [3u64, 9, 15, 1 << 41, 2];
+        let mut all_sparse: SpanMap<u64> = SpanMap::sparse_only();
+        let mut mixed: SpanMap<u64> = SpanMap::with_span(3, 6, 3); // 3, 9, 15
+        let mut shifted: SpanMap<u64> = SpanMap::with_span(0, 1, 64);
+        for &k in &keys {
+            *all_sparse.or_insert_with(k, || 0) = k * 7;
+            *mixed.or_insert_with(k, || 0) = k * 7;
+            *shifted.or_insert_with(k, || 0) = k * 7;
+        }
+        assert_eq!(fingerprint(&all_sparse), fingerprint(&mixed));
+        assert_eq!(fingerprint(&all_sparse), fingerprint(&shifted));
+        *mixed.or_insert_with(100, || 1) = 1;
+        assert_ne!(fingerprint(&all_sparse), fingerprint(&mixed));
+    }
+
+    #[test]
+    fn empty_spans_behave() {
+        let m: SpanMap<u8> = SpanMap::sparse_only();
+        assert!(m.is_empty());
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.iter().count(), 0);
+    }
+}

@@ -31,7 +31,6 @@
 
 use dvs_engine::{Cycle, DetRng};
 use dvs_telemetry::{Component, Event, EventKind, Telemetry};
-use std::collections::HashMap;
 
 /// Bits per flit (paper Table 1: 16-bit flits).
 pub const FLIT_BITS: u64 = 16;
@@ -196,26 +195,71 @@ impl Mesh {
     /// The XY route from `src` to `dst` as a list of directional links
     /// (empty if `src == dst`).
     pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
-        let mut links = Vec::with_capacity(self.hops(src, dst));
-        let mut cur = self.coord(src);
-        let goal = self.coord(dst);
-        while cur.x != goal.x {
-            let dir = if goal.x > cur.x { Dir::East } else { Dir::West };
-            links.push(self.link(self.node(cur), dir));
-            cur.x = if goal.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        self.route_iter(src, dst).collect()
+    }
+
+    /// Iterates the XY route without allocating — the send hot path walks
+    /// this directly.
+    pub fn route_iter(&self, src: NodeId, dst: NodeId) -> RouteIter {
+        RouteIter {
+            mesh: *self,
+            cur: self.coord(src),
+            goal: self.coord(dst),
         }
-        while cur.y != goal.y {
-            let dir = if goal.y > cur.y {
+    }
+}
+
+/// Lazily-walked XY route (see [`Mesh::route_iter`]).
+#[derive(Debug, Clone)]
+pub struct RouteIter {
+    mesh: Mesh,
+    cur: Coord,
+    goal: Coord,
+}
+
+impl Iterator for RouteIter {
+    type Item = LinkId;
+
+    fn next(&mut self) -> Option<LinkId> {
+        // X first, then Y: dimension-ordered routing.
+        if self.cur.x != self.goal.x {
+            let dir = if self.goal.x > self.cur.x {
+                Dir::East
+            } else {
+                Dir::West
+            };
+            let link = self.mesh.link(self.mesh.node(self.cur), dir);
+            self.cur.x = if self.goal.x > self.cur.x {
+                self.cur.x + 1
+            } else {
+                self.cur.x - 1
+            };
+            Some(link)
+        } else if self.cur.y != self.goal.y {
+            let dir = if self.goal.y > self.cur.y {
                 Dir::South
             } else {
                 Dir::North
             };
-            links.push(self.link(self.node(cur), dir));
-            cur.y = if goal.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            let link = self.mesh.link(self.mesh.node(self.cur), dir);
+            self.cur.y = if self.goal.y > self.cur.y {
+                self.cur.y + 1
+            } else {
+                self.cur.y - 1
+            };
+            Some(link)
+        } else {
+            None
         }
-        links
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let hops = self.cur.x.abs_diff(self.goal.x) + self.cur.y.abs_diff(self.goal.y);
+        (hops, Some(hops))
     }
 }
+
+impl ExactSizeIterator for RouteIter {}
 
 /// Network timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -271,7 +315,11 @@ pub struct Network {
 struct Jitter {
     rng: DetRng,
     max: Cycle,
-    last_arrival: HashMap<(NodeId, NodeId), Cycle>,
+    /// Dense tiles×tiles matrix of the last clamped arrival per (src, dst)
+    /// pair, indexed `src * tiles + dst`; 0 (no prior arrival) clamps
+    /// nothing.
+    last_arrival: Vec<Cycle>,
+    tiles: usize,
 }
 
 impl Network {
@@ -305,7 +353,8 @@ impl Network {
             Some(Jitter {
                 rng: DetRng::new(seed),
                 max: max_jitter,
-                last_arrival: HashMap::new(),
+                last_arrival: vec![0; self.mesh.tiles() * self.mesh.tiles()],
+                tiles: self.mesh.tiles(),
             })
         };
     }
@@ -348,14 +397,15 @@ impl Network {
                 crossings: 0,
             };
         }
-        let route = self.mesh.route(src, dst);
         let mut head = now + self.params.endpoint_cycles;
-        for link in &route {
+        let mut hops: u64 = 0;
+        for link in self.mesh.route_iter(src, dst) {
             let slot = &mut self.next_free[link.0];
             let start = head.max(*slot);
             // The link is busy for the whole message's serialization time.
             *slot = start + flits;
             head = start + self.params.hop_cycles;
+            hops += 1;
             if self.tel.enabled() {
                 let busy_until = *slot;
                 self.tel.emit(|| Event {
@@ -370,7 +420,7 @@ impl Network {
                 });
             }
         }
-        let crossings = flits * route.len() as u64;
+        let crossings = flits * hops;
         self.crossings += crossings;
         // Tail flit trails the head by the serialization latency.
         let arrive = self.jittered(src, dst, head + flits + self.params.endpoint_cycles);
@@ -400,7 +450,7 @@ impl Network {
             return arrive;
         };
         let mut adjusted = arrive + j.rng.range(0, j.max + 1);
-        let last = j.last_arrival.entry((src, dst)).or_insert(0);
+        let last = &mut j.last_arrival[src * j.tiles + dst];
         if adjusted < *last {
             adjusted = *last;
         }
@@ -576,6 +626,32 @@ mod tests {
                 a.send(i * 2, 0, 15, 8).arrive,
                 b.send(i * 2, 0, 15, 8).arrive
             );
+        }
+    }
+
+    #[test]
+    fn chaos_jitter_keeps_every_pair_monotone() {
+        // Interleave traffic over many (src, dst) pairs — including both
+        // directions of each pair and self-sends — under heavy jitter, and
+        // pin that each pair's arrivals never go backwards. This exercises
+        // the whole dense last-arrival matrix, not just one slot.
+        let mesh = Mesh::new(4, 4);
+        let mut net = Network::new(mesh, NocParams::default());
+        net.enable_jitter(0xC4A05, 23);
+        let tiles = mesh.tiles();
+        let mut last = vec![0u64; tiles * tiles];
+        let mut rng = DetRng::new(42);
+        for step in 0..5000u64 {
+            let src = rng.range(0, tiles as u64) as usize;
+            let dst = rng.range(0, tiles as u64) as usize;
+            let flits = 1 + rng.range(0, 36);
+            let arrive = net.send(step, src, dst, flits).arrive;
+            let slot = &mut last[src * tiles + dst];
+            assert!(
+                arrive >= *slot,
+                "pair ({src},{dst}) went backwards at step {step}: {arrive} < {slot}"
+            );
+            *slot = arrive;
         }
     }
 }

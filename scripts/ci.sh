@@ -24,6 +24,12 @@ cargo run --release --offline -p dvs-check --example smoke
 echo "== campaign smoke (reduced fig3+fig7 grid at 1/2/4 workers, digest must match) =="
 DVS_QUICK=1 DVS_WORKERS=4 cargo bench --offline -p dvs-bench --bench campaign
 
+echo "== step_micro (stepping-throughput floors; see BENCH_step.json) =="
+# Perf-regression gate for the hot path: best-of-2 single-thread run of the
+# fig3 quick grid + the 500-case fuzz batch; fails below the committed
+# events/s and cases/s floors (set above the pre-refactor baseline).
+DVS_STEP_ITERS=2 cargo bench --offline -p dvs-bench --bench step_micro
+
 echo "== telemetry smoke (zero-perturbation + Perfetto export validation) =="
 # Captures one tatas run per protocol with a recorder sink, asserts the
 # stats/metrics match the no-telemetry baseline, validates the exported

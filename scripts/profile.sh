@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CPU-profile the simulator's hot path with gprofng (binutils' profiler —
+# the only sampling profiler on the CI image; perf and valgrind are absent).
+#
+# The profiled workload is the step_micro bench: the fig3 quick grid plus
+# the stock fuzz batch, run inline on the main thread. That inline-ness
+# matters: on this host gprofng only attributes samples to the process's
+# initial thread, so a workload that farms cells out to spawned workers
+# profiles as an idle main thread. step_micro exists partly for this.
+#
+# Usage:
+#   scripts/profile.sh [iters]        # default 5 iterations (~8s of samples)
+#
+# Output: a gprofng experiment under /tmp/dvs-prof.er and a function-sorted
+# text report on stdout. Re-display later with:
+#   gprofng display text -functions /tmp/dvs-prof.er
+#   gprofng display text -callers-callees <fn> /tmp/dvs-prof.er
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ITERS="${1:-5}"
+EXP=/tmp/dvs-prof.er
+
+command -v gprofng >/dev/null || { echo "gprofng not found (binutils)"; exit 1; }
+
+# Build the bench binary without running it, then locate it. Cargo names
+# bench binaries with a metadata hash, so take the newest match.
+cargo bench --offline -p dvs-bench --bench step_micro --no-run
+BIN=$(ls -t target/release/deps/step_micro-* | grep -v '\.d$' | head -1)
+
+rm -rf "$EXP"
+# DVS_STEP_NO_GATE: a profiling run should never fail the regression floor;
+# DVS_STEP_ITERS: repeat the measurement loop so the sampler has something
+# to chew on (one iteration is ~2.5s; gprofng's default 10ms period wants
+# more). The bench still writes BENCH_step.json — restore it afterwards if
+# you do not want a profiling run's numbers committed.
+DVS_STEP_NO_GATE=1 DVS_STEP_ITERS="$ITERS" \
+  gprofng collect app -o "$EXP" "$BIN" --bench
+
+echo
+gprofng display text -functions "$EXP"
+echo
+echo "experiment: $EXP  (gprofng display text -callers-callees <fn> $EXP)"
