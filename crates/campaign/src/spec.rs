@@ -6,7 +6,7 @@
 
 use crate::{run_workload, RunError};
 use dvs_core::chaos::FaultPlan;
-use dvs_core::config::{DataInvalidation, Protocol, ProtocolMutation, SystemConfig};
+use dvs_core::config::{DataInvalidation, MeshShape, Protocol, ProtocolMutation, SystemConfig};
 use dvs_kernels::{KernelId, KernelParams, Workload};
 use dvs_stats::RunStats;
 use dvs_telemetry::{JsonlSink, Telemetry};
@@ -113,6 +113,9 @@ pub struct ConfigOverrides {
     pub mutation: Option<ProtocolMutation>,
     /// Cycle-limit safety valve override.
     pub max_cycles: Option<u64>,
+    /// Mesh topology override (`rows x cols`; tiles must equal the core
+    /// count). `None` keeps the default square mesh.
+    pub mesh: Option<MeshShape>,
     /// Telemetry capture policy (observability only; never changes results).
     pub telemetry: TelemetryPolicy,
 }
@@ -140,6 +143,9 @@ impl ConfigOverrides {
         }
         if let Some(mc) = self.max_cycles {
             cfg.max_cycles = mc;
+        }
+        if let Some(shape) = self.mesh {
+            cfg.mesh = Some(shape);
         }
     }
 }
@@ -294,6 +300,9 @@ impl ExperimentSpec {
         if let Some(mc) = o.max_cycles {
             out.push_str(&format!(";maxc={mc}"));
         }
+        if let Some(shape) = o.mesh {
+            out.push_str(&format!(";mesh={}", shape.token()));
+        }
         match o.telemetry {
             TelemetryPolicy::Off => {}
             TelemetryPolicy::Ring => out.push_str(";tel=ring"),
@@ -404,6 +413,7 @@ impl ExperimentSpec {
             fault_seed: parse_u64("seed")?,
             mutation: get("mut").map(parse_mutation_token).transpose()?,
             max_cycles: parse_u64("maxc")?,
+            mesh: get("mesh").map(MeshShape::from_token).transpose()?,
             telemetry: match get("tel") {
                 None => TelemetryPolicy::Off,
                 Some("ring") => TelemetryPolicy::Ring,
@@ -430,16 +440,16 @@ pub fn trace_run_error(e: TraceError) -> RunError {
     }
 }
 
-/// Parses a protocol by its bar label (`"M"`, `"DS0"`, `"DS"`).
+/// Parses a protocol by its bar label (`"M"`, `"DS0"`, `"DS"`, `"GCS"`).
 ///
 /// # Errors
 ///
 /// Lists the known labels when `label` is not one of them.
 pub fn parse_protocol(label: &str) -> Result<Protocol, String> {
-    Protocol::ALL
+    Protocol::EXTENDED
         .into_iter()
         .find(|p| p.label() == label)
-        .ok_or_else(|| format!("unknown protocol {label:?} (want M, DS0, or DS)"))
+        .ok_or_else(|| format!("unknown protocol {label:?} (want M, DS0, DS, or GCS)"))
 }
 
 /// The serialized form of a [`ProtocolMutation`] — the same tokens the
@@ -450,6 +460,8 @@ pub fn mutation_token(m: ProtocolMutation) -> &'static str {
         ProtocolMutation::DnvDropXfer => "dnv-drop-xfer",
         ProtocolMutation::MesiSkipInvalidate => "mesi-skip-invalidate",
         ProtocolMutation::MesiDropAck => "mesi-drop-ack",
+        ProtocolMutation::GcsDropNotify => "gcs-drop-notify",
+        ProtocolMutation::GcsSkipUpdate => "gcs-skip-update",
     }
 }
 
@@ -464,9 +476,12 @@ pub fn parse_mutation_token(tok: &str) -> Result<ProtocolMutation, String> {
         "dnv-drop-xfer" => Ok(ProtocolMutation::DnvDropXfer),
         "mesi-skip-invalidate" => Ok(ProtocolMutation::MesiSkipInvalidate),
         "mesi-drop-ack" => Ok(ProtocolMutation::MesiDropAck),
+        "gcs-drop-notify" => Ok(ProtocolMutation::GcsDropNotify),
+        "gcs-skip-update" => Ok(ProtocolMutation::GcsSkipUpdate),
         _ => Err(format!(
             "unknown mutation {tok:?} (want dnv-skip-repoint, dnv-drop-xfer, \
-             mesi-skip-invalidate, or mesi-drop-ack)"
+             mesi-skip-invalidate, mesi-drop-ack, gcs-drop-notify, or \
+             gcs-skip-update)"
         )),
     }
 }
@@ -536,6 +551,7 @@ mod tests {
             fault_seed: Some(0xC0FFEE),
             mutation: Some(ProtocolMutation::DnvDropXfer),
             max_cycles: Some(1_000),
+            mesh: None,
             telemetry: TelemetryPolicy::Ring,
         };
         assert_eq!(ExperimentSpec::from_token(&spec.token()), Ok(spec));
@@ -544,6 +560,26 @@ mod tests {
             let spec = ExperimentSpec::app(app.name, 16, Protocol::Mesi);
             assert_eq!(ExperimentSpec::from_token(&spec.token()), Ok(spec));
         }
+    }
+
+    #[test]
+    fn gcs_and_mesh_tokens_round_trip() {
+        let mut spec = counter_spec(16);
+        spec.protocol = Protocol::Gcs;
+        spec.overrides.mesh = Some(MeshShape { rows: 2, cols: 8 });
+        spec.overrides.mutation = Some(ProtocolMutation::GcsDropNotify);
+        let tok = spec.token();
+        assert!(tok.contains(";proto=GCS"), "{tok}");
+        assert!(tok.contains(";mesh=2x8"), "{tok}");
+        assert!(tok.contains(";mut=gcs-drop-notify"), "{tok}");
+        assert_eq!(ExperimentSpec::from_token(&tok), Ok(spec));
+
+        spec.overrides.mutation = Some(ProtocolMutation::GcsSkipUpdate);
+        assert_eq!(ExperimentSpec::from_token(&spec.token()), Ok(spec));
+
+        // The mesh override lands in the materialized system config.
+        assert_eq!(spec.config().mesh, Some(MeshShape { rows: 2, cols: 8 }));
+        assert_eq!(parse_protocol("GCS"), Ok(Protocol::Gcs));
     }
 
     #[test]
@@ -567,6 +603,14 @@ mod tests {
             (
                 "kernel=tatas:counter;threads=4;iters=6;ns=1-2;proto=M;mut=nope",
                 "unknown mutation",
+            ),
+            (
+                "kernel=tatas:counter;threads=4;iters=6;ns=1-2;proto=M;mesh=0x8",
+                "zero",
+            ),
+            (
+                "kernel=tatas:counter;threads=4;iters=6;ns=1-2;proto=M;mesh=8",
+                "<rows>x<cols>",
             ),
         ] {
             let err = ExperimentSpec::from_token(bad).expect_err(bad);

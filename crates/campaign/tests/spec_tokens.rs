@@ -3,7 +3,7 @@
 //! traces), every protocol, and randomized override combinations.
 
 use dvs_campaign::{ConfigOverrides, ExperimentSpec, TelemetryPolicy, WorkloadSpec};
-use dvs_core::config::{DataInvalidation, Protocol, ProtocolMutation};
+use dvs_core::config::{DataInvalidation, MeshShape, Protocol, ProtocolMutation};
 use dvs_engine::DetRng;
 use dvs_kernels::{KernelId, KernelParams};
 use dvs_trace::MixSpec;
@@ -53,14 +53,20 @@ fn random_overrides(rng: &mut DetRng) -> ConfigOverrides {
         backoff_increment: rng.chance(1, 2).then(|| rng.range(1, 4096)),
         check_invariants: rng.chance(1, 2),
         fault_seed: rng.chance(1, 2).then(|| rng.next_u64()),
-        mutation: match rng.below(5) {
+        mutation: match rng.below(7) {
             0 => Some(ProtocolMutation::DnvSkipRepoint),
             1 => Some(ProtocolMutation::DnvDropXfer),
             2 => Some(ProtocolMutation::MesiSkipInvalidate),
             3 => Some(ProtocolMutation::MesiDropAck),
+            4 => Some(ProtocolMutation::GcsDropNotify),
+            5 => Some(ProtocolMutation::GcsSkipUpdate),
             _ => None,
         },
         max_cycles: rng.chance(1, 2).then(|| rng.range(1, 1 << 40)),
+        mesh: rng.chance(1, 3).then(|| MeshShape {
+            rows: rng.range(1, 16) as u32,
+            cols: rng.range(1, 16) as u32,
+        }),
         telemetry: match rng.below(3) {
             0 => TelemetryPolicy::Off,
             1 => TelemetryPolicy::Ring,
@@ -77,7 +83,7 @@ fn random_spec(rng: &mut DetRng) -> ExperimentSpec {
     };
     ExperimentSpec {
         workload,
-        protocol: Protocol::ALL[rng.below(3)],
+        protocol: Protocol::EXTENDED[rng.below(Protocol::EXTENDED.len())],
         overrides: random_overrides(rng),
     }
 }

@@ -1,11 +1,12 @@
 //! CI smoke stage for the model checker (see `scripts/ci.sh`).
 //!
 //! Bounded-depth check of the two smallest litmus tests under every
-//! protocol — each space is small enough to explore exhaustively in well
-//! under a minute even on one CPU — plus one seeded-mutation cell to prove
-//! the detection path end to end (found, minimized, replayed). The full
-//! matrix, including TATAS and all four mutations, lives in
-//! `crates/check/tests/check.rs` and the `check_matrix` bench.
+//! protocol (all four, GCS included) — each space is small enough to
+//! explore exhaustively in well under a minute even on one CPU — plus two
+//! seeded-mutation cells (one MESI, one GCS) to prove the detection path
+//! end to end (found, minimized, replayed). The full matrix, including
+//! TATAS and all six mutations, lives in `crates/check/tests/check.rs`
+//! and the `check_matrix` bench.
 
 use dvs_check::{check_litmus, replay_litmus, CheckConfig, Verdict};
 use dvs_core::config::{Protocol, ProtocolMutation};
@@ -21,7 +22,7 @@ fn main() {
 
     for name in ["corr", "sb"] {
         let lit = Litmus::by_name(name).expect("suite litmus");
-        for proto in Protocol::ALL {
+        for proto in Protocol::EXTENDED {
             let report = check_litmus(&lit, proto, None, &cfg);
             assert_eq!(
                 report.verdict,
@@ -39,17 +40,28 @@ fn main() {
         }
     }
 
-    // Negative control: a seeded protocol bug must be caught and replay.
-    let lit = Litmus::by_name("tatas").expect("suite litmus");
-    let (proto, mutation) = (Protocol::Mesi, ProtocolMutation::MesiSkipInvalidate);
-    let report = check_litmus(&lit, proto, Some(mutation), &cfg);
-    let Verdict::Violated(ce) = &report.verdict else {
-        panic!("{mutation:?} must be caught on {} / {proto:?}", lit.name);
-    };
-    let replayed = replay_litmus(&lit, proto, Some(mutation), ce).expect("counterexample replays");
-    println!(
-        "ok tatas {proto:?} + {mutation:?}: caught in {} deliveries ({replayed})",
-        ce.picks.len()
-    );
+    // Negative controls: seeded protocol bugs must be caught and replay —
+    // one on the MESI invalidation path, one on the GCS notify path (a
+    // dropped wakeup strands the mp consumer's spin).
+    for (name, proto, mutation) in [
+        (
+            "tatas",
+            Protocol::Mesi,
+            ProtocolMutation::MesiSkipInvalidate,
+        ),
+        ("mp", Protocol::Gcs, ProtocolMutation::GcsDropNotify),
+    ] {
+        let lit = Litmus::by_name(name).expect("suite litmus");
+        let report = check_litmus(&lit, proto, Some(mutation), &cfg);
+        let Verdict::Violated(ce) = &report.verdict else {
+            panic!("{mutation:?} must be caught on {} / {proto:?}", lit.name);
+        };
+        let replayed =
+            replay_litmus(&lit, proto, Some(mutation), ce).expect("counterexample replays");
+        println!(
+            "ok {name} {proto:?} + {mutation:?}: caught in {} deliveries ({replayed})",
+            ce.picks.len()
+        );
+    }
     println!("checker smoke OK");
 }

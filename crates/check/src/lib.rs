@@ -106,13 +106,19 @@ pub fn check_litmus(
     cfg: &CheckConfig,
 ) -> CheckReport {
     let root = litmus_root(lit, protocol, mutation);
-    let final_ok = |sys: &System| {
-        lit.check(|a| sys.read_word(a)).map_err(|vals| {
-            let vals: Vec<String> = vals.iter().map(|(n, v)| format!("{n}={v}")).collect();
-            format!("{} (observed {})", lit.property, vals.join(", "))
-        })
-    };
+    let final_ok = |sys: &System| litmus_final_ok(lit, sys);
     explore(&root, &final_ok, cfg)
+}
+
+/// The litmus verdict as an explorer predicate, with one canonical failure
+/// message — `check_litmus` and `replay_litmus` must produce byte-identical
+/// [`Failure::FinalState`] values or replay verification reports spurious
+/// divergence.
+fn litmus_final_ok(lit: &Litmus, sys: &System) -> Result<(), String> {
+    lit.check(|a| sys.read_word(a)).map_err(|vals| {
+        let vals: Vec<String> = vals.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        format!("{} (observed {})", lit.property, vals.join(", "))
+    })
 }
 
 /// Replays a counterexample from [`check_litmus`] on a fresh system and
@@ -128,10 +134,7 @@ pub fn replay_litmus(
 ) -> Result<Failure, String> {
     let plan = SchedulePlan::new(ce.picks.clone());
     let sys = plan.replay(litmus_root(lit, protocol, mutation));
-    let final_ok = |s: &System| {
-        lit.check(|a| s.read_word(a))
-            .map_err(|vals| format!("{vals:?}"))
-    };
+    let final_ok = |s: &System| litmus_final_ok(lit, s);
     match failure_of(&sys, &final_ok) {
         Some(f) => Ok(f),
         None => Err(format!(

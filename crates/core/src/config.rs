@@ -43,6 +43,14 @@ pub enum ProtocolMutation {
     /// MESI L1: drop an incoming `InvAck` (the acks balance never reaches
     /// zero, or ownership completes early on the next ack).
     MesiDropAck,
+    /// GCS bank: a value-changing sync operation clears the waiter set but
+    /// never sends the `SyncNotify` wakeups (lost wakeup — spinning cores
+    /// sleep forever).
+    GcsDropNotify,
+    /// GCS bank: execute a sync RMW's read half but forget to store the new
+    /// value back (lost update — the returned old value is correct but the
+    /// variable never changes).
+    GcsSkipUpdate,
 }
 
 /// Which coherence protocol the system runs.
@@ -54,25 +62,43 @@ pub enum Protocol {
     DeNovoSync0,
     /// DeNovoSync0 plus the adaptive hardware backoff (§4.2).
     DeNovoSync,
+    /// Generalized coherence (GCS/Soul-style): a DS0-like ownership path for
+    /// data, plus dynamic classification of contended synchronization words
+    /// into a dedicated directory-mediated update/notify path — spinning
+    /// cores are woken by a targeted `SyncNotify` instead of invalidation
+    /// storms or self-invalidation polling.
+    Gcs,
 }
 
 impl Protocol {
-    /// The paper's bar label ("M", "DS0", "DS").
+    /// The bar label ("M", "DS0", "DS", "GCS").
     pub fn label(self) -> &'static str {
         match self {
             Protocol::Mesi => "M",
             Protocol::DeNovoSync0 => "DS0",
             Protocol::DeNovoSync => "DS",
+            Protocol::Gcs => "GCS",
         }
     }
 
-    /// Whether this is one of the DeNovo variants.
+    /// Whether this is one of the DeNovo variants (GCS is its own family:
+    /// its data path is DeNovo-like but its sync path is not).
     pub fn is_denovo(self) -> bool {
-        !matches!(self, Protocol::Mesi)
+        matches!(self, Protocol::DeNovoSync0 | Protocol::DeNovoSync)
     }
 
-    /// All three protocols, in the paper's bar order.
+    /// The paper's three protocols, in the paper's bar order. Figure grids
+    /// keep this set so committed figure shapes and digests are stable.
     pub const ALL: [Protocol; 3] = [Protocol::Mesi, Protocol::DeNovoSync0, Protocol::DeNovoSync];
+
+    /// Every backend, paper bar order first, then GCS. The differential
+    /// stack (litmus, check, fuzz) runs over this set.
+    pub const EXTENDED: [Protocol; 4] = [
+        Protocol::Mesi,
+        Protocol::DeNovoSync0,
+        Protocol::DeNovoSync,
+        Protocol::Gcs,
+    ];
 }
 
 impl std::fmt::Display for Protocol {
@@ -163,11 +189,80 @@ impl Default for LatencyConfig {
     }
 }
 
+/// A mesh topology shape: `rows × cols` tiles. The paper's systems are
+/// square; non-square shapes (2×8, 16×8, …) widen the hardware space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeshShape {
+    /// Mesh rows (must be positive).
+    pub rows: u32,
+    /// Mesh columns (must be positive).
+    pub cols: u32,
+}
+
+impl MeshShape {
+    /// Creates a shape, validating both dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero dimension with an explanation.
+    pub fn new(rows: u32, cols: u32) -> Result<Self, String> {
+        if rows == 0 || cols == 0 {
+            return Err(format!("mesh {rows}x{cols} has a zero dimension"));
+        }
+        Ok(MeshShape { rows, cols })
+    }
+
+    /// Tile count.
+    pub fn tiles(self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// The canonical `<rows>x<cols>` token.
+    pub fn token(self) -> String {
+        format!("{}x{}", self.rows, self.cols)
+    }
+
+    /// Parses a `<rows>x<cols>` token (the inverse of [`MeshShape::token`]).
+    ///
+    /// # Errors
+    ///
+    /// Explains a malformed token or a zero dimension.
+    pub fn from_token(tok: &str) -> Result<Self, String> {
+        let (r, c) = tok
+            .split_once('x')
+            .ok_or_else(|| format!("mesh {tok:?} is not <rows>x<cols>"))?;
+        let rows = r
+            .parse()
+            .map_err(|_| format!("mesh rows {r:?} is not a number"))?;
+        let cols = c
+            .parse()
+            .map_err(|_| format!("mesh cols {c:?} is not a number"))?;
+        MeshShape::new(rows, cols)
+    }
+}
+
+/// Deterministic heterogeneous link latencies: each mesh link gets a fixed
+/// extra per-hop delay in `0..=max_extra`, chosen by `seed`. Models chips
+/// whose links are not all equally fast (longer wires, slower voltage
+/// domains) while keeping runs bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeteroLinks {
+    /// Seed the per-link delays derive from.
+    pub seed: u64,
+    /// Largest extra per-hop delay a link may carry, in cycles.
+    pub max_extra: Cycle,
+}
+
 /// A complete simulated-system configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SystemConfig {
     /// Number of cores (= tiles = L2 banks).
     pub cores: usize,
+    /// Mesh shape; `None` means the square mesh for `cores` tiles. When set,
+    /// `rows × cols` must equal `cores`.
+    pub mesh: Option<MeshShape>,
+    /// Heterogeneous per-link latencies; `None` keeps every link uniform.
+    pub hetero_links: Option<HeteroLinks>,
     /// The coherence protocol.
     pub protocol: Protocol,
     /// Private L1 geometry (Table 1: 32 KB).
@@ -210,6 +305,8 @@ impl SystemConfig {
         SystemConfig {
             cores: 16,
             protocol,
+            mesh: None,
+            hetero_links: None,
             l1: CacheGeometry::new(32 * 1024, 4),
             noc: Self::noc_params(),
             latency: LatencyConfig::default(),
@@ -229,6 +326,8 @@ impl SystemConfig {
         SystemConfig {
             cores: 64,
             protocol,
+            mesh: None,
+            hetero_links: None,
             l1: CacheGeometry::new(32 * 1024, 4),
             noc: Self::noc_params(),
             latency: LatencyConfig::default(),
@@ -248,6 +347,8 @@ impl SystemConfig {
         SystemConfig {
             cores,
             protocol,
+            mesh: None,
+            hetero_links: None,
             l1: CacheGeometry::new(32 * 1024, 4),
             noc: Self::noc_params(),
             latency: LatencyConfig::default(),
@@ -259,6 +360,15 @@ impl SystemConfig {
             fault_plan: None,
             mutation: None,
         }
+    }
+
+    /// A system on an explicit (possibly non-square, possibly large)
+    /// `rows × cols` mesh: the [`SystemConfig::small`] parameterization
+    /// with the core count taken from the shape.
+    pub fn meshed(shape: MeshShape, protocol: Protocol) -> Self {
+        let mut cfg = Self::small(shape.tiles(), protocol);
+        cfg.mesh = Some(shape);
+        cfg
     }
 
     /// The paper's configuration for a given core count (16 or 64).
@@ -365,6 +475,42 @@ mod tests {
     #[should_panic(expected = "16 and 64")]
     fn paper_rejects_other_core_counts() {
         SystemConfig::paper(32, Protocol::Mesi);
+    }
+
+    #[test]
+    fn protocol_lists_and_labels() {
+        assert_eq!(Protocol::ALL.len(), 3, "paper bar order is fixed");
+        assert_eq!(Protocol::EXTENDED[..3], Protocol::ALL);
+        assert_eq!(Protocol::Gcs.label(), "GCS");
+        assert!(!Protocol::Gcs.is_denovo());
+        assert!(Protocol::DeNovoSync0.is_denovo());
+        assert!(!Protocol::Mesi.is_denovo());
+    }
+
+    #[test]
+    fn mesh_shape_tokens_round_trip_and_reject_zeros() {
+        for shape in [
+            MeshShape { rows: 2, cols: 8 },
+            MeshShape { rows: 16, cols: 8 },
+            MeshShape { rows: 16, cols: 16 },
+        ] {
+            assert_eq!(MeshShape::from_token(&shape.token()), Ok(shape));
+        }
+        assert!(MeshShape::from_token("0x8").unwrap_err().contains("zero"));
+        assert!(MeshShape::from_token("4x0").unwrap_err().contains("zero"));
+        assert!(MeshShape::from_token("4")
+            .unwrap_err()
+            .contains("<rows>x<cols>"));
+        assert!(MeshShape::from_token("axb").unwrap_err().contains("rows"));
+        assert_eq!(MeshShape { rows: 16, cols: 8 }.tiles(), 128);
+    }
+
+    #[test]
+    fn meshed_config_carries_the_shape() {
+        let shape = MeshShape { rows: 2, cols: 8 };
+        let cfg = SystemConfig::meshed(shape, Protocol::Gcs);
+        assert_eq!(cfg.cores, 16);
+        assert_eq!(cfg.mesh, Some(shape));
     }
 
     #[test]

@@ -1,0 +1,1080 @@
+//! The GCS home bank: a DeNovo registry with a sync-variable directory.
+//!
+//! Ordinary words behave exactly like [`crate::denovo::registry`]: `Valid`
+//! at the bank or `Registered` to one L1, non-blocking re-points on racing
+//! registrations. The generalized-coherence twist is **dynamic
+//! classification**: when two cores contend for a word with synchronization
+//! accesses (a sync-class registration hits a word registered elsewhere, or
+//! a `SyncOp`/`SyncWatch` arrives), the bank promotes the word to a
+//! *sync-classified* entry — permanently. Classified words always live at
+//! the bank (`Valid`); sync operations execute here atomically
+//! ([`GcsMsg::SyncOp`]), spinners park in a per-word waiter set
+//! ([`GcsMsg::SyncWatch`]), and every value change pushes targeted
+//! [`GcsMsg::SyncNotify`] wakeups — no writer-initiated invalidations, no
+//! broadcast.
+//!
+//! Promotion of a currently-registered word runs a recall handshake: the
+//! bank sends [`GcsMsg::Recall`], parks everything that arrives for the
+//! word, and settles when the value comes back (via [`GcsMsg::RecallAck`]
+//! or a crossing writeback, whichever wins the race).
+
+use crate::config::ProtocolMutation;
+use crate::denovo::registry::RegWord;
+use crate::msg::{BankId, CoreId, DnvMsg, Endpoint, GcsMsg, GcsOpKind, LineData, Msg};
+use crate::proto::Action;
+use dvs_mem::{LineAddr, MemoryLayout, SpanMap, WordAddr, LINE_BYTES, WORDS_PER_LINE};
+use dvs_telemetry::{Component, Event, EventKind, Telemetry, TelemetryKey};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Maximum cores a waiter set can track.
+const MAX_WAITERS: usize = 256;
+
+/// A dense per-word waiter set (one bit per core, up to 256 cores).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+struct WaiterMask([u64; MAX_WAITERS / 64]);
+
+impl WaiterMask {
+    fn set(&mut self, core: CoreId) {
+        assert!(
+            core < MAX_WAITERS,
+            "waiter mask supports {MAX_WAITERS} cores"
+        );
+        self.0[core / 64] |= 1 << (core % 64);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.0.iter().enumerate().flat_map(|(i, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| i * 64 + b)
+        })
+    }
+
+    /// Returns all set cores and clears the mask.
+    fn drain(&mut self) -> Vec<CoreId> {
+        let waiters: Vec<CoreId> = self.iter().collect();
+        self.0 = [0; MAX_WAITERS / 64];
+        waiters
+    }
+}
+
+/// Directory state for one sync-classified word. Presence in the bank's
+/// sync map *is* the classification — entries are never removed.
+#[derive(Debug, Clone, Hash)]
+struct SyncEntry {
+    /// Cores to wake on the next value change.
+    waiters: WaiterMask,
+    /// A recall handshake is reclaiming the word from its registrant.
+    recalling: bool,
+    /// Messages parked while recalling; drained FIFO once settled.
+    pending: VecDeque<Msg>,
+}
+
+impl SyncEntry {
+    fn new(recalling: bool) -> Self {
+        SyncEntry {
+            waiters: WaiterMask::default(),
+            recalling,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Hash)]
+struct GcsLine {
+    words: [RegWord; WORDS_PER_LINE],
+    has_data: bool,
+    fetching: bool,
+    queue: VecDeque<Msg>,
+}
+
+impl GcsLine {
+    fn new() -> Self {
+        GcsLine {
+            words: [RegWord::Valid(0); WORDS_PER_LINE],
+            has_data: false,
+            fetching: false,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// One L2 bank's slice of the GCS directory.
+#[derive(Debug, Clone)]
+pub struct GcsBank {
+    bank: BankId,
+    mem: Endpoint,
+    lines: SpanMap<GcsLine>,
+    /// Sync-classified words homed here (sticky; sorted for canonical hash).
+    sync: BTreeMap<WordAddr, SyncEntry>,
+    mutation: Option<ProtocolMutation>,
+    /// Targeted wakeup notifications sent (metric).
+    notifies: u64,
+    /// Recall handshakes started (metric).
+    recalls: u64,
+    /// Observability only — excluded from `Hash`, never affects behaviour.
+    tel: Telemetry,
+}
+
+impl GcsBank {
+    /// Creates an empty bank fetching lines through `mem`.
+    pub fn new(bank: BankId, mem: Endpoint) -> Self {
+        GcsBank {
+            bank,
+            mem,
+            lines: SpanMap::sparse_only(),
+            sync: BTreeMap::new(),
+            mutation: None,
+            notifies: 0,
+            recalls: 0,
+            tel: Telemetry::off(),
+        }
+    }
+
+    /// Sizes the dense line table from the workload layout (see
+    /// [`crate::denovo::registry::DnvRegistry::configure_span`]).
+    pub fn configure_span(&mut self, layout: &MemoryLayout, banks: usize) {
+        debug_assert!(self.lines.is_empty(), "span configured after traffic");
+        let top_line = layout.top().div_ceil(LINE_BYTES);
+        let slots = top_line.div_ceil(banks as u64) as usize;
+        self.lines = SpanMap::with_span(self.bank as u64, banks as u64, slots);
+    }
+
+    /// Attaches a telemetry handle.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// Arms a seeded protocol bug (negative testing).
+    pub fn set_mutation(&mut self, mutation: Option<ProtocolMutation>) {
+        self.mutation = mutation;
+    }
+
+    /// Targeted wakeup notifications sent so far.
+    pub fn notifies(&self) -> u64 {
+        self.notifies
+    }
+
+    /// Recall handshakes started so far.
+    pub fn recalls(&self) -> u64 {
+        self.recalls
+    }
+
+    /// The registry state of a word, if its line has been touched.
+    pub fn word(&self, word: WordAddr) -> Option<RegWord> {
+        let line = self.lines.get(word.line().raw())?;
+        line.has_data.then_some(line.words[word.index_in_line()])
+    }
+
+    /// Whether `word` is sync-classified at this bank.
+    pub fn classified(&self, word: WordAddr) -> bool {
+        self.sync.contains_key(&word)
+    }
+
+    /// Iterates every sync-classified word homed here.
+    pub fn classified_words(&self) -> impl Iterator<Item = WordAddr> + '_ {
+        self.sync.keys().copied()
+    }
+
+    /// Whether a recall handshake is in flight for `word`.
+    pub fn recalling(&self, word: WordAddr) -> bool {
+        self.sync.get(&word).is_some_and(|e| e.recalling)
+    }
+
+    /// The cores currently parked in `word`'s waiter set.
+    pub fn waiters_of(&self, word: WordAddr) -> Vec<CoreId> {
+        self.sync
+            .get(&word)
+            .map_or_else(Vec::new, |e| e.waiters.iter().collect())
+    }
+
+    /// Total parked waiters across all classified words.
+    pub fn waiter_count(&self) -> usize {
+        self.sync.values().map(|e| e.waiters.iter().count()).sum()
+    }
+
+    /// Number of words currently registered to some L1.
+    pub fn registered_words(&self) -> usize {
+        self.lines
+            .iter()
+            .flat_map(|(_, l)| l.words.iter())
+            .filter(|w| matches!(w, RegWord::Registered(_)))
+            .count()
+    }
+
+    /// Iterates every word currently registered to some core.
+    pub fn registrations(&self) -> impl Iterator<Item = (WordAddr, CoreId)> + '_ {
+        self.lines.iter().flat_map(|(raw, e)| {
+            let line = LineAddr::new(raw);
+            e.words
+                .iter()
+                .enumerate()
+                .filter_map(move |(i, w)| match w {
+                    RegWord::Registered(c) => Some((line.word(i), *c)),
+                    RegWord::Valid(_) => None,
+                })
+        })
+    }
+
+    /// Whether any line is still waiting on a memory fetch.
+    pub fn any_fetching(&self) -> bool {
+        self.lines
+            .iter()
+            .any(|(_, l)| l.fetching || !l.queue.is_empty())
+    }
+
+    /// Whether any sync entry is mid-recall or holds parked messages (for
+    /// quiescence checks).
+    pub fn sync_busy(&self) -> bool {
+        self.sync
+            .values()
+            .any(|e| e.recalling || !e.pending.is_empty())
+    }
+
+    /// Whether the line is still being resolved — fetching, holding queued
+    /// requests, unfilled, or mid-recall on one of its words. The transient
+    /// exemption for the runtime conservation checker.
+    pub fn line_busy(&self, line: LineAddr) -> bool {
+        self.lines
+            .get(line.raw())
+            .is_some_and(|l| l.fetching || !l.queue.is_empty() || !l.has_data)
+            || line.words().any(|w| {
+                self.sync
+                    .get(&w)
+                    .is_some_and(|e| e.recalling || !e.pending.is_empty())
+            })
+    }
+
+    /// A one-line human-readable description of a word's state (stall
+    /// diagnostics).
+    pub fn describe_word(&self, word: WordAddr) -> Option<String> {
+        let e = self.lines.get(word.line().raw())?;
+        let mut s = format!(
+            "gcs bank {}: {word} {:?} has_data={} fetching={} queued={}",
+            self.bank,
+            e.words[word.index_in_line()],
+            e.has_data,
+            e.fetching,
+            e.queue.len()
+        );
+        if let Some(sync) = self.sync.get(&word) {
+            s.push_str(&format!(
+                " sync[recalling={} waiters={} parked={}]",
+                sync.recalling,
+                sync.waiters.iter().count(),
+                sync.pending.len()
+            ));
+        }
+        Some(s)
+    }
+
+    fn emit_registration(&self, word: WordAddr, owner: CoreId, prev: Option<CoreId>) {
+        self.tel.emit(|| Event {
+            cycle: self.tel.now(),
+            node: self.bank as u32,
+            component: Component::Dir,
+            addr: word.telemetry_key(),
+            kind: EventKind::Registration {
+                owner: owner as u32,
+                prev: prev.map_or(u32::MAX, |p| p as u32),
+            },
+        });
+    }
+
+    fn emit_classify(&self, word: WordAddr) {
+        self.tel.emit(|| Event {
+            cycle: self.tel.now(),
+            node: self.bank as u32,
+            component: Component::Dir,
+            addr: word.telemetry_key(),
+            kind: EventKind::Transition {
+                from: "data",
+                to: "sync",
+                cause: "classify",
+            },
+        });
+    }
+
+    /// Handles one incoming message (data-path [`Msg::Dnv`] or sync-path
+    /// [`Msg::Gcs`]).
+    pub fn on_msg(&mut self, msg: Msg, actions: &mut Vec<Action>) {
+        let (word, class) = match &msg {
+            Msg::Dnv(m) => (m.word(), m.class()),
+            Msg::Gcs(m) => (m.word(), m.class()),
+            other => {
+                actions.push(Action::violation(format!(
+                    "gcs bank {} cannot handle {other:?}",
+                    self.bank
+                )));
+                return;
+            }
+        };
+        let line = word.line();
+        let entry = self.lines.or_insert_with(line.raw(), GcsLine::new);
+        if !entry.has_data {
+            entry.queue.push_back(msg);
+            if !entry.fetching {
+                entry.fetching = true;
+                actions.push(Action::Send {
+                    to: self.mem,
+                    msg: Msg::MemRead {
+                        line,
+                        bank: self.bank,
+                        class,
+                    },
+                });
+            }
+            return;
+        }
+        self.dispatch(msg, actions);
+    }
+
+    /// Memory returned a line this bank was fetching.
+    pub fn on_mem_data(&mut self, line: LineAddr, data: LineData, actions: &mut Vec<Action>) {
+        let Some(entry) = self.lines.get_mut(line.raw()) else {
+            actions.push(Action::violation(format!(
+                "gcs bank {}: MemData for unknown line {line}",
+                self.bank
+            )));
+            return;
+        };
+        if !entry.fetching {
+            actions.push(Action::violation(format!(
+                "gcs bank {}: MemData for {line} that was not being fetched",
+                self.bank
+            )));
+            return;
+        }
+        for (i, w) in entry.words.iter_mut().enumerate() {
+            *w = RegWord::Valid(data[i]);
+        }
+        entry.has_data = true;
+        entry.fetching = false;
+        let queued: Vec<Msg> = entry.queue.drain(..).collect();
+        for m in queued {
+            self.dispatch(m, actions);
+        }
+    }
+
+    fn dispatch(&mut self, msg: Msg, actions: &mut Vec<Action>) {
+        let word = match &msg {
+            Msg::Dnv(m) => m.word(),
+            Msg::Gcs(m) => m.word(),
+            _ => unreachable!("filtered by on_msg"),
+        };
+        match self.sync.get(&word).map(|e| e.recalling) {
+            Some(true) => self.on_recalling(word, msg, actions),
+            Some(false) => self.on_classified(word, msg, actions),
+            None => self.on_unclassified(word, msg, actions),
+        }
+    }
+
+    fn word_slot(&mut self, word: WordAddr) -> &mut RegWord {
+        let entry = self
+            .lines
+            .get_mut(word.line().raw())
+            .expect("line fetched before dispatch");
+        &mut entry.words[word.index_in_line()]
+    }
+
+    /// A recall handshake is in flight: accept the returning value (a
+    /// `RecallAck`, or the registrant's crossing writeback), park sync and
+    /// read traffic, and turn registrations away immediately.
+    fn on_recalling(&mut self, word: WordAddr, msg: Msg, actions: &mut Vec<Action>) {
+        match msg {
+            Msg::Dnv(DnvMsg::WbReq { value, from, .. }) => match *self.word_slot(word) {
+                // The registrant's eviction writeback crossed our recall:
+                // accept it as the recall return (its L1 drops the recall).
+                RegWord::Registered(owner) if owner == from => {
+                    *self.word_slot(word) = RegWord::Valid(value);
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(from),
+                        msg: Msg::Dnv(DnvMsg::WbAck { word }),
+                    });
+                    self.settle_recall(word, actions);
+                }
+                RegWord::Registered(_) => actions.push(Action::Send {
+                    to: Endpoint::L1(from),
+                    msg: Msg::Dnv(DnvMsg::WbNack { word }),
+                }),
+                RegWord::Valid(_) => actions.push(Action::violation(format!(
+                    "gcs bank {}: writeback for recalled word {word} the bank already holds",
+                    self.bank
+                ))),
+            },
+            Msg::Gcs(GcsMsg::RecallAck { from, value, .. }) => {
+                let RegWord::Registered(owner) = *self.word_slot(word) else {
+                    actions.push(Action::violation(format!(
+                        "gcs bank {}: RecallAck for {word} the bank already holds",
+                        self.bank
+                    )));
+                    return;
+                };
+                if owner != from {
+                    actions.push(Action::violation(format!(
+                        "gcs bank {}: RecallAck for {word} from core {from}, \
+                         registrant is core {owner}",
+                        self.bank
+                    )));
+                    return;
+                }
+                let Some(value) = value else {
+                    actions.push(Action::violation(format!(
+                        "gcs bank {}: registrant core {from} answered the recall of \
+                         {word} without the value",
+                        self.bank
+                    )));
+                    return;
+                };
+                *self.word_slot(word) = RegWord::Valid(value);
+                self.settle_recall(word, actions);
+            }
+            // The word is classified; any registration attempt converts.
+            Msg::Dnv(DnvMsg::RegReq { req, .. }) => actions.push(Action::Send {
+                to: Endpoint::L1(req),
+                msg: Msg::Gcs(GcsMsg::Classified { word }),
+            }),
+            Msg::Dnv(DnvMsg::ReadReq { .. })
+            | Msg::Gcs(GcsMsg::SyncOp { .. })
+            | Msg::Gcs(GcsMsg::SyncWatch { .. }) => {
+                let entry = self.sync.get_mut(&word).expect("recalling entry");
+                entry.pending.push_back(msg);
+            }
+            other => actions.push(Action::violation(format!(
+                "gcs bank {} cannot handle {other:?} while recalling {word}",
+                self.bank
+            ))),
+        }
+    }
+
+    fn settle_recall(&mut self, word: WordAddr, actions: &mut Vec<Action>) {
+        let entry = self.sync.get_mut(&word).expect("recalling entry");
+        entry.recalling = false;
+        let pending: Vec<Msg> = entry.pending.drain(..).collect();
+        for m in pending {
+            self.dispatch(m, actions);
+        }
+    }
+
+    /// The word is classified and settled at the bank.
+    fn on_classified(&mut self, word: WordAddr, msg: Msg, actions: &mut Vec<Action>) {
+        match msg {
+            Msg::Gcs(GcsMsg::SyncOp { req, op, .. }) => self.exec_sync(word, req, op, actions),
+            Msg::Gcs(GcsMsg::SyncWatch { req, seen, .. }) => self.watch(word, req, seen, actions),
+            Msg::Dnv(DnvMsg::RegReq { req, .. }) => actions.push(Action::Send {
+                to: Endpoint::L1(req),
+                msg: Msg::Gcs(GcsMsg::Classified { word }),
+            }),
+            Msg::Dnv(DnvMsg::ReadReq { req, .. }) => {
+                let RegWord::Valid(value) = *self.word_slot(word) else {
+                    actions.push(Action::violation(format!(
+                        "gcs bank {}: classified word {word} registered away",
+                        self.bank
+                    )));
+                    return;
+                };
+                self.serve_read(word, req, value, actions);
+            }
+            // A stale recall answer from a registrant whose writeback had
+            // already returned the word; the handshake is long settled.
+            Msg::Gcs(GcsMsg::RecallAck { value: None, .. }) => {}
+            other => actions.push(Action::violation(format!(
+                "gcs bank {} cannot handle {other:?} for classified word {word}",
+                self.bank
+            ))),
+        }
+    }
+
+    /// The word is ordinary data so far: behave like the DeNovo registry,
+    /// but promote to sync-classified on synchronization contention.
+    fn on_unclassified(&mut self, word: WordAddr, msg: Msg, actions: &mut Vec<Action>) {
+        match msg {
+            // A sync op can only reach an unclassified word when the
+            // sender's predictor outlives knowledge this bank never had
+            // (fresh bank state in unit tests); classify on demand.
+            Msg::Gcs(GcsMsg::SyncOp { req, .. }) | Msg::Gcs(GcsMsg::SyncWatch { req, .. }) => {
+                match *self.word_slot(word) {
+                    RegWord::Registered(owner) => {
+                        if owner == req {
+                            actions.push(Action::violation(format!(
+                                "gcs bank {}: sync op for {word} from its own \
+                                 registrant core {req}",
+                                self.bank
+                            )));
+                            return;
+                        }
+                        self.classify(word, owner, actions);
+                        let entry = self.sync.get_mut(&word).expect("just classified");
+                        entry.pending.push_back(msg);
+                    }
+                    RegWord::Valid(_) => {
+                        self.sync.insert(word, SyncEntry::new(false));
+                        self.emit_classify(word);
+                        self.on_classified(word, msg, actions);
+                    }
+                }
+            }
+            Msg::Dnv(DnvMsg::RegReq { req, class, .. }) => {
+                match *self.word_slot(word) {
+                    RegWord::Valid(value) => {
+                        *self.word_slot(word) = RegWord::Registered(req);
+                        actions.push(Action::Send {
+                            to: Endpoint::L1(req),
+                            msg: Msg::Dnv(DnvMsg::RegAck { word, value, class }),
+                        });
+                        self.emit_registration(word, req, None);
+                    }
+                    RegWord::Registered(prev) => {
+                        if prev == req {
+                            actions.push(Action::violation(format!(
+                                "gcs bank {}: re-registration of {word} by current \
+                                 registrant core {req}",
+                                self.bank
+                            )));
+                            return;
+                        }
+                        if class.registers() && class != crate::msg::XferClass::Write {
+                            // Sync-on-sync contention: this is what marks a
+                            // word as a synchronization variable.
+                            self.classify(word, prev, actions);
+                            actions.push(Action::Send {
+                                to: Endpoint::L1(req),
+                                msg: Msg::Gcs(GcsMsg::Classified { word }),
+                            });
+                            return;
+                        }
+                        // Plain data-write contention: the DeNovo
+                        // non-blocking re-point, no classification.
+                        *self.word_slot(word) = RegWord::Registered(req);
+                        actions.push(Action::Send {
+                            to: Endpoint::L1(prev),
+                            msg: Msg::Dnv(DnvMsg::Xfer {
+                                word,
+                                new_owner: req,
+                                class,
+                            }),
+                        });
+                        self.emit_registration(word, req, Some(prev));
+                    }
+                }
+            }
+            Msg::Dnv(DnvMsg::ReadReq { req, .. }) => match *self.word_slot(word) {
+                RegWord::Valid(value) => self.serve_read(word, req, value, actions),
+                RegWord::Registered(owner) => {
+                    if owner == req {
+                        actions.push(Action::violation(format!(
+                            "gcs bank {}: registrant core {req} data-reading its own \
+                             word {word} remotely",
+                            self.bank
+                        )));
+                        return;
+                    }
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(owner),
+                        msg: Msg::Dnv(DnvMsg::ReadReq { word, req }),
+                    });
+                }
+            },
+            Msg::Dnv(DnvMsg::WbReq { value, from, .. }) => match *self.word_slot(word) {
+                RegWord::Registered(owner) if owner == from => {
+                    *self.word_slot(word) = RegWord::Valid(value);
+                    actions.push(Action::Send {
+                        to: Endpoint::L1(from),
+                        msg: Msg::Dnv(DnvMsg::WbAck { word }),
+                    });
+                }
+                RegWord::Registered(_) => actions.push(Action::Send {
+                    to: Endpoint::L1(from),
+                    msg: Msg::Dnv(DnvMsg::WbNack { word }),
+                }),
+                RegWord::Valid(_) => actions.push(Action::violation(format!(
+                    "gcs bank {}: writeback for {word}, which the registry already holds",
+                    self.bank
+                ))),
+            },
+            other => actions.push(Action::violation(format!(
+                "gcs bank {} cannot handle {other:?}",
+                self.bank
+            ))),
+        }
+    }
+
+    /// Promotes `word` to sync-classified and starts recalling it from its
+    /// current registrant.
+    fn classify(&mut self, word: WordAddr, registrant: CoreId, actions: &mut Vec<Action>) {
+        self.sync.insert(word, SyncEntry::new(true));
+        self.recalls += 1;
+        self.emit_classify(word);
+        actions.push(Action::Send {
+            to: Endpoint::L1(registrant),
+            msg: Msg::Gcs(GcsMsg::Recall { word }),
+        });
+    }
+
+    /// Executes a sync operation atomically at the bank and notifies the
+    /// waiter set if the value changed.
+    fn exec_sync(&mut self, word: WordAddr, req: CoreId, op: GcsOpKind, actions: &mut Vec<Action>) {
+        let RegWord::Valid(old) = *self.word_slot(word) else {
+            actions.push(Action::violation(format!(
+                "gcs bank {}: classified word {word} registered away during sync op",
+                self.bank
+            )));
+            return;
+        };
+        let (stored, resp) = match op {
+            GcsOpKind::Load => (old, old),
+            GcsOpKind::Store { value } => (value, value),
+            GcsOpKind::Rmw(o) => {
+                let new = if self.mutation == Some(ProtocolMutation::GcsSkipUpdate) {
+                    old
+                } else {
+                    o.apply(old)
+                };
+                (new, old)
+            }
+        };
+        *self.word_slot(word) = RegWord::Valid(stored);
+        actions.push(Action::Send {
+            to: Endpoint::L1(req),
+            msg: Msg::Gcs(GcsMsg::SyncResp { word, value: resp }),
+        });
+        if stored != old {
+            self.notify_waiters(word, stored, req, actions);
+        }
+    }
+
+    /// Arms a level-triggered watch: notify immediately if the value has
+    /// already moved past what the spinner saw, otherwise park it.
+    fn watch(&mut self, word: WordAddr, req: CoreId, seen: u64, actions: &mut Vec<Action>) {
+        let RegWord::Valid(cur) = *self.word_slot(word) else {
+            actions.push(Action::violation(format!(
+                "gcs bank {}: classified word {word} registered away during watch",
+                self.bank
+            )));
+            return;
+        };
+        if cur != seen {
+            if self.mutation != Some(ProtocolMutation::GcsDropNotify) {
+                self.notifies += 1;
+                actions.push(Action::Send {
+                    to: Endpoint::L1(req),
+                    msg: Msg::Gcs(GcsMsg::SyncNotify { word, value: cur }),
+                });
+            }
+            return;
+        }
+        let entry = self.sync.get_mut(&word).expect("classified entry");
+        entry.waiters.set(req);
+    }
+
+    /// Pushes the new value to every parked waiter. The waiter set always
+    /// clears — a half-cleared set would desynchronize the directory even
+    /// under the drop-notify mutation.
+    fn notify_waiters(
+        &mut self,
+        word: WordAddr,
+        value: u64,
+        writer: CoreId,
+        actions: &mut Vec<Action>,
+    ) {
+        let entry = self.sync.get_mut(&word).expect("classified entry");
+        let waiters = entry.waiters.drain();
+        if waiters.is_empty() {
+            return;
+        }
+        if self.mutation != Some(ProtocolMutation::GcsDropNotify) {
+            for &c in &waiters {
+                self.notifies += 1;
+                actions.push(Action::Send {
+                    to: Endpoint::L1(c),
+                    msg: Msg::Gcs(GcsMsg::SyncNotify { word, value }),
+                });
+            }
+        }
+        self.tel.emit(|| Event {
+            cycle: self.tel.now(),
+            node: self.bank as u32,
+            component: Component::Dir,
+            addr: word.telemetry_key(),
+            kind: EventKind::Notify {
+                writer: writer as u32,
+                waiters: waiters.len() as u32,
+            },
+        });
+    }
+
+    /// Serves a data read from the bank, piggy-backing the line's other
+    /// valid words (only valid parts travel — DeNovo's traffic advantage).
+    fn serve_read(&mut self, word: WordAddr, req: CoreId, value: u64, actions: &mut Vec<Action>) {
+        let entry = self
+            .lines
+            .get(word.line().raw())
+            .expect("line fetched before dispatch");
+        let idx = word.index_in_line();
+        let mut mask = 0u8;
+        let mut data = [0u64; WORDS_PER_LINE];
+        for (i, w) in entry.words.iter().enumerate() {
+            if i != idx {
+                if let RegWord::Valid(v) = *w {
+                    mask |= 1 << i;
+                    data[i] = v;
+                }
+            }
+        }
+        actions.push(Action::Send {
+            to: Endpoint::L1(req),
+            msg: Msg::Dnv(DnvMsg::ReadResp {
+                word,
+                value,
+                fill: Some((mask, data)),
+            }),
+        });
+    }
+}
+
+/// Canonical hash for model checking: lines and sync entries sorted by
+/// address; queued and parked messages hash in FIFO order. The notify and
+/// recall counters are metrics and excluded.
+impl std::hash::Hash for GcsBank {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bank.hash(state);
+        self.mem.hash(state);
+        self.lines.hash(state);
+        self.sync.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::XferClass;
+    use dvs_mem::RmwOp;
+
+    fn word(i: u64) -> WordAddr {
+        WordAddr::new(64 + i)
+    }
+
+    fn warmed() -> GcsBank {
+        let mut b = GcsBank::new(0, Endpoint::Mem(0));
+        let mut acts = Vec::new();
+        b.on_msg(
+            Msg::Dnv(DnvMsg::ReadReq {
+                word: word(0),
+                req: 9,
+            }),
+            &mut acts,
+        );
+        let mut data = [0u64; 8];
+        data[0] = 100;
+        data[1] = 101;
+        b.on_mem_data(word(0).line(), data, &mut acts);
+        b
+    }
+
+    fn reg(b: &mut GcsBank, w: WordAddr, core: CoreId, class: XferClass) {
+        let mut acts = Vec::new();
+        b.on_msg(
+            Msg::Dnv(DnvMsg::RegReq {
+                word: w,
+                req: core,
+                class,
+            }),
+            &mut acts,
+        );
+        assert_eq!(b.word(w), Some(RegWord::Registered(core)));
+    }
+
+    #[test]
+    fn sync_contention_classifies_and_recalls() {
+        let mut b = warmed();
+        reg(&mut b, word(2), 1, XferClass::SyncWrite);
+        let mut acts = Vec::new();
+        // Core 4's sync read contends: the word becomes a sync variable.
+        b.on_msg(
+            Msg::Dnv(DnvMsg::RegReq {
+                word: word(2),
+                req: 4,
+                class: XferClass::SyncRead,
+            }),
+            &mut acts,
+        );
+        assert!(b.classified(word(2)) && b.recalling(word(2)));
+        assert_eq!(b.recalls(), 1);
+        assert!(acts.contains(&Action::Send {
+            to: Endpoint::L1(1),
+            msg: Msg::Gcs(GcsMsg::Recall { word: word(2) }),
+        }));
+        assert!(acts.contains(&Action::Send {
+            to: Endpoint::L1(4),
+            msg: Msg::Gcs(GcsMsg::Classified { word: word(2) }),
+        }));
+        acts.clear();
+        // A read parks behind the recall.
+        b.on_msg(
+            Msg::Dnv(DnvMsg::ReadReq {
+                word: word(2),
+                req: 6,
+            }),
+            &mut acts,
+        );
+        assert!(acts.is_empty());
+        // The registrant returns the value; parked traffic drains.
+        b.on_msg(
+            Msg::Gcs(GcsMsg::RecallAck {
+                word: word(2),
+                from: 1,
+                value: Some(55),
+            }),
+            &mut acts,
+        );
+        assert!(!b.recalling(word(2)));
+        assert_eq!(b.word(word(2)), Some(RegWord::Valid(55)));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(6),
+                msg: Msg::Dnv(DnvMsg::ReadResp { value: 55, .. }),
+            }
+        )));
+    }
+
+    #[test]
+    fn data_write_contention_repoints_without_classifying() {
+        let mut b = warmed();
+        reg(&mut b, word(3), 1, XferClass::Write);
+        let mut acts = Vec::new();
+        b.on_msg(
+            Msg::Dnv(DnvMsg::RegReq {
+                word: word(3),
+                req: 2,
+                class: XferClass::Write,
+            }),
+            &mut acts,
+        );
+        assert!(!b.classified(word(3)));
+        assert_eq!(b.word(word(3)), Some(RegWord::Registered(2)));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                to: Endpoint::L1(1),
+                msg: Msg::Dnv(DnvMsg::Xfer { new_owner: 2, .. }),
+            }
+        )));
+    }
+
+    #[test]
+    fn sync_op_executes_at_bank_and_notifies_waiters() {
+        let mut b = warmed();
+        let mut acts = Vec::new();
+        // RMW on a bank-held word classifies on demand and executes.
+        b.on_msg(
+            Msg::Gcs(GcsMsg::SyncOp {
+                word: word(1),
+                req: 2,
+                op: GcsOpKind::Rmw(RmwOp::Fai { delta: 1 }),
+            }),
+            &mut acts,
+        );
+        assert!(b.classified(word(1)));
+        assert!(acts.contains(&Action::Send {
+            to: Endpoint::L1(2),
+            msg: Msg::Gcs(GcsMsg::SyncResp {
+                word: word(1),
+                value: 101,
+            }),
+        }));
+        assert_eq!(b.word(word(1)), Some(RegWord::Valid(102)));
+        acts.clear();
+        // Core 5 watches the value it just saw: parked, no notify yet.
+        b.on_msg(
+            Msg::Gcs(GcsMsg::SyncWatch {
+                word: word(1),
+                req: 5,
+                seen: 102,
+            }),
+            &mut acts,
+        );
+        assert!(acts.is_empty());
+        assert_eq!(b.waiters_of(word(1)), vec![5]);
+        // A store changes the value: targeted notify, set cleared.
+        b.on_msg(
+            Msg::Gcs(GcsMsg::SyncOp {
+                word: word(1),
+                req: 3,
+                op: GcsOpKind::Store { value: 7 },
+            }),
+            &mut acts,
+        );
+        assert!(acts.contains(&Action::Send {
+            to: Endpoint::L1(5),
+            msg: Msg::Gcs(GcsMsg::SyncNotify {
+                word: word(1),
+                value: 7,
+            }),
+        }));
+        assert!(b.waiters_of(word(1)).is_empty());
+        assert_eq!(b.notifies(), 1);
+    }
+
+    #[test]
+    fn stale_watch_notifies_immediately() {
+        let mut b = warmed();
+        let mut acts = Vec::new();
+        b.on_msg(
+            Msg::Gcs(GcsMsg::SyncOp {
+                word: word(1),
+                req: 2,
+                op: GcsOpKind::Load,
+            }),
+            &mut acts,
+        );
+        acts.clear();
+        // The spinner saw 0 but the word is 101: immediate wakeup, no bit.
+        b.on_msg(
+            Msg::Gcs(GcsMsg::SyncWatch {
+                word: word(1),
+                req: 5,
+                seen: 0,
+            }),
+            &mut acts,
+        );
+        assert!(acts.contains(&Action::Send {
+            to: Endpoint::L1(5),
+            msg: Msg::Gcs(GcsMsg::SyncNotify {
+                word: word(1),
+                value: 101,
+            }),
+        }));
+        assert!(b.waiters_of(word(1)).is_empty());
+    }
+
+    #[test]
+    fn crossing_writeback_settles_the_recall() {
+        let mut b = warmed();
+        reg(&mut b, word(2), 1, XferClass::Write);
+        let mut acts = Vec::new();
+        // A sync op from core 3 starts the recall of core 1's registration.
+        b.on_msg(
+            Msg::Gcs(GcsMsg::SyncOp {
+                word: word(2),
+                req: 3,
+                op: GcsOpKind::Load,
+            }),
+            &mut acts,
+        );
+        assert!(b.recalling(word(2)));
+        acts.clear();
+        // Core 1's eviction writeback crossed the recall in flight: the
+        // bank accepts it as the recall return and serves the parked op.
+        b.on_msg(
+            Msg::Dnv(DnvMsg::WbReq {
+                word: word(2),
+                value: 88,
+                from: 1,
+            }),
+            &mut acts,
+        );
+        assert!(!b.recalling(word(2)));
+        assert!(acts.contains(&Action::Send {
+            to: Endpoint::L1(1),
+            msg: Msg::Dnv(DnvMsg::WbAck { word: word(2) }),
+        }));
+        assert!(acts.contains(&Action::Send {
+            to: Endpoint::L1(3),
+            msg: Msg::Gcs(GcsMsg::SyncResp {
+                word: word(2),
+                value: 88,
+            }),
+        }));
+    }
+
+    #[test]
+    fn registration_of_classified_word_is_rejected() {
+        let mut b = warmed();
+        let mut acts = Vec::new();
+        b.on_msg(
+            Msg::Gcs(GcsMsg::SyncOp {
+                word: word(1),
+                req: 2,
+                op: GcsOpKind::Load,
+            }),
+            &mut acts,
+        );
+        acts.clear();
+        b.on_msg(
+            Msg::Dnv(DnvMsg::RegReq {
+                word: word(1),
+                req: 7,
+                class: XferClass::Write,
+            }),
+            &mut acts,
+        );
+        assert_eq!(
+            acts,
+            vec![Action::Send {
+                to: Endpoint::L1(7),
+                msg: Msg::Gcs(GcsMsg::Classified { word: word(1) }),
+            }]
+        );
+        assert_eq!(b.word(word(1)), Some(RegWord::Valid(101)));
+    }
+
+    #[test]
+    fn skip_update_mutation_loses_the_rmw() {
+        let mut b = warmed();
+        b.set_mutation(Some(ProtocolMutation::GcsSkipUpdate));
+        let mut acts = Vec::new();
+        b.on_msg(
+            Msg::Gcs(GcsMsg::SyncOp {
+                word: word(1),
+                req: 2,
+                op: GcsOpKind::Rmw(RmwOp::Fai { delta: 1 }),
+            }),
+            &mut acts,
+        );
+        // The old value comes back but the increment is lost.
+        assert_eq!(b.word(word(1)), Some(RegWord::Valid(101)));
+    }
+
+    #[test]
+    fn drop_notify_mutation_strands_waiters() {
+        let mut b = warmed();
+        b.set_mutation(Some(ProtocolMutation::GcsDropNotify));
+        let mut acts = Vec::new();
+        b.on_msg(
+            Msg::Gcs(GcsMsg::SyncOp {
+                word: word(1),
+                req: 2,
+                op: GcsOpKind::Load,
+            }),
+            &mut acts,
+        );
+        b.on_msg(
+            Msg::Gcs(GcsMsg::SyncWatch {
+                word: word(1),
+                req: 5,
+                seen: 101,
+            }),
+            &mut acts,
+        );
+        acts.clear();
+        b.on_msg(
+            Msg::Gcs(GcsMsg::SyncOp {
+                word: word(1),
+                req: 3,
+                op: GcsOpKind::Store { value: 9 },
+            }),
+            &mut acts,
+        );
+        // The store completes but the wakeup never leaves the bank.
+        assert!(!acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Gcs(GcsMsg::SyncNotify { .. }),
+                ..
+            }
+        )));
+        assert_eq!(b.notifies(), 0);
+        assert!(b.waiters_of(word(1)).is_empty());
+    }
+}

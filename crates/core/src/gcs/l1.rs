@@ -1,27 +1,27 @@
-//! The DeNovo private-cache (L1) controller.
+//! The GCS private-cache (L1) controller.
 //!
-//! Per-word states Invalid / Valid / Registered; no transient states in the
-//! array — in-flight work lives in word-granularity MSHRs. Key behaviours
-//! from the paper:
+//! Ordinary data follows the DeNovo ownership/registration path verbatim
+//! (word-granularity Invalid / Valid / Registered, writeback handshakes,
+//! the distributed registration queue) — see [`crate::denovo::l1`]. What
+//! changes is synchronization:
 //!
-//! * data writes transition to Registered **immediately** (no stall) and
-//!   send a registration request;
-//! * synchronization reads to anything but Registered state always miss and
-//!   register (DeNovoSync0's single-reader rule);
-//! * a forwarded request arriving while the word's own registration is
-//!   pending parks in the MSHR — the distributed registration queue;
-//! * under DeNovoSync, a remote synchronization-read registration downgrades
-//!   Registered → Valid and bumps the backoff counter; a later local
-//!   synchronization read to Valid state stalls for the counter value
-//!   before issuing its miss;
-//! * evicting a Registered word uses a writeback *handshake* (`WbReq` /
-//!   `WbAck` / `WbNack`): the registry may have already re-pointed the word
-//!   at a new registrant, in which case the in-flight transfer must still be
-//!   served from the held value.
+//! * sync accesses to *unclassified* words issue optimistic DeNovo
+//!   registrations, exactly like DeNovoSync0 (no hardware backoff);
+//! * when the home bank classifies a word as a synchronization variable it
+//!   answers registrations with `Classified`; the L1 converts the pending
+//!   access into a [`GcsMsg::SyncOp`] executed *at the bank* and records
+//!   the word in its bounded [`SyncPredictor`];
+//! * predicted-sync accesses skip the optimistic attempt and go straight
+//!   down the dedicated path;
+//! * a failed spin on a classified word arms a level-triggered remote
+//!   watch ([`GcsMsg::SyncWatch`]); the bank's targeted [`GcsMsg::SyncNotify`]
+//!   lands in a one-entry notify buffer that the re-issued spin load hits;
+//! * `Recall` surrenders a just-classified word's registered copy back to
+//!   the bank (the value rides on [`GcsMsg::RecallAck`]).
 
-use crate::config::BackoffConfig;
-use crate::denovo::backoff::BackoffUnit;
-use crate::msg::{CoreId, DnvMsg, Endpoint, Msg, XferClass};
+use crate::denovo::l1::{DnvLine, DnvWord, WState};
+use crate::gcs::predictor::SyncPredictor;
+use crate::msg::{CoreId, DnvMsg, Endpoint, GcsMsg, GcsOpKind, Msg, XferClass};
 use crate::proto::{Action, IssueResult};
 use dvs_mem::array::InsertOutcome;
 use dvs_mem::layout::MemoryLayout;
@@ -33,58 +33,18 @@ use dvs_telemetry::{Component, Event, EventKind, Telemetry, TelemetryKey};
 use dvs_vm::MemRequest;
 use std::sync::Arc;
 
-/// Per-word coherence state.
+/// How to complete a dedicated-path operation when its `SyncResp` arrives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum WState {
-    /// No usable copy.
-    Invalid,
-    /// A (possibly stale) copy; usable by data reads, never by
-    /// synchronization reads. Under DeNovoSync also the backoff trigger.
-    Valid,
-    /// The registered (single up-to-date) copy; readable and writable.
-    Registered,
-}
-
-impl WState {
-    /// Short state label for telemetry transitions.
-    pub fn label(self) -> &'static str {
-        match self {
-            WState::Invalid => "I",
-            WState::Valid => "V",
-            WState::Registered => "R",
-        }
-    }
-}
-
-/// One cached word.
-#[derive(Debug, Clone, Copy, Hash)]
-pub struct DnvWord {
-    /// Coherence state.
-    pub state: WState,
-    /// The word's value (meaningful unless Invalid).
-    pub value: u64,
-}
-
-/// A cached line: eight independently-tracked words.
-#[derive(Debug, Clone, Hash)]
-pub struct DnvLine {
-    /// The line's words.
-    pub words: [DnvWord; WORDS_PER_LINE],
-}
-
-impl DnvLine {
-    pub(crate) fn empty() -> Self {
-        DnvLine {
-            words: [DnvWord {
-                state: WState::Invalid,
-                value: 0,
-            }; WORDS_PER_LINE],
-        }
-    }
-
-    pub(crate) fn has_registered(&self) -> bool {
-        self.words.iter().any(|w| w.state == WState::Registered)
-    }
+enum SyncComplete {
+    /// Blocking sync load: `CoreDone` with the loaded value.
+    Load,
+    /// Blocking sync store: `CoreDone` with no value.
+    Store { value: u64 },
+    /// Blocking RMW: `CoreDone` with the old value; the new value is
+    /// recomputed locally for parked readers.
+    Rmw { op: RmwOp },
+    /// A converted (non-blocking) data store: retires via `StoresDone`.
+    DataStore { value: u64 },
 }
 
 /// What an MSHR entry is waiting for.
@@ -92,18 +52,18 @@ impl DnvLine {
 enum PendKind {
     /// Non-ownership data read.
     Read,
-    /// Synchronization-read registration.
+    /// Optimistic synchronization-read registration.
     SyncRead,
     /// Data-write registration (the word is already Registered locally).
     Write,
-    /// Synchronization-write registration; holds the value to store.
+    /// Optimistic synchronization-write registration.
     SyncWrite { value: u64 },
-    /// RMW registration; executes on arrival of the current value.
+    /// Optimistic RMW registration.
     Rmw { op: RmwOp },
-    /// Writeback handshake in flight; holds the evicted value. `nacked`
-    /// means the registry refused (ownership moved) and we are waiting for
-    /// the in-flight transfer.
+    /// Writeback handshake in flight.
     Wb { value: u64, nacked: bool },
+    /// Dedicated sync path: a `SyncOp` is executing at the home bank.
+    SyncWait { complete: SyncComplete },
 }
 
 /// One outstanding word-granularity transaction.
@@ -112,10 +72,14 @@ struct Pend {
     kind: PendKind,
     /// Forwarded data reads that arrived while we were pending.
     parked_reads: Vec<CoreId>,
-    /// A forwarded registration transfer that arrived while we were pending
-    /// (at most one: the registry serializes, and each registrant has
-    /// exactly one successor).
+    /// A forwarded registration transfer that arrived while we were
+    /// pending (at most one — the registry serializes).
     parked_xfer: Option<(CoreId, XferClass)>,
+    /// A `Recall` that arrived while our own registration was still in
+    /// flight; served right after the operation completes. Mutually
+    /// exclusive with `parked_xfer` (the bank stops re-pointing a word the
+    /// moment it classifies it).
+    parked_recall: bool,
 }
 
 impl Pend {
@@ -124,19 +88,26 @@ impl Pend {
             kind,
             parked_reads: Vec::new(),
             parked_xfer: None,
+            parked_recall: false,
         }
     }
 }
 
-/// The DeNovo L1 controller for one core.
+/// The GCS L1 controller for one core.
 #[derive(Debug, Clone)]
-pub struct DnvL1 {
+pub struct GcsL1 {
     id: CoreId,
     banks: usize,
     cache: CacheArray<DnvLine>,
     mshr: Mshr<WordAddr, Pend>,
-    backoff: BackoffUnit,
+    predictor: SyncPredictor,
+    /// Local spin watch on a word this L1 holds Registered.
     watch: Option<WordAddr>,
+    /// Remote spin watch: `(word, seen)` sent to the bank as `SyncWatch`.
+    remote_watch: Option<(WordAddr, u64)>,
+    /// The last targeted notification `(word, value)`; consumed by the
+    /// re-issued spin load.
+    notify_buf: Option<(WordAddr, u64)>,
     layout: Arc<MemoryLayout>,
     stats: CacheStats,
     /// Observability only — excluded from `Hash`, never affects behaviour.
@@ -147,32 +118,30 @@ fn bank_for(word: WordAddr, banks: usize) -> usize {
     (word.line().raw() % banks as u64) as usize
 }
 
-impl DnvL1 {
-    /// Creates an empty L1 for core `id`. `backoff_enabled` selects
-    /// DeNovoSync (true) vs DeNovoSync0 (false).
+impl GcsL1 {
+    /// Creates an empty GCS L1 for core `id`.
     pub fn new(
         id: CoreId,
         geometry: CacheGeometry,
         banks: usize,
-        backoff_cfg: BackoffConfig,
-        backoff_enabled: bool,
         layout: Arc<MemoryLayout>,
     ) -> Self {
-        DnvL1 {
+        GcsL1 {
             id,
             banks,
             cache: CacheArray::new(geometry),
             mshr: Mshr::unbounded(),
-            backoff: BackoffUnit::new(backoff_cfg, backoff_enabled),
+            predictor: SyncPredictor::new(SyncPredictor::DEFAULT_SLOTS),
             watch: None,
+            remote_watch: None,
+            notify_buf: None,
             layout,
             stats: CacheStats::new(),
             tel: Telemetry::off(),
         }
     }
 
-    /// Attaches a telemetry handle (word-state transitions, registrations,
-    /// MSHR occupancy).
+    /// Attaches a telemetry handle.
     pub fn set_telemetry(&mut self, tel: Telemetry) {
         self.mshr.set_telemetry(tel.clone(), self.id as u32);
         self.tel = tel;
@@ -199,29 +168,61 @@ impl DnvL1 {
         });
     }
 
+    /// Records `word` as sync-classified (idempotent) and emits the
+    /// data→sync classification transition the first time.
+    fn learn(&mut self, word: WordAddr, cause: &'static str) {
+        if !self.predictor.contains(word) {
+            self.emit_transition(word, "data", "sync", cause);
+        }
+        self.predictor.insert(word);
+    }
+
     /// Cache-access statistics so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
-    /// The backoff unit (diagnostics / ablation reporting).
-    pub fn backoff(&self) -> &BackoffUnit {
-        &self.backoff
+    /// The sync predictor (diagnostics).
+    pub fn predictor(&self) -> &SyncPredictor {
+        &self.predictor
     }
 
-    /// Sets the spin-watched word.
+    /// Whether this L1 predicts `word` is sync-classified at its bank.
+    pub fn predicts_sync(&self, word: WordAddr) -> bool {
+        self.predictor.contains(word)
+    }
+
+    /// Sets the local spin watch (the spun word is Registered here).
     pub fn set_watch(&mut self, word: WordAddr) {
         self.watch = Some(word);
     }
 
-    /// Clears the spin watch.
+    /// Clears the local spin watch.
     pub fn clear_watch(&mut self) {
         self.watch = None;
     }
 
-    /// Whether a synchronization read of `word` would hit right now (the
-    /// word is Registered with no writeback pending) — used by the system to
-    /// decide between watching and re-issuing a failed spin.
+    /// Arms a level-triggered remote watch for a classified word and sends
+    /// the `SyncWatch` to the home bank. `seen` is the value the failed
+    /// spin observed — the bank notifies immediately if it already differs.
+    pub fn start_remote_watch(&mut self, word: WordAddr, seen: u64, actions: &mut Vec<Action>) {
+        self.remote_watch = Some((word, seen));
+        actions.push(Action::Send {
+            to: self.home(word),
+            msg: Msg::Gcs(GcsMsg::SyncWatch {
+                word,
+                req: self.id,
+                seen,
+            }),
+        });
+    }
+
+    /// The word this L1 is remote-watching, if any (invariant checking).
+    pub fn remote_watch_word(&self) -> Option<WordAddr> {
+        self.remote_watch.map(|(w, _)| w)
+    }
+
+    /// Whether a synchronization read of `word` would hit right now.
     pub fn word_registered(&self, word: WordAddr) -> bool {
         !self.mshr.contains(&word) && self.word_state(word) == WState::Registered
     }
@@ -248,8 +249,7 @@ impl DnvL1 {
         (w.state == WState::Registered).then_some(w.value)
     }
 
-    /// Iterates every word this L1 holds in Registered state (for invariant
-    /// checking).
+    /// Iterates every word this L1 holds in Registered state.
     pub fn registered_words(&self) -> impl Iterator<Item = WordAddr> + '_ {
         self.cache.iter().flat_map(|(line, payload)| {
             payload
@@ -271,16 +271,20 @@ impl DnvL1 {
         self.mshr.contains(&word)
     }
 
-    /// Whether a forwarded registration transfer is parked on `word`'s MSHR
-    /// entry — the in-L1 link of the distributed registration queue.
+    /// Whether a forwarded registration transfer is parked on `word`'s
+    /// MSHR entry.
     pub fn has_parked_xfer(&self, word: WordAddr) -> bool {
         self.mshr
             .get(&word)
             .is_some_and(|p| p.parked_xfer.is_some())
     }
 
-    /// One `(word, description)` pair per outstanding MSHR entry (stall
-    /// diagnostics and conservation checking).
+    /// Whether a bank recall is parked on `word`'s MSHR entry.
+    pub fn has_parked_recall(&self, word: WordAddr) -> bool {
+        self.mshr.get(&word).is_some_and(|p| p.parked_recall)
+    }
+
+    /// One `(word, description)` pair per outstanding MSHR entry.
     pub fn pending_summaries(&self) -> Vec<(WordAddr, String)> {
         self.mshr
             .iter()
@@ -292,14 +296,15 @@ impl DnvL1 {
                 if let Some((c, class)) = p.parked_xfer {
                     desc.push_str(&format!(", parked xfer to core {c} ({class:?})"));
                 }
+                if p.parked_recall {
+                    desc.push_str(", parked recall");
+                }
                 (*w, desc)
             })
             .collect()
     }
 
-    /// Self-invalidates every Valid word belonging to `region` (Registered
-    /// words are untouched — "registered data stays in the cache across
-    /// synchronization boundaries").
+    /// Self-invalidates every Valid word belonging to `region`.
     pub fn self_invalidate(&mut self, region: Region) {
         let layout = Arc::clone(&self.layout);
         for (line, payload) in self.cache.iter_mut() {
@@ -313,8 +318,7 @@ impl DnvL1 {
         }
     }
 
-    /// Self-invalidates exactly the given words (signature mode): each one
-    /// that is cached Valid becomes Invalid; Registered words are untouched.
+    /// Self-invalidates exactly the given words.
     pub fn self_invalidate_words(&mut self, words: &[WordAddr]) {
         for &word in words {
             if let Some(line) = self.cache.get_mut(word.line()) {
@@ -336,23 +340,28 @@ impl DnvL1 {
             .map(|l| &mut l.words[word.index_in_line()])
     }
 
-    /// Presents a core memory request. `after_backoff` marks the re-issue of
-    /// a synchronization read whose hardware backoff has expired (it must
-    /// not be delayed again).
-    pub fn core_request(
-        &mut self,
-        req: &MemRequest,
-        after_backoff: bool,
-        actions: &mut Vec<Action>,
-    ) -> IssueResult {
+    fn send_sync_op(&mut self, word: WordAddr, op: GcsOpKind, actions: &mut Vec<Action>) {
+        actions.push(Action::Send {
+            to: self.home(word),
+            msg: Msg::Gcs(GcsMsg::SyncOp {
+                word,
+                req: self.id,
+                op,
+            }),
+        });
+    }
+
+    /// Presents a core memory request.
+    pub fn core_request(&mut self, req: &MemRequest, actions: &mut Vec<Action>) -> IssueResult {
         let word = req.addr.word();
         match req.kind {
             AccessKind::DataLoad => {
                 if let Some(Pend { kind, .. }) = self.mshr.get(&word) {
                     match kind {
-                        PendKind::Wb { .. } => return IssueResult::Blocked,
-                        PendKind::Write => { /* word is Registered locally: falls through to hit */
+                        PendKind::Wb { .. } | PendKind::SyncWait { .. } => {
+                            return IssueResult::Blocked
                         }
+                        PendKind::Write => { /* word is Registered locally: falls through */ }
                         other => unreachable!("data load with own {other:?} pending"),
                     }
                 }
@@ -378,10 +387,10 @@ impl DnvL1 {
             AccessKind::DataStore { value } => {
                 if let Some(Pend { kind, .. }) = self.mshr.get(&word) {
                     match kind {
-                        PendKind::Wb { .. } => return IssueResult::Blocked,
+                        PendKind::Wb { .. } | PendKind::SyncWait { .. } => {
+                            return IssueResult::Blocked
+                        }
                         PendKind::Write => {
-                            // Previous store's registration still in flight;
-                            // the word is Registered locally — just update.
                             self.word_mut(word).expect("registered word").value = value;
                             self.note_hit(req.kind);
                             return IssueResult::StoreAccepted { completed: true };
@@ -394,8 +403,21 @@ impl DnvL1 {
                     self.note_hit(req.kind);
                     return IssueResult::StoreAccepted { completed: true };
                 }
-                // Immediate transition to Registered + registration request
-                // (no transient state — the paper's write path).
+                if self.predicts_sync(word) {
+                    // Classified words cannot be registered here: execute
+                    // the store at the directory.
+                    self.note_miss(req.kind);
+                    self.mshr
+                        .try_insert(
+                            word,
+                            Pend::new(PendKind::SyncWait {
+                                complete: SyncComplete::DataStore { value },
+                            }),
+                        )
+                        .expect("fresh mshr");
+                    self.send_sync_op(word, GcsOpKind::Store { value }, actions);
+                    return IssueResult::StoreAccepted { completed: false };
+                }
                 if !self.ensure_line(word.line(), actions) {
                     return IssueResult::Blocked;
                 }
@@ -419,39 +441,48 @@ impl DnvL1 {
                 IssueResult::StoreAccepted { completed: false }
             }
             AccessKind::SyncLoad => {
-                if self.mshr.contains(&word) {
-                    return IssueResult::Blocked; // writeback handshake in flight
-                }
-                match self.word_state(word) {
-                    WState::Registered => {
-                        let value = self.word_mut(word).expect("resident").value;
-                        self.backoff.on_sync_hit();
+                if let Some((w, v)) = self.notify_buf {
+                    if w == word {
+                        // The targeted notification answers the re-issued
+                        // spin load without touching the network.
+                        self.notify_buf = None;
                         self.note_hit(req.kind);
-                        IssueResult::Hit { value: Some(value) }
-                    }
-                    state => {
-                        // DeNovoSync: a read to Valid state triggers backoff.
-                        if state == WState::Valid && !after_backoff {
-                            let delay = self.backoff.current();
-                            if delay > 0 {
-                                return IssueResult::Backoff { cycles: delay };
-                            }
-                        }
-                        self.note_miss(req.kind);
-                        self.mshr
-                            .try_insert(word, Pend::new(PendKind::SyncRead))
-                            .expect("fresh mshr");
-                        actions.push(Action::Send {
-                            to: self.home(word),
-                            msg: Msg::Dnv(DnvMsg::RegReq {
-                                word,
-                                req: self.id,
-                                class: XferClass::SyncRead,
-                            }),
-                        });
-                        IssueResult::Miss
+                        return IssueResult::Hit { value: Some(v) };
                     }
                 }
+                if self.mshr.contains(&word) {
+                    return IssueResult::Blocked;
+                }
+                if self.word_state(word) == WState::Registered {
+                    let value = self.word_mut(word).expect("resident").value;
+                    self.note_hit(req.kind);
+                    return IssueResult::Hit { value: Some(value) };
+                }
+                self.note_miss(req.kind);
+                if self.predicts_sync(word) {
+                    self.mshr
+                        .try_insert(
+                            word,
+                            Pend::new(PendKind::SyncWait {
+                                complete: SyncComplete::Load,
+                            }),
+                        )
+                        .expect("fresh mshr");
+                    self.send_sync_op(word, GcsOpKind::Load, actions);
+                } else {
+                    self.mshr
+                        .try_insert(word, Pend::new(PendKind::SyncRead))
+                        .expect("fresh mshr");
+                    actions.push(Action::Send {
+                        to: self.home(word),
+                        msg: Msg::Dnv(DnvMsg::RegReq {
+                            word,
+                            req: self.id,
+                            class: XferClass::SyncRead,
+                        }),
+                    });
+                }
+                IssueResult::Miss
             }
             AccessKind::SyncStore { value } => {
                 if self.mshr.contains(&word) {
@@ -459,22 +490,33 @@ impl DnvL1 {
                 }
                 if self.word_state(word) == WState::Registered {
                     self.word_mut(word).expect("resident").value = value;
-                    self.backoff.on_release();
                     self.note_hit(req.kind);
                     return IssueResult::Hit { value: None };
                 }
                 self.note_miss(req.kind);
-                self.mshr
-                    .try_insert(word, Pend::new(PendKind::SyncWrite { value }))
-                    .expect("fresh mshr");
-                actions.push(Action::Send {
-                    to: self.home(word),
-                    msg: Msg::Dnv(DnvMsg::RegReq {
-                        word,
-                        req: self.id,
-                        class: XferClass::SyncWrite,
-                    }),
-                });
+                if self.predicts_sync(word) {
+                    self.mshr
+                        .try_insert(
+                            word,
+                            Pend::new(PendKind::SyncWait {
+                                complete: SyncComplete::Store { value },
+                            }),
+                        )
+                        .expect("fresh mshr");
+                    self.send_sync_op(word, GcsOpKind::Store { value }, actions);
+                } else {
+                    self.mshr
+                        .try_insert(word, Pend::new(PendKind::SyncWrite { value }))
+                        .expect("fresh mshr");
+                    actions.push(Action::Send {
+                        to: self.home(word),
+                        msg: Msg::Dnv(DnvMsg::RegReq {
+                            word,
+                            req: self.id,
+                            class: XferClass::SyncWrite,
+                        }),
+                    });
+                }
                 IssueResult::Miss
             }
             AccessKind::SyncRmw(op) => {
@@ -485,33 +527,42 @@ impl DnvL1 {
                     let w = self.word_mut(word).expect("resident");
                     let old = w.value;
                     w.value = op.apply(old);
-                    self.backoff.on_sync_hit();
                     self.note_hit(req.kind);
                     return IssueResult::Hit { value: Some(old) };
                 }
                 self.note_miss(req.kind);
-                self.mshr
-                    .try_insert(word, Pend::new(PendKind::Rmw { op }))
-                    .expect("fresh mshr");
-                actions.push(Action::Send {
-                    to: self.home(word),
-                    msg: Msg::Dnv(DnvMsg::RegReq {
-                        word,
-                        req: self.id,
-                        class: XferClass::SyncWrite,
-                    }),
-                });
+                if self.predicts_sync(word) {
+                    self.mshr
+                        .try_insert(
+                            word,
+                            Pend::new(PendKind::SyncWait {
+                                complete: SyncComplete::Rmw { op },
+                            }),
+                        )
+                        .expect("fresh mshr");
+                    self.send_sync_op(word, GcsOpKind::Rmw(op), actions);
+                } else {
+                    self.mshr
+                        .try_insert(word, Pend::new(PendKind::Rmw { op }))
+                        .expect("fresh mshr");
+                    actions.push(Action::Send {
+                        to: self.home(word),
+                        msg: Msg::Dnv(DnvMsg::RegReq {
+                            word,
+                            req: self.id,
+                            class: XferClass::SyncWrite,
+                        }),
+                    });
+                }
                 IssueResult::Miss
             }
         }
     }
 
-    /// Handles an incoming protocol message.
+    /// Handles an incoming data-path (DeNovo) message.
     pub fn on_msg(&mut self, msg: DnvMsg, actions: &mut Vec<Action>) {
         match msg {
             DnvMsg::ReadReq { word, req } => {
-                // A data read forwarded by the registry: we are (or were
-                // about to become) the registrant.
                 if let Some(pend) = self.mshr.get_mut(&word) {
                     if !matches!(pend.kind, PendKind::Write) {
                         pend.parked_reads.push(req);
@@ -520,15 +571,11 @@ impl DnvL1 {
                 }
                 if self.word_state(word) != WState::Registered {
                     actions.push(Action::violation(format!(
-                        "L1 {}: forwarded read for unregistered word {word}",
+                        "GCS L1 {}: forwarded read for unregistered word {word}",
                         self.id
                     )));
                     return;
                 }
-                // DeNovo transfers data at line granularity: piggy-back the
-                // line's other words registered here (they are equally
-                // current), cutting the forwarded-read count for data that
-                // was written together (original DeNovo [10]).
                 let line = self
                     .cache
                     .get(word.line())
@@ -555,13 +602,19 @@ impl DnvL1 {
                 class,
             } => {
                 if let Some(pend) = self.mshr.get_mut(&word) {
+                    if matches!(pend.kind, PendKind::SyncWait { .. }) {
+                        // The bank never re-points a classified word.
+                        actions.push(Action::violation(format!(
+                            "GCS L1 {}: transfer for classified word {word}",
+                            self.id
+                        )));
+                        return;
+                    }
                     if let PendKind::Wb {
                         value,
                         nacked: true,
                     } = pend.kind
                     {
-                        // The registry refused our writeback because this
-                        // transfer was already on its way: serve and drop.
                         let reads = std::mem::take(&mut pend.parked_reads);
                         self.mshr.remove(&word);
                         self.serve_reads(word, value, &reads, actions);
@@ -571,18 +624,18 @@ impl DnvL1 {
                         });
                         return;
                     }
-                    if pend.parked_xfer.is_some() {
+                    if pend.parked_xfer.is_some() || pend.parked_recall {
                         actions.push(Action::violation(format!(
-                            "L1: second transfer parked on one registration for {word}"
+                            "GCS L1: second transfer parked on one registration for {word}"
                         )));
                         return;
                     }
                     pend.parked_xfer = Some((new_owner, class));
                     return;
                 }
-                let Some(value) = self.downgrade(word, class, actions) else {
+                let Some(value) = self.downgrade(word, "Xfer", actions) else {
                     actions.push(Action::violation(format!(
-                        "L1 {}: transfer for unregistered word {word}",
+                        "GCS L1 {}: transfer for unregistered word {word}",
                         self.id
                     )));
                     return;
@@ -595,14 +648,14 @@ impl DnvL1 {
             DnvMsg::ReadResp { word, value, fill } => {
                 let Some(pend) = self.mshr.remove(&word) else {
                     actions.push(Action::violation(format!(
-                        "L1 {}: ReadResp without pending read for {word}",
+                        "GCS L1 {}: ReadResp without pending read for {word}",
                         self.id
                     )));
                     return;
                 };
                 if !matches!(pend.kind, PendKind::Read) {
                     actions.push(Action::violation(format!(
-                        "L1 {}: ReadResp for {word} with {:?} pending",
+                        "GCS L1 {}: ReadResp for {word} with {:?} pending",
                         self.id, pend.kind
                     )));
                     return;
@@ -617,36 +670,35 @@ impl DnvL1 {
                         self.fill_line(word.line(), mask, &data);
                     }
                 }
-                // (If no way could be freed, deliver uncached — reads take
-                // no ownership, so nothing else is required.)
                 actions.push(Action::CoreDone { value: Some(value) });
             }
             DnvMsg::RegAck { word, value, .. } => self.on_reg_ack(word, value, actions),
             DnvMsg::WbAck { word } => {
                 let Some(pend) = self.mshr.remove(&word) else {
                     actions.push(Action::violation(format!(
-                        "L1 {}: WbAck without writeback for {word}",
+                        "GCS L1 {}: WbAck without writeback for {word}",
                         self.id
                     )));
                     return;
                 };
                 let PendKind::Wb { value, nacked } = pend.kind else {
                     actions.push(Action::violation(format!(
-                        "L1 {}: WbAck for {word} with {:?} pending",
+                        "GCS L1 {}: WbAck for {word} with {:?} pending",
                         self.id, pend.kind
                     )));
                     return;
                 };
                 if nacked {
                     actions.push(Action::violation(format!(
-                        "L1 {}: WbAck for {word} after WbNack",
+                        "GCS L1 {}: WbAck for {word} after WbNack",
                         self.id
                     )));
                     return;
                 }
                 if pend.parked_xfer.is_some() {
                     actions.push(Action::violation(format!(
-                        "L1 {}: registry acked a writeback of {word} with a transfer outstanding",
+                        "GCS L1 {}: registry acked a writeback of {word} with a transfer \
+                         outstanding",
                         self.id
                     )));
                     return;
@@ -656,14 +708,14 @@ impl DnvL1 {
             DnvMsg::WbNack { word } => {
                 let Some(pend) = self.mshr.get_mut(&word) else {
                     actions.push(Action::violation(format!(
-                        "L1: WbNack without writeback for {word}"
+                        "GCS L1: WbNack without writeback for {word}"
                     )));
                     return;
                 };
                 let PendKind::Wb { value, .. } = pend.kind else {
                     let kind = pend.kind;
                     actions.push(Action::violation(format!(
-                        "L1: WbNack for {word} with {kind:?} pending"
+                        "GCS L1: WbNack for {word} with {kind:?} pending"
                     )));
                     return;
                 };
@@ -683,18 +735,202 @@ impl DnvL1 {
                 }
             }
             other => actions.push(Action::violation(format!(
-                "L1 {} cannot handle {other:?}",
+                "GCS L1 {} cannot handle {other:?}",
                 self.id
             ))),
         }
     }
 
+    /// Handles an incoming dedicated-path (GCS) message.
+    pub fn on_gcs(&mut self, msg: GcsMsg, actions: &mut Vec<Action>) {
+        match msg {
+            GcsMsg::Classified { word } => self.on_classified(word, actions),
+            GcsMsg::SyncResp { word, value } => self.on_sync_resp(word, value, actions),
+            GcsMsg::SyncNotify { word, value } => {
+                self.learn(word, "SyncNotify");
+                if self.remote_watch.map(|(w, _)| w) == Some(word) {
+                    self.remote_watch = None;
+                    self.notify_buf = Some((word, value));
+                    actions.push(Action::SpinWake);
+                } else {
+                    actions.push(Action::violation(format!(
+                        "GCS L1 {}: SyncNotify for {word} without a remote watch",
+                        self.id
+                    )));
+                }
+            }
+            GcsMsg::Recall { word } => self.on_recall(word, actions),
+            other => actions.push(Action::violation(format!(
+                "GCS L1 {} cannot handle {other:?}",
+                self.id
+            ))),
+        }
+    }
+
+    /// The bank rejected our optimistic registration: the word is
+    /// sync-classified. Convert the pending access to the dedicated path.
+    fn on_classified(&mut self, word: WordAddr, actions: &mut Vec<Action>) {
+        self.learn(word, "Classified");
+        let Some(pend) = self.mshr.get_mut(&word) else {
+            actions.push(Action::violation(format!(
+                "GCS L1 {}: Classified without pending registration for {word}",
+                self.id
+            )));
+            return;
+        };
+        if pend.parked_xfer.is_some() || pend.parked_recall {
+            actions.push(Action::violation(format!(
+                "GCS L1 {}: Classified for {word} with a parked transfer or recall",
+                self.id
+            )));
+            return;
+        }
+        let (complete, op) = match pend.kind {
+            PendKind::SyncRead => (SyncComplete::Load, GcsOpKind::Load),
+            PendKind::SyncWrite { value } => {
+                (SyncComplete::Store { value }, GcsOpKind::Store { value })
+            }
+            PendKind::Rmw { op } => (SyncComplete::Rmw { op }, GcsOpKind::Rmw(op)),
+            PendKind::Write => {
+                // The optimistic store set the word Registered locally; the
+                // directory owns classified words, so undo and re-execute
+                // there.
+                let value = self
+                    .word_mut(word)
+                    .filter(|w| w.state == WState::Registered)
+                    .map(|w| {
+                        w.state = WState::Invalid;
+                        w.value
+                    })
+                    .expect("write-registered word resident");
+                self.emit_transition(word, "R", "I", "Classified");
+                (
+                    SyncComplete::DataStore { value },
+                    GcsOpKind::Store { value },
+                )
+            }
+            other => {
+                actions.push(Action::violation(format!(
+                    "GCS L1 {}: Classified for {word} with {other:?} pending",
+                    self.id
+                )));
+                return;
+            }
+        };
+        let pend = self.mshr.get_mut(&word).expect("checked above");
+        pend.kind = PendKind::SyncWait { complete };
+        self.send_sync_op(word, op, actions);
+    }
+
+    /// The bank executed our `SyncOp`.
+    fn on_sync_resp(&mut self, word: WordAddr, value: u64, actions: &mut Vec<Action>) {
+        let Some(pend) = self.mshr.remove(&word) else {
+            actions.push(Action::violation(format!(
+                "GCS L1 {}: SyncResp without pending sync op for {word}",
+                self.id
+            )));
+            return;
+        };
+        let PendKind::SyncWait { complete } = pend.kind else {
+            actions.push(Action::violation(format!(
+                "GCS L1 {}: SyncResp for {word} with {:?} pending",
+                self.id, pend.kind
+            )));
+            return;
+        };
+        if pend.parked_xfer.is_some() || pend.parked_recall {
+            actions.push(Action::violation(format!(
+                "GCS L1 {}: SyncResp for {word} with a parked transfer or recall",
+                self.id
+            )));
+            return;
+        }
+        let stored = match complete {
+            SyncComplete::Load => {
+                actions.push(Action::CoreDone { value: Some(value) });
+                value
+            }
+            SyncComplete::Store { value: v } => {
+                actions.push(Action::CoreDone { value: None });
+                v
+            }
+            SyncComplete::Rmw { op } => {
+                actions.push(Action::CoreDone { value: Some(value) });
+                op.apply(value)
+            }
+            SyncComplete::DataStore { value: v } => {
+                actions.push(Action::StoresDone { count: 1 });
+                v
+            }
+        };
+        // Keep any stale Valid copy program-order consistent with our own
+        // completed operation.
+        if let Some(w) = self.word_mut(word) {
+            if w.state == WState::Valid {
+                w.value = stored;
+            }
+        }
+        self.serve_reads(word, stored, &pend.parked_reads, actions);
+    }
+
+    /// The bank reclaims a newly classified word we are registered for.
+    fn on_recall(&mut self, word: WordAddr, actions: &mut Vec<Action>) {
+        self.learn(word, "Recall");
+        if let Some(pend) = self.mshr.get_mut(&word) {
+            match pend.kind {
+                // Our writeback is already in flight; the bank accepts it
+                // as the recall return.
+                PendKind::Wb { .. } => {}
+                PendKind::SyncRead
+                | PendKind::SyncWrite { .. }
+                | PendKind::Rmw { .. }
+                | PendKind::Write => {
+                    if pend.parked_recall || pend.parked_xfer.is_some() {
+                        actions.push(Action::violation(format!(
+                            "GCS L1 {}: second recall/transfer parked for {word}",
+                            self.id
+                        )));
+                        return;
+                    }
+                    pend.parked_recall = true;
+                }
+                PendKind::Read | PendKind::SyncWait { .. } => {
+                    actions.push(Action::violation(format!(
+                        "GCS L1 {}: Recall for {word} with {:?} pending",
+                        self.id, pend.kind
+                    )));
+                }
+            }
+            return;
+        }
+        match self.downgrade(word, "Recall", actions) {
+            Some(value) => actions.push(Action::Send {
+                to: self.home(word),
+                msg: Msg::Gcs(GcsMsg::RecallAck {
+                    word,
+                    from: self.id,
+                    value: Some(value),
+                }),
+            }),
+            // Ownership had already moved on (our writeback raced ahead):
+            // answer empty; the bank ignores stale acks.
+            None => actions.push(Action::Send {
+                to: self.home(word),
+                msg: Msg::Gcs(GcsMsg::RecallAck {
+                    word,
+                    from: self.id,
+                    value: None,
+                }),
+            }),
+        }
+    }
+
     /// Our own registration was acknowledged: perform the operation, then
-    /// serve anything that parked behind us in the distributed queue.
+    /// serve anything that parked behind us.
     fn on_reg_ack(&mut self, word: WordAddr, ack_value: u64, actions: &mut Vec<Action>) {
         let Some(pend) = self.mshr.remove(&word) else {
             actions.push(Action::violation(format!(
-                "L1 {}: RegAck without registration for {word}",
+                "GCS L1 {}: RegAck without registration for {word}",
                 self.id
             )));
             return;
@@ -703,8 +939,6 @@ impl DnvL1 {
         let mut owned_value = ack_value;
         match pend.kind {
             PendKind::Write => {
-                // The word was already Registered locally with our value;
-                // the ack just retires the store.
                 owned_value = self
                     .word_mut(word)
                     .map(|w| w.value)
@@ -732,7 +966,6 @@ impl DnvL1 {
                     self.emit_transition(word, from, "R", "RegAck");
                 }
                 owned_value = value;
-                self.backoff.on_release();
                 actions.push(Action::CoreDone { value: None });
             }
             PendKind::Rmw { op } => {
@@ -749,23 +982,38 @@ impl DnvL1 {
                     value: Some(ack_value),
                 });
             }
-            PendKind::Read | PendKind::Wb { .. } => {
+            PendKind::Read | PendKind::Wb { .. } | PendKind::SyncWait { .. } => {
                 actions.push(Action::violation(format!(
-                    "L1 {}: RegAck for {word} with {:?} pending",
+                    "GCS L1 {}: RegAck for {word} with {:?} pending",
                     self.id, pend.kind
                 )));
                 return;
             }
         }
-        // Serve parked forwarded reads with the post-operation value (they
-        // were serialized after our registration).
         self.serve_reads(word, owned_value, &pend.parked_reads, actions);
-        // Then the parked transfer, if any: ownership moves on.
+        if pend.parked_recall {
+            // The word was classified while our registration was in flight:
+            // the operation completed above, now surrender the value.
+            let value = if cached {
+                self.downgrade(word, "Recall", actions)
+                    .expect("word registered by this ack")
+            } else {
+                owned_value
+            };
+            self.learn(word, "Recall");
+            actions.push(Action::Send {
+                to: self.home(word),
+                msg: Msg::Gcs(GcsMsg::RecallAck {
+                    word,
+                    from: self.id,
+                    value: Some(value),
+                }),
+            });
+            return;
+        }
         if let Some((new_owner, class)) = pend.parked_xfer {
             let value = if cached {
-                // The ack just (re-)registered the word here, so the
-                // downgrade cannot miss.
-                self.downgrade(word, class, actions)
+                self.downgrade(word, "Xfer", actions)
                     .expect("word registered by this ack")
             } else {
                 owned_value
@@ -775,8 +1023,6 @@ impl DnvL1 {
                 msg: Msg::Dnv(DnvMsg::RegAck { word, value, class }),
             });
         } else if !cached {
-            // We are the registrant but could not cache the word: hand the
-            // value straight back to the registry.
             self.mshr
                 .try_insert(
                     word,
@@ -797,31 +1043,20 @@ impl DnvL1 {
         }
     }
 
-    /// Downgrades a Registered word for an outgoing transfer, returning its
-    /// value (`None` if the word is not actually Registered here — a
-    /// protocol violation the caller reports). Synchronization reads under
-    /// DeNovoSync leave a Valid copy (the backoff trigger) and bump the
-    /// counter; everything else invalidates.
+    /// Downgrades a Registered word (transfer or recall), returning its
+    /// value. GCS has no backoff: the copy always invalidates.
     fn downgrade(
         &mut self,
         word: WordAddr,
-        class: XferClass,
+        cause: &'static str,
         actions: &mut Vec<Action>,
     ) -> Option<u64> {
-        let keep_valid = class == XferClass::SyncRead && self.backoff.is_enabled();
-        if class == XferClass::SyncRead {
-            self.backoff.on_remote_sync_read();
-        }
         let w = self
             .word_mut(word)
             .filter(|w| w.state == WState::Registered)?;
         let value = w.value;
-        w.state = if keep_valid {
-            WState::Valid
-        } else {
-            WState::Invalid
-        };
-        self.emit_transition(word, "R", if keep_valid { "V" } else { "I" }, "Xfer");
+        w.state = WState::Invalid;
+        self.emit_transition(word, "R", "I", cause);
         if self.watch == Some(word) {
             actions.push(Action::SpinWake);
         }
@@ -853,7 +1088,6 @@ impl DnvL1 {
         for (i, (slot, &value)) in payload.words.iter_mut().zip(data).enumerate() {
             if mask & (1 << i) != 0
                 && slot.state == WState::Invalid
-                // Skip words with their own pending transactions.
                 && !self.mshr.contains(&line.word(i))
             {
                 *slot = DnvWord {
@@ -864,16 +1098,14 @@ impl DnvL1 {
         }
     }
 
-    /// Makes `line` resident, evicting if necessary. Returns false if no way
-    /// could be freed.
+    /// Makes `line` resident, evicting if necessary. Returns false if no
+    /// way could be freed.
     fn ensure_line(&mut self, line: LineAddr, actions: &mut Vec<Action>) -> bool {
         if self.cache.contains(line) {
             self.cache.touch(line);
             return true;
         }
         let watch_line = self.watch.map(WordAddr::line);
-        // First preference: a victim with nothing pinned (clean Valid-only
-        // lines drop silently — Valid words are always clean copies).
         let mshr = &self.mshr;
         let clean = self
             .cache
@@ -886,8 +1118,6 @@ impl DnvL1 {
             InsertOutcome::Inserted | InsertOutcome::Evicted(..) => return true,
             InsertOutcome::NoVictim(_) => {}
         }
-        // Fall back to evicting a line with Registered words via the
-        // writeback handshake.
         let mshr = &self.mshr;
         let outcome = self
             .cache
@@ -950,16 +1180,17 @@ impl DnvL1 {
 }
 
 /// Canonical hash for model checking: every field that influences future
-/// protocol behaviour. `stats` (counters) and `layout` (immutable, shared)
-/// are excluded.
-impl std::hash::Hash for DnvL1 {
+/// protocol behaviour. `stats` and `layout` are excluded.
+impl std::hash::Hash for GcsL1 {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.id.hash(state);
         self.banks.hash(state);
         self.cache.hash(state);
         self.mshr.hash(state);
-        self.backoff.hash(state);
+        self.predictor.hash(state);
         self.watch.hash(state);
+        self.remote_watch.hash(state);
+        self.notify_buf.hash(state);
     }
 }
 
@@ -975,15 +1206,8 @@ mod tests {
         Arc::new(b.build())
     }
 
-    fn l1(enabled: bool) -> DnvL1 {
-        DnvL1::new(
-            0,
-            CacheGeometry::new(1024, 2),
-            4,
-            BackoffConfig::cores16(),
-            enabled,
-            layout(),
-        )
+    fn l1() -> GcsL1 {
+        GcsL1::new(0, CacheGeometry::new(1024, 2), 4, layout())
     }
 
     fn req(addr: u64, kind: AccessKind) -> MemRequest {
@@ -1000,11 +1224,11 @@ mod tests {
     }
 
     #[test]
-    fn sync_read_always_misses_unless_registered() {
-        let mut l1 = l1(false);
+    fn unclassified_sync_access_registers_optimistically() {
+        let mut l1 = l1();
         let mut acts = Vec::new();
         assert_eq!(
-            l1.core_request(&req(0x100, AccessKind::SyncLoad), false, &mut acts),
+            l1.core_request(&req(0x100, AccessKind::SyncLoad), &mut acts),
             IssueResult::Miss
         );
         assert!(matches!(
@@ -1028,182 +1252,147 @@ mod tests {
         );
         assert!(acts.contains(&Action::CoreDone { value: Some(7) }));
         assert!(l1.word_registered(word(0x100)));
-        // Now a sync read hits.
-        acts.clear();
-        assert_eq!(
-            l1.core_request(&req(0x100, AccessKind::SyncLoad), false, &mut acts),
-            IssueResult::Hit { value: Some(7) }
-        );
     }
 
     #[test]
-    fn data_write_registers_immediately_without_stalling() {
-        let mut l1 = l1(false);
+    fn classified_rejection_converts_to_sync_op() {
+        let mut l1 = l1();
+        let mut acts = Vec::new();
+        l1.core_request(
+            &req(0x100, AccessKind::SyncRmw(RmwOp::Fai { delta: 1 })),
+            &mut acts,
+        );
+        acts.clear();
+        l1.on_gcs(GcsMsg::Classified { word: word(0x100) }, &mut acts);
+        assert!(l1.predicts_sync(word(0x100)));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Gcs(GcsMsg::SyncOp {
+                    op: GcsOpKind::Rmw(RmwOp::Fai { delta: 1 }),
+                    ..
+                }),
+                ..
+            }
+        )));
+        acts.clear();
+        // The bank executed the RMW on old value 10: core sees 10.
+        l1.on_gcs(
+            GcsMsg::SyncResp {
+                word: word(0x100),
+                value: 10,
+            },
+            &mut acts,
+        );
+        assert!(acts.contains(&Action::CoreDone { value: Some(10) }));
+        assert_eq!(l1.outstanding_txns(), 0);
+    }
+
+    #[test]
+    fn predicted_sync_access_skips_registration() {
+        let mut l1 = l1();
+        let mut acts = Vec::new();
+        l1.core_request(&req(0x100, AccessKind::SyncLoad), &mut acts);
+        acts.clear();
+        l1.on_gcs(GcsMsg::Classified { word: word(0x100) }, &mut acts);
+        l1.on_gcs(
+            GcsMsg::SyncResp {
+                word: word(0x100),
+                value: 1,
+            },
+            &mut acts,
+        );
+        acts.clear();
+        // Second access goes straight down the dedicated path.
+        assert_eq!(
+            l1.core_request(&req(0x100, AccessKind::SyncStore { value: 9 }), &mut acts),
+            IssueResult::Miss
+        );
+        assert!(matches!(
+            acts[0],
+            Action::Send {
+                msg: Msg::Gcs(GcsMsg::SyncOp {
+                    op: GcsOpKind::Store { value: 9 },
+                    ..
+                }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn converted_data_store_invalidates_local_copy_and_retires() {
+        let mut l1 = l1();
         let mut acts = Vec::new();
         assert_eq!(
-            l1.core_request(
-                &req(0x100, AccessKind::DataStore { value: 5 }),
-                false,
-                &mut acts
-            ),
+            l1.core_request(&req(0x100, AccessKind::DataStore { value: 5 }), &mut acts),
             IssueResult::StoreAccepted { completed: false }
         );
-        // The word is already Registered locally: reads hit and see 5.
+        assert_eq!(l1.word_state(word(0x100)), WState::Registered);
         acts.clear();
-        assert_eq!(
-            l1.core_request(&req(0x100, AccessKind::DataLoad), false, &mut acts),
-            IssueResult::Hit { value: Some(5) }
-        );
-        // The ack retires the outstanding store.
-        l1.on_msg(
-            DnvMsg::RegAck {
+        l1.on_gcs(GcsMsg::Classified { word: word(0x100) }, &mut acts);
+        assert_eq!(l1.word_state(word(0x100)), WState::Invalid);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: Msg::Gcs(GcsMsg::SyncOp {
+                    op: GcsOpKind::Store { value: 5 },
+                    ..
+                }),
+                ..
+            }
+        )));
+        acts.clear();
+        l1.on_gcs(
+            GcsMsg::SyncResp {
                 word: word(0x100),
-                value: 0,
-                class: XferClass::Write,
+                value: 5,
             },
             &mut acts,
         );
         assert!(acts.contains(&Action::StoresDone { count: 1 }));
-        assert_eq!(l1.peek_registered(word(0x100)), Some(5));
     }
 
     #[test]
-    fn transfer_downgrades_to_invalid_on_ds0_and_valid_on_ds() {
-        for (enabled, expect) in [(false, WState::Invalid), (true, WState::Valid)] {
-            let mut l1 = l1(enabled);
-            let mut acts = Vec::new();
-            l1.core_request(
-                &req(0x100, AccessKind::DataStore { value: 9 }),
-                false,
-                &mut acts,
-            );
-            l1.on_msg(
-                DnvMsg::RegAck {
-                    word: word(0x100),
-                    value: 0,
-                    class: XferClass::Write,
-                },
-                &mut acts,
-            );
-            acts.clear();
-            l1.on_msg(
-                DnvMsg::Xfer {
-                    word: word(0x100),
-                    new_owner: 2,
-                    class: XferClass::SyncRead,
-                },
-                &mut acts,
-            );
-            // Value 9 travels to the new owner.
-            assert!(acts.iter().any(|a| matches!(
-                a,
-                Action::Send {
-                    to: Endpoint::L1(2),
-                    msg: Msg::Dnv(DnvMsg::RegAck { value: 9, .. })
-                }
-            )));
-            assert_eq!(l1.word_state(word(0x100)), expect, "enabled={enabled}");
-            if enabled {
-                assert!(l1.backoff().current() > 0, "backoff must have grown");
-            }
-        }
-    }
-
-    #[test]
-    fn sync_read_to_valid_backs_off_then_misses() {
-        let mut l1 = l1(true);
+    fn recall_of_settled_word_returns_value_and_wakes_spinner() {
+        let mut l1 = l1();
         let mut acts = Vec::new();
-        // Register then lose to a remote sync read → Valid + backoff > 0.
-        l1.core_request(
-            &req(0x100, AccessKind::DataStore { value: 1 }),
-            false,
-            &mut acts,
-        );
+        l1.core_request(&req(0x100, AccessKind::SyncLoad), &mut acts);
         l1.on_msg(
             DnvMsg::RegAck {
                 word: word(0x100),
-                value: 0,
-                class: XferClass::Write,
-            },
-            &mut acts,
-        );
-        l1.on_msg(
-            DnvMsg::Xfer {
-                word: word(0x100),
-                new_owner: 1,
+                value: 3,
                 class: XferClass::SyncRead,
             },
             &mut acts,
         );
+        l1.set_watch(word(0x100));
         acts.clear();
-        let res = l1.core_request(&req(0x100, AccessKind::SyncLoad), false, &mut acts);
-        let IssueResult::Backoff { cycles } = res else {
-            panic!("expected backoff, got {res:?}");
-        };
-        assert!(cycles > 0);
-        assert!(acts.is_empty(), "no messages during backoff");
-        // After the backoff expires the re-issue must miss (ignoring the
-        // Valid copy).
-        let res = l1.core_request(&req(0x100, AccessKind::SyncLoad), true, &mut acts);
-        assert_eq!(res, IssueResult::Miss);
-    }
-
-    #[test]
-    fn racing_transfer_parks_in_mshr_until_own_ack() {
-        // The distributed queue: our sync read is pending; the next
-        // registrant's transfer arrives first and must wait for our ack.
-        let mut l1 = l1(false);
-        let mut acts = Vec::new();
-        l1.core_request(&req(0x100, AccessKind::SyncLoad), false, &mut acts);
-        acts.clear();
-        l1.on_msg(
-            DnvMsg::Xfer {
-                word: word(0x100),
-                new_owner: 3,
-                class: XferClass::SyncRead,
-            },
-            &mut acts,
-        );
-        assert!(acts.is_empty(), "transfer must park: {acts:?}");
-        // Our ack arrives: we complete, then immediately pass ownership on.
-        l1.on_msg(
-            DnvMsg::RegAck {
-                word: word(0x100),
-                value: 42,
-                class: XferClass::SyncRead,
-            },
-            &mut acts,
-        );
-        assert!(acts.contains(&Action::CoreDone { value: Some(42) }));
+        l1.on_gcs(GcsMsg::Recall { word: word(0x100) }, &mut acts);
+        assert!(acts.contains(&Action::SpinWake));
         assert!(acts.iter().any(|a| matches!(
             a,
             Action::Send {
-                to: Endpoint::L1(3),
-                msg: Msg::Dnv(DnvMsg::RegAck { value: 42, .. })
+                msg: Msg::Gcs(GcsMsg::RecallAck { value: Some(3), .. }),
+                ..
             }
         )));
         assert_eq!(l1.word_state(word(0x100)), WState::Invalid);
+        assert!(l1.predicts_sync(word(0x100)));
     }
 
     #[test]
-    fn rmw_applies_at_ownership_and_serves_parked_reads_with_new_value() {
-        let mut l1 = l1(false);
+    fn recall_parks_on_inflight_registration_and_serves_after_ack() {
+        let mut l1 = l1();
         let mut acts = Vec::new();
         l1.core_request(
             &req(0x100, AccessKind::SyncRmw(RmwOp::Fai { delta: 1 })),
-            false,
             &mut acts,
         );
         acts.clear();
-        // A forwarded data read parks behind our pending registration.
-        l1.on_msg(
-            DnvMsg::ReadReq {
-                word: word(0x100),
-                req: 5,
-            },
-            &mut acts,
-        );
-        assert!(acts.is_empty());
+        l1.on_gcs(GcsMsg::Recall { word: word(0x100) }, &mut acts);
+        assert!(acts.is_empty(), "recall must park: {acts:?}");
+        assert!(l1.has_parked_recall(word(0x100)));
         l1.on_msg(
             DnvMsg::RegAck {
                 word: word(0x100),
@@ -1213,235 +1402,79 @@ mod tests {
             &mut acts,
         );
         assert!(acts.contains(&Action::CoreDone { value: Some(10) }));
-        // The parked read sees the post-RMW value 11.
+        // The post-RMW value 11 is surrendered to the bank.
         assert!(acts.iter().any(|a| matches!(
             a,
             Action::Send {
-                to: Endpoint::L1(5),
-                msg: Msg::Dnv(DnvMsg::ReadResp { value: 11, .. })
-            }
-        )));
-        assert_eq!(l1.peek_registered(word(0x100)), Some(11));
-    }
-
-    #[test]
-    fn self_invalidation_clears_valid_but_not_registered() {
-        let mut l1 = l1(false);
-        let mut acts = Vec::new();
-        // Valid word via data read.
-        l1.core_request(&req(0x100, AccessKind::DataLoad), false, &mut acts);
-        l1.on_msg(
-            DnvMsg::ReadResp {
-                word: word(0x100),
-                value: 3,
-                fill: None,
-            },
-            &mut acts,
-        );
-        // Registered word via store.
-        l1.core_request(
-            &req(0x140, AccessKind::DataStore { value: 4 }),
-            false,
-            &mut acts,
-        );
-        assert_eq!(l1.word_state(word(0x100)), WState::Valid);
-        assert_eq!(l1.word_state(word(0x140)), WState::Registered);
-        let region = l1.layout.region_of(Addr::new(0x100)).unwrap();
-        l1.self_invalidate(region);
-        assert_eq!(l1.word_state(word(0x100)), WState::Invalid);
-        assert_eq!(l1.word_state(word(0x140)), WState::Registered);
-    }
-
-    #[test]
-    fn read_resp_fill_installs_only_invalid_words() {
-        let mut l1 = l1(false);
-        let mut acts = Vec::new();
-        // Make word 1 of the line Registered first.
-        l1.core_request(
-            &req(0x108, AccessKind::DataStore { value: 99 }),
-            false,
-            &mut acts,
-        );
-        acts.clear();
-        l1.core_request(&req(0x100, AccessKind::DataLoad), false, &mut acts);
-        let mut data = [0u64; 8];
-        data[2] = 22;
-        data[1] = 11; // must NOT overwrite the registered 99
-        l1.on_msg(
-            DnvMsg::ReadResp {
-                word: word(0x100),
-                value: 5,
-                fill: Some((0b0000_0110, data)),
-            },
-            &mut acts,
-        );
-        assert_eq!(l1.word_state(word(0x100)), WState::Valid);
-        assert_eq!(l1.word_state(word(0x110)), WState::Valid);
-        assert_eq!(l1.peek_registered(word(0x108)), Some(99));
-    }
-
-    #[test]
-    fn writeback_handshake_ack_path() {
-        let mut l1 = l1(false);
-        let mut acts = Vec::new();
-        // Fill both ways of set 0 with registered words, then force a third
-        // line into the set (2-way, 8 sets ⇒ stride 8 lines = 0x200).
-        for (a, v) in [(0x200u64, 1u64), (0x400, 2)] {
-            l1.core_request(
-                &req(a, AccessKind::DataStore { value: v }),
-                false,
-                &mut acts,
-            );
-            l1.on_msg(
-                DnvMsg::RegAck {
-                    word: word(a),
-                    value: 0,
-                    class: XferClass::Write,
-                },
-                &mut acts,
-            );
-        }
-        acts.clear();
-        let res = l1.core_request(
-            &req(0x600, AccessKind::DataStore { value: 3 }),
-            false,
-            &mut acts,
-        );
-        assert_eq!(res, IssueResult::StoreAccepted { completed: false });
-        let wb = acts.iter().find_map(|a| match a {
-            Action::Send {
-                msg: Msg::Dnv(DnvMsg::WbReq { word, value, .. }),
+                msg: Msg::Gcs(GcsMsg::RecallAck {
+                    value: Some(11),
+                    ..
+                }),
                 ..
-            } => Some((*word, *value)),
-            _ => None,
-        });
-        let (wb_word, wb_value) = wb.expect("writeback for the evicted registered word");
-        assert_eq!(wb_word, word(0x200));
-        assert_eq!(wb_value, 1);
-        // Held value still answers peeks during the handshake.
-        assert_eq!(l1.peek_registered(wb_word), Some(1));
-        acts.clear();
-        l1.on_msg(DnvMsg::WbAck { word: wb_word }, &mut acts);
-        assert_eq!(l1.peek_registered(wb_word), None);
-    }
-
-    #[test]
-    fn writeback_nack_then_transfer_serves_from_held_value() {
-        let mut l1 = l1(false);
-        let mut acts = Vec::new();
-        for (a, v) in [(0x200u64, 1u64), (0x400, 2)] {
-            l1.core_request(
-                &req(a, AccessKind::DataStore { value: v }),
-                false,
-                &mut acts,
-            );
-            l1.on_msg(
-                DnvMsg::RegAck {
-                    word: word(a),
-                    value: 0,
-                    class: XferClass::Write,
-                },
-                &mut acts,
-            );
-        }
-        acts.clear();
-        l1.core_request(
-            &req(0x600, AccessKind::DataStore { value: 3 }),
-            false,
-            &mut acts,
-        );
-        acts.clear();
-        // Registry refuses: ownership already moved to core 4.
-        l1.on_msg(DnvMsg::WbNack { word: word(0x200) }, &mut acts);
-        assert!(acts.is_empty());
-        l1.on_msg(
-            DnvMsg::Xfer {
-                word: word(0x200),
-                new_owner: 4,
-                class: XferClass::SyncRead,
-            },
-            &mut acts,
-        );
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            Action::Send {
-                to: Endpoint::L1(4),
-                msg: Msg::Dnv(DnvMsg::RegAck { value: 1, .. })
             }
         )));
-        // Only the 0x600 store's own registration remains outstanding.
-        assert_eq!(l1.outstanding_txns(), 1);
+        assert_eq!(l1.word_state(word(0x100)), WState::Invalid);
+        assert_eq!(l1.outstanding_txns(), 0);
     }
 
     #[test]
-    fn transfer_before_nack_also_resolves() {
-        let mut l1 = l1(false);
+    fn notify_buffer_serves_the_reissued_spin_load() {
+        let mut l1 = l1();
         let mut acts = Vec::new();
-        for (a, v) in [(0x200u64, 1u64), (0x400, 2)] {
-            l1.core_request(
-                &req(a, AccessKind::DataStore { value: v }),
-                false,
-                &mut acts,
-            );
-            l1.on_msg(
-                DnvMsg::RegAck {
-                    word: word(a),
-                    value: 0,
-                    class: XferClass::Write,
-                },
-                &mut acts,
-            );
-        }
-        acts.clear();
-        l1.core_request(
-            &req(0x600, AccessKind::DataStore { value: 3 }),
-            false,
-            &mut acts,
-        );
-        acts.clear();
-        // Transfer parks on the writeback entry, then the nack releases it.
-        l1.on_msg(
-            DnvMsg::Xfer {
-                word: word(0x200),
-                new_owner: 4,
-                class: XferClass::Write,
-            },
-            &mut acts,
-        );
-        assert!(acts.is_empty());
-        l1.on_msg(DnvMsg::WbNack { word: word(0x200) }, &mut acts);
-        assert!(acts.iter().any(|a| matches!(
-            a,
+        l1.start_remote_watch(word(0x100), 0, &mut acts);
+        assert!(matches!(
+            acts[0],
             Action::Send {
-                to: Endpoint::L1(4),
-                msg: Msg::Dnv(DnvMsg::RegAck { value: 1, .. })
+                msg: Msg::Gcs(GcsMsg::SyncWatch { seen: 0, .. }),
+                ..
             }
-        )));
-    }
-
-    #[test]
-    fn spin_watch_wakes_on_transfer() {
-        let mut l1 = l1(false);
-        let mut acts = Vec::new();
-        l1.core_request(&req(0x100, AccessKind::SyncLoad), false, &mut acts);
-        l1.on_msg(
-            DnvMsg::RegAck {
-                word: word(0x100),
-                value: 0,
-                class: XferClass::SyncRead,
-            },
-            &mut acts,
-        );
-        l1.set_watch(word(0x100));
+        ));
         acts.clear();
-        l1.on_msg(
-            DnvMsg::Xfer {
+        l1.on_gcs(
+            GcsMsg::SyncNotify {
                 word: word(0x100),
-                new_owner: 9,
-                class: XferClass::SyncWrite,
+                value: 42,
             },
             &mut acts,
         );
         assert!(acts.contains(&Action::SpinWake));
+        assert!(l1.remote_watch_word().is_none());
+        acts.clear();
+        assert_eq!(
+            l1.core_request(&req(0x100, AccessKind::SyncLoad), &mut acts),
+            IssueResult::Hit { value: Some(42) }
+        );
+        assert!(acts.is_empty(), "notify hit must not touch the network");
+        // Consumed: the next spin load goes remote again.
+        assert_eq!(
+            l1.core_request(&req(0x100, AccessKind::SyncLoad), &mut acts),
+            IssueResult::Miss
+        );
+    }
+
+    #[test]
+    fn recall_with_writeback_in_flight_defers_to_the_writeback() {
+        let mut l1 = l1();
+        let mut acts = Vec::new();
+        for (a, v) in [(0x200u64, 1u64), (0x400, 2)] {
+            l1.core_request(&req(a, AccessKind::DataStore { value: v }), &mut acts);
+            l1.on_msg(
+                DnvMsg::RegAck {
+                    word: word(a),
+                    value: 0,
+                    class: XferClass::Write,
+                },
+                &mut acts,
+            );
+        }
+        acts.clear();
+        l1.core_request(&req(0x600, AccessKind::DataStore { value: 3 }), &mut acts);
+        acts.clear();
+        // The recall crosses our in-flight WbReq: the bank will accept the
+        // writeback as the recall return, so the L1 stays silent.
+        l1.on_gcs(GcsMsg::Recall { word: word(0x200) }, &mut acts);
+        assert!(acts.is_empty(), "{acts:?}");
+        l1.on_msg(DnvMsg::WbAck { word: word(0x200) }, &mut acts);
+        assert_eq!(l1.peek_registered(word(0x200)), None);
     }
 }

@@ -1,0 +1,30 @@
+//! GCS: sync-aware generalized coherence.
+//!
+//! A fourth protocol backend that splits memory traffic by *observed role*
+//! rather than by static annotation. Ordinary data takes the DeNovo
+//! ownership path — word-granularity Invalid / Valid / Registered, reader
+//! self-invalidation, a non-blocking registry, no writer-initiated
+//! invalidations. Words the hardware observes being fought over with
+//! synchronization accesses (RMW targets, spin flags) are *dynamically
+//! classified* as sync variables and moved onto a dedicated
+//! directory-mediated update path:
+//!
+//! * classified words live permanently at their home [`bank`]; sync
+//!   operations execute there atomically and never bounce registrations
+//!   between L1s;
+//! * spinning cores park in a per-word waiter set and are woken by a
+//!   *targeted* notification carrying the new value — the update protocol
+//!   the paper argues is wasteful for data is exactly right for the tiny,
+//!   hot set of sync variables;
+//! * each [`l1`] learns classifications in a small bounded [`predictor`]
+//!   table, routing future sync accesses straight down the dedicated path;
+//!   a capacity miss costs one optimistic registration round trip, never
+//!   correctness.
+
+pub mod bank;
+pub mod l1;
+pub mod predictor;
+
+pub use bank::GcsBank;
+pub use l1::GcsL1;
+pub use predictor::SyncPredictor;

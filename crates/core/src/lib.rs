@@ -11,6 +11,9 @@
 //!   serialization through a non-blocking registry with a distributed MSHR
 //!   queue), and **DeNovoSync** adds the adaptive hardware backoff
 //!   ([`denovo::backoff`]).
+//! * [`gcs`] — generalized coherence: the DeNovo data path plus dynamic
+//!   sync-variable classification with a dedicated directory-mediated
+//!   update/notify path for classified words.
 //! * [`config`] — Table 1's system configurations (16 and 64 cores).
 //! * [`msg`] — the protocol message vocabulary, with per-message wire sizes
 //!   and traffic classes.
@@ -54,6 +57,7 @@
 pub mod chaos;
 pub mod config;
 pub mod denovo;
+pub mod gcs;
 pub mod mesi;
 pub mod msg;
 pub mod oracle;

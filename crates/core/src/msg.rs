@@ -6,7 +6,7 @@
 //! carry only valid words ("load responses do not contain invalid parts of
 //! the cache line"), which is one of DeNovo's structural traffic advantages.
 
-use dvs_mem::{LineAddr, WordAddr, WORDS_PER_LINE, WORD_BYTES};
+use dvs_mem::{LineAddr, RmwOp, WordAddr, WORDS_PER_LINE, WORD_BYTES};
 use dvs_noc::NodeId;
 use dvs_stats::TrafficClass;
 
@@ -365,6 +365,147 @@ impl DnvMsg {
     }
 }
 
+/// The operation a GCS sync message asks the home bank to perform on a
+/// sync-classified word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GcsOpKind {
+    /// Read the current value.
+    Load,
+    /// Store a new value (release write executed at the directory).
+    Store {
+        /// Value stored.
+        value: u64,
+    },
+    /// Atomic read-modify-write executed at the directory.
+    Rmw(RmwOp),
+}
+
+impl GcsOpKind {
+    /// Payload words beyond the header (CAS ships both compare and swap
+    /// values; other ops at most one operand).
+    pub fn payload_words(self) -> u64 {
+        match self {
+            GcsOpKind::Load => 0,
+            GcsOpKind::Rmw(RmwOp::Cas { .. }) => 2,
+            GcsOpKind::Store { .. } | GcsOpKind::Rmw(_) => 1,
+        }
+    }
+}
+
+/// GCS sync-path messages (the generalized-coherence dedicated path for
+/// words classified as synchronization variables). Ordinary GCS data
+/// traffic reuses [`DnvMsg`]; these messages exist only for classified
+/// words, the classification handshake, and spin-wakeup notifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GcsMsg {
+    /// Execute a sync operation at the word's home bank.
+    SyncOp {
+        /// The classified word.
+        word: WordAddr,
+        /// Requesting core (receives the `SyncResp`).
+        req: CoreId,
+        /// What to do to the word.
+        op: GcsOpKind,
+    },
+    /// Result of a `SyncOp` (bank → requestor): the loaded value, the old
+    /// value of an RMW, or the stored value echoed back for a store.
+    SyncResp {
+        /// The word.
+        word: WordAddr,
+        /// Result value.
+        value: u64,
+    },
+    /// Level-triggered spin registration: if the word's value already
+    /// differs from `seen` the bank notifies immediately, otherwise it sets
+    /// the requestor's waiter bit (no lost wakeups).
+    SyncWatch {
+        /// The watched word.
+        word: WordAddr,
+        /// Watching core.
+        req: CoreId,
+        /// The value the spinner last observed.
+        seen: u64,
+    },
+    /// Targeted wakeup (bank → waiter) carrying the word's new value.
+    SyncNotify {
+        /// The word.
+        word: WordAddr,
+        /// Its new value.
+        value: u64,
+    },
+    /// Bank reclaims a newly classified word from its current registrant.
+    Recall {
+        /// The word.
+        word: WordAddr,
+    },
+    /// Registrant returns the word (`value` when it still held it; `None`
+    /// when ownership had already moved on before the recall arrived).
+    RecallAck {
+        /// The word.
+        word: WordAddr,
+        /// Responding core.
+        from: CoreId,
+        /// The recalled value, if this core was still the registrant.
+        value: Option<u64>,
+    },
+    /// Bank rejects a registration because the word is sync-classified;
+    /// the L1 must convert the pending access to the `SyncOp` path.
+    Classified {
+        /// The word.
+        word: WordAddr,
+    },
+}
+
+impl GcsMsg {
+    /// Total wire size in bytes (header + operand/value payload).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            GcsMsg::SyncOp { op, .. } => HEADER_BYTES + WORD_BYTES * op.payload_words(),
+            GcsMsg::SyncResp { .. } | GcsMsg::SyncWatch { .. } | GcsMsg::SyncNotify { .. } => {
+                HEADER_BYTES + WORD_BYTES
+            }
+            GcsMsg::Recall { .. } | GcsMsg::Classified { .. } => HEADER_BYTES,
+            GcsMsg::RecallAck { value, .. } => {
+                HEADER_BYTES + WORD_BYTES * u64::from(value.is_some())
+            }
+        }
+    }
+
+    /// Traffic class: the whole dedicated path is synchronization traffic.
+    pub fn class(&self) -> TrafficClass {
+        match self {
+            GcsMsg::Recall { .. } | GcsMsg::RecallAck { .. } => TrafficClass::Writeback,
+            _ => TrafficClass::Sync,
+        }
+    }
+
+    /// The word this message concerns.
+    pub fn word(&self) -> WordAddr {
+        match *self {
+            GcsMsg::SyncOp { word, .. }
+            | GcsMsg::SyncResp { word, .. }
+            | GcsMsg::SyncWatch { word, .. }
+            | GcsMsg::SyncNotify { word, .. }
+            | GcsMsg::Recall { word }
+            | GcsMsg::RecallAck { word, .. }
+            | GcsMsg::Classified { word } => word,
+        }
+    }
+
+    /// The message type's name (telemetry / forensics labels).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            GcsMsg::SyncOp { .. } => "SyncOp",
+            GcsMsg::SyncResp { .. } => "SyncResp",
+            GcsMsg::SyncWatch { .. } => "SyncWatch",
+            GcsMsg::SyncNotify { .. } => "SyncNotify",
+            GcsMsg::Recall { .. } => "Recall",
+            GcsMsg::RecallAck { .. } => "RecallAck",
+            GcsMsg::Classified { .. } => "Classified",
+        }
+    }
+}
+
 /// Any message on the interconnect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Msg {
@@ -372,6 +513,8 @@ pub enum Msg {
     Mesi(MesiMsg),
     /// A DeNovo protocol message.
     Dnv(DnvMsg),
+    /// A GCS sync-path message (GCS data traffic travels as [`Msg::Dnv`]).
+    Gcs(GcsMsg),
     /// L2 bank asks a memory controller for a line.
     MemRead {
         /// The line.
@@ -407,6 +550,7 @@ impl Msg {
         match self {
             Msg::Mesi(m) => m.wire_bytes(),
             Msg::Dnv(m) => m.wire_bytes(),
+            Msg::Gcs(m) => m.wire_bytes(),
             Msg::MemRead { .. } => HEADER_BYTES,
             Msg::MemData { .. } => HEADER_BYTES + WORDS_PER_LINE as u64 * WORD_BYTES,
             Msg::MemWrite { mask, .. } => HEADER_BYTES + WORD_BYTES * u64::from(mask.count_ones()),
@@ -423,6 +567,7 @@ impl Msg {
         match self {
             Msg::Mesi(m) => m.class(),
             Msg::Dnv(m) => m.class(),
+            Msg::Gcs(m) => m.class(),
             Msg::MemRead { class, .. } | Msg::MemData { class, .. } => *class,
             Msg::MemWrite { .. } => TrafficClass::Writeback,
         }
@@ -433,6 +578,7 @@ impl Msg {
         match self {
             Msg::Mesi(m) => m.kind_name(),
             Msg::Dnv(m) => m.kind_name(),
+            Msg::Gcs(m) => m.kind_name(),
             Msg::MemRead { .. } => "MemRead",
             Msg::MemData { .. } => "MemData",
             Msg::MemWrite { .. } => "MemWrite",
@@ -583,5 +729,58 @@ mod tests {
     fn accessors_return_the_address() {
         assert_eq!(MesiMsg::PutAck { line: line() }.line(), line());
         assert_eq!(DnvMsg::WbAck { word: word() }.word(), word());
+        assert_eq!(GcsMsg::Recall { word: word() }.word(), word());
+    }
+
+    #[test]
+    fn gcs_sync_path_sizes_and_classes() {
+        let load = Msg::Gcs(GcsMsg::SyncOp {
+            word: word(),
+            req: 0,
+            op: GcsOpKind::Load,
+        });
+        assert_eq!(load.wire_bytes(), HEADER_BYTES);
+        assert_eq!(load.class(), TrafficClass::Sync);
+        let cas = Msg::Gcs(GcsMsg::SyncOp {
+            word: word(),
+            req: 0,
+            op: GcsOpKind::Rmw(RmwOp::Cas {
+                expected: 0,
+                new: 1,
+            }),
+        });
+        assert_eq!(cas.wire_bytes(), HEADER_BYTES + 2 * WORD_BYTES);
+        let fai = Msg::Gcs(GcsMsg::SyncOp {
+            word: word(),
+            req: 0,
+            op: GcsOpKind::Rmw(RmwOp::Fai { delta: 1 }),
+        });
+        assert_eq!(fai.wire_bytes(), HEADER_BYTES + WORD_BYTES);
+        let notify = Msg::Gcs(GcsMsg::SyncNotify {
+            word: word(),
+            value: 7,
+        });
+        assert_eq!(notify.wire_bytes(), HEADER_BYTES + WORD_BYTES);
+        assert_eq!(notify.class(), TrafficClass::Sync);
+        // Recall is a forced writeback: account it with the WB traffic.
+        let recall = Msg::Gcs(GcsMsg::Recall { word: word() });
+        assert_eq!(recall.wire_bytes(), HEADER_BYTES);
+        assert_eq!(recall.class(), TrafficClass::Writeback);
+        let ack_some = Msg::Gcs(GcsMsg::RecallAck {
+            word: word(),
+            from: 3,
+            value: Some(9),
+        });
+        assert_eq!(ack_some.wire_bytes(), HEADER_BYTES + WORD_BYTES);
+        let ack_none = Msg::Gcs(GcsMsg::RecallAck {
+            word: word(),
+            from: 3,
+            value: None,
+        });
+        assert_eq!(ack_none.wire_bytes(), HEADER_BYTES);
+        assert_eq!(
+            Msg::Gcs(GcsMsg::Classified { word: word() }).wire_bytes(),
+            HEADER_BYTES
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! The differential harness: runs one [`FuzzCase`] seven ways and
+//! The differential harness: runs one [`FuzzCase`] nine ways and
 //! cross-checks them.
 //!
 //! The oracle stack, cheapest first:
@@ -9,9 +9,9 @@
 //!    [`crate::case`]). A case the reference cannot finish is *sick*
 //!    (an invalid program, not a protocol bug) — shrink candidates that
 //!    break program validity land here and are rejected cheaply.
-//! 2. **Timed systems** — `System::new` under MESI, DeNovoSync0, and
-//!    DeNovoSync with the PR-1 runtime invariant checkers armed; the
-//!    simulator's own error taxonomy (deadlock, cycle-limit, protocol
+//! 2. **Timed systems** — `System::new` under MESI, DeNovoSync0,
+//!    DeNovoSync, and GCS with the PR-1 runtime invariant checkers armed;
+//!    the simulator's own error taxonomy (deadlock, cycle-limit, protocol
 //!    violation, kernel assert) all count as divergences.
 //! 3. **Untimed oracle systems** — `System::new_oracle` driven by a
 //!    seeded random walk over the enabled message channels, sampling
@@ -138,7 +138,7 @@ pub fn run_case(case: &FuzzCase, h: &HarnessConfig) -> CaseVerdict {
         }
     }
 
-    // Stages 2–7: each protocol, timed then untimed.
+    // Stages 2–9: each protocol, timed then untimed.
     let idle: Arc<dvs_vm::isa::Program> = {
         let mut a = Asm::new("idle");
         a.halt();
@@ -149,7 +149,7 @@ pub fn run_case(case: &FuzzCase, h: &HarnessConfig) -> CaseVerdict {
         padded.push(Arc::clone(&idle));
     }
 
-    for proto in Protocol::ALL {
+    for proto in Protocol::EXTENDED {
         for timed in [true, false] {
             let stage = format!(
                 "{}/{}",

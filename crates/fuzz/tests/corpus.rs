@@ -31,7 +31,7 @@ const BENIGN: [(&str, u64, usize); 4] = [
 ];
 
 /// name, mutation, committed shrink floor (instruction count).
-const CONTROLS: [(&str, ProtocolMutation, usize); 4] = [
+const CONTROLS: [(&str, ProtocolMutation, usize); 6] = [
     ("control-dnv-drop-xfer", ProtocolMutation::DnvDropXfer, 8),
     (
         "control-dnv-skip-repoint",
@@ -44,6 +44,16 @@ const CONTROLS: [(&str, ProtocolMutation, usize); 4] = [
         12,
     ),
     ("control-mesi-drop-ack", ProtocolMutation::MesiDropAck, 12),
+    (
+        "control-gcs-skip-update",
+        ProtocolMutation::GcsSkipUpdate,
+        8,
+    ),
+    (
+        "control-gcs-drop-notify",
+        ProtocolMutation::GcsDropNotify,
+        28,
+    ),
 ];
 
 #[test]

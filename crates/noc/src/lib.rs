@@ -302,6 +302,9 @@ pub struct Network {
     next_free: Vec<Cycle>,
     crossings: u64,
     messages: u64,
+    /// Per-link fixed extra hop delay (heterogeneous links); empty when
+    /// every link is uniform.
+    link_extra: Vec<Cycle>,
     jitter: Option<Jitter>,
     /// Observability only — never feeds back into routing or timing.
     tel: Telemetry,
@@ -331,6 +334,7 @@ impl Network {
             next_free: vec![0; mesh.link_slots()],
             crossings: 0,
             messages: 0,
+            link_extra: Vec::new(),
             jitter: None,
             tel: Telemetry::off(),
         }
@@ -357,6 +361,30 @@ impl Network {
                 tiles: self.mesh.tiles(),
             })
         };
+    }
+
+    /// Gives each directional link a fixed extra per-hop delay in
+    /// `0..=max_extra` cycles, chosen deterministically from `seed` — a
+    /// model of chips whose links are not all equally fast (longer wires,
+    /// slower voltage domains). Because the extra is a *constant per link*
+    /// and XY routes are deterministic, per-pair FIFO delivery and arrival
+    /// monotonicity are preserved: consecutive messages of a pair traverse
+    /// identical links with identical extras and still serialize on each
+    /// one. `max_extra == 0` restores uniform links.
+    pub fn enable_hetero_links(&mut self, seed: u64, max_extra: Cycle) {
+        if max_extra == 0 {
+            self.link_extra = Vec::new();
+            return;
+        }
+        let mut rng = DetRng::new(seed);
+        self.link_extra = (0..self.mesh.link_slots())
+            .map(|_| rng.range(0, max_extra + 1))
+            .collect();
+    }
+
+    /// The extra per-hop delay of one link (0 when links are uniform).
+    fn extra_for(&self, link: LinkId) -> Cycle {
+        self.link_extra.get(link.0).copied().unwrap_or(0)
     }
 
     /// The topology.
@@ -400,11 +428,12 @@ impl Network {
         let mut head = now + self.params.endpoint_cycles;
         let mut hops: u64 = 0;
         for link in self.mesh.route_iter(src, dst) {
+            let extra = self.extra_for(link);
             let slot = &mut self.next_free[link.0];
             let start = head.max(*slot);
             // The link is busy for the whole message's serialization time.
             *slot = start + flits;
-            head = start + self.params.hop_cycles;
+            head = start + self.params.hop_cycles + extra;
             hops += 1;
             if self.tel.enabled() {
                 let busy_until = *slot;
@@ -601,6 +630,90 @@ mod tests {
     #[should_panic(expected = "at least one flit")]
     fn zero_flit_message_rejected() {
         Network::new(Mesh::new(2, 2), NocParams::default()).send(0, 0, 1, 0);
+    }
+
+    #[test]
+    fn non_square_mesh_routing_is_xy_and_manhattan() {
+        // 2 rows × 8 cols: nodes 0..7 on the top row, 8..15 on the bottom.
+        let m = Mesh::new(8, 2);
+        assert_eq!(m.tiles(), 16);
+        assert_eq!(m.coord(11), Coord { x: 3, y: 1 });
+        for (src, dst) in [(0, 15), (7, 8), (3, 11), (12, 4), (0, 7), (8, 15)] {
+            let r = m.route(src, dst);
+            assert_eq!(r.len(), m.hops(src, dst), "route {src}->{dst}");
+        }
+        // X before Y: 0 -> 11 goes East three times before turning South.
+        let r = m.route(0, 11);
+        assert_eq!(r[0], m.link(0, Dir::East));
+        assert_eq!(r[1], m.link(1, Dir::East));
+        assert_eq!(r[2], m.link(2, Dir::East));
+        assert_eq!(r[3], m.link(3, Dir::South));
+        assert_eq!(m.corners(), [0, 7, 8, 15]);
+    }
+
+    #[test]
+    fn large_mesh_routing_and_corners() {
+        // 16 rows × 8 cols = 128 tiles (the large-config shape).
+        let m = Mesh::new(8, 16);
+        assert_eq!(m.tiles(), 128);
+        for n in 0..128 {
+            assert_eq!(m.node(m.coord(n)), n);
+        }
+        assert_eq!(m.hops(0, 127), 7 + 15);
+        assert_eq!(m.corners(), [0, 7, 120, 127]);
+        assert_eq!(m.nearest_corner(9), 0);
+        assert_eq!(m.nearest_corner(118), 127);
+        let r = m.route(0, 127);
+        assert_eq!(r.len(), 22);
+        // Every route is loop-free: each hop visits a fresh link.
+        let mut seen = std::collections::HashSet::new();
+        for l in r {
+            assert!(seen.insert(l), "route revisits a link");
+        }
+    }
+
+    #[test]
+    fn hetero_links_are_deterministic_and_only_add_delay() {
+        let mesh = Mesh::new(8, 2);
+        let mut flat = Network::new(mesh, NocParams::default());
+        let mut het = Network::new(mesh, NocParams::default());
+        let mut het2 = Network::new(mesh, NocParams::default());
+        het.enable_hetero_links(0xBEEF, 3);
+        het2.enable_hetero_links(0xBEEF, 3);
+        for i in 0..100u64 {
+            let src = (i % 16) as usize;
+            let dst = ((i * 7 + 3) % 16) as usize;
+            let base = flat.send(i * 5, src, dst, 4);
+            let a = het.send(i * 5, src, dst, 4);
+            let b = het2.send(i * 5, src, dst, 4);
+            assert_eq!(a.arrive, b.arrive, "same seed, same schedule");
+            assert!(a.arrive >= base.arrive, "hetero links only add delay");
+            assert_eq!(a.crossings, base.crossings, "traffic is unchanged");
+        }
+    }
+
+    #[test]
+    fn hetero_links_keep_every_pair_monotone_on_large_meshes() {
+        for (cols, rows) in [(8, 2), (8, 16), (16, 16)] {
+            let mesh = Mesh::new(cols, rows);
+            let mut net = Network::new(mesh, NocParams::default());
+            net.enable_hetero_links(0x11EA, 9);
+            let tiles = mesh.tiles();
+            let mut last = vec![0u64; tiles * tiles];
+            let mut rng = DetRng::new(7);
+            for step in 0..4000u64 {
+                let src = rng.range(0, tiles as u64) as usize;
+                let dst = rng.range(0, tiles as u64) as usize;
+                let flits = 1 + rng.range(0, 36);
+                let arrive = net.send(step, src, dst, flits).arrive;
+                let slot = &mut last[src * tiles + dst];
+                assert!(
+                    arrive >= *slot,
+                    "{cols}x{rows}: pair ({src},{dst}) went backwards at step {step}"
+                );
+                *slot = arrive;
+            }
+        }
     }
 
     #[test]

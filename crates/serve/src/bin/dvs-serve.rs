@@ -6,6 +6,7 @@
 //! dvs-serve submit --dir D --litmus all                      litmus-sweep job
 //! dvs-serve resume --dir D [flags]                           finish unfinished jobs
 //! dvs-serve status --dir D                                   one line per job
+//! dvs-serve status --dir D --follow [--poll-ms N]            tail the journal live
 //! dvs-serve verify-store --dir D                             integrity-check the cache
 //! dvs-serve gc --dir D [--budget-bytes N]                    evict stale/over-budget
 //! ```
@@ -27,7 +28,7 @@
 use dvs_campaign::kernel_grid;
 use dvs_core::config::Protocol;
 use dvs_kernels::{KernelId, LockKind, LockedStruct};
-use dvs_serve::{JobSpec, RetryPolicy, Serve, ServeConfig};
+use dvs_serve::{JobSpec, JournalEvent, JournalTail, RetryPolicy, Serve, ServeConfig};
 use dvs_vm::litmus::Litmus;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -52,6 +53,8 @@ struct Opts {
     small: bool,
     no_run: bool,
     no_sync: bool,
+    follow: bool,
+    poll_ms: Option<u64>,
     workers: Option<usize>,
     deadline_ms: Option<u64>,
     retries: Option<u32>,
@@ -69,6 +72,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         small: false,
         no_run: false,
         no_sync: false,
+        follow: false,
+        poll_ms: None,
         workers: None,
         deadline_ms: None,
         retries: None,
@@ -98,6 +103,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--small" => o.small = true,
             "--no-run" => o.no_run = true,
             "--no-sync" => o.no_sync = true,
+            "--follow" => o.follow = true,
+            "--poll-ms" => {
+                o.poll_ms = Some(parse_num(&value(&mut it, "--poll-ms")?, "--poll-ms")?);
+            }
             "--workers" => {
                 o.workers = Some(parse_num(&value(&mut it, "--workers")?, "--workers")? as usize);
             }
@@ -205,6 +214,71 @@ fn print_metrics(serve: &Serve) {
     }
 }
 
+/// One human-readable line per journal event, `key=value` like the job
+/// summary lines so the output stays machine-parseable.
+fn render_event(e: &JournalEvent) -> String {
+    match e {
+        JournalEvent::Job { id, cells, kind } => {
+            format!("job={id} kind={kind} cells={cells} submitted")
+        }
+        JournalEvent::CellOk {
+            job,
+            index,
+            payload_fnv,
+            wall_nanos,
+        } => format!(
+            "job={job} cell={index} ok payload={payload_fnv:016x} wall={}ms",
+            wall_nanos / 1_000_000
+        ),
+        JournalEvent::CellErr { job, index, class } => {
+            format!("job={job} cell={index} err class={class}")
+        }
+        JournalEvent::Retry {
+            job,
+            index,
+            attempt,
+        } => format!("job={job} cell={index} retry attempt={attempt}"),
+        JournalEvent::Done { job, digest } => format!("job={job} done digest={digest:016x}"),
+    }
+}
+
+/// `status --follow`: replays the journal from the start, then tails it,
+/// printing one line per durable event as it lands — live progress for a
+/// job another process is running. Exits once every journaled job has
+/// sealed with `done`; until a first job appears (or while one is still
+/// running) it keeps polling, so Ctrl-C is the way out of an idle follow.
+fn follow_status(o: &Opts) -> Result<ExitCode, String> {
+    let dir = o.dir.as_deref().ok_or("--dir is required")?;
+    let mut tail = JournalTail::new(std::path::Path::new(dir).join("journal.log"));
+    let poll = Duration::from_millis(o.poll_ms.unwrap_or(200).max(1));
+    let mut open_jobs = std::collections::BTreeSet::new();
+    let mut saw_a_job = false;
+    loop {
+        for event in tail.poll().map_err(|e| e.to_string())? {
+            match event {
+                Ok(e) => {
+                    println!("{}", render_event(&e));
+                    match e {
+                        JournalEvent::Job { id, .. } => {
+                            saw_a_job = true;
+                            open_jobs.insert(id);
+                        }
+                        JournalEvent::Done { job, .. } => {
+                            open_jobs.remove(&job);
+                        }
+                        _ => {}
+                    }
+                }
+                Err(why) => eprintln!("dvs-serve: journal: {why}"),
+            }
+        }
+        if saw_a_job && open_jobs.is_empty() {
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(poll);
+    }
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("usage: dvs-serve <submit|resume|status|verify-store|gc> --dir D ...".into());
@@ -247,6 +321,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             })
         }
         "status" => {
+            if o.follow {
+                return follow_status(&o);
+            }
             let serve = Serve::open(config_for(&o)?).map_err(|e| e.to_string())?;
             let jobs = serve.status();
             if jobs.is_empty() {

@@ -21,7 +21,7 @@
 use dvs_campaign::{fnv1a_str, FNV_OFFSET};
 use std::fs;
 use std::io::{BufRead, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// One durable event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -309,6 +309,61 @@ impl Journal {
     }
 }
 
+/// An incremental, read-only view of a (possibly live) journal file.
+///
+/// Each [`poll`](JournalTail::poll) reads whatever bytes were appended
+/// since the last call and yields every newly *completed* line exactly
+/// once, parsed and checksum-verified. A partial trailing line (an append
+/// still in flight) is left unconsumed until its newline lands, so a
+/// concurrent writer is never observed mid-line. The file not existing yet
+/// is not an error — the tail reports no events until it appears.
+///
+/// Unlike [`Journal::open`] recovery, which conservatively stops at the
+/// first corrupt non-trailing line, a tail is progress reporting: a
+/// complete line that fails its checksum is surfaced as an error and the
+/// tail keeps going.
+#[derive(Debug)]
+pub struct JournalTail {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl JournalTail {
+    /// A tail positioned at the start of `path`: the first poll replays
+    /// everything journaled so far.
+    pub fn new(path: impl Into<PathBuf>) -> JournalTail {
+        JournalTail {
+            path: path.into(),
+            offset: 0,
+        }
+    }
+
+    /// The lines completed since the last poll — each the parsed event or,
+    /// for a complete line failing its checksum, the parse error.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file (a missing file is *not* an error).
+    pub fn poll(&mut self) -> std::io::Result<Vec<Result<JournalEvent, String>>> {
+        use std::io::{ErrorKind, Read as _, Seek as _, SeekFrom};
+        let mut f = match fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        f.seek(SeekFrom::Start(self.offset))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        let Some(last_newline) = buf.iter().rposition(|&b| b == b'\n') else {
+            return Ok(Vec::new());
+        };
+        let complete = last_newline + 1;
+        self.offset += complete as u64;
+        let text = String::from_utf8_lossy(&buf[..complete]);
+        Ok(text.lines().map(parse_line).collect())
+    }
+}
+
 /// Folds one event into the recovered job list.
 fn apply(jobs: &mut Vec<RecoveredJob>, event: JournalEvent) {
     match event {
@@ -491,6 +546,76 @@ mod tests {
         assert_eq!(job.wall_nanos(), 1_000, "only ok cells contribute wall");
         assert_eq!(job.pending(), vec![1], "retries are not terminal");
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tail_yields_each_event_exactly_once() {
+        let path = tmp("tail");
+        let (mut j, _) = Journal::open(&path, false).expect("open");
+        let mut tail = JournalTail::new(&path);
+        assert!(tail.poll().expect("poll empty").is_empty());
+        for e in events() {
+            j.append(&e).expect("append");
+            let got = tail.poll().expect("poll");
+            assert_eq!(got, vec![Ok(e)]);
+        }
+        assert!(tail.poll().expect("poll drained").is_empty());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tail_leaves_a_partial_trailing_line_unconsumed() {
+        use std::io::Write as _;
+        let path = tmp("tail-partial");
+        let (mut j, _) = Journal::open(&path, false).expect("open");
+        j.append(&events()[0]).expect("append");
+        let full = render(&events()[1]);
+        let (head, rest) = full.split_at(full.len() / 2);
+        let mut raw = fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("raw open");
+        raw.write_all(head.as_bytes()).expect("half append");
+        raw.flush().expect("flush");
+
+        let mut tail = JournalTail::new(&path);
+        let got = tail.poll().expect("poll");
+        assert_eq!(got, vec![Ok(events()[0].clone())], "in-flight line hidden");
+
+        raw.write_all(rest.as_bytes()).expect("finish append");
+        raw.flush().expect("flush");
+        assert_eq!(tail.poll().expect("poll"), vec![Ok(events()[1].clone())]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tail_reports_a_corrupt_line_and_keeps_going() {
+        let path = tmp("tail-corrupt");
+        {
+            let (mut j, _) = Journal::open(&path, false).expect("open");
+            for e in events() {
+                j.append(&e).expect("append");
+            }
+        }
+        let raw = fs::read_to_string(&path).expect("read");
+        let mut lines: Vec<&str> = raw.lines().collect();
+        let flipped = lines[1].replace("ok", "ko");
+        lines[1] = &flipped;
+        fs::write(&path, lines.join("\n") + "\n").expect("corrupt");
+        let mut tail = JournalTail::new(&path);
+        let got = tail.poll().expect("poll");
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], Ok(events()[0].clone()));
+        assert!(got[1].is_err(), "corrupt line surfaces its parse error");
+        assert_eq!(got[2], Ok(events()[2].clone()), "tail advances past it");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tail_of_a_missing_journal_is_empty_not_an_error() {
+        let path = tmp("tail-missing");
+        let mut tail = JournalTail::new(&path);
+        assert!(tail.poll().expect("poll").is_empty());
     }
 
     #[test]

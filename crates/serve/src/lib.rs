@@ -38,7 +38,7 @@ pub mod service;
 pub mod store;
 
 pub use job::{CellFailure, CellResult, CellSpec, FailureClass, JobSpec};
-pub use journal::{CellOutcome, Journal, JournalEvent, RecoveredJob};
+pub use journal::{CellOutcome, Journal, JournalEvent, JournalTail, RecoveredJob};
 pub use retry::RetryPolicy;
 pub use service::{AdmissionError, JobReport, JobStatus, Serve, ServeConfig, ServeCounters};
 pub use store::{GcReport, Lookup, PutOutcome, Store, VerifyReport};

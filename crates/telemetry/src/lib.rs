@@ -231,6 +231,14 @@ pub enum EventKind {
         /// Stall length in cycles.
         cycles: u64,
     },
+    /// A GCS directory pushed a targeted update notification to the waiter
+    /// set of a sync-classified word.
+    Notify {
+        /// The core whose update triggered the notification.
+        writer: u32,
+        /// Waiters notified (fan-out at the directory).
+        waiters: u32,
+    },
     /// The event loop delivered a protocol message to an endpoint.
     Delivery {
         /// The message's wire name (e.g. `GetM`, `RegReq`).
@@ -250,6 +258,7 @@ impl EventKind {
             EventKind::Transition { .. } => "transition",
             EventKind::Registration { .. } => "registration",
             EventKind::Invalidation { .. } => "invalidation",
+            EventKind::Notify { .. } => "notify",
             EventKind::NocEnqueue { .. } => "noc_enqueue",
             EventKind::NocHop { .. } => "noc_hop",
             EventKind::NocDequeue { .. } => "noc_dequeue",

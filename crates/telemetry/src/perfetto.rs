@@ -137,6 +137,13 @@ pub fn export(title: &str, events: &[Event]) -> String {
                     .u64("sharers", u64::from(sharers));
                 rows.push(instant("invalidation", ts, pid, tid, args));
             }
+            EventKind::Notify { writer, waiters } => {
+                let mut args = JsonObject::new();
+                args.u64("addr", event.addr)
+                    .u64("writer", u64::from(writer))
+                    .u64("waiters", u64::from(waiters));
+                rows.push(instant("notify", ts, pid, tid, args));
+            }
             EventKind::NocEnqueue { dst, flits } => {
                 let mut args = JsonObject::new();
                 args.u64("dst", u64::from(dst))

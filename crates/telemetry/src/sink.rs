@@ -216,6 +216,9 @@ pub fn jsonl_line(event: &Event) -> String {
         EventKind::Invalidation { requester, sharers } => {
             s.push_str(&format!(",\"requester\":{requester},\"sharers\":{sharers}"));
         }
+        EventKind::Notify { writer, waiters } => {
+            s.push_str(&format!(",\"writer\":{writer},\"waiters\":{waiters}"));
+        }
         EventKind::NocEnqueue { dst, flits } => {
             s.push_str(&format!(",\"dst\":{dst},\"flits\":{flits}"));
         }

@@ -65,7 +65,7 @@ impl Litmus {
 
     /// The full suite, smallest state space first.
     pub fn all() -> Vec<Litmus> {
-        vec![corr(), sb(), mp(), tatas()]
+        vec![corr(), fai(), sb(), mp(), tatas()]
     }
 
     /// The extended shapes — wider than the checker budget allows
@@ -228,6 +228,44 @@ pub fn corr() -> Litmus {
         programs: vec![writer, reader],
         observables: vec![("res0", res0), ("res1", res1)],
         verdict: Box::new(|v| !(v[0] == 1 && v[1] == 0)),
+    }
+}
+
+/// Atomic fetch-and-increment: both threads `fai` one shared sync counter
+/// and record the old value they observed. Atomicity requires the two old
+/// values to be distinct — 0 and 1 in some order — and the counter to reach
+/// the thread count. Unlike [`tatas`], the RMW results are the observables
+/// themselves, so a lost sync update (e.g. a directory that executes an RMW
+/// without applying its write) fails the verdict directly rather than only
+/// breaking mutual exclusion.
+pub fn fai() -> Litmus {
+    let mut lb = LayoutBuilder::new();
+    let sync = lb.region("sync");
+    let results = lb.region("results");
+    let counter = lb.sync_var("counter", sync, true);
+    let res0 = lb.sync_var("res0", results, true);
+    let res1 = lb.sync_var("res1", results, true);
+
+    let thread = |res: Addr| {
+        let mut a = Asm::new("fai");
+        let (one, p, r, q) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        a.movi(one, 1);
+        a.movi(p, counter.raw());
+        a.fai(r, p, 0, one); // r := old counter; counter += 1 (one atom)
+        a.movi(q, res.raw());
+        a.store(r, q, 0);
+        a.fence(); // result globally visible before halt
+        a.halt();
+        a.build()
+    };
+
+    Litmus {
+        name: "fai",
+        property: "atomic increments: counter == 2 and the old values are {0, 1}",
+        layout: lb.build(),
+        programs: vec![thread(res0), thread(res1)],
+        observables: vec![("counter", counter), ("res0", res0), ("res1", res1)],
+        verdict: Box::new(|v| v[0] == 2 && v[1] + v[2] == 1),
     }
 }
 
@@ -465,7 +503,7 @@ mod tests {
     #[test]
     fn suite_is_well_formed() {
         let all = Litmus::all();
-        assert_eq!(all.len(), 4);
+        assert_eq!(all.len(), 5);
         for lit in &all {
             assert_eq!(lit.nthreads(), 2, "{}", lit.name);
             assert!(!lit.observables.is_empty(), "{}", lit.name);

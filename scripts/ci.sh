@@ -1,104 +1,179 @@
 #!/usr/bin/env bash
 # Full CI gate: formatting, lints, tier-1 verification, and the chaos matrix.
 # Everything runs offline against the committed Cargo.lock — no network.
+#
+# Usage: ci.sh [--stage <name>]
+#   With no arguments every stage runs in order; --stage runs exactly one,
+#   for local iteration (e.g. `scripts/ci.sh --stage gcs`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
-cargo fmt --check
+STAGES="fmt lint tier1 chaos check campaign gcs step telemetry fuzz serve trace"
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
-
-echo "== tier-1: release build + full test suite =="
-cargo build --release --offline
-cargo build --release --offline --examples
-cargo test -q --offline
-
-echo "== chaos matrix (fixed fault seeds, invariant checking on) =="
-cargo test -q --offline --test chaos
-
-echo "== model-checker smoke (bounded-depth, 2 litmus x 3 protocols + 1 mutation) =="
-cargo run --release --offline -p dvs-check --example smoke
-
-echo "== campaign smoke (reduced fig3+fig7 grid at 1/2/4 workers, digest must match) =="
-DVS_QUICK=1 DVS_WORKERS=4 cargo bench --offline -p dvs-bench --bench campaign
-
-echo "== step_micro (stepping-throughput floors; see BENCH_step.json) =="
-# Perf-regression gate for the hot path: best-of-2 single-thread run of the
-# fig3 quick grid + the 500-case fuzz batch; fails below the committed
-# events/s and cases/s floors (set above the pre-refactor baseline).
-DVS_STEP_ITERS=2 cargo bench --offline -p dvs-bench --bench step_micro
-
-echo "== telemetry smoke (zero-perturbation + Perfetto export validation) =="
-# Captures one tatas run per protocol with a recorder sink, asserts the
-# stats/metrics match the no-telemetry baseline, validates the exported
-# Chrome trace JSON, and writes TRACE_telemetry_*.json + BENCH_telemetry.json.
-DVS_QUICK=1 cargo bench --offline -p dvs-bench --bench telemetry_timeline
-# Digest invariance across telemetry policies and worker counts.
-cargo test -q --offline -p dvs-campaign --test telemetry
-
-echo "== fuzz smoke (fixed seeds; fails on divergence, corpus drift, or missed controls) =="
-# Corpus replay: benign cases green with committed fingerprints, negative
-# controls caught and re-shrunk to their committed floors.
-cargo test -q --offline -p dvs-fuzz --test corpus
-# A fixed-seed stock-protocol hunt: any divergence, sick case, or panic
-# exits nonzero, and the result digest must not depend on the worker count.
-hunt() { cargo run --release --offline -p dvs-fuzz --bin dvsf -- hunt 0 60 --workers "$1"; }
-d2=$(hunt 2); echo "$d2"
-d1=$(hunt 1); echo "$d1"
-[ "${d1##*digest=}" = "${d2##*digest=}" ] || { echo "fuzz digest differs across worker counts"; exit 1; }
-
-echo "== serve smoke (crash-safe job service: kill -9 resume + warm cache) =="
-# Robustness artifact: cold + warm + corruption-repair + retry counters.
-DVS_QUICK=1 cargo bench --offline -p dvs-bench --bench serve_matrix
-# Crash drill against the real binary: SIGKILL a slowed run mid-job, resume,
-# and demand the digest match an uninterrupted run; then re-run warm and
-# demand >= 90% cache hits.
-cargo build --release --offline -p dvs-serve --bin dvs-serve
-SERVE=./target/release/dvs-serve
-SDIR=$(mktemp -d)
-trap 'rm -rf "$SDIR"' EXIT
-ref=$("$SERVE" submit --dir "$SDIR/ref" --grid smoke --workers 2); echo "$ref"
-want=${ref##*digest=}
-"$SERVE" submit --dir "$SDIR/victim" --grid smoke --workers 2 --cell-delay-ms 200 &
-victim=$!
-# Kill as soon as the journal shows the first completed cell.
-for _ in $(seq 1 400); do
-  grep -q '^cell ' "$SDIR/victim/journal.log" 2>/dev/null && break
-  kill -0 "$victim" 2>/dev/null || { echo "victim finished before the kill"; exit 1; }
-  sleep 0.025
+ONLY=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --stage)
+      ONLY=${2:?--stage needs a name}
+      shift 2
+      ;;
+    *)
+      echo "usage: $0 [--stage <name>]   (stages: $STAGES)" >&2
+      exit 2
+      ;;
+  esac
 done
-kill -9 "$victim"; wait "$victim" 2>/dev/null || true
-resumed=$("$SERVE" resume --dir "$SDIR/victim" --workers 2); echo "$resumed"
-[ "${resumed##*digest=}" = "$want" ] || { echo "resumed digest differs from uninterrupted run"; exit 1; }
-warm=$("$SERVE" submit --dir "$SDIR/ref" --grid smoke --workers 2); echo "$warm"
-[ "${warm##*digest=}" = "$want" ] || { echo "warm digest differs"; exit 1; }
-hits=$(echo "$warm" | sed -n 's/.*hits=\([0-9]*\).*/\1/p' | tail -1)
-cells=$(echo "$warm" | sed -n 's/.*cells=\([0-9]*\).*/\1/p' | tail -1)
-[ $((hits * 10)) -ge $((cells * 9)) ] || { echo "warm hit rate below 90% ($hits/$cells)"; exit 1; }
-"$SERVE" verify-store --dir "$SDIR/ref"
 
-echo "== trace smoke (record/replay across protocols + committed corpus) =="
-# Committed .dvst corpus: parse, replay on MESI/DS0/DS timed + the oracle,
-# validate every pinned final; plus format/compose/mix round-trip tests.
-cargo test -q --offline -p dvs-trace --test trace
-# Record a kernel with the dvst CLI, replay it on all three protocols, and
-# demand the pinned fingerprint is reproduced identically everywhere.
-cargo build --release --offline -p dvs-trace --bin dvst
-DVST=./target/release/dvst
-TDIR=$(mktemp -d)
-trap 'rm -rf "$SDIR" "$TDIR"' EXIT
-"$DVST" record tatas:counter --threads 4 --iters 4 -o "$TDIR/t.dvst"
-fp=""
-for proto in M DS0 DS; do
-  out=$("$DVST" replay "$TDIR/t.dvst" --proto "$proto"); echo "$out"
-  this=${out##*fingerprint }
-  [ -z "$fp" ] && fp=$this
-  [ "$this" = "$fp" ] || { echo "fingerprint differs on $proto"; exit 1; }
-done
-"$DVST" replay "$TDIR/t.dvst" --oracle --seed 9
-# Replay-vs-VM throughput artifact; quick mode gates the speedup at >= 2x.
-DVS_QUICK=1 cargo bench --offline -p dvs-bench --bench trace_matrix
+# Temp dirs registered by stages, cleaned on exit (paths are space-free).
+CLEANUP=""
+# shellcheck disable=SC2064
+trap 'rm -rf $CLEANUP' EXIT
 
-echo "CI OK"
+stage_fmt() {
+  echo "== cargo fmt --check =="
+  cargo fmt --check
+}
+
+stage_lint() {
+  echo "== cargo clippy (deny warnings) =="
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+}
+
+stage_tier1() {
+  echo "== tier-1: release build + full test suite =="
+  cargo build --release --offline
+  cargo build --release --offline --examples
+  cargo test -q --offline
+}
+
+stage_chaos() {
+  echo "== chaos matrix (fixed fault seeds, invariant checking on) =="
+  cargo test -q --offline --test chaos
+}
+
+stage_check() {
+  echo "== model-checker smoke (bounded-depth, 2 litmus x 4 protocols + 2 mutations) =="
+  cargo run --release --offline -p dvs-check --example smoke
+}
+
+stage_campaign() {
+  echo "== campaign smoke (reduced fig3+fig7 grid at 1/2/4 workers, digest must match) =="
+  DVS_QUICK=1 DVS_WORKERS=4 cargo bench --offline -p dvs-bench --bench campaign
+}
+
+stage_gcs() {
+  echo "== gcs smoke (litmus x gcs, negative controls, 4-protocol grid digest compare) =="
+  # The timed litmus suite runs every litmus under Protocol::EXTENDED —
+  # GCS included — stock and chaos-perturbed.
+  cargo test -q --offline --test litmus
+  # Fuzz corpus replay with the GCS negative controls: gcs-skip-update and
+  # gcs-drop-notify must be caught and re-shrunk to their committed floors.
+  cargo test -q --offline -p dvs-fuzz --test corpus -- controls
+  # The 24-kernel x 4-protocol comparison grid; the bench itself asserts
+  # the results digest matches a single-worker run before writing
+  # BENCH_gcs.json.
+  DVS_WORKERS=2 cargo bench --offline -p dvs-bench --bench gcs_compare
+}
+
+stage_step() {
+  echo "== step_micro (stepping-throughput floors; see BENCH_step.json) =="
+  # Perf-regression gate for the hot path: best-of-2 single-thread run of the
+  # fig3 quick grid + the 500-case fuzz batch; fails below the committed
+  # events/s and cases/s floors (set above the pre-refactor baseline).
+  DVS_STEP_ITERS=2 cargo bench --offline -p dvs-bench --bench step_micro
+}
+
+stage_telemetry() {
+  echo "== telemetry smoke (zero-perturbation + Perfetto export validation) =="
+  # Captures one tatas run per protocol with a recorder sink, asserts the
+  # stats/metrics match the no-telemetry baseline, validates the exported
+  # Chrome trace JSON, and writes TRACE_telemetry_*.json + BENCH_telemetry.json.
+  DVS_QUICK=1 cargo bench --offline -p dvs-bench --bench telemetry_timeline
+  # Digest invariance across telemetry policies and worker counts.
+  cargo test -q --offline -p dvs-campaign --test telemetry
+}
+
+stage_fuzz() {
+  echo "== fuzz smoke (fixed seeds; fails on divergence, corpus drift, or missed controls) =="
+  # Corpus replay: benign cases green with committed fingerprints, negative
+  # controls caught and re-shrunk to their committed floors.
+  cargo test -q --offline -p dvs-fuzz --test corpus
+  # A fixed-seed stock-protocol hunt: any divergence, sick case, or panic
+  # exits nonzero, and the result digest must not depend on the worker count.
+  hunt() { cargo run --release --offline -p dvs-fuzz --bin dvsf -- hunt 0 60 --workers "$1"; }
+  d2=$(hunt 2); echo "$d2"
+  d1=$(hunt 1); echo "$d1"
+  [ "${d1##*digest=}" = "${d2##*digest=}" ] || { echo "fuzz digest differs across worker counts"; exit 1; }
+}
+
+stage_serve() {
+  echo "== serve smoke (crash-safe job service: kill -9 resume + warm cache) =="
+  # Robustness artifact: cold + warm + corruption-repair + retry counters.
+  DVS_QUICK=1 cargo bench --offline -p dvs-bench --bench serve_matrix
+  # Crash drill against the real binary: SIGKILL a slowed run mid-job, resume,
+  # and demand the digest match an uninterrupted run; then re-run warm and
+  # demand >= 90% cache hits.
+  cargo build --release --offline -p dvs-serve --bin dvs-serve
+  SERVE=./target/release/dvs-serve
+  SDIR=$(mktemp -d)
+  CLEANUP="$CLEANUP $SDIR"
+  ref=$("$SERVE" submit --dir "$SDIR/ref" --grid smoke --workers 2); echo "$ref"
+  want=${ref##*digest=}
+  "$SERVE" submit --dir "$SDIR/victim" --grid smoke --workers 2 --cell-delay-ms 200 &
+  victim=$!
+  # Kill as soon as the journal shows the first completed cell.
+  for _ in $(seq 1 400); do
+    grep -q '^cell ' "$SDIR/victim/journal.log" 2>/dev/null && break
+    kill -0 "$victim" 2>/dev/null || { echo "victim finished before the kill"; exit 1; }
+    sleep 0.025
+  done
+  kill -9 "$victim"; wait "$victim" 2>/dev/null || true
+  resumed=$("$SERVE" resume --dir "$SDIR/victim" --workers 2); echo "$resumed"
+  [ "${resumed##*digest=}" = "$want" ] || { echo "resumed digest differs from uninterrupted run"; exit 1; }
+  warm=$("$SERVE" submit --dir "$SDIR/ref" --grid smoke --workers 2); echo "$warm"
+  [ "${warm##*digest=}" = "$want" ] || { echo "warm digest differs"; exit 1; }
+  hits=$(echo "$warm" | sed -n 's/.*hits=\([0-9]*\).*/\1/p' | tail -1)
+  cells=$(echo "$warm" | sed -n 's/.*cells=\([0-9]*\).*/\1/p' | tail -1)
+  [ $((hits * 10)) -ge $((cells * 9)) ] || { echo "warm hit rate below 90% ($hits/$cells)"; exit 1; }
+  "$SERVE" verify-store --dir "$SDIR/ref"
+  # The journal tail sees the whole story and exits once every job seals.
+  "$SERVE" status --dir "$SDIR/ref" --follow --poll-ms 10 | tail -3
+}
+
+stage_trace() {
+  echo "== trace smoke (record/replay across protocols + committed corpus) =="
+  # Committed .dvst corpus: parse, replay on MESI/DS0/DS timed + the oracle,
+  # validate every pinned final; plus format/compose/mix round-trip tests.
+  cargo test -q --offline -p dvs-trace --test trace
+  # Record a kernel with the dvst CLI, replay it on all three protocols, and
+  # demand the pinned fingerprint is reproduced identically everywhere.
+  cargo build --release --offline -p dvs-trace --bin dvst
+  DVST=./target/release/dvst
+  TDIR=$(mktemp -d)
+  CLEANUP="$CLEANUP $TDIR"
+  "$DVST" record tatas:counter --threads 4 --iters 4 -o "$TDIR/t.dvst"
+  fp=""
+  for proto in M DS0 DS; do
+    out=$("$DVST" replay "$TDIR/t.dvst" --proto "$proto"); echo "$out"
+    this=${out##*fingerprint }
+    [ -z "$fp" ] && fp=$this
+    [ "$this" = "$fp" ] || { echo "fingerprint differs on $proto"; exit 1; }
+  done
+  "$DVST" replay "$TDIR/t.dvst" --oracle --seed 9
+  # Replay-vs-VM throughput artifact; quick mode gates the speedup at >= 2x.
+  DVS_QUICK=1 cargo bench --offline -p dvs-bench --bench trace_matrix
+}
+
+if [ -n "$ONLY" ]; then
+  case " $STAGES " in
+    *" $ONLY "*) "stage_$ONLY" ;;
+    *)
+      echo "unknown stage \"$ONLY\" (stages: $STAGES)" >&2
+      exit 2
+      ;;
+  esac
+  echo "stage $ONLY OK"
+else
+  for s in $STAGES; do "stage_$s"; done
+  echo "CI OK"
+fi

@@ -28,7 +28,7 @@ fn chaos_cfg(threads: usize, proto: Protocol, seed: u64) -> SystemConfig {
 
 fn check_kernel_under_chaos(kernel: KernelId, threads: usize) {
     let params = KernelParams::smoke(threads);
-    for proto in Protocol::ALL {
+    for proto in Protocol::EXTENDED {
         for seed in SEEDS {
             run_kernel(kernel, chaos_cfg(threads, proto, seed), &params).unwrap_or_else(|e| {
                 panic!(
@@ -91,7 +91,7 @@ fn chaos_matrix_covers_all_24_kernels() {
 fn chaos_runs_are_deterministic_per_seed() {
     let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
     let params = KernelParams::smoke(4);
-    for proto in Protocol::ALL {
+    for proto in Protocol::EXTENDED {
         let a = run_kernel(kernel, chaos_cfg(4, proto, 7), &params)
             .unwrap_or_else(|e| panic!("{proto:?} first run: {e}"));
         let b = run_kernel(kernel, chaos_cfg(4, proto, 7), &params)

@@ -1,6 +1,6 @@
 //! Integration: every one of the 24 synchronization kernels must run to
-//! completion and satisfy its semantic post-condition on all three simulated
-//! protocols (MESI, DeNovoSync0, DeNovoSync).
+//! completion and satisfy its semantic post-condition on all four simulated
+//! protocols (MESI, DeNovoSync0, DeNovoSync, GCS).
 //!
 //! These runs use small workload parameters (a few iterations on 4 cores),
 //! but they exercise the full stack: VM programs → L1 controllers →
@@ -14,7 +14,7 @@ use dvs_kernels::{BarrierKind, KernelId, KernelParams, LockKind, LockedStruct, N
 
 fn check_kernel_all_protocols(kernel: KernelId, threads: usize) {
     let params = KernelParams::smoke(threads);
-    for proto in Protocol::ALL {
+    for proto in Protocol::EXTENDED {
         let cfg = SystemConfig::small(threads, proto);
         let stats = run_kernel(kernel, cfg, &params)
             .unwrap_or_else(|e| panic!("{} on {proto:?}: {e}", kernel.name()));
@@ -73,7 +73,7 @@ fn tatas_counter_16_cores_all_protocols() {
     let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
     let mut params = KernelParams::paper(kernel, 16);
     params.iters = 10;
-    for proto in Protocol::ALL {
+    for proto in Protocol::EXTENDED {
         let cfg = SystemConfig::paper(16, proto);
         let stats = run_kernel(kernel, cfg, &params)
             .unwrap_or_else(|e| panic!("counter @16 on {proto:?}: {e}"));
@@ -87,7 +87,7 @@ fn herlihy_reduced_checks_all_protocols() {
     for n in [NonBlocking::HerlihyStack, NonBlocking::HerlihyHeap] {
         let mut params = KernelParams::smoke(4);
         params.reduced_checks = true;
-        for proto in Protocol::ALL {
+        for proto in Protocol::EXTENDED {
             let cfg = SystemConfig::small(4, proto);
             run_kernel(KernelId::NonBlocking(n), cfg, &params)
                 .unwrap_or_else(|e| panic!("{n:?} reduced on {proto:?}: {e}"));
@@ -101,7 +101,7 @@ fn unpadded_locks_all_protocols() {
     let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
     let mut params = KernelParams::smoke(4);
     params.padded_locks = false;
-    for proto in Protocol::ALL {
+    for proto in Protocol::EXTENDED {
         let cfg = SystemConfig::small(4, proto);
         run_kernel(kernel, cfg, &params)
             .unwrap_or_else(|e| panic!("unpadded counter on {proto:?}: {e}"));

@@ -47,7 +47,7 @@ fn full_suite() -> Vec<Litmus> {
 #[test]
 fn all_litmus_sc_on_all_protocols() {
     for lit in full_suite() {
-        for proto in Protocol::ALL {
+        for proto in Protocol::EXTENDED {
             run_timed(&lit, SystemConfig::small(4, proto));
         }
     }
@@ -56,7 +56,7 @@ fn all_litmus_sc_on_all_protocols() {
 #[test]
 fn all_litmus_sc_under_chaos() {
     for lit in full_suite() {
-        for proto in Protocol::ALL {
+        for proto in Protocol::EXTENDED {
             for seed in [1, 0xC0FFEE, 0xDE40_5EED] {
                 let mut cfg = SystemConfig::small(4, proto);
                 cfg.fault_plan = Some(FaultPlan::from_seed(seed));

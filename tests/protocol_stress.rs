@@ -23,7 +23,7 @@ fn tiny_l1_config(threads: usize, proto: Protocol) -> SystemConfig {
 fn stress(kernel: KernelId) {
     let mut params = KernelParams::smoke(4);
     params.iters = 8;
-    for proto in Protocol::ALL {
+    for proto in Protocol::EXTENDED {
         let stats = run_kernel(kernel, tiny_l1_config(4, proto), &params)
             .unwrap_or_else(|e| panic!("{} tiny-L1 on {proto:?}: {e}", kernel.name()));
         assert!(stats.cycles > 0);
@@ -105,7 +105,7 @@ fn tiny_l1_nine_threads_fai_and_queue() {
     ] {
         let mut params = KernelParams::smoke(9);
         params.iters = 5;
-        for proto in Protocol::ALL {
+        for proto in Protocol::EXTENDED {
             run_kernel(kernel, tiny_l1_config(9, proto), &params)
                 .unwrap_or_else(|e| panic!("{} 9-thread on {proto:?}: {e}", kernel.name()));
         }
@@ -117,7 +117,7 @@ fn tiny_l1_nine_threads_fai_and_queue() {
 #[test]
 fn degenerate_configurations() {
     let kernel = KernelId::Locked(LockedStruct::Counter, LockKind::Tatas);
-    for proto in Protocol::ALL {
+    for proto in Protocol::EXTENDED {
         let params = KernelParams::smoke(1);
         run_kernel(kernel, tiny_l1_config(1, proto), &params)
             .unwrap_or_else(|e| panic!("1-thread on {proto:?}: {e}"));
