@@ -29,7 +29,7 @@ fn main() {
                 Verdict::Verified,
                 "{name} on {proto:?} must verify"
             );
-            assert!(report.stats.complete, "{name} on {proto:?} truncated");
+            assert!(report.stats.complete(), "{name} on {proto:?} truncated");
             // Print only worker-schedule-independent quantities so two runs
             // of this binary diff clean (expansion/transition counts vary
             // with thread scheduling; the state set does not).

@@ -37,7 +37,7 @@
 //! let cfg = CheckConfig::default();
 //! let ok = check_litmus(&litmus::sb(), Protocol::Mesi, None, &cfg);
 //! assert_eq!(ok.verdict, Verdict::Verified);
-//! assert!(ok.stats.complete);
+//! assert!(ok.stats.complete());
 //!
 //! let buggy = check_litmus(
 //!     &litmus::tatas(),
@@ -48,14 +48,20 @@
 //! assert!(matches!(buggy.verdict, Verdict::Violated(_)));
 //! ```
 
+pub mod checkpoint;
 pub mod explore;
+pub mod swarm;
+pub mod visited;
 
+pub use checkpoint::{deepen, Checkpoint, DeepenConfig, DeepenOutcome};
 pub use explore::{
-    explore, failure_of, minimize, CheckConfig, CheckReport, CheckStats, Counterexample, Failure,
-    FinalCheck, Verdict,
+    explore, explore_seeds, failure_of, finish, minimize, CheckConfig, CheckReport, CheckStats,
+    Counterexample, Failure, FinalCheck, RawExploration, Seed, Verdict,
 };
+pub use swarm::{swarm_litmus, SwarmConfig};
+pub use visited::{BitstateFilter, VisitedMode};
 
-use dvs_core::config::{Protocol, ProtocolMutation, SystemConfig};
+use dvs_core::config::{MeshShape, Protocol, ProtocolMutation, SystemConfig};
 use dvs_core::oracle::SchedulePlan;
 use dvs_core::system::System;
 use dvs_vm::litmus::Litmus;
@@ -76,10 +82,12 @@ pub fn checker_config(
 
 /// Builds the oracle-mode root state for a litmus test.
 ///
-/// The mesh interconnect needs a square tile count, so the litmus threads
-/// run on a 4-core machine with the spare cores given a trivial program
-/// that halts immediately — they quiesce during the initial drain and add
-/// no interleavings.
+/// The litmus threads run on a machine of at least 4 cores, with any spare
+/// cores given a trivial program that halts immediately — they quiesce
+/// during the initial drain and add no interleavings. Square core counts
+/// keep the default square mesh (preserving historical fingerprints);
+/// non-square counts (the `tatas_n` scaling shapes: 8 threads → 2×4) get
+/// an explicit near-square [`MeshShape`].
 pub fn litmus_root(lit: &Litmus, protocol: Protocol, mutation: Option<ProtocolMutation>) -> System {
     let cores = lit.nthreads().max(4);
     let mut programs = lit.programs.clone();
@@ -88,11 +96,18 @@ pub fn litmus_root(lit: &Litmus, protocol: Protocol, mutation: Option<ProtocolMu
         a.halt();
         programs.push(a.build());
     }
-    System::new_oracle(
-        checker_config(cores, protocol, mutation),
-        lit.layout.clone(),
-        programs,
-    )
+    let mut cfg = checker_config(cores, protocol, mutation);
+    let side = (cores as f64).sqrt() as usize;
+    if side * side != cores {
+        let rows = (1..=side)
+            .rev()
+            .find(|&r| cores.is_multiple_of(r))
+            .unwrap_or(1);
+        let shape = MeshShape::new(rows as u32, (cores / rows) as u32)
+            .expect("near-square factorization is a valid mesh");
+        cfg.mesh = Some(shape);
+    }
+    System::new_oracle(cfg, lit.layout.clone(), programs)
 }
 
 /// Model-checks one litmus test under one protocol: explores all delivery
@@ -110,11 +125,26 @@ pub fn check_litmus(
     explore(&root, &final_ok, cfg)
 }
 
+/// Iteratively deepens one litmus test under one protocol, resuming from
+/// `cfg`'s checkpoint file if it exists — the deepening counterpart of
+/// [`check_litmus`]. Returns `Err` (exploring nothing) if an existing
+/// checkpoint is corrupt or belongs to a different model.
+pub fn deepen_litmus(
+    lit: &Litmus,
+    protocol: Protocol,
+    mutation: Option<ProtocolMutation>,
+    cfg: &DeepenConfig,
+) -> Result<DeepenOutcome, checkpoint::CheckpointError> {
+    let root = litmus_root(lit, protocol, mutation);
+    let final_ok = |sys: &System| litmus_final_ok(lit, sys);
+    deepen(&root, &final_ok, cfg)
+}
+
 /// The litmus verdict as an explorer predicate, with one canonical failure
 /// message — `check_litmus` and `replay_litmus` must produce byte-identical
 /// [`Failure::FinalState`] values or replay verification reports spurious
 /// divergence.
-fn litmus_final_ok(lit: &Litmus, sys: &System) -> Result<(), String> {
+pub(crate) fn litmus_final_ok(lit: &Litmus, sys: &System) -> Result<(), String> {
     lit.check(|a| sys.read_word(a)).map_err(|vals| {
         let vals: Vec<String> = vals.iter().map(|(n, v)| format!("{n}={v}")).collect();
         format!("{} (observed {})", lit.property, vals.join(", "))

@@ -1,0 +1,652 @@
+//! The tiered, budget-aware visited-set layer.
+//!
+//! The explorer deduplicates states by 64-bit canonical fingerprint. What is
+//! stored *per fingerprint* decides how far a run can scale, so the visited
+//! set is built as tiers:
+//!
+//! * **Exact tier** ([`VisitedMode::Exact`]): a sharded fingerprint map.
+//!   The only per-state payload is the subset-prune entry the sleep-set
+//!   reduction needs — the sleep set the state was last expanded with and
+//!   the minimal depth it was reached at — packed densely: channels are
+//!   interned to `u16` ids and sleep sets live in one contiguous per-shard
+//!   arena, so an entry costs ~20 bytes plus 2 bytes per slept channel
+//!   instead of a `Vec<ChannelKey>` heap allocation each.
+//! * **Spill tier** (exact mode + [`CheckConfig::spill_budget_bytes`]): when
+//!   the in-memory estimate crosses the budget, whole shards freeze their
+//!   hot maps into sorted runs on disk (a temp directory removed on drop).
+//!   Lookups consult the hot map first, then binary-search the frozen runs;
+//!   an entry that needs weakening is re-inserted into the hot map, which
+//!   shadows the disk copy. Spilling changes *where* entries live, never
+//!   which states are explored — exact results are byte-identical with and
+//!   without a budget.
+//! * **Bitstate tier** ([`VisitedMode::Bitstate`]): a double-hashed k-probe
+//!   Bloom filter over a caller-sized bit array ([`BitstateFilter`]). No
+//!   per-state payload at all — 1–2 *bits* per state at sensible fills — so
+//!   state counts two to three orders of magnitude beyond the exact tier
+//!   fit in the same memory. Lossy in one direction only: a filter
+//!   collision prunes a genuinely-new state (under-exploration), it can
+//!   never resurrect or fabricate one, so `Verified` weakens to "no
+//!   violation in the explored subset" while `Violated` stays exact (every
+//!   counterexample is still a concrete replayable schedule).
+//!
+//! [`CheckConfig::spill_budget_bytes`]: crate::CheckConfig
+
+use dvs_core::oracle::ChannelKey;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Which visited tier the explorer deduplicates through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum VisitedMode {
+    /// The exact fingerprint map: sound up to 64-bit hash collisions, full
+    /// sleep-set subset-prune semantics, deterministic state set.
+    #[default]
+    Exact,
+    /// A lossy Bloom/bitstate filter of `bits` bits. Scales to state counts
+    /// the exact map cannot hold; may under-explore (a filter collision
+    /// prunes a new state, and a revisit is never re-expanded with a weaker
+    /// sleep set), never over-reports: a `Violated` verdict still carries a
+    /// concrete schedule.
+    Bitstate {
+        /// Size of the bit array; rounded up to a multiple of 64, minimum
+        /// 64. Collision probability at `n` inserted states is roughly
+        /// `fill^k` per query (see [`BitstateFilter::collision_probability`]).
+        bits: u64,
+    },
+}
+
+/// Number of double-hashed probes per fingerprint in bitstate mode. Three
+/// probes keep the per-query collision probability near `fill³` while
+/// costing three cache lines at most per admit.
+pub const BITSTATE_PROBES: u32 = 3;
+
+/// A double-hashed k-probe Bloom filter over `u64` fingerprints, shared
+/// lock-free between workers.
+///
+/// Membership is deterministic in the *set* of inserted fingerprints: the
+/// final bit array is the OR of each fingerprint's probe mask, so any
+/// insertion order — and any worker count — produces identical bits.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_check::BitstateFilter;
+///
+/// let f = BitstateFilter::new(1 << 16);
+/// assert!(f.insert(42)); // new
+/// assert!(!f.insert(42)); // seen
+/// assert!(f.contains(42));
+/// assert!(f.fill_ratio() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct BitstateFilter {
+    words: Box<[AtomicU64]>,
+    bits: u64,
+    /// Total `insert` calls.
+    inserts: AtomicU64,
+    /// Inserts that found at least one clear probe bit (distinct-state
+    /// estimate; exact absent filter collisions and insert races).
+    new_inserts: AtomicU64,
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl BitstateFilter {
+    /// A filter of (at least) `bits` bits, all clear. `bits` is rounded up
+    /// to a multiple of 64, minimum 64.
+    pub fn new(bits: u64) -> Self {
+        let words = bits.div_ceil(64).max(1) as usize;
+        BitstateFilter {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            bits: words as u64 * 64,
+            inserts: AtomicU64::new(0),
+            new_inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// The probe bit positions for a fingerprint: classic double hashing
+    /// `h1 + i·h2` with `h2` forced odd so every probe stream eventually
+    /// touches every bit.
+    fn probes(&self, fp: u64) -> [u64; BITSTATE_PROBES as usize] {
+        let h1 = mix64(fp);
+        let h2 = mix64(fp ^ 0x9E37_79B9_7F4A_7C15) | 1;
+        let mut out = [0u64; BITSTATE_PROBES as usize];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.bits;
+        }
+        out
+    }
+
+    /// Inserts a fingerprint; returns whether any probe bit was previously
+    /// clear (i.e. the fingerprint is new to the filter, modulo collisions).
+    pub fn insert(&self, fp: u64) -> bool {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        let mut fresh = false;
+        for bit in self.probes(fp) {
+            let mask = 1u64 << (bit % 64);
+            let prev = self.words[(bit / 64) as usize].fetch_or(mask, Ordering::Relaxed);
+            fresh |= prev & mask == 0;
+        }
+        if fresh {
+            self.new_inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// Whether all probe bits for `fp` are set (no false negatives: an
+    /// inserted fingerprint always answers `true`).
+    pub fn contains(&self, fp: u64) -> bool {
+        self.probes(fp).iter().all(|&bit| {
+            self.words[(bit / 64) as usize].load(Ordering::Relaxed) & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Size of the bit array.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Ground-truth number of set bits (full popcount scan).
+    pub fn bits_set(&self) -> u64 {
+        self.words
+            .iter()
+            .map(|w| u64::from(w.load(Ordering::Relaxed).count_ones()))
+            .sum()
+    }
+
+    /// Ground-truth fill ratio: set bits over total bits.
+    pub fn fill_ratio(&self) -> f64 {
+        self.bits_set() as f64 / self.bits as f64
+    }
+
+    /// The fill ratio the classic Bloom model predicts from the insert
+    /// count alone: `1 - (1 - 1/m)^(k·n)`. Property tests hold this within
+    /// tolerance of [`BitstateFilter::fill_ratio`].
+    pub fn predicted_fill_ratio(&self) -> f64 {
+        let n = self.new_inserts.load(Ordering::Relaxed) as f64;
+        let m = self.bits as f64;
+        1.0 - (1.0 - 1.0 / m).powf(BITSTATE_PROBES as f64 * n)
+    }
+
+    /// Estimated probability that a query for a *new* fingerprint answers
+    /// "seen" (all probes collide): `fill^k` at the current fill ratio.
+    pub fn collision_probability(&self) -> f64 {
+        self.fill_ratio().powi(BITSTATE_PROBES as i32)
+    }
+
+    /// Distinct-fingerprint estimate: inserts that found a clear bit.
+    pub fn unique_inserts(&self) -> u64 {
+        self.new_inserts.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the raw bit words (for determinism tests).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Visited-set shard count; fingerprints spread across shards to keep lock
+/// contention off the hot path and to give the spill tier a freeze
+/// granularity.
+pub(crate) const SHARDS: usize = 64;
+
+/// Approximate in-memory bytes of one hot-map entry (key + packed entry +
+/// `HashMap` overhead), used by the spill budget accounting.
+const ENTRY_COST: usize = 48;
+
+/// A packed visited entry: minimal depth plus the stored sleep set as an
+/// (offset, length) slice of the shard's id arena.
+#[derive(Clone, Copy)]
+struct Packed {
+    depth: u32,
+    off: u32,
+    len: u16,
+}
+
+/// One sorted frozen run of a spilled shard: `count` fixed-size records
+/// (fingerprint, depth, sleep offset, sleep length) followed by a blob of
+/// `u16` channel ids. Records are binary-searched by seeking; a run is
+/// written once and never modified.
+struct Run {
+    file: File,
+    count: u64,
+}
+
+/// Byte layout of one frozen record.
+const REC_SIZE: u64 = 8 + 4 + 4 + 2 + 2;
+
+impl Run {
+    fn record(&mut self, idx: u64) -> std::io::Result<(u64, u32, u32, u16)> {
+        let mut buf = [0u8; REC_SIZE as usize];
+        self.file.seek(SeekFrom::Start(8 + idx * REC_SIZE))?;
+        self.file.read_exact(&mut buf)?;
+        Ok((
+            u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+            u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+            u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            u16::from_le_bytes(buf[16..18].try_into().unwrap()),
+        ))
+    }
+
+    /// Binary search for `fp`; returns its (depth, sleep ids) when present.
+    fn get(&mut self, fp: u64) -> Option<(u32, Vec<u16>)> {
+        let (mut lo, mut hi) = (0u64, self.count);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (rec_fp, depth, off, len) = self.record(mid).ok()?;
+            match rec_fp.cmp(&fp) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    let blob_base = 8 + self.count * REC_SIZE;
+                    let mut buf = vec![0u8; len as usize * 2];
+                    self.file
+                        .seek(SeekFrom::Start(blob_base + off as u64 * 2))
+                        .ok()?;
+                    self.file.read_exact(&mut buf).ok()?;
+                    let ids = buf
+                        .chunks_exact(2)
+                        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                        .collect();
+                    return Some((depth, ids));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// One exact-tier shard: the hot map, its sleep-id arena, and any frozen
+/// runs already spilled to disk.
+#[derive(Default)]
+struct Shard {
+    hot: HashMap<u64, Packed>,
+    arena: Vec<u16>,
+    runs: Vec<Run>,
+    /// Distinct fingerprints first seen by this shard (hot + spilled).
+    inserted: u64,
+}
+
+impl Shard {
+    fn hot_bytes(&self) -> usize {
+        self.hot.len() * ENTRY_COST + self.arena.len() * 2
+    }
+
+    fn sleep(&self, p: &Packed) -> &[u16] {
+        &self.arena[p.off as usize..p.off as usize + p.len as usize]
+    }
+}
+
+/// Interns [`ChannelKey`]s to dense `u16` ids so stored sleep sets cost two
+/// bytes per channel. A system exposes at most a few hundred channels, so
+/// `u16` never overflows in practice (guarded by an assert).
+#[derive(Default)]
+struct Interner {
+    ids: HashMap<ChannelKey, u16>,
+    keys: Vec<ChannelKey>,
+}
+
+/// Spill-tier bookkeeping shared across shards.
+struct Spill {
+    dir: PathBuf,
+    budget: usize,
+    seq: AtomicU64,
+    frozen_runs: AtomicU64,
+    frozen_entries: AtomicU64,
+}
+
+/// The exact tier: sharded packed fingerprint map with optional disk spill.
+pub(crate) struct ExactStore {
+    shards: Vec<Mutex<Shard>>,
+    interner: RwLock<Interner>,
+    /// Approximate bytes held by all hot maps (spill accounting).
+    hot_bytes: AtomicUsize,
+    /// High-water mark of `hot_bytes` — what the spill budget actually
+    /// bounds; reported in [`CheckStats`](crate::CheckStats).
+    peak_hot_bytes: AtomicUsize,
+    spill: Option<Spill>,
+}
+
+impl ExactStore {
+    pub(crate) fn new(spill_budget: Option<u64>) -> Self {
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let spill = spill_budget.map(|budget| {
+            let dir = std::env::temp_dir().join(format!(
+                "dvs-check-spill-{}-{}",
+                std::process::id(),
+                STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("creating spill dir");
+            Spill {
+                dir,
+                budget: budget as usize,
+                seq: AtomicU64::new(0),
+                frozen_runs: AtomicU64::new(0),
+                frozen_entries: AtomicU64::new(0),
+            }
+        });
+        ExactStore {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            interner: RwLock::new(Interner::default()),
+            hot_bytes: AtomicUsize::new(0),
+            peak_hot_bytes: AtomicUsize::new(0),
+            spill,
+        }
+    }
+
+    fn intern(&self, keys: &[ChannelKey]) -> Vec<u16> {
+        {
+            let g = self.interner.read().unwrap();
+            if let Some(ids) = keys.iter().map(|k| g.ids.get(k).copied()).collect() {
+                return ids;
+            }
+        }
+        let mut g = self.interner.write().unwrap();
+        keys.iter()
+            .map(|k| match g.ids.get(k) {
+                Some(&id) => id,
+                None => {
+                    let id = u16::try_from(g.keys.len()).expect("more than 65536 channels");
+                    g.ids.insert(*k, id);
+                    g.keys.push(*k);
+                    id
+                }
+            })
+            .collect()
+    }
+
+    fn resolve(&self, ids: &[u16]) -> Vec<ChannelKey> {
+        let g = self.interner.read().unwrap();
+        ids.iter().map(|&id| g.keys[id as usize]).collect()
+    }
+
+    /// The subset-prune gate (see the `explore` module docs): prune when the
+    /// stored sleep set is a subset of the incoming one and the stored depth
+    /// is not deeper; otherwise weaken the entry to the intersection and
+    /// minimum depth and return the sleep set to expand with.
+    pub(crate) fn admit(
+        &self,
+        fp: u64,
+        sleep: &[ChannelKey],
+        depth: usize,
+    ) -> Option<Vec<ChannelKey>> {
+        let ids = self.intern(sleep);
+        let shard = &self.shards[(fp % SHARDS as u64) as usize];
+        let mut s = shard.lock().unwrap();
+        if let Some(p) = s.hot.get(&fp).copied() {
+            let stored = s.sleep(&p);
+            let subset = stored.iter().all(|id| ids.contains(id));
+            if subset && p.depth as usize <= depth {
+                return None;
+            }
+            // Weaken in place: the intersection is a subsequence of the
+            // stored slice, so it always fits in the same arena span.
+            let merged: Vec<u16> = stored
+                .iter()
+                .filter(|id| ids.contains(id))
+                .copied()
+                .collect();
+            let off = p.off as usize;
+            s.arena[off..off + merged.len()].copy_from_slice(&merged);
+            let entry = s.hot.get_mut(&fp).unwrap();
+            entry.len = merged.len() as u16;
+            entry.depth = entry.depth.min(depth as u32);
+            return Some(self.resolve(&merged));
+        }
+        // Cold path: consult frozen runs, newest first (the newest copy is
+        // the most weakened one).
+        let frozen = s.runs.iter_mut().rev().find_map(|r| r.get(fp));
+        if let Some((run_depth, stored)) = frozen {
+            let subset = stored.iter().all(|id| ids.contains(id));
+            if subset && run_depth as usize <= depth {
+                return None;
+            }
+            let merged: Vec<u16> = stored.into_iter().filter(|id| ids.contains(id)).collect();
+            let resolved = self.resolve(&merged);
+            self.insert_hot(&mut s, fp, run_depth.min(depth as u32), merged);
+            return Some(resolved);
+        }
+        // Genuinely new state.
+        s.inserted += 1;
+        self.insert_hot(&mut s, fp, depth as u32, ids);
+        Some(sleep.to_vec())
+    }
+
+    fn insert_hot(&self, s: &mut Shard, fp: u64, depth: u32, ids: Vec<u16>) {
+        let off = u32::try_from(s.arena.len()).expect("shard arena overflow");
+        let len = ids.len() as u16;
+        s.arena.extend_from_slice(&ids);
+        s.hot.insert(fp, Packed { depth, off, len });
+        let grown = ENTRY_COST + ids.len() * 2;
+        let total = self.hot_bytes.fetch_add(grown, Ordering::Relaxed) + grown;
+        self.peak_hot_bytes.fetch_max(total, Ordering::Relaxed);
+        if let Some(spill) = &self.spill {
+            // Freeze this shard once the global hot estimate crosses the
+            // budget and the shard is big enough to be worth a run. Other
+            // shards freeze when their own inserts observe the overrun.
+            if total > spill.budget && s.hot_bytes() >= spill.budget / SHARDS / 2 {
+                self.freeze(s, spill);
+            }
+        }
+    }
+
+    /// Writes a shard's hot map as one sorted run and clears it.
+    fn freeze(&self, s: &mut Shard, spill: &Spill) {
+        if s.hot.is_empty() {
+            return;
+        }
+        let released = s.hot_bytes();
+        let mut entries: Vec<(u64, Packed)> = s.hot.drain().collect();
+        entries.sort_unstable_by_key(|&(fp, _)| fp);
+        let path = spill.dir.join(format!(
+            "run-{}.dvsv",
+            spill.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut records = Vec::with_capacity(entries.len() * REC_SIZE as usize);
+        let mut blob: Vec<u8> = Vec::new();
+        for (fp, p) in &entries {
+            let off = (blob.len() / 2) as u32;
+            for id in &s.arena[p.off as usize..p.off as usize + p.len as usize] {
+                blob.extend_from_slice(&id.to_le_bytes());
+            }
+            records.extend_from_slice(&fp.to_le_bytes());
+            records.extend_from_slice(&p.depth.to_le_bytes());
+            records.extend_from_slice(&off.to_le_bytes());
+            records.extend_from_slice(&p.len.to_le_bytes());
+            records.extend_from_slice(&[0, 0]);
+        }
+        let mut file = File::options()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .expect("creating spill run");
+        file.write_all(&(entries.len() as u64).to_le_bytes())
+            .and_then(|()| file.write_all(&records))
+            .and_then(|()| file.write_all(&blob))
+            .expect("writing spill run");
+        s.arena.clear();
+        s.runs.push(Run {
+            file,
+            count: entries.len() as u64,
+        });
+        spill.frozen_runs.fetch_add(1, Ordering::Relaxed);
+        spill
+            .frozen_entries
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        self.hot_bytes.fetch_sub(released, Ordering::Relaxed);
+    }
+
+    /// Distinct fingerprints ever admitted.
+    pub(crate) fn unique_states(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().unwrap().inserted).sum()
+    }
+
+    /// The final stored depth of a fingerprint (hot map first, then runs) —
+    /// the deterministic quantity frontier filtering keys on.
+    pub(crate) fn stored_depth(&self, fp: u64) -> Option<usize> {
+        let mut s = self.shards[(fp % SHARDS as u64) as usize].lock().unwrap();
+        if let Some(p) = s.hot.get(&fp) {
+            return Some(p.depth as usize);
+        }
+        s.runs
+            .iter_mut()
+            .rev()
+            .find_map(|r| r.get(fp))
+            .map(|(depth, _)| depth as usize)
+    }
+
+    /// (runs, entries) frozen to disk so far.
+    pub(crate) fn spill_counters(&self) -> (u64, u64) {
+        match &self.spill {
+            None => (0, 0),
+            Some(sp) => (
+                sp.frozen_runs.load(Ordering::Relaxed),
+                sp.frozen_entries.load(Ordering::Relaxed),
+            ),
+        }
+    }
+
+    /// High-water mark of the in-memory hot-map estimate — the quantity the
+    /// spill budget bounds.
+    pub(crate) fn peak_hot_bytes(&self) -> u64 {
+        self.peak_hot_bytes.load(Ordering::Relaxed) as u64
+    }
+}
+
+impl Drop for ExactStore {
+    fn drop(&mut self) {
+        if let Some(spill) = &self.spill {
+            let _ = std::fs::remove_dir_all(&spill.dir);
+        }
+    }
+}
+
+/// The visited set behind one exploration run: the exact tier or the
+/// bitstate tier, behind one `admit` gate.
+pub(crate) enum Visited {
+    Exact(ExactStore),
+    Bitstate(BitstateFilter),
+}
+
+impl Visited {
+    pub(crate) fn new(mode: VisitedMode, spill_budget: Option<u64>) -> Self {
+        match mode {
+            VisitedMode::Exact => Visited::Exact(ExactStore::new(spill_budget)),
+            VisitedMode::Bitstate { bits } => Visited::Bitstate(BitstateFilter::new(bits)),
+        }
+    }
+
+    /// Gate for a node about to be expanded: the sleep set to expand with,
+    /// or `None` to prune. Bitstate admits a fingerprint exactly once (no
+    /// subset-prune weakening — a revisit with a weaker sleep set is pruned,
+    /// which can only under-explore).
+    pub(crate) fn admit(
+        &self,
+        fp: u64,
+        sleep: &[ChannelKey],
+        depth: usize,
+    ) -> Option<Vec<ChannelKey>> {
+        match self {
+            Visited::Exact(store) => store.admit(fp, sleep, depth),
+            Visited::Bitstate(filter) => filter.insert(fp).then(|| sleep.to_vec()),
+        }
+    }
+
+    pub(crate) fn unique_states(&self) -> u64 {
+        match self {
+            Visited::Exact(store) => store.unique_states(),
+            Visited::Bitstate(filter) => filter.unique_inserts(),
+        }
+    }
+
+    /// Whether a depth-truncated node is genuinely frontier material: its
+    /// final stored depth equals the depth bound (it was never re-reached
+    /// and expanded shallower). Bitstate stores no depths, so every
+    /// truncated node is kept.
+    pub(crate) fn at_frontier(&self, fp: u64, bound: usize) -> bool {
+        match self {
+            Visited::Exact(store) => store.stored_depth(fp) == Some(bound),
+            Visited::Bitstate(_) => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_core::msg::Endpoint;
+
+    fn key(i: usize) -> ChannelKey {
+        ChannelKey::Net(i, Endpoint::L1(i))
+    }
+
+    #[test]
+    fn exact_store_subset_prunes_and_weakens() {
+        let store = ExactStore::new(None);
+        // First admission stores the sleep set unchanged.
+        let got = store.admit(7, &[key(0), key(1)], 3).expect("new state");
+        assert_eq!(got, vec![key(0), key(1)]);
+        assert_eq!(store.unique_states(), 1);
+        // Superset + deeper revisit prunes.
+        assert!(store.admit(7, &[key(0), key(1), key(2)], 5).is_none());
+        // Disjoint sleep set weakens to the intersection and re-admits.
+        let got = store.admit(7, &[key(1), key(2)], 4).expect("weakened");
+        assert_eq!(got, vec![key(1)]);
+        // Now {key(1)} is stored; a shallower visit re-admits on depth.
+        let got = store.admit(7, &[key(1)], 1).expect("shallower");
+        assert_eq!(got, vec![key(1)]);
+        assert_eq!(store.stored_depth(7), Some(1));
+        assert_eq!(store.unique_states(), 1, "same fingerprint throughout");
+    }
+
+    #[test]
+    fn spilled_entries_stay_consultable_and_exact() {
+        // A budget of zero freezes a shard on (nearly) every insert, so
+        // every lookup exercises the frozen-run binary search.
+        let store = ExactStore::new(Some(0));
+        let n = 4000u64;
+        for i in 0..n {
+            assert!(store.admit(i, &[key(0)], 2).is_some(), "fp {i} is new");
+        }
+        let (runs, entries) = store.spill_counters();
+        assert!(runs > 0, "nothing froze");
+        assert!(entries > 0);
+        // Every fingerprint deduplicates, whether hot or frozen.
+        for i in 0..n {
+            assert!(
+                store.admit(i, &[key(0), key(1)], 9).is_none(),
+                "fp {i} lost by the spill tier"
+            );
+        }
+        assert_eq!(store.unique_states(), n);
+        // Weakening a frozen entry pulls it back into the hot tier.
+        let got = store.admit(17, &[key(1)], 9).expect("weakened from disk");
+        assert_eq!(got, Vec::<ChannelKey>::new());
+        assert_eq!(store.stored_depth(17), Some(2));
+    }
+
+    #[test]
+    fn bitstate_filter_has_no_false_negatives_smoke() {
+        let f = BitstateFilter::new(1 << 12);
+        for fp in 0..200u64 {
+            f.insert(mix64(fp));
+        }
+        for fp in 0..200u64 {
+            assert!(f.contains(mix64(fp)));
+        }
+        assert!(f.unique_inserts() <= 200);
+        assert!(f.fill_ratio() > 0.0 && f.fill_ratio() < 1.0);
+    }
+}

@@ -3,7 +3,10 @@
 //! minimized, deterministically replayable counterexample, and results do
 //! not depend on the worker count.
 
-use dvs_check::{check_litmus, replay_litmus, CheckConfig, Failure, Verdict};
+use dvs_check::{
+    check_litmus, replay_litmus, swarm_litmus, CheckConfig, Failure, SwarmConfig, Verdict,
+    VisitedMode,
+};
 use dvs_core::config::{Protocol, ProtocolMutation};
 use dvs_core::system::SimError;
 use dvs_vm::litmus::{self, Litmus};
@@ -33,9 +36,10 @@ fn all_litmus_verified_under_all_protocols() {
                 ),
             }
             assert!(
-                report.stats.complete,
+                report.stats.complete(),
                 "{} under {proto:?}: exploration truncated ({:?})",
-                lit.name, report.stats
+                lit.name,
+                report.stats
             );
             assert!(report.stats.unique_states > 1);
         }
@@ -177,6 +181,129 @@ fn results_do_not_depend_on_worker_count() {
         };
         assert_eq!(ce, base_ce, "{workers} workers: different counterexample");
     }
+}
+
+/// Soundness cross-check: on every small litmus × protocol cell, bitstate
+/// mode at a generous filter size reaches the same verdict as exact mode,
+/// and its (lossy) unique-state count never exceeds the exact one — the
+/// filter can only under-explore, never fabricate states or violations.
+///
+/// Bitstate runs reduction-free here: a bitstate revisit is pruned
+/// unconditionally (the filter stores no sleep set to weaken), so composing
+/// it with sleep sets can prune states POR would otherwise recover — fine
+/// for a lossy deep run, but this test wants guaranteed full coverage, and
+/// POR preserves the reachable state *set* (see `por_preserves_the_state_
+/// set`), so the exact-mode count is directly comparable.
+#[test]
+fn bitstate_agrees_with_exact_on_clean_cells() {
+    // Single-worker: the bitstate new-insert counter is exact only without
+    // concurrent inserts (two workers racing one fingerprint across the
+    // filter's words can double-count it).
+    let bitstate = CheckConfig {
+        visited: VisitedMode::Bitstate { bits: 1 << 22 },
+        workers: 1,
+        por: false,
+        ..CheckConfig::default()
+    };
+    for lit in Litmus::all() {
+        for proto in Protocol::EXTENDED {
+            let exact = check_litmus(&lit, proto, None, &cfg(2));
+            let lossy = check_litmus(&lit, proto, None, &bitstate);
+            assert_eq!(
+                exact.verdict, lossy.verdict,
+                "{} under {proto:?}: bitstate verdict differs from exact",
+                lit.name
+            );
+            assert!(
+                lossy.stats.unique_states <= exact.stats.unique_states,
+                "{} under {proto:?}: bitstate claims more states ({}) than exist ({})",
+                lit.name,
+                lossy.stats.unique_states,
+                exact.stats.unique_states
+            );
+            assert!(lossy.stats.filter_bits >= 1 << 22);
+            assert!(lossy.stats.filter_fill_ratio() < 0.01);
+        }
+    }
+}
+
+/// All six seeded protocol mutations are still caught — with the same
+/// minimized counterexamples exact mode produces — when the visited set is
+/// a lossy bitstate filter. (Minimization runs from the true root without
+/// the filter, so a catch is a catch regardless of mode.)
+#[test]
+fn mutations_are_caught_in_bitstate_mode() {
+    let bitstate = CheckConfig {
+        visited: VisitedMode::Bitstate { bits: 1 << 22 },
+        workers: 2,
+        por: false,
+        ..CheckConfig::default()
+    };
+    for (name, proto, mutation) in mutation_cases() {
+        let lit = Litmus::by_name(name).unwrap();
+        let exact = check_litmus(&lit, proto, Some(mutation), &cfg(2));
+        let lossy = check_litmus(&lit, proto, Some(mutation), &bitstate);
+        let Verdict::Violated(ce) = &lossy.verdict else {
+            panic!("{name}/{mutation:?}: bug not caught in bitstate mode");
+        };
+        assert!(ce.minimized, "{name}/{mutation:?}: not minimized");
+        assert_eq!(
+            lossy.verdict, exact.verdict,
+            "{name}/{mutation:?}: bitstate found a different counterexample than exact"
+        );
+    }
+}
+
+/// All six seeded protocol mutations are caught by a swarm of randomized
+/// probes, with the standard minimized counterexample on every hit.
+#[test]
+fn mutations_are_caught_in_swarm_mode() {
+    let swarm = SwarmConfig {
+        probes: 256,
+        workers: 2,
+        probe_depth: 2_000,
+        probe_states: 50_000,
+        filter_bits: 1 << 22,
+        seed: 0xDE40,
+    };
+    for (name, proto, mutation) in mutation_cases() {
+        let lit = Litmus::by_name(name).unwrap();
+        let report = swarm_litmus(&lit, proto, Some(mutation), &swarm);
+        let Verdict::Violated(ce) = &report.verdict else {
+            panic!("{name}/{mutation:?}: bug not caught by the swarm");
+        };
+        assert!(ce.minimized, "{name}/{mutation:?}: not minimized");
+        assert!(
+            !ce.picks.is_empty(),
+            "{name}/{mutation:?}: empty counterexample"
+        );
+        // The swarm's minimizer runs the same sequential pass as exact
+        // mode, so the counterexample must match exact mode's exactly.
+        let exact = check_litmus(&lit, proto, Some(mutation), &cfg(2));
+        assert_eq!(
+            report.verdict, exact.verdict,
+            "{name}/{mutation:?}: swarm counterexample differs from exact"
+        );
+    }
+}
+
+/// A clean cell stays clean under the swarm, and the report is explicit
+/// that swarm coverage is bounded (never claims completeness).
+#[test]
+fn swarm_never_claims_completeness() {
+    let swarm = SwarmConfig {
+        probes: 32,
+        workers: 2,
+        seed: 7,
+        ..SwarmConfig::default()
+    };
+    let report = swarm_litmus(&litmus::sb(), Protocol::Mesi, None, &swarm);
+    assert_eq!(report.verdict, Verdict::Verified);
+    assert!(
+        !report.stats.complete(),
+        "a lossy swarm run must not claim a complete exploration"
+    );
+    assert!(report.stats.unique_states > 1);
 }
 
 /// Partial-order reduction does not change the verdict or the reachable

@@ -1,0 +1,130 @@
+//! Property tests for the bitstate/Bloom filter — the soundness-critical
+//! half of the lossy visited tier. The filter is allowed false *positives*
+//! (a new state mistaken for seen, causing under-exploration); it must
+//! never produce a false *negative* (a seen state mistaken for new is
+//! harmless for soundness but would break the probe-budget accounting and
+//! the determinism argument), and its final contents must not depend on
+//! insert order or thread count.
+
+use dvs_check::BitstateFilter;
+use dvs_engine::DetRng;
+
+fn seeded_fps(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = DetRng::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+/// Insert-then-query always hits: across many filter sizes (including the
+/// pathological minimum) and many seeds, no inserted fingerprint is ever
+/// reported absent.
+#[test]
+fn no_false_negatives() {
+    for bits in [64, 1 << 10, (1 << 16) + 8, 1 << 20] {
+        for seed in 0..8 {
+            let filter = BitstateFilter::new(bits);
+            let fps = seeded_fps(seed, 4_000);
+            for &fp in &fps {
+                filter.insert(fp);
+            }
+            for &fp in &fps {
+                assert!(
+                    filter.contains(fp),
+                    "false negative: fp {fp:#x} lost from a {bits}-bit filter (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// A fingerprint's membership is decided by its own probe bits alone, so
+/// the final bit array is the OR of per-fingerprint masks — identical no
+/// matter how inserts are ordered or raced across 1, 2, or 4 threads.
+#[test]
+fn membership_is_deterministic_across_worker_counts() {
+    let fps = seeded_fps(42, 50_000);
+    let run = |workers: usize| {
+        let filter = BitstateFilter::new(1 << 20);
+        std::thread::scope(|scope| {
+            for chunk in fps.chunks(fps.len().div_ceil(workers)) {
+                let filter = &filter;
+                scope.spawn(move || {
+                    for &fp in chunk {
+                        filter.insert(fp);
+                    }
+                });
+            }
+        });
+        filter
+    };
+    let base = run(1);
+    for workers in [2, 4] {
+        let f = run(workers);
+        assert_eq!(
+            f.snapshot(),
+            base.snapshot(),
+            "{workers} workers produced a different filter bit array"
+        );
+        assert_eq!(f.bits_set(), base.bits_set());
+        // Probes of the *same* set of fingerprints answer identically.
+        for &fp in fps.iter().step_by(97) {
+            assert!(f.contains(fp));
+        }
+    }
+}
+
+/// The closed-form fill prediction `1 - (1 - 1/m)^(k·n)` tracks the ground
+/// truth (popcount of the live array) at light, moderate, and heavy loads.
+/// `n` counts *successful* new inserts, so the prediction is biased low —
+/// a fresh fingerprint absorbed by a collision is invisible to it — and
+/// the bias grows with the fill, hence the load-scaled tolerances.
+#[test]
+fn fill_ratio_estimate_tracks_ground_truth() {
+    let filter = BitstateFilter::new(1 << 16);
+    let fps = seeded_fps(7, 20_000);
+    let mut checked_loads = 0;
+    // ~4.5%, ~37%, and ~60% fill.
+    for (i, &fp) in fps.iter().enumerate() {
+        filter.insert(fp);
+        let tolerance = match i {
+            1_000 => 0.005,
+            10_000 => 0.02,
+            19_999 => 0.04,
+            _ => continue,
+        };
+        let truth = filter.fill_ratio();
+        let predicted = filter.predicted_fill_ratio();
+        assert!(
+            (truth - predicted).abs() < tolerance,
+            "after {} inserts: ground-truth fill {truth:.4} vs predicted {predicted:.4}",
+            i + 1
+        );
+        checked_loads += 1;
+    }
+    assert_eq!(checked_loads, 3);
+    // The collision probability is the k-th power of the fill and must be
+    // consistent with it.
+    let p = filter.collision_probability();
+    let fill = filter.fill_ratio();
+    assert!((p - fill.powi(3)).abs() < 1e-12);
+    assert!(p > 0.0 && p < 1.0);
+}
+
+/// Unique-insert accounting: single-threaded, the counter is exactly the
+/// number of distinct fingerprints whose insert found a clear bit — and a
+/// re-insert of a seen fingerprint never counts.
+#[test]
+fn reinserts_do_not_count_as_new() {
+    let filter = BitstateFilter::new(1 << 20);
+    let fps = seeded_fps(3, 1_000);
+    let mut fresh = 0;
+    for &fp in &fps {
+        if filter.insert(fp) {
+            fresh += 1;
+        }
+    }
+    assert_eq!(fresh, filter.unique_inserts());
+    for &fp in &fps {
+        assert!(!filter.insert(fp), "re-insert of {fp:#x} reported as new");
+    }
+    assert_eq!(fresh, filter.unique_inserts());
+}

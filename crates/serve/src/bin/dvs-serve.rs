@@ -4,6 +4,8 @@
 //! dvs-serve submit --dir D --grid smoke [--no-run] [flags]   campaign grid job
 //! dvs-serve submit --dir D --fuzz <start> <count> [--small]  fuzz-hunt job
 //! dvs-serve submit --dir D --litmus all                      litmus-sweep job
+//! dvs-serve submit --dir D --deep-check <name|all>           model-check job
+//!   [--check-mode exact|bits:N|swarm:N] [--check-depth N] [--check-states N]
 //! dvs-serve resume --dir D [flags]                           finish unfinished jobs
 //! dvs-serve status --dir D                                   one line per job
 //! dvs-serve status --dir D --follow [--poll-ms N]            tail the journal live
@@ -28,7 +30,9 @@
 use dvs_campaign::kernel_grid;
 use dvs_core::config::Protocol;
 use dvs_kernels::{KernelId, LockKind, LockedStruct};
-use dvs_serve::{JobSpec, JournalEvent, JournalTail, RetryPolicy, Serve, ServeConfig};
+use dvs_serve::{
+    DeepCheckMode, JobSpec, JournalEvent, JournalTail, RetryPolicy, Serve, ServeConfig,
+};
 use dvs_vm::litmus::Litmus;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -50,6 +54,10 @@ struct Opts {
     grid: Option<String>,
     fuzz: Option<(u64, usize)>,
     litmus: Option<String>,
+    deep_check: Option<String>,
+    check_mode: Option<String>,
+    check_depth: Option<usize>,
+    check_states: Option<u64>,
     small: bool,
     no_run: bool,
     no_sync: bool,
@@ -69,6 +77,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         grid: None,
         fuzz: None,
         litmus: None,
+        deep_check: None,
+        check_mode: None,
+        check_depth: None,
+        check_states: None,
         small: false,
         no_run: false,
         no_sync: false,
@@ -100,6 +112,18 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.fuzz = Some((start, count));
             }
             "--litmus" => o.litmus = Some(value(&mut it, "--litmus")?),
+            "--deep-check" => o.deep_check = Some(value(&mut it, "--deep-check")?),
+            "--check-mode" => o.check_mode = Some(value(&mut it, "--check-mode")?),
+            "--check-depth" => {
+                o.check_depth =
+                    Some(parse_num(&value(&mut it, "--check-depth")?, "--check-depth")? as usize);
+            }
+            "--check-states" => {
+                o.check_states = Some(parse_num(
+                    &value(&mut it, "--check-states")?,
+                    "--check-states",
+                )?);
+            }
             "--small" => o.small = true,
             "--no-run" => o.no_run = true,
             "--no-sync" => o.no_sync = true,
@@ -173,31 +197,43 @@ fn smoke_grid() -> JobSpec {
     }))
 }
 
+/// Resolves a `--litmus`/`--deep-check` selector to concrete litmus names.
+fn litmus_names(which: &str) -> Result<Vec<String>, String> {
+    match which {
+        "all" => Ok(Litmus::all().iter().map(|l| l.name.to_owned()).collect()),
+        name => {
+            Litmus::by_name(name).ok_or_else(|| format!("unknown litmus {name:?}"))?;
+            Ok(vec![name.to_owned()])
+        }
+    }
+}
+
 fn job_for(o: &Opts) -> Result<JobSpec, String> {
-    match (&o.grid, o.fuzz, &o.litmus) {
-        (Some(grid), None, None) => match grid.as_str() {
+    match (&o.grid, o.fuzz, &o.litmus, &o.deep_check) {
+        (Some(grid), None, None, None) => match grid.as_str() {
             "smoke" => Ok(smoke_grid()),
             other => Err(format!("unknown grid {other:?} (try: smoke)")),
         },
-        (None, Some((seed_start, count)), None) => Ok(JobSpec::FuzzHunt {
+        (None, Some((seed_start, count)), None, None) => Ok(JobSpec::FuzzHunt {
             seed_start,
             count,
             small: o.small,
         }),
-        (None, None, Some(which)) => {
-            let names: Vec<String> = match which.as_str() {
-                "all" => Litmus::all().iter().map(|l| l.name.to_owned()).collect(),
-                name => {
-                    Litmus::by_name(name).ok_or_else(|| format!("unknown litmus {name:?}"))?;
-                    vec![name.to_owned()]
-                }
-            };
-            Ok(JobSpec::Litmus {
-                names,
-                protocols: Protocol::ALL.to_vec(),
-            })
-        }
-        _ => Err("submit needs exactly one of --grid, --fuzz, --litmus".into()),
+        (None, None, Some(which), None) => Ok(JobSpec::Litmus {
+            names: litmus_names(which)?,
+            protocols: Protocol::ALL.to_vec(),
+        }),
+        (None, None, None, Some(which)) => Ok(JobSpec::DeepCheck {
+            names: litmus_names(which)?,
+            protocols: Protocol::ALL.to_vec(),
+            mode: match o.check_mode.as_deref() {
+                None => DeepCheckMode::Exact,
+                Some(tok) => DeepCheckMode::from_token(tok)?,
+            },
+            depth: o.check_depth.unwrap_or(1_000),
+            states: o.check_states.unwrap_or(200_000),
+        }),
+        _ => Err("submit needs exactly one of --grid, --fuzz, --litmus, --deep-check".into()),
     }
 }
 

@@ -1,8 +1,8 @@
 //! Jobs and cells: the service's unit of work.
 //!
-//! A [`JobSpec`] names a whole workload — a campaign grid, a fuzz hunt, or
-//! a litmus sweep — and expands into an ordered list of [`CellSpec`]s, one
-//! independent simulation each. Cells are the granularity of everything the
+//! A [`JobSpec`] names a whole workload — a campaign grid, a fuzz hunt, a
+//! litmus sweep, or a deep model-checking sweep — and expands into an
+//! ordered list of [`CellSpec`]s, one independent simulation each. Cells are the granularity of everything the
 //! service does: content-addressed caching (a cell's canonical text token
 //! is the cache key), journaling, retries, and deadlines.
 //!
@@ -11,8 +11,11 @@
 //! recomputed cell is byte-identical to its cached copy and job digests
 //! survive any mix of cache hits and recomputes.
 
-use dvs_campaign::{run_recorded, CampaignError, ExperimentSpec};
-use dvs_core::config::{Protocol, SystemConfig};
+use dvs_campaign::{
+    mutation_token, parse_mutation_token, run_recorded, CampaignError, ExperimentSpec,
+};
+use dvs_check::{check_litmus, swarm_litmus, CheckConfig, SwarmConfig, Verdict, VisitedMode};
+use dvs_core::config::{Protocol, ProtocolMutation, SystemConfig};
 use dvs_core::system::SimError;
 use dvs_core::System;
 use dvs_fuzz::{generate, run_case, CaseVerdict, GenConfig, HarnessConfig};
@@ -84,6 +87,76 @@ pub enum JobSpec {
         /// Protocols to sweep.
         protocols: Vec<Protocol>,
     },
+    /// A deep model-checking sweep: every named litmus × every protocol,
+    /// explored by the model checker under one budget/mode.
+    DeepCheck {
+        /// Litmus names.
+        names: Vec<String>,
+        /// Protocols to sweep.
+        protocols: Vec<Protocol>,
+        /// Exploration strategy and visited tier.
+        mode: DeepCheckMode,
+        /// Depth bound (exhaustive modes) or per-probe depth (swarm).
+        depth: usize,
+        /// Expansion budget (exhaustive) or per-probe claim budget (swarm).
+        states: u64,
+    },
+}
+
+/// How a deep-check cell explores. Serialized inside the cell token, so
+/// every variant field is part of the content address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeepCheckMode {
+    /// Exhaustive exploration over the exact visited tier, with sleep-set
+    /// partial-order reduction.
+    Exact,
+    /// Exhaustive exploration over a lossy bitstate filter of `bits` bits
+    /// (POR off — it composes unsoundly with a weakening-free store).
+    Bitstate {
+        /// Filter size in bits.
+        bits: u64,
+    },
+    /// Swarm verification: `probes` seeded randomized probes sharing one
+    /// bitstate filter.
+    Swarm {
+        /// Number of probes.
+        probes: u64,
+    },
+}
+
+impl DeepCheckMode {
+    /// The mode's token field value (`exact`, `bits:N`, `swarm:N`).
+    pub fn token(self) -> String {
+        match self {
+            DeepCheckMode::Exact => "exact".to_owned(),
+            DeepCheckMode::Bitstate { bits } => format!("bits:{bits}"),
+            DeepCheckMode::Swarm { probes } => format!("swarm:{probes}"),
+        }
+    }
+
+    /// Parses a token produced by [`DeepCheckMode::token`].
+    ///
+    /// # Errors
+    ///
+    /// Explains what failed to parse.
+    pub fn from_token(tok: &str) -> Result<DeepCheckMode, String> {
+        if tok == "exact" {
+            return Ok(DeepCheckMode::Exact);
+        }
+        if let Some(bits) = tok.strip_prefix("bits:") {
+            let bits = bits.parse().map_err(|_| format!("bad bits {bits:?}"))?;
+            return Ok(DeepCheckMode::Bitstate { bits });
+        }
+        if let Some(probes) = tok.strip_prefix("swarm:") {
+            let probes = probes
+                .parse()
+                .map_err(|_| format!("bad probes {probes:?}"))?;
+            return Ok(DeepCheckMode::Swarm { probes });
+        }
+        Err(format!(
+            "unknown check mode {tok:?} (want exact, bits:N, or swarm:N)"
+        ))
+    }
 }
 
 impl JobSpec {
@@ -93,6 +166,7 @@ impl JobSpec {
             JobSpec::Campaign(_) => "campaign",
             JobSpec::FuzzHunt { .. } => "fuzz-hunt",
             JobSpec::Litmus { .. } => "litmus",
+            JobSpec::DeepCheck { .. } => "deep-check",
         }
     }
 
@@ -119,6 +193,25 @@ impl JobSpec {
                     })
                 })
                 .collect(),
+            JobSpec::DeepCheck {
+                names,
+                protocols,
+                mode,
+                depth,
+                states,
+            } => names
+                .iter()
+                .flat_map(|name| {
+                    protocols.iter().map(move |&protocol| CellSpec::DeepCheck {
+                        name: name.clone(),
+                        protocol,
+                        mode: *mode,
+                        depth: *depth,
+                        states: *states,
+                        mutation: None,
+                    })
+                })
+                .collect(),
         }
     }
 }
@@ -142,6 +235,26 @@ pub enum CellSpec {
         /// The protocol under test.
         protocol: Protocol,
     },
+    /// One deep model-checking run: a litmus test's full interleaving
+    /// space explored by `dvs-check` under an explicit budget. Executed
+    /// with one worker so the payload — verdict, unique states, which
+    /// budget fired — is byte-identical on recompute.
+    DeepCheck {
+        /// The litmus name.
+        name: String,
+        /// The protocol under test.
+        protocol: Protocol,
+        /// Exploration strategy and visited tier.
+        mode: DeepCheckMode,
+        /// Depth bound (exhaustive modes) or per-probe depth (swarm).
+        depth: usize,
+        /// Expansion budget (exhaustive) or per-probe claims (swarm).
+        states: u64,
+        /// Optional seeded protocol bug — a mutation cell *expects* a
+        /// violation and records the verdict either way; a clean cell
+        /// fails deterministically if one is found.
+        mutation: Option<ProtocolMutation>,
+    },
 }
 
 impl CellSpec {
@@ -156,6 +269,24 @@ impl CellSpec {
             ),
             CellSpec::Litmus { name, protocol } => {
                 format!("litmus;name={name};proto={}", protocol.label())
+            }
+            CellSpec::DeepCheck {
+                name,
+                protocol,
+                mode,
+                depth,
+                states,
+                mutation,
+            } => {
+                let mut t = format!(
+                    "check;name={name};proto={};mode={};depth={depth};states={states}",
+                    protocol.label(),
+                    mode.token()
+                );
+                if let Some(m) = mutation {
+                    t.push_str(&format!(";mut={}", mutation_token(*m)));
+                }
+                t
             }
         }
     }
@@ -200,6 +331,33 @@ impl CellSpec {
             return Ok(CellSpec::Litmus {
                 name: name.ok_or("missing name")?,
                 protocol: protocol.ok_or("missing proto")?,
+            });
+        }
+        if let Some(rest) = token.strip_prefix("check;") {
+            let (mut name, mut protocol, mut mode) = (None, None, None);
+            let (mut depth, mut states, mut mutation) = (None, None, None);
+            for part in rest.split(';') {
+                match part.split_once('=') {
+                    Some(("name", v)) => name = Some(v.to_owned()),
+                    Some(("proto", v)) => protocol = Some(dvs_campaign::parse_protocol(v)?),
+                    Some(("mode", v)) => mode = Some(DeepCheckMode::from_token(v)?),
+                    Some(("depth", v)) => {
+                        depth = Some(v.parse().map_err(|_| format!("bad depth {v:?}"))?);
+                    }
+                    Some(("states", v)) => {
+                        states = Some(v.parse().map_err(|_| format!("bad states {v:?}"))?);
+                    }
+                    Some(("mut", v)) => mutation = Some(parse_mutation_token(v)?),
+                    _ => return Err(format!("bad check field {part:?}")),
+                }
+            }
+            return Ok(CellSpec::DeepCheck {
+                name: name.ok_or("missing name")?,
+                protocol: protocol.ok_or("missing proto")?,
+                mode: mode.ok_or("missing mode")?,
+                depth: depth.ok_or("missing depth")?,
+                states: states.ok_or("missing states")?,
+                mutation,
             });
         }
         Err(format!("unknown cell token {token:?}"))
@@ -276,6 +434,90 @@ impl CellSpec {
                     .str("protocol", protocol.label())
                     .bool("ok", true)
                     .u64("cycles", stats.cycles);
+                Ok(obj.render())
+            }),
+            CellSpec::DeepCheck {
+                name,
+                protocol,
+                mode,
+                depth,
+                states,
+                mutation,
+            } => timed_catch(|| {
+                let lit = Litmus::by_name(name).ok_or_else(|| CellFailure {
+                    class: FailureClass::Deterministic,
+                    detail: format!("unknown litmus {name:?}"),
+                })?;
+                let report = match mode {
+                    DeepCheckMode::Swarm { probes } => swarm_litmus(
+                        &lit,
+                        *protocol,
+                        *mutation,
+                        &SwarmConfig {
+                            probes: *probes,
+                            workers: 1,
+                            probe_depth: *depth,
+                            probe_states: *states,
+                            ..SwarmConfig::default()
+                        },
+                    ),
+                    exhaustive => {
+                        let (visited, por) = match exhaustive {
+                            DeepCheckMode::Bitstate { bits } => {
+                                // POR's subset-prune needs the exact tier's
+                                // weakening; with a lossy store it would
+                                // under-explore unsoundly.
+                                (VisitedMode::Bitstate { bits: *bits }, false)
+                            }
+                            _ => (VisitedMode::Exact, true),
+                        };
+                        let cfg = CheckConfig {
+                            workers: 1,
+                            max_depth: *depth,
+                            max_states: *states,
+                            por,
+                            visited,
+                            ..CheckConfig::default()
+                        };
+                        check_litmus(&lit, *protocol, *mutation, &cfg)
+                    }
+                };
+                let s = &report.stats;
+                let mut obj = JsonObject::new();
+                obj.str("kind", "check")
+                    .str("name", name)
+                    .str("protocol", protocol.label())
+                    .str("mode", &mode.token());
+                if let Some(m) = mutation {
+                    obj.str("mutation", mutation_token(*m));
+                }
+                match &report.verdict {
+                    Verdict::Verified => {
+                        obj.str("verdict", "verified");
+                    }
+                    Verdict::Violated(ce) => {
+                        if mutation.is_none() {
+                            return Err(CellFailure {
+                                class: FailureClass::Deterministic,
+                                detail: format!(
+                                    "{name} under {} violated after {} picks: {}",
+                                    protocol.label(),
+                                    ce.picks.len(),
+                                    ce.failure
+                                ),
+                            });
+                        }
+                        obj.str("verdict", "violated")
+                            .u64("picks", ce.picks.len() as u64)
+                            .bool("minimized", ce.minimized);
+                    }
+                }
+                obj.u64("unique_states", s.unique_states)
+                    .u64("expansions", s.expansions)
+                    .str("budget", s.budget_fired())
+                    .bool("depth_truncated", s.depth_truncated)
+                    .bool("state_truncated", s.state_truncated)
+                    .u64("max_depth_seen", s.max_depth_seen as u64);
                 Ok(obj.render())
             }),
         }
@@ -382,12 +624,77 @@ mod tests {
                 name: "mp".to_owned(),
                 protocol: Protocol::Mesi,
             },
+            CellSpec::DeepCheck {
+                name: "tatas".to_owned(),
+                protocol: Protocol::DeNovoSync,
+                mode: DeepCheckMode::Exact,
+                depth: 500,
+                states: 100_000,
+                mutation: None,
+            },
+            CellSpec::DeepCheck {
+                name: "sb".to_owned(),
+                protocol: Protocol::Mesi,
+                mode: DeepCheckMode::Bitstate { bits: 1 << 20 },
+                depth: 400,
+                states: 50_000,
+                mutation: Some(dvs_core::config::ProtocolMutation::MesiSkipInvalidate),
+            },
+            CellSpec::DeepCheck {
+                name: "mp".to_owned(),
+                protocol: Protocol::Gcs,
+                mode: DeepCheckMode::Swarm { probes: 32 },
+                depth: 2_000,
+                states: 10_000,
+                mutation: None,
+            },
         ];
         for cell in cells {
             let token = cell.token();
             assert_eq!(CellSpec::from_token(&token), Ok(cell), "{token}");
         }
         assert!(CellSpec::from_token("bogus;x=1").is_err());
+        assert!(CellSpec::from_token("check;name=sb;proto=M;mode=maybe;depth=1;states=1").is_err());
+        assert!(CellSpec::from_token("check;name=sb;proto=M;depth=1;states=1").is_err());
+    }
+
+    /// A deep-check cell's payload is deterministic on recompute, carries
+    /// the split budget flags, and a mutation cell records its expected
+    /// violation instead of failing.
+    #[test]
+    fn deep_check_cells_execute_with_budget_flags() {
+        let clean = CellSpec::DeepCheck {
+            name: "sb".to_owned(),
+            protocol: Protocol::Mesi,
+            mode: DeepCheckMode::Exact,
+            depth: 1_000,
+            states: 100_000,
+            mutation: None,
+        };
+        let a = clean.execute().outcome.expect("sb verifies");
+        let b = clean.execute().outcome.expect("sb verifies");
+        assert_eq!(a, b, "recompute must be byte-identical");
+        assert!(a.contains("\"kind\": \"check\""));
+        assert!(a.contains("\"verdict\": \"verified\""));
+        assert!(a.contains("\"budget\": \"none\""));
+        assert!(a.contains("\"depth_truncated\": false"));
+        assert!(a.contains("\"state_truncated\": false"));
+
+        let mutated = CellSpec::DeepCheck {
+            name: "tatas".to_owned(),
+            protocol: Protocol::Mesi,
+            mode: DeepCheckMode::Exact,
+            depth: 1_000,
+            states: 200_000,
+            mutation: Some(dvs_core::config::ProtocolMutation::MesiSkipInvalidate),
+        };
+        let payload = mutated
+            .execute()
+            .outcome
+            .expect("expected violation is a result");
+        assert!(payload.contains("\"verdict\": \"violated\""));
+        assert!(payload.contains("\"minimized\": true"));
+        assert!(payload.contains("\"mutation\": \"mesi-skip-invalidate\""));
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! and recomputes everything on the next invocation. This crate turns those
 //! workloads into *jobs* against a persistent service directory:
 //!
-//! * **Jobs and cells.** A [`JobSpec`] (campaign grid, fuzz hunt, or litmus
-//!   sweep) expands into an ordered list of [`CellSpec`]s — one simulation
-//!   each, addressed by a canonical text token. Cells execute on a bounded
+//! * **Jobs and cells.** A [`JobSpec`] (campaign grid, fuzz hunt, litmus
+//!   sweep, or deep model-checking sweep) expands into an ordered list of
+//!   [`CellSpec`]s — one simulation each, addressed by a canonical text
+//!   token. Cells execute on a bounded
 //!   worker pool ([`dvs_campaign::parallel_indexed`]) with per-job
 //!   admission control and deadlines.
 //! * **Content-addressed caching.** Every completed cell's result payload
@@ -37,7 +38,7 @@ pub mod retry;
 pub mod service;
 pub mod store;
 
-pub use job::{CellFailure, CellResult, CellSpec, FailureClass, JobSpec};
+pub use job::{CellFailure, CellResult, CellSpec, DeepCheckMode, FailureClass, JobSpec};
 pub use journal::{CellOutcome, Journal, JournalEvent, JournalTail, RecoveredJob};
 pub use retry::RetryPolicy;
 pub use service::{AdmissionError, JobReport, JobStatus, Serve, ServeConfig, ServeCounters};

@@ -76,9 +76,15 @@ impl Litmus {
         vec![iriw(), mp_chain(3), mp_chain(4)]
     }
 
-    /// Looks a test up by [`Litmus::name`] across [`Litmus::all`] and
-    /// [`Litmus::extended`].
+    /// Looks a test up by [`Litmus::name`] across [`Litmus::all`],
+    /// [`Litmus::extended`], and the `tatasN` scaling family
+    /// (`tatas3`..`tatas16`).
     pub fn by_name(name: &str) -> Option<Litmus> {
+        if let Some(n) = name.strip_prefix("tatas").and_then(|s| s.parse().ok()) {
+            if (3..=16).contains(&n) {
+                return Some(tatas_n(n));
+            }
+        }
         Self::all()
             .into_iter()
             .chain(Self::extended())
@@ -280,11 +286,13 @@ pub fn tatas() -> Litmus {
 
 /// [`tatas`] generalized to `nthreads` contenders — the model checker's
 /// scaling workload (state space grows steeply with each extra contender).
-/// Not part of [`Litmus::all`]; only `nthreads == 2` is suite-sized.
+/// Not part of [`Litmus::all`]; only `nthreads == 2` is suite-sized. The
+/// 8–16-contender shapes are the deep-exploration targets (millions of
+/// states; see dvs-check's bitstate/swarm/deepening modes).
 ///
 /// # Panics
 ///
-/// Panics unless `2 <= nthreads <= 4` (named variants keep
+/// Panics unless `2 <= nthreads <= 16` (named variants keep
 /// [`Litmus::name`] a static string).
 pub fn tatas_n(nthreads: usize) -> Litmus {
     let mut lb = LayoutBuilder::new();
@@ -321,6 +329,18 @@ pub fn tatas_n(nthreads: usize) -> Litmus {
         2 => "tatas",
         3 => "tatas3",
         4 => "tatas4",
+        5 => "tatas5",
+        6 => "tatas6",
+        7 => "tatas7",
+        8 => "tatas8",
+        9 => "tatas9",
+        10 => "tatas10",
+        11 => "tatas11",
+        12 => "tatas12",
+        13 => "tatas13",
+        14 => "tatas14",
+        15 => "tatas15",
+        16 => "tatas16",
         n => panic!("unsupported tatas contender count {n}"),
     };
     Litmus {

@@ -8,7 +8,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES="fmt lint tier1 chaos check campaign gcs step telemetry fuzz serve trace"
+STAGES="fmt lint tier1 chaos check check-scale campaign gcs step telemetry fuzz serve trace"
 
 ONLY=""
 while [ $# -gt 0 ]; do
@@ -54,6 +54,61 @@ stage_chaos() {
 stage_check() {
   echo "== model-checker smoke (bounded-depth, 2 litmus x 4 protocols + 2 mutations) =="
   cargo run --release --offline -p dvs-check --example smoke
+}
+
+stage_check_scale() {
+  echo "== check-scale smoke (deep-exploration floors: throughput, spill RSS, swarm, resume) =="
+  cargo build --release --offline -p dvs-check --bin dvs-check
+  CHECK=./target/release/dvs-check
+  # Pull one key=value token out of a dvs-check report line.
+  ck_tok() { echo "$1" | tr ' ' '\n' | sed -n "s/^$2=//p" | tail -1; }
+
+  # Throughput floor: a 100k-expansion exact exploration of tatas8 must
+  # sustain >= 2000 unique states/s (a single release core does ~6k; the
+  # floor only catches order-of-magnitude regressions on slow CI hosts).
+  out=$("$CHECK" explore --litmus tatas8 --proto M --max-states 100000); echo "$out"
+  rate=$(ck_tok "$out" states_per_s)
+  [ "$rate" -ge 2000 ] || { echo "states/s floor missed: $rate < 2000"; exit 1; }
+
+  # Spill-tier RSS ceiling: a 4 MB visited budget on a ~5.6 MB working set
+  # must actually page shards out, and the process high-water mark must
+  # stay under 64 MB (the un-spilled run of the same space needs none).
+  out=$("$CHECK" explore --litmus tatas8 --proto M --max-states 300000 --spill-budget 4000000); echo "$out"
+  spilled=$(ck_tok "$out" spilled_entries)
+  rss=$(ck_tok "$out" peak_rss)
+  [ "$spilled" -gt 0 ] || { echo "spill budget never fired"; exit 1; }
+  [ "$rss" -le $((64 * 1024 * 1024)) ] || { echo "spill-tier peak RSS over 64MB: $rss"; exit 1; }
+
+  # Swarm mutation-catch: randomized probes sharing one bitstate filter
+  # must find the seeded MESI mutation (exit 3 = violation found).
+  out=$("$CHECK" swarm --litmus tatas --proto M --mutation mesi-skip-invalidate \
+        --probes 64 --probe-depth 2000 --probe-states 20000 --seed 1) && rc=0 || rc=$?
+  echo "$out"
+  [ "$rc" -eq 3 ] || { echo "swarm did not catch the mutation (exit $rc)"; exit 1; }
+  case "$out" in *"verdict=violated"*) ;; *) echo "swarm report lacks verdict=violated"; exit 1; esac
+
+  # Checkpoint resume drill: kill -9 a slowed deepening run after its first
+  # checkpoint lands, resume it, and demand the same verdict and cumulative
+  # unique-state count as an uninterrupted invocation.
+  DEEPEN="deepen --litmus tatas --proto M --start 6 --step 2 --max-depth 40"
+  ref=$("$CHECK" $DEEPEN); echo "$ref"
+  CDIR=$(mktemp -d)
+  CLEANUP="$CLEANUP $CDIR"
+  CKPT="$CDIR/deepen.ckpt"
+  "$CHECK" $DEEPEN --checkpoint "$CKPT" --round-delay-ms 500 &
+  victim=$!
+  for _ in $(seq 1 400); do
+    [ -f "$CKPT" ] && break
+    kill -0 "$victim" 2>/dev/null || { echo "victim finished before the kill"; exit 1; }
+    sleep 0.025
+  done
+  kill -9 "$victim"; wait "$victim" 2>/dev/null || true
+  [ -f "$CKPT" ] || { echo "no checkpoint survived the kill"; exit 1; }
+  resumed=$("$CHECK" $DEEPEN --checkpoint "$CKPT"); echo "$resumed"
+  [ "$(ck_tok "$resumed" resumed)" = "true" ] || { echo "run ignored the checkpoint"; exit 1; }
+  [ "$(ck_tok "$resumed" verdict)" = "$(ck_tok "$ref" verdict)" ] || { echo "resumed verdict differs"; exit 1; }
+  [ "$(ck_tok "$resumed" unique)" = "$(ck_tok "$ref" unique)" ] || { echo "resumed unique-state count differs"; exit 1; }
+  [ ! -f "$CKPT" ] || { echo "completed resume left its checkpoint behind"; exit 1; }
 }
 
 stage_campaign() {
@@ -166,7 +221,7 @@ stage_trace() {
 
 if [ -n "$ONLY" ]; then
   case " $STAGES " in
-    *" $ONLY "*) "stage_$ONLY" ;;
+    *" $ONLY "*) "stage_${ONLY//-/_}" ;;
     *)
       echo "unknown stage \"$ONLY\" (stages: $STAGES)" >&2
       exit 2
@@ -174,6 +229,6 @@ if [ -n "$ONLY" ]; then
   esac
   echo "stage $ONLY OK"
 else
-  for s in $STAGES; do "stage_$s"; done
+  for s in $STAGES; do "stage_${s//-/_}"; done
   echo "CI OK"
 fi
